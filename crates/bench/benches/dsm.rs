@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the DSM substrate's host-side primitive costs:
+//! page fetch, diff flush (unlock), lock round trip, cv hand-off, and the
+//! barrier, plus the byte-diff kernel itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genomedsm_dsm::{DsmConfig, DsmSystem, NetworkModel};
+use genomedsm_dsm::page::{apply_patches, diff_bytes};
+use std::hint::black_box;
+
+fn config(n: usize) -> DsmConfig {
+    DsmConfig::new(n).network(NetworkModel::zero())
+}
+
+fn bench_page_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsm_primitives");
+    g.sample_size(10);
+    g.bench_function("page_fetch_x100", |b| {
+        b.iter(|| {
+            DsmSystem::run(config(2), |node| {
+                let v = node.alloc_vec::<i64>(100 * 512);
+                node.barrier();
+                // Touch 100 distinct pages.
+                let mut sum = 0i64;
+                for k in 0..100 {
+                    sum += node.vec_get(&v, k * 512);
+                }
+                node.barrier();
+                black_box(sum)
+            })
+        });
+    });
+    g.bench_function("lock_roundtrip_x100", |b| {
+        b.iter(|| {
+            DsmSystem::run(config(2), |node| {
+                for _ in 0..100 {
+                    node.lock(3);
+                    node.unlock(3);
+                }
+                node.barrier();
+            })
+        });
+    });
+    g.bench_function("cv_handoff_x100", |b| {
+        b.iter(|| {
+            DsmSystem::run(config(2), |node| {
+                if node.id() == 0 {
+                    for _ in 0..100 {
+                        node.setcv(0);
+                        node.waitcv(1);
+                    }
+                } else {
+                    for _ in 0..100 {
+                        node.waitcv(0);
+                        node.setcv(1);
+                    }
+                }
+                node.barrier();
+            })
+        });
+    });
+    for nprocs in [2usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("barrier_x100", nprocs),
+            &nprocs,
+            |b, &n| {
+                b.iter(|| {
+                    DsmSystem::run(config(n), |node| {
+                        for _ in 0..100 {
+                            node.barrier();
+                        }
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_diff_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_kernel");
+    g.sample_size(20);
+    let twin = vec![0u8; 4096];
+    let mut sparse = twin.clone();
+    for i in (0..4096).step_by(97) {
+        sparse[i] = 1;
+    }
+    let dense = vec![1u8; 4096];
+    g.bench_function("diff_sparse_4k", |b| {
+        b.iter(|| black_box(diff_bytes(&twin, &sparse)));
+    });
+    g.bench_function("diff_dense_4k", |b| {
+        b.iter(|| black_box(diff_bytes(&twin, &dense)));
+    });
+    let patches = diff_bytes(&twin, &sparse);
+    g.bench_function("apply_sparse_4k", |b| {
+        b.iter_batched(
+            || twin.clone(),
+            |mut page| {
+                apply_patches(&mut page, &patches);
+                black_box(page)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_page_fetch, bench_diff_kernel);
+criterion_main!(benches);

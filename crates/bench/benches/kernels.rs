@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the alignment kernels on the host
+//! hardware (real time, not the era model): per-cell rates of the plain
+//! SW recurrence, the heuristic cell, global alignment, Hirschberg, the
+//! Section-6 reverse recovery, and the BlastN baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genomedsm_bench::workloads;
+use genomedsm_core::heuristic::{heuristic_align, HeuristicParams};
+use genomedsm_core::hirschberg::hirschberg_align;
+use genomedsm_core::linear::sw_score_linear;
+use genomedsm_core::matrix::nw_align;
+use genomedsm_core::reverse::reverse_align_best;
+use genomedsm_core::affine::{nw_affine_align, sw_affine_score, AffineScoring};
+use genomedsm_core::Scoring;
+use std::hint::black_box;
+
+const SC: Scoring = Scoring::paper();
+
+fn bench_linear_sw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linear_sw");
+    g.sample_size(10);
+    for len in [512usize, 2048] {
+        let (s, t, _) = workloads::pair(len, 11);
+        g.throughput(Throughput::Elements((len * len) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(sw_score_linear(&s, &t, &SC, i32::MAX)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_heuristic_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristic_kernel");
+    g.sample_size(10);
+    let params = HeuristicParams::default_for_dna();
+    for len in [512usize, 2048] {
+        let (s, t, _) = workloads::pair(len, 12);
+        g.throughput(Throughput::Elements((len * len) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(heuristic_align(&s, &t, &SC, &params)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_global_alignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("global_alignment");
+    g.sample_size(10);
+    let (s, t, _) = workloads::pair(512, 13);
+    g.throughput(Throughput::Elements((512 * 512) as u64));
+    g.bench_function("nw_full_matrix", |b| {
+        b.iter(|| black_box(nw_align(&s, &t, &SC)));
+    });
+    g.bench_function("hirschberg", |b| {
+        b.iter(|| black_box(hirschberg_align(&s, &t, &SC)));
+    });
+    g.finish();
+}
+
+fn bench_reverse_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reverse_recovery");
+    g.sample_size(10);
+    for len in [1024usize, 4096] {
+        let (s, t, _) = workloads::pair(len, 14);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(reverse_align_best(&s, &t, &SC)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_blast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blastn_baseline");
+    g.sample_size(10);
+    for len in [2048usize, 8192] {
+        let (s, t, _) = workloads::pair(len, 15);
+        let blast = genomedsm_blast::BlastN::default();
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(blast.search(&s, &t)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_affine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("affine_gotoh");
+    g.sample_size(10);
+    let aff = AffineScoring::dna();
+    for len in [512usize, 2048] {
+        let (s, t, _) = workloads::pair(len, 16);
+        g.throughput(Throughput::Elements((len * len) as u64));
+        g.bench_with_input(BenchmarkId::new("sw_score", len), &len, |b, _| {
+            b.iter(|| black_box(sw_affine_score(&s, &t, &aff)));
+        });
+    }
+    let (s, t, _) = workloads::pair(512, 17);
+    g.bench_function("nw_align_512", |b| {
+        b.iter(|| black_box(nw_affine_align(&s, &t, &aff)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linear_sw,
+    bench_heuristic_kernel,
+    bench_global_alignment,
+    bench_reverse_recovery,
+    bench_blast,
+    bench_affine
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the parallel strategies: real host time of the
+//! simulated-cluster runs (protocol overhead included) against the plain
+//! shared-memory port and the serial kernel, plus the phase-2 scattered
+//! mapping in both DSM and rayon forms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genomedsm_bench::workloads;
+use genomedsm_core::heuristic::{heuristic_align, HeuristicParams};
+use genomedsm_core::Scoring;
+use genomedsm_strategies::{
+    heuristic_block_align, heuristic_block_align_shm, phase2_scattered, phase2_scattered_rayon,
+    preprocess_align, BlockedConfig, PreprocessConfig,
+};
+use std::hint::black_box;
+
+const SC: Scoring = Scoring::paper();
+const LEN: usize = 1024;
+
+fn params() -> HeuristicParams {
+    HeuristicParams::default_for_dna()
+}
+
+fn bench_phase1_variants(c: &mut Criterion) {
+    let (s, t, _) = workloads::pair(LEN, 21);
+    let mut g = c.benchmark_group("phase1_host_time");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(heuristic_align(&s, &t, &SC, &params())));
+    });
+    for nprocs in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("blocked_dsm", nprocs),
+            &nprocs,
+            |b, &p| {
+                b.iter(|| {
+                    black_box(heuristic_block_align(
+                        &s,
+                        &t,
+                        &SC,
+                        &params(),
+                        &BlockedConfig::new(p, 8, 8),
+                    ))
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("blocked_shm", nprocs),
+            &nprocs,
+            |b, &p| {
+                b.iter(|| {
+                    black_box(heuristic_block_align_shm(&s, &t, &SC, &params(), p, 8, 8))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let (s, t, _) = workloads::pair(LEN, 22);
+    let mut g = c.benchmark_group("preprocess_host_time");
+    g.sample_size(10);
+    for nprocs in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(nprocs), &nprocs, |b, &p| {
+            let config = PreprocessConfig::new(p);
+            b.iter(|| black_box(preprocess_align(&s, &t, &SC, &config)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_phase2(c: &mut Criterion) {
+    let (s, t, _) = workloads::pair(2048, 23);
+    let phase1 = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(2, 4, 4));
+    let regions = phase1.regions;
+    let mut g = c.benchmark_group("phase2_host_time");
+    g.sample_size(10);
+    g.bench_function("dsm_scattered", |b| {
+        b.iter(|| black_box(phase2_scattered(&s, &t, &regions, &SC, 4)));
+    });
+    g.bench_function("rayon", |b| {
+        b.iter(|| black_box(phase2_scattered_rayon(&s, &t, &regions, &SC, 4)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_phase1_variants, bench_preprocess, bench_phase2);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Plain-text table rendering and CSV artifacts.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned text table that can also be saved as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for building a row from display values.
+    pub fn push<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        let v: Vec<String> = cells.into_iter().collect();
+        self.row(&v);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    pub fn save_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        std::fs::write(path, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_header"]);
+        t.row(&["1".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("long_header"));
+        assert!(r.contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip_escaping() {
+        let dir = std::env::temp_dir().join("genomedsm_bench_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["hello, world".into(), "q\"q".into()]);
+        t.save_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"hello, world\""));
+        assert!(text.contains("\"q\"\"q\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,122 @@
+//! Ungapped X-drop extension of a word hit.
+
+use genomedsm_core::{LocalRegion, Scoring};
+
+/// Extends an exact word hit of length `k` at `(i, j)` left and right
+/// along the diagonal, stopping each direction once the running score
+/// falls `x_drop` below the best seen. Returns the trimmed-to-best HSP.
+pub fn extend_ungapped(
+    s: &[u8],
+    t: &[u8],
+    i: usize,
+    j: usize,
+    k: usize,
+    scoring: &Scoring,
+    x_drop: i32,
+) -> LocalRegion {
+    debug_assert_eq!(&s[i..i + k], &t[j..j + k], "seed must be an exact hit");
+    let seed_score = k as i32 * scoring.matches;
+
+    // Right extension.
+    let mut best_right = 0;
+    let mut best_right_len = 0usize;
+    let mut run = 0;
+    let mut l = 0usize;
+    while i + k + l < s.len() && j + k + l < t.len() {
+        run += scoring.subst(s[i + k + l], t[j + k + l]);
+        l += 1;
+        if run > best_right {
+            best_right = run;
+            best_right_len = l;
+        }
+        if run <= best_right - x_drop {
+            break;
+        }
+    }
+
+    // Left extension.
+    let mut best_left = 0;
+    let mut best_left_len = 0usize;
+    run = 0;
+    l = 0;
+    while l < i && l < j {
+        run += scoring.subst(s[i - 1 - l], t[j - 1 - l]);
+        l += 1;
+        if run > best_left {
+            best_left = run;
+            best_left_len = l;
+        }
+        if run <= best_left - x_drop {
+            break;
+        }
+    }
+
+    LocalRegion {
+        s_begin: i - best_left_len,
+        s_end: i + k + best_right_len,
+        t_begin: j - best_left_len,
+        t_end: j + k + best_right_len,
+        score: seed_score + best_left + best_right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SC: Scoring = Scoring::paper();
+
+    #[test]
+    fn seed_alone_when_no_extension_possible() {
+        let s = b"AAAACGTACCCC";
+        let t = b"GGGGCGTAGGGG";
+        // Exact 4-mer CGTA at s[4], t[4].
+        let h = extend_ungapped(s, t, 4, 4, 4, &SC, 5);
+        assert_eq!(h.score, 4);
+        assert_eq!((h.s_begin, h.s_end), (4, 8));
+    }
+
+    #[test]
+    fn extends_through_single_mismatch() {
+        let s = b"TTTGATTACAXGATTACATTT".map(|c| if c == b'X' { b'C' } else { c });
+        let t = b"GGGGATTACAYGATTACAGGG".map(|c| if c == b'Y' { b'A' } else { c });
+        // Seed on the first GATTACA (7-mer at s[3], t[3]).
+        let h = extend_ungapped(&s, &t, 3, 3, 7, &SC, 12);
+        // Extension crosses the mismatch column and takes the second
+        // GATTACA: 14 matches + 1 mismatch = 13.
+        assert_eq!(h.score, 13);
+        assert_eq!(h.s_end, 18);
+    }
+
+    #[test]
+    fn x_drop_stops_extension() {
+        let mut s = vec![b'A'; 40];
+        let mut t = vec![b'C'; 40];
+        s[10..18].copy_from_slice(b"GATTACAG");
+        t[10..18].copy_from_slice(b"GATTACAG");
+        // Around the repeat everything mismatches; with a small x_drop the
+        // extension stays tight.
+        let h = extend_ungapped(&s, &t, 10, 10, 8, &SC, 3);
+        assert_eq!((h.s_begin, h.s_end), (10, 18));
+        assert_eq!(h.score, 8);
+    }
+
+    #[test]
+    fn left_extension_works() {
+        let s = b"GATTACAGGGG";
+        let t = b"GATTACATTTT";
+        // Seed at the tail of the shared prefix: 4-mer TACA at s[3], t[3].
+        let h = extend_ungapped(s, t, 3, 3, 4, &SC, 10);
+        assert_eq!(h.s_begin, 0);
+        assert_eq!(h.score, 7);
+    }
+
+    #[test]
+    fn extension_at_sequence_edges() {
+        let s = b"ACGT";
+        let t = b"ACGT";
+        let h = extend_ungapped(s, t, 0, 0, 4, &SC, 5);
+        assert_eq!(h.score, 4);
+        assert_eq!((h.s_begin, h.s_end, h.t_begin, h.t_end), (0, 4, 0, 4));
+    }
+}

@@ -1,0 +1,143 @@
+//! DUST-style low-complexity filtering.
+//!
+//! Real BlastN masks low-complexity query regions (homopolymer runs,
+//! short tandem repeats) before seeding, because they generate floods of
+//! biologically meaningless word hits. This is a compact variant of the
+//! classic DUST score: within a sliding window, count each triplet's
+//! occurrences `c` and score `Σ c(c−1)/2` normalized by the window's
+//! triplet count; windows above the threshold are masked.
+
+/// Parameters of the low-complexity filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DustParams {
+    /// Sliding window length (DUST default: 64).
+    pub window: usize,
+    /// Score threshold above which a window is masked (DUST default
+    /// level: 2.0 in this normalization).
+    pub threshold: f64,
+}
+
+impl Default for DustParams {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            threshold: 2.0,
+        }
+    }
+}
+
+#[inline]
+fn triplet_code(w: &[u8]) -> usize {
+    let code = |b: u8| -> usize {
+        match b {
+            b'A' => 0,
+            b'C' => 1,
+            b'G' => 2,
+            b'T' => 3,
+            other => panic!("not a DNA base: 0x{other:02x}"),
+        }
+    };
+    code(w[0]) * 16 + code(w[1]) * 4 + code(w[2])
+}
+
+/// DUST score of one window: `Σ c_t(c_t−1)/2 / (k−1)` over triplet counts
+/// `c_t`, where `k` is the number of triplets in the window. A random
+/// window scores ≈ 0.5; a homopolymer scores ≈ (k−1)/2.
+pub fn dust_score(window: &[u8]) -> f64 {
+    if window.len() < 4 {
+        return 0.0;
+    }
+    let mut counts = [0u32; 64];
+    let k = window.len() - 2;
+    for w in window.windows(3) {
+        counts[triplet_code(w)] += 1;
+    }
+    let sum: u64 = counts
+        .iter()
+        .map(|&c| (c as u64 * c.saturating_sub(1) as u64) / 2)
+        .sum();
+    sum as f64 / (k as f64 - 1.0).max(1.0)
+}
+
+/// Returns a mask (`true` = masked / low complexity) over `seq`.
+pub fn dust_mask(seq: &[u8], params: &DustParams) -> Vec<bool> {
+    let mut mask = vec![false; seq.len()];
+    if seq.len() < 4 {
+        return mask;
+    }
+    let w = params.window.max(8).min(seq.len());
+    let mut start = 0;
+    while start < seq.len() {
+        let end = (start + w).min(seq.len());
+        if dust_score(&seq[start..end]) > params.threshold {
+            mask[start..end].iter_mut().for_each(|m| *m = true);
+        }
+        // Half-window stride so boundary repeats are not missed.
+        start += w / 2;
+    }
+    mask
+}
+
+/// Fraction of positions masked (diagnostic).
+pub fn masked_fraction(mask: &[bool]) -> f64 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    mask.iter().filter(|&&m| m).count() as f64 / mask.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homopolymers_score_high() {
+        let poly = vec![b'A'; 64];
+        assert!(dust_score(&poly) > 10.0);
+    }
+
+    #[test]
+    fn random_dna_scores_low() {
+        let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let seq: Vec<u8> = (0..64).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+        assert!(dust_score(&seq) < 2.0, "score {}", dust_score(&seq));
+    }
+
+    #[test]
+    fn tandem_repeats_score_high() {
+        let repeat: Vec<u8> = b"AT".iter().cycle().take(64).copied().collect();
+        assert!(dust_score(&repeat) > 5.0);
+    }
+
+    #[test]
+    fn mask_covers_the_low_complexity_stretch() {
+        let mut x: u64 = 99;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut seq: Vec<u8> = (0..300).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+        for b in seq[100..180].iter_mut() {
+            *b = b'A';
+        }
+        let mask = dust_mask(&seq, &DustParams::default());
+        let masked_in_run = mask[110..170].iter().filter(|&&m| m).count();
+        assert!(masked_in_run > 40, "run should be masked: {masked_in_run}");
+        let masked_outside = mask[..64].iter().filter(|&&m| m).count();
+        assert_eq!(masked_outside, 0, "random prefix must stay unmasked");
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_panic() {
+        assert_eq!(dust_mask(b"ACG", &DustParams::default()), vec![false; 3]);
+        assert_eq!(dust_score(b"AC"), 0.0);
+    }
+}

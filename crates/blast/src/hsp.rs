@@ -1,0 +1,63 @@
+//! HSP post-processing: containment dedup and score ordering.
+
+use genomedsm_core::LocalRegion;
+
+/// Sorts HSPs by descending score and removes any HSP contained (in both
+/// projections) in a better or equal one already kept.
+pub fn dedup_hsps(mut hsps: Vec<LocalRegion>) -> Vec<LocalRegion> {
+    hsps.sort_by(|a, b| {
+        b.score
+            .cmp(&a.score)
+            .then(a.s_begin.cmp(&b.s_begin))
+            .then(a.t_begin.cmp(&b.t_begin))
+            .then(a.s_end.cmp(&b.s_end))
+    });
+    let mut kept: Vec<LocalRegion> = Vec::with_capacity(hsps.len());
+    for h in hsps {
+        if !kept.iter().any(|k| k.contains(&h)) {
+            kept.push(h);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hsp(sb: usize, se: usize, tb: usize, te: usize, score: i32) -> LocalRegion {
+        LocalRegion {
+            s_begin: sb,
+            s_end: se,
+            t_begin: tb,
+            t_end: te,
+            score,
+        }
+    }
+
+    #[test]
+    fn keeps_best_first() {
+        let out = dedup_hsps(vec![hsp(0, 5, 0, 5, 3), hsp(10, 30, 10, 30, 9)]);
+        assert_eq!(out[0].score, 9);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn removes_contained() {
+        let out = dedup_hsps(vec![hsp(0, 50, 0, 50, 20), hsp(5, 15, 5, 15, 8)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, 20);
+    }
+
+    #[test]
+    fn exact_duplicates_collapse() {
+        let h = hsp(3, 9, 3, 9, 5);
+        assert_eq!(dedup_hsps(vec![h, h, h]).len(), 1);
+    }
+
+    #[test]
+    fn overlapping_but_not_contained_survive() {
+        let out = dedup_hsps(vec![hsp(0, 20, 0, 20, 7), hsp(10, 30, 10, 30, 7)]);
+        assert_eq!(out.len(), 2);
+    }
+}

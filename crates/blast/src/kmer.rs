@@ -1,0 +1,103 @@
+//! 2-bit k-mer encoding and the word-hit index.
+
+use std::collections::HashMap;
+
+/// Encodes a DNA base as 2 bits (A=0, C=1, G=2, T=3).
+#[inline]
+fn code(b: u8) -> u64 {
+    match b {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        other => panic!("not a DNA base: 0x{other:02x}"),
+    }
+}
+
+/// Iterates `(position, packed_kmer)` over every `k`-mer of `seq` using a
+/// rolling 2-bit encoding. `k` must be at most 31.
+pub fn kmers(seq: &[u8], k: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+    assert!((1..=31).contains(&k), "k must be in 1..=31");
+    let mask: u64 = (1 << (2 * k)) - 1;
+    let mut acc: u64 = 0;
+    seq.iter().enumerate().filter_map(move |(i, &b)| {
+        acc = ((acc << 2) | code(b)) & mask;
+        (i + 1 >= k).then(|| (i + 1 - k, acc))
+    })
+}
+
+/// Hash index from packed k-mer to the positions where it occurs.
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    map: HashMap<u64, Vec<u32>>,
+}
+
+impl KmerIndex {
+    /// Indexes every `k`-mer of `seq`.
+    pub fn build(seq: &[u8], k: usize) -> Self {
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (pos, word) in kmers(seq, k) {
+            map.entry(word).or_default().push(pos as u32);
+        }
+        Self { k, map }
+    }
+
+    /// The word size this index was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Positions of `word` in the indexed sequence.
+    pub fn lookup(&self, word: u64) -> &[u32] {
+        self.map.get(&word).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct words present.
+    pub fn distinct_words(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmers_cover_sequence() {
+        let got: Vec<(usize, u64)> = kmers(b"ACGT", 2).collect();
+        // AC=0b0001, CG=0b0110, GT=0b1011
+        assert_eq!(got, vec![(0, 0b0001), (1, 0b0110), (2, 0b1011)]);
+    }
+
+    #[test]
+    fn kmers_shorter_than_k_is_empty() {
+        assert_eq!(kmers(b"ACG", 4).count(), 0);
+    }
+
+    #[test]
+    fn index_finds_repeats() {
+        let idx = KmerIndex::build(b"ACGTACGT", 4);
+        let acgt = kmers(b"ACGT", 4).next().unwrap().1;
+        assert_eq!(idx.lookup(acgt), &[0, 4]);
+    }
+
+    #[test]
+    fn lookup_missing_word_is_empty() {
+        let idx = KmerIndex::build(b"AAAA", 3);
+        let ccc = kmers(b"CCC", 3).next().unwrap().1;
+        assert!(idx.lookup(ccc).is_empty());
+    }
+
+    #[test]
+    fn distinct_word_count() {
+        let idx = KmerIndex::build(b"AAAAAA", 3);
+        assert_eq!(idx.distinct_words(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn k_bounds_enforced() {
+        let _ = kmers(b"ACGT", 0).count();
+    }
+}

@@ -1,0 +1,130 @@
+//! Karlin–Altschul statistics: bit scores and E-values for HSPs.
+//!
+//! Real BlastN ranks hits by *E-value* — the expected number of HSPs of
+//! at least the observed score in a random database of the same size —
+//! computed from the Karlin–Altschul parameters `λ` (the unique positive
+//! solution of `Σ pᵢpⱼ·exp(λ·s(i,j)) = 1`) and `K`. For match/mismatch
+//! scoring over uniform DNA the equation reduces to
+//! `0.25·e^{λm} + 0.75·e^{λx} = 1`; with the classic +1/−1 scheme the
+//! closed form is `λ = ln 3`. `K` is taken from the standard ungapped
+//! table for DNA (≈ 0.711 for +1/−1); gapped statistics are approximated
+//! by the ungapped parameters, as early BLAST versions did.
+
+use genomedsm_core::Scoring;
+
+/// Karlin–Altschul parameters for a match/mismatch scheme over uniform
+/// base frequencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KarlinAltschul {
+    /// The scale parameter λ.
+    pub lambda: f64,
+    /// The search-space constant K.
+    pub k: f64,
+}
+
+impl KarlinAltschul {
+    /// Solves `0.25·e^{λ·match} + 0.75·e^{λ·mismatch} = 1` for `λ > 0`
+    /// by bisection (the left side is convex with value 1 at λ = 0 and
+    /// negative derivative there iff the expected score is negative,
+    /// which [`Scoring::new`] guarantees via its sign checks).
+    pub fn for_scoring(scoring: &Scoring) -> Self {
+        let m = scoring.matches as f64;
+        let x = scoring.mismatch as f64;
+        let expected = 0.25 * m + 0.75 * x;
+        assert!(
+            expected < 0.0,
+            "Karlin-Altschul statistics need a negative expected score"
+        );
+        let f = |lambda: f64| 0.25 * (lambda * m).exp() + 0.75 * (lambda * x).exp() - 1.0;
+        let mut lo = 1e-9;
+        let mut hi = 1.0;
+        while f(hi) < 0.0 {
+            hi *= 2.0;
+            assert!(hi < 1e6, "lambda search diverged");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self {
+            lambda: 0.5 * (lo + hi),
+            // The ungapped-DNA K for common match/mismatch ratios sits
+            // near 0.7; exact evaluation needs the full Karlin sum, which
+            // ranking does not require.
+            k: 0.711,
+        }
+    }
+
+    /// Bit score: `(λ·S − ln K) / ln 2`.
+    pub fn bit_score(&self, raw_score: i32) -> f64 {
+        (self.lambda * raw_score as f64 - self.k.ln()) / std::f64::consts::LN_2
+    }
+
+    /// E-value for a raw score against a search space of `m × n` (query
+    /// length × subject length): `K·m·n·exp(−λS)`.
+    pub fn evalue(&self, raw_score: i32, query_len: usize, subject_len: usize) -> f64 {
+        self.k
+            * query_len as f64
+            * subject_len as f64
+            * (-self.lambda * raw_score as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus1_minus1_lambda_is_ln3() {
+        let ka = KarlinAltschul::for_scoring(&Scoring::paper());
+        assert!(
+            (ka.lambda - 3.0f64.ln()).abs() < 1e-9,
+            "lambda {} != ln 3",
+            ka.lambda
+        );
+    }
+
+    #[test]
+    fn evalue_decreases_with_score() {
+        let ka = KarlinAltschul::for_scoring(&Scoring::paper());
+        let e20 = ka.evalue(20, 50_000, 50_000);
+        let e40 = ka.evalue(40, 50_000, 50_000);
+        assert!(e40 < e20 / 1000.0);
+    }
+
+    #[test]
+    fn evalue_scales_with_search_space() {
+        let ka = KarlinAltschul::for_scoring(&Scoring::paper());
+        let small = ka.evalue(30, 1_000, 1_000);
+        let big = ka.evalue(30, 100_000, 100_000);
+        assert!((big / small - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bit_scores_are_monotone() {
+        let ka = KarlinAltschul::for_scoring(&Scoring::paper());
+        assert!(ka.bit_score(50) > ka.bit_score(20));
+        // +1/-1: each raw point is ~1.58 bits (ln3/ln2).
+        let per_point = ka.bit_score(51) - ka.bit_score(50);
+        assert!((per_point - 3.0f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stronger_mismatch_penalty_raises_lambda() {
+        let strict = KarlinAltschul::for_scoring(&Scoring::new(1, -3, -2));
+        let lax = KarlinAltschul::for_scoring(&Scoring::paper());
+        assert!(strict.lambda > lax.lambda);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative expected score")]
+    fn rejects_positive_expectation() {
+        // match +3 / mismatch -0.??: with integers, +3/-1 gives
+        // 0.25*3 - 0.75 = 0 -> not negative.
+        let _ = KarlinAltschul::for_scoring(&Scoring::new(3, -1, -2));
+    }
+}

@@ -1,0 +1,373 @@
+//! Affine-gap alignment (Gotoh's algorithm) — a production extension.
+//!
+//! The paper scores every space at a flat −2 (§2). Real aligners usually
+//! charge gap *opening* more than gap *extension* (affine penalties):
+//! a run of `k` spaces costs `open + (k−1)·extend`. This module provides
+//! the Gotoh three-matrix formulation for both local (SW) and global (NW)
+//! alignment, plus a linear-space score variant. With
+//! `open == extend == gap` it degenerates to the paper's linear model,
+//! which the tests exploit as an oracle.
+
+use crate::alignment::{GlobalAlignment, LocalRegion};
+use crate::scoring::Scoring;
+
+/// Affine gap scheme: `matches`/`mismatch` per column, `gap_open` for the
+/// first space of a run, `gap_extend` for each further space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffineScoring {
+    /// Score for identical characters (positive).
+    pub matches: i32,
+    /// Score for differing characters (normally negative).
+    pub mismatch: i32,
+    /// Penalty for the first space of a gap run (negative).
+    pub gap_open: i32,
+    /// Penalty for each subsequent space (negative, usually milder).
+    pub gap_extend: i32,
+}
+
+impl AffineScoring {
+    /// A common DNA scheme: +1 / −1, opening −4, extending −1.
+    pub const fn dna() -> Self {
+        Self {
+            matches: 1,
+            mismatch: -1,
+            gap_open: -4,
+            gap_extend: -1,
+        }
+    }
+
+    /// The degenerate scheme equivalent to the paper's linear gaps.
+    pub const fn linear(scoring: Scoring) -> Self {
+        Self {
+            matches: scoring.matches,
+            mismatch: scoring.mismatch,
+            gap_open: scoring.gap,
+            gap_extend: scoring.gap,
+        }
+    }
+
+    #[inline]
+    fn subst(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.matches
+        } else {
+            self.mismatch
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.matches > 0, "match score must be positive");
+        assert!(
+            self.gap_open < 0 && self.gap_extend < 0,
+            "gap penalties must be negative"
+        );
+    }
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Best local alignment score with affine gaps, in linear space, plus its
+/// end point (matrix coordinates; `(0, 0)` when everything is zero).
+pub fn sw_affine_score(s: &[u8], t: &[u8], scoring: &AffineScoring) -> (i32, (usize, usize)) {
+    scoring.validate();
+    let n = t.len();
+    // H = best ending in a match/mismatch or fresh start; E = gap in s
+    // (consuming t); F = gap in t (consuming s).
+    let mut h_prev = vec![0i32; n + 1];
+    let mut e_prev = vec![NEG; n + 1];
+    let mut h_cur = vec![0i32; n + 1];
+    let mut e_cur = vec![NEG; n + 1];
+    let mut best = 0;
+    let mut end = (0usize, 0usize);
+    for (i, &sc) in s.iter().enumerate() {
+        let mut f = NEG;
+        h_cur[0] = 0;
+        for j in 1..=n {
+            let e = (e_prev[j] + scoring.gap_extend).max(h_prev[j] + scoring.gap_open);
+            f = (f + scoring.gap_extend).max(h_cur[j - 1] + scoring.gap_open);
+            let diag = h_prev[j - 1] + scoring.subst(sc, t[j - 1]);
+            let h = diag.max(e).max(f).max(0);
+            h_cur[j] = h;
+            e_cur[j] = e;
+            if h > best {
+                best = h;
+                end = (i + 1, j);
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut e_prev, &mut e_cur);
+    }
+    (best, end)
+}
+
+/// Global alignment score with affine gaps, linear space.
+pub fn nw_affine_score(s: &[u8], t: &[u8], scoring: &AffineScoring) -> i32 {
+    scoring.validate();
+    let n = t.len();
+    let gap_run = |k: usize| -> i32 {
+        if k == 0 {
+            0
+        } else {
+            scoring.gap_open + (k as i32 - 1) * scoring.gap_extend
+        }
+    };
+    let mut h_prev: Vec<i32> = (0..=n).map(gap_run).collect();
+    let mut e_prev: Vec<i32> = (0..=n)
+        .map(|j| if j == 0 { NEG } else { gap_run(j) })
+        .collect();
+    let mut h_cur = vec![0i32; n + 1];
+    let mut e_cur = vec![NEG; n + 1];
+    for (i, &sc) in s.iter().enumerate() {
+        let mut f = gap_run(i + 1);
+        h_cur[0] = gap_run(i + 1);
+        for j in 1..=n {
+            let e = (e_prev[j] + scoring.gap_extend).max(h_prev[j] + scoring.gap_open);
+            f = (f + scoring.gap_extend).max(h_cur[j - 1] + scoring.gap_open);
+            let diag = h_prev[j - 1] + scoring.subst(sc, t[j - 1]);
+            h_cur[j] = diag.max(e).max(f);
+            e_cur[j] = e;
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut e_prev, &mut e_cur);
+    }
+    h_prev[n]
+}
+
+/// Full-matrix global alignment with affine gaps and traceback.
+pub fn nw_affine_align(s: &[u8], t: &[u8], scoring: &AffineScoring) -> GlobalAlignment {
+    scoring.validate();
+    let (m, n) = (s.len(), t.len());
+    let w = n + 1;
+    let idx = |i: usize, j: usize| i * w + j;
+    let mut h = vec![NEG; (m + 1) * w];
+    let mut e = vec![NEG; (m + 1) * w];
+    let mut f = vec![NEG; (m + 1) * w];
+    h[idx(0, 0)] = 0;
+    for j in 1..=n {
+        e[idx(0, j)] = (e[idx(0, j - 1)] + scoring.gap_extend)
+            .max(h[idx(0, j - 1)] + scoring.gap_open);
+        h[idx(0, j)] = e[idx(0, j)];
+    }
+    for i in 1..=m {
+        f[idx(i, 0)] =
+            (f[idx(i - 1, 0)] + scoring.gap_extend).max(h[idx(i - 1, 0)] + scoring.gap_open);
+        h[idx(i, 0)] = f[idx(i, 0)];
+        for j in 1..=n {
+            e[idx(i, j)] = (e[idx(i, j - 1)] + scoring.gap_extend)
+                .max(h[idx(i, j - 1)] + scoring.gap_open);
+            f[idx(i, j)] = (f[idx(i - 1, j)] + scoring.gap_extend)
+                .max(h[idx(i - 1, j)] + scoring.gap_open);
+            let diag = h[idx(i - 1, j - 1)] + scoring.subst(s[i - 1], t[j - 1]);
+            h[idx(i, j)] = diag.max(e[idx(i, j)]).max(f[idx(i, j)]);
+        }
+    }
+
+    // Traceback over the three matrices.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Layer {
+        H,
+        E,
+        F,
+    }
+    let (mut i, mut j) = (m, n);
+    let mut layer = Layer::H;
+    let mut rs = Vec::new();
+    let mut rt = Vec::new();
+    while i > 0 || j > 0 {
+        match layer {
+            Layer::H => {
+                let v = h[idx(i, j)];
+                if i > 0
+                    && j > 0
+                    && v == h[idx(i - 1, j - 1)] + scoring.subst(s[i - 1], t[j - 1])
+                {
+                    i -= 1;
+                    j -= 1;
+                    rs.push(s[i]);
+                    rt.push(t[j]);
+                } else if j > 0 && v == e[idx(i, j)] {
+                    layer = Layer::E;
+                } else {
+                    debug_assert!(i > 0 && v == f[idx(i, j)], "broken affine traceback");
+                    layer = Layer::F;
+                }
+            }
+            Layer::E => {
+                rs.push(b'-');
+                rt.push(t[j - 1]);
+                let from_open = h[idx(i, j - 1)] + scoring.gap_open;
+                let v = e[idx(i, j)];
+                j -= 1;
+                if v == from_open {
+                    layer = Layer::H;
+                } // else stay in E (gap extension)
+            }
+            Layer::F => {
+                rs.push(s[i - 1]);
+                rt.push(b'-');
+                let from_open = h[idx(i - 1, j)] + scoring.gap_open;
+                let v = f[idx(i, j)];
+                i -= 1;
+                if v == from_open {
+                    layer = Layer::H;
+                }
+            }
+        }
+    }
+    rs.reverse();
+    rt.reverse();
+    GlobalAlignment {
+        aligned_s: rs,
+        aligned_t: rt,
+        score: h[idx(m, n)],
+    }
+}
+
+/// Best local alignment with affine gaps: full matrix + traceback.
+/// Returns the alignment and region, or `None` when the best score is 0.
+pub fn sw_affine_align(
+    s: &[u8],
+    t: &[u8],
+    scoring: &AffineScoring,
+) -> Option<(GlobalAlignment, LocalRegion)> {
+    scoring.validate();
+    let (best, (ei, ej)) = sw_affine_score(s, t, scoring);
+    if best <= 0 {
+        return None;
+    }
+    // Recover the start with the reverse trick (Observation 6.1 carries
+    // over to affine gaps: reversing both sequences preserves gap runs).
+    let srev: Vec<u8> = s[..ei].iter().rev().copied().collect();
+    let trev: Vec<u8> = t[..ej].iter().rev().copied().collect();
+    let (rbest, (ri, rj)) = sw_affine_score(&srev, &trev, scoring);
+    debug_assert_eq!(rbest, best, "reverse affine score must match");
+    let (i0, j0) = (ei - ri, ej - rj);
+    let alignment = nw_affine_align(&s[i0..ei], &t[j0..ej], scoring);
+    Some((
+        alignment,
+        LocalRegion {
+            s_begin: i0,
+            s_end: ei,
+            t_begin: j0,
+            t_end: ej,
+            score: best,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::sw_score_linear;
+    use crate::matrix::nw_align;
+    use crate::nw::nw_score;
+
+    const PAPER: Scoring = Scoring::paper();
+
+    #[test]
+    fn linear_degenerate_matches_paper_sw() {
+        let aff = AffineScoring::linear(PAPER);
+        let s = b"TCTCGACGGATTAGTATATATATA";
+        let t = b"ATATGATCGGAATAGCTCT";
+        let (best, end) = sw_affine_score(s, t, &aff);
+        let oracle = sw_score_linear(s, t, &PAPER, i32::MAX);
+        assert_eq!(best, oracle.best_score);
+        assert_eq!(end, oracle.best_end);
+    }
+
+    #[test]
+    fn linear_degenerate_matches_paper_nw() {
+        let aff = AffineScoring::linear(PAPER);
+        let s = b"GACGGATTAG";
+        let t = b"GATCGGAATAG";
+        assert_eq!(nw_affine_score(s, t, &aff), nw_score(s, t, &PAPER));
+        let g = nw_affine_align(s, t, &aff);
+        assert_eq!(g.score, nw_align(s, t, &PAPER).score);
+    }
+
+    #[test]
+    fn affine_prefers_one_long_gap_over_scattered_gaps() {
+        // s has one 4-base insertion relative to t. With affine gaps the
+        // whole insertion costs open + 3*extend = -7 instead of -16.
+        let s = b"ACGTACGTAAAAACGTACGT";
+        let t = b"ACGTACGTACGTACGT";
+        let aff = AffineScoring::dna();
+        let g = nw_affine_align(s, t, &aff);
+        assert_eq!(g.score, 16 - 4 - 3); // 16 matches, open -4, 3 extends
+        // The gap is one contiguous run in the t row.
+        let trow = String::from_utf8(g.aligned_t.clone()).unwrap();
+        assert!(trow.contains("----"), "gap should be contiguous: {trow}");
+    }
+
+    #[test]
+    fn gotoh_score_equals_full_matrix_alignment() {
+        let aff = AffineScoring::dna();
+        let s = b"GATTACAGATTACA";
+        let t = b"GATCACAGTTAA";
+        let lin = nw_affine_score(s, t, &aff);
+        let full = nw_affine_align(s, t, &aff);
+        assert_eq!(lin, full.score);
+    }
+
+    #[test]
+    fn traceback_rows_project_to_inputs() {
+        let aff = AffineScoring::dna();
+        let s = b"ACGTTTACGT";
+        let t = b"ACGACGTCGT";
+        let g = nw_affine_align(s, t, &aff);
+        let ps: Vec<u8> = g.aligned_s.iter().copied().filter(|&c| c != b'-').collect();
+        let pt: Vec<u8> = g.aligned_t.iter().copied().filter(|&c| c != b'-').collect();
+        assert_eq!(ps, s);
+        assert_eq!(pt, t);
+    }
+
+    #[test]
+    fn local_affine_finds_planted_repeat() {
+        let mut s = vec![b'A'; 60];
+        let mut t = vec![b'C'; 60];
+        let core = b"GATTACAGGGATTACAG";
+        s[20..20 + core.len()].copy_from_slice(core);
+        t[30..30 + core.len()].copy_from_slice(core);
+        let (g, region) = sw_affine_align(&s, &t, &AffineScoring::dna()).expect("found");
+        assert_eq!(g.score, core.len() as i32);
+        assert_eq!(region.s_begin, 20);
+        assert_eq!(region.t_begin, 30);
+    }
+
+    #[test]
+    fn local_affine_none_when_nothing_aligns() {
+        assert!(sw_affine_align(b"AAAA", b"CCCC", &AffineScoring::dna()).is_none());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let aff = AffineScoring::dna();
+        assert_eq!(nw_affine_score(b"", b"", &aff), 0);
+        assert_eq!(nw_affine_score(b"", b"ACG", &aff), -4 - 2);
+        assert_eq!(sw_affine_score(b"", b"ACG", &aff).0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap penalties")]
+    fn validates_gap_signs() {
+        let bad = AffineScoring {
+            matches: 1,
+            mismatch: -1,
+            gap_open: 0,
+            gap_extend: -1,
+        };
+        let _ = nw_affine_score(b"A", b"A", &bad);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let aff = AffineScoring::dna();
+        let s = b"ACGTGGTACCA";
+        let t = b"TACGTGCAGTA";
+        assert_eq!(
+            sw_affine_score(s, t, &aff).0,
+            sw_affine_score(t, s, &aff).0
+        );
+        assert_eq!(nw_affine_score(s, t, &aff), nw_affine_score(t, s, &aff));
+    }
+}

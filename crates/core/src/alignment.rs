@@ -1,0 +1,317 @@
+//! Result types shared by all strategies.
+//!
+//! Phase 1 (any of the three strategies) produces a queue of
+//! [`LocalRegion`]s — begin/end coordinates of candidate local alignments
+//! plus their score. The queue is post-processed per §4.1: sorted by
+//! subsequence size and stripped of repeated alignments
+//! ([`finalize_queue`]). Phase 2 turns selected regions into full
+//! [`GlobalAlignment`]s.
+
+use std::fmt;
+
+/// A candidate local alignment: coordinates into `s` and `t` (0-based,
+/// half-open: `s[s_begin..s_end]` aligns with `t[t_begin..t_end]`) and the
+/// score reached at its end point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalRegion {
+    /// Start offset in `s` (inclusive).
+    pub s_begin: usize,
+    /// End offset in `s` (exclusive).
+    pub s_end: usize,
+    /// Start offset in `t` (inclusive).
+    pub t_begin: usize,
+    /// End offset in `t` (exclusive).
+    pub t_end: usize,
+    /// Alignment score at the end point.
+    pub score: i32,
+}
+
+impl LocalRegion {
+    /// The "subsequence size" used to sort the queue (§4.1): the larger of
+    /// the two projected lengths.
+    pub fn size(&self) -> usize {
+        self.s_len().max(self.t_len())
+    }
+
+    /// Length of the `s` projection.
+    pub fn s_len(&self) -> usize {
+        self.s_end.saturating_sub(self.s_begin)
+    }
+
+    /// Length of the `t` projection.
+    pub fn t_len(&self) -> usize {
+        self.t_end.saturating_sub(self.t_begin)
+    }
+
+    /// Whether the two regions overlap in both projections.
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.s_begin < other.s_end
+            && other.s_begin < self.s_end
+            && self.t_begin < other.t_end
+            && other.t_begin < self.t_end
+    }
+
+    /// Whether `other` is completely contained in `self` in both
+    /// projections.
+    pub fn contains(&self, other: &Self) -> bool {
+        self.s_begin <= other.s_begin
+            && other.s_end <= self.s_end
+            && self.t_begin <= other.t_begin
+            && other.t_end <= self.t_end
+    }
+
+    /// 1-based inclusive coordinates, the convention the paper's tables
+    /// use, as `((s_begin, t_begin), (s_end, t_end))`.
+    pub fn paper_coords(&self) -> ((usize, usize), (usize, usize)) {
+        (
+            (self.s_begin + 1, self.t_begin + 1),
+            (self.s_end, self.t_end),
+        )
+    }
+}
+
+impl fmt::Display for LocalRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ((sb, tb), (se, te)) = self.paper_coords();
+        write!(
+            f,
+            "begin ({sb},{tb}) end ({se},{te}) score {}",
+            self.score
+        )
+    }
+}
+
+/// A fully rendered alignment of two (sub)sequences: the two rows with `-`
+/// in gap positions, plus the score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalAlignment {
+    /// The `s` row, with `b'-'` for spaces.
+    pub aligned_s: Vec<u8>,
+    /// The `t` row, with `b'-'` for spaces.
+    pub aligned_t: Vec<u8>,
+    /// Total column score.
+    pub score: i32,
+}
+
+impl GlobalAlignment {
+    /// Number of alignment columns.
+    pub fn columns(&self) -> usize {
+        self.aligned_s.len()
+    }
+
+    /// Counts `(matches, mismatches, spaces)` over the columns.
+    pub fn column_stats(&self) -> (usize, usize, usize) {
+        let mut m = 0;
+        let mut x = 0;
+        let mut g = 0;
+        for (&a, &b) in self.aligned_s.iter().zip(&self.aligned_t) {
+            if a == b'-' || b == b'-' {
+                g += 1;
+            } else if a == b {
+                m += 1;
+            } else {
+                x += 1;
+            }
+        }
+        (m, x, g)
+    }
+
+    /// Recomputes the score from the columns under `scoring`; used by tests
+    /// to validate that `score` is consistent with the rendered rows.
+    pub fn recompute_score(&self, scoring: &crate::scoring::Scoring) -> i32 {
+        let (m, x, g) = self.column_stats();
+        m as i32 * scoring.matches + x as i32 * scoring.mismatch + g as i32 * scoring.gap
+    }
+
+    /// Renders the alignment as two lines with a match/mismatch marker line
+    /// between them, in blocks of `width` columns.
+    pub fn pretty(&self, width: usize) -> String {
+        let width = width.max(1);
+        let mut out = String::new();
+        let n = self.columns();
+        let mut pos = 0;
+        while pos < n {
+            let end = (pos + width).min(n);
+            let srow = &self.aligned_s[pos..end];
+            let trow = &self.aligned_t[pos..end];
+            out.push_str(std::str::from_utf8(srow).expect("ASCII"));
+            out.push('\n');
+            for (&a, &b) in srow.iter().zip(trow) {
+                out.push(if a == b && a != b'-' { '|' } else { ' ' });
+            }
+            out.push('\n');
+            out.push_str(std::str::from_utf8(trow).expect("ASCII"));
+            out.push('\n');
+            pos = end;
+            if pos < n {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Post-processes a phase-1 queue per §4.1: sorts by subsequence size
+/// (largest first, then by coordinates for determinism) and removes
+/// repeated alignments. An alignment is "repeated" if an earlier (larger
+/// or equal) entry contains it in both projections — exact duplicates are
+/// the degenerate case.
+pub fn finalize_queue(queue: Vec<LocalRegion>) -> Vec<LocalRegion> {
+    // Candidate metadata spreads cell by cell, so one alignment produces a
+    // cone of descendants that each close separately — all sharing the
+    // begin coordinates. Collapse by begin point first (keep the best
+    // score, then the widest extent); this makes the quadratic
+    // containment pass below tractable on real workloads.
+    let mut by_begin: std::collections::HashMap<(usize, usize), LocalRegion> =
+        std::collections::HashMap::with_capacity(queue.len().min(1 << 16));
+    for r in queue {
+        by_begin
+            .entry((r.s_begin, r.t_begin))
+            .and_modify(|best| {
+                let better = r.score > best.score
+                    || (r.score == best.score && r.size() > best.size())
+                    || (r.score == best.score
+                        && r.size() == best.size()
+                        && (r.s_end, r.t_end) < (best.s_end, best.t_end));
+                if better {
+                    *best = r;
+                }
+            })
+            .or_insert(r);
+    }
+    let mut queue: Vec<LocalRegion> = by_begin.into_values().collect();
+    // Total order: size, then perimeter, then coordinates. If A strictly
+    // contains B, A has at least B's size and a strictly larger perimeter,
+    // so A is processed first — the dedup result is independent of the
+    // input order (serial and parallel runs assemble the queue in
+    // different orders and must agree).
+    queue.sort_by(|a, b| {
+        b.size()
+            .cmp(&a.size())
+            .then((b.s_len() + b.t_len()).cmp(&(a.s_len() + a.t_len())))
+            .then(a.s_begin.cmp(&b.s_begin))
+            .then(a.t_begin.cmp(&b.t_begin))
+            .then(a.s_end.cmp(&b.s_end))
+            .then(a.t_end.cmp(&b.t_end))
+            .then(b.score.cmp(&a.score))
+    });
+    let mut kept: Vec<LocalRegion> = Vec::with_capacity(queue.len());
+    for r in queue {
+        if !kept.iter().any(|k| k.contains(&r)) {
+            kept.push(r);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(sb: usize, se: usize, tb: usize, te: usize, score: i32) -> LocalRegion {
+        LocalRegion {
+            s_begin: sb,
+            s_end: se,
+            t_begin: tb,
+            t_end: te,
+            score,
+        }
+    }
+
+    #[test]
+    fn size_is_max_projection() {
+        assert_eq!(region(0, 10, 5, 12, 3).size(), 10);
+        assert_eq!(region(0, 3, 5, 12, 3).size(), 7);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = region(0, 10, 0, 10, 1);
+        assert!(a.overlaps(&region(5, 15, 5, 15, 1)));
+        assert!(!a.overlaps(&region(10, 20, 0, 10, 1))); // touching, half-open
+        assert!(!a.overlaps(&region(5, 15, 20, 30, 1))); // only s overlaps
+    }
+
+    #[test]
+    fn containment() {
+        let outer = region(0, 100, 0, 100, 5);
+        assert!(outer.contains(&region(10, 20, 10, 20, 2)));
+        assert!(outer.contains(&outer));
+        assert!(!region(10, 20, 10, 20, 2).contains(&outer));
+    }
+
+    #[test]
+    fn paper_coords_are_one_based_inclusive() {
+        let r = region(4, 14, 4, 15, 6); // the Fig. 1 alignment
+        assert_eq!(r.paper_coords(), ((5, 5), (14, 15)));
+    }
+
+    #[test]
+    fn finalize_sorts_by_size_desc() {
+        let q = vec![
+            region(0, 5, 0, 5, 1),
+            region(10, 30, 10, 30, 2),
+            region(40, 50, 40, 50, 3),
+        ];
+        let out = finalize_queue(q);
+        assert_eq!(out[0].size(), 20);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn finalize_removes_exact_duplicates() {
+        let r = region(1, 9, 1, 9, 4);
+        let out = finalize_queue(vec![r, r, r]);
+        assert_eq!(out, vec![r]);
+    }
+
+    #[test]
+    fn finalize_removes_contained_regions() {
+        let big = region(0, 100, 0, 100, 9);
+        let small = region(10, 20, 10, 20, 3);
+        let out = finalize_queue(vec![small, big]);
+        assert_eq!(out, vec![big]);
+    }
+
+    #[test]
+    fn finalize_keeps_partial_overlaps() {
+        let a = region(0, 10, 0, 10, 2);
+        let b = region(5, 15, 5, 15, 2);
+        let out = finalize_queue(vec![a, b]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn global_alignment_stats_and_score() {
+        // The Fig. 1 alignment: GA-CGGATTAG / GATCGGAATAG, score 6.
+        let g = GlobalAlignment {
+            aligned_s: b"GA-CGGATTAG".to_vec(),
+            aligned_t: b"GATCGGAATAG".to_vec(),
+            score: 6,
+        };
+        assert_eq!(g.column_stats(), (9, 1, 1));
+        assert_eq!(g.recompute_score(&crate::scoring::Scoring::paper()), 6);
+    }
+
+    #[test]
+    fn pretty_renders_marker_line() {
+        let g = GlobalAlignment {
+            aligned_s: b"AC-G".to_vec(),
+            aligned_t: b"ACTG".to_vec(),
+            score: 0,
+        };
+        let p = g.pretty(80);
+        assert_eq!(p, "AC-G\n|| |\nACTG\n");
+    }
+
+    #[test]
+    fn pretty_wraps_blocks() {
+        let g = GlobalAlignment {
+            aligned_s: b"AAAA".to_vec(),
+            aligned_t: b"AAAA".to_vec(),
+            score: 4,
+        };
+        let p = g.pretty(2);
+        assert_eq!(p.matches("||").count(), 2);
+    }
+}

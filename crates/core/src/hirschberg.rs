@@ -1,0 +1,132 @@
+//! Hirschberg's linear-space global alignment.
+//!
+//! §6 of the paper: "when, after detecting an alignment position, the
+//! required space for building the alignment is small (that is, n′ is
+//! small) one can apply Hirschberg's general method to compute it in
+//! linear space while only doubling the worst-case time bound". This is
+//! that method: divide `s` in half, find the column where an optimal path
+//! crosses the midline by combining a forward last-row pass with a
+//! backward last-row pass over the reversed halves, and recurse.
+
+use crate::alignment::GlobalAlignment;
+use crate::linear::nw_last_row;
+use crate::matrix::nw_align;
+use crate::scoring::Scoring;
+
+/// Global alignment of `s` and `t` in O(min) space, same score as
+/// [`nw_align`].
+pub fn hirschberg_align(s: &[u8], t: &[u8], scoring: &Scoring) -> GlobalAlignment {
+    let mut aligned_s = Vec::with_capacity(s.len() + t.len() / 8);
+    let mut aligned_t = Vec::with_capacity(t.len() + s.len() / 8);
+    rec(s, t, scoring, &mut aligned_s, &mut aligned_t);
+    let score = GlobalAlignment {
+        aligned_s,
+        aligned_t,
+        score: 0,
+    };
+    let total = score.recompute_score(scoring);
+    GlobalAlignment {
+        score: total,
+        ..score
+    }
+}
+
+fn rec(s: &[u8], t: &[u8], scoring: &Scoring, out_s: &mut Vec<u8>, out_t: &mut Vec<u8>) {
+    if s.len() <= 1 || t.len() <= 1 {
+        // Base case: solve directly with the full matrix (at most 2 rows
+        // or 2 columns, so the "full" matrix is already linear).
+        let g = nw_align(s, t, scoring);
+        out_s.extend_from_slice(&g.aligned_s);
+        out_t.extend_from_slice(&g.aligned_t);
+        return;
+    }
+    let mid = s.len() / 2;
+    let (s_top, s_bot) = s.split_at(mid);
+
+    // Forward scores: best alignment of s_top against t[..j].
+    let fwd = nw_last_row(s_top, t, scoring);
+    // Backward scores: best alignment of reversed s_bot against reversed
+    // t[j..].
+    let s_bot_rev: Vec<u8> = s_bot.iter().rev().copied().collect();
+    let t_rev: Vec<u8> = t.iter().rev().copied().collect();
+    let bwd = nw_last_row(&s_bot_rev, &t_rev, scoring);
+
+    // Choose the split column maximizing fwd[j] + bwd[n - j].
+    let n = t.len();
+    let mut best_j = 0;
+    let mut best = i64::MIN;
+    for j in 0..=n {
+        let v = fwd[j] as i64 + bwd[n - j] as i64;
+        if v > best {
+            best = v;
+            best_j = j;
+        }
+    }
+    rec(s_top, &t[..best_j], scoring, out_s, out_t);
+    rec(s_bot, &t[best_j..], scoring, out_s, out_t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SC: Scoring = Scoring::paper();
+
+    #[test]
+    fn matches_full_matrix_on_fig1() {
+        let s = b"GACGGATTAG";
+        let t = b"GATCGGAATAG";
+        let h = hirschberg_align(s, t, &SC);
+        let f = nw_align(s, t, &SC);
+        assert_eq!(h.score, f.score);
+        assert_eq!(h.score, 6);
+    }
+
+    #[test]
+    fn projections_reproduce_inputs() {
+        let s = b"ATAGCT";
+        let t = b"GATATGCA";
+        let h = hirschberg_align(s, t, &SC);
+        let ps: Vec<u8> = h.aligned_s.iter().copied().filter(|&c| c != b'-').collect();
+        let pt: Vec<u8> = h.aligned_t.iter().copied().filter(|&c| c != b'-').collect();
+        assert_eq!(ps, s);
+        assert_eq!(pt, t);
+    }
+
+    #[test]
+    fn score_field_is_consistent_with_columns() {
+        let s = b"ACGTTGCA";
+        let t = b"AGTTCA";
+        let h = hirschberg_align(s, t, &SC);
+        assert_eq!(h.score, h.recompute_score(&SC));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(hirschberg_align(b"", b"", &SC).columns(), 0);
+        let h = hirschberg_align(b"ACG", b"", &SC);
+        assert_eq!(h.aligned_t, b"---".to_vec());
+        assert_eq!(h.score, -6);
+        let h = hirschberg_align(b"", b"ACG", &SC);
+        assert_eq!(h.aligned_s, b"---".to_vec());
+    }
+
+    #[test]
+    fn single_characters() {
+        let h = hirschberg_align(b"A", b"A", &SC);
+        assert_eq!(h.score, 1);
+        let h = hirschberg_align(b"A", b"C", &SC);
+        assert_eq!(h.score, -1);
+    }
+
+    #[test]
+    fn longer_sequences_match_full_matrix_score() {
+        // Deterministic pseudo-random pair, long enough to recurse deeply.
+        let s: Vec<u8> = (0..257u32).map(|i| b"ACGT"[(i.wrapping_mul(2654435761) >> 28) as usize % 4]).collect();
+        let t: Vec<u8> = (0..301u32).map(|i| b"ACGT"[(i.wrapping_mul(40503) >> 12) as usize % 4]).collect();
+        let h = hirschberg_align(&s, &t, &SC);
+        let f = nw_align(&s, &t, &SC);
+        assert_eq!(h.score, f.score);
+        assert_eq!(h.score, h.recompute_score(&SC));
+    }
+}

@@ -1,0 +1,192 @@
+//! Linear-space Smith–Waterman scoring (§4.1, opening paragraphs).
+//!
+//! "It is possible to simulate the filling of the original bi-dimensional
+//! array using only two rows of memory, because in order to compute entry
+//! `A[i,j]` we require only the values of `A[i−1,j]`, `A[i−1,j−1]` and
+//! `A[i,j−1]`." Space complexity O(n), time O(n²).
+//!
+//! This module provides the plain-score version (no candidate-alignment
+//! metadata): it finds the best score and its end point, optionally every
+//! end point over a threshold, and counts threshold hits — which is exactly
+//! the information the pre-process strategy (§5) keeps.
+
+use crate::scoring::Scoring;
+
+/// Result of a linear-space SW pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearSwResult {
+    /// Best score in the whole (virtual) array.
+    pub best_score: i32,
+    /// End point of the best score: `(i, j)` with `i` over `s`, `j` over
+    /// `t`, 0-based *matrix* coordinates (so `i ∈ 1..=|s|` when the best
+    /// score is positive; `(0, 0)` when everything scored zero).
+    pub best_end: (usize, usize),
+    /// Number of cells whose score was `>= threshold` (the pre-process
+    /// strategy's "hit" count).
+    pub hits: u64,
+}
+
+/// Runs the SW recurrence over `s` (rows) and `t` (columns) keeping two
+/// rows, returning the best score, its end point, and the number of cells
+/// scoring at least `threshold`.
+pub fn sw_score_linear(s: &[u8], t: &[u8], scoring: &Scoring, threshold: i32) -> LinearSwResult {
+    let n = t.len();
+    let mut prev = vec![0i32; n + 1];
+    let mut cur = vec![0i32; n + 1];
+    let mut best = LinearSwResult {
+        best_score: 0,
+        best_end: (0, 0),
+        hits: 0,
+    };
+    for (i, &sc) in s.iter().enumerate() {
+        cur[0] = 0;
+        for j in 1..=n {
+            let diag = prev[j - 1] + scoring.subst(sc, t[j - 1]);
+            let up = prev[j] + scoring.gap;
+            let left = cur[j - 1] + scoring.gap;
+            let v = diag.max(up).max(left).max(0);
+            cur[j] = v;
+            if v >= threshold && threshold > 0 {
+                best.hits += 1;
+            }
+            if v > best.best_score {
+                best.best_score = v;
+                best.best_end = (i + 1, j);
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// All end points whose score is at least `min_score`, as
+/// `(i, j, score)` in matrix coordinates. This is the "detected alignments
+/// of desired score" input to the Section-6 reverse pass (Algorithm 1,
+/// line 2). Overlapping end points on the same diagonal are kept — the
+/// caller deduplicates after start recovery.
+pub fn sw_ends_over(s: &[u8], t: &[u8], scoring: &Scoring, min_score: i32) -> Vec<(usize, usize, i32)> {
+    assert!(min_score > 0, "min_score must be positive for local ends");
+    let n = t.len();
+    let mut prev = vec![0i32; n + 1];
+    let mut cur = vec![0i32; n + 1];
+    let mut ends = Vec::new();
+    for (i, &sc) in s.iter().enumerate() {
+        cur[0] = 0;
+        for j in 1..=n {
+            let diag = prev[j - 1] + scoring.subst(sc, t[j - 1]);
+            let up = prev[j] + scoring.gap;
+            let left = cur[j - 1] + scoring.gap;
+            let v = diag.max(up).max(left).max(0);
+            cur[j] = v;
+            if v >= min_score {
+                ends.push((i + 1, j, v));
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    ends
+}
+
+/// One row of the global-alignment (NW) score array in linear space:
+/// returns row `|s|` of the `nw_matrix(s, t)` array. This is the
+/// building block of Hirschberg's divide-and-conquer.
+pub fn nw_last_row(s: &[u8], t: &[u8], scoring: &Scoring) -> Vec<i32> {
+    let n = t.len();
+    let mut prev: Vec<i32> = (0..=n as i32).map(|j| j * scoring.gap).collect();
+    let mut cur = vec![0i32; n + 1];
+    for &sc in s {
+        cur[0] = prev[0] + scoring.gap;
+        for j in 1..=n {
+            let diag = prev[j - 1] + scoring.subst(sc, t[j - 1]);
+            let up = prev[j] + scoring.gap;
+            let left = cur[j - 1] + scoring.gap;
+            cur[j] = diag.max(up).max(left);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{nw_matrix, sw_matrix};
+
+    const SC: Scoring = Scoring::paper();
+
+    #[test]
+    fn linear_matches_full_matrix_best() {
+        let s = b"TCTCGACGGATTAGTATATATATA";
+        let t = b"ATATGATCGGAATAGCTCT";
+        let full = sw_matrix(s, t, &SC);
+        let (i, j, best) = full.maximum();
+        let lin = sw_score_linear(s, t, &SC, 1);
+        assert_eq!(lin.best_score, best);
+        assert_eq!(lin.best_end, (i, j));
+        assert_eq!(best, 6);
+    }
+
+    #[test]
+    fn hit_count_matches_full_matrix() {
+        let s = b"GACGGATTAG";
+        let t = b"GATCGGAATAG";
+        for threshold in 1..=6 {
+            let full = sw_matrix(s, t, &SC).cells_at_least(threshold).len() as u64;
+            let lin = sw_score_linear(s, t, &SC, threshold);
+            assert_eq!(lin.hits, full, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn empty_sequences_score_zero() {
+        let r = sw_score_linear(b"", b"ACGT", &SC, 1);
+        assert_eq!(r.best_score, 0);
+        assert_eq!(r.hits, 0);
+        let r = sw_score_linear(b"ACGT", b"", &SC, 1);
+        assert_eq!(r.best_score, 0);
+    }
+
+    #[test]
+    fn identical_sequences_score_is_length() {
+        let r = sw_score_linear(b"ACGTACGT", b"ACGTACGT", &SC, 1);
+        assert_eq!(r.best_score, 8);
+        assert_eq!(r.best_end, (8, 8));
+    }
+
+    #[test]
+    fn ends_over_includes_best_end() {
+        let s = b"TCTCGACGGATTAGTATATATATA";
+        let t = b"ATATGATCGGAATAGCTCT";
+        let ends = sw_ends_over(s, t, &SC, 6);
+        assert!(ends.contains(&(14, 15, 6)));
+        // Every reported end's score really is >= 6 per the oracle.
+        let full = sw_matrix(s, t, &SC);
+        for &(i, j, v) in &ends {
+            assert_eq!(full.get(i, j), v);
+            assert!(v >= 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_score")]
+    fn ends_over_rejects_nonpositive_threshold() {
+        let _ = sw_ends_over(b"A", b"A", &SC, 0);
+    }
+
+    #[test]
+    fn nw_last_row_matches_full_matrix() {
+        let s = b"ATAGCT";
+        let t = b"GATATGCA";
+        let full = nw_matrix(s, t, &SC);
+        let row = nw_last_row(s, t, &SC);
+        for j in 0..=t.len() {
+            assert_eq!(row[j], full.get(s.len(), j), "column {j}");
+        }
+    }
+
+    #[test]
+    fn nw_last_row_empty_s_is_gap_ramp() {
+        let row = nw_last_row(b"", b"ACG", &SC);
+        assert_eq!(row, vec![0, -2, -4, -6]);
+    }
+}

@@ -1,0 +1,446 @@
+//! The full O(m·n)-space similarity array of §2.1–2.3, with traceback
+//! arrows (Figs. 3–4).
+//!
+//! Rows are indexed by `s` (`i ∈ 0..=m`), columns by `t` (`j ∈ 0..=n`).
+//! Cell `(i, j)` holds `sim(s[1..i], t[1..j])`. Arrows record where the
+//! maximum came from:
+//!
+//! * **west** (`LEFT`, from `(i, j−1)`) — a space in `s` matching `t[j]`;
+//! * **north** (`UP`, from `(i−1, j)`) — `s[i]` matching a space in `t`;
+//! * **north-west** (`DIAG`) — `s[i]` matching `t[j]`.
+//!
+//! This module exists for small inputs (retrieving actual alignments) and
+//! as the oracle the linear-space and parallel implementations are tested
+//! against. The quadratic memory is exactly what the paper's strategies
+//! are designed to avoid.
+
+use crate::alignment::{GlobalAlignment, LocalRegion};
+use crate::scoring::Scoring;
+
+/// Arrow bit: the cell value came from the north-west neighbour.
+pub const DIAG: u8 = 0b001;
+/// Arrow bit: the cell value came from the north neighbour (gap in `t`).
+pub const UP: u8 = 0b010;
+/// Arrow bit: the cell value came from the west neighbour (gap in `s`).
+pub const LEFT: u8 = 0b100;
+
+/// A dense `(m+1) × (n+1)` similarity array with arrows.
+#[derive(Debug, Clone)]
+pub struct DpMatrix {
+    m: usize,
+    n: usize,
+    score: Vec<i32>,
+    dir: Vec<u8>,
+}
+
+impl DpMatrix {
+    /// Number of rows minus one (= `|s|`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns minus one (= `|t|`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Score at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i32 {
+        self.score[i * (self.n + 1) + j]
+    }
+
+    /// Arrow bits at `(i, j)` (union of [`DIAG`], [`UP`], [`LEFT`]).
+    #[inline]
+    pub fn arrows(&self, i: usize, j: usize) -> u8 {
+        self.dir[i * (self.n + 1) + j]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, v: i32, d: u8) {
+        let idx = i * (self.n + 1) + j;
+        self.score[idx] = v;
+        self.dir[idx] = d;
+    }
+
+    /// Position and value of the array maximum (first occurrence in
+    /// row-major order). For SW this is the end point of a best local
+    /// alignment.
+    pub fn maximum(&self) -> (usize, usize, i32) {
+        let mut best = (0, 0, i32::MIN);
+        for i in 0..=self.m {
+            for j in 0..=self.n {
+                let v = self.get(i, j);
+                if v > best.2 {
+                    best = (i, j, v);
+                }
+            }
+        }
+        best
+    }
+
+    /// All cells whose score is `>= threshold`, as `(i, j, score)`.
+    pub fn cells_at_least(&self, threshold: i32) -> Vec<(usize, usize, i32)> {
+        let mut out = Vec::new();
+        for i in 0..=self.m {
+            for j in 0..=self.n {
+                let v = self.get(i, j);
+                if v >= threshold {
+                    out.push((i, j, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the local-alignment (Smith–Waterman) array of §2.1: first row and
+/// column are zero and every entry is clamped at zero (Eq. 1).
+pub fn sw_matrix(s: &[u8], t: &[u8], scoring: &Scoring) -> DpMatrix {
+    let (m, n) = (s.len(), t.len());
+    let mut a = DpMatrix {
+        m,
+        n,
+        score: vec![0; (m + 1) * (n + 1)],
+        dir: vec![0; (m + 1) * (n + 1)],
+    };
+    for i in 1..=m {
+        for j in 1..=n {
+            let diag = a.get(i - 1, j - 1) + scoring.subst(s[i - 1], t[j - 1]);
+            let up = a.get(i - 1, j) + scoring.gap;
+            let left = a.get(i, j - 1) + scoring.gap;
+            let best = diag.max(up).max(left).max(0);
+            let mut d = 0u8;
+            if best > 0 {
+                if diag == best {
+                    d |= DIAG;
+                }
+                if up == best {
+                    d |= UP;
+                }
+                if left == best {
+                    d |= LEFT;
+                }
+            }
+            a.set(i, j, best, d);
+        }
+    }
+    a
+}
+
+/// Builds the global-alignment (Needleman–Wunsch) array of §2.3: negative
+/// values allowed, first row and column filled with the gap penalty
+/// (Fig. 4).
+pub fn nw_matrix(s: &[u8], t: &[u8], scoring: &Scoring) -> DpMatrix {
+    let (m, n) = (s.len(), t.len());
+    let mut a = DpMatrix {
+        m,
+        n,
+        score: vec![0; (m + 1) * (n + 1)],
+        dir: vec![0; (m + 1) * (n + 1)],
+    };
+    for i in 1..=m {
+        a.set(i, 0, i as i32 * scoring.gap, UP);
+    }
+    for j in 1..=n {
+        a.set(0, j, j as i32 * scoring.gap, LEFT);
+    }
+    for i in 1..=m {
+        for j in 1..=n {
+            let diag = a.get(i - 1, j - 1) + scoring.subst(s[i - 1], t[j - 1]);
+            let up = a.get(i - 1, j) + scoring.gap;
+            let left = a.get(i, j - 1) + scoring.gap;
+            let best = diag.max(up).max(left);
+            let mut d = 0u8;
+            if diag == best {
+                d |= DIAG;
+            }
+            if up == best {
+                d |= UP;
+            }
+            if left == best {
+                d |= LEFT;
+            }
+            a.set(i, j, best, d);
+        }
+    }
+    a
+}
+
+/// Follows arrows from `(i, j)` back to a cell with no arrow (or, for SW, a
+/// zero cell), building the alignment right to left (§2.2). Arrow
+/// preference when several are present: `DIAG`, then `UP`, then `LEFT`
+/// (deterministic; any choice yields an optimal alignment).
+///
+/// Returns the alignment plus the start cell `(i0, j0)`.
+pub fn traceback(
+    a: &DpMatrix,
+    s: &[u8],
+    t: &[u8],
+    mut i: usize,
+    mut j: usize,
+) -> (GlobalAlignment, (usize, usize)) {
+    let score = a.get(i, j);
+    let mut rs = Vec::new();
+    let mut rt = Vec::new();
+    loop {
+        let d = a.arrows(i, j);
+        if d == 0 {
+            break;
+        }
+        if d & DIAG != 0 {
+            i -= 1;
+            j -= 1;
+            rs.push(s[i]);
+            rt.push(t[j]);
+        } else if d & UP != 0 {
+            i -= 1;
+            rs.push(s[i]);
+            rt.push(b'-');
+        } else {
+            j -= 1;
+            rs.push(b'-');
+            rt.push(t[j]);
+        }
+    }
+    rs.reverse();
+    rt.reverse();
+    (
+        GlobalAlignment {
+            aligned_s: rs,
+            aligned_t: rt,
+            score,
+        },
+        (i, j),
+    )
+}
+
+/// Computes the best local alignment of `s` and `t` by the full-matrix
+/// method: build the SW array, find the maximum, trace back. Returns the
+/// alignment and its region coordinates.
+pub fn sw_align(s: &[u8], t: &[u8], scoring: &Scoring) -> (GlobalAlignment, LocalRegion) {
+    let a = sw_matrix(s, t, scoring);
+    let (ei, ej, score) = a.maximum();
+    let (alignment, (bi, bj)) = traceback(&a, s, t, ei, ej);
+    (
+        alignment,
+        LocalRegion {
+            s_begin: bi,
+            s_end: ei,
+            t_begin: bj,
+            t_end: ej,
+            score,
+        },
+    )
+}
+
+/// Computes the global alignment of `s` and `t` by the full-matrix method.
+pub fn nw_align(s: &[u8], t: &[u8], scoring: &Scoring) -> GlobalAlignment {
+    let a = nw_matrix(s, t, scoring);
+    let (alignment, start) = traceback(&a, s, t, s.len(), t.len());
+    debug_assert_eq!(start, (0, 0), "global traceback must reach the origin");
+    alignment
+}
+
+/// Renders the similarity array as text (rows = `s`, columns = `t`),
+/// mirroring the layout of the paper's Figs. 3–4 for small examples.
+pub fn render(a: &DpMatrix, s: &[u8], t: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("      ");
+    for &c in t {
+        let _ = write!(out, "{:>4}", c as char);
+    }
+    out.push('\n');
+    for i in 0..=a.m() {
+        if i == 0 {
+            out.push_str("  ");
+        } else {
+            let _ = write!(out, "{} ", s[i - 1] as char);
+        }
+        for j in 0..=a.n() {
+            let _ = write!(out, "{:>4}", a.get(i, j));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SC: Scoring = Scoring::paper();
+
+    /// §2.1's example: s = ATAGCT, t = GATATGCA. The array's maximum is the
+    /// best local alignment score.
+    #[test]
+    fn fig3_example_best_local_score() {
+        let s = b"ATAGCT";
+        let t = b"GATATGCA";
+        let a = sw_matrix(s, t, &SC);
+        let (_, _, best) = a.maximum();
+        // Best local alignment score is 3: e.g. s[1..5] = ATA-GC against
+        // t[2..7] = ATATGC (5 matches, 1 space). The paper states the best
+        // value appears at A[7,5] with rows indexed by t — (i=5, j=7) in
+        // our (s, t) orientation. Score 3 is also reached earlier in
+        // row-major order (ATA against ATA at (3,4)), so check the paper's
+        // cell holds the maximum rather than where `maximum()` lands.
+        assert_eq!(best, 3);
+        assert_eq!(a.get(5, 7), 3);
+    }
+
+    #[test]
+    fn sw_first_row_and_column_zero() {
+        let a = sw_matrix(b"ACGT", b"TGCA", &SC);
+        for i in 0..=4 {
+            assert_eq!(a.get(i, 0), 0);
+            assert_eq!(a.get(0, i), 0);
+        }
+    }
+
+    #[test]
+    fn sw_never_negative() {
+        let a = sw_matrix(b"AAAA", b"TTTT", &SC);
+        for i in 0..=4 {
+            for j in 0..=4 {
+                assert!(a.get(i, j) >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn nw_borders_are_gap_multiples() {
+        let a = nw_matrix(b"ATAGCT", b"GATATGCA", &SC);
+        for i in 0..=6 {
+            assert_eq!(a.get(i, 0), -2 * i as i32);
+        }
+        for j in 0..=8 {
+            assert_eq!(a.get(0, j), -2 * j as i32);
+        }
+    }
+
+    /// Fig. 1: aligning s = GACGGATTAG and t = GATCGGAATAG globally gives
+    /// score 6 (nine matches, one mismatch, one space).
+    #[test]
+    fn fig1_global_alignment_score() {
+        let g = nw_align(b"GACGGATTAG", b"GATCGGAATAG", &SC);
+        assert_eq!(g.score, 6);
+        let (m, x, gaps) = g.column_stats();
+        assert_eq!(m, 9);
+        assert_eq!(x, 1);
+        assert_eq!(gaps, 1);
+        assert_eq!(g.recompute_score(&SC), 6);
+    }
+
+    /// §6's worked example: the SW maximum is 6, "finishing at positions 14
+    /// and 15 of s and t" (1-based), where s and t are the Table 5 strings.
+    #[test]
+    fn table5_example_score_and_end() {
+        let s = b"TCTCGACGGATTAGTATATATATA";
+        let t = b"ATATGATCGGAATAGCTCT";
+        let a = sw_matrix(s, t, &SC);
+        let (i, j, best) = a.maximum();
+        assert_eq!(best, 6);
+        assert_eq!((i, j), (14, 15));
+    }
+
+    /// Tracing back from the Table 5 end point yields an optimal local
+    /// alignment of score 6. The paper's Fig. 1 renders the longer variant
+    /// GA-CGGATTAG / GATCGGAATAG starting at (5, 5); our DIAG-first
+    /// traceback stops at the first zero cell, giving the equally optimal
+    /// *minimal-length* variant CGGATTAG / CGGAATAG starting at (7, 8)
+    /// (1-based) — the Theorem-6.2 "maximal positions" choice.
+    #[test]
+    fn table5_traceback_matches_fig1() {
+        let s = b"TCTCGACGGATTAGTATATATATA";
+        let t = b"ATATGATCGGAATAGCTCT";
+        let a = sw_matrix(s, t, &SC);
+        let (g, (bi, bj)) = traceback(&a, s, t, 14, 15);
+        assert_eq!(g.score, 6);
+        assert_eq!((bi, bj), (6, 7)); // covers s[7..14], t[8..15] 1-based
+        assert_eq!(g.column_stats(), (7, 1, 0));
+        assert_eq!(g.recompute_score(&SC), 6);
+    }
+
+    #[test]
+    fn sw_align_returns_consistent_region() {
+        let (g, r) = sw_align(b"TCTCGACGGATTAGTATATATATA", b"ATATGATCGGAATAGCTCT", &SC);
+        assert_eq!(r.score, 6);
+        assert_eq!((r.s_end, r.t_end), (14, 15));
+        assert_eq!((r.s_begin, r.t_begin), (6, 7));
+        // The rendered rows must project onto exactly the region.
+        let s_chars = g.aligned_s.iter().filter(|&&c| c != b'-').count();
+        let t_chars = g.aligned_t.iter().filter(|&&c| c != b'-').count();
+        assert_eq!(s_chars, r.s_len());
+        assert_eq!(t_chars, r.t_len());
+    }
+
+    #[test]
+    fn nw_identical_sequences() {
+        let g = nw_align(b"ACGTACGT", b"ACGTACGT", &SC);
+        assert_eq!(g.score, 8);
+        assert_eq!(g.column_stats(), (8, 0, 0));
+    }
+
+    #[test]
+    fn nw_empty_vs_nonempty_is_all_gaps() {
+        let g = nw_align(b"", b"ACG", &SC);
+        assert_eq!(g.score, -6);
+        assert_eq!(g.aligned_s, b"---".to_vec());
+        assert_eq!(g.aligned_t, b"ACG".to_vec());
+    }
+
+    #[test]
+    fn nw_both_empty() {
+        let g = nw_align(b"", b"", &SC);
+        assert_eq!(g.score, 0);
+        assert_eq!(g.columns(), 0);
+    }
+
+    #[test]
+    fn sw_empty_inputs() {
+        let (g, r) = sw_align(b"", b"ACGT", &SC);
+        assert_eq!(g.score, 0);
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn symmetry_of_best_score() {
+        let s = b"GACGGATTAG";
+        let t = b"GATCGGAATAG";
+        let a = sw_matrix(s, t, &SC).maximum().2;
+        let b = sw_matrix(t, s, &SC).maximum().2;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arrows_present_only_on_positive_sw_cells() {
+        let a = sw_matrix(b"ACGT", b"ACGT", &SC);
+        for i in 0..=4 {
+            for j in 0..=4 {
+                if a.get(i, j) == 0 {
+                    assert_eq!(a.arrows(i, j), 0);
+                } else {
+                    assert_ne!(a.arrows(i, j), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_sequences_and_scores() {
+        let a = sw_matrix(b"AC", b"AG", &SC);
+        let txt = render(&a, b"AC", b"AG");
+        assert!(txt.contains('A'));
+        assert!(txt.contains('1'));
+    }
+
+    #[test]
+    fn cells_at_least_finds_threshold_hits() {
+        let a = sw_matrix(b"ACGT", b"ACGT", &SC);
+        let hits = a.cells_at_least(4);
+        assert_eq!(hits, vec![(4, 4, 4)]);
+        assert!(a.cells_at_least(1).len() > 4);
+    }
+}

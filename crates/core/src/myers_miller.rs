@@ -1,0 +1,238 @@
+//! Myers–Miller linear-space affine-gap global alignment.
+//!
+//! Hirschberg's divide-and-conquer ([`crate::hirschberg`]) assumes linear
+//! gap costs: cutting an alignment at a row boundary never splits a gap
+//! run's *open* penalty. With affine gaps (Gotoh, [`crate::affine`]) a
+//! vertical gap run may cross the midline, and a naive split charges its
+//! opening twice. Myers & Miller (1988) repair this by tracking, at the
+//! midline, both the match-state score (`CC`) and the
+//! vertical-gap-state score (`DD`) for the forward half and the reversed
+//! bottom half, then choosing between
+//!
+//! * a **type-1** crossing: `CC[j] + CCʳ[n-j]` (the path is in the match
+//!   state at the boundary), and
+//! * a **type-2** crossing: `DD[j] + DDʳ[n-j] + gap_open` (one vertical
+//!   run spans the boundary; the doubly-charged open is refunded),
+//!
+//! recursing accordingly. Space is O(min(m, n)), time is ~2× Gotoh's.
+
+use crate::affine::{nw_affine_align, AffineScoring};
+use crate::alignment::GlobalAlignment;
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Forward pass over `s × t`: returns the last row of Gotoh's `H` (best
+/// score, any state) and `F` (best score ending in a vertical gap — a gap
+/// in `t` consuming `s`).
+fn last_rows(s: &[u8], t: &[u8], sc: &AffineScoring) -> (Vec<i32>, Vec<i32>) {
+    let n = t.len();
+    let gap_run = |k: usize| -> i32 {
+        if k == 0 {
+            0
+        } else {
+            sc.gap_open + (k as i32 - 1) * sc.gap_extend
+        }
+    };
+    // E (horizontal gap) is confined to its own row, so a single scalar
+    // suffices; H needs the previous row; F needs its own running row.
+    let mut h_prev: Vec<i32> = (0..=n).map(gap_run).collect();
+    let mut f_row = vec![NEG; n + 1];
+    let mut h_cur = vec![0i32; n + 1];
+    if s.is_empty() {
+        return (h_prev, f_row);
+    }
+    for (i, &c) in s.iter().enumerate() {
+        let mut e_in_row = NEG; // E of the current row (gap in s)
+        h_cur[0] = gap_run(i + 1);
+        f_row[0] = gap_run(i + 1); // a pure vertical gap down column 0
+        for j in 1..=n {
+            let f = (f_row[j] + sc.gap_extend).max(h_prev[j] + sc.gap_open);
+            e_in_row = (e_in_row + sc.gap_extend).max(h_cur[j - 1] + sc.gap_open);
+            let diag = h_prev[j - 1]
+                + if c == t[j - 1] { sc.matches } else { sc.mismatch };
+            h_cur[j] = diag.max(f).max(e_in_row);
+            f_row[j] = f;
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    (h_prev, f_row)
+}
+
+fn reversed(x: &[u8]) -> Vec<u8> {
+    x.iter().rev().copied().collect()
+}
+
+fn rec(s: &[u8], t: &[u8], sc: &AffineScoring, out_s: &mut Vec<u8>, out_t: &mut Vec<u8>) {
+    let (m, n) = (s.len(), t.len());
+    if m <= 1 || n <= 1 {
+        let g = nw_affine_align(s, t, sc);
+        out_s.extend_from_slice(&g.aligned_s);
+        out_t.extend_from_slice(&g.aligned_t);
+        return;
+    }
+    let mid = m / 2;
+    let (s_top, s_bot) = s.split_at(mid);
+    let (cc, dd) = last_rows(s_top, t, sc);
+    let s_bot_rev = reversed(s_bot);
+    let t_rev = reversed(t);
+    let (rr, ss) = last_rows(&s_bot_rev, &t_rev, sc);
+
+    // Best crossing column and type.
+    let mut best = i64::MIN;
+    let mut best_j = 0;
+    let mut type2 = false;
+    for j in 0..=n {
+        let t1 = cc[j] as i64 + rr[n - j] as i64;
+        if t1 > best {
+            best = t1;
+            best_j = j;
+            type2 = false;
+        }
+        let t2 = dd[j] as i64 + ss[n - j] as i64 - sc.gap_open as i64;
+        if t2 > best {
+            best = t2;
+            best_j = j;
+            type2 = true;
+        }
+    }
+
+    if !type2 {
+        rec(s_top, &t[..best_j], sc, out_s, out_t);
+        rec(s_bot, &t[best_j..], sc, out_s, out_t);
+    } else {
+        // One vertical gap run spans rows mid-1..=mid (0-based s indices
+        // mid-1 and mid are both deleted inside it). Force those two
+        // columns and recurse on the trimmed halves.
+        rec(&s[..mid - 1], &t[..best_j], sc, out_s, out_t);
+        out_s.push(s[mid - 1]);
+        out_t.push(b'-');
+        out_s.push(s[mid]);
+        out_t.push(b'-');
+        rec(&s[mid + 1..], &t[best_j..], sc, out_s, out_t);
+    }
+}
+
+/// Computes the global affine-gap alignment of `s` and `t` in linear
+/// space. Scores exactly match [`nw_affine_align`].
+pub fn myers_miller_align(s: &[u8], t: &[u8], sc: &AffineScoring) -> GlobalAlignment {
+    let mut aligned_s = Vec::with_capacity(s.len() + 8);
+    let mut aligned_t = Vec::with_capacity(t.len() + 8);
+    rec(s, t, sc, &mut aligned_s, &mut aligned_t);
+    let score = rescore_affine(&aligned_s, &aligned_t, sc);
+    GlobalAlignment {
+        aligned_s,
+        aligned_t,
+        score,
+    }
+}
+
+/// Recomputes an affine score from rendered rows (gap runs charged
+/// open + extends). Public for tests and tooling.
+pub fn rescore_affine(aligned_s: &[u8], aligned_t: &[u8], sc: &AffineScoring) -> i32 {
+    let mut score = 0;
+    let mut in_gap_s = false;
+    let mut in_gap_t = false;
+    for (&a, &b) in aligned_s.iter().zip(aligned_t) {
+        if a == b'-' {
+            score += if in_gap_s { sc.gap_extend } else { sc.gap_open };
+            in_gap_s = true;
+            in_gap_t = false;
+        } else if b == b'-' {
+            score += if in_gap_t { sc.gap_extend } else { sc.gap_open };
+            in_gap_t = true;
+            in_gap_s = false;
+        } else {
+            score += if a == b { sc.matches } else { sc.mismatch };
+            in_gap_s = false;
+            in_gap_t = false;
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::nw_affine_score;
+
+    const AFF: AffineScoring = AffineScoring::dna();
+
+    #[test]
+    fn matches_gotoh_on_simple_cases() {
+        for (s, t) in [
+            (&b"GATTACA"[..], &b"GATTACA"[..]),
+            (b"GATTACA", b"GACA"),
+            (b"ACGTACGTACGT", b"ACGTACCGTACGT"),
+            (b"AAAAAAAA", b"AA"),
+            (b"ACGT", b"TGCA"),
+        ] {
+            let mm = myers_miller_align(s, t, &AFF);
+            let oracle = nw_affine_score(s, t, &AFF);
+            assert_eq!(mm.score, oracle, "s={s:?} t={t:?}");
+        }
+    }
+
+    #[test]
+    fn projections_reproduce_inputs() {
+        let s = b"GGGACGTACGTTTT";
+        let t = b"ACGTTACGATT";
+        let g = myers_miller_align(s, t, &AFF);
+        let ps: Vec<u8> = g.aligned_s.iter().copied().filter(|&c| c != b'-').collect();
+        let pt: Vec<u8> = g.aligned_t.iter().copied().filter(|&c| c != b'-').collect();
+        assert_eq!(ps, s);
+        assert_eq!(pt, t);
+    }
+
+    #[test]
+    fn long_vertical_gap_crossing_the_midline() {
+        // s has a long insertion exactly around its middle: the classic
+        // type-2 case where naive Hirschberg double-charges the open.
+        let s = b"ACGTACGTAAAAAAAAAAACGTACGT";
+        let t = b"ACGTACGTCGTACGT";
+        let mm = myers_miller_align(s, t, &AFF);
+        assert_eq!(mm.score, nw_affine_score(s, t, &AFF));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(myers_miller_align(b"", b"", &AFF).columns(), 0);
+        assert_eq!(
+            myers_miller_align(b"", b"ACG", &AFF).score,
+            nw_affine_score(b"", b"ACG", &AFF)
+        );
+        assert_eq!(
+            myers_miller_align(b"ACG", b"", &AFF).score,
+            nw_affine_score(b"ACG", b"", &AFF)
+        );
+        assert_eq!(
+            myers_miller_align(b"A", b"G", &AFF).score,
+            nw_affine_score(b"A", b"G", &AFF)
+        );
+    }
+
+    #[test]
+    fn pseudo_random_pairs_match_gotoh() {
+        let mut x: u64 = 0xABCDEF0123456789;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for trial in 0..40 {
+            let m = (next() % 60) as usize;
+            let n = (next() % 60) as usize;
+            let s: Vec<u8> = (0..m).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let t: Vec<u8> = (0..n).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let mm = myers_miller_align(&s, &t, &AFF);
+            let oracle = nw_affine_score(&s, &t, &AFF);
+            assert_eq!(
+                mm.score, oracle,
+                "trial {trial}: s={} t={}",
+                String::from_utf8_lossy(&s),
+                String::from_utf8_lossy(&t)
+            );
+            assert_eq!(mm.score, rescore_affine(&mm.aligned_s, &mm.aligned_t, &AFF));
+        }
+    }
+}

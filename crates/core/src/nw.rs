@@ -1,0 +1,282 @@
+//! Global alignment (§2.3) entry points used by phase 2.
+//!
+//! Phase 2 of the pipeline (§4.4) retrieves the actual alignments: for each
+//! similar region found in phase 1, the corresponding subsequences are
+//! aligned globally with the Needleman–Wunsch algorithm. Subsequences are
+//! small (~300 bp on the paper's data), so the full-matrix method is fine;
+//! [`align_global`] switches to Hirschberg's linear-space method above a
+//! size threshold so callers never accidentally allocate quadratic memory
+//! on a huge region.
+
+use crate::alignment::{GlobalAlignment, LocalRegion};
+use crate::linear::nw_last_row;
+use crate::matrix::nw_align;
+use crate::scoring::Scoring;
+
+/// Above this many matrix cells, [`align_global`] uses Hirschberg instead
+/// of the full matrix (16M cells ≈ 80 MB of score+arrow storage).
+const FULL_MATRIX_CELL_LIMIT: usize = 16 << 20;
+
+/// Global alignment score in linear space (no traceback).
+pub fn nw_score(s: &[u8], t: &[u8], scoring: &Scoring) -> i32 {
+    nw_last_row(s, t, scoring)[t.len()]
+}
+
+/// Global alignment with traceback, choosing full-matrix or Hirschberg by
+/// problem size.
+pub fn align_global(s: &[u8], t: &[u8], scoring: &Scoring) -> GlobalAlignment {
+    if (s.len() + 1).saturating_mul(t.len() + 1) <= FULL_MATRIX_CELL_LIMIT {
+        nw_align(s, t, scoring)
+    } else {
+        crate::hirschberg::hirschberg_align(s, t, scoring)
+    }
+}
+
+/// The phase-2 unit of work: globally aligns the subsequences named by a
+/// phase-1 region (§4.4). Output mirrors Fig. 16: region coordinates, the
+/// similarity score, and the two aligned rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionAlignment {
+    /// The phase-1 region that selected the subsequences.
+    pub region: LocalRegion,
+    /// The global alignment of `s[region.s_begin..s_end]` against
+    /// `t[region.t_begin..t_end]`.
+    pub alignment: GlobalAlignment,
+}
+
+/// Globally aligns the subsequences of one phase-1 region.
+///
+/// # Panics
+/// Panics if the region's coordinates exceed the sequences.
+pub fn align_region(s: &[u8], t: &[u8], region: &LocalRegion, scoring: &Scoring) -> RegionAlignment {
+    let sub_s = &s[region.s_begin..region.s_end];
+    let sub_t = &t[region.t_begin..region.t_end];
+    RegionAlignment {
+        region: *region,
+        alignment: align_global(sub_s, sub_t, scoring),
+    }
+}
+
+/// Renders a [`RegionAlignment`] in the paper's Fig. 16 format.
+pub fn render_region_alignment(ra: &RegionAlignment) -> String {
+    let ((sb, tb), (se, te)) = ra.region.paper_coords();
+    let mut out = String::new();
+    out.push_str(&format!("initial_x: {sb} final_x: {se}\n"));
+    out.push_str(&format!("initial_y: {tb} final_y: {te}\n"));
+    out.push_str(&format!("similarity: {}\n", ra.alignment.score));
+    for chunk in ra.alignment.aligned_s.chunks(32) {
+        out.push_str(&format!(
+            "align_s: {}\n",
+            std::str::from_utf8(chunk).expect("ASCII")
+        ));
+    }
+    for chunk in ra.alignment.aligned_t.chunks(32) {
+        out.push_str(&format!(
+            "align_t: {}\n",
+            std::str::from_utf8(chunk).expect("ASCII")
+        ));
+    }
+    out
+}
+
+/// A banded global alignment: only cells with `|i − j| <= band` are
+/// considered. Returns `None` if the band cannot connect the two corners
+/// (`|m − n| > band`). Used by the BlastN-like baseline's gapped extension,
+/// where seeds guarantee the optimum stays near the diagonal.
+pub fn nw_banded(s: &[u8], t: &[u8], scoring: &Scoring, band: usize) -> Option<GlobalAlignment> {
+    let (m, n) = (s.len(), t.len());
+    if m.abs_diff(n) > band {
+        return None;
+    }
+    const NEG: i32 = i32::MIN / 4;
+    let width = 2 * band + 1;
+    // score[i][k] where k = j - i + band ∈ 0..width
+    let mut score = vec![NEG; (m + 1) * width];
+    let mut dir = vec![0u8; (m + 1) * width];
+    let idx = |i: usize, k: usize| i * width + k;
+    let col = |i: usize, j: usize| -> Option<usize> {
+        let k = j as isize - i as isize + band as isize;
+        (0..width as isize).contains(&k).then_some(k as usize)
+    };
+    for i in 0..=m {
+        let j_lo = i.saturating_sub(band);
+        let j_hi = (i + band).min(n);
+        for j in j_lo..=j_hi {
+            let k = col(i, j).expect("in band");
+            if i == 0 && j == 0 {
+                score[idx(0, k)] = 0;
+                continue;
+            }
+            let mut best = NEG;
+            let mut d = 0u8;
+            if i > 0 && j > 0 {
+                if let Some(pk) = col(i - 1, j - 1) {
+                    let v = score[idx(i - 1, pk)] + scoring.subst(s[i - 1], t[j - 1]);
+                    if v > best {
+                        best = v;
+                        d = crate::matrix::DIAG;
+                    }
+                }
+            }
+            if i > 0 {
+                if let Some(pk) = col(i - 1, j) {
+                    let v = score[idx(i - 1, pk)] + scoring.gap;
+                    if v > best {
+                        best = v;
+                        d = crate::matrix::UP;
+                    }
+                }
+            }
+            if j > 0 {
+                if let Some(pk) = col(i, j - 1) {
+                    let v = score[idx(i, pk)] + scoring.gap;
+                    if v > best {
+                        best = v;
+                        d = crate::matrix::LEFT;
+                    }
+                }
+            }
+            score[idx(i, k)] = best;
+            dir[idx(i, k)] = d;
+        }
+    }
+    let end_k = col(m, n)?;
+    if score[idx(m, end_k)] <= NEG / 2 {
+        return None;
+    }
+    // Traceback within the band.
+    let (mut i, mut j) = (m, n);
+    let mut rs = Vec::new();
+    let mut rt = Vec::new();
+    while i > 0 || j > 0 {
+        let k = col(i, j).expect("in band during traceback");
+        match dir[idx(i, k)] {
+            d if d & crate::matrix::DIAG != 0 => {
+                i -= 1;
+                j -= 1;
+                rs.push(s[i]);
+                rt.push(t[j]);
+            }
+            d if d & crate::matrix::UP != 0 => {
+                i -= 1;
+                rs.push(s[i]);
+                rt.push(b'-');
+            }
+            d if d & crate::matrix::LEFT != 0 => {
+                j -= 1;
+                rs.push(b'-');
+                rt.push(t[j]);
+            }
+            _ => unreachable!("reached a dead cell during banded traceback"),
+        }
+    }
+    rs.reverse();
+    rt.reverse();
+    Some(GlobalAlignment {
+        aligned_s: rs,
+        aligned_t: rt,
+        score: score[idx(m, end_k)],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SC: Scoring = Scoring::paper();
+
+    #[test]
+    fn nw_score_matches_full_alignment() {
+        let s = b"GACGGATTAG";
+        let t = b"GATCGGAATAG";
+        assert_eq!(nw_score(s, t, &SC), nw_align(s, t, &SC).score);
+        assert_eq!(nw_score(s, t, &SC), 6);
+    }
+
+    #[test]
+    fn align_global_small_uses_exact_score() {
+        let g = align_global(b"ACGTACGT", b"ACTTACGT", &SC);
+        assert_eq!(g.score, nw_score(b"ACGTACGT", b"ACTTACGT", &SC));
+    }
+
+    #[test]
+    fn align_region_extracts_subsequences() {
+        let s = b"TTTTGACGGATTAGTTTT";
+        let t = b"AAAAGATCGGAATAGAAAA";
+        let region = LocalRegion {
+            s_begin: 4,
+            s_end: 14,
+            t_begin: 4,
+            t_end: 15,
+            score: 6,
+        };
+        let ra = align_region(s, t, &region, &SC);
+        assert_eq!(ra.alignment.score, 6);
+        let s_chars: Vec<u8> = ra
+            .alignment
+            .aligned_s
+            .iter()
+            .copied()
+            .filter(|&c| c != b'-')
+            .collect();
+        assert_eq!(&s_chars, b"GACGGATTAG");
+    }
+
+    #[test]
+    fn render_matches_fig16_shape() {
+        let region = LocalRegion {
+            s_begin: 4,
+            s_end: 14,
+            t_begin: 4,
+            t_end: 15,
+            score: 6,
+        };
+        let ra = align_region(
+            b"TTTTGACGGATTAGTTTT",
+            b"AAAAGATCGGAATAGAAAA",
+            &region,
+            &SC,
+        );
+        let text = render_region_alignment(&ra);
+        assert!(text.contains("initial_x: 5"));
+        assert!(text.contains("similarity: 6"));
+        assert!(text.contains("align_s:"));
+        assert!(text.contains("align_t:"));
+    }
+
+    #[test]
+    fn banded_equals_full_when_band_wide_enough() {
+        let s = b"GACGGATTAG";
+        let t = b"GATCGGAATAG";
+        let banded = nw_banded(s, t, &SC, t.len()).expect("band covers all");
+        assert_eq!(banded.score, nw_align(s, t, &SC).score);
+    }
+
+    #[test]
+    fn banded_rejects_impossible_band() {
+        assert!(nw_banded(b"AAAAAAAA", b"AA", &SC, 2).is_none());
+    }
+
+    #[test]
+    fn banded_narrow_band_still_aligns_near_diagonal() {
+        let s = b"ACGTACGTACGTACGT";
+        let t = b"ACGTACCTACGTACGT"; // one substitution
+        let g = nw_banded(s, t, &SC, 2).expect("near-diagonal");
+        assert_eq!(g.score, 14); // 15 matches, 1 mismatch
+    }
+
+    #[test]
+    fn banded_with_indel_inside_band() {
+        let s = b"ACGTACGTACGT";
+        let t = b"ACGTACGGTACGT"; // one insertion in t
+        let g = nw_banded(s, t, &SC, 3).expect("indel within band");
+        assert_eq!(g.score, nw_align(s, t, &SC).score);
+    }
+
+    #[test]
+    fn banded_empty_sequences() {
+        let g = nw_banded(b"", b"", &SC, 0).expect("trivial");
+        assert_eq!(g.score, 0);
+        assert!(nw_banded(b"", b"AC", &SC, 2).unwrap().score == -4);
+    }
+}

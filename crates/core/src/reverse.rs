@@ -1,0 +1,449 @@
+//! The Section-6 exact space-reduction algorithm.
+//!
+//! The paper's third theoretical contribution: retrieve exact local
+//! alignments in `O(min(n,m) + n′²)` space, where `n′` is the maximum
+//! length of a local alignment — without heuristics and without saving
+//! intermediate columns to disk.
+//!
+//! The pieces map to the paper as follows:
+//!
+//! * **Algorithm 1** — [`reverse_align_best`] / [`reverse_align_all`]:
+//!   run linear-space SW over `s` and `t` to detect end positions of
+//!   alignments of the desired score (line 1), then for each selected end
+//!   run dynamic programming over the *reversed* prefixes until an
+//!   alignment of the same score is detected (line 3), and rebuild the
+//!   alignment over the original sequences (line 4).
+//! * **Observation 6.1** — an alignment of score `k` finishing at `(i, j)`
+//!   corresponds to one of the same score *starting at position 1* of the
+//!   reversed prefixes `s[1..i]ʳᵉᵛ`, `t[1..j]ʳᵉᵛ`; this anchors the reverse
+//!   DP at the origin.
+//! * **Theorem 6.2 (zero elimination)** — computations descending from
+//!   intermediate zeros are unnecessary: some minimal-length score-`k`
+//!   alignment has no zero-score proper prefix, so any cell whose value
+//!   drops to `<= 0` is *dead* and never extended ([`recover_start`]
+//!   implements this with a live-interval sweep per row, Table 7).
+//! * **Eqs. (2)–(3)** — the dead-cell pruning leaves roughly 1/3 of the
+//!   `n′ × n′` window to compute ("approximately 30%");
+//!   [`theoretical_necessary_fraction`] evaluates the paper's closed form
+//!   and [`PruneStats`] reports what the implementation actually computed.
+
+use crate::alignment::{GlobalAlignment, LocalRegion};
+use crate::linear::{sw_ends_over, sw_score_linear};
+use crate::nw::align_global;
+use crate::scoring::Scoring;
+
+/// Work/space accounting for one reverse-DP start recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Interior cells actually evaluated (including cells evaluated and
+    /// found dead — they form the border of the useful area, the explicit
+    /// zeros of Table 7).
+    pub evaluated_cells: u64,
+    /// `n′²`: the area of the square window spanned by the recovered
+    /// alignment (`n′ = max` of the two projection lengths).
+    pub window_cells: u64,
+    /// Rows of the reverse DP that were touched before the score was found.
+    pub rows_touched: usize,
+}
+
+impl PruneStats {
+    /// Fraction of the `n′ × n′` window that was evaluated. The paper's
+    /// Eq. (3) predicts ≈ 1/3 in the worst case.
+    pub fn evaluated_fraction(&self) -> f64 {
+        if self.window_cells == 0 {
+            return 0.0;
+        }
+        self.evaluated_cells as f64 / self.window_cells as f64
+    }
+}
+
+/// The paper's Eq. (3): the necessary (worst-case) area of the whole
+/// `n′ × n′` matrix. Unnecessary cells number `2/3·n′² − n′`, so the
+/// necessary fraction is `1 − (2/3 − 1/n′)` → `1/3 + 1/n′` ≈ 30% for
+/// large `n′`.
+pub fn theoretical_necessary_fraction(n_prime: usize) -> f64 {
+    if n_prime == 0 {
+        return 0.0;
+    }
+    let n = n_prime as f64;
+    let unnecessary = (2.0 / 3.0) * n * n - n;
+    ((n * n - unnecessary) / (n * n)).clamp(0.0, 1.0)
+}
+
+/// One recovered exact local alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredAlignment {
+    /// Begin/end coordinates and score of the alignment.
+    pub region: LocalRegion,
+    /// The rebuilt alignment over the original sequences (line 4 of
+    /// Algorithm 1).
+    pub alignment: GlobalAlignment,
+    /// Pruning statistics of the reverse pass that found the start.
+    pub stats: PruneStats,
+}
+
+/// Runs the zero-eliminated DP over the reversed prefixes
+/// `s[..end_i]ʳᵉᵛ × t[..end_j]ʳᵉᵛ` until a cell reaches `score`, returning
+/// the 0-based start offsets `(i0, j0)` in the *original* sequences (so the
+/// alignment covers `s[i0..end_i]` and `t[j0..end_j]`) plus statistics.
+///
+/// Returns `None` if no cell reaches `score` — which, per Observation 6.1,
+/// cannot happen when `(end_i, end_j, score)` really is an SW end point;
+/// the `Option` guards against inconsistent caller input.
+pub fn recover_start(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    end_i: usize,
+    end_j: usize,
+    score: i32,
+) -> Option<((usize, usize), PruneStats)> {
+    assert!(end_i <= s.len() && end_j <= t.len(), "end out of range");
+    assert!(score > 0, "local alignment score must be positive");
+    let srev: Vec<u8> = s[..end_i].iter().rev().copied().collect();
+    let trev: Vec<u8> = t[..end_j].iter().rev().copied().collect();
+    let (m, n) = (srev.len(), trev.len());
+
+    const DEAD: i32 = i32::MIN / 4;
+    let alive = |v: i32| v > DEAD / 2;
+    let mut stats = PruneStats::default();
+
+    // prev[j] / cur[j] hold cell values of the reverse DP; DEAD marks a
+    // pruned cell. Row 0 is the zero border; only the origin (0,0) is a
+    // live start (Observation 6.1 anchors the alignment there).
+    let mut prev = vec![DEAD; n + 1];
+    let mut cur = vec![DEAD; n + 1];
+    prev[0] = 0;
+    // Live interval [lo, hi] of the previous row, and the rightmost column
+    // the previous row actually computed (everything right of it is DEAD).
+    let (mut lo, mut hi) = (0usize, 0usize);
+    let mut prev_extent = 0usize;
+
+    for i in 1..=m {
+        // Cells of this row are reachable from the previous row's live
+        // band [lo, hi] (diag/up into columns lo..=hi+1) or by a chain of
+        // left-gap moves continuing right while the value stays positive.
+        let jlo = lo.max(1);
+        if jlo > n {
+            return None;
+        }
+        let mut new_lo = usize::MAX;
+        let mut new_hi = 0usize;
+        let mut last_computed = jlo - 1;
+        let mut j = jlo;
+        while j <= n {
+            // Beyond the previous band's reach, only a live left neighbour
+            // can feed this cell; once that chain breaks, stop the row.
+            if j > hi + 1 && !alive(cur[j - 1]) {
+                break;
+            }
+            stats.evaluated_cells += 1;
+            let diag_pred = if j - 1 == 0 {
+                if i == 1 { 0 } else { DEAD }
+            } else {
+                prev[j - 1]
+            };
+            let up_pred = prev[j];
+            let left_pred = if j == jlo { DEAD } else { cur[j - 1] };
+            let mut v = DEAD;
+            if alive(diag_pred) {
+                v = v.max(diag_pred + scoring.subst(srev[i - 1], trev[j - 1]));
+            }
+            if alive(up_pred) {
+                v = v.max(up_pred + scoring.gap);
+            }
+            if alive(left_pred) {
+                v = v.max(left_pred + scoring.gap);
+            }
+            if v <= 0 {
+                cur[j] = DEAD; // zero elimination (Theorem 6.2)
+            } else {
+                cur[j] = v;
+                new_lo = new_lo.min(j);
+                new_hi = new_hi.max(j);
+                if v >= score {
+                    stats.rows_touched = i;
+                    // Reverse coordinates (i, j) map back to original starts.
+                    let i0 = end_i - i;
+                    let j0 = end_j - j;
+                    let n_prime = i.max(j) as u64;
+                    stats.window_cells = n_prime * n_prime;
+                    return Some(((i0, j0), stats));
+                }
+            }
+            last_computed = j;
+            j += 1;
+        }
+        if new_lo == usize::MAX {
+            return None; // all cells of this row died
+        }
+        // Publish this row: copy the computed span and DEAD out anything
+        // the previous row had computed further right (stale values).
+        for j in jlo - 1..=last_computed {
+            prev[j] = cur[j];
+            cur[j] = DEAD;
+        }
+        for p in prev
+            .iter_mut()
+            .take(prev_extent.min(n) + 1)
+            .skip(last_computed + 1)
+        {
+            *p = DEAD;
+        }
+        prev_extent = last_computed;
+        lo = new_lo;
+        hi = new_hi;
+        stats.rows_touched = i;
+    }
+    None
+}
+
+/// Runs the full Algorithm 1 for the single best alignment: linear-space
+/// SW finds the best end point, the reverse pass recovers the start, and
+/// the alignment is rebuilt over the original sequences.
+///
+/// Returns `None` when the best score is zero (no local alignment).
+pub fn reverse_align_best(s: &[u8], t: &[u8], scoring: &Scoring) -> Option<RecoveredAlignment> {
+    let lin = sw_score_linear(s, t, scoring, i32::MAX);
+    if lin.best_score <= 0 {
+        return None;
+    }
+    let (end_i, end_j) = lin.best_end;
+    let ((i0, j0), stats) = recover_start(s, t, scoring, end_i, end_j, lin.best_score)?;
+    let alignment = align_global(&s[i0..end_i], &t[j0..end_j], scoring);
+    Some(RecoveredAlignment {
+        region: LocalRegion {
+            s_begin: i0,
+            s_end: end_i,
+            t_begin: j0,
+            t_end: end_j,
+            score: lin.best_score,
+        },
+        alignment,
+        stats,
+    })
+}
+
+/// Runs Algorithm 1 over *all* end points scoring at least `min_score`
+/// (line 2's loop), greedily from the highest score down, skipping end
+/// points that fall inside an already recovered region. This mirrors the
+/// "final selection" the pre-process strategy defers to a post-pass.
+pub fn reverse_align_all(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    min_score: i32,
+) -> Vec<RecoveredAlignment> {
+    let mut ends = sw_ends_over(s, t, scoring, min_score);
+    // Highest score first; then earliest end for determinism.
+    ends.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    let mut out: Vec<RecoveredAlignment> = Vec::new();
+    'ends: for (ei, ej, score) in ends {
+        for r in &out {
+            let reg = &r.region;
+            if ei > reg.s_begin && ei <= reg.s_end && ej > reg.t_begin && ej <= reg.t_end {
+                continue 'ends; // end point already covered
+            }
+        }
+        if let Some(((i0, j0), stats)) = recover_start(s, t, scoring, ei, ej, score) {
+            let alignment = align_global(&s[i0..ei], &t[j0..ej], scoring);
+            out.push(RecoveredAlignment {
+                region: LocalRegion {
+                    s_begin: i0,
+                    s_end: ei,
+                    t_begin: j0,
+                    t_end: ej,
+                    score,
+                },
+                alignment,
+                stats,
+            });
+        }
+    }
+    out
+}
+
+/// Splits Algorithm 1 into the two stages used by the parallel variant
+/// (the §7 future work: running the Section-6 method on many alignments
+/// at once): stage 1 detects and sorts the end points; stage 2 recovers
+/// a single end. The greedy covered-end filter of [`reverse_align_all`]
+/// is applied *after* all recoveries, which yields exactly the same
+/// result set because the filter only inspects regions that sort earlier.
+pub fn sorted_ends(s: &[u8], t: &[u8], scoring: &Scoring, min_score: i32) -> Vec<(usize, usize, i32)> {
+    let mut ends = sw_ends_over(s, t, scoring, min_score);
+    ends.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    ends
+}
+
+/// Recovers one end point into a full alignment (stage 2 of the parallel
+/// Section-6 variant). Returns `None` when the reverse pass cannot reach
+/// the score (inconsistent input; see [`recover_start`]).
+pub fn recover_end(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    end: (usize, usize, i32),
+) -> Option<RecoveredAlignment> {
+    let (ei, ej, score) = end;
+    let ((i0, j0), stats) = recover_start(s, t, scoring, ei, ej, score)?;
+    let alignment = align_global(&s[i0..ei], &t[j0..ej], scoring);
+    Some(RecoveredAlignment {
+        region: LocalRegion {
+            s_begin: i0,
+            s_end: ei,
+            t_begin: j0,
+            t_end: ej,
+            score,
+        },
+        alignment,
+        stats,
+    })
+}
+
+/// Applies [`reverse_align_all`]'s greedy covered-end filter to a list of
+/// recoveries that is already sorted like [`sorted_ends`]'s output.
+pub fn filter_covered(recovered: Vec<RecoveredAlignment>) -> Vec<RecoveredAlignment> {
+    let mut out: Vec<RecoveredAlignment> = Vec::new();
+    'recs: for rec in recovered {
+        for kept in &out {
+            let reg = &kept.region;
+            if rec.region.s_end > reg.s_begin
+                && rec.region.s_end <= reg.s_end
+                && rec.region.t_end > reg.t_begin
+                && rec.region.t_end <= reg.t_end
+            {
+                continue 'recs;
+            }
+        }
+        out.push(rec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::sw_matrix;
+
+    const SC: Scoring = Scoring::paper();
+    // The Table 5 example strings.
+    const S: &[u8] = b"TCTCGACGGATTAGTATATATATA";
+    const T: &[u8] = b"ATATGATCGGAATAGCTCT";
+
+    #[test]
+    fn table6_recovers_fig1_start() {
+        // Paper: alignment of score 6 ends at (14, 15). Table 7's pruned
+        // reverse DP reaches score 6 at reverse cell (8, 8) (the row
+        // "C: ... 3 6"), i.e. the minimal-length variant covering
+        // s[7..14] and t[8..15] (1-based) — offsets (6, 7). This is the
+        // Theorem-6.2 maximal start position.
+        let ((i0, j0), stats) = recover_start(S, T, &SC, 14, 15, 6).expect("found");
+        assert_eq!((i0, j0), (6, 7));
+        assert!(stats.evaluated_cells > 0);
+        assert_eq!(stats.rows_touched, 8);
+    }
+
+    #[test]
+    fn best_alignment_matches_oracle() {
+        let rec = reverse_align_best(S, T, &SC).expect("score 6 exists");
+        assert_eq!(rec.region.score, 6);
+        assert_eq!((rec.region.s_end, rec.region.t_end), (14, 15));
+        assert_eq!((rec.region.s_begin, rec.region.t_begin), (6, 7));
+        // Rebuilt alignment is the minimal-length optimal variant of the
+        // Fig. 1 alignment: score 6, 7 matches / 1 mismatch / 0 spaces
+        // (CGGATTAG vs CGGAATAG).
+        assert_eq!(rec.alignment.score, 6);
+        assert_eq!(rec.alignment.column_stats(), (7, 1, 0));
+    }
+
+    #[test]
+    fn zero_elimination_prunes_work() {
+        // Table 7 vs Table 6: with pruning, far fewer cells are computed
+        // than the full reverse window (14 × 15 = 210 cells).
+        let (_, stats) = recover_start(S, T, &SC, 14, 15, 6).expect("found");
+        assert!(
+            stats.evaluated_cells < 210,
+            "evaluated {} of 210",
+            stats.evaluated_cells
+        );
+    }
+
+    #[test]
+    fn theoretical_fraction_approaches_one_third() {
+        let f = theoretical_necessary_fraction(1000);
+        assert!((f - (1.0 / 3.0 + 1.0 / 1000.0)).abs() < 1e-9);
+        assert!(theoretical_necessary_fraction(0) == 0.0);
+        // Small windows need proportionally more.
+        assert!(theoretical_necessary_fraction(3) > f);
+    }
+
+    #[test]
+    fn recovery_consistent_with_full_matrix_on_random_pairs() {
+        // Pseudo-random pairs: the recovered global alignment over the
+        // window must reproduce the linear-pass best score.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for trial in 0..10 {
+            let s: Vec<u8> = (0..120).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let mut t: Vec<u8> = (0..120).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            // Plant a 30-bp identical region so a clear optimum exists.
+            let start = (next() % 80) as usize;
+            t[start..start + 30].copy_from_slice(&s[10..40]);
+            let rec = reverse_align_best(&s, &t, &SC).expect("planted optimum");
+            let oracle = sw_matrix(&s, &t, &SC).maximum().2;
+            assert_eq!(rec.region.score, oracle, "trial {trial}");
+            assert_eq!(rec.alignment.score, oracle, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn no_alignment_returns_none() {
+        assert!(reverse_align_best(b"AAAA", b"", &SC).is_none());
+        // Completely dissimilar single characters still have score-1 cells
+        // when any base matches; force a mismatch-only pair.
+        assert!(reverse_align_best(b"A", b"C", &SC).is_none());
+    }
+
+    #[test]
+    fn recover_start_rejects_bad_input() {
+        // An end point that cannot reach the requested score.
+        assert!(recover_start(b"ACGT", b"ACGT", &SC, 2, 2, 99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "end out of range")]
+    fn recover_start_bounds_checked() {
+        let _ = recover_start(b"AC", b"AC", &SC, 5, 1, 1);
+    }
+
+    #[test]
+    fn all_alignments_cover_planted_repeats() {
+        // Two planted repeats; reverse_align_all must recover both.
+        let mut s = vec![b'A'; 40];
+        let mut t = vec![b'C'; 40];
+        let r1 = b"GATTACAGATTACAGATTACA"; // 21 bp
+        let r2 = b"TTGGCCAATTGGCCAATTGG"; // 20 bp
+        s.splice(5..5, r1.iter().copied());
+        s.splice(45..45, r2.iter().copied());
+        t.splice(10..10, r1.iter().copied());
+        t.splice(50..50, r2.iter().copied());
+        let recs = reverse_align_all(&s, &t, &SC, 12);
+        assert!(recs.len() >= 2, "found {}", recs.len());
+        let scores: Vec<i32> = recs.iter().map(|r| r.region.score).collect();
+        assert!(scores[0] >= 20, "{scores:?}");
+    }
+
+    #[test]
+    fn stats_window_matches_alignment_span() {
+        let rec = reverse_align_best(S, T, &SC).expect("exists");
+        let n_prime = rec.region.s_len().max(rec.region.t_len()) as u64;
+        // The reverse pass may stop a cell short of the exact window edge,
+        // but the reported window area equals n'^2 of the recovery point.
+        assert!(rec.stats.window_cells >= n_prime * n_prime);
+    }
+}

@@ -1,0 +1,91 @@
+//! The column scoring scheme of §2.
+//!
+//! For each alignment column the paper associates `+1` if the two characters
+//! are identical, `−1` if they differ, and `−2` if one of them is a space.
+//! All kernels are parametric over these three values.
+
+/// Scores for one alignment column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scoring {
+    /// Score when the two characters are identical (paper: `+1`).
+    pub matches: i32,
+    /// Score when the two characters differ (paper: `−1`).
+    pub mismatch: i32,
+    /// Score when one character is aligned to a space (paper: `−2`).
+    pub gap: i32,
+}
+
+impl Scoring {
+    /// The paper's scheme: `+1 / −1 / −2`.
+    pub const fn paper() -> Self {
+        Self {
+            matches: 1,
+            mismatch: -1,
+            gap: -2,
+        }
+    }
+
+    /// Creates a custom scheme. `gap` and `mismatch` are normally negative;
+    /// a non-negative gap would make local alignment degenerate, so it is
+    /// rejected.
+    pub fn new(matches: i32, mismatch: i32, gap: i32) -> Self {
+        assert!(gap < 0, "gap penalty must be negative");
+        assert!(matches > 0, "match score must be positive");
+        Self {
+            matches,
+            mismatch,
+            gap,
+        }
+    }
+
+    /// Substitution score for aligning character `a` against `b`.
+    #[inline(always)]
+    pub fn subst(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.matches
+        } else {
+            self.mismatch
+        }
+    }
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scheme_values() {
+        let s = Scoring::paper();
+        assert_eq!((s.matches, s.mismatch, s.gap), (1, -1, -2));
+    }
+
+    #[test]
+    fn subst_distinguishes_match_and_mismatch() {
+        let s = Scoring::paper();
+        assert_eq!(s.subst(b'A', b'A'), 1);
+        assert_eq!(s.subst(b'A', b'C'), -1);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(Scoring::default(), Scoring::paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "gap penalty")]
+    fn rejects_non_negative_gap() {
+        let _ = Scoring::new(1, -1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match score")]
+    fn rejects_non_positive_match() {
+        let _ = Scoring::new(0, -1, -2);
+    }
+}

@@ -1,0 +1,302 @@
+//! Dot-plot visualization of similar regions (the paper's Fig. 14 tool).
+//!
+//! §4.4: "We also developed a tool to visualize the alignments found by
+//! the strategies ... plotted points show the similar regions between the
+//! two genomes. We note that the user can zoom into a particular region."
+//!
+//! Two renderers over the same [`PlotSpec`]:
+//!
+//! * [`ascii_plot`] — terminal rendering, one character cell per bucket;
+//! * [`svg_plot`] — an SVG file with one diagonal segment per region,
+//!   suitable for the harness's Fig. 14 artifact.
+//!
+//! Zooming is a [`PlotSpec::window`]: restrict the plotted coordinate
+//! ranges and the same renderers show the detail view.
+
+use genomedsm_core::LocalRegion;
+
+/// What to plot and how.
+#[derive(Debug, Clone)]
+pub struct PlotSpec {
+    /// Length of sequence `s` (x axis).
+    pub s_len: usize,
+    /// Length of sequence `t` (y axis).
+    pub t_len: usize,
+    /// Optional zoom window: `(s_range, t_range)` in sequence coordinates.
+    pub window: Option<(std::ops::Range<usize>, std::ops::Range<usize>)>,
+}
+
+impl PlotSpec {
+    /// A full-extent plot for sequences of the given lengths.
+    pub fn new(s_len: usize, t_len: usize) -> Self {
+        Self {
+            s_len,
+            t_len,
+            window: None,
+        }
+    }
+
+    /// Restricts the plot to a zoom window.
+    pub fn zoom(
+        mut self,
+        s_range: std::ops::Range<usize>,
+        t_range: std::ops::Range<usize>,
+    ) -> Self {
+        assert!(s_range.end <= self.s_len && t_range.end <= self.t_len);
+        assert!(!s_range.is_empty() && !t_range.is_empty());
+        self.window = Some((s_range, t_range));
+        self
+    }
+
+    fn ranges(&self) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        self.window
+            .clone()
+            .unwrap_or((0..self.s_len.max(1), 0..self.t_len.max(1)))
+    }
+
+    /// Regions clipped to the window (regions entirely outside vanish).
+    fn visible<'r>(&self, regions: &'r [LocalRegion]) -> impl Iterator<Item = &'r LocalRegion> {
+        let (sr, tr) = self.ranges();
+        regions.iter().filter(move |r| {
+            r.s_begin < sr.end && sr.start < r.s_end && r.t_begin < tr.end && tr.start < r.t_end
+        })
+    }
+}
+
+/// Renders the regions as an ASCII dot plot of `cols × rows` character
+/// cells (x = position in `s`, y = position in `t`, `*` = a similar
+/// region crosses the cell).
+pub fn ascii_plot(regions: &[LocalRegion], spec: &PlotSpec, cols: usize, rows: usize) -> String {
+    let cols = cols.max(2);
+    let rows = rows.max(2);
+    let (sr, tr) = spec.ranges();
+    let sw = (sr.end - sr.start).max(1) as f64;
+    let tw = (tr.end - tr.start).max(1) as f64;
+    let mut grid = vec![vec![b' '; cols]; rows];
+    for r in spec.visible(regions) {
+        // Walk the region's diagonal in bucket steps.
+        let steps = (r.s_len().max(r.t_len())).max(1);
+        for q in 0..=steps {
+            let x = r.s_begin as f64 + r.s_len() as f64 * q as f64 / steps as f64;
+            let y = r.t_begin as f64 + r.t_len() as f64 * q as f64 / steps as f64;
+            if x < sr.start as f64 || y < tr.start as f64 {
+                continue;
+            }
+            let cx = ((x - sr.start as f64) / sw * (cols - 1) as f64).round() as usize;
+            let cy = ((y - tr.start as f64) / tw * (rows - 1) as f64).round() as usize;
+            if cx < cols && cy < rows {
+                grid[cy][cx] = b'*';
+            }
+        }
+    }
+    let mut out = String::with_capacity((cols + 3) * (rows + 2));
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    for row in &grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(row).expect("ASCII"));
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    out
+}
+
+/// Renders the regions as a standalone SVG document: one line segment per
+/// similar region, axes labelled with sequence offsets.
+pub fn svg_plot(regions: &[LocalRegion], spec: &PlotSpec, width: u32, height: u32) -> String {
+    use std::fmt::Write as _;
+    let (sr, tr) = spec.ranges();
+    let sw = (sr.end - sr.start).max(1) as f64;
+    let tw = (tr.end - tr.start).max(1) as f64;
+    let margin = 40.0;
+    let pw = width as f64 - 2.0 * margin;
+    let ph = height as f64 - 2.0 * margin;
+    let sx = |v: usize| margin + (v.saturating_sub(sr.start)) as f64 / sw * pw;
+    let sy = |v: usize| margin + (v.saturating_sub(tr.start)) as f64 / tw * ph;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect x="0" y="0" width="{width}" height="{height}" fill="white"/>"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect x="{margin}" y="{margin}" width="{pw}" height="{ph}" fill="none" stroke="black"/>"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">s ({}..{})</text>"#,
+        width as f64 / 2.0,
+        height as f64 - 8.0,
+        sr.start,
+        sr.end
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="12" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 12 {})">t ({}..{})</text>"#,
+        height as f64 / 2.0,
+        height as f64 / 2.0,
+        tr.start,
+        tr.end
+    );
+    let mut plotted = 0usize;
+    for r in spec.visible(regions) {
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="crimson" stroke-width="1.5"/>"#,
+            sx(r.s_begin),
+            sy(r.t_begin),
+            sx(r.s_end),
+            sy(r.t_end)
+        );
+        plotted += 1;
+    }
+    let _ = writeln!(
+        svg,
+        r#"<text x="{margin}" y="24" font-size="12">{plotted} similar regions</text>"#
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(sb: usize, se: usize, tb: usize, te: usize) -> LocalRegion {
+        LocalRegion {
+            s_begin: sb,
+            s_end: se,
+            t_begin: tb,
+            t_end: te,
+            score: 10,
+        }
+    }
+
+    #[test]
+    fn ascii_marks_diagonal() {
+        let spec = PlotSpec::new(100, 100);
+        let plot = ascii_plot(&[region(0, 100, 0, 100)], &spec, 20, 10);
+        assert!(plot.contains('*'));
+        // Top-left and bottom-right cells are on the main diagonal.
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 12); // frame + 10 rows
+        assert_eq!(&lines[1][1..2], "*");
+    }
+
+    #[test]
+    fn ascii_empty_regions_is_blank() {
+        let spec = PlotSpec::new(50, 50);
+        let plot = ascii_plot(&[], &spec, 10, 5);
+        assert!(!plot.contains('*'));
+    }
+
+    #[test]
+    fn zoom_filters_regions() {
+        let spec = PlotSpec::new(1000, 1000).zoom(0..100, 0..100);
+        let far = region(500, 600, 500, 600);
+        let near = region(10, 60, 10, 60);
+        let plot = ascii_plot(&[far, near], &spec, 20, 20);
+        assert!(plot.contains('*'));
+        let svg = svg_plot(&[far, near], &spec, 400, 400);
+        assert!(svg.contains("1 similar regions"));
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let spec = PlotSpec::new(200, 300);
+        let svg = svg_plot(&[region(0, 50, 100, 150)], &spec, 640, 480);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<line").count(), 1);
+        assert!(svg.contains("similar regions"));
+    }
+
+    #[test]
+    fn degenerate_lengths_do_not_panic() {
+        let spec = PlotSpec::new(0, 0);
+        let _ = ascii_plot(&[], &spec, 5, 5);
+        let _ = svg_plot(&[], &spec, 100, 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zoom_out_of_bounds_rejected() {
+        let _ = PlotSpec::new(10, 10).zoom(0..20, 0..5);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn region(sb: usize, se: usize, tb: usize, te: usize) -> LocalRegion {
+        LocalRegion {
+            s_begin: sb,
+            s_end: se,
+            t_begin: tb,
+            t_end: te,
+            score: 1,
+        }
+    }
+
+    #[test]
+    fn anti_diagonal_regions_render() {
+        // A region running "backwards" in t still renders (coordinates are
+        // begin/end boxes, plotted as a segment).
+        let spec = PlotSpec::new(100, 100);
+        let plot = ascii_plot(&[region(10, 90, 10, 90)], &spec, 30, 30);
+        // Marks near both corners of the segment.
+        let lines: Vec<&str> = plot.lines().collect();
+        let top_marked = lines[1..8].iter().any(|l| l.contains('*'));
+        let bottom_marked = lines[22..29].iter().any(|l| l.contains('*'));
+        assert!(top_marked && bottom_marked);
+    }
+
+    #[test]
+    fn many_regions_all_plotted_in_svg() {
+        let spec = PlotSpec::new(1000, 1000);
+        let regions: Vec<LocalRegion> =
+            (0..25).map(|k| region(k * 40, k * 40 + 30, k * 40, k * 40 + 30)).collect();
+        let svg = svg_plot(&regions, &spec, 500, 500);
+        assert_eq!(svg.matches("<line").count(), 25);
+        assert!(svg.contains("25 similar regions"));
+    }
+
+    #[test]
+    fn zoom_window_changes_axis_labels() {
+        let spec = PlotSpec::new(1000, 1000).zoom(100..200, 300..400);
+        let svg = svg_plot(&[], &spec, 400, 400);
+        assert!(svg.contains("s (100..200)"));
+        assert!(svg.contains("t (300..400)"));
+    }
+
+    #[test]
+    fn ascii_plot_size_clamped() {
+        // Degenerate cols/rows are clamped to the 2-cell minimum.
+        let spec = PlotSpec::new(10, 10);
+        let plot = ascii_plot(&[region(0, 10, 0, 10)], &spec, 0, 0);
+        assert!(plot.lines().count() >= 4);
+    }
+
+    #[test]
+    fn region_touching_window_edge_is_visible() {
+        let spec = PlotSpec::new(100, 100).zoom(0..50, 0..50);
+        // Region starts exactly at the window's right edge: excluded
+        // (half-open window semantics).
+        let outside = region(50, 80, 50, 80);
+        let svg = svg_plot(&[outside], &spec, 300, 300);
+        assert_eq!(svg.matches("<line").count(), 0);
+        // Region overlapping one cell inside: included.
+        let inside = region(49, 80, 49, 80);
+        let svg = svg_plot(&[inside], &spec, 300, 300);
+        assert_eq!(svg.matches("<line").count(), 1);
+    }
+}

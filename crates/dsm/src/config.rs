@@ -1,0 +1,114 @@
+//! DSM system configuration.
+
+use crate::net::NetworkModel;
+
+/// Configuration of a [`crate::DsmSystem`] run.
+#[derive(Debug, Clone)]
+pub struct DsmConfig {
+    /// Number of cluster nodes (workers). The paper's cluster has 8.
+    pub nprocs: usize,
+    /// Page size in bytes (JIAJIA used the VM page size, 4096).
+    pub page_size: usize,
+    /// Maximum number of *remote* pages a node may cache before the
+    /// replacement algorithm evicts (JIAJIA: "a fixed number of remote
+    /// pages that can be placed at the memory of a remote node").
+    pub cache_pages: usize,
+    /// Network cost model for inter-node messages.
+    pub network: NetworkModel,
+    /// Relative CPU speed per node (1.0 = the calibrated reference).
+    /// `None` means a homogeneous cluster. This implements the paper's §7
+    /// future-work scenario — "run this modified algorithm ... in a
+    /// heterogeneous cluster" — by scaling each node's virtual
+    /// computation time by `1 / speed`.
+    pub speed_factors: Option<Vec<f64>>,
+    /// JIAJIA's optional *home migration* feature (§3.1: "JIAJIA also
+    /// offers certain optional features such as home migration and load
+    /// balancing ... At the beginning of the execution, all features are
+    /// set to OFF"). When on, a page written in a barrier interval by
+    /// exactly one node that is not its home migrates to that writer.
+    pub home_migration: bool,
+}
+
+impl DsmConfig {
+    /// A configuration with sane defaults: 4 KiB pages, 4096 cached remote
+    /// pages per node, and the paper's 100 Mbps switched-Ethernet model
+    /// (accounted, not slept).
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs >= 1, "need at least one node");
+        Self {
+            nprocs,
+            page_size: 4096,
+            cache_pages: 4096,
+            network: NetworkModel::fast_ethernet(),
+            speed_factors: None,
+            home_migration: false,
+        }
+    }
+
+    /// Overrides the page size (must be a power of two, >= 64).
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        assert!(bytes.is_power_of_two() && bytes >= 64, "bad page size");
+        self.page_size = bytes;
+        self
+    }
+
+    /// Overrides the remote-page cache capacity.
+    pub fn cache_pages(mut self, pages: usize) -> Self {
+        assert!(pages >= 1, "cache must hold at least one page");
+        self.cache_pages = pages;
+        self
+    }
+
+    /// Overrides the network model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Makes the cluster heterogeneous: `speeds[i]` is node `i`'s relative
+    /// CPU speed (must be positive; length must equal `nprocs`).
+    pub fn speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.nprocs, "one speed per node");
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        self.speed_factors = Some(speeds);
+        self
+    }
+
+    /// Enables JIAJIA's home-migration feature (the `jia_config` toggle).
+    pub fn home_migration(mut self, on: bool) -> Self {
+        self.home_migration = on;
+        self
+    }
+
+    /// Node `id`'s relative speed (1.0 when homogeneous).
+    pub fn speed_of(&self, id: usize) -> f64 {
+        self.speed_factors
+            .as_ref()
+            .map_or(1.0, |v| v[id])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = DsmConfig::new(8).page_size(1024).cache_pages(7);
+        assert_eq!(c.nprocs, 8);
+        assert_eq!(c.page_size, 1024);
+        assert_eq!(c.cache_pages, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = DsmConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad page size")]
+    fn non_power_of_two_page_rejected() {
+        let _ = DsmConfig::new(1).page_size(1000);
+    }
+}

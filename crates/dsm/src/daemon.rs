@@ -1,0 +1,426 @@
+//! The per-node communication daemon.
+//!
+//! JIAJIA services remote requests with a SIGIO handler; here each node
+//! has a daemon thread that owns the node's **home pages** and its share
+//! of the **lock**, **condition-variable**, and (on node 0) **barrier**
+//! managers. Daemons never block on other daemons, so the system cannot
+//! deadlock at the protocol level: workers block only on daemon replies,
+//! and daemons answer every request in bounded time.
+//!
+//! ## Virtual time
+//!
+//! Every request arrives with a virtual timestamp ([`Envelope::arrive`]).
+//! The daemon grants replies at virtual times that respect the protocol's
+//! causality:
+//!
+//! * page fetches and diff acks leave at the request's arrival;
+//! * a lock grant leaves at `max(request arrival, last release)`;
+//! * a cv grant pairs a waiter with a signal and leaves at the later of
+//!   the two;
+//! * the barrier grant leaves at the **maximum arrival over all nodes** —
+//!   the step that makes simulated speed-ups honest.
+//!
+//! The reply's network cost is added on top, so the worker's clock lands
+//! exactly where a real cluster's would (modulo the cost model).
+
+use crate::msg::{Envelope, Msg, Notice, Patch, Reply, ReplyEnvelope};
+use crate::net::NetworkModel;
+use crate::page::apply_patches;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Per-lock manager state.
+#[derive(Default)]
+struct LockState {
+    /// Node currently holding the lock.
+    holder: Option<usize>,
+    /// Waiting acquirers (FIFO): `(node, last_seq, arrival)`.
+    waiters: VecDeque<(usize, u64, Duration)>,
+    /// Virtual time of the last release.
+    free_at: Duration,
+    /// Write notices attached to this lock, with their sequence numbers.
+    history: Vec<(u64, Notice)>,
+    /// Next sequence number.
+    next_seq: u64,
+}
+
+/// Per-condition-variable manager state (counting semantics: a signal
+/// wakes exactly one waiter, signals accumulate).
+#[derive(Default)]
+struct CvState {
+    /// Virtual arrival times of pending (unconsumed) signals.
+    pending: VecDeque<Duration>,
+    /// Waiting nodes (FIFO): `(node, last_seq, arrival)`.
+    waiters: VecDeque<(usize, u64, Duration)>,
+    /// Write notices attached to this cv, with sequence numbers.
+    history: Vec<(u64, Notice)>,
+    /// Next sequence number.
+    next_seq: u64,
+}
+
+/// Barrier manager state (lives on node 0's daemon).
+#[derive(Default)]
+struct BarrierState {
+    /// Nodes that arrived this round.
+    arrived: Vec<usize>,
+    /// Union of the round's notices.
+    notices: Vec<Notice>,
+    /// Latest virtual arrival of the round.
+    latest: Duration,
+    /// Completed barrier rounds (the migration epoch).
+    rounds: u64,
+}
+
+/// State and main loop of one daemon.
+pub struct Daemon {
+    id: usize,
+    nprocs: usize,
+    page_size: usize,
+    network: NetworkModel,
+    home_migration: bool,
+    inbox: Receiver<Envelope>,
+    reply_tx: Vec<Sender<ReplyEnvelope>>,
+    daemon_tx: Vec<Sender<Envelope>>,
+    /// Home pages owned by this node (created zeroed on first touch).
+    home_pages: HashMap<u64, Vec<u8>>,
+    locks: HashMap<u32, LockState>,
+    cvs: HashMap<u32, CvState>,
+    barrier: BarrierState,
+    /// Migration epoch this daemon has reached.
+    epoch: u64,
+    /// Pages announced as migrating in but not yet adopted.
+    incoming: std::collections::HashSet<u64>,
+    /// Requests parked until an epoch bump or a page adoption.
+    parked: Vec<Envelope>,
+}
+
+impl Daemon {
+    /// Creates a daemon for node `id`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: usize,
+        nprocs: usize,
+        page_size: usize,
+        network: NetworkModel,
+        home_migration: bool,
+        inbox: Receiver<Envelope>,
+        reply_tx: Vec<Sender<ReplyEnvelope>>,
+        daemon_tx: Vec<Sender<Envelope>>,
+    ) -> Self {
+        Self {
+            id,
+            nprocs,
+            page_size,
+            network,
+            home_migration,
+            inbox,
+            reply_tx,
+            daemon_tx,
+            home_pages: HashMap::new(),
+            locks: HashMap::new(),
+            cvs: HashMap::new(),
+            barrier: BarrierState::default(),
+            epoch: 0,
+            incoming: std::collections::HashSet::new(),
+            parked: Vec::new(),
+        }
+    }
+
+    /// Sends a protocol message to another daemon, departing at `when`.
+    fn send_daemon(&self, to: usize, when: Duration, msg: Msg) {
+        let arrive = when + self.network.cost(self.id, to, msg.wire_size());
+        let _ = self.daemon_tx[to].send(Envelope { msg, arrive });
+    }
+
+    /// Whether a page request must wait for migration bookkeeping.
+    fn must_park(&self, page: u64, epoch: u64) -> bool {
+        epoch > self.epoch || self.incoming.contains(&page)
+    }
+
+    /// Re-processes parked requests that may have become serviceable,
+    /// bumping their arrival to the unblocking event's time.
+    fn drain_parked(&mut self, unblocked_at: Duration) {
+        let parked = std::mem::take(&mut self.parked);
+        for mut env in parked {
+            env.arrive = env.arrive.max(unblocked_at);
+            self.dispatch(env);
+        }
+    }
+
+    /// Sends `reply` to node `to`, departing (virtually) at `when`.
+    fn reply(&self, to: usize, when: Duration, reply: Reply) {
+        let arrive = when + self.network.cost(self.id, to, reply.wire_size());
+        // A closed reply channel means the worker panicked; the daemon
+        // keeps servicing others so the run can tear down cleanly.
+        let _ = self.reply_tx[to].send(ReplyEnvelope { reply, arrive });
+    }
+
+    /// History notices newer than `last_seq`, deduplicated by
+    /// (page, writer) so acquirers can filter out only their own writes.
+    /// The history is append-only with ascending sequence numbers, so the
+    /// start is found by binary search — grants cost O(log n + new).
+    fn notices_since(history: &[(u64, Notice)], last_seq: u64) -> Vec<Notice> {
+        let start = history.partition_point(|(seq, _)| *seq <= last_seq);
+        let mut seen = std::collections::HashSet::new();
+        history[start..]
+            .iter()
+            .filter(|(_, n)| seen.insert((n.page, n.writer)))
+            .map(|(_, n)| *n)
+            .collect()
+    }
+
+    /// Runs the service loop until `Shutdown`.
+    pub fn run(mut self) {
+        while let Ok(env) = self.inbox.recv() {
+            if matches!(env.msg, Msg::Shutdown) {
+                break;
+            }
+            self.dispatch(env);
+        }
+    }
+
+    /// Handles one request (possibly re-injected from the parked queue).
+    fn dispatch(&mut self, Envelope { msg, arrive }: Envelope) {
+        match msg {
+            Msg::GetPage { page, from, epoch } => {
+                if self.must_park(page, epoch) {
+                    self.parked.push(Envelope {
+                        msg: Msg::GetPage { page, from, epoch },
+                        arrive,
+                    });
+                    return;
+                }
+                let data = self
+                    .home_pages
+                    .entry(page)
+                    .or_insert_with(|| vec![0; self.page_size])
+                    .clone();
+                self.reply(from, arrive, Reply::Page { page, data });
+            }
+            Msg::Diff {
+                page,
+                from,
+                patches,
+                epoch,
+            } => {
+                if self.must_park(page, epoch) {
+                    self.parked.push(Envelope {
+                        msg: Msg::Diff {
+                            page,
+                            from,
+                            patches,
+                            epoch,
+                        },
+                        arrive,
+                    });
+                    return;
+                }
+                self.apply_diff(page, &patches);
+                self.reply(from, arrive, Reply::DiffAck);
+            }
+            Msg::Acquire {
+                lock,
+                from,
+                last_seq,
+            } => self.handle_acquire(lock, from, last_seq, arrive),
+            Msg::Release {
+                lock,
+                from,
+                notices,
+            } => self.handle_release(lock, from, notices, arrive),
+            Msg::SetCv { cv, notices, .. } => self.handle_setcv(cv, notices, arrive),
+            Msg::WaitCv { cv, from, last_seq } => self.handle_waitcv(cv, from, last_seq, arrive),
+            Msg::Barrier { from, notices } => self.handle_barrier(from, notices, arrive),
+            Msg::MigrationNotice { epoch, incoming } => {
+                debug_assert!(epoch >= self.epoch);
+                self.epoch = epoch;
+                self.incoming.extend(incoming);
+                self.drain_parked(arrive);
+            }
+            Msg::MigrateOut { page, to } => {
+                let data = self
+                    .home_pages
+                    .remove(&page)
+                    .unwrap_or_else(|| vec![0; self.page_size]);
+                self.send_daemon(to, arrive, Msg::AdoptPage { page, data });
+            }
+            Msg::AdoptPage { page, data } => {
+                self.home_pages.insert(page, data);
+                self.incoming.remove(&page);
+                self.drain_parked(arrive);
+            }
+            Msg::Shutdown => unreachable!("handled by run()"),
+        }
+    }
+
+    fn apply_diff(&mut self, page: u64, patches: &[Patch]) {
+        let home = self
+            .home_pages
+            .entry(page)
+            .or_insert_with(|| vec![0; self.page_size]);
+        apply_patches(home, patches);
+    }
+
+    fn handle_acquire(&mut self, lock: u32, from: usize, last_seq: u64, arrive: Duration) {
+        debug_assert_eq!(lock as usize % self.nprocs, self.id, "wrong manager");
+        let st = self.locks.entry(lock).or_default();
+        if st.holder.is_none() {
+            st.holder = Some(from);
+            let notices = Self::notices_since(&st.history, last_seq);
+            let seq = st.next_seq;
+            let when = arrive.max(st.free_at);
+            self.reply(from, when, Reply::LockGranted { notices, seq });
+        } else {
+            st.waiters.push_back((from, last_seq, arrive));
+        }
+    }
+
+    fn handle_release(&mut self, lock: u32, from: usize, notices: Vec<Notice>, arrive: Duration) {
+        let st = self.locks.entry(lock).or_default();
+        assert_eq!(
+            st.holder,
+            Some(from),
+            "node {from} released lock {lock} it does not hold"
+        );
+        for n in notices {
+            st.next_seq += 1;
+            st.history.push((st.next_seq, n));
+        }
+        st.holder = None;
+        st.free_at = st.free_at.max(arrive);
+        if let Some((next, last_seq, req_arrive)) = st.waiters.pop_front() {
+            st.holder = Some(next);
+            let granted = Self::notices_since(&st.history, last_seq);
+            let seq = st.next_seq;
+            let when = req_arrive.max(st.free_at);
+            self.reply(
+                next,
+                when,
+                Reply::LockGranted {
+                    notices: granted,
+                    seq,
+                },
+            );
+        }
+    }
+
+    fn handle_setcv(&mut self, cv: u32, notices: Vec<Notice>, arrive: Duration) {
+        let st = self.cvs.entry(cv).or_default();
+        for n in notices {
+            st.next_seq += 1;
+            st.history.push((st.next_seq, n));
+        }
+        if let Some((node, last_seq, wait_arrive)) = st.waiters.pop_front() {
+            let granted = Self::notices_since(&st.history, last_seq);
+            let seq = st.next_seq;
+            let when = wait_arrive.max(arrive);
+            self.reply(
+                node,
+                when,
+                Reply::CvGranted {
+                    notices: granted,
+                    seq,
+                },
+            );
+        } else {
+            st.pending.push_back(arrive);
+        }
+    }
+
+    fn handle_waitcv(&mut self, cv: u32, from: usize, last_seq: u64, arrive: Duration) {
+        let st = self.cvs.entry(cv).or_default();
+        if let Some(signal_arrive) = st.pending.pop_front() {
+            let granted = Self::notices_since(&st.history, last_seq);
+            let seq = st.next_seq;
+            let when = arrive.max(signal_arrive);
+            self.reply(
+                from,
+                when,
+                Reply::CvGranted {
+                    notices: granted,
+                    seq,
+                },
+            );
+        } else {
+            st.waiters.push_back((from, last_seq, arrive));
+        }
+    }
+
+    fn handle_barrier(&mut self, from: usize, notices: Vec<Notice>, arrive: Duration) {
+        assert_eq!(self.id, 0, "barrier messages go to node 0");
+        self.barrier.arrived.push(from);
+        self.barrier.notices.extend(notices);
+        self.barrier.latest = self.barrier.latest.max(arrive);
+        if self.barrier.arrived.len() == self.nprocs {
+            let round = std::mem::take(&mut self.barrier);
+            // Deduplicate by (page, writer): a node must invalidate a page
+            // another node wrote even if it wrote the page itself (its
+            // cached copy misses the other writer's merged diff).
+            let dedup: std::collections::HashSet<Notice> = round.notices.into_iter().collect();
+            let notices: Vec<Notice> = dedup.into_iter().collect();
+            self.barrier.rounds = round.rounds + 1;
+            let migrations = if self.home_migration {
+                self.decide_migrations(&notices)
+            } else {
+                Vec::new()
+            };
+            // Epoch sync: every daemon advances, whether or not it adopts
+            // pages, so parked future-epoch requests always drain.
+            let mut incoming_per: HashMap<usize, Vec<u64>> = HashMap::new();
+            for &(page, to) in &migrations {
+                incoming_per.entry(to).or_default().push(page);
+            }
+            let epoch = self.barrier.rounds;
+            for d in 0..self.nprocs {
+                let incoming = incoming_per.remove(&d).unwrap_or_default();
+                self.send_daemon(d, round.latest, Msg::MigrationNotice { epoch, incoming });
+            }
+            for &(page, to) in &migrations {
+                // The old home ships the page to the new home.
+                let old = notices
+                    .iter()
+                    .find(|n| n.page == page)
+                    .map(|n| n.home)
+                    .expect("migration decided from a notice");
+                self.send_daemon(old, round.latest, Msg::MigrateOut { page, to });
+            }
+            for node in round.arrived {
+                self.reply(
+                    node,
+                    round.latest,
+                    Reply::BarrierDone {
+                        notices: notices.clone(),
+                        migrations: migrations.clone(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Daemon {
+    /// The migration policy (JIAJIA's single-writer heuristic): a page
+    /// written this round by exactly one node, which is not its home,
+    /// migrates to that writer — its diffs become local applications.
+    fn decide_migrations(&self, notices: &[Notice]) -> Vec<(u64, usize)> {
+        let mut per_page: HashMap<u64, (usize, usize, bool)> = HashMap::new(); // page -> (writer, home, multi)
+        for n in notices {
+            per_page
+                .entry(n.page)
+                .and_modify(|e| {
+                    if e.0 != n.writer {
+                        e.2 = true;
+                    }
+                })
+                .or_insert((n.writer, n.home, false));
+        }
+        let mut out: Vec<(u64, usize)> = per_page
+            .into_iter()
+            .filter(|&(_, (writer, home, multi))| !multi && writer != home)
+            .map(|(page, (writer, _, _))| (page, writer))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}

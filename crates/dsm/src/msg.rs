@@ -1,0 +1,264 @@
+//! Protocol messages exchanged between workers and daemons.
+//!
+//! Names mirror the paper's Fig. 6: GETPAGE, DIFF/DIFFGRANT, ACQ/GRANT,
+//! BARR/BARRGRANT, plus the condition-variable pair (jia_setcv /
+//! jia_waitcv).
+
+/// A write notice: "page `page` was modified by node `writer`". Carried on
+/// release-type messages and delivered to the next acquirer, which
+/// invalidates the page (unless it is the writer itself). The page's
+/// current home rides along so the barrier manager can drive home
+/// migration without tracking allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Notice {
+    /// Global page number.
+    pub page: u64,
+    /// Node that performed the modification.
+    pub writer: usize,
+    /// The page's home node at the time of the write.
+    pub home: usize,
+}
+
+/// One contiguous patch of a diff: byte offset within the page plus the
+/// new bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Patch {
+    /// Byte offset within the page.
+    pub offset: u32,
+    /// Replacement bytes.
+    pub data: Vec<u8>,
+}
+
+impl Patch {
+    /// Wire-size estimate of this patch (offset + length headers + data).
+    pub fn wire_size(&self) -> usize {
+        8 + self.data.len()
+    }
+}
+
+/// A request with its virtual arrival time at the daemon.
+///
+/// The simulated cluster keeps *virtual* clocks: workers advance theirs
+/// with modeled computation ([`crate::Node::advance`]) and every message
+/// is stamped with `sender clock + network cost`. Daemons answer with the
+/// reply's own arrival stamp, so waiting times and speed-ups are derived
+/// from the dependency DAG rather than from host wall time — essential on
+/// machines with fewer cores than simulated nodes.
+#[derive(Debug)]
+pub struct Envelope {
+    /// The request.
+    pub msg: Msg,
+    /// Virtual time at which the message reaches the daemon.
+    pub arrive: std::time::Duration,
+}
+
+/// A reply with its virtual arrival time at the worker.
+#[derive(Debug)]
+pub struct ReplyEnvelope {
+    /// The reply.
+    pub reply: Reply,
+    /// Virtual time at which the reply reaches the worker.
+    pub arrive: std::time::Duration,
+}
+
+/// Requests sent to a daemon.
+#[derive(Debug)]
+pub enum Msg {
+    /// Fetch a copy of a page from its home (remote access fault).
+    GetPage {
+        /// Global page number.
+        page: u64,
+        /// Requesting node.
+        from: usize,
+        /// The requester's migration epoch (barrier count). A daemon
+        /// parks requests from the future until its own epoch catches up.
+        epoch: u64,
+    },
+    /// Apply a diff to a home page (release-time flush).
+    Diff {
+        /// Global page number.
+        page: u64,
+        /// Writing node.
+        from: usize,
+        /// The modified ranges.
+        patches: Vec<Patch>,
+        /// The writer's migration epoch.
+        epoch: u64,
+    },
+    /// Acquire a lock managed by this daemon.
+    Acquire {
+        /// Lock id.
+        lock: u32,
+        /// Requesting node.
+        from: usize,
+        /// Highest notice sequence number this node has seen for the lock.
+        last_seq: u64,
+    },
+    /// Release a lock, attaching the interval's write notices.
+    Release {
+        /// Lock id.
+        lock: u32,
+        /// Releasing node.
+        from: usize,
+        /// Pages modified inside the critical section.
+        notices: Vec<Notice>,
+    },
+    /// Signal a condition variable (counting semantics), attaching write
+    /// notices of the signalling interval.
+    SetCv {
+        /// Condition-variable id.
+        cv: u32,
+        /// Signalling node.
+        from: usize,
+        /// Pages modified before the signal.
+        notices: Vec<Notice>,
+    },
+    /// Wait on a condition variable.
+    WaitCv {
+        /// Condition-variable id.
+        cv: u32,
+        /// Waiting node.
+        from: usize,
+        /// Highest notice sequence this node has seen for the cv.
+        last_seq: u64,
+    },
+    /// Arrive at the global barrier (sent to node 0's daemon).
+    Barrier {
+        /// Arriving node.
+        from: usize,
+        /// Pages modified since the node's previous barrier.
+        notices: Vec<Notice>,
+    },
+    /// Home migration (barrier manager → every daemon, once per barrier
+    /// round when migration is enabled): advance the migration epoch and
+    /// announce the pages this daemon is about to adopt.
+    MigrationNotice {
+        /// The new epoch (equals the barrier round number).
+        epoch: u64,
+        /// Pages whose data will arrive via [`Msg::AdoptPage`].
+        incoming: Vec<u64>,
+    },
+    /// Home migration (barrier manager → the old home): ship the page to
+    /// its new home and forget it.
+    MigrateOut {
+        /// Global page number.
+        page: u64,
+        /// The new home node.
+        to: usize,
+    },
+    /// Home migration (old home daemon → new home daemon): the page data.
+    AdoptPage {
+        /// Global page number.
+        page: u64,
+        /// Authoritative page contents.
+        data: Vec<u8>,
+    },
+    /// Stop the daemon (end of the run).
+    Shutdown,
+}
+
+/// Replies delivered to a worker's reply channel.
+#[derive(Debug)]
+pub enum Reply {
+    /// Page copy (GETPAGE response).
+    Page {
+        /// Global page number.
+        page: u64,
+        /// Page contents.
+        data: Vec<u8>,
+    },
+    /// Diff applied (DIFFGRANT).
+    DiffAck,
+    /// Lock granted, with the write notices accumulated since the
+    /// acquirer last saw this lock.
+    LockGranted {
+        /// Notices to invalidate.
+        notices: Vec<Notice>,
+        /// New sequence watermark for the lock.
+        seq: u64,
+    },
+    /// Condition-variable wait satisfied.
+    CvGranted {
+        /// Notices to invalidate.
+        notices: Vec<Notice>,
+        /// New sequence watermark for the cv.
+        seq: u64,
+    },
+    /// All nodes arrived; proceed past the barrier (BARRGRANT).
+    BarrierDone {
+        /// Union of all notices of the round.
+        notices: Vec<Notice>,
+        /// Home migrations decided this round (page, new home); empty
+        /// unless migration is enabled.
+        migrations: Vec<(u64, usize)>,
+    },
+}
+
+impl Msg {
+    /// Wire-size estimate used by the network cost model.
+    pub fn wire_size(&self) -> usize {
+        const HDR: usize = 32; // UDP + protocol header estimate
+        match self {
+            Msg::GetPage { .. } => HDR,
+            Msg::Diff { patches, .. } => {
+                HDR + patches.iter().map(Patch::wire_size).sum::<usize>()
+            }
+            Msg::Acquire { .. } => HDR,
+            Msg::Release { notices, .. } => HDR + notices.len() * 12,
+            Msg::SetCv { notices, .. } => HDR + notices.len() * 12,
+            Msg::WaitCv { .. } => HDR,
+            Msg::Barrier { notices, .. } => HDR + notices.len() * 12,
+            Msg::MigrationNotice { incoming, .. } => HDR + incoming.len() * 8,
+            Msg::MigrateOut { .. } => HDR,
+            Msg::AdoptPage { data, .. } => HDR + data.len(),
+            Msg::Shutdown => HDR,
+        }
+    }
+}
+
+impl Reply {
+    /// Wire-size estimate used by the network cost model.
+    pub fn wire_size(&self) -> usize {
+        const HDR: usize = 32;
+        match self {
+            Reply::Page { data, .. } => HDR + data.len(),
+            Reply::DiffAck => HDR,
+            Reply::LockGranted { notices, .. } | Reply::CvGranted { notices, .. } => {
+                HDR + notices.len() * 12
+            }
+            Reply::BarrierDone { notices, migrations } => {
+                HDR + notices.len() * 12 + migrations.len() * 12
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale() {
+        let small = Msg::GetPage { page: 0, from: 0, epoch: 0 }.wire_size();
+        let diff = Msg::Diff {
+            page: 0,
+            from: 0,
+            epoch: 0,
+            patches: vec![Patch {
+                offset: 0,
+                data: vec![0; 100],
+            }],
+        }
+        .wire_size();
+        assert!(diff > small + 100);
+    }
+
+    #[test]
+    fn reply_page_counts_payload() {
+        let r = Reply::Page {
+            page: 1,
+            data: vec![0; 4096],
+        };
+        assert!(r.wire_size() >= 4096);
+    }
+}

@@ -1,0 +1,173 @@
+//! Pages, twins, and diffs — the multiple-writer machinery.
+//!
+//! Before the first write of an interval a node copies the page (the
+//! *twin*). At release time the current contents are compared with the
+//! twin and only the changed bytes travel to the home node as a diff.
+//! Because two nodes writing disjoint parts of the same page produce
+//! disjoint diffs, both can write concurrently (Multiple-Writer protocol)
+//! and the home merges them.
+
+use crate::msg::Patch;
+
+/// State of a cached page copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Clean copy; reads allowed.
+    ReadOnly,
+    /// Twinned and modified this interval; reads and writes allowed.
+    ReadWrite,
+}
+
+/// One page in a node's cache.
+#[derive(Debug, Clone)]
+pub struct CachedPage {
+    /// Current contents.
+    pub data: Vec<u8>,
+    /// Copy taken before the first write of the interval.
+    pub twin: Option<Vec<u8>>,
+    /// Access state.
+    pub state: PageState,
+}
+
+impl CachedPage {
+    /// A clean read-only copy fetched from home.
+    pub fn clean(data: Vec<u8>) -> Self {
+        Self {
+            data,
+            twin: None,
+            state: PageState::ReadOnly,
+        }
+    }
+
+    /// Prepares the page for writing: creates the twin if this is the
+    /// first write of the interval.
+    pub fn ensure_writable(&mut self) {
+        if self.state == PageState::ReadOnly {
+            self.twin = Some(self.data.clone());
+            self.state = PageState::ReadWrite;
+        }
+    }
+
+    /// Computes the diff against the twin, drops the twin, and downgrades
+    /// the page to read-only (the Fig. 6 "sets pages state to R/O" step).
+    /// Returns `None` if the page was never written this interval.
+    pub fn take_diff(&mut self) -> Option<Vec<Patch>> {
+        let twin = self.twin.take()?;
+        self.state = PageState::ReadOnly;
+        Some(diff_bytes(&twin, &self.data))
+    }
+}
+
+/// Byte-wise diff: contiguous runs of changed bytes become patches.
+pub fn diff_bytes(twin: &[u8], current: &[u8]) -> Vec<Patch> {
+    debug_assert_eq!(twin.len(), current.len());
+    let mut patches = Vec::new();
+    let mut i = 0;
+    let n = current.len();
+    while i < n {
+        if twin[i] == current[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < n && twin[i] != current[i] {
+            i += 1;
+        }
+        patches.push(Patch {
+            offset: start as u32,
+            data: current[start..i].to_vec(),
+        });
+    }
+    patches
+}
+
+/// Applies a diff to a home page.
+pub fn apply_patches(page: &mut [u8], patches: &[Patch]) {
+    for p in patches {
+        let start = p.offset as usize;
+        page[start..start + p.data.len()].copy_from_slice(&p.data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_of_identical_is_empty() {
+        assert!(diff_bytes(&[1, 2, 3], &[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn diff_finds_contiguous_runs() {
+        let twin = vec![0u8; 10];
+        let mut cur = twin.clone();
+        cur[2] = 9;
+        cur[3] = 9;
+        cur[7] = 5;
+        let d = diff_bytes(&twin, &cur);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].offset, 2);
+        assert_eq!(d[0].data, vec![9, 9]);
+        assert_eq!(d[1].offset, 7);
+    }
+
+    #[test]
+    fn apply_round_trips() {
+        let twin = vec![7u8; 64];
+        let mut cur = twin.clone();
+        for i in (0..64).step_by(5) {
+            cur[i] = i as u8;
+        }
+        let d = diff_bytes(&twin, &cur);
+        let mut home = twin.clone();
+        apply_patches(&mut home, &d);
+        assert_eq!(home, cur);
+    }
+
+    #[test]
+    fn disjoint_writers_merge() {
+        // Multiple-writer property: two nodes modify disjoint halves of
+        // the same page; applying both diffs to the home yields both sets
+        // of changes.
+        let original = vec![0u8; 32];
+        let mut a = original.clone();
+        let mut b = original.clone();
+        a[..8].copy_from_slice(&[1; 8]);
+        b[24..].copy_from_slice(&[2; 8]);
+        let da = diff_bytes(&original, &a);
+        let db = diff_bytes(&original, &b);
+        let mut home = original.clone();
+        apply_patches(&mut home, &da);
+        apply_patches(&mut home, &db);
+        assert_eq!(&home[..8], &[1; 8]);
+        assert_eq!(&home[24..], &[2; 8]);
+        assert_eq!(&home[8..24], &[0; 16]);
+    }
+
+    #[test]
+    fn cached_page_twin_lifecycle() {
+        let mut p = CachedPage::clean(vec![0; 16]);
+        assert!(p.take_diff().is_none(), "clean page has no diff");
+        p.ensure_writable();
+        assert_eq!(p.state, PageState::ReadWrite);
+        p.data[3] = 42;
+        p.ensure_writable(); // idempotent: twin not re-taken
+        p.data[4] = 43;
+        let d = p.take_diff().expect("modified");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].offset, 3);
+        assert_eq!(d[0].data, vec![42, 43]);
+        assert_eq!(p.state, PageState::ReadOnly);
+        assert!(p.twin.is_none());
+    }
+
+    #[test]
+    fn whole_page_change_is_one_patch() {
+        let twin = vec![0u8; 128];
+        let cur = vec![1u8; 128];
+        let d = diff_bytes(&twin, &cur);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].data.len(), 128);
+    }
+}

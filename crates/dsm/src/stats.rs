@@ -1,0 +1,172 @@
+//! Per-node execution statistics.
+//!
+//! The paper's Fig. 10 breaks total execution time into computation,
+//! communication, lock + condition variable, and barrier. Workers measure
+//! the wall time spent blocked in each category; computation is the
+//! remainder. The modeled network cost (latency + bandwidth charges) is
+//! accumulated separately so experiments can report either real thread
+//! timings or cluster-calibrated ones.
+
+use std::time::Duration;
+
+/// Statistics of one node over one run.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Wall time spent waiting on page fetches and diff acknowledgements.
+    pub communication: Duration,
+    /// Wall time spent acquiring locks and waiting on condition variables
+    /// (including the release-side flushes attributed to lock/cv calls).
+    pub lock_cv: Duration,
+    /// Wall time spent in barriers.
+    pub barrier: Duration,
+    /// Total wall time of the worker closure.
+    pub total: Duration,
+    /// Modeled network cost accumulated against this node.
+    pub modeled_network: Duration,
+    /// Number of remote page fetches (access faults on non-resident pages).
+    pub page_fetches: u64,
+    /// Number of diffs sent home.
+    pub diffs_sent: u64,
+    /// Number of pages invalidated by received write notices.
+    pub invalidations: u64,
+    /// Number of pages evicted by the replacement algorithm.
+    pub evictions: u64,
+    /// Home migrations observed (identical on every node).
+    pub migrations: u64,
+    /// Messages sent (requests and releases).
+    pub msgs_sent: u64,
+    /// Estimated bytes sent.
+    pub bytes_sent: u64,
+}
+
+impl NodeStats {
+    /// Computation time: everything not spent blocked on the DSM.
+    pub fn computation(&self) -> Duration {
+        self.total
+            .saturating_sub(self.communication)
+            .saturating_sub(self.lock_cv)
+            .saturating_sub(self.barrier)
+    }
+
+    /// Relative breakdown of the four Fig. 10 categories (sums to ~1).
+    pub fn breakdown(&self) -> StatsBreakdown {
+        let total = self.total.as_secs_f64().max(f64::MIN_POSITIVE);
+        StatsBreakdown {
+            computation: self.computation().as_secs_f64() / total,
+            communication: self.communication.as_secs_f64() / total,
+            lock_cv: self.lock_cv.as_secs_f64() / total,
+            barrier: self.barrier.as_secs_f64() / total,
+        }
+    }
+
+    /// Merges another node's stats into an aggregate (sums everything;
+    /// `total` becomes the max, matching "overall time for all nodes").
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.communication += other.communication;
+        self.lock_cv += other.lock_cv;
+        self.barrier += other.barrier;
+        self.total = self.total.max(other.total);
+        self.modeled_network += other.modeled_network;
+        self.page_fetches += other.page_fetches;
+        self.diffs_sent += other.diffs_sent;
+        self.invalidations += other.invalidations;
+        self.evictions += other.evictions;
+        self.migrations = self.migrations.max(other.migrations);
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+    }
+}
+
+/// Fractional breakdown over a set of nodes: category sums divided by the
+/// sum of node totals (the Fig. 10 bars for a whole run). Unlike
+/// aggregating with [`NodeStats::merge`] (which keeps the critical-path
+/// `total`), this never exceeds 1.
+pub fn breakdown_many(stats: &[NodeStats]) -> StatsBreakdown {
+    let total: f64 = stats.iter().map(|s| s.total.as_secs_f64()).sum();
+    let total = total.max(f64::MIN_POSITIVE);
+    let sum = |f: fn(&NodeStats) -> Duration| -> f64 {
+        stats.iter().map(|s| f(s).as_secs_f64()).sum::<f64>() / total
+    };
+    StatsBreakdown {
+        computation: stats
+            .iter()
+            .map(|s| s.computation().as_secs_f64())
+            .sum::<f64>()
+            / total,
+        communication: sum(|s| s.communication),
+        lock_cv: sum(|s| s.lock_cv),
+        barrier: sum(|s| s.barrier),
+    }
+}
+
+/// Fractional execution-time breakdown (the Fig. 10 bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsBreakdown {
+    /// Fraction of time computing.
+    pub computation: f64,
+    /// Fraction of time communicating (page fetches, diffs).
+    pub communication: f64,
+    /// Fraction of time in lock/cv operations.
+    pub lock_cv: f64,
+    /// Fraction of time in barriers.
+    pub barrier: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computation_is_remainder() {
+        let s = NodeStats {
+            total: Duration::from_secs(10),
+            communication: Duration::from_secs(2),
+            lock_cv: Duration::from_secs(1),
+            barrier: Duration::from_secs(3),
+            ..Default::default()
+        };
+        assert_eq!(s.computation(), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn computation_saturates() {
+        let s = NodeStats {
+            total: Duration::from_secs(1),
+            communication: Duration::from_secs(5),
+            ..Default::default()
+        };
+        assert_eq!(s.computation(), Duration::ZERO);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let s = NodeStats {
+            total: Duration::from_secs(8),
+            communication: Duration::from_secs(2),
+            lock_cv: Duration::from_secs(1),
+            barrier: Duration::from_secs(1),
+            ..Default::default()
+        };
+        let b = s.breakdown();
+        let sum = b.computation + b.communication + b.lock_cv + b.barrier;
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((b.computation - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_takes_max_total_and_sums_counters() {
+        let mut a = NodeStats {
+            total: Duration::from_secs(5),
+            page_fetches: 3,
+            ..Default::default()
+        };
+        let b = NodeStats {
+            total: Duration::from_secs(7),
+            page_fetches: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total, Duration::from_secs(7));
+        assert_eq!(a.page_fetches, 7);
+    }
+}

@@ -1,0 +1,381 @@
+//! Spawning and tearing down a DSM "cluster" run.
+//!
+//! [`DsmSystem::run`] plays the role of JIAJIA's launcher: it starts one
+//! daemon thread and one worker thread per node, runs the SPMD closure on
+//! every worker, joins everything, and returns each node's result plus its
+//! statistics.
+
+use crate::config::DsmConfig;
+use crate::daemon::Daemon;
+use crate::msg::{Envelope, Msg, ReplyEnvelope};
+use crate::node::Node;
+use crate::stats::NodeStats;
+use crossbeam::channel::unbounded;
+
+/// Outcome of a DSM run: per-node results and statistics, plus the total
+/// wall time of the parallel section.
+#[derive(Debug)]
+pub struct DsmRun<R> {
+    /// The closure's return value on each node, indexed by node id.
+    pub results: Vec<R>,
+    /// Per-node statistics.
+    pub stats: Vec<NodeStats>,
+    /// Wall time from spawn to last join.
+    pub wall: std::time::Duration,
+}
+
+impl<R> DsmRun<R> {
+    /// Aggregated statistics over all nodes (durations summed, `total` is
+    /// the maximum — the critical path).
+    pub fn aggregate_stats(&self) -> NodeStats {
+        let mut agg = NodeStats::default();
+        for s in &self.stats {
+            agg.merge(s);
+        }
+        agg
+    }
+}
+
+/// The DSM system entry point.
+pub struct DsmSystem;
+
+impl DsmSystem {
+    /// Runs `f` SPMD-style on `config.nprocs` simulated cluster nodes and
+    /// returns every node's result.
+    ///
+    /// The closure receives the node handle (its `id()` plays JIAJIA's
+    /// `jiapid`). All nodes must perform identical `alloc_*` sequences;
+    /// synchronization uses `lock`/`unlock`, `setcv`/`waitcv`, and
+    /// `barrier`.
+    ///
+    /// # Panics
+    /// Propagates the first worker panic after tearing down the cluster.
+    pub fn run<R, F>(config: DsmConfig, f: F) -> DsmRun<R>
+    where
+        R: Send,
+        F: Fn(&mut Node) -> R + Send + Sync,
+    {
+        let nprocs = config.nprocs;
+        let mut daemon_tx = Vec::with_capacity(nprocs);
+        let mut daemon_rx = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let (tx, rx) = unbounded::<Envelope>();
+            daemon_tx.push(tx);
+            daemon_rx.push(rx);
+        }
+        let mut reply_tx = Vec::with_capacity(nprocs);
+        let mut reply_rx = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let (tx, rx) = unbounded::<ReplyEnvelope>();
+            reply_tx.push(tx);
+            reply_rx.push(rx);
+        }
+
+        let t0 = std::time::Instant::now();
+        let (results, stats) = std::thread::scope(|scope| {
+            // Daemons first: they must be servicing before any worker
+            // faults a page.
+            let mut daemon_handles = Vec::with_capacity(nprocs);
+            for (id, rx) in daemon_rx.into_iter().enumerate() {
+                let daemon = Daemon::new(
+                    id,
+                    nprocs,
+                    config.page_size,
+                    config.network,
+                    config.home_migration,
+                    rx,
+                    reply_tx.clone(),
+                    daemon_tx.clone(),
+                );
+                daemon_handles.push(scope.spawn(move || daemon.run()));
+            }
+
+            let f = &f;
+            let config_ref = &config;
+            let daemon_tx_ref = &daemon_tx;
+            let mut worker_handles = Vec::with_capacity(nprocs);
+            for (id, rx) in reply_rx.into_iter().enumerate() {
+                worker_handles.push(scope.spawn(move || {
+                    let mut node = Node::new(id, config_ref, daemon_tx_ref.clone(), rx);
+                    let result = f(&mut node);
+                    let stats = node.finish_stats();
+                    (result, stats)
+                }));
+            }
+
+            let mut results = Vec::with_capacity(nprocs);
+            let mut stats = Vec::with_capacity(nprocs);
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for handle in worker_handles {
+                match handle.join() {
+                    Ok((r, s)) => {
+                        results.push(r);
+                        stats.push(s);
+                    }
+                    Err(e) => panic = panic.or(Some(e)),
+                }
+            }
+            // Tear down daemons regardless of worker outcome.
+            for tx in daemon_tx_ref.iter() {
+                let _ = tx.send(Envelope { msg: Msg::Shutdown, arrive: std::time::Duration::ZERO });
+            }
+            for handle in daemon_handles {
+                let _ = handle.join();
+            }
+            if let Some(e) = panic {
+                std::panic::resume_unwind(e);
+            }
+            (results, stats)
+        });
+        DsmRun {
+            results,
+            stats,
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkModel;
+
+    #[test]
+    fn single_node_round_trip() {
+        let run = DsmSystem::run(DsmConfig::new(1), |node| {
+            let v = node.alloc_vec::<i32>(100);
+            for i in 0..100 {
+                node.vec_set(&v, i, i as i32 * 3);
+            }
+            (0..100).map(|i| node.vec_get(&v, i)).sum::<i32>()
+        });
+        assert_eq!(run.results, vec![3 * 4950]);
+    }
+
+    #[test]
+    fn shared_memory_starts_zeroed() {
+        let run = DsmSystem::run(DsmConfig::new(2), |node| {
+            let v = node.alloc_vec::<i64>(64);
+            node.vec_read_range(&v, 0..64).iter().sum::<i64>()
+        });
+        assert_eq!(run.results, vec![0, 0]);
+    }
+
+    #[test]
+    fn lock_protected_counter_is_sequentially_consistent() {
+        const N: usize = 4;
+        const ITERS: i64 = 50;
+        let run = DsmSystem::run(DsmConfig::new(N), |node| {
+            let counter = node.alloc_vec::<i64>(1);
+            node.barrier();
+            for _ in 0..ITERS {
+                node.lock(7);
+                let v = node.vec_get(&counter, 0);
+                node.vec_set(&counter, 0, v + 1);
+                node.unlock(7);
+            }
+            node.barrier();
+            node.vec_get(&counter, 0)
+        });
+        for r in run.results {
+            assert_eq!(r, N as i64 * ITERS);
+        }
+    }
+
+    #[test]
+    fn barrier_publishes_writes() {
+        // Node i writes slot i; after the barrier every node sees all
+        // slots (write-invalidate + refetch).
+        let run = DsmSystem::run(DsmConfig::new(4), |node| {
+            let v = node.alloc_vec::<i32>(4);
+            node.vec_set(&v, node.id(), node.id() as i32 + 10);
+            node.barrier();
+            node.vec_read_range(&v, 0..4)
+        });
+        for r in run.results {
+            assert_eq!(r, vec![10, 11, 12, 13]);
+        }
+    }
+
+    #[test]
+    fn multiple_writers_of_one_page_merge() {
+        // All four nodes write disjoint quarters of the same page inside
+        // the same interval; after the barrier everyone sees all writes.
+        let run = DsmSystem::run(DsmConfig::new(4), |node| {
+            let v = node.alloc_vec::<i32>(64); // 256 B: one page
+            let me = node.id();
+            for k in 0..16 {
+                node.vec_set(&v, me * 16 + k, (me * 100 + k) as i32);
+            }
+            node.barrier();
+            node.vec_read_range(&v, 0..64)
+        });
+        for r in &run.results {
+            for me in 0..4 {
+                for k in 0..16 {
+                    assert_eq!(r[me * 16 + k], (me * 100 + k) as i32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn producer_consumer_with_cv() {
+        // Node 0 produces values one at a time; node 1 consumes, with the
+        // strategy-1 border protocol (write, setcv; waitcv, read, ack).
+        let run = DsmSystem::run(DsmConfig::new(2), |node| {
+            let slot = node.alloc_vec::<i64>(1);
+            node.barrier();
+            let mut sum = 0i64;
+            if node.id() == 0 {
+                for i in 0..20 {
+                    node.vec_set(&slot, 0, i * i);
+                    node.setcv(0); // data ready
+                    node.waitcv(1); // consumer done
+                }
+            } else {
+                for i in 0..20 {
+                    node.waitcv(0);
+                    let v = node.vec_get(&slot, 0);
+                    assert_eq!(v, i * i, "consumer saw stale slot");
+                    sum += v;
+                    node.setcv(1);
+                }
+            }
+            node.barrier();
+            sum
+        });
+        assert_eq!(run.results[1], (0..20).map(|i| i * i).sum::<i64>());
+    }
+
+    #[test]
+    fn cv_signal_before_wait_is_not_lost() {
+        let run = DsmSystem::run(DsmConfig::new(2), |node| {
+            if node.id() == 0 {
+                node.setcv(3);
+            }
+            node.barrier(); // ensure the signal happened
+            if node.id() == 1 {
+                node.waitcv(3); // must not block forever
+            }
+            true
+        });
+        assert_eq!(run.results.len(), 2);
+    }
+
+    #[test]
+    fn tiny_cache_forces_evictions_but_stays_correct() {
+        let config = DsmConfig::new(2)
+            .page_size(256)
+            .cache_pages(2)
+            .network(NetworkModel::zero());
+        let run = DsmSystem::run(config, |node| {
+            // 16 pages of data, cache of 2: constant replacement.
+            let v = node.alloc_vec::<i32>(1024);
+            node.barrier();
+            if node.id() == 0 {
+                for i in 0..1024 {
+                    node.vec_set(&v, i, i as i32);
+                }
+            }
+            node.barrier();
+            let mut sum = 0i64;
+            for i in 0..1024 {
+                sum += node.vec_get(&v, i) as i64;
+            }
+            node.barrier();
+            sum
+        });
+        let expect: i64 = (0..1024i64).sum();
+        assert_eq!(run.results, vec![expect, expect]);
+        assert!(run.stats[0].evictions > 0, "eviction path not exercised");
+    }
+
+    #[test]
+    fn stats_track_protocol_activity() {
+        let run = DsmSystem::run(DsmConfig::new(2), |node| {
+            let v = node.alloc_vec::<i32>(2048); // several pages
+            // Cache everything first, so the later write notices actually
+            // find copies to invalidate.
+            let _ = node.vec_read_range(&v, 0..2048);
+            node.barrier();
+            if node.id() == 0 {
+                for i in 0..2048 {
+                    node.vec_set(&v, i, 1);
+                }
+            }
+            node.barrier();
+            let mut total = 0;
+            for i in 0..2048 {
+                total += node.vec_get(&v, i);
+            }
+            node.barrier();
+            total
+        });
+        assert_eq!(run.results, vec![2048, 2048]);
+        let agg = run.aggregate_stats();
+        assert!(agg.page_fetches > 0);
+        assert!(agg.diffs_sent > 0);
+        assert!(agg.invalidations > 0, "write notices must invalidate");
+        assert!(agg.msgs_sent > 0);
+        assert!(agg.modeled_network > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn alloc_on_homes_pages_on_one_node() {
+        // Pages homed on node 1: node 1's reads after a barrier still see
+        // node 0's writes (via diff to home).
+        let run = DsmSystem::run(DsmConfig::new(2), |node| {
+            let v = node.alloc_vec_on::<i32>(512, 1);
+            node.barrier();
+            if node.id() == 0 {
+                for i in 0..512 {
+                    node.vec_set(&v, i, 7);
+                }
+            }
+            node.barrier();
+            (0..512).map(|i| node.vec_get(&v, i)).sum::<i32>()
+        });
+        assert_eq!(run.results, vec![512 * 7, 512 * 7]);
+    }
+
+    #[test]
+    fn results_are_indexed_by_node_id() {
+        let run = DsmSystem::run(DsmConfig::new(8), |node| node.id());
+        assert_eq!(run.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquired")]
+    fn double_lock_panics() {
+        let _ = DsmSystem::run(DsmConfig::new(1), |node| {
+            node.lock(0);
+            node.lock(0);
+        });
+    }
+
+    #[test]
+    fn scattered_writes_without_locks_merge_at_barrier() {
+        // The phase-2 pattern: node i writes positions i, i+P, i+2P...
+        // of a shared vector with no locks at all; the multiple-writer
+        // protocol merges everything at the barrier.
+        const P: usize = 4;
+        let run = DsmSystem::run(DsmConfig::new(P), |node| {
+            let v = node.alloc_vec::<i64>(100);
+            node.barrier();
+            let me = node.id();
+            let mut i = me;
+            while i < 100 {
+                node.vec_set(&v, i, i as i64 * 2);
+                i += P;
+            }
+            node.barrier();
+            node.vec_read_range(&v, 0..100)
+        });
+        for r in &run.results {
+            for (i, &x) in r.iter().enumerate() {
+                assert_eq!(x, i as i64 * 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Typed views over the global address space.
+//!
+//! DSM pages are raw bytes; [`DsmData`] defines a fixed-size, portable
+//! little-endian encoding so typed values can be stored in shared memory
+//! without `unsafe` transmutes. [`GlobalVec`] is a typed array handle —
+//! the moral equivalent of a pointer returned by `jia_alloc`.
+
+use std::marker::PhantomData;
+
+/// A fixed-size, byte-encodable value that can live in DSM pages.
+///
+/// Implementations must be self-consistent: `load(store(x)) == x`.
+pub trait DsmData: Sized {
+    /// Encoded length in bytes.
+    const LEN: usize;
+
+    /// Writes the value into `buf[..Self::LEN]`.
+    fn store(&self, buf: &mut [u8]);
+
+    /// Reads a value from `buf[..Self::LEN]`.
+    fn load(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_dsm_data_int {
+    ($($ty:ty),*) => {
+        $(
+            impl DsmData for $ty {
+                const LEN: usize = std::mem::size_of::<$ty>();
+                fn store(&self, buf: &mut [u8]) {
+                    buf[..Self::LEN].copy_from_slice(&self.to_le_bytes());
+                }
+                fn load(buf: &[u8]) -> Self {
+                    let mut b = [0u8; std::mem::size_of::<$ty>()];
+                    b.copy_from_slice(&buf[..Self::LEN]);
+                    <$ty>::from_le_bytes(b)
+                }
+            }
+        )*
+    };
+}
+
+impl_dsm_data_int!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl DsmData for bool {
+    const LEN: usize = 1;
+    fn store(&self, buf: &mut [u8]) {
+        buf[0] = *self as u8;
+    }
+    fn load(buf: &[u8]) -> Self {
+        buf[0] != 0
+    }
+}
+
+/// A byte address in the global shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalAddr(pub u64);
+
+impl GlobalAddr {
+    /// Byte offset arithmetic.
+    pub fn offset(self, bytes: u64) -> Self {
+        GlobalAddr(self.0 + bytes)
+    }
+}
+
+/// A typed array living in the global shared address space. Handles are
+/// plain values: clone/copy them freely and share them across nodes (all
+/// SPMD nodes compute identical handles from their identical allocation
+/// sequences).
+#[derive(Debug)]
+pub struct GlobalVec<T: DsmData> {
+    /// Base address of element 0.
+    pub base: GlobalAddr,
+    /// Number of elements.
+    pub len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls: `derive` would needlessly require `T: Clone`.
+impl<T: DsmData> Clone for GlobalVec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: DsmData> Copy for GlobalVec<T> {}
+
+impl<T: DsmData> GlobalVec<T> {
+    /// Wraps a base address as a typed array of `len` elements.
+    pub fn new(base: GlobalAddr, len: usize) -> Self {
+        Self {
+            base,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `i`.
+    pub fn addr_of(&self, i: usize) -> GlobalAddr {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.base.offset((i * T::LEN) as u64)
+    }
+
+    /// Total byte footprint.
+    pub fn byte_len(&self) -> usize {
+        self.len * T::LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trips() {
+        let mut buf = [0u8; 8];
+        (-123456789i64).store(&mut buf);
+        assert_eq!(i64::load(&buf), -123456789);
+        let mut buf4 = [0u8; 4];
+        0xDEADBEEFu32.store(&mut buf4);
+        assert_eq!(u32::load(&buf4), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn float_round_trips() {
+        let mut buf = [0u8; 8];
+        std::f64::consts::PI.store(&mut buf);
+        assert_eq!(f64::load(&buf), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn bool_round_trips() {
+        let mut buf = [0u8; 1];
+        true.store(&mut buf);
+        assert!(bool::load(&buf));
+        false.store(&mut buf);
+        assert!(!bool::load(&buf));
+    }
+
+    #[test]
+    fn global_vec_addressing() {
+        let v: GlobalVec<i32> = GlobalVec::new(GlobalAddr(4096), 10);
+        assert_eq!(v.addr_of(0).0, 4096);
+        assert_eq!(v.addr_of(3).0, 4096 + 12);
+        assert_eq!(v.byte_len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn global_vec_bounds_checked() {
+        let v: GlobalVec<i32> = GlobalVec::new(GlobalAddr(0), 2);
+        let _ = v.addr_of(2);
+    }
+}

@@ -1,0 +1,169 @@
+//! JIAJIA's optional home-migration feature (§3.1): correctness and the
+//! expected traffic reduction.
+
+use genomedsm_dsm::{DsmConfig, DsmSystem, NetworkModel};
+
+fn config(n: usize) -> DsmConfig {
+    DsmConfig::new(n).network(NetworkModel::zero())
+}
+
+#[test]
+fn single_writer_page_migrates_to_its_writer() {
+    // Node 1 repeatedly writes a page homed on node 0; with migration on,
+    // the first barrier moves the home to node 1 and subsequent diffs
+    // become local (free).
+    let run = DsmSystem::run(config(2).home_migration(true), |node| {
+        let v = node.alloc_vec::<i64>(64); // page 0, home = node 0
+        node.barrier();
+        for round in 0..5 {
+            if node.id() == 1 {
+                node.vec_set(&v, 0, round);
+            }
+            node.barrier();
+        }
+        node.vec_get(&v, 0)
+    });
+    assert_eq!(run.results, vec![4, 4], "values must stay correct");
+    assert!(
+        run.stats[0].migrations >= 1,
+        "the single-writer page should have migrated"
+    );
+}
+
+#[test]
+fn migration_preserves_correctness_under_reader_traffic() {
+    // Writer on node 2, readers everywhere; with migration the data must
+    // stay exact across the home handoff.
+    let run = DsmSystem::run(config(4).home_migration(true), |node| {
+        let v = node.alloc_vec::<i64>(256);
+        node.barrier();
+        let mut sums = Vec::new();
+        for round in 1..=6i64 {
+            if node.id() == 2 {
+                for k in 0..256 {
+                    node.vec_set(&v, k, round * 1000 + k as i64);
+                }
+            }
+            node.barrier();
+            let s: i64 = node.vec_read_range(&v, 0..256).iter().sum();
+            sums.push(s);
+            node.barrier();
+        }
+        sums
+    });
+    for r in &run.results {
+        for (i, &s) in r.iter().enumerate() {
+            let round = i as i64 + 1;
+            let expect: i64 = (0..256).map(|k| round * 1000 + k as i64).sum();
+            assert_eq!(s, expect, "round {round}");
+        }
+    }
+}
+
+#[test]
+fn migration_reduces_diff_traffic() {
+    // Same workload with and without migration: the writer's modeled
+    // network cost must drop once its diffs become local.
+    let workload = |node: &mut genomedsm_dsm::Node| {
+        let v = node.alloc_vec::<i64>(512);
+        node.barrier();
+        for round in 0..10i64 {
+            if node.id() == 1 {
+                for k in 0..512 {
+                    node.vec_set(&v, k, round + k as i64);
+                }
+            }
+            node.barrier();
+        }
+        node.vec_get(&v, 511)
+    };
+    let base_cfg = DsmConfig::new(2); // fast_ethernet: costs are modeled
+    let off = DsmSystem::run(base_cfg.clone(), workload);
+    let on = DsmSystem::run(base_cfg.home_migration(true), workload);
+    assert_eq!(off.results, on.results);
+    let writer_off = off.stats[1].modeled_network;
+    let writer_on = on.stats[1].modeled_network;
+    assert!(
+        writer_on < writer_off,
+        "migration should cut the writer's network cost: {writer_on:?} vs {writer_off:?}"
+    );
+}
+
+#[test]
+fn multi_writer_pages_do_not_migrate() {
+    // Two nodes write the same page every round: no single writer, so the
+    // home stays put and no migrations are recorded.
+    let run = DsmSystem::run(config(2).home_migration(true), |node| {
+        let v = node.alloc_vec::<i64>(64);
+        node.barrier();
+        for round in 0..4i64 {
+            node.vec_set(&v, node.id(), round);
+            node.barrier();
+        }
+        node.stats().migrations
+    });
+    assert_eq!(run.results, vec![0, 0]);
+}
+
+#[test]
+fn migration_off_by_default() {
+    let run = DsmSystem::run(config(2), |node| {
+        let v = node.alloc_vec::<i64>(64);
+        node.barrier();
+        for _ in 0..3 {
+            if node.id() == 1 {
+                node.vec_set(&v, 0, 9);
+            }
+            node.barrier();
+        }
+        node.stats().migrations
+    });
+    assert_eq!(run.results, vec![0, 0], "JIAJIA features start OFF");
+}
+
+#[test]
+fn migrated_page_survives_lock_synchronization_too() {
+    // After a barrier-driven migration, lock-protected updates keep
+    // working (the lock path uses the same overridden home map).
+    let run = DsmSystem::run(config(3).home_migration(true), |node| {
+        let v = node.alloc_vec::<i64>(64);
+        node.barrier();
+        // Make node 2 the single writer so the page migrates there.
+        if node.id() == 2 {
+            node.vec_set(&v, 0, 1);
+        }
+        node.barrier();
+        // Now everyone increments under a lock.
+        for _ in 0..5 {
+            node.lock(0);
+            let x = node.vec_get(&v, 0);
+            node.vec_set(&v, 0, x + 1);
+            node.unlock(0);
+        }
+        node.barrier();
+        node.vec_get(&v, 0)
+    });
+    assert_eq!(run.results, vec![16, 16, 16]);
+}
+
+#[test]
+fn chained_migrations_follow_the_writer() {
+    // The writer role moves from node to node; the home follows it.
+    let run = DsmSystem::run(config(4).home_migration(true), |node| {
+        let v = node.alloc_vec::<i64>(64);
+        node.barrier();
+        for writer in 0..4usize {
+            for round in 0..2 {
+                if node.id() == writer {
+                    node.vec_set(&v, 0, (writer * 10 + round) as i64);
+                }
+                node.barrier();
+            }
+        }
+        (node.vec_get(&v, 0), node.stats().migrations)
+    });
+    for &(v, migrations) in &run.results {
+        assert_eq!(v, 31);
+        assert!(migrations >= 2, "home should have chased the writers");
+    }
+}

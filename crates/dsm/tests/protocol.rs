@@ -1,0 +1,226 @@
+//! Protocol edge cases: page-boundary access, eviction under pressure,
+//! lock manager distribution, notice bookkeeping, and counter accuracy.
+
+use genomedsm_dsm::{DsmConfig, DsmSystem, NetworkModel};
+
+fn config(n: usize) -> DsmConfig {
+    DsmConfig::new(n).network(NetworkModel::zero())
+}
+
+#[test]
+fn values_spanning_page_boundaries_round_trip() {
+    // With 64-byte pages, an i64 written every 60 bytes regularly crosses
+    // page boundaries.
+    let run = DsmSystem::run(config(2).page_size(64), |node| {
+        let base = node.alloc_bytes(4096);
+        node.barrier();
+        if node.id() == 0 {
+            for k in 0..60 {
+                node.write::<i64>(base.offset(k * 60), &(k as i64 * 1_000_003));
+            }
+        }
+        node.barrier();
+        (0..60)
+            .map(|k| node.read::<i64>(base.offset(k * 60)))
+            .collect::<Vec<i64>>()
+    });
+    for r in &run.results {
+        for (k, &v) in r.iter().enumerate() {
+            assert_eq!(v, k as i64 * 1_000_003);
+        }
+    }
+}
+
+#[test]
+fn locks_are_distributed_across_managers() {
+    // Locks 0..8 on 4 nodes: managers are id % 4. All must work from any
+    // node, including self-managed locks.
+    let run = DsmSystem::run(config(4), |node| {
+        let v = node.alloc_vec::<i64>(8);
+        node.barrier();
+        for lock in 0..8u32 {
+            node.lock(lock);
+            let i = lock as usize;
+            let x = node.vec_get(&v, i);
+            node.vec_set(&v, i, x + 1);
+            node.unlock(lock);
+        }
+        node.barrier();
+        node.vec_read_range(&v, 0..8)
+    });
+    for r in &run.results {
+        assert_eq!(r, &vec![4i64; 8]);
+    }
+}
+
+#[test]
+fn eviction_of_modified_pages_preserves_writes() {
+    // Cache of 2 pages, writes to 32 pages: every write-back must survive
+    // eviction (the replacement algorithm flushes dirty victims).
+    let run = DsmSystem::run(config(2).page_size(256).cache_pages(2), |node| {
+        let v = node.alloc_vec::<i32>(2048); // 32 pages of 64 ints
+        node.barrier();
+        if node.id() == 1 {
+            for i in 0..2048 {
+                node.vec_set(&v, i, i as i32 ^ 0x5A5A);
+            }
+        }
+        node.barrier();
+        let mut ok = true;
+        for i in 0..2048 {
+            ok &= node.vec_get(&v, i) == i as i32 ^ 0x5A5A;
+        }
+        node.barrier();
+        ok
+    });
+    assert_eq!(run.results, vec![true, true]);
+}
+
+#[test]
+fn interleaved_condition_variables_do_not_cross_talk() {
+    let run = DsmSystem::run(config(3), |node| {
+        node.barrier();
+        match node.id() {
+            0 => {
+                for _ in 0..10 {
+                    node.setcv(10);
+                    node.setcv(11);
+                }
+                0
+            }
+            1 => {
+                let mut n = 0;
+                for _ in 0..10 {
+                    node.waitcv(10);
+                    n += 1;
+                }
+                n
+            }
+            _ => {
+                let mut n = 0;
+                for _ in 0..10 {
+                    node.waitcv(11);
+                    n += 1;
+                }
+                n
+            }
+        }
+    });
+    assert_eq!(run.results, vec![0, 10, 10]);
+}
+
+#[test]
+fn stats_counters_are_exact_for_a_scripted_run() {
+    let run = DsmSystem::run(config(2).page_size(4096), |node| {
+        let v = node.alloc_vec::<i32>(512); // 2048 B: one page, home node 0
+        node.barrier();
+        if node.id() == 1 {
+            // One remote fetch (write fault), one diff at the barrier.
+            node.vec_set(&v, 0, 7);
+        }
+        node.barrier();
+        if node.id() == 1 {
+            // Cached and not invalidated (we were the writer): no fetch.
+            let _ = node.vec_get(&v, 0);
+        }
+        node.barrier();
+    });
+    let s1 = &run.stats[1];
+    assert_eq!(s1.page_fetches, 1, "exactly one fault expected");
+    assert_eq!(s1.diffs_sent, 1, "exactly one diff expected");
+    let s0 = &run.stats[0];
+    assert_eq!(s0.page_fetches, 0, "node 0 never touched the page");
+}
+
+#[test]
+fn writer_keeps_its_copy_after_release() {
+    // Scope consistency: the releaser's page stays valid (downgraded to
+    // read-only), so re-reading it costs no new fetch.
+    let run = DsmSystem::run(config(2), |node| {
+        let v = node.alloc_vec::<i64>(64);
+        node.barrier();
+        if node.id() == 0 {
+            node.lock(0);
+            node.vec_set(&v, 3, 42);
+            node.unlock(0);
+            let fetches_before = node.stats().page_fetches;
+            let x = node.vec_get(&v, 3);
+            let fetches_after = node.stats().page_fetches;
+            (x, fetches_after - fetches_before)
+        } else {
+            (0, 0)
+        }
+    });
+    // Node 0 reads its own write without re-fetching.
+    assert_eq!(run.results[0], (42, 0));
+}
+
+#[test]
+fn eight_node_all_to_all_notices() {
+    // Every node writes its own page; after the barrier every node reads
+    // all pages. Tests notice fan-out at the paper's cluster size.
+    const N: usize = 8;
+    let run = DsmSystem::run(config(N), |node| {
+        let v = node.alloc_vec::<i64>(N * 512); // one page per node
+        // Cache everything (so invalidations have something to do).
+        let _ = node.vec_read_range(&v, 0..N * 512);
+        node.barrier();
+        node.vec_set(&v, node.id() * 512, node.id() as i64 + 100);
+        node.barrier();
+        (0..N)
+            .map(|k| node.vec_get(&v, k * 512))
+            .collect::<Vec<i64>>()
+    });
+    for r in &run.results {
+        let expect: Vec<i64> = (0..N as i64).map(|k| k + 100).collect();
+        assert_eq!(r, &expect);
+    }
+}
+
+#[test]
+fn empty_allocation_is_harmless() {
+    let run = DsmSystem::run(config(2), |node| {
+        let v = node.alloc_vec::<i32>(0);
+        node.barrier();
+        node.vec_read_range(&v, 0..0).len()
+    });
+    assert_eq!(run.results, vec![0, 0]);
+}
+
+#[test]
+fn sequential_lock_reuse_by_one_node() {
+    let run = DsmSystem::run(config(1), |node| {
+        for i in 0..100 {
+            node.lock(5);
+            node.unlock(5);
+            let _ = i;
+        }
+        true
+    });
+    assert!(run.results[0]);
+}
+
+#[test]
+#[should_panic(expected = "does not hold")]
+fn unlock_without_lock_panics() {
+    let _ = DsmSystem::run(config(1), |node| {
+        node.unlock(9);
+    });
+}
+
+#[test]
+fn write_bytes_across_many_pages_then_read_back() {
+    let run = DsmSystem::run(config(2).page_size(128), |node| {
+        let base = node.alloc_bytes(10_000);
+        node.barrier();
+        let payload: Vec<u8> = (0..9_000).map(|i| (i % 251) as u8).collect();
+        if node.id() == 0 {
+            node.write_bytes(base.offset(500), &payload);
+        }
+        node.barrier();
+        let mut buf = vec![0u8; 9_000];
+        node.read_bytes(base.offset(500), &mut buf);
+        buf == payload
+    });
+    assert_eq!(run.results, vec![true, true]);
+}

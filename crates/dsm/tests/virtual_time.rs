@@ -1,0 +1,253 @@
+//! Validation of the virtual-time simulation: the clock arithmetic that
+//! execution times and speed-ups are derived from.
+
+use genomedsm_dsm::{DsmConfig, DsmSystem, NetworkModel};
+use std::time::Duration;
+
+fn zero_net(n: usize) -> DsmConfig {
+    DsmConfig::new(n).network(NetworkModel::zero())
+}
+
+#[test]
+fn advance_accumulates_into_total() {
+    let run = DsmSystem::run(zero_net(1), |node| {
+        node.advance(Duration::from_millis(25));
+        node.advance(Duration::from_millis(17));
+        node.now()
+    });
+    assert_eq!(run.results[0], Duration::from_millis(42));
+    assert_eq!(run.stats[0].total, Duration::from_millis(42));
+    assert_eq!(run.stats[0].computation(), Duration::from_millis(42));
+}
+
+#[test]
+fn barrier_waits_for_the_slowest_node() {
+    // Node i computes i*10 ms; after the barrier every clock is at the
+    // maximum (plus zero network cost).
+    let run = DsmSystem::run(zero_net(4), |node| {
+        node.advance(Duration::from_millis(node.id() as u64 * 10));
+        node.barrier();
+        node.now()
+    });
+    for (id, &t) in run.results.iter().enumerate() {
+        assert_eq!(t, Duration::from_millis(30), "node {id}");
+    }
+    // The fastest node waited the longest.
+    assert_eq!(run.stats[0].barrier, Duration::from_millis(30));
+    assert_eq!(run.stats[3].barrier, Duration::ZERO);
+}
+
+#[test]
+fn barrier_includes_network_cost() {
+    let latency = Duration::from_millis(2);
+    let config = DsmConfig::new(2).network(NetworkModel {
+        latency,
+        bandwidth: f64::INFINITY,
+        simulate: false,
+    });
+    let run = DsmSystem::run(config, |node| {
+        node.barrier();
+        node.now()
+    });
+    // Node 1's barrier message travels to node 0 (+2 ms) and the grant
+    // travels back (+2 ms); node 0's messages are local (free).
+    assert_eq!(run.results[1], Duration::from_millis(4));
+    assert_eq!(run.results[0], Duration::from_millis(2)); // remote arrival gates it
+}
+
+#[test]
+fn lock_grant_respects_previous_release() {
+    // Two nodes take the same lock; the second acquirer's clock must pass
+    // the first holder's release time.
+    let run = DsmSystem::run(zero_net(2), |node| {
+        node.barrier();
+        if node.id() == 0 {
+            node.lock(0);
+            node.advance(Duration::from_millis(50)); // long critical section
+            node.unlock(0);
+        } else {
+            // Give node 0 the lock first in *real* execution order.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            node.lock(0);
+            node.unlock(0);
+        }
+        node.barrier();
+        node.now()
+    });
+    // Node 1 could not hold the lock before node 0 released at t=50ms.
+    assert!(
+        run.results[1] >= Duration::from_millis(50),
+        "lock grant ignored the release time: {:?}",
+        run.results[1]
+    );
+}
+
+#[test]
+fn cv_waiter_clock_reaches_signal_time() {
+    let run = DsmSystem::run(zero_net(2), |node| {
+        node.barrier();
+        if node.id() == 0 {
+            node.advance(Duration::from_millis(30));
+            node.setcv(5);
+        } else {
+            node.waitcv(5);
+        }
+        node.now()
+    });
+    assert!(run.results[1] >= Duration::from_millis(30));
+    assert!(run.stats[1].lock_cv >= Duration::from_millis(30));
+}
+
+#[test]
+fn cv_signal_after_wait_still_pairs_correctly() {
+    // The waiter waits (real) first; the signal arrives later with a
+    // larger virtual stamp; the waiter's clock must land on it.
+    let run = DsmSystem::run(zero_net(2), |node| {
+        node.barrier();
+        if node.id() == 1 {
+            node.waitcv(9);
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            node.advance(Duration::from_millis(77));
+            node.setcv(9);
+        }
+        node.now()
+    });
+    assert!(run.results[1] >= Duration::from_millis(77));
+}
+
+#[test]
+fn page_fetch_charges_communication_bucket() {
+    let latency = Duration::from_millis(1);
+    let config = DsmConfig::new(2).network(NetworkModel {
+        latency,
+        bandwidth: f64::INFINITY,
+        simulate: false,
+    });
+    let run = DsmSystem::run(config, |node| {
+        // Pages are homed round-robin; touch several so at least half the
+        // fetches are remote for each node.
+        let v = node.alloc_vec::<i64>(4096);
+        let mut sum = 0;
+        for k in 0..8 {
+            sum += node.vec_get(&v, k * 512);
+        }
+        node.barrier();
+        sum
+    });
+    for s in &run.stats {
+        assert!(
+            s.communication >= Duration::from_millis(4),
+            "remote fetches must cost round trips: {:?}",
+            s.communication
+        );
+    }
+}
+
+#[test]
+fn wavefront_speedup_emerges_in_virtual_time() {
+    // The point of the whole exercise: a pipelined producer/consumer
+    // chain shows real parallel overlap in virtual time even on a
+    // single-core host. Each of 4 nodes does 10 units of work per round,
+    // handing a token down the chain; with P nodes and R rounds the
+    // critical path is (P-1 + R) units, not P*R.
+    const ROUNDS: u64 = 50;
+    const WORK: Duration = Duration::from_millis(10);
+    let run = DsmSystem::run(zero_net(4), |node| {
+        let p = node.id();
+        node.barrier();
+        for round in 0..ROUNDS {
+            if p > 0 {
+                node.waitcv((p - 1) as u32);
+            }
+            node.advance(WORK);
+            if p < 3 {
+                node.setcv(p as u32);
+            }
+            let _ = round;
+        }
+        node.barrier();
+        node.now()
+    });
+    let total = run.results[3];
+    // Critical path: node 0 streams 50 rounds; node 3 lags 3 stages.
+    let expect = WORK * (ROUNDS as u32 + 3);
+    assert_eq!(total, expect, "pipeline virtual time wrong");
+    // Far below the serialized 4 * 50 * 10ms = 2s.
+    assert!(total < Duration::from_millis(600));
+}
+
+#[test]
+fn total_equals_bucket_sum() {
+    // computation + communication + lock_cv + barrier == total, exactly.
+    let run = DsmSystem::run(zero_net(3), |node| {
+        let v = node.alloc_vec::<i32>(2000);
+        node.barrier();
+        node.advance(Duration::from_millis(node.id() as u64 * 3 + 1));
+        if node.id() == 0 {
+            for i in 0..2000 {
+                node.vec_set(&v, i, 1);
+            }
+        }
+        node.lock(2);
+        node.unlock(2);
+        node.barrier();
+        let _ = node.vec_get(&v, 1999);
+        node.barrier();
+    });
+    for s in &run.stats {
+        let sum = s.computation() + s.communication + s.lock_cv + s.barrier;
+        assert_eq!(sum, s.total);
+    }
+}
+
+#[test]
+fn bandwidth_charges_scale_with_page_size() {
+    let config = DsmConfig::new(2)
+        .page_size(8192)
+        .network(NetworkModel {
+            latency: Duration::ZERO,
+            bandwidth: 1.0e6, // 1 MB/s: one 8K page ≈ 8 ms
+            simulate: false,
+        });
+    let run = DsmSystem::run(config, |node| {
+        let v = node.alloc_vec::<i64>(1024); // one page
+        node.barrier();
+        let _ = node.vec_get(&v, 0);
+        node.now()
+    });
+    // One of the two nodes is remote from the page's home and pays the
+    // transfer time.
+    let max = run.results.iter().max().unwrap();
+    assert!(*max >= Duration::from_millis(8), "transfer not charged: {max:?}");
+}
+
+#[test]
+fn heterogeneous_speeds_scale_computation() {
+    let config = zero_net(2).speeds(vec![1.0, 0.5]);
+    let run = DsmSystem::run(config, |node| {
+        node.advance(Duration::from_millis(10));
+        node.now()
+    });
+    assert_eq!(run.results[0], Duration::from_millis(10));
+    assert_eq!(run.results[1], Duration::from_millis(20)); // half speed
+}
+
+#[test]
+fn slow_node_gates_the_barrier() {
+    let config = zero_net(4).speeds(vec![1.0, 1.0, 1.0, 0.25]);
+    let run = DsmSystem::run(config, |node| {
+        node.advance(Duration::from_millis(10));
+        node.barrier();
+        node.now()
+    });
+    for &t in &run.results {
+        assert_eq!(t, Duration::from_millis(40)); // the 0.25x node's time
+    }
+}
+
+#[test]
+#[should_panic(expected = "one speed per node")]
+fn speeds_length_checked() {
+    let _ = zero_net(3).speeds(vec![1.0]);
+}

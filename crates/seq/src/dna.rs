@@ -1,0 +1,343 @@
+//! The [`DnaSeq`] type: a validated, upper-case DNA sequence over `{A,C,G,T}`.
+//!
+//! Sequences are stored as plain ASCII bytes so the alignment kernels can
+//! work on `&[u8]` slices without conversion. Validation happens once at
+//! construction.
+
+use std::fmt;
+use std::ops::{Deref, Index};
+
+/// The four DNA bases in ASCII, the only bytes a [`DnaSeq`] may contain.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Returns `true` if `b` is one of the four upper-case DNA bases.
+#[inline]
+pub fn is_base(b: u8) -> bool {
+    matches!(b, b'A' | b'C' | b'G' | b'T')
+}
+
+/// Returns the Watson-Crick complement of a base.
+///
+/// # Panics
+/// Panics if `b` is not a valid base.
+#[inline]
+pub fn complement(b: u8) -> u8 {
+    match b {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        other => panic!("not a DNA base: 0x{other:02x}"),
+    }
+}
+
+/// Maps a base to a dense index in `0..4` (A=0, C=1, G=2, T=3).
+///
+/// # Panics
+/// Panics if `b` is not a valid base.
+#[inline]
+pub fn base_index(b: u8) -> usize {
+    match b {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        other => panic!("not a DNA base: 0x{other:02x}"),
+    }
+}
+
+/// Error returned when constructing a [`DnaSeq`] from bytes that contain a
+/// character outside `{A,C,G,T,a,c,g,t}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidBase {
+    /// Byte offset of the first offending character.
+    pub position: usize,
+    /// The offending byte.
+    pub byte: u8,
+}
+
+impl fmt::Display for InvalidBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid DNA base 0x{:02x} at position {}",
+            self.byte, self.position
+        )
+    }
+}
+
+impl std::error::Error for InvalidBase {}
+
+/// A validated DNA sequence.
+///
+/// Dereferences to `&[u8]` so it can be passed directly to the alignment
+/// kernels in `genomedsm-core`, which operate on byte slices.
+///
+/// ```
+/// use genomedsm_seq::DnaSeq;
+/// let s = DnaSeq::new("GACGGATTAG").unwrap();
+/// assert_eq!(s.len(), 10);
+/// assert_eq!(&s.as_bytes()[..3], b"GAC");
+/// assert_eq!(s.reversed().to_string(), "GATTAGGCAG");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaSeq(Vec<u8>);
+
+impl DnaSeq {
+    /// Builds a sequence from anything string-like, upper-casing as needed.
+    pub fn new(s: impl AsRef<[u8]>) -> Result<Self, InvalidBase> {
+        let raw = s.as_ref();
+        let mut bytes = Vec::with_capacity(raw.len());
+        for (position, &b) in raw.iter().enumerate() {
+            let up = b.to_ascii_uppercase();
+            if !is_base(up) {
+                return Err(InvalidBase { position, byte: b });
+            }
+            bytes.push(up);
+        }
+        Ok(Self(bytes))
+    }
+
+    /// Wraps bytes that are already known to be valid upper-case bases.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a byte is not a valid base.
+    pub fn from_bases(bytes: Vec<u8>) -> Self {
+        debug_assert!(bytes.iter().all(|&b| is_base(b)), "invalid base");
+        Self(bytes)
+    }
+
+    /// The empty sequence.
+    pub fn empty() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Sequence length in base pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the sequence contains no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Raw base bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the sequence, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// The sequence read right-to-left (used by the Section-6 reverse
+    /// algorithm in `genomedsm-core`).
+    pub fn reversed(&self) -> Self {
+        let mut v = self.0.clone();
+        v.reverse();
+        Self(v)
+    }
+
+    /// The reverse complement (read the opposite strand).
+    pub fn reverse_complement(&self) -> Self {
+        Self(self.0.iter().rev().map(|&b| complement(b)).collect())
+    }
+
+    /// A sub-sequence by half-open byte range.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        Self(self.0[start..end].to_vec())
+    }
+
+    /// Fraction of positions where `self` and `other` carry the same base,
+    /// over the shorter of the two lengths. Returns 1.0 for two empties.
+    pub fn identity_with(&self, other: &Self) -> f64 {
+        let n = self.len().min(other.len());
+        if n == 0 {
+            return 1.0;
+        }
+        let same = self.0[..n]
+            .iter()
+            .zip(&other.0[..n])
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / n as f64
+    }
+
+    /// Counts of A, C, G, T in that order.
+    pub fn base_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for &b in &self.0 {
+            counts[base_index(b)] += 1;
+        }
+        counts
+    }
+
+    /// GC content in `[0, 1]`; 0 for the empty sequence.
+    pub fn gc_content(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let c = self.base_counts();
+        (c[1] + c[2]) as f64 / self.len() as f64
+    }
+
+    /// Appends another sequence.
+    pub fn extend_from(&mut self, other: &Self) {
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// Appends a single validated base.
+    pub fn push(&mut self, base: u8) {
+        assert!(is_base(base), "invalid base");
+        self.0.push(base);
+    }
+}
+
+impl Deref for DnaSeq {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Index<usize> for DnaSeq {
+    type Output = u8;
+    fn index(&self, i: usize) -> &u8 {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Validated at construction, so this is always valid UTF-8.
+        f.write_str(std::str::from_utf8(&self.0).expect("bases are ASCII"))
+    }
+}
+
+impl fmt::Debug for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 40 {
+            write!(f, "DnaSeq({self})")
+        } else {
+            write!(
+                f,
+                "DnaSeq({}..{} [{} bp])",
+                std::str::from_utf8(&self.0[..16]).expect("ASCII"),
+                std::str::from_utf8(&self.0[self.len() - 16..]).expect("ASCII"),
+                self.len()
+            )
+        }
+    }
+}
+
+impl std::str::FromStr for DnaSeq {
+    type Err = InvalidBase;
+    fn from_str(s: &str) -> Result<Self, InvalidBase> {
+        Self::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_and_uppercases() {
+        let s = DnaSeq::new("acgT").unwrap();
+        assert_eq!(s.as_bytes(), b"ACGT");
+    }
+
+    #[test]
+    fn new_rejects_invalid() {
+        let err = DnaSeq::new("ACGN").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert_eq!(err.byte, b'N');
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        for &b in &BASES {
+            assert_eq!(complement(complement(b)), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a DNA base")]
+    fn complement_panics_on_invalid() {
+        complement(b'N');
+    }
+
+    #[test]
+    fn reverse_complement_round_trips() {
+        let s = DnaSeq::new("GACGGATTAG").unwrap();
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let s = DnaSeq::new("ACGT").unwrap();
+        assert_eq!(s.reversed().as_bytes(), b"TGCA");
+        assert_eq!(s.reversed().reversed(), s);
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let s = DnaSeq::new("GACGGATTAG").unwrap();
+        assert_eq!(s.slice(2, 5).as_bytes(), b"CGG");
+    }
+
+    #[test]
+    fn identity_with_self_is_one() {
+        let s = DnaSeq::new("GACGGATTAG").unwrap();
+        assert!((s.identity_with(&s) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn identity_with_complement_strand() {
+        let s = DnaSeq::new("AAAA").unwrap();
+        let t = DnaSeq::new("TTTT").unwrap();
+        assert_eq!(s.identity_with(&t), 0.0);
+    }
+
+    #[test]
+    fn identity_of_empties_is_one() {
+        assert_eq!(DnaSeq::empty().identity_with(&DnaSeq::empty()), 1.0);
+    }
+
+    #[test]
+    fn base_counts_and_gc() {
+        let s = DnaSeq::new("ACGTGC").unwrap();
+        assert_eq!(s.base_counts(), [1, 2, 2, 1]);
+        assert!((s.gc_content() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = DnaSeq::new("GATTACA").unwrap();
+        assert_eq!(s.to_string().parse::<DnaSeq>().unwrap(), s);
+    }
+
+    #[test]
+    fn debug_abbreviates_long_sequences() {
+        let s = DnaSeq::from_bases(vec![b'A'; 100]);
+        let d = format!("{s:?}");
+        assert!(d.contains("100 bp"));
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut s = DnaSeq::empty();
+        s.push(b'A');
+        let t = DnaSeq::new("CG").unwrap();
+        s.extend_from(&t);
+        assert_eq!(s.as_bytes(), b"ACG");
+    }
+}

@@ -1,0 +1,214 @@
+//! Minimal FASTA reading and writing.
+//!
+//! The paper's workflow starts from FASTA files downloaded from NCBI. This
+//! module lets the examples and the harness save the synthetic genomes to
+//! disk and read them back, so runs can be repeated on fixed inputs.
+
+use crate::dna::DnaSeq;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// One FASTA record: a header line (without `>`) and its sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Text after `>` on the header line.
+    pub id: String,
+    /// The sequence body.
+    pub seq: DnaSeq,
+}
+
+/// Errors produced while parsing FASTA input.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data appeared before any `>` header.
+    MissingHeader {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// A sequence line contained a non-DNA character.
+    InvalidBase {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "line {line}: sequence data before any '>' header")
+            }
+            FastaError::InvalidBase { line, byte } => {
+                write!(f, "line {line}: invalid base 0x{byte:02x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parses all records from a FASTA reader.
+///
+/// Blank lines are ignored; sequence lines may be wrapped at any width.
+pub fn read_fasta(reader: impl BufRead) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<(String, Vec<u8>)> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some((id, bytes)) = current.take() {
+                records.push(FastaRecord {
+                    id,
+                    seq: DnaSeq::from_bases(bytes),
+                });
+            }
+            current = Some((header.trim().to_string(), Vec::new()));
+        } else {
+            let (_, bytes) = current
+                .as_mut()
+                .ok_or(FastaError::MissingHeader { line: line_no })?;
+            for &b in line.as_bytes() {
+                let up = b.to_ascii_uppercase();
+                if !crate::dna::is_base(up) {
+                    return Err(FastaError::InvalidBase {
+                        line: line_no,
+                        byte: b,
+                    });
+                }
+                bytes.push(up);
+            }
+        }
+    }
+    if let Some((id, bytes)) = current {
+        records.push(FastaRecord {
+            id,
+            seq: DnaSeq::from_bases(bytes),
+        });
+    }
+    Ok(records)
+}
+
+/// Reads all records from a FASTA file on disk.
+pub fn read_fasta_file(path: impl AsRef<Path>) -> Result<Vec<FastaRecord>, FastaError> {
+    let file = std::fs::File::open(path)?;
+    read_fasta(io::BufReader::new(file))
+}
+
+/// Writes records in FASTA format, wrapping sequence lines at `width`.
+pub fn write_fasta(
+    mut writer: impl Write,
+    records: &[FastaRecord],
+    width: usize,
+) -> io::Result<()> {
+    let width = width.max(1);
+    for rec in records {
+        writeln!(writer, ">{}", rec.id)?;
+        for chunk in rec.seq.as_bytes().chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes records to a FASTA file on disk (70-column wrapping).
+pub fn write_fasta_file(path: impl AsRef<Path>, records: &[FastaRecord]) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_fasta(io::BufWriter::new(file), records, 70)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_dna;
+
+    #[test]
+    fn round_trip_single_record() {
+        let rec = FastaRecord {
+            id: "chr1 test".into(),
+            seq: random_dna(500, 1),
+        };
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, std::slice::from_ref(&rec), 60).unwrap();
+        let parsed = read_fasta(buf.as_slice()).unwrap();
+        assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn round_trip_multiple_records() {
+        let recs = vec![
+            FastaRecord {
+                id: "a".into(),
+                seq: random_dna(10, 1),
+            },
+            FastaRecord {
+                id: "b".into(),
+                seq: random_dna(200, 2),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs, 7).unwrap();
+        assert_eq!(read_fasta(buf.as_slice()).unwrap(), recs);
+    }
+
+    #[test]
+    fn parses_wrapped_and_blank_lines() {
+        let text = ">x\nACG\n\nT\n>y desc\nGG\n";
+        let recs = read_fasta(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq.as_bytes(), b"ACGT");
+        assert_eq!(recs[1].id, "y desc");
+    }
+
+    #[test]
+    fn lowercase_input_uppercased() {
+        let recs = read_fasta(">x\nacgt\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.as_bytes(), b"ACGT");
+    }
+
+    #[test]
+    fn rejects_headerless_sequence() {
+        let err = read_fasta("ACGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn rejects_invalid_base() {
+        let err = read_fasta(">x\nACGN\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            FastaError::InvalidBase { line: 2, byte: b'N' }
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("genomedsm_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fa");
+        let recs = vec![FastaRecord {
+            id: "g".into(),
+            seq: random_dna(1000, 3),
+        }];
+        write_fasta_file(&path, &recs).unwrap();
+        assert_eq!(read_fasta_file(&path).unwrap(), recs);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,111 @@
+//! Era-calibrated virtual-time cost model.
+//!
+//! The reproduction runs on a simulated cluster with virtual clocks (see
+//! `genomedsm-dsm`). Computation advances a node's clock by
+//! `cells × cell cost`; the per-cell costs here are calibrated to the
+//! paper's own measurements on its Pentium II 350 MHz nodes:
+//!
+//! * **Heuristic cell** (the §4.1 kernel with candidate metadata):
+//!   Table 1's serial run on the 50 kBP pair takes 3461 s for
+//!   50 000 × 50 000 cells → **1.38 µs per cell** (the 15 kBP row gives
+//!   1.32 µs — consistent). We use 1.4 µs.
+//! * **Plain SW cell** (the §5 pre-process kernel, scores only): Fig. 19's
+//!   sequential 80 kBP runs sit near 900 s for 6.4·10⁹ cells →
+//!   **~140 ns per cell**, an order of magnitude cheaper than the
+//!   metadata-heavy heuristic cell, matching the paper's motivation for
+//!   the strategy.
+//! * **Global-alignment cell** (phase 2's NW with traceback): not
+//!   directly reported; we take 250 ns (between the two, as NW keeps the
+//!   full matrix but no candidate metadata). Fig. 15 reports only
+//!   speed-ups, which are insensitive to this constant.
+//!
+//! [`measured_hcell_cost`] and [`measured_plain_cost`] calibrate the
+//! *host's* real kernel speed instead, for modern-hardware what-if runs.
+
+use genomedsm_core::{HCell, HeuristicParams, RowKernel, Scoring};
+use std::time::Duration;
+
+/// Era cost of one heuristic (§4.1) cell update.
+pub const HCELL_CELL: Duration = Duration::from_nanos(1400);
+
+/// Era cost of one plain SW (§5) cell update.
+pub const PLAIN_CELL: Duration = Duration::from_nanos(140);
+
+/// Era cost of one global-alignment (phase 2) cell.
+pub const NW_CELL: Duration = Duration::from_nanos(250);
+
+/// Virtual duration of `cells` cell updates at `per_cell`.
+#[inline]
+pub fn cells(per_cell: Duration, cells: usize) -> Duration {
+    Duration::from_nanos(per_cell.as_nanos() as u64 * cells as u64)
+}
+
+/// Measures this host's real heuristic-kernel speed (ns/cell) by timing a
+/// ~1M-cell run. Use for modern-hardware simulations.
+pub fn measured_hcell_cost() -> Duration {
+    let kernel = RowKernel::new(
+        Scoring::paper(),
+        HeuristicParams {
+            open_threshold: 10,
+            close_threshold: 10,
+            min_score: 1000,
+        },
+    );
+    let n = 1024usize;
+    let rows = 1024usize;
+    let t: Vec<u8> = (0..n).map(|i| b"ACGT"[i % 4]).collect();
+    let mut prev = vec![HCell::fresh(); n + 1];
+    let mut cur = vec![HCell::fresh(); n + 1];
+    let mut queue = Vec::new();
+    let t0 = std::time::Instant::now();
+    for i in 1..=rows {
+        cur[0] = HCell::fresh();
+        kernel.process_row_segment(i, b"ACGT"[i % 4], &t, 1, &prev, &mut cur, &mut queue);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let dt = t0.elapsed();
+    std::hint::black_box(&prev);
+    Duration::from_nanos((dt.as_nanos() as u64 / (rows * n) as u64).max(1))
+}
+
+/// Measures this host's real plain-SW-kernel speed (ns/cell).
+pub fn measured_plain_cost() -> Duration {
+    let scoring = Scoring::paper();
+    let n = 1024usize;
+    let rows = 1024usize;
+    let s: Vec<u8> = (0..rows).map(|i| b"ACGT"[(i * 3) % 4]).collect();
+    let t: Vec<u8> = (0..n).map(|i| b"ACGT"[i % 4]).collect();
+    let t0 = std::time::Instant::now();
+    let r = genomedsm_core::linear::sw_score_linear(&s, &t, &scoring, i32::MAX);
+    let dt = t0.elapsed();
+    std::hint::black_box(r);
+    Duration::from_nanos((dt.as_nanos() as u64 / (rows * n) as u64).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_scales_linearly() {
+        assert_eq!(
+            cells(Duration::from_nanos(100), 1000),
+            Duration::from_micros(100)
+        );
+        assert_eq!(cells(HCELL_CELL, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn era_costs_are_ordered() {
+        // The metadata-heavy kernel must cost more than the plain one.
+        assert!(HCELL_CELL > NW_CELL);
+        assert!(NW_CELL > PLAIN_CELL);
+    }
+
+    #[test]
+    fn host_calibration_returns_something_sane() {
+        let h = measured_hcell_cost();
+        assert!(h >= Duration::from_nanos(1));
+        assert!(h < Duration::from_micros(50), "kernel unreasonably slow: {h:?}");
+    }
+}

@@ -1,0 +1,58 @@
+//! DSM encoding for heuristic cells.
+//!
+//! [`HCell`] lives in `genomedsm-core` and [`DsmData`] in `genomedsm-dsm`;
+//! the orphan rule puts the glue here, as a transparent newtype.
+
+use genomedsm_core::HCell;
+use genomedsm_dsm::DsmData;
+
+/// A heuristic cell as stored in DSM pages (little-endian, 33 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HCellData(pub HCell);
+
+impl DsmData for HCellData {
+    const LEN: usize = HCell::ENCODED_LEN;
+
+    fn store(&self, buf: &mut [u8]) {
+        self.0.encode(buf);
+    }
+
+    fn load(buf: &[u8]) -> Self {
+        HCellData(HCell::decode(buf))
+    }
+}
+
+impl From<HCell> for HCellData {
+    fn from(c: HCell) -> Self {
+        HCellData(c)
+    }
+}
+
+impl From<HCellData> for HCell {
+    fn from(c: HCellData) -> Self {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_dsm_encoding() {
+        let cell = HCell {
+            score: 11,
+            max: 20,
+            min: -2,
+            beg_i: 3,
+            beg_j: 4,
+            gaps: 1,
+            matches: 9,
+            mismatches: 2,
+            open: true,
+        };
+        let mut buf = vec![0u8; HCellData::LEN];
+        HCellData(cell).store(&mut buf);
+        assert_eq!(HCellData::load(&buf).0, cell);
+    }
+}

@@ -1,0 +1,217 @@
+//! Strategy 1 (§4.2): parallel heuristic alignment **without** blocking
+//! factors.
+//!
+//! Work is assigned on a column basis: processor `p` computes columns
+//! `p·n/P+1 ..= (p+1)·n/P` of every row (Fig. 8), keeping only two local
+//! row slices. The wave-front evolves row by row: when processor `p`
+//! finishes its slice of row `i`, it writes the border cell (its last
+//! column) to shared memory and signals processor `p+1` through a
+//! condition variable; `p+1` reads the value, acknowledges, and computes
+//! its slice. "Each value of the border column is passed individually
+//! between processors Pi and Pi+1. Thus, no blocking factors are used to
+//! group any values" — this is exactly why the strategy synchronizes
+//! heavily, the effect Table 1/Fig. 9 quantify.
+//!
+//! Barriers are used only at the beginning and end of the computation.
+
+use crate::hcell_data::HCellData;
+use crate::ring::ChunkRing;
+use crate::Phase1Outcome;
+use genomedsm_core::{finalize_queue, HCell, HeuristicParams, LocalRegion, RowKernel, Scoring};
+use genomedsm_dsm::{DsmConfig, DsmSystem};
+use std::time::Instant;
+
+/// Configuration of the non-blocked heuristic strategy.
+#[derive(Debug, Clone)]
+pub struct HeuristicDsmConfig {
+    /// DSM cluster configuration (node count, page size, network model).
+    pub dsm: DsmConfig,
+    /// Virtual cost of one heuristic cell update (era-calibrated default,
+    /// see [`crate::costs`]).
+    pub cell_cost: std::time::Duration,
+}
+
+impl HeuristicDsmConfig {
+    /// A cluster of `nprocs` nodes with the paper-era network and kernel
+    /// cost model.
+    pub fn new(nprocs: usize) -> Self {
+        Self {
+            dsm: DsmConfig::new(nprocs)
+                .network(genomedsm_dsm::NetworkModel::paper_cluster()),
+            cell_cost: crate::costs::HCELL_CELL,
+        }
+    }
+}
+
+/// Column range of processor `p` (1-based matrix columns, inclusive).
+fn column_slice(n: usize, nprocs: usize, p: usize) -> (usize, usize) {
+    let lo = p * n / nprocs + 1;
+    let hi = (p + 1) * n / nprocs;
+    (lo, hi)
+}
+
+/// Runs strategy 1 on a simulated cluster and returns the finalized queue
+/// of candidate alignments plus execution statistics.
+pub fn heuristic_align_dsm(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    params: &HeuristicParams,
+    config: &HeuristicDsmConfig,
+) -> Phase1Outcome {
+    let t0 = Instant::now();
+    let nprocs = config.dsm.nprocs;
+    let cell_cost = config.cell_cost;
+    let kernel = RowKernel::new(*scoring, *params);
+    let m = s.len();
+    let n = t.len();
+
+    let run = DsmSystem::run(config.dsm.clone(), |node| {
+        let p = node.id();
+        // Border rings: ring `b` moves cells from processor b to b+1.
+        // Collective allocation: every node builds every ring handle.
+        let mut rings: Vec<ChunkRing<HCellData>> = (0..nprocs.saturating_sub(1))
+            .map(|b| ChunkRing::new(node, 1, 1, b, (2 * b) as u32, (2 * b + 1) as u32))
+            .collect();
+        node.barrier();
+
+        let (j_lo, j_hi) = column_slice(n, nprocs, p);
+        // A slice can be empty when nprocs > n; such a node still relays
+        // border cells so the pipeline stays connected.
+        let width = (j_hi + 1).saturating_sub(j_lo);
+        let mut queue: Vec<LocalRegion> = Vec::new();
+        let mut prev = vec![HCell::fresh(); width + 1];
+        let mut cur = vec![HCell::fresh(); width + 1];
+
+        for i in 1..=m {
+            // Receive this row's left-border cell from the left neighbour
+            // (or the zero column if we are processor 0).
+            cur[0] = if p == 0 {
+                HCell::fresh()
+            } else {
+                rings[p - 1].pop(node, 1)[0].into()
+            };
+            if width > 0 {
+                kernel.process_row_segment(i, s[i - 1], t, j_lo, &prev, &mut cur, &mut queue);
+                node.advance(crate::costs::cells(cell_cost, width));
+            }
+            // Pass our border cell (the slice's last column) to the right
+            // neighbour, one value per row — the strategy's signature.
+            if p + 1 < nprocs {
+                rings[p].push(node, &[HCellData(cur[width])]);
+            } else {
+                // Rightmost column of the whole matrix: flush candidates
+                // running off the right edge (mirrors the serial driver).
+                kernel.flush_open(&cur[width], i, n, &mut queue);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        // Bottom row: flush open candidates. Column n is excluded — the
+        // right-edge rule above already flushed it on the last processor.
+        for (k, cell) in prev.iter().enumerate().skip(1) {
+            let j = j_lo - 1 + k;
+            if j < n {
+                kernel.flush_open(cell, m, j, &mut queue);
+            }
+        }
+        node.barrier();
+        queue
+    });
+
+    let mut all: Vec<LocalRegion> = run.results.into_iter().flatten().collect();
+    all = finalize_queue(all);
+    let wall = run.stats.iter().map(|s| s.total).max().unwrap_or_default();
+    Phase1Outcome {
+        regions: all,
+        per_node: run.stats,
+        wall,
+        host_wall: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomedsm_core::heuristic_align;
+    use genomedsm_seq::{planted_pair, HomologyPlan};
+
+    const SC: Scoring = Scoring::paper();
+
+    fn params() -> HeuristicParams {
+        HeuristicParams {
+            open_threshold: 8,
+            close_threshold: 8,
+            min_score: 15,
+        }
+    }
+
+    #[test]
+    fn column_slices_partition_the_matrix() {
+        let n = 103;
+        let mut covered = 0;
+        for p in 0..8 {
+            let (lo, hi) = column_slice(n, 8, p);
+            covered += hi + 1 - lo;
+            if p > 0 {
+                assert_eq!(lo, column_slice(n, 8, p - 1).1 + 1);
+            }
+        }
+        assert_eq!(covered, n);
+        assert_eq!(column_slice(n, 8, 7).1, n);
+    }
+
+    #[test]
+    fn matches_serial_reference_small() {
+        let (s, t, _) = planted_pair(
+            300,
+            300,
+            &HomologyPlan {
+                region_count: 3,
+                region_len_mean: 60,
+                region_len_jitter: 10,
+                profile: genomedsm_seq::MutationProfile::similar(),
+            },
+            5,
+        );
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        for nprocs in [1, 2, 3, 4] {
+            let out = heuristic_align_dsm(
+                &s,
+                &t,
+                &SC,
+                &params(),
+                &HeuristicDsmConfig::new(nprocs),
+            );
+            assert_eq!(out.regions, serial, "nprocs = {nprocs}");
+        }
+    }
+
+    #[test]
+    fn empty_sequences_return_empty() {
+        let out = heuristic_align_dsm(b"", b"ACGT", &SC, &params(), &HeuristicDsmConfig::new(2));
+        assert!(out.regions.is_empty());
+    }
+
+    #[test]
+    fn more_processors_than_columns_degenerates_gracefully() {
+        // 3 columns, 8 processors: some slices are empty.
+        let out = heuristic_align_dsm(
+            b"ACGTACGT",
+            b"ACG",
+            &SC,
+            &params(),
+            &HeuristicDsmConfig::new(8),
+        );
+        let serial = heuristic_align(b"ACGTACGT", b"ACG", &SC, &params());
+        assert_eq!(out.regions, serial);
+    }
+
+    #[test]
+    fn stats_reflect_heavy_synchronization() {
+        let (s, t, _) = planted_pair(400, 400, &HomologyPlan::paper_density(400), 6);
+        let out = heuristic_align_dsm(&s, &t, &SC, &params(), &HeuristicDsmConfig::new(4));
+        let agg = out.aggregate();
+        // 400 rows x 3 boundaries x (data + ack) = at least 2400 cv ops.
+        assert!(agg.msgs_sent > 2000, "msgs {}", agg.msgs_sent);
+    }
+}

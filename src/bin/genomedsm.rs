@@ -1,0 +1,229 @@
+//! The `genomedsm` command-line tool: end-to-end local alignment of two
+//! FASTA sequences with any of the paper's strategies.
+//!
+//! ```text
+//! genomedsm generate --len 50000 --out pair.fa [--seed 42]
+//! genomedsm align s.fa t.fa [options]
+//! genomedsm exact s.fa t.fa [--min-score N]
+//!
+//! align options:
+//!   --strategy heuristic|blocked|preprocess   (default blocked)
+//!   --procs N          simulated cluster nodes (default 8)
+//!   --bands N --blocks N                      (default 40x40)
+//!   --min-score N      report alignments scoring at least N (default 50)
+//!   --open N --close N heuristic thresholds   (default 15/15)
+//!   --svg FILE         write a dot plot of the similar regions
+//!   --alignments N     print the N best phase-2 alignments (default 3)
+//! ```
+
+use genomedsm::prelude::*;
+use genomedsm_core::nw::render_region_alignment;
+use genomedsm_dotplot::{svg_plot, PlotSpec};
+use genomedsm_seq::fasta::{read_fasta_file, write_fasta_file, FastaRecord};
+use genomedsm_strategies::{reverse_align_all_parallel, BandScheme, ChunkPlan};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("align") => align(&args[1..]),
+        Some("exact") => exact(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "usage: genomedsm <generate|align|exact> [options]  (--help for details)";
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn opt_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match opt(args, name) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {name}: {v}");
+            exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn generate(args: &[String]) {
+    let len: usize = opt_num(args, "--len", 50_000);
+    let seed: u64 = opt_num(args, "--seed", 42);
+    let out = opt(args, "--out").unwrap_or_else(|| "pair.fa".into());
+    let (s, t, truth) = planted_pair(len, len, &HomologyPlan::paper_density(len), seed);
+    let records = vec![
+        FastaRecord {
+            id: format!("s len={len} seed={seed}"),
+            seq: s,
+        },
+        FastaRecord {
+            id: format!("t len={len} seed={seed} planted={}", truth.len()),
+            seq: t,
+        },
+    ];
+    write_fasta_file(&out, &records).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {out}: two {len} bp sequences, {} planted similar regions", truth.len());
+}
+
+fn load_pair(args: &[String]) -> (Vec<u8>, Vec<u8>) {
+    // Positional arguments: everything that is neither an option flag nor
+    // the value that follows one.
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // skip the flag and its value
+        } else {
+            files.push(&args[i]);
+            i += 1;
+        }
+    }
+    files.truncate(2);
+    let mut seqs: Vec<Vec<u8>> = Vec::new();
+    for f in &files {
+        match read_fasta_file(f) {
+            Ok(records) => {
+                for r in records {
+                    seqs.push(r.seq.into_bytes());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read {f}: {e}");
+                exit(1);
+            }
+        }
+    }
+    if seqs.len() < 2 {
+        eprintln!("need two sequences (one file with two records, or two files)");
+        exit(2);
+    }
+    seqs.truncate(2);
+    let t = seqs.pop().expect("two");
+    let s = seqs.pop().expect("one");
+    (s, t)
+}
+
+fn align(args: &[String]) {
+    let (s, t) = load_pair(args);
+    let strategy = opt(args, "--strategy").unwrap_or_else(|| "blocked".into());
+    let procs: usize = opt_num(args, "--procs", 8);
+    let bands: usize = opt_num(args, "--bands", 40);
+    let blocks: usize = opt_num(args, "--blocks", 40);
+    let scoring = Scoring::paper();
+    let params = HeuristicParams {
+        open_threshold: opt_num(args, "--open", 15),
+        close_threshold: opt_num(args, "--close", 15),
+        min_score: opt_num(args, "--min-score", 50),
+    };
+
+    eprintln!(
+        "aligning {} bp x {} bp with strategy '{strategy}' on {procs} simulated nodes...",
+        s.len(),
+        t.len()
+    );
+    let (regions, cluster_time) = match strategy.as_str() {
+        "heuristic" => {
+            let out = heuristic_align_dsm(&s, &t, &scoring, &params, &HeuristicDsmConfig::new(procs));
+            (out.regions, out.wall)
+        }
+        "blocked" => {
+            let out = heuristic_block_align(
+                &s,
+                &t,
+                &scoring,
+                &params,
+                &BlockedConfig::new(procs, bands, blocks),
+            );
+            (out.regions, out.wall)
+        }
+        "preprocess" => {
+            let mut config = PreprocessConfig::new(procs);
+            config.band = BandScheme::Balanced(1024.min(s.len().max(1)));
+            config.chunk = ChunkPlan::Fixed(1024.min(t.len().max(1)));
+            config.threshold = params.min_score;
+            let out = preprocess_align(&s, &t, &scoring, &config);
+            println!(
+                "pre-process: best score {}, {} threshold hits, simulated core time {:.2?}",
+                out.best_score,
+                out.total_hits(),
+                out.core_time()
+            );
+            println!("(exact strategy keeps a hit scoreboard; use `exact` to retrieve alignments)");
+            return;
+        }
+        other => {
+            eprintln!("unknown strategy '{other}' (heuristic|blocked|preprocess)");
+            exit(2);
+        }
+    };
+
+    println!(
+        "phase 1: {} candidate similar regions (simulated cluster time {:.2?})",
+        regions.len(),
+        cluster_time
+    );
+    for r in regions.iter().take(10) {
+        println!("  {r}");
+    }
+    if regions.len() > 10 {
+        println!("  ... {} more", regions.len() - 10);
+    }
+
+    if let Some(svg_path) = opt(args, "--svg") {
+        let spec = PlotSpec::new(s.len(), t.len());
+        std::fs::write(&svg_path, svg_plot(&regions, &spec, 800, 800)).unwrap_or_else(|e| {
+            eprintln!("cannot write {svg_path}: {e}");
+            exit(1);
+        });
+        println!("dot plot written to {svg_path}");
+    }
+
+    let show: usize = opt_num(args, "--alignments", 3);
+    if show > 0 && !regions.is_empty() {
+        let phase2 = phase2_scattered(&s, &t, &regions, &scoring, procs);
+        println!("\nphase 2: best alignments");
+        let mut ranked: Vec<_> = phase2.alignments.iter().collect();
+        ranked.sort_by_key(|ra| -ra.alignment.score);
+        for ra in ranked.into_iter().take(show) {
+            println!("{}", render_region_alignment(ra));
+        }
+    }
+}
+
+fn exact(args: &[String]) {
+    let (s, t) = load_pair(args);
+    let min_score: i32 = opt_num(args, "--min-score", 50);
+    let threads: usize = opt_num(args, "--threads", 4);
+    eprintln!(
+        "exact Section-6 recovery over {} bp x {} bp (min score {min_score})...",
+        s.len(),
+        t.len()
+    );
+    let recs = reverse_align_all_parallel(&s, &t, &Scoring::paper(), min_score, threads);
+    println!("{} exact local alignments:", recs.len());
+    for rec in recs.iter().take(5) {
+        println!("\n{} (evaluated {:.0}% of the n'^2 window)",
+            rec.region,
+            rec.stats.evaluated_fraction() * 100.0
+        );
+        print!("{}", rec.alignment.pretty(64));
+    }
+    if recs.len() > 5 {
+        println!("... {} more", recs.len() - 5);
+    }
+}

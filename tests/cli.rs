@@ -1,0 +1,95 @@
+//! End-to-end tests of the `genomedsm` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_genomedsm"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("genomedsm_cli_{tag}"));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn generate_align_exact_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let fa = dir.join("pair.fa");
+    let svg = dir.join("plot.svg");
+
+    let out = bin()
+        .args(["generate", "--len", "3000", "--seed", "7", "--out"])
+        .arg(&fa)
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(fa.exists());
+
+    let out = bin()
+        .arg("align")
+        .arg(&fa)
+        .args(["--procs", "2", "--alignments", "1", "--svg"])
+        .arg(&svg)
+        .output()
+        .expect("run align");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("candidate similar regions"), "{stdout}");
+    assert!(stdout.contains("similarity:"), "{stdout}");
+    assert!(svg.exists());
+    let svg_text = std::fs::read_to_string(&svg).unwrap();
+    assert!(svg_text.contains("<line"), "dot plot must contain regions");
+
+    let out = bin()
+        .arg("exact")
+        .arg(&fa)
+        .args(["--min-score", "80", "--threads", "2"])
+        .output()
+        .expect("run exact");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exact local alignments"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn align_preprocess_strategy_reports_scoreboard() {
+    let dir = temp_dir("preprocess");
+    let fa = dir.join("pair.fa");
+    assert!(bin()
+        .args(["generate", "--len", "2000", "--out"])
+        .arg(&fa)
+        .status()
+        .expect("generate")
+        .success());
+    let out = bin()
+        .arg("align")
+        .arg(&fa)
+        .args(["--strategy", "preprocess", "--procs", "2"])
+        .output()
+        .expect("run align");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("best score"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_input_file_is_a_clean_error() {
+    let out = bin()
+        .args(["align", "/nonexistent/definitely_missing.fa"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

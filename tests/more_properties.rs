@@ -1,0 +1,268 @@
+//! Second property-test battery: queue canonicalization, encodings,
+//! banded alignment, partition plans, and the remaining strategies.
+
+#![allow(clippy::needless_range_loop)]
+
+use genomedsm_core::affine::{nw_affine_score, sw_affine_score, AffineScoring};
+use genomedsm_core::heuristic::{heuristic_align, HCell, HeuristicParams};
+use genomedsm_core::linear::sw_score_linear;
+use genomedsm_core::matrix::nw_align;
+use genomedsm_core::nw::nw_banded;
+use genomedsm_core::{finalize_queue, LocalRegion, Scoring};
+use genomedsm_dotplot::{svg_plot, PlotSpec};
+use genomedsm_strategies::{
+    heuristic_align_dsm, preprocess_align, BandScheme, ChunkPlan, GridPlan, HeuristicDsmConfig,
+    PreprocessConfig,
+};
+use proptest::prelude::*;
+
+const SC: Scoring = Scoring::paper();
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..max_len,
+    )
+}
+
+fn region() -> impl Strategy<Value = LocalRegion> {
+    (0usize..100, 1usize..80, 0usize..100, 1usize..80, 1i32..90).prop_map(
+        |(sb, sl, tb, tl, score)| LocalRegion {
+            s_begin: sb,
+            s_end: sb + sl,
+            t_begin: tb,
+            t_end: tb + tl,
+            score,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// finalize_queue is order-independent: any permutation of the input
+    /// yields the same canonical queue (serial and parallel runs assemble
+    /// queues in different orders and must agree).
+    #[test]
+    fn finalize_queue_is_order_independent(
+        mut regions in proptest::collection::vec(region(), 0..40),
+        seed in 0u64..1000,
+    ) {
+        let a = finalize_queue(regions.clone());
+        // Deterministic shuffle.
+        let mut x = seed.wrapping_add(0x9E3779B97F4A7C15) | 1;
+        for i in (1..regions.len()).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            regions.swap(i, (x as usize) % (i + 1));
+        }
+        let b = finalize_queue(regions);
+        prop_assert_eq!(a, b);
+    }
+
+    /// finalize_queue is idempotent.
+    #[test]
+    fn finalize_queue_is_idempotent(regions in proptest::collection::vec(region(), 0..30)) {
+        let once = finalize_queue(regions);
+        let twice = finalize_queue(once.clone());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// HCell's DSM byte encoding is lossless for arbitrary field values.
+    #[test]
+    fn hcell_encoding_round_trips(
+        score in i32::MIN..i32::MAX,
+        max in i32::MIN..i32::MAX,
+        min in i32::MIN..i32::MAX,
+        beg_i in 0u32..u32::MAX,
+        beg_j in 0u32..u32::MAX,
+        gaps in 0u32..u32::MAX,
+        matches in 0u32..u32::MAX,
+        mismatches in 0u32..u32::MAX,
+        open in proptest::bool::ANY,
+    ) {
+        let cell = HCell { score, max, min, beg_i, beg_j, gaps, matches, mismatches, open };
+        let mut buf = [0u8; HCell::ENCODED_LEN];
+        cell.encode(&mut buf);
+        prop_assert_eq!(HCell::decode(&buf), cell);
+    }
+
+    /// A sufficiently wide band makes banded NW identical to the full
+    /// matrix.
+    #[test]
+    fn banded_nw_equals_full_when_band_covers(s in dna(36), t in dna(36)) {
+        let band = s.len().max(t.len()).max(1);
+        let banded = nw_banded(&s, &t, &SC, band).expect("band covers everything");
+        let full = nw_align(&s, &t, &SC);
+        prop_assert_eq!(banded.score, full.score);
+    }
+
+    /// Grid plans partition the axis exactly, whatever the parameters.
+    #[test]
+    fn grid_plans_partition(total in 0usize..500, parts in 1usize..20, splits in 0usize..6) {
+        for plan in [GridPlan::Uniform, GridPlan::Ramped { edge_splits: splits }] {
+            let bounds = plan.bounds(total, parts);
+            let mut expected_lo = 1;
+            let mut covered = 0;
+            for &(lo, hi) in &bounds {
+                if hi >= lo {
+                    prop_assert_eq!(lo, expected_lo);
+                    covered += hi + 1 - lo;
+                    expected_lo = hi + 1;
+                }
+            }
+            prop_assert_eq!(covered, total);
+        }
+    }
+
+    /// Band schemes partition the rows exactly.
+    #[test]
+    fn band_schemes_partition(rows in 1usize..2000, nprocs in 1usize..9, h in 1usize..300) {
+        for scheme in [BandScheme::Fixed(h), BandScheme::Equal, BandScheme::Balanced(h)] {
+            let bands = scheme.bands(rows, nprocs);
+            prop_assert_eq!(bands[0].0, 1);
+            prop_assert_eq!(bands.last().unwrap().1, rows);
+            for w in bands.windows(2) {
+                prop_assert_eq!(w[0].1 + 1, w[1].0);
+            }
+        }
+    }
+
+    /// Chunk plans partition the columns exactly.
+    #[test]
+    fn chunk_plans_partition(cols in 1usize..2000, start in 1usize..200, step in 0usize..100) {
+        for plan in [
+            ChunkPlan::Fixed(start),
+            ChunkPlan::Arithmetic { start, step },
+            ChunkPlan::Geometric { start, factor: 2 },
+        ] {
+            let chunks = plan.chunks(cols);
+            prop_assert_eq!(chunks[0].0, 1);
+            prop_assert_eq!(chunks.last().unwrap().1, cols);
+            for w in chunks.windows(2) {
+                prop_assert_eq!(w[0].1 + 1, w[1].0);
+            }
+        }
+    }
+
+    /// Strategy 1 (per-cell border handoff) equals the serial reference
+    /// for arbitrary inputs and cluster sizes.
+    #[test]
+    fn strategy1_equals_serial(s in dna(36), t in dna(36), nprocs in 1usize..5) {
+        let params = HeuristicParams {
+            open_threshold: 3,
+            close_threshold: 3,
+            min_score: 4,
+        };
+        let serial = heuristic_align(&s, &t, &SC, &params);
+        let out = heuristic_align_dsm(&s, &t, &SC, &params, &HeuristicDsmConfig::new(nprocs));
+        prop_assert_eq!(out.regions, serial);
+    }
+
+    /// The pre-process strategy's hit count and best score match the
+    /// linear-space oracle for arbitrary geometry.
+    #[test]
+    fn preprocess_matches_oracle(
+        s in dna(80),
+        t in dna(80),
+        nprocs in 1usize..4,
+        band_h in 1usize..40,
+        chunk_w in 1usize..40,
+        threshold in 1i32..6,
+    ) {
+        let mut config = PreprocessConfig::new(nprocs);
+        config.band = BandScheme::Fixed(band_h);
+        config.chunk = ChunkPlan::Fixed(chunk_w);
+        config.threshold = threshold;
+        config.result_interleave = chunk_w;
+        let out = preprocess_align(&s, &t, &SC, &config);
+        let oracle = sw_score_linear(&s, &t, &SC, threshold);
+        prop_assert_eq!(out.total_hits(), oracle.hits as i64);
+        prop_assert_eq!(out.best_score, oracle.best_score);
+    }
+
+    /// The SVG renderer is insensitive to region order (same line count)
+    /// and never panics on arbitrary regions.
+    #[test]
+    fn svg_plot_region_order_irrelevant(
+        mut regions in proptest::collection::vec(region(), 0..20),
+    ) {
+        let spec = PlotSpec::new(200, 200);
+        let a = svg_plot(&regions, &spec, 300, 300).matches("<line").count();
+        regions.reverse();
+        let b = svg_plot(&regions, &spec, 300, 300).matches("<line").count();
+        prop_assert_eq!(a, b);
+    }
+
+    /// With open == extend, Gotoh's affine algorithms reduce exactly to
+    /// the paper's linear-gap recurrences.
+    #[test]
+    fn affine_degenerates_to_linear(s in dna(40), t in dna(40)) {
+        let aff = AffineScoring::linear(SC);
+        let lin = sw_score_linear(&s, &t, &SC, i32::MAX);
+        let (best, _) = sw_affine_score(&s, &t, &aff);
+        prop_assert_eq!(best, lin.best_score);
+        let nw_lin = nw_align(&s, &t, &SC).score;
+        prop_assert_eq!(nw_affine_score(&s, &t, &aff), nw_lin);
+    }
+
+    /// Affine gaps never score higher than linear gaps when the affine
+    /// penalties dominate the linear one (open <= gap <= extend).
+    #[test]
+    fn affine_global_bounded_by_linear(s in dna(32), t in dna(32)) {
+        let aff = AffineScoring {
+            matches: 1,
+            mismatch: -1,
+            gap_open: -3, // worse than the linear -2 for every run length
+            gap_extend: -2,
+        };
+        let linear = nw_align(&s, &t, &SC).score;
+        prop_assert!(nw_affine_score(&s, &t, &aff) <= linear);
+    }
+
+    /// Affine traceback alignments re-score to their reported score.
+    #[test]
+    fn affine_traceback_consistent(s in dna(28), t in dna(28)) {
+        let aff = AffineScoring::dna();
+        let g = genomedsm_core::affine::nw_affine_align(&s, &t, &aff);
+        // Recompute: columns with affine gap-run accounting.
+        let mut score = 0;
+        let mut in_gap_s = false;
+        let mut in_gap_t = false;
+        for (&a, &b) in g.aligned_s.iter().zip(&g.aligned_t) {
+            if a == b'-' {
+                score += if in_gap_s { aff.gap_extend } else { aff.gap_open };
+                in_gap_s = true;
+                in_gap_t = false;
+            } else if b == b'-' {
+                score += if in_gap_t { aff.gap_extend } else { aff.gap_open };
+                in_gap_t = true;
+                in_gap_s = false;
+            } else {
+                score += if a == b { aff.matches } else { aff.mismatch };
+                in_gap_s = false;
+                in_gap_t = false;
+            }
+        }
+        prop_assert_eq!(score, g.score);
+    }
+
+    /// Identical sequences score their full length and the heuristic
+    /// reports a region covering almost everything.
+    #[test]
+    fn self_alignment_is_perfect(s in dna(120)) {
+        prop_assume!(s.len() >= 30);
+        let lin = sw_score_linear(&s, &s, &SC, i32::MAX);
+        prop_assert_eq!(lin.best_score, s.len() as i32);
+        let params = HeuristicParams {
+            open_threshold: 5,
+            close_threshold: 5,
+            min_score: 10,
+        };
+        let regions = heuristic_align(&s, &s, &SC, &params);
+        prop_assert!(!regions.is_empty());
+        let best = regions.iter().max_by_key(|r| r.score).expect("non-empty");
+        prop_assert!(best.score >= s.len() as i32 - 10);
+    }
+}

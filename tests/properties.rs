@@ -1,0 +1,166 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+#![allow(clippy::needless_range_loop)]
+
+use genomedsm_core::heuristic::{heuristic_align, HeuristicParams};
+use genomedsm_core::hirschberg::hirschberg_align;
+use genomedsm_core::linear::{nw_last_row, sw_score_linear};
+use genomedsm_core::matrix::{nw_align, sw_matrix};
+use genomedsm_core::reverse::reverse_align_best;
+use genomedsm_core::Scoring;
+use genomedsm_dsm::{DsmConfig, DsmSystem, NetworkModel};
+use genomedsm_strategies::{heuristic_block_align, BlockedConfig};
+use proptest::prelude::*;
+
+const SC: Scoring = Scoring::paper();
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The best local score is symmetric: sim(s, t) == sim(t, s).
+    #[test]
+    fn sw_score_is_symmetric(s in dna(60), t in dna(60)) {
+        let a = sw_score_linear(&s, &t, &SC, i32::MAX).best_score;
+        let b = sw_score_linear(&t, &s, &SC, i32::MAX).best_score;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Linear-space SW reproduces the full matrix: best score, end point,
+    /// and threshold hit counts.
+    #[test]
+    fn linear_sw_equals_full_matrix(s in dna(48), t in dna(48), threshold in 1i32..8) {
+        let full = sw_matrix(&s, &t, &SC);
+        let (i, j, best) = full.maximum();
+        let lin = sw_score_linear(&s, &t, &SC, threshold);
+        prop_assert_eq!(lin.best_score, best);
+        if best > 0 {
+            prop_assert_eq!(lin.best_end, (i, j));
+        }
+        prop_assert_eq!(lin.hits, full.cells_at_least(threshold).len() as u64);
+    }
+
+    /// The last row of the NW array computed in linear space matches the
+    /// full matrix.
+    #[test]
+    fn nw_last_row_matches_matrix(s in dna(40), t in dna(40)) {
+        let full = genomedsm_core::matrix::nw_matrix(&s, &t, &SC);
+        let row = nw_last_row(&s, &t, &SC);
+        for j in 0..=t.len() {
+            prop_assert_eq!(row[j], full.get(s.len(), j));
+        }
+    }
+
+    /// Hirschberg's linear-space global alignment scores exactly like the
+    /// full-matrix NW, and its rendered rows are consistent.
+    #[test]
+    fn hirschberg_equals_nw(s in dna(48), t in dna(48)) {
+        let h = hirschberg_align(&s, &t, &SC);
+        let f = nw_align(&s, &t, &SC);
+        prop_assert_eq!(h.score, f.score);
+        prop_assert_eq!(h.score, h.recompute_score(&SC));
+        let ps: Vec<u8> = h.aligned_s.iter().copied().filter(|&c| c != b'-').collect();
+        let pt: Vec<u8> = h.aligned_t.iter().copied().filter(|&c| c != b'-').collect();
+        prop_assert_eq!(ps, s);
+        prop_assert_eq!(pt, t);
+    }
+
+    /// Algorithm 1 (reverse recovery) reproduces the best SW score, and
+    /// the rebuilt alignment over the recovered window scores the same.
+    #[test]
+    fn reverse_recovery_is_exact(s in dna(50), t in dna(50)) {
+        let best = sw_score_linear(&s, &t, &SC, i32::MAX).best_score;
+        match reverse_align_best(&s, &t, &SC) {
+            Some(rec) => {
+                prop_assert_eq!(rec.region.score, best);
+                prop_assert_eq!(rec.alignment.score, best);
+            }
+            None => prop_assert_eq!(best, 0),
+        }
+    }
+
+    /// The parallel blocked strategy equals the serial reference for
+    /// arbitrary inputs and grid shapes.
+    #[test]
+    fn blocked_strategy_equals_serial(
+        s in dna(40),
+        t in dna(40),
+        nprocs in 1usize..4,
+        bands in 1usize..6,
+        blocks in 1usize..6,
+    ) {
+        let params = HeuristicParams {
+            open_threshold: 3,
+            close_threshold: 3,
+            min_score: 4,
+        };
+        let serial = heuristic_align(&s, &t, &SC, &params);
+        let out = heuristic_block_align(
+            &s, &t, &SC, &params, &BlockedConfig::new(nprocs, bands, blocks));
+        prop_assert_eq!(out.regions, serial);
+    }
+
+    /// DSM: barrier-separated writes are visible to every node regardless
+    /// of page size and cache capacity (including eviction churn).
+    #[test]
+    fn dsm_barrier_visibility(
+        page_size_log in 6u32..10,
+        cache in 2usize..8,
+        len in 1usize..200,
+    ) {
+        let config = DsmConfig::new(2)
+            .page_size(1 << page_size_log)
+            .cache_pages(cache)
+            .network(NetworkModel::zero());
+        let run = DsmSystem::run(config, move |node| {
+            let v = node.alloc_vec::<i32>(len);
+            node.barrier();
+            if node.id() == 0 {
+                for i in 0..len {
+                    node.vec_set(&v, i, i as i32 + 1);
+                }
+            }
+            node.barrier();
+            (0..len).map(|i| node.vec_get(&v, i) as i64).sum::<i64>()
+        });
+        let expect: i64 = (1..=len as i64).sum();
+        prop_assert_eq!(run.results, vec![expect, expect]);
+    }
+
+    /// DSM: a lock-guarded accumulator behaves sequentially consistently
+    /// for any number of nodes and iterations.
+    #[test]
+    fn dsm_lock_atomicity(nprocs in 1usize..5, iters in 1i64..20) {
+        let run = DsmSystem::run(DsmConfig::new(nprocs), move |node| {
+            let c = node.alloc_vec::<i64>(1);
+            node.barrier();
+            for _ in 0..iters {
+                node.lock(1);
+                let v = node.vec_get(&c, 0);
+                node.vec_set(&c, 0, v + 1);
+                node.unlock(1);
+            }
+            node.barrier();
+            node.vec_get(&c, 0)
+        });
+        for r in run.results {
+            prop_assert_eq!(r, nprocs as i64 * iters);
+        }
+    }
+
+    /// Mutated copies keep enough k-mer overlap for the BlastN baseline to
+    /// re-find them (detectability of the workload generator).
+    #[test]
+    fn blast_finds_long_exact_copies(seed in 0u64..500) {
+        let src = genomedsm_seq::random_dna(80, seed);
+        let mut s = genomedsm_seq::random_dna(300, seed.wrapping_add(1)).into_bytes();
+        let mut t = genomedsm_seq::random_dna(300, seed.wrapping_add(2)).into_bytes();
+        s[100..180].copy_from_slice(src.as_bytes());
+        t[40..120].copy_from_slice(src.as_bytes());
+        let hits = genomedsm_blast::BlastN::default().search(&s, &t);
+        prop_assert!(hits.iter().any(|h| h.score >= 40));
+    }
+}
