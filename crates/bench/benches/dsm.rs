@@ -3,8 +3,8 @@
 //! barrier, plus the byte-diff kernel itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use genomedsm_dsm::{DsmConfig, DsmSystem, NetworkModel};
 use genomedsm_dsm::page::{apply_patches, diff_bytes};
+use genomedsm_dsm::{DsmConfig, DsmSystem, NetworkModel};
 use std::hint::black_box;
 
 fn config(n: usize) -> DsmConfig {

@@ -1,16 +1,17 @@
 //! Criterion micro-benchmarks of the alignment kernels on the host
 //! hardware (real time, not the era model): per-cell rates of the plain
-//! SW recurrence, the heuristic cell, global alignment, Hirschberg, the
+//! SW recurrence, the striped SIMD score kernels (scalar vs SSE2/AVX2
+//! GCUPS), the heuristic cell, global alignment, Hirschberg, the
 //! Section-6 reverse recovery, and the BlastN baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use genomedsm_bench::workloads;
+use genomedsm_core::affine::{nw_affine_align, sw_affine_score, AffineScoring};
 use genomedsm_core::heuristic::{heuristic_align, HeuristicParams};
 use genomedsm_core::hirschberg::hirschberg_align;
 use genomedsm_core::linear::sw_score_linear;
 use genomedsm_core::matrix::nw_align;
 use genomedsm_core::reverse::reverse_align_best;
-use genomedsm_core::affine::{nw_affine_align, sw_affine_score, AffineScoring};
 use genomedsm_core::Scoring;
 use std::hint::black_box;
 
@@ -25,6 +26,24 @@ fn bench_linear_sw(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
             b.iter(|| black_box(sw_score_linear(&s, &t, &SC, i32::MAX)));
         });
+    }
+    g.finish();
+}
+
+/// GCUPS rows for the vectorized kernel layer: the scalar oracle plus
+/// every striped engine this host can run (portable, SSE2, AVX2), on the
+/// same score-only workload (`i32::MAX` threshold disables hit counting).
+fn bench_striped_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("striped_kernels");
+    g.sample_size(10);
+    for len in [2048usize, 10_000] {
+        let (s, t, _) = workloads::pair(len, 31);
+        g.throughput(Throughput::Elements((len * len) as u64));
+        for kernel in genomedsm_kernels::available_kernels() {
+            g.bench_with_input(BenchmarkId::new(kernel.name(), len), &len, |b, _| {
+                b.iter(|| black_box(kernel.score(&s, &t, &SC, i32::MAX)));
+            });
+        }
     }
     g.finish();
 }
@@ -103,6 +122,7 @@ fn bench_affine(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_linear_sw,
+    bench_striped_kernels,
     bench_heuristic_kernel,
     bench_global_alignment,
     bench_reverse_recovery,

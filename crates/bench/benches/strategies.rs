@@ -28,30 +28,20 @@ fn bench_phase1_variants(c: &mut Criterion) {
         b.iter(|| black_box(heuristic_align(&s, &t, &SC, &params())));
     });
     for nprocs in [2usize, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("blocked_dsm", nprocs),
-            &nprocs,
-            |b, &p| {
-                b.iter(|| {
-                    black_box(heuristic_block_align(
-                        &s,
-                        &t,
-                        &SC,
-                        &params(),
-                        &BlockedConfig::new(p, 8, 8),
-                    ))
-                });
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("blocked_shm", nprocs),
-            &nprocs,
-            |b, &p| {
-                b.iter(|| {
-                    black_box(heuristic_block_align_shm(&s, &t, &SC, &params(), p, 8, 8))
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("blocked_dsm", nprocs), &nprocs, |b, &p| {
+            b.iter(|| {
+                black_box(heuristic_block_align(
+                    &s,
+                    &t,
+                    &SC,
+                    &params(),
+                    &BlockedConfig::new(p, 8, 8),
+                ))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_shm", nprocs), &nprocs, |b, &p| {
+            b.iter(|| black_box(heuristic_block_align_shm(&s, &t, &SC, &params(), p, 8, 8)));
+        });
     }
     g.finish();
 }
@@ -84,5 +74,10 @@ fn bench_phase2(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_phase1_variants, bench_preprocess, bench_phase2);
+criterion_group!(
+    benches,
+    bench_phase1_variants,
+    bench_preprocess,
+    bench_phase2
+);
 criterion_main!(benches);

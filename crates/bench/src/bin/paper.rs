@@ -22,6 +22,8 @@
 //!   section6-area  measured vs theoretical useful area (Eqs. 2-3)
 //!   hetero     heterogeneous-cluster what-if (the paper's §7 future work)
 //!   ablation   design-choice ablations: ramped grids, network models
+//!   kernels    vectorized-kernel GCUPS: scalar vs striped SSE2/AVX2 on a
+//!              10k x 10k score-only workload
 //!   summary    machine-checked repro gate: re-run the key claims and
 //!              print PASS/FAIL per claim
 //!   all        everything above
@@ -108,6 +110,7 @@ fn main() {
         "section6-area" => section6_area(&args),
         "hetero" => hetero(&args),
         "ablation" => ablation(&args),
+        "kernels" => kernels_bench(&args),
         "summary" => summary(&args),
         "all" => {
             table1_fig9_fig10(&args);
@@ -123,6 +126,7 @@ fn main() {
             section6_area(&args);
             hetero(&args);
             ablation(&args);
+            kernels_bench(&args);
         }
         other => {
             eprintln!("unknown experiment '{other}'\n{HELP}");
@@ -133,7 +137,7 @@ fn main() {
 
 const HELP: &str = "\
 usage: paper <experiment> [--scale N] [--procs 1,2,4,8] [--out DIR]
-experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             summary all\n";
+experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels summary all\n";
 
 /// The serial reference: a 1-node cluster run (virtual time = cells x
 /// calibrated cell cost plus negligible self-messaging), which matches the
@@ -161,7 +165,13 @@ fn table1_fig9_fig10(args: &HarnessArgs) {
         "Fig. 9: absolute speed-ups, heuristic strategy",
         &header
             .iter()
-            .map(|h| if h == "serial" { "serial (=1)" } else { h.as_str() })
+            .map(|h| {
+                if h == "serial" {
+                    "serial (=1)"
+                } else {
+                    h.as_str()
+                }
+            })
             .collect::<Vec<_>>(),
     );
     let mut f10 = Table::new(
@@ -316,12 +326,23 @@ fn table4_fig12_fig13(args: &HarnessArgs) {
         let len = args.size(paper_bp);
         let (s, t, _) = workloads::pair(len, 4);
         let serial = heuristic_block_align(
-            &s, &t, &SC, &params(), &BlockedConfig::new(1, bands, blocks)).wall;
+            &s,
+            &t,
+            &SC,
+            &params(),
+            &BlockedConfig::new(1, bands, blocks),
+        )
+        .wall;
         let mut row = vec![format!("{len}"), format!("{bands}x{blocks}"), secs(serial)];
         let mut blocked_maxp = Duration::ZERO;
         for &p in args.procs.iter().filter(|&&p| p > 1) {
-            let out =
-                heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(p, bands, blocks));
+            let out = heuristic_block_align(
+                &s,
+                &t,
+                &SC,
+                &params(),
+                &BlockedConfig::new(p, bands, blocks),
+            );
             row.push(secs(out.wall));
             row.push(format!("{:.2}", speedup(serial, out.wall)));
             if p == maxp {
@@ -455,10 +476,16 @@ fn preprocess_configs(args: &HarnessArgs, nprocs: usize) -> Vec<(String, Preproc
         c
     };
     vec![
-        (format!("Bal. {b1k} blks"), mk(BandScheme::Balanced(b1k), b1k)),
+        (
+            format!("Bal. {b1k} blks"),
+            mk(BandScheme::Balanced(b1k), b1k),
+        ),
         ("Equal blks".into(), mk(BandScheme::Equal, b1k)),
         (format!("{b1k} blks"), mk(BandScheme::Fixed(b1k), b1k)),
-        (format!("Bal. {b4k} blks"), mk(BandScheme::Balanced(b4k), b4k)),
+        (
+            format!("Bal. {b4k} blks"),
+            mk(BandScheme::Balanced(b4k), b4k),
+        ),
         (format!("{b4k} blks"), mk(BandScheme::Fixed(b4k), b4k)),
     ]
 }
@@ -616,12 +643,8 @@ fn section6_area(args: &HarnessArgs) {
             region_len_jitter: 0,
             profile: genomedsm_seq::MutationProfile::similar(),
         };
-        let (s, t, _) = genomedsm_seq::planted_pair(
-            region_len * 3,
-            region_len * 3,
-            &plan,
-            region_len as u64,
-        );
+        let (s, t, _) =
+            genomedsm_seq::planted_pair(region_len * 3, region_len * 3, &plan, region_len as u64);
         if let Some(rec) = genomedsm_core::reverse::reverse_align_best(&s, &t, &SC) {
             let n_prime = rec.region.s_len().max(rec.region.t_len());
             tab.row(&[
@@ -634,7 +657,8 @@ fn section6_area(args: &HarnessArgs) {
     }
     print!("{}", tab.render());
     println!("(paper: ~30% of the window is necessary in the worst case)\n");
-    tab.save_csv(&args.artifact("section6_area.csv")).expect("csv");
+    tab.save_csv(&args.artifact("section6_area.csv"))
+        .expect("csv");
 }
 
 // ---------------------------------------------------------------------
@@ -647,12 +671,18 @@ fn hetero(args: &HarnessArgs) {
     let nprocs = *args.procs.iter().max().expect("procs");
     let profiles: Vec<(&str, Vec<f64>)> = vec![
         ("homogeneous", vec![1.0; nprocs]),
-        ("half slow (0.5x)", (0..nprocs)
-            .map(|i| if i >= nprocs / 2 { 0.5 } else { 1.0 })
-            .collect()),
-        ("one straggler (0.25x)", (0..nprocs)
-            .map(|i| if i == nprocs - 1 { 0.25 } else { 1.0 })
-            .collect()),
+        (
+            "half slow (0.5x)",
+            (0..nprocs)
+                .map(|i| if i >= nprocs / 2 { 0.5 } else { 1.0 })
+                .collect(),
+        ),
+        (
+            "one straggler (0.25x)",
+            (0..nprocs)
+                .map(|i| if i == nprocs - 1 { 0.25 } else { 1.0 })
+                .collect(),
+        ),
     ];
     let mut tab = Table::new(
         &format!("Heterogeneous cluster (§7): blocked strategy, {nprocs} nodes, {len} bp"),
@@ -694,8 +724,13 @@ fn ablation(args: &HarnessArgs) {
         &["grid", "uniform (s)", "ramped (s)", "gain (%)"],
     );
     for (bands, blocks) in [(nprocs, nprocs), (2 * nprocs, 2 * nprocs), (40, 25)] {
-        let uni =
-            heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(nprocs, bands, blocks));
+        let uni = heuristic_block_align(
+            &s,
+            &t,
+            &SC,
+            &params(),
+            &BlockedConfig::new(nprocs, bands, blocks),
+        );
         let ram = heuristic_block_align(
             &s,
             &t,
@@ -722,8 +757,14 @@ fn ablation(args: &HarnessArgs) {
     );
     let serial = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(1, 40, 25)).wall;
     for (name, model) in [
-        ("paper cluster (750us)", genomedsm_dsm::NetworkModel::paper_cluster()),
-        ("fast ethernet (70us)", genomedsm_dsm::NetworkModel::fast_ethernet()),
+        (
+            "paper cluster (750us)",
+            genomedsm_dsm::NetworkModel::paper_cluster(),
+        ),
+        (
+            "fast ethernet (70us)",
+            genomedsm_dsm::NetworkModel::fast_ethernet(),
+        ),
         ("zero-cost", genomedsm_dsm::NetworkModel::zero()),
     ] {
         let mut config = BlockedConfig::new(nprocs, 40, 25);
@@ -773,7 +814,12 @@ fn ablation(args: &HarnessArgs) {
             agg.merge(s);
         }
         mig.row(&[
-            if on { "migration ON" } else { "migration OFF (JIAJIA default)" }.to_string(),
+            if on {
+                "migration ON"
+            } else {
+                "migration OFF (JIAJIA default)"
+            }
+            .to_string(),
             secs(agg.total),
             format!("{}", agg.diffs_sent),
             format!("{}", agg.migrations),
@@ -782,9 +828,57 @@ fn ablation(args: &HarnessArgs) {
     }
     print!("{}", mig.render());
     println!();
-    ramp.save_csv(&args.artifact("ablation_ramp.csv")).expect("csv");
-    net.save_csv(&args.artifact("ablation_network.csv")).expect("csv");
-    mig.save_csv(&args.artifact("ablation_migration.csv")).expect("csv");
+    ramp.save_csv(&args.artifact("ablation_ramp.csv"))
+        .expect("csv");
+    net.save_csv(&args.artifact("ablation_network.csv"))
+        .expect("csv");
+    mig.save_csv(&args.artifact("ablation_migration.csv"))
+        .expect("csv");
+}
+
+// ---------------------------------------------------------------------
+// Kernel layer: scalar vs striped SIMD GCUPS
+// ---------------------------------------------------------------------
+
+/// Best-of-3 host time of one score-only pass (threshold disabled via
+/// `i32::MAX`, which turns off hit counting in every kernel).
+fn time_kernel(kernel: &dyn genomedsm_kernels::ScoreKernel, s: &[u8], t: &[u8]) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(kernel.score(s, t, &SC, i32::MAX));
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn gcups(cells: f64, time: Duration) -> f64 {
+    cells / time.as_secs_f64().max(1e-9) / 1e9
+}
+
+fn kernels_bench(args: &HarnessArgs) {
+    let len = 10_000usize; // fixed: the kernel claim is host-hardware, not scale-dependent
+    let (s, t, _) = workloads::pair(len, 31);
+    let cells = (len * len) as f64;
+    let mut tab = Table::new(
+        "Kernel layer: single-thread score-only rates, 10k x 10k (host hardware)",
+        &["kernel", "time (s)", "GCUPS", "speed-up vs scalar"],
+    );
+    let mut base: Option<Duration> = None;
+    for kernel in genomedsm_kernels::available_kernels() {
+        let time = time_kernel(kernel, &s, &t);
+        let base = *base.get_or_insert(time); // first row is the scalar kernel
+        tab.row(&[
+            kernel.name().into(),
+            secs(time),
+            format!("{:.3}", gcups(cells, time)),
+            format!("{:.2}", base.as_secs_f64() / time.as_secs_f64()),
+        ]);
+        eprintln!("[kernels] {} done", kernel.name());
+    }
+    print!("{}", tab.render());
+    println!();
+    tab.save_csv(&args.artifact("kernels.csv")).expect("csv");
 }
 
 // ---------------------------------------------------------------------
@@ -859,10 +953,7 @@ fn summary(args: &HarnessArgs) {
         let serial = phase2_scattered(&s, &t, &regions, &SC, 1);
         let par = phase2_scattered(&s, &t, &regions, &SC, nprocs);
         let sp = speedup(serial.wall, par.wall);
-        let lockfree = par
-            .per_node
-            .iter()
-            .all(|n| n.lock_cv == Duration::ZERO);
+        let lockfree = par.per_node.iter().all(|n| n.lock_cv == Duration::ZERO);
         results.push((
             "phase-2 scattered mapping is near-linear (Fig. 15)",
             sp > 0.75 * nprocs as f64,
@@ -884,8 +975,7 @@ fn summary(args: &HarnessArgs) {
         config.band = BandScheme::Balanced(args.size(1024));
         config.chunk = ChunkPlan::Fixed(args.size(1024));
         let out = preprocess_align(&s, &t, &SC, &config);
-        let oracle =
-            genomedsm_core::linear::sw_score_linear(&s, &t, &SC, config.threshold);
+        let oracle = genomedsm_core::linear::sw_score_linear(&s, &t, &SC, config.threshold);
         results.push((
             "pre-process strategy is exact (§5)",
             out.total_hits() == oracle.hits as i64 && out.best_score == oracle.best_score,
@@ -939,6 +1029,38 @@ fn summary(args: &HarnessArgs) {
             format!("{:.1}% (theory 33.4%)", frac * 100.0),
         ));
         eprintln!("[summary] claims 8-9 done");
+    }
+
+    // Claim 10: the striped SIMD kernel is >= 3x the scalar kernel on a
+    // 10k x 10k score-only workload (single thread, host hardware), with
+    // one GCUPS row recorded per kernel the host can run.
+    {
+        let (s, t, _) = workloads::pair(10_000, 31);
+        let cells = 10_000f64 * 10_000f64;
+        let kernels = genomedsm_kernels::available_kernels();
+        let mut base: Option<Duration> = None;
+        let mut best_speedup = 0.0f64;
+        for kernel in kernels {
+            let time = time_kernel(kernel, &s, &t);
+            let base = *base.get_or_insert(time); // scalar comes first
+            let sp = base.as_secs_f64() / time.as_secs_f64();
+            best_speedup = best_speedup.max(sp);
+            results.push((
+                "kernel GCUPS (10k x 10k score-only, 1 thread)",
+                true,
+                format!(
+                    "{}: {:.3} GCUPS ({sp:.2}x scalar)",
+                    kernel.name(),
+                    gcups(cells, time)
+                ),
+            ));
+        }
+        results.push((
+            "striped SIMD kernel >= 3x scalar (10k x 10k score-only)",
+            best_speedup >= 3.0,
+            format!("best striped kernel at {best_speedup:.1}x"),
+        ));
+        eprintln!("[summary] claim 10 done");
     }
 
     let mut table = Table::new(

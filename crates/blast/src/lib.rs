@@ -57,6 +57,9 @@ pub struct BlastParams {
     pub dust: Option<filter::DustParams>,
     /// Column scoring scheme (defaults to the paper's +1/−1/−2).
     pub scoring: Scoring,
+    /// Score kernel for the gapped-refinement re-score of each HSP window
+    /// (striped SIMD when available and applicable, scalar otherwise).
+    pub kernel: genomedsm_kernels::KernelChoice,
 }
 
 impl Default for BlastParams {
@@ -69,6 +72,7 @@ impl Default for BlastParams {
             two_hit_window: None,
             dust: None,
             scoring: Scoring::paper(),
+            kernel: genomedsm_kernels::KernelChoice::Auto,
         }
     }
 }
@@ -123,8 +127,7 @@ impl BlastN {
                     // BLAST 2.0: extend only when a second non-overlapping
                     // hit lands on the diagonal within the window.
                     match diag_last_hit.get(&diag) {
-                        Some(&prev)
-                            if i > prev + p.word_size - 1 && i - prev <= window => {}
+                        Some(&prev) if i > prev + p.word_size - 1 && i - prev <= window => {}
                         _ => {
                             diag_last_hit.insert(diag, i);
                             continue;
@@ -143,20 +146,26 @@ impl BlastN {
         out
     }
 
-    /// Re-scores an ungapped HSP with a banded global alignment over its
-    /// window, keeping the better of the two scores (a gapped alignment
-    /// can only help if the window truly contains indels).
+    /// Re-scores an ungapped HSP over its window, keeping the best of the
+    /// ungapped score, a banded global alignment (gapped alignment can
+    /// only help if the window truly contains indels), and an exact local
+    /// SW score through the configured [`genomedsm_kernels`] kernel. The
+    /// local score dominates both others (it may skip the window's rim and
+    /// is never banded), so on SIMD hardware this is both the tightest and
+    /// the cheapest bound per cell.
     fn refine_gapped(&self, s: &[u8], t: &[u8], hsp: LocalRegion) -> LocalRegion {
         let p = &self.params;
         let sub_s = &s[hsp.s_begin..hsp.s_end];
         let sub_t = &t[hsp.t_begin..hsp.t_end];
-        match genomedsm_core::nw::nw_banded(sub_s, sub_t, &p.scoring, p.band) {
-            Some(g) if g.score > hsp.score => LocalRegion {
-                score: g.score,
-                ..hsp
-            },
-            _ => hsp,
+        let mut best = hsp;
+        if let Some(g) = genomedsm_core::nw::nw_banded(sub_s, sub_t, &p.scoring, p.band) {
+            best.score = best.score.max(g.score);
         }
+        let local = genomedsm_kernels::kernel_for(p.kernel)
+            .score(sub_s, sub_t, &p.scoring, 0)
+            .best_score;
+        best.score = best.score.max(local);
+        best
     }
 }
 
@@ -293,6 +302,31 @@ mod tests {
             !masked.iter().any(|h| h.s_begin >= 90 && h.s_end <= 170),
             "poly-A must be masked: {masked:?}"
         );
+    }
+
+    #[test]
+    fn kernel_choices_give_identical_results() {
+        use genomedsm_kernels::KernelChoice;
+        let plan = HomologyPlan {
+            region_count: 5,
+            region_len_mean: 180,
+            region_len_jitter: 40,
+            profile: genomedsm_seq::MutationProfile::similar(),
+        };
+        let (s, t, _) = planted_pair(5_000, 5_000, &plan, 12);
+        let runs: Vec<_> = [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto]
+            .into_iter()
+            .map(|kernel| {
+                BlastN::new(BlastParams {
+                    kernel,
+                    ..Default::default()
+                })
+                .search(&s, &t)
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "scalar vs simd");
+        assert_eq!(runs[0], runs[2], "scalar vs auto");
+        assert!(!runs[0].is_empty());
     }
 
     #[test]

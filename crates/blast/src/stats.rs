@@ -67,10 +67,7 @@ impl KarlinAltschul {
     /// E-value for a raw score against a search space of `m × n` (query
     /// length × subject length): `K·m·n·exp(−λS)`.
     pub fn evalue(&self, raw_score: i32, query_len: usize, subject_len: usize) -> f64 {
-        self.k
-            * query_len as f64
-            * subject_len as f64
-            * (-self.lambda * raw_score as f64).exp()
+        self.k * query_len as f64 * subject_len as f64 * (-self.lambda * raw_score as f64).exp()
     }
 }
 

@@ -144,8 +144,8 @@ pub fn nw_affine_align(s: &[u8], t: &[u8], scoring: &AffineScoring) -> GlobalAli
     let mut f = vec![NEG; (m + 1) * w];
     h[idx(0, 0)] = 0;
     for j in 1..=n {
-        e[idx(0, j)] = (e[idx(0, j - 1)] + scoring.gap_extend)
-            .max(h[idx(0, j - 1)] + scoring.gap_open);
+        e[idx(0, j)] =
+            (e[idx(0, j - 1)] + scoring.gap_extend).max(h[idx(0, j - 1)] + scoring.gap_open);
         h[idx(0, j)] = e[idx(0, j)];
     }
     for i in 1..=m {
@@ -153,10 +153,10 @@ pub fn nw_affine_align(s: &[u8], t: &[u8], scoring: &AffineScoring) -> GlobalAli
             (f[idx(i - 1, 0)] + scoring.gap_extend).max(h[idx(i - 1, 0)] + scoring.gap_open);
         h[idx(i, 0)] = f[idx(i, 0)];
         for j in 1..=n {
-            e[idx(i, j)] = (e[idx(i, j - 1)] + scoring.gap_extend)
-                .max(h[idx(i, j - 1)] + scoring.gap_open);
-            f[idx(i, j)] = (f[idx(i - 1, j)] + scoring.gap_extend)
-                .max(h[idx(i - 1, j)] + scoring.gap_open);
+            e[idx(i, j)] =
+                (e[idx(i, j - 1)] + scoring.gap_extend).max(h[idx(i, j - 1)] + scoring.gap_open);
+            f[idx(i, j)] =
+                (f[idx(i - 1, j)] + scoring.gap_extend).max(h[idx(i - 1, j)] + scoring.gap_open);
             let diag = h[idx(i - 1, j - 1)] + scoring.subst(s[i - 1], t[j - 1]);
             h[idx(i, j)] = diag.max(e[idx(i, j)]).max(f[idx(i, j)]);
         }
@@ -177,10 +177,7 @@ pub fn nw_affine_align(s: &[u8], t: &[u8], scoring: &AffineScoring) -> GlobalAli
         match layer {
             Layer::H => {
                 let v = h[idx(i, j)];
-                if i > 0
-                    && j > 0
-                    && v == h[idx(i - 1, j - 1)] + scoring.subst(s[i - 1], t[j - 1])
-                {
+                if i > 0 && j > 0 && v == h[idx(i - 1, j - 1)] + scoring.subst(s[i - 1], t[j - 1]) {
                     i -= 1;
                     j -= 1;
                     rs.push(s[i]);
@@ -294,7 +291,7 @@ mod tests {
         let aff = AffineScoring::dna();
         let g = nw_affine_align(s, t, &aff);
         assert_eq!(g.score, 16 - 4 - 3); // 16 matches, open -4, 3 extends
-        // The gap is one contiguous run in the t row.
+                                         // The gap is one contiguous run in the t row.
         let trow = String::from_utf8(g.aligned_t.clone()).unwrap();
         assert!(trow.contains("----"), "gap should be contiguous: {trow}");
     }
@@ -364,10 +361,7 @@ mod tests {
         let aff = AffineScoring::dna();
         let s = b"ACGTGGTACCA";
         let t = b"TACGTGCAGTA";
-        assert_eq!(
-            sw_affine_score(s, t, &aff).0,
-            sw_affine_score(t, s, &aff).0
-        );
+        assert_eq!(sw_affine_score(s, t, &aff).0, sw_affine_score(t, s, &aff).0);
         assert_eq!(nw_affine_score(s, t, &aff), nw_affine_score(t, s, &aff));
     }
 }

@@ -73,11 +73,7 @@ impl LocalRegion {
 impl fmt::Display for LocalRegion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ((sb, tb), (se, te)) = self.paper_coords();
-        write!(
-            f,
-            "begin ({sb},{tb}) end ({se},{te}) score {}",
-            self.score
-        )
+        write!(f, "begin ({sb},{tb}) end ({se},{te}) score {}", self.score)
     }
 }
 

@@ -453,7 +453,8 @@ mod tests {
     #[test]
     fn long_identical_run_reported_once() {
         // One perfect 60-bp repeat inside random context.
-        let core: Vec<u8> = b"ACGTGCTAGCTTAGGCATCGATCGGATTACAGGCATGCATGGCTAGCTAGGCTAGCTAAG".to_vec();
+        let core: Vec<u8> =
+            b"ACGTGCTAGCTTAGGCATCGATCGGATTACAGGCATGCATGGCTAGCTAGGCTAGCTAAG".to_vec();
         let mut s = b"TTTTTTTTTT".to_vec();
         s.extend_from_slice(&core);
         s.extend_from_slice(b"CCCCCCCCCC");

@@ -122,8 +122,12 @@ mod tests {
     #[test]
     fn longer_sequences_match_full_matrix_score() {
         // Deterministic pseudo-random pair, long enough to recurse deeply.
-        let s: Vec<u8> = (0..257u32).map(|i| b"ACGT"[(i.wrapping_mul(2654435761) >> 28) as usize % 4]).collect();
-        let t: Vec<u8> = (0..301u32).map(|i| b"ACGT"[(i.wrapping_mul(40503) >> 12) as usize % 4]).collect();
+        let s: Vec<u8> = (0..257u32)
+            .map(|i| b"ACGT"[(i.wrapping_mul(2654435761) >> 28) as usize % 4])
+            .collect();
+        let t: Vec<u8> = (0..301u32)
+            .map(|i| b"ACGT"[(i.wrapping_mul(40503) >> 12) as usize % 4])
+            .collect();
         let h = hirschberg_align(&s, &t, &SC);
         let f = nw_align(&s, &t, &SC);
         assert_eq!(h.score, f.score);

@@ -29,7 +29,6 @@
 //!   (the Hirschberg idea repaired for gap runs crossing the midline).
 
 #![warn(missing_docs)]
-
 // Index-based loops are the clearest way to write DP stencils; silence
 // clippy's iterator-adaptor suggestion crate-wide.
 #![allow(clippy::needless_range_loop)]

@@ -64,7 +64,12 @@ pub fn sw_score_linear(s: &[u8], t: &[u8], scoring: &Scoring, threshold: i32) ->
 /// of desired score" input to the Section-6 reverse pass (Algorithm 1,
 /// line 2). Overlapping end points on the same diagonal are kept — the
 /// caller deduplicates after start recovery.
-pub fn sw_ends_over(s: &[u8], t: &[u8], scoring: &Scoring, min_score: i32) -> Vec<(usize, usize, i32)> {
+pub fn sw_ends_over(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    min_score: i32,
+) -> Vec<(usize, usize, i32)> {
     assert!(min_score > 0, "min_score must be positive for local ends");
     let n = t.len();
     let mut prev = vec![0i32; n + 1];

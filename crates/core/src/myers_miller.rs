@@ -11,12 +11,21 @@
 //!
 //! * a **type-1** crossing: `CC[j] + CCʳ[n-j]` (the path is in the match
 //!   state at the boundary), and
-//! * a **type-2** crossing: `DD[j] + DDʳ[n-j] + gap_open` (one vertical
-//!   run spans the boundary; the doubly-charged open is refunded),
+//! * a **type-2** crossing: `DD[j] + DDʳ[n-j] + (gap_open - gap_extend)`
+//!   (one vertical run spans the boundary; the doubly-charged opening —
+//!   `g` in the paper's `gap(k) = g + h·k` decomposition — is refunded),
 //!
-//! recursing accordingly. Space is O(min(m, n)), time is ~2× Gotoh's.
+//! recursing accordingly. Crucially, each recursive call carries the
+//! paper's *boundary* gap-open parameters (`tb`, `te` here): after a
+//! type-2 split, the halves are told (by passing `gap_extend` as the
+//! border opening) that a deletion flush against the seam continues the
+//! forced run instead of opening a new gap. Dropping those parameters and
+//! recursing on unconstrained subproblems is a classic mis-implementation
+//! that loses optimality whenever a subproblem's unconstrained optimum
+//! refuses to end at the seam in the gap state.
+//! Space is O(min(m, n)), time is ~2× Gotoh's.
 
-use crate::affine::{nw_affine_align, AffineScoring};
+use crate::affine::AffineScoring;
 use crate::alignment::GlobalAlignment;
 
 const NEG: i32 = i32::MIN / 4;
@@ -24,7 +33,12 @@ const NEG: i32 = i32::MIN / 4;
 /// Forward pass over `s × t`: returns the last row of Gotoh's `H` (best
 /// score, any state) and `F` (best score ending in a vertical gap — a gap
 /// in `t` consuming `s`).
-fn last_rows(s: &[u8], t: &[u8], sc: &AffineScoring) -> (Vec<i32>, Vec<i32>) {
+///
+/// `tb` is the opening score charged to a deletion run that starts at the
+/// top-left corner (straight down column 0). Passing `gap_extend` there is
+/// how a recursive call is told "a run touching your top border continues a
+/// gap the caller already opened" — Myers & Miller's boundary parameter.
+fn last_rows(s: &[u8], t: &[u8], sc: &AffineScoring, tb: i32) -> (Vec<i32>, Vec<i32>) {
     let n = t.len();
     let gap_run = |k: usize| -> i32 {
         if k == 0 {
@@ -43,13 +57,17 @@ fn last_rows(s: &[u8], t: &[u8], sc: &AffineScoring) -> (Vec<i32>, Vec<i32>) {
     }
     for (i, &c) in s.iter().enumerate() {
         let mut e_in_row = NEG; // E of the current row (gap in s)
-        h_cur[0] = gap_run(i + 1);
-        f_row[0] = gap_run(i + 1); // a pure vertical gap down column 0
+        h_cur[0] = tb + i as i32 * sc.gap_extend;
+        f_row[0] = h_cur[0]; // a pure vertical gap down column 0
         for j in 1..=n {
             let f = (f_row[j] + sc.gap_extend).max(h_prev[j] + sc.gap_open);
             e_in_row = (e_in_row + sc.gap_extend).max(h_cur[j - 1] + sc.gap_open);
             let diag = h_prev[j - 1]
-                + if c == t[j - 1] { sc.matches } else { sc.mismatch };
+                + if c == t[j - 1] {
+                    sc.matches
+                } else {
+                    sc.mismatch
+                };
             h_cur[j] = diag.max(f).max(e_in_row);
             f_row[j] = f;
         }
@@ -62,20 +80,176 @@ fn reversed(x: &[u8]) -> Vec<u8> {
     x.iter().rev().copied().collect()
 }
 
-fn rec(s: &[u8], t: &[u8], sc: &AffineScoring, out_s: &mut Vec<u8>, out_t: &mut Vec<u8>) {
+/// Score of an insertion run of `k` spaces (gap in `s`), never
+/// border-merged (the divide is along rows, so only deletions can span it).
+fn ins_run(sc: &AffineScoring, k: usize) -> i32 {
+    if k == 0 {
+        0
+    } else {
+        sc.gap_open + (k as i32 - 1) * sc.gap_extend
+    }
+}
+
+/// Score of a deletion run of `k` spaces whose opening is charged `b`
+/// (either `gap_open` or, when it abuts a border gap, `gap_extend`).
+fn del_run(sc: &AffineScoring, b: i32, k: usize) -> i32 {
+    if k == 0 {
+        0
+    } else {
+        b + (k as i32 - 1) * sc.gap_extend
+    }
+}
+
+fn push(out_s: &mut Vec<u8>, out_t: &mut Vec<u8>, a: u8, b: u8) {
+    out_s.push(a);
+    out_t.push(b);
+}
+
+/// Base case `|s| == 1`: match `s[0]` somewhere in `t`, or delete it
+/// against the cheaper border.
+fn base_single_s(
+    s0: u8,
+    t: &[u8],
+    sc: &AffineScoring,
+    tb: i32,
+    te: i32,
+    out_s: &mut Vec<u8>,
+    out_t: &mut Vec<u8>,
+) {
+    let n = t.len();
+    let mut best = tb.max(te) + ins_run(sc, n);
+    let mut best_k = None;
+    for (k, &c) in t.iter().enumerate() {
+        let v = ins_run(sc, k)
+            + if s0 == c { sc.matches } else { sc.mismatch }
+            + ins_run(sc, n - 1 - k);
+        if v > best {
+            best = v;
+            best_k = Some(k);
+        }
+    }
+    match best_k {
+        Some(k) => {
+            for &c in &t[..k] {
+                push(out_s, out_t, b'-', c);
+            }
+            push(out_s, out_t, s0, t[k]);
+            for &c in &t[k + 1..] {
+                push(out_s, out_t, b'-', c);
+            }
+        }
+        None => {
+            // Delete s0 flush against whichever border opens cheaper.
+            if tb >= te {
+                push(out_s, out_t, s0, b'-');
+                for &c in t {
+                    push(out_s, out_t, b'-', c);
+                }
+            } else {
+                for &c in t {
+                    push(out_s, out_t, b'-', c);
+                }
+                push(out_s, out_t, s0, b'-');
+            }
+        }
+    }
+}
+
+/// Base case `|t| == 1` (with `|s| >= 2`): match `t[0]` against some
+/// `s[k]` between two border-adjacent deletion runs, or insert it at the
+/// placement that best merges the deletions with the borders.
+fn base_single_t(
+    s: &[u8],
+    t0: u8,
+    sc: &AffineScoring,
+    tb: i32,
+    te: i32,
+    out_s: &mut Vec<u8>,
+    out_t: &mut Vec<u8>,
+) {
+    let m = s.len();
+    // Insertion placements: at the top (deletions form one te-opened run),
+    // at the bottom (one tb-opened run), or in the middle (two runs, each
+    // border-opened).
+    let ins_top = ins_run(sc, 1) + del_run(sc, te, m);
+    let ins_bot = del_run(sc, tb, m) + ins_run(sc, 1);
+    let ins_mid = del_run(sc, tb, 1) + ins_run(sc, 1) + del_run(sc, te, m - 1);
+    let mut best = ins_top.max(ins_bot).max(ins_mid);
+    let mut best_k = None;
+    for (k, &c) in s.iter().enumerate() {
+        let v = del_run(sc, tb, k)
+            + if c == t0 { sc.matches } else { sc.mismatch }
+            + del_run(sc, te, m - 1 - k);
+        if v > best {
+            best = v;
+            best_k = Some(k);
+        }
+    }
+    match best_k {
+        Some(k) => {
+            for &c in &s[..k] {
+                push(out_s, out_t, c, b'-');
+            }
+            push(out_s, out_t, s[k], t0);
+            for &c in &s[k + 1..] {
+                push(out_s, out_t, c, b'-');
+            }
+        }
+        None => {
+            let split = if best == ins_top {
+                0
+            } else if best == ins_bot {
+                m
+            } else {
+                1
+            };
+            for &c in &s[..split] {
+                push(out_s, out_t, c, b'-');
+            }
+            push(out_s, out_t, b'-', t0);
+            for &c in &s[split..] {
+                push(out_s, out_t, c, b'-');
+            }
+        }
+    }
+}
+
+fn rec(
+    s: &[u8],
+    t: &[u8],
+    sc: &AffineScoring,
+    tb: i32,
+    te: i32,
+    out_s: &mut Vec<u8>,
+    out_t: &mut Vec<u8>,
+) {
     let (m, n) = (s.len(), t.len());
-    if m <= 1 || n <= 1 {
-        let g = nw_affine_align(s, t, sc);
-        out_s.extend_from_slice(&g.aligned_s);
-        out_t.extend_from_slice(&g.aligned_t);
+    if n == 0 {
+        for &c in s {
+            push(out_s, out_t, c, b'-');
+        }
+        return;
+    }
+    if m == 0 {
+        for &c in t {
+            push(out_s, out_t, b'-', c);
+        }
+        return;
+    }
+    if m == 1 {
+        base_single_s(s[0], t, sc, tb, te, out_s, out_t);
+        return;
+    }
+    if n == 1 {
+        base_single_t(s, t[0], sc, tb, te, out_s, out_t);
         return;
     }
     let mid = m / 2;
     let (s_top, s_bot) = s.split_at(mid);
-    let (cc, dd) = last_rows(s_top, t, sc);
+    let (cc, dd) = last_rows(s_top, t, sc, tb);
     let s_bot_rev = reversed(s_bot);
     let t_rev = reversed(t);
-    let (rr, ss) = last_rows(&s_bot_rev, &t_rev, sc);
+    let (rr, ss) = last_rows(&s_bot_rev, &t_rev, sc, te);
 
     // Best crossing column and type.
     let mut best = i64::MIN;
@@ -88,7 +262,11 @@ fn rec(s: &[u8], t: &[u8], sc: &AffineScoring, out_s: &mut Vec<u8>, out_t: &mut 
             best_j = j;
             type2 = false;
         }
-        let t2 = dd[j] as i64 + ss[n - j] as i64 - sc.gap_open as i64;
+        // A length-k run costs `gap_open + (k-1) * gap_extend`, i.e.
+        // `g + h*k` with `g = gap_open - gap_extend`: the opening charged
+        // twice (once by each half) and refunded here is `g`, not
+        // `gap_open` itself.
+        let t2 = dd[j] as i64 + ss[n - j] as i64 - (sc.gap_open - sc.gap_extend) as i64;
         if t2 > best {
             best = t2;
             best_j = j;
@@ -97,18 +275,34 @@ fn rec(s: &[u8], t: &[u8], sc: &AffineScoring, out_s: &mut Vec<u8>, out_t: &mut 
     }
 
     if !type2 {
-        rec(s_top, &t[..best_j], sc, out_s, out_t);
-        rec(s_bot, &t[best_j..], sc, out_s, out_t);
+        rec(s_top, &t[..best_j], sc, tb, sc.gap_open, out_s, out_t);
+        rec(s_bot, &t[best_j..], sc, sc.gap_open, te, out_s, out_t);
     } else {
         // One vertical gap run spans rows mid-1..=mid (0-based s indices
         // mid-1 and mid are both deleted inside it). Force those two
-        // columns and recurse on the trimmed halves.
-        rec(&s[..mid - 1], &t[..best_j], sc, out_s, out_t);
-        out_s.push(s[mid - 1]);
-        out_t.push(b'-');
-        out_s.push(s[mid]);
-        out_t.push(b'-');
-        rec(&s[mid + 1..], &t[best_j..], sc, out_s, out_t);
+        // columns and recurse on the trimmed halves, telling each half (via
+        // a `gap_extend` border opening) that a deletion flush against the
+        // seam continues this run rather than opening a new one.
+        rec(
+            &s[..mid - 1],
+            &t[..best_j],
+            sc,
+            tb,
+            sc.gap_extend,
+            out_s,
+            out_t,
+        );
+        push(out_s, out_t, s[mid - 1], b'-');
+        push(out_s, out_t, s[mid], b'-');
+        rec(
+            &s[mid + 1..],
+            &t[best_j..],
+            sc,
+            sc.gap_extend,
+            te,
+            out_s,
+            out_t,
+        );
     }
 }
 
@@ -117,7 +311,15 @@ fn rec(s: &[u8], t: &[u8], sc: &AffineScoring, out_s: &mut Vec<u8>, out_t: &mut 
 pub fn myers_miller_align(s: &[u8], t: &[u8], sc: &AffineScoring) -> GlobalAlignment {
     let mut aligned_s = Vec::with_capacity(s.len() + 8);
     let mut aligned_t = Vec::with_capacity(t.len() + 8);
-    rec(s, t, sc, &mut aligned_s, &mut aligned_t);
+    rec(
+        s,
+        t,
+        sc,
+        sc.gap_open,
+        sc.gap_open,
+        &mut aligned_s,
+        &mut aligned_t,
+    );
     let score = rescore_affine(&aligned_s, &aligned_t, sc);
     GlobalAlignment {
         aligned_s,
@@ -227,7 +429,8 @@ mod tests {
             let mm = myers_miller_align(&s, &t, &AFF);
             let oracle = nw_affine_score(&s, &t, &AFF);
             assert_eq!(
-                mm.score, oracle,
+                mm.score,
+                oracle,
                 "trial {trial}: s={} t={}",
                 String::from_utf8_lossy(&s),
                 String::from_utf8_lossy(&t)

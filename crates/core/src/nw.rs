@@ -48,7 +48,12 @@ pub struct RegionAlignment {
 ///
 /// # Panics
 /// Panics if the region's coordinates exceed the sequences.
-pub fn align_region(s: &[u8], t: &[u8], region: &LocalRegion, scoring: &Scoring) -> RegionAlignment {
+pub fn align_region(
+    s: &[u8],
+    t: &[u8],
+    region: &LocalRegion,
+    scoring: &Scoring,
+) -> RegionAlignment {
     let sub_s = &s[region.s_begin..region.s_end];
     let sub_t = &t[region.t_begin..region.t_end];
     RegionAlignment {
@@ -231,12 +236,7 @@ mod tests {
             t_end: 15,
             score: 6,
         };
-        let ra = align_region(
-            b"TTTTGACGGATTAGTTTT",
-            b"AAAAGATCGGAATAGAAAA",
-            &region,
-            &SC,
-        );
+        let ra = align_region(b"TTTTGACGGATTAGTTTT", b"AAAAGATCGGAATAGAAAA", &region, &SC);
         let text = render_region_alignment(&ra);
         assert!(text.contains("initial_x: 5"));
         assert!(text.contains("similarity: 6"));

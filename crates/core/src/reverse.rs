@@ -139,7 +139,11 @@ pub fn recover_start(
             }
             stats.evaluated_cells += 1;
             let diag_pred = if j - 1 == 0 {
-                if i == 1 { 0 } else { DEAD }
+                if i == 1 {
+                    0
+                } else {
+                    DEAD
+                }
             } else {
                 prev[j - 1]
             };
@@ -269,7 +273,12 @@ pub fn reverse_align_all(
 /// a single end. The greedy covered-end filter of [`reverse_align_all`]
 /// is applied *after* all recoveries, which yields exactly the same
 /// result set because the filter only inspects regions that sort earlier.
-pub fn sorted_ends(s: &[u8], t: &[u8], scoring: &Scoring, min_score: i32) -> Vec<(usize, usize, i32)> {
+pub fn sorted_ends(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    min_score: i32,
+) -> Vec<(usize, usize, i32)> {
     let mut ends = sw_ends_over(s, t, scoring, min_score);
     ends.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
     ends

@@ -263,8 +263,9 @@ mod more_tests {
     #[test]
     fn many_regions_all_plotted_in_svg() {
         let spec = PlotSpec::new(1000, 1000);
-        let regions: Vec<LocalRegion> =
-            (0..25).map(|k| region(k * 40, k * 40 + 30, k * 40, k * 40 + 30)).collect();
+        let regions: Vec<LocalRegion> = (0..25)
+            .map(|k| region(k * 40, k * 40 + 30, k * 40, k * 40 + 30))
+            .collect();
         let svg = svg_plot(&regions, &spec, 500, 500);
         assert_eq!(svg.matches("<line").count(), 25);
         assert!(svg.contains("25 similar regions"));

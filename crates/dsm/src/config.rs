@@ -82,9 +82,7 @@ impl DsmConfig {
 
     /// Node `id`'s relative speed (1.0 when homogeneous).
     pub fn speed_of(&self, id: usize) -> f64 {
-        self.speed_factors
-            .as_ref()
-            .map_or(1.0, |v| v[id])
+        self.speed_factors.as_ref().map_or(1.0, |v| v[id])
     }
 }
 

@@ -200,9 +200,7 @@ impl Msg {
         const HDR: usize = 32; // UDP + protocol header estimate
         match self {
             Msg::GetPage { .. } => HDR,
-            Msg::Diff { patches, .. } => {
-                HDR + patches.iter().map(Patch::wire_size).sum::<usize>()
-            }
+            Msg::Diff { patches, .. } => HDR + patches.iter().map(Patch::wire_size).sum::<usize>(),
             Msg::Acquire { .. } => HDR,
             Msg::Release { notices, .. } => HDR + notices.len() * 12,
             Msg::SetCv { notices, .. } => HDR + notices.len() * 12,
@@ -226,9 +224,10 @@ impl Reply {
             Reply::LockGranted { notices, .. } | Reply::CvGranted { notices, .. } => {
                 HDR + notices.len() * 12
             }
-            Reply::BarrierDone { notices, migrations } => {
-                HDR + notices.len() * 12 + migrations.len() * 12
-            }
+            Reply::BarrierDone {
+                notices,
+                migrations,
+            } => HDR + notices.len() * 12 + migrations.len() * 12,
         }
     }
 }
@@ -239,7 +238,12 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale() {
-        let small = Msg::GetPage { page: 0, from: 0, epoch: 0 }.wire_size();
+        let small = Msg::GetPage {
+            page: 0,
+            from: 0,
+            epoch: 0,
+        }
+        .wire_size();
         let diff = Msg::Diff {
             page: 0,
             from: 0,

@@ -117,7 +117,10 @@ impl DsmSystem {
             }
             // Tear down daemons regardless of worker outcome.
             for tx in daemon_tx_ref.iter() {
-                let _ = tx.send(Envelope { msg: Msg::Shutdown, arrive: std::time::Duration::ZERO });
+                let _ = tx.send(Envelope {
+                    msg: Msg::Shutdown,
+                    arrive: std::time::Duration::ZERO,
+                });
             }
             for handle in daemon_handles {
                 let _ = handle.join();
@@ -295,8 +298,8 @@ mod tests {
     fn stats_track_protocol_activity() {
         let run = DsmSystem::run(DsmConfig::new(2), |node| {
             let v = node.alloc_vec::<i32>(2048); // several pages
-            // Cache everything first, so the later write notices actually
-            // find copies to invalidate.
+                                                 // Cache everything first, so the later write notices actually
+                                                 // find copies to invalidate.
             let _ = node.vec_read_range(&v, 0..2048);
             node.barrier();
             if node.id() == 0 {

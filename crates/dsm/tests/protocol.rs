@@ -162,7 +162,7 @@ fn eight_node_all_to_all_notices() {
     const N: usize = 8;
     let run = DsmSystem::run(config(N), |node| {
         let v = node.alloc_vec::<i64>(N * 512); // one page per node
-        // Cache everything (so invalidations have something to do).
+                                                // Cache everything (so invalidations have something to do).
         let _ = node.vec_read_range(&v, 0..N * 512);
         node.barrier();
         node.vec_set(&v, node.id() * 512, node.id() as i64 + 100);

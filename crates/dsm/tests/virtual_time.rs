@@ -203,13 +203,11 @@ fn total_equals_bucket_sum() {
 
 #[test]
 fn bandwidth_charges_scale_with_page_size() {
-    let config = DsmConfig::new(2)
-        .page_size(8192)
-        .network(NetworkModel {
-            latency: Duration::ZERO,
-            bandwidth: 1.0e6, // 1 MB/s: one 8K page ≈ 8 ms
-            simulate: false,
-        });
+    let config = DsmConfig::new(2).page_size(8192).network(NetworkModel {
+        latency: Duration::ZERO,
+        bandwidth: 1.0e6, // 1 MB/s: one 8K page ≈ 8 ms
+        simulate: false,
+    });
     let run = DsmSystem::run(config, |node| {
         let v = node.alloc_vec::<i64>(1024); // one page
         node.barrier();
@@ -219,7 +217,10 @@ fn bandwidth_charges_scale_with_page_size() {
     // One of the two nodes is remote from the page's home and pays the
     // transfer time.
     let max = run.results.iter().max().unwrap();
-    assert!(*max >= Duration::from_millis(8), "transfer not charged: {max:?}");
+    assert!(
+        *max >= Duration::from_millis(8),
+        "transfer not charged: {max:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,322 @@
+//! The engine abstraction and the generic striped Smith–Waterman recurrence.
+//!
+//! Everything algorithmic lives here, written once against the tiny
+//! [`Engine`] vector vocabulary. The ISA backends ([`crate::scalar`],
+//! [`crate::x86`]) only implement `Engine` and wrap the generic routines in
+//! `#[target_feature]` shells so the compiler can use the wide instructions.
+//!
+//! # Why the linear-gap recurrence needs no `E` array
+//!
+//! With a single gap penalty `g` (open == extend), the affine horizontal
+//! state collapses: `E[i][j] = H[i][j-1] - g` exactly, so the "left"
+//! contribution is read straight from the previous column. Only the vertical
+//! chain (`F`) needs Farrar's lazy-loop fixup, because it runs *within* the
+//! current column across stripe boundaries.
+//!
+//! # Exactness
+//!
+//! The routines here are bit-exact against `sw_score_linear` (score, end
+//! point with the same row-major-first tie-break, and threshold hit count)
+//! whenever [`crate::fits_i16`] admits the problem; the public wrappers fall
+//! back to the scalar oracle otherwise, so saturation can never corrupt a
+//! result.
+
+use crate::profile::{StripedProfile, NEG_INF};
+
+/// Minimal SIMD vocabulary the striped recurrence needs.
+///
+/// All operations are `unsafe fn` because the x86 backends lower to
+/// `target_feature` intrinsics; the portable backend implements them safely.
+pub(crate) trait Engine: Copy {
+    /// Number of i16 lanes per vector.
+    const LANES: usize;
+    /// Vector register type.
+    type V: Copy;
+
+    /// Broadcast `x` to all lanes.
+    unsafe fn splat(x: i16) -> Self::V;
+    /// Unaligned load of `LANES` i16 values.
+    unsafe fn load(src: *const i16) -> Self::V;
+    /// Unaligned store of `LANES` i16 values.
+    unsafe fn store(dst: *mut i16, v: Self::V);
+    /// Lane-wise saturating add.
+    unsafe fn adds(a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise saturating subtract.
+    unsafe fn subs(a: Self::V, b: Self::V) -> Self::V;
+    /// Lane-wise signed max.
+    unsafe fn max(a: Self::V, b: Self::V) -> Self::V;
+    /// `movemask_epi8`-style byte mask of `a > b` (two bits per i16 lane,
+    /// lane `l` occupying bits `2l` and `2l+1`). Zero iff no lane is greater.
+    unsafe fn gt_bytes(a: Self::V, b: Self::V) -> u64;
+    /// Shift lanes up by one (`lane l` receives `lane l-1`) inserting
+    /// `first` into lane 0. This is the stripe-boundary rotation: lane `l`
+    /// of stripe 0 (query `l*p`) depends on lane `l-1` of stripe `p-1`
+    /// (query `l*p - 1`).
+    unsafe fn shift_in(v: Self::V, first: i16) -> Self::V;
+}
+
+/// Mutable per-alignment state shared by all engines (plain i16 buffers in
+/// striped order; the engine only dictates the lane width they are read
+/// with).
+pub(crate) struct StripedState {
+    /// Stripes per column.
+    pub p: usize,
+    /// Lane width the buffers are striped for.
+    pub lanes: usize,
+    /// Previous column's `H` (the "load" buffer).
+    pub ph: Vec<i16>,
+    /// Current column's `H` (the "store" buffer).
+    pub ch: Vec<i16>,
+    /// Running per-element maximum over all columns seen so far.
+    pub vmax: Vec<i16>,
+    /// Column index (0-based) of the first strict improvement that set the
+    /// current `vmax` value for each element; tracked only in argmax mode.
+    pub first_j: Vec<u64>,
+    /// Accumulated threshold hits over live elements.
+    pub hits: u64,
+    scratch: Vec<i16>,
+}
+
+impl StripedState {
+    pub fn new(p: usize, lanes: usize, track_argmax: bool) -> Self {
+        let n = p * lanes;
+        Self {
+            p,
+            lanes,
+            ph: vec![0; n],
+            ch: vec![0; n],
+            vmax: vec![0; n],
+            first_j: if track_argmax { vec![0; n] } else { Vec::new() },
+            hits: 0,
+            scratch: vec![0; n],
+        }
+    }
+
+    /// Makes the just-computed column the "previous" one.
+    #[inline(always)]
+    pub fn flip(&mut self) {
+        std::mem::swap(&mut self.ph, &mut self.ch);
+    }
+}
+
+/// Computes one database column into `st.ch` from `st.ph`.
+///
+/// `diag0` is the boundary value entering query element 0's diagonal
+/// (`H[row0][j-1]`); `f0` is the vertical-gap value entering element 0
+/// (`H[row0][j] - gap`). For a plain local alignment both derive from a
+/// zero top row; the banded pre-process wavefront injects real border
+/// values here.
+#[inline(always)]
+pub(crate) unsafe fn column<E: Engine>(
+    st: &mut StripedState,
+    prof_row: &[i16],
+    gap: i16,
+    diag0: i16,
+    f0: i16,
+) {
+    let p = st.p;
+    let l = E::LANES;
+    debug_assert_eq!(l, st.lanes);
+    debug_assert_eq!(prof_row.len(), p * l);
+    let vgap = E::splat(gap);
+    let vzero = E::splat(0);
+    let mut vf = E::splat(NEG_INF);
+    // Diagonal feed for stripe 0: last stripe of the previous column,
+    // rotated one lane, with the top-left boundary in lane 0.
+    let mut vh = E::shift_in(E::load(st.ph.as_ptr().add((p - 1) * l)), diag0);
+    for k in 0..p {
+        let off = k * l;
+        vh = E::adds(vh, E::load(prof_row.as_ptr().add(off)));
+        // Left neighbour: previous column, same element (linear-gap E).
+        vh = E::max(vh, E::subs(E::load(st.ph.as_ptr().add(off)), vgap));
+        vh = E::max(vh, vf);
+        vh = E::max(vh, vzero);
+        E::store(st.ch.as_mut_ptr().add(off), vh);
+        vf = E::subs(E::max(vf, vh), vgap);
+        vh = E::load(st.ph.as_ptr().add(off));
+    }
+    // Farrar's lazy F: propagate vertical chains across the stripe-0
+    // boundary until no lane can still improve. With a linear gap the break
+    // test is simply `F <= H` — a chain through an element it cannot raise
+    // was already propagated from that element's H in the stripe loop.
+    vf = E::shift_in(vf, f0);
+    let mut k = 0;
+    loop {
+        let cur = E::load(st.ch.as_ptr().add(k * l));
+        if E::gt_bytes(vf, cur) == 0 {
+            break;
+        }
+        E::store(st.ch.as_mut_ptr().add(k * l), E::max(cur, vf));
+        vf = E::subs(vf, vgap);
+        k += 1;
+        if k == p {
+            k = 0;
+            vf = E::shift_in(vf, NEG_INF);
+        }
+    }
+}
+
+/// Post-column statistics pass over `st.ch`: threshold hits (live lanes
+/// only) and, in argmax mode, the running per-element max plus the column
+/// of its first strict improvement.
+#[inline(always)]
+pub(crate) unsafe fn stats<E: Engine>(
+    st: &mut StripedState,
+    valid: &[u64],
+    thr_minus_1: Option<i16>,
+    track_argmax: bool,
+    j0: usize,
+) {
+    let p = st.p;
+    let l = E::LANES;
+    let vthr = thr_minus_1.map(|x| E::splat(x));
+    for (k, &vmask) in valid.iter().enumerate().take(p) {
+        let off = k * l;
+        let vh = E::load(st.ch.as_ptr().add(off));
+        if let Some(vt) = vthr {
+            let m = E::gt_bytes(vh, vt) & vmask;
+            st.hits += u64::from(m.count_ones() / 2);
+        }
+        if track_argmax {
+            let vm = E::load(st.vmax.as_ptr().add(off));
+            let improved = E::gt_bytes(vh, vm);
+            if improved != 0 {
+                E::store(st.vmax.as_mut_ptr().add(off), E::max(vm, vh));
+                // Rare scalar fixup: record the first column each element's
+                // running max changed in (strict `>` keeps the earliest).
+                let mut bits = improved;
+                while bits != 0 {
+                    let lane = bits.trailing_zeros() as usize / 2;
+                    st.first_j[off + lane] = j0 as u64;
+                    bits &= !(0b11u64 << (lane * 2));
+                }
+            }
+        }
+    }
+}
+
+/// Reads one element of the current column (pre-`flip`).
+#[inline(always)]
+pub(crate) unsafe fn extract<E: Engine>(st: &mut StripedState, q: usize) -> i16 {
+    let k = q % st.p;
+    let l = q / st.p;
+    let v = E::load(st.ch.as_ptr().add(k * E::LANES));
+    E::store(st.scratch.as_mut_ptr(), v);
+    st.scratch[l]
+}
+
+/// De-stripes the current column (pre-`flip`) into `out[0..m]`.
+#[inline(always)]
+pub(crate) unsafe fn destripe_column<E: Engine>(st: &StripedState, m: usize, out: &mut [i32]) {
+    debug_assert!(out.len() >= m);
+    for (q, slot) in out.iter_mut().enumerate().take(m) {
+        *slot = i32::from(st.ch[(q % st.p) * st.lanes + q / st.p]);
+    }
+}
+
+/// Full striped local-alignment pass, exact against `sw_score_linear`.
+///
+/// # Safety
+/// The caller must guarantee the engine's ISA is available on the running
+/// CPU (or call this through a `#[target_feature]` wrapper).
+#[inline(always)]
+pub(crate) unsafe fn striped_score<E: Engine>(
+    prof: &mut StripedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> genomedsm_core::linear::LinearSwResult {
+    use genomedsm_core::linear::LinearSwResult;
+    let gap = prof.gap;
+    let m = prof.m;
+    let mut st = StripedState::new(prof.p, prof.lanes, true);
+    // Hits are only counted for positive thresholds (matching the scalar
+    // oracle); a threshold above the i16 range can never be reached by an
+    // admitted problem, so it degenerates to "count nothing".
+    let thr = if threshold > 0 && threshold <= i32::from(i16::MAX) {
+        Some((threshold - 1) as i16)
+    } else {
+        None
+    };
+    for (j0, &c) in t.iter().enumerate() {
+        let row = prof.row(c);
+        // Zero top row: diagonal boundary 0, vertical-gap boundary -gap.
+        column::<E>(&mut st, row, gap, 0, -gap);
+        stats::<E>(&mut st, &prof.valid, thr, true, j0);
+        st.flip();
+    }
+    // Final reduction: scanning live elements in query order with a strict
+    // `>` reproduces the oracle's row-major-first tie-break — `first_j`
+    // holds each row's first column reaching its max, and the lowest such
+    // row wins.
+    let mut best = LinearSwResult {
+        best_score: 0,
+        best_end: (0, 0),
+        hits: st.hits,
+    };
+    for q in 0..m {
+        let idx = prof.index_of(q);
+        let v = i32::from(st.vmax[idx]);
+        if v > best.best_score {
+            best.best_score = v;
+            best.best_end = (q + 1, st.first_j[idx] as usize + 1);
+        }
+    }
+    best
+}
+
+/// Outputs of one [`band_advance`] call.
+pub(crate) struct BandChunkOut<'a> {
+    /// Per chunk column: `H` of the band's last query row (the bottom
+    /// border handed to the next band of the wavefront).
+    pub bottom: &'a mut Vec<i32>,
+    /// Per chunk column: threshold hits among the band's rows.
+    pub col_hits: &'a mut Vec<u64>,
+    /// Absolute (1-based) matrix column of `chunk[0]`, used to decide which
+    /// columns to de-stripe into `saved`.
+    pub first_col: usize,
+    /// Save every column whose absolute index is a multiple of this
+    /// (`None` = save nothing).
+    pub save_every: Option<usize>,
+    /// De-striped full band columns `(absolute_col, values)` for the
+    /// pre-process save stream.
+    pub saved: &'a mut Vec<(usize, Vec<i32>)>,
+}
+
+/// Advances a banded wavefront state across one horizontal chunk of the
+/// database sequence, injecting the top border row computed by the band
+/// above (`top[0]` is the corner `H[row0][first_col-1]`).
+///
+/// # Safety
+/// Same contract as [`striped_score`].
+#[inline(always)]
+pub(crate) unsafe fn band_advance<E: Engine>(
+    st: &mut StripedState,
+    prof: &mut StripedProfile,
+    chunk: &[u8],
+    top: &[i32],
+    thr_minus_1: Option<i16>,
+    out: &mut BandChunkOut<'_>,
+) {
+    debug_assert_eq!(top.len(), chunk.len() + 1);
+    let gap = prof.gap;
+    let m = prof.m;
+    for (jj, &c) in chunk.iter().enumerate() {
+        let row = prof.row(c);
+        let diag0 = top[jj] as i16;
+        let f0 = (top[jj + 1] as i16).saturating_sub(gap);
+        column::<E>(st, row, gap, diag0, f0);
+        let hits_before = st.hits;
+        stats::<E>(st, &prof.valid, thr_minus_1, true, 0);
+        out.col_hits.push(st.hits - hits_before);
+        out.bottom.push(i32::from(extract::<E>(st, m - 1)));
+        if let Some(every) = out.save_every {
+            let abs = out.first_col + jj;
+            if abs.is_multiple_of(every) {
+                let mut col = vec![0i32; m];
+                destripe_column::<E>(st, m, &mut col);
+                out.saved.push((abs, col));
+            }
+        }
+        st.flip();
+    }
+}

@@ -1,0 +1,151 @@
+//! Farrar striped query profile.
+//!
+//! The striped layout (Farrar 2007, see PAPERS.md: the SSW library and the
+//! Knights Landing study both build on it) places query element `q` in
+//! stripe `q % p`, lane `q / p`, where `p = ceil(m / LANES)` is the segment
+//! length. A vector therefore holds `LANES` query positions that are `p`
+//! apart, which makes the intra-column data dependency (the vertical gap
+//! chain) span *vectors* instead of *lanes* and lets the whole substitution
+//! add run unconditionally.
+//!
+//! The profile precomputes, for each database symbol `c`, the striped vector
+//! sequence `prof[c][k*LANES + l] = subst(s[l*p + k], c)` so the inner loop
+//! is a single saturating add per stripe. Rows are built lazily per observed
+//! symbol (the DNA alphabet only ever touches 4–5 of the 256 slots).
+
+use genomedsm_core::scoring::Scoring;
+
+/// Sentinel for padding lanes (`q >= m`) and "no value" boundaries.
+///
+/// Chosen well above `i16::MIN` so that saturating arithmetic on top of it
+/// cannot wrap, and low enough that `NEG_INF + max_profile_score` stays
+/// far below zero for every scoring scheme admitted by
+/// [`fits_i16`](crate::fits_i16).
+pub(crate) const NEG_INF: i16 = -30_000;
+
+/// Striped substitution profile for one query sequence at a fixed lane width.
+pub(crate) struct StripedProfile {
+    /// Query length.
+    pub m: usize,
+    /// Segment length: number of stripes, `ceil(m / lanes)`.
+    pub p: usize,
+    /// Vector width in i16 lanes.
+    pub lanes: usize,
+    /// Linear gap penalty as a positive i16 (`-scoring.gap`).
+    pub gap: i16,
+    /// Per-stripe byte-granularity validity mask (2 bits per live lane),
+    /// matching the `movemask_epi8` convention of [`Engine::gt_bytes`].
+    pub valid: Vec<u64>,
+    /// Lazily built profile rows, one per database symbol.
+    rows: Vec<Option<Box<[i16]>>>,
+    seq: Box<[u8]>,
+    match_score: i16,
+    mismatch: i16,
+}
+
+impl StripedProfile {
+    /// Builds the profile skeleton; rows are filled on first use.
+    ///
+    /// Caller must have checked [`fits_i16`](crate::fits_i16) so the three
+    /// scoring values are representable.
+    pub fn new(s: &[u8], scoring: &Scoring, lanes: usize) -> Self {
+        debug_assert!(!s.is_empty());
+        let m = s.len();
+        let p = m.div_ceil(lanes);
+        let mut valid = Vec::with_capacity(p);
+        for k in 0..p {
+            let mut mask = 0u64;
+            for l in 0..lanes {
+                if l * p + k < m {
+                    mask |= 0b11 << (2 * l);
+                }
+            }
+            valid.push(mask);
+        }
+        Self {
+            m,
+            p,
+            lanes,
+            gap: (-scoring.gap) as i16,
+            valid,
+            rows: vec![None; 256],
+            seq: s.into(),
+            match_score: scoring.matches as i16,
+            mismatch: scoring.mismatch as i16,
+        }
+    }
+
+    /// The striped profile row for database symbol `c` (`p * lanes` values).
+    pub fn row(&mut self, c: u8) -> &[i16] {
+        let slot = &mut self.rows[c as usize];
+        if slot.is_none() {
+            let mut row = vec![NEG_INF; self.p * self.lanes];
+            for (q, &sc) in self.seq.iter().enumerate() {
+                let k = q % self.p;
+                let l = q / self.p;
+                row[k * self.lanes + l] = if sc == c {
+                    self.match_score
+                } else {
+                    self.mismatch
+                };
+            }
+            *slot = Some(row.into_boxed_slice());
+        }
+        slot.as_deref().unwrap()
+    }
+
+    /// Striped buffer index of query element `q`.
+    #[inline(always)]
+    pub fn index_of(&self, q: usize) -> usize {
+        (q % self.p) * self.lanes + q / self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trips_every_query_position() {
+        let s = b"ACGTACGTACG"; // 11 elements, lanes=4 -> p=3, one padding lane slot
+        let prof = StripedProfile::new(s, &Scoring::paper(), 4);
+        assert_eq!(prof.p, 3);
+        let mut seen = vec![false; prof.p * prof.lanes];
+        for q in 0..s.len() {
+            let idx = prof.index_of(q);
+            assert!(!seen[idx], "two query elements mapped to slot {idx}");
+            seen[idx] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&b| b).count(), s.len());
+    }
+
+    #[test]
+    fn profile_row_scores_match_subst() {
+        let s = b"ACGTT";
+        let sc = Scoring::paper();
+        let mut prof = StripedProfile::new(s, &sc, 4);
+        let row: Vec<i16> = prof.row(b'T').to_vec();
+        for (q, &ch) in s.iter().enumerate() {
+            assert_eq!(
+                i32::from(row[prof.index_of(q)]),
+                sc.subst(ch, b'T'),
+                "q={q}"
+            );
+        }
+        // Padding slots carry the sentinel.
+        let live: Vec<usize> = (0..s.len()).map(|q| prof.index_of(q)).collect();
+        for (idx, &slot) in row.iter().enumerate() {
+            if !live.contains(&idx) {
+                assert_eq!(slot, NEG_INF);
+            }
+        }
+    }
+
+    #[test]
+    fn valid_masks_cover_exactly_the_live_lanes() {
+        let prof = StripedProfile::new(b"ACGTA", &Scoring::paper(), 4); // p=2, q=0..5
+                                                                        // stripe 0 holds q = 0,2,4 (lanes 0,1,2); stripe 1 holds q = 1,3 (lanes 0,1).
+        assert_eq!(prof.valid[0], 0b00_11_11_11);
+        assert_eq!(prof.valid[1], 0b00_00_11_11);
+    }
+}

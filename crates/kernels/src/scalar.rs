@@ -1,0 +1,101 @@
+//! Portable striped backend: the [`Engine`] vocabulary on plain arrays.
+//!
+//! This serves two purposes: it is the fallback on targets without
+//! `std::arch::x86_64`, and it exercises the exact same striped control flow
+//! as the SIMD engines in tests, so layout bugs cannot hide behind an ISA
+//! check. Eight lanes keep the striped geometry (padding, rotation,
+//! lazy-F wrap) identical to SSE2's.
+
+use crate::engine::Engine;
+
+/// Lane width of the portable engine (matches SSE2 for i16).
+pub(crate) const PORTABLE_LANES: usize = 8;
+
+/// Portable array-based engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Portable;
+
+impl Engine for Portable {
+    const LANES: usize = PORTABLE_LANES;
+    type V = [i16; PORTABLE_LANES];
+
+    #[inline(always)]
+    unsafe fn splat(x: i16) -> Self::V {
+        [x; PORTABLE_LANES]
+    }
+
+    #[inline(always)]
+    unsafe fn load(src: *const i16) -> Self::V {
+        std::ptr::read_unaligned(src.cast::<Self::V>())
+    }
+
+    #[inline(always)]
+    unsafe fn store(dst: *mut i16, v: Self::V) {
+        std::ptr::write_unaligned(dst.cast::<Self::V>(), v);
+    }
+
+    #[inline(always)]
+    unsafe fn adds(a: Self::V, b: Self::V) -> Self::V {
+        std::array::from_fn(|l| a[l].saturating_add(b[l]))
+    }
+
+    #[inline(always)]
+    unsafe fn subs(a: Self::V, b: Self::V) -> Self::V {
+        std::array::from_fn(|l| a[l].saturating_sub(b[l]))
+    }
+
+    #[inline(always)]
+    unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
+        std::array::from_fn(|l| a[l].max(b[l]))
+    }
+
+    #[inline(always)]
+    unsafe fn gt_bytes(a: Self::V, b: Self::V) -> u64 {
+        let mut mask = 0u64;
+        for l in 0..PORTABLE_LANES {
+            if a[l] > b[l] {
+                mask |= 0b11 << (2 * l);
+            }
+        }
+        mask
+    }
+
+    #[inline(always)]
+    unsafe fn shift_in(v: Self::V, first: i16) -> Self::V {
+        std::array::from_fn(|l| if l == 0 { first } else { v[l - 1] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_in_rotates_up_and_inserts() {
+        unsafe {
+            let v: [i16; 8] = [10, 11, 12, 13, 14, 15, 16, 17];
+            assert_eq!(Portable::shift_in(v, -7), [-7, 10, 11, 12, 13, 14, 15, 16]);
+        }
+    }
+
+    #[test]
+    fn gt_bytes_sets_two_bits_per_lane() {
+        unsafe {
+            let a: [i16; 8] = [1, 0, 5, 0, 0, 0, 0, 9];
+            let b: [i16; 8] = [0; 8];
+            let m = Portable::gt_bytes(a, b);
+            assert_eq!(m, 0b11 | (0b11 << 4) | (0b11 << 14));
+            assert_eq!(Portable::gt_bytes(b, b), 0);
+        }
+    }
+
+    #[test]
+    fn saturating_ops_saturate() {
+        unsafe {
+            let lo = Portable::splat(i16::MIN);
+            let hi = Portable::splat(i16::MAX);
+            assert_eq!(Portable::subs(lo, Portable::splat(100))[0], i16::MIN);
+            assert_eq!(Portable::adds(hi, Portable::splat(100))[0], i16::MAX);
+        }
+    }
+}

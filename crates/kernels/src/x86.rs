@@ -1,0 +1,237 @@
+//! SSE2 and AVX2 backends via `std::arch::x86_64` (no external crates).
+//!
+//! Each engine implements the [`Engine`] vocabulary with raw intrinsics and
+//! exposes `#[target_feature]` wrappers around the generic routines in
+//! [`crate::engine`]; the `#[inline(always)]` generic bodies monomorphize
+//! *inside* the wrapper, so the whole recurrence compiles with the wide
+//! instruction set enabled. Callers must gate on
+//! `is_x86_feature_detected!` before invoking a wrapper.
+//!
+//! The only non-obvious operation is [`Engine::shift_in`] on AVX2: a 256-bit
+//! register is two 128-bit halves and `vpslldq` cannot shift across them, so
+//! the lane rotation is `vperm2i128` (to place the low half under the high
+//! half) followed by `vpalignr`, then an OR to drop the boundary value into
+//! the zeroed lane 0.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+use crate::engine::{band_advance, striped_score, BandChunkOut, Engine, StripedState};
+use crate::profile::StripedProfile;
+use genomedsm_core::linear::LinearSwResult;
+
+/// 128-bit engine: 8 × i16 lanes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Sse2;
+
+impl Engine for Sse2 {
+    const LANES: usize = 8;
+    type V = __m128i;
+
+    #[inline(always)]
+    unsafe fn splat(x: i16) -> Self::V {
+        _mm_set1_epi16(x)
+    }
+
+    #[inline(always)]
+    unsafe fn load(src: *const i16) -> Self::V {
+        _mm_loadu_si128(src.cast())
+    }
+
+    #[inline(always)]
+    unsafe fn store(dst: *mut i16, v: Self::V) {
+        _mm_storeu_si128(dst.cast(), v)
+    }
+
+    #[inline(always)]
+    unsafe fn adds(a: Self::V, b: Self::V) -> Self::V {
+        _mm_adds_epi16(a, b)
+    }
+
+    #[inline(always)]
+    unsafe fn subs(a: Self::V, b: Self::V) -> Self::V {
+        _mm_subs_epi16(a, b)
+    }
+
+    #[inline(always)]
+    unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
+        _mm_max_epi16(a, b)
+    }
+
+    #[inline(always)]
+    unsafe fn gt_bytes(a: Self::V, b: Self::V) -> u64 {
+        _mm_movemask_epi8(_mm_cmpgt_epi16(a, b)) as u32 as u64
+    }
+
+    #[inline(always)]
+    unsafe fn shift_in(v: Self::V, first: i16) -> Self::V {
+        // Byte-shift toward higher lanes zero-fills lane 0; OR the boundary in.
+        let shifted = _mm_slli_si128::<2>(v);
+        _mm_or_si128(shifted, _mm_setr_epi16(first, 0, 0, 0, 0, 0, 0, 0))
+    }
+}
+
+/// 256-bit engine: 16 × i16 lanes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Avx2;
+
+impl Engine for Avx2 {
+    const LANES: usize = 16;
+    type V = __m256i;
+
+    #[inline(always)]
+    unsafe fn splat(x: i16) -> Self::V {
+        _mm256_set1_epi16(x)
+    }
+
+    #[inline(always)]
+    unsafe fn load(src: *const i16) -> Self::V {
+        _mm256_loadu_si256(src.cast())
+    }
+
+    #[inline(always)]
+    unsafe fn store(dst: *mut i16, v: Self::V) {
+        _mm256_storeu_si256(dst.cast(), v)
+    }
+
+    #[inline(always)]
+    unsafe fn adds(a: Self::V, b: Self::V) -> Self::V {
+        _mm256_adds_epi16(a, b)
+    }
+
+    #[inline(always)]
+    unsafe fn subs(a: Self::V, b: Self::V) -> Self::V {
+        _mm256_subs_epi16(a, b)
+    }
+
+    #[inline(always)]
+    unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
+        _mm256_max_epi16(a, b)
+    }
+
+    #[inline(always)]
+    unsafe fn gt_bytes(a: Self::V, b: Self::V) -> u64 {
+        _mm256_movemask_epi8(_mm256_cmpgt_epi16(a, b)) as u32 as u64
+    }
+
+    #[inline(always)]
+    unsafe fn shift_in(v: Self::V, first: i16) -> Self::V {
+        // [zero, v.low] so vpalignr can pull v.low's top lane into the
+        // high half; the whole-register byte shift then zero-fills lane 0.
+        let carry = _mm256_permute2x128_si256::<0x08>(v, v);
+        let shifted = _mm256_alignr_epi8::<14>(v, carry);
+        let boundary = _mm256_setr_epi16(first, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0);
+        _mm256_or_si256(shifted, boundary)
+    }
+}
+
+/// # Safety
+/// Caller must have verified SSE2 is available (always true on x86_64, but
+/// kept symmetric with AVX2).
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn score_sse2(
+    prof: &mut StripedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> LinearSwResult {
+    striped_score::<Sse2>(prof, t, threshold)
+}
+
+/// # Safety
+/// Caller must have verified AVX2 via `is_x86_feature_detected!`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn score_avx2(
+    prof: &mut StripedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> LinearSwResult {
+    striped_score::<Avx2>(prof, t, threshold)
+}
+
+/// # Safety
+/// Caller must have verified SSE2 availability.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn band_advance_sse2(
+    st: &mut StripedState,
+    prof: &mut StripedProfile,
+    chunk: &[u8],
+    top: &[i32],
+    thr_minus_1: Option<i16>,
+    out: &mut BandChunkOut<'_>,
+) {
+    band_advance::<Sse2>(st, prof, chunk, top, thr_minus_1, out)
+}
+
+/// # Safety
+/// Caller must have verified AVX2 via `is_x86_feature_detected!`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn band_advance_avx2(
+    st: &mut StripedState,
+    prof: &mut StripedProfile,
+    chunk: &[u8],
+    top: &[i32],
+    thr_minus_1: Option<i16>,
+    out: &mut BandChunkOut<'_>,
+) {
+    band_advance::<Avx2>(st, prof, chunk, top, thr_minus_1, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sse2_shift_in_matches_portable_semantics() {
+        if !is_x86_feature_detected!("sse2") {
+            return;
+        }
+        unsafe {
+            let mut src = [0i16; 8];
+            for (i, s) in src.iter_mut().enumerate() {
+                *s = 10 + i as i16;
+            }
+            let v = Sse2::load(src.as_ptr());
+            let mut out = [0i16; 8];
+            Sse2::store(out.as_mut_ptr(), Sse2::shift_in(v, -7));
+            assert_eq!(out, [-7, 10, 11, 12, 13, 14, 15, 16]);
+        }
+    }
+
+    #[test]
+    fn avx2_shift_in_crosses_the_128_bit_boundary() {
+        if !is_x86_feature_detected!("avx2") {
+            return;
+        }
+        unsafe {
+            let mut src = [0i16; 16];
+            for (i, s) in src.iter_mut().enumerate() {
+                *s = 100 + i as i16;
+            }
+            let v = Avx2::load(src.as_ptr());
+            let mut out = [0i16; 16];
+            Avx2::store(out.as_mut_ptr(), Avx2::shift_in(v, -3));
+            let mut want = [0i16; 16];
+            want[0] = -3;
+            for (l, w) in want.iter_mut().enumerate().skip(1) {
+                *w = 100 + (l as i16 - 1);
+            }
+            assert_eq!(out, want, "lane 8 must receive lane 7 across the halves");
+        }
+    }
+
+    #[test]
+    fn movemask_convention_matches_portable() {
+        if !is_x86_feature_detected!("avx2") {
+            return;
+        }
+        unsafe {
+            let mut a = [0i16; 16];
+            a[0] = 1;
+            a[9] = 4;
+            a[15] = 2;
+            let m = Avx2::gt_bytes(Avx2::load(a.as_ptr()), Avx2::splat(0));
+            assert_eq!(m, 0b11 | (0b11 << 18) | (0b11 << 30));
+        }
+    }
+}

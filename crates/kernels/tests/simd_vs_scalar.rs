@@ -1,0 +1,141 @@
+//! Property tests: every striped engine must reproduce the scalar oracle
+//! (`sw_score_linear`) exactly — best score, best end position (including
+//! the row-major-first tie-break), and threshold-hit count — on random
+//! DNA and on adversarial shapes: saturation-approaching runs, empty and
+//! one-character sequences, and query lengths that do not divide the
+//! stripe count.
+
+use genomedsm_core::linear::sw_score_linear;
+use genomedsm_core::Scoring;
+use genomedsm_kernels::{fits_i16, Isa, LinearSwResult, ScoreKernel, StripedKernel};
+use proptest::prelude::*;
+
+const SC: Scoring = Scoring::paper();
+
+fn dna() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..180,
+    )
+}
+
+fn engines() -> Vec<StripedKernel> {
+    Isa::ALL
+        .into_iter()
+        .filter(|isa| isa.available())
+        .filter_map(StripedKernel::new)
+        .collect()
+}
+
+fn check(kernel: &StripedKernel, s: &[u8], t: &[u8], scoring: &Scoring, threshold: i32) {
+    let oracle = sw_score_linear(s, t, scoring, threshold);
+    let got = kernel.score(s, t, scoring, threshold);
+    assert_eq!(
+        got,
+        oracle,
+        "{} diverged on |s|={} |t|={} thr={threshold}",
+        kernel.name(),
+        s.len(),
+        t.len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_dna_matches_oracle(s in dna(), t in dna(), thr in 0i32..40) {
+        for kernel in engines() {
+            check(&kernel, &s, &t, &SC, thr);
+        }
+    }
+
+    #[test]
+    fn lengths_off_stripe_boundaries(extra in 0usize..33, t in dna()) {
+        // Query lengths straddling every residue class of the 8- and
+        // 16-lane stripe counts, so padding lanes and the final partial
+        // stripe are all exercised.
+        let s: Vec<u8> = b"ACGTACGTACGTACGTACGTACGTACGTACGTA"[..extra].to_vec();
+        for kernel in engines() {
+            check(&kernel, &s, &t, &SC, 5);
+        }
+    }
+
+    #[test]
+    fn alternative_scorings_match(s in dna(), t in dna(), ma in 1i32..6, mi in -6i32..0, gap in -6i32..-1) {
+        let scoring = Scoring { matches: ma, mismatch: mi, gap };
+        prop_assume!(fits_i16(s.len(), t.len(), &scoring));
+        for kernel in engines() {
+            check(&kernel, &s, &t, &scoring, 3);
+        }
+    }
+}
+
+proptest! {
+    // Saturation cases run long perfect matches; fewer, bigger cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn near_saturation_runs_match_oracle(len in 1000usize..1600) {
+        // A perfect match of `len` bases at `matches = 20` drives H to
+        // 20 * len <= 32_000: right up against the i16 guard ceiling,
+        // where a saturating-add bug would clamp scores early.
+        let scoring = Scoring { matches: 20, mismatch: -19, gap: -21 };
+        let s: Vec<u8> = (0..len).map(|i| b"ACGT"[i % 4]).collect();
+        prop_assume!(fits_i16(len, len, &scoring));
+        for kernel in engines() {
+            check(&kernel, &s, &s, &scoring, 10_000);
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_char_sequences() {
+    let cases: [(&[u8], &[u8]); 6] = [
+        (b"", b""),
+        (b"", b"ACGT"),
+        (b"ACGT", b""),
+        (b"A", b"A"),
+        (b"A", b"C"),
+        (b"G", b"TTTTGTTTT"),
+    ];
+    for kernel in engines() {
+        for (s, t) in cases {
+            for thr in [0, 1, 2] {
+                let oracle = sw_score_linear(s, t, &SC, thr);
+                assert_eq!(kernel.score(s, t, &SC, thr), oracle, "{}", kernel.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_problems_fall_back_to_scalar_exactly() {
+    // A scoring scheme whose ceiling check fails even for tiny inputs:
+    // the kernel must silently hand off to the scalar oracle, not clamp.
+    let scoring = Scoring {
+        matches: 20_000,
+        mismatch: -20_000,
+        gap: -20_000,
+    };
+    assert!(!fits_i16(4, 4, &scoring));
+    for kernel in engines() {
+        let got = kernel.score(b"ACGT", b"ACGT", &scoring, 1);
+        let oracle = sw_score_linear(b"ACGT", b"ACGT", &scoring, 1);
+        assert_eq!(got, oracle, "{}", kernel.name());
+    }
+}
+
+#[test]
+fn tie_break_prefers_row_major_first() {
+    // Two equally scoring perfect matches; the oracle reports the one
+    // whose end has the smaller (row, column) in row-major order.
+    let s = b"GATTACA";
+    let t = b"GATTACAXXGATTACA";
+    for kernel in engines() {
+        let got: LinearSwResult = kernel.score(s, t, &SC, 1);
+        let oracle = sw_score_linear(s, t, &SC, 1);
+        assert_eq!(got, oracle, "{}", kernel.name());
+        assert_eq!(got.best_end, (7, 7), "first occurrence must win");
+    }
+}

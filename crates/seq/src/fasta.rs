@@ -194,7 +194,10 @@ mod tests {
         let err = read_fasta(">x\nACGN\n".as_bytes()).unwrap_err();
         assert!(matches!(
             err,
-            FastaError::InvalidBase { line: 2, byte: b'N' }
+            FastaError::InvalidBase {
+                line: 2,
+                byte: b'N'
+            }
         ));
     }
 

@@ -21,7 +21,7 @@ pub fn random_dna(len: usize, seed: u64) -> DnaSeq {
 
 /// Generates `len` random bases from the provided RNG.
 pub fn random_dna_with(len: usize, rng: &mut impl Rng) -> DnaSeq {
-    let bytes = (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect();
+    let bytes = (0..len).map(|_| BASES[rng.gen_range(0..4usize)]).collect();
     DnaSeq::from_bases(bytes)
 }
 
@@ -112,35 +112,52 @@ pub fn planted_pair(
         return (s, t, Vec::new());
     }
 
-    // Choose non-overlapping target slots in t by walking left to right
-    // with random gaps sized so the expected total fits.
-    let max_region = (plan.region_len_mean + plan.region_len_jitter).max(1);
+    // Draw all region lengths up front, then distribute the leftover space
+    // in `t` as random gaps between them. Reserving the space first means
+    // the requested count is honoured whenever the regions fit at all,
+    // independent of how the gap draws land.
     let mut regions = Vec::with_capacity(plan.region_count);
     let mut t_bytes = t.as_bytes().to_vec();
-    let budget = t_len.saturating_sub(plan.region_count * max_region);
-    let mean_gap = (budget / (plan.region_count + 1)).max(1);
+    let mut lens: Vec<usize> = (0..plan.region_count)
+        .map(|_| {
+            let len = if plan.region_len_jitter == 0 {
+                plan.region_len_mean
+            } else {
+                rng.gen_range(
+                    plan.region_len_mean.saturating_sub(plan.region_len_jitter)
+                        ..=plan.region_len_mean + plan.region_len_jitter,
+                )
+            };
+            len.clamp(1, s_len)
+        })
+        .collect();
+    // Too many regions for t: plant as many as fit back to back.
+    while lens.iter().sum::<usize>() > t_len {
+        lens.pop();
+    }
 
     let mut cursor = 0usize;
-    for _ in 0..plan.region_count {
-        let gap = rng.gen_range(mean_gap / 2..=mean_gap + mean_gap / 2 + 1);
-        cursor += gap;
-        let len = if plan.region_len_jitter == 0 {
-            plan.region_len_mean
+    for i in 0..lens.len() {
+        let len = lens[i];
+        let reserved: usize = lens[i + 1..].iter().sum();
+        // Space we may spend on this gap while still fitting every
+        // remaining region after it.
+        let avail = (t_len - cursor).saturating_sub(len + reserved);
+        let slots = lens.len() + 1 - i;
+        let mean = avail / slots;
+        let gap = if mean == 0 {
+            0
         } else {
-            rng.gen_range(
-                plan.region_len_mean.saturating_sub(plan.region_len_jitter)
-                    ..=plan.region_len_mean + plan.region_len_jitter,
-            )
-        }
-        .max(1);
-        if cursor + len > t_len || len > s_len {
-            break;
-        }
+            rng.gen_range(0..=2 * mean).min(avail)
+        };
+        cursor += gap;
         let s_start = rng.gen_range(0..=s_len - len);
         let src = s.slice(s_start, s_start + len);
         let copy = mutate_with(&src, &plan.profile, &mut rng);
         let t_start = cursor;
-        let t_end = (t_start + copy.len()).min(t_len);
+        // Indels can make the copy a little longer than the reserved slot;
+        // clamp so the regions still to come keep their space.
+        let t_end = (t_start + copy.len()).min(t_len - reserved);
         let used = t_end - t_start;
         t_bytes[t_start..t_end].copy_from_slice(&copy.as_bytes()[..used]);
         regions.push(PlantedRegion {

@@ -77,7 +77,7 @@ pub fn mutate_with(seq: &DnaSeq, profile: &MutationProfile, rng: &mut impl Rng) 
         if rng.gen_bool(profile.insertion) {
             let len = rng.gen_range(1..=profile.max_indel_len);
             for _ in 0..len {
-                out.push(BASES[rng.gen_range(0..4)]);
+                out.push(BASES[rng.gen_range(0..4usize)]);
             }
         }
         if rng.gen_bool(profile.deletion) {
@@ -88,9 +88,9 @@ pub fn mutate_with(seq: &DnaSeq, profile: &MutationProfile, rng: &mut impl Rng) 
         let b = seq[i];
         if rng.gen_bool(profile.substitution) {
             // Pick uniformly among the three *other* bases.
-            let mut nb = BASES[rng.gen_range(0..4)];
+            let mut nb = BASES[rng.gen_range(0..4usize)];
             while nb == b {
-                nb = BASES[rng.gen_range(0..4)];
+                nb = BASES[rng.gen_range(0..4usize)];
             }
             out.push(nb);
         } else {

@@ -55,8 +55,7 @@ impl GridPlan {
                 let mut out = Vec::with_capacity(n + 2 * edge_splits);
                 for (k, &(lo, hi)) in uniform.iter().enumerate() {
                     let len = (hi + 1).saturating_sub(lo);
-                    let split = (k < edge_splits || k >= n.saturating_sub(edge_splits))
-                        && len >= 2;
+                    let split = (k < edge_splits || k >= n.saturating_sub(edge_splits)) && len >= 2;
                     if split {
                         let mid = lo + len / 2 - 1;
                         out.push((lo, mid));
@@ -96,8 +95,7 @@ impl BlockedConfig {
             bands,
             blocks,
             plan: GridPlan::Uniform,
-            dsm: DsmConfig::new(nprocs)
-                .network(genomedsm_dsm::NetworkModel::paper_cluster()),
+            dsm: DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster()),
             cell_cost: crate::costs::HCELL_CELL,
         }
     }
@@ -226,7 +224,16 @@ pub fn heuristic_block_align(
                         .collect()
                 };
                 let bottom = process_block(
-                    &kernel, s, t, i0, i1, c_lo, width, top, &mut left_col, &mut queue,
+                    &kernel,
+                    s,
+                    t,
+                    i0,
+                    i1,
+                    c_lo,
+                    width,
+                    top,
+                    &mut left_col,
+                    &mut queue,
                 );
                 node.advance(crate::costs::cells(cell_cost, h * width));
                 // Right edge of the matrix: flush open candidates row by
@@ -237,8 +244,7 @@ pub fn heuristic_block_align(
                     }
                 }
                 if band + 1 < bands {
-                    let chunk: Vec<HCellData> =
-                        bottom.iter().copied().map(HCellData).collect();
+                    let chunk: Vec<HCellData> = bottom.iter().copied().map(HCellData).collect();
                     rings[p].push(node, &chunk);
                 } else {
                     // Bottom row of the matrix: flush (column n excluded,
@@ -311,9 +317,14 @@ mod tests {
     fn matches_serial_reference_across_grids() {
         let (s, t) = workload(320, 11);
         let serial = heuristic_align(&s, &t, &SC, &params());
-        for (nprocs, bands, blocks) in
-            [(1, 4, 4), (2, 4, 4), (2, 8, 3), (4, 8, 8), (3, 7, 5), (4, 16, 2)]
-        {
+        for (nprocs, bands, blocks) in [
+            (1, 4, 4),
+            (2, 4, 4),
+            (2, 8, 3),
+            (4, 8, 8),
+            (3, 7, 5),
+            (4, 16, 2),
+        ] {
             let out = heuristic_block_align(
                 &s,
                 &t,
@@ -349,34 +360,19 @@ mod tests {
     fn single_band_single_block_is_serial() {
         let (s, t) = workload(120, 13);
         let serial = heuristic_align(&s, &t, &SC, &params());
-        let out =
-            heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(1, 1, 1));
+        let out = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(1, 1, 1));
         assert_eq!(out.regions, serial);
     }
 
     #[test]
     fn fewer_messages_than_unblocked() {
         let (s, t) = workload(400, 14);
-        let blocked = heuristic_block_align(
-            &s,
-            &t,
-            &SC,
-            &params(),
-            &BlockedConfig::new(4, 8, 8),
-        );
-        let unblocked = crate::heuristic_align_dsm(
-            &s,
-            &t,
-            &SC,
-            &params(),
-            &crate::HeuristicDsmConfig::new(4),
-        );
+        let blocked = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(4, 8, 8));
+        let unblocked =
+            crate::heuristic_align_dsm(&s, &t, &SC, &params(), &crate::HeuristicDsmConfig::new(4));
         let mb = blocked.aggregate().msgs_sent;
         let mu = unblocked.aggregate().msgs_sent;
-        assert!(
-            mb * 2 < mu,
-            "blocked should message far less: {mb} vs {mu}"
-        );
+        assert!(mb * 2 < mu, "blocked should message far less: {mb} vs {mu}");
         assert_eq!(blocked.regions, unblocked.regions);
     }
 
@@ -470,13 +466,7 @@ mod grid_tests {
         // blocks lets downstream processors start earlier. Compare
         // simulated cluster times at 4 procs, 4x4 grid.
         let (s, t, _) = planted_pair(1200, 1200, &HomologyPlan::paper_density(1200), 52);
-        let uniform = heuristic_block_align(
-            &s,
-            &t,
-            &SC,
-            &params(),
-            &BlockedConfig::new(4, 4, 4),
-        );
+        let uniform = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(4, 4, 4));
         let ramped = heuristic_block_align(
             &s,
             &t,
@@ -526,7 +516,8 @@ mod feature_interplay_tests {
     fn heterogeneity_does_not_change_results() {
         let (s, t, _) = planted_pair(400, 400, &HomologyPlan::paper_density(2_500), 82);
         let serial = heuristic_align(&s, &t, &SC, &params());
-        let homogeneous = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(4, 8, 8));
+        let homogeneous =
+            heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(4, 8, 8));
         let mut config = BlockedConfig::new(4, 8, 8);
         config.dsm = config.dsm.speeds(vec![1.0, 0.5, 1.0, 0.25]);
         let hetero = heuristic_block_align(&s, &t, &SC, &params(), &config);
@@ -545,10 +536,7 @@ mod feature_interplay_tests {
         let (s, t, _) = planted_pair(350, 350, &HomologyPlan::paper_density(2_000), 83);
         let serial = heuristic_align(&s, &t, &SC, &params());
         let mut config = BlockedConfig::new(3, 6, 6).ramped(1);
-        config.dsm = config
-            .dsm
-            .home_migration(true)
-            .speeds(vec![1.0, 0.7, 0.9]);
+        config.dsm = config.dsm.home_migration(true).speeds(vec![1.0, 0.7, 0.9]);
         let out = heuristic_block_align(&s, &t, &SC, &params(), &config);
         assert_eq!(out.regions, serial);
     }

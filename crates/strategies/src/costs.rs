@@ -106,6 +106,9 @@ mod tests {
     fn host_calibration_returns_something_sane() {
         let h = measured_hcell_cost();
         assert!(h >= Duration::from_nanos(1));
-        assert!(h < Duration::from_micros(50), "kernel unreasonably slow: {h:?}");
+        assert!(
+            h < Duration::from_micros(50),
+            "kernel unreasonably slow: {h:?}"
+        );
     }
 }

@@ -36,8 +36,7 @@ impl HeuristicDsmConfig {
     /// cost model.
     pub fn new(nprocs: usize) -> Self {
         Self {
-            dsm: DsmConfig::new(nprocs)
-                .network(genomedsm_dsm::NetworkModel::paper_cluster()),
+            dsm: DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster()),
             cell_cost: crate::costs::HCELL_CELL,
         }
     }
@@ -175,13 +174,7 @@ mod tests {
         );
         let serial = heuristic_align(&s, &t, &SC, &params());
         for nprocs in [1, 2, 3, 4] {
-            let out = heuristic_align_dsm(
-                &s,
-                &t,
-                &SC,
-                &params(),
-                &HeuristicDsmConfig::new(nprocs),
-            );
+            let out = heuristic_align_dsm(&s, &t, &SC, &params(), &HeuristicDsmConfig::new(nprocs));
             assert_eq!(out.regions, serial, "nprocs = {nprocs}");
         }
     }

@@ -15,7 +15,6 @@
 //! integration tests assert exactly that.
 
 #![warn(missing_docs)]
-
 // Index-based loops are the clearest way to write DP stencils.
 #![allow(clippy::needless_range_loop)]
 
@@ -35,7 +34,9 @@ pub use phase2::{phase2_block_mapping, phase2_scattered, phase2_scattered_rayon}
 pub use preprocess::{
     preprocess_align, BandScheme, ChunkPlan, IoMode, PreprocessConfig, PreprocessOutcome,
 };
-pub use rayon_port::{heuristic_antidiagonal_rayon, heuristic_block_align_shm};
+pub use rayon_port::{
+    heuristic_antidiagonal_rayon, heuristic_block_align_shm, score_bands_shm, ShmScoreOutcome,
+};
 pub use reverse_parallel::reverse_align_all_parallel;
 
 use genomedsm_core::LocalRegion;

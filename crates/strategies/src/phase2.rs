@@ -219,11 +219,7 @@ mod tests {
             for (ra, r) in out.alignments.iter().zip(&regions) {
                 assert_eq!(ra.region, *r);
                 // Alignment score equals the NW score of the subsequences.
-                let expect = nw_score(
-                    &s[r.s_begin..r.s_end],
-                    &t[r.t_begin..r.t_end],
-                    &SC,
-                );
+                let expect = nw_score(&s[r.s_begin..r.s_end], &t[r.t_begin..r.t_end], &SC);
                 assert_eq!(ra.alignment.score, expect);
             }
         }

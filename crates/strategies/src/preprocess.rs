@@ -28,10 +28,10 @@
 use crate::ring::ChunkRing;
 use genomedsm_core::Scoring;
 use genomedsm_dsm::{DsmConfig, DsmSystem, Node, NodeStats};
+use genomedsm_kernels::{BandScorer, KernelChoice};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
-
 
 /// Band (row-group) sizing scheme (§5's three schemes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +79,11 @@ impl BandScheme {
                     down
                 };
                 // Pick whichever is nearer the requested height.
-                let chosen = if up.abs_diff(h) < down.abs_diff(h) { up } else { down };
+                let chosen = if up.abs_diff(h) < down.abs_diff(h) {
+                    up
+                } else {
+                    down
+                };
                 let full = rows / chosen;
                 let mut v = vec![chosen; full];
                 if !rows.is_multiple_of(chosen) {
@@ -186,6 +190,12 @@ pub struct PreprocessConfig {
     /// Directory for the per-node column files (required unless
     /// `io_mode == None`).
     pub save_dir: Option<PathBuf>,
+    /// Score-kernel selection for the per-band inner loop: the striped
+    /// SIMD kernel when it applies ([`genomedsm_kernels::BandScorer`]),
+    /// otherwise the plain scalar recurrence. Either way the results are
+    /// bit-identical; only host time changes (the simulated cluster time
+    /// is driven by `cell_cost` regardless).
+    pub kernel: KernelChoice,
     /// DSM cluster configuration.
     pub dsm: DsmConfig,
 }
@@ -204,8 +214,8 @@ impl PreprocessConfig {
             cell_cost: crate::costs::PLAIN_CELL,
             io_byte_cost: Duration::from_nanos(50), // ~20 MB/s buffered
             save_dir: None,
-            dsm: DsmConfig::new(nprocs)
-                .network(genomedsm_dsm::NetworkModel::paper_cluster()),
+            kernel: KernelChoice::Auto,
+            dsm: DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster()),
         }
     }
 }
@@ -282,7 +292,11 @@ pub fn preprocess_align(
     let nbands = bands.len();
     let chunks = config.chunk.chunks(n);
     let nchunks = chunks.len();
-    let groups = if n == 0 { 0 } else { (n - 1) / config.result_interleave + 1 };
+    let groups = if n == 0 {
+        0
+    } else {
+        (n - 1) / config.result_interleave + 1
+    };
     let max_chunk = chunks
         .iter()
         .map(|&(lo, hi)| hi + 1 - lo + 1)
@@ -326,11 +340,90 @@ pub fn preprocess_align(
             _ => None,
         };
 
+        let save_every = if config.io_mode != IoMode::None && config.save_interleave > 0 {
+            Some(config.save_interleave)
+        } else {
+            None
+        };
         let mut band = p;
         while band < nbands {
             let (i0, i1) = bands[band];
             let h = i1 + 1 - i0;
             let mut hits_row = vec![0i64; groups];
+            // The striped kernel counts hits only for positive thresholds
+            // (a non-positive threshold makes every cell a hit, which only
+            // the scalar loop reproduces), so gate on that before asking
+            // for a scorer; `BandScorer::new` handles every other
+            // applicability condition (choice, ISA, i16 head-room).
+            let mut scorer = if config.threshold >= 1 {
+                BandScorer::new(
+                    config.kernel,
+                    &s[i0 - 1..i1],
+                    (m, n),
+                    scoring,
+                    config.threshold,
+                    save_every,
+                )
+            } else {
+                None
+            };
+            if let Some(scorer) = scorer.as_mut() {
+                // Striped SIMD inner loop: the same cells, vectorized.
+                let mut corner = 0i32; // H[i1][c_lo - 1]; 0 at the left border
+                for &(c_lo, c_hi) in &chunks {
+                    let width = c_hi + 1 - c_lo;
+                    let top: Vec<i32> = if band == 0 {
+                        vec![0; width + 1]
+                    } else {
+                        rings[from_ring].pop(node, width + 1)
+                    };
+                    let mut bottom_vals = Vec::with_capacity(width);
+                    let mut col_hits = Vec::with_capacity(width);
+                    let mut saved_cols = Vec::new();
+                    scorer.advance(
+                        &t[c_lo - 1..c_hi],
+                        &top,
+                        c_lo,
+                        &mut bottom_vals,
+                        &mut col_hits,
+                        &mut saved_cols,
+                    );
+                    for (idx, &hits) in col_hits.iter().enumerate() {
+                        let j = c_lo + idx;
+                        hits_row[(j - 1) / config.result_interleave] += hits as i64;
+                    }
+                    for (col, values) in saved_cols {
+                        let column = SavedColumn {
+                            band: band as u32,
+                            col: col as u32,
+                            values,
+                        };
+                        match config.io_mode {
+                            IoMode::Immediate => {
+                                let bytes = 12 + 4 * column.values.len();
+                                write_column(writer.as_mut().expect("writer"), &column);
+                                node.advance(crate::costs::cells(config.io_byte_cost, bytes));
+                            }
+                            IoMode::Deferred => saved.push(column),
+                            IoMode::None => unreachable!("save_every is None without I/O"),
+                        }
+                    }
+                    let mut bottom = Vec::with_capacity(width + 1);
+                    bottom.push(corner);
+                    bottom.append(&mut bottom_vals);
+                    corner = *bottom.last().expect("non-empty chunk");
+                    node.advance(crate::costs::cells(config.cell_cost, h * width));
+                    if band + 1 < nbands {
+                        rings[p].push(node, &bottom);
+                    }
+                }
+                best_score = best_score.max(scorer.best_score());
+                if groups > 0 {
+                    node.vec_write_range(&result_rows[band], 0, &hits_row);
+                }
+                band += nprocs;
+                continue;
+            }
             // Left border column (column 0 of the band): zeros.
             let mut left_col = vec![0i32; h + 1];
             for (k, &(c_lo, c_hi)) in chunks.iter().enumerate() {
@@ -378,10 +471,7 @@ pub fn preprocess_align(
                             IoMode::Immediate => {
                                 let bytes = 12 + 4 * column.values.len();
                                 write_column(writer.as_mut().expect("writer"), &column);
-                                node.advance(crate::costs::cells(
-                                    config.io_byte_cost,
-                                    bytes,
-                                ));
+                                node.advance(crate::costs::cells(config.io_byte_cost, bytes));
                             }
                             IoMode::Deferred => saved.push(column),
                             IoMode::None => unreachable!(),
@@ -556,8 +646,14 @@ mod tests {
     fn chunk_plans_cover_all_columns() {
         for plan in [
             ChunkPlan::Fixed(100),
-            ChunkPlan::Arithmetic { start: 10, step: 20 },
-            ChunkPlan::Geometric { start: 8, factor: 2 },
+            ChunkPlan::Arithmetic {
+                start: 10,
+                step: 20,
+            },
+            ChunkPlan::Geometric {
+                start: 8,
+                factor: 2,
+            },
         ] {
             let chunks = plan.chunks(777);
             assert_eq!(chunks[0].0, 1);
@@ -570,7 +666,11 @@ mod tests {
 
     #[test]
     fn geometric_chunks_grow() {
-        let chunks = ChunkPlan::Geometric { start: 4, factor: 2 }.chunks(1000);
+        let chunks = ChunkPlan::Geometric {
+            start: 4,
+            factor: 2,
+        }
+        .chunks(1000);
         let w0 = chunks[0].1 + 1 - chunks[0].0;
         let w1 = chunks[1].1 + 1 - chunks[1].0;
         assert_eq!(w0, 4);
@@ -674,6 +774,39 @@ mod tests {
             }
         }
         assert!(seen > 0, "no saved cells checked");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kernel_choices_agree_with_scalar() {
+        let (s, t) = workload(300, 25);
+        let dir = std::env::temp_dir().join("genomedsm_pp_kernel_test");
+        let mut outs = Vec::new();
+        for (choice, sub) in [
+            (KernelChoice::Scalar, "scalar"),
+            (KernelChoice::Simd, "simd"),
+        ] {
+            let d = dir.join(sub);
+            std::fs::create_dir_all(&d).unwrap();
+            let mut config = PreprocessConfig::new(2);
+            config.band = BandScheme::Fixed(37);
+            config.chunk = ChunkPlan::Fixed(41);
+            config.threshold = 10;
+            config.result_interleave = 29;
+            config.save_interleave = 23;
+            config.io_mode = IoMode::Deferred;
+            config.save_dir = Some(d.clone());
+            config.kernel = choice;
+            let out = preprocess_align(&s, &t, &SC, &config);
+            let mut cols: Vec<SavedColumn> = out
+                .files
+                .iter()
+                .flat_map(|f| read_saved_columns(f).unwrap())
+                .collect();
+            cols.sort_by_key(|c| (c.band, c.col));
+            outs.push((out.result.clone(), out.best_score, out.total_hits(), cols));
+        }
+        assert_eq!(outs[0], outs[1], "striped path must be bit-identical");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -71,10 +71,7 @@ mod tests {
             // The rebuilt alignment over the recovered window scores the
             // detected score exactly.
             assert_eq!(rec.alignment.score, rec.region.score);
-            assert_eq!(
-                rec.alignment.score,
-                rec.alignment.recompute_score(&SC)
-            );
+            assert_eq!(rec.alignment.score, rec.alignment.recompute_score(&SC));
         }
     }
 }

@@ -26,7 +26,10 @@ fn main() {
         node.barrier();
         node.vec_get(&counter, 0)
     });
-    println!("final counter on every node: {:?} (expected 400)\n", run.results);
+    println!(
+        "final counter on every node: {:?} (expected 400)\n",
+        run.results
+    );
 
     println!("== 2. multiple-writer protocol: disjoint writes to one page ==");
     let run = DsmSystem::run(DsmConfig::new(4), |node| {
@@ -68,7 +71,11 @@ fn main() {
             sum
         },
     );
-    println!("consumer sum: {} (expected {})", run.results[1], (0..50i64).map(|i| i * i).sum::<i64>());
+    println!(
+        "consumer sum: {} (expected {})",
+        run.results[1],
+        (0..50i64).map(|i| i * i).sum::<i64>()
+    );
     let stats = &run.stats[1];
     println!(
         "consumer virtual time {:.1?}: lock+cv wait {:.1?}, communication {:.1?}",

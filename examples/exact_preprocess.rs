@@ -14,9 +14,7 @@
 
 use genomedsm::prelude::*;
 use genomedsm_core::reverse::reverse_align_best;
-use genomedsm_strategies::{
-    preprocess::read_saved_columns, BandScheme, ChunkPlan, IoMode,
-};
+use genomedsm_strategies::{preprocess::read_saved_columns, BandScheme, ChunkPlan, IoMode};
 
 fn main() {
     let len = 6_000;
@@ -121,6 +119,9 @@ fn main() {
     for f in &out.files {
         saved += read_saved_columns(f).expect("read back").len();
     }
-    println!("\nsaved {saved} column segments across {} node files in {dir:?}", out.files.len());
+    println!(
+        "\nsaved {saved} column segments across {} node files in {dir:?}",
+        out.files.len()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

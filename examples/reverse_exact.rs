@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example reverse_exact`
 
 use genomedsm_core::matrix::{render, sw_matrix};
-use genomedsm_core::reverse::{
-    recover_start, reverse_align_all, theoretical_necessary_fraction,
-};
+use genomedsm_core::reverse::{recover_start, reverse_align_all, theoretical_necessary_fraction};
 use genomedsm_core::Scoring;
 use genomedsm_seq::{planted_pair, HomologyPlan};
 

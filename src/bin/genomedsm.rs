@@ -5,6 +5,7 @@
 //! genomedsm generate --len 50000 --out pair.fa [--seed 42]
 //! genomedsm align s.fa t.fa [options]
 //! genomedsm exact s.fa t.fa [--min-score N]
+//! genomedsm score s.fa t.fa [--threshold N] [--kernel scalar|simd|auto]
 //!
 //! align options:
 //!   --strategy heuristic|blocked|preprocess   (default blocked)
@@ -12,8 +13,13 @@
 //!   --bands N --blocks N                      (default 40x40)
 //!   --min-score N      report alignments scoring at least N (default 50)
 //!   --open N --close N heuristic thresholds   (default 15/15)
+//!   --kernel K         score kernel for the preprocess strategy:
+//!                      scalar | simd | auto   (default auto)
 //!   --svg FILE         write a dot plot of the similar regions
 //!   --alignments N     print the N best phase-2 alignments (default 3)
+//!
+//! score: exact SW best score + threshold-hit count on the host (no DSM
+//! simulation), timed, using the selected vectorized kernel.
 //! ```
 
 use genomedsm::prelude::*;
@@ -29,6 +35,7 @@ fn main() {
         Some("generate") => generate(&args[1..]),
         Some("align") => align(&args[1..]),
         Some("exact") => exact(&args[1..]),
+        Some("score") => score(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
         }
@@ -39,7 +46,17 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: genomedsm <generate|align|exact> [options]  (--help for details)";
+const USAGE: &str = "usage: genomedsm <generate|align|exact|score> [options]  (--help for details)";
+
+fn opt_kernel(args: &[String]) -> KernelChoice {
+    match opt(args, "--kernel") {
+        Some(v) => KernelChoice::parse(&v).unwrap_or_else(|| {
+            eprintln!("invalid --kernel '{v}' (scalar|simd|auto)");
+            exit(2);
+        }),
+        None => KernelChoice::Auto,
+    }
+}
 
 fn opt(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -77,7 +94,10 @@ fn generate(args: &[String]) {
         eprintln!("cannot write {out}: {e}");
         exit(1);
     });
-    println!("wrote {out}: two {len} bp sequences, {} planted similar regions", truth.len());
+    println!(
+        "wrote {out}: two {len} bp sequences, {} planted similar regions",
+        truth.len()
+    );
 }
 
 fn load_pair(args: &[String]) -> (Vec<u8>, Vec<u8>) {
@@ -138,7 +158,8 @@ fn align(args: &[String]) {
     );
     let (regions, cluster_time) = match strategy.as_str() {
         "heuristic" => {
-            let out = heuristic_align_dsm(&s, &t, &scoring, &params, &HeuristicDsmConfig::new(procs));
+            let out =
+                heuristic_align_dsm(&s, &t, &scoring, &params, &HeuristicDsmConfig::new(procs));
             (out.regions, out.wall)
         }
         "blocked" => {
@@ -156,6 +177,7 @@ fn align(args: &[String]) {
             config.band = BandScheme::Balanced(1024.min(s.len().max(1)));
             config.chunk = ChunkPlan::Fixed(1024.min(t.len().max(1)));
             config.threshold = params.min_score;
+            config.kernel = opt_kernel(args);
             let out = preprocess_align(&s, &t, &scoring, &config);
             println!(
                 "pre-process: best score {}, {} threshold hits, simulated core time {:.2?}",
@@ -205,6 +227,33 @@ fn align(args: &[String]) {
     }
 }
 
+fn score(args: &[String]) {
+    let (s, t) = load_pair(args);
+    let threshold: i32 = opt_num(args, "--threshold", 50);
+    let choice = opt_kernel(args);
+    let kernel = kernel_for(choice);
+    eprintln!(
+        "exact SW score of {} bp x {} bp on the '{}' kernel (threshold {threshold})...",
+        s.len(),
+        t.len(),
+        kernel.name()
+    );
+    let t0 = std::time::Instant::now();
+    let result = kernel.score(&s, &t, &Scoring::paper(), threshold);
+    let elapsed = t0.elapsed();
+    let cells = s.len() as f64 * t.len() as f64;
+    println!(
+        "best score {} at (s={}, t={}), {} cells >= {threshold}",
+        result.best_score, result.best_end.0, result.best_end.1, result.hits
+    );
+    println!(
+        "{} cells in {elapsed:.2?} on '{}' ({:.3} GCUPS)",
+        cells as u64,
+        kernel.name(),
+        cells / elapsed.as_secs_f64().max(1e-9) / 1e9
+    );
+}
+
 fn exact(args: &[String]) {
     let (s, t) = load_pair(args);
     let min_score: i32 = opt_num(args, "--min-score", 50);
@@ -217,7 +266,8 @@ fn exact(args: &[String]) {
     let recs = reverse_align_all_parallel(&s, &t, &Scoring::paper(), min_score, threads);
     println!("{} exact local alignments:", recs.len());
     for rec in recs.iter().take(5) {
-        println!("\n{} (evaluated {:.0}% of the n'^2 window)",
+        println!(
+            "\n{} (evaluated {:.0}% of the n'^2 window)",
             rec.region,
             rec.stats.evaluated_fraction() * 100.0
         );

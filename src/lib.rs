@@ -13,6 +13,8 @@
 //! * [`dsm`] — the page-based software DSM substrate (scope consistency,
 //!   home-based write-invalidate multiple-writer protocol, locks,
 //!   condition variables, barriers).
+//! * [`kernels`] — vectorized Smith–Waterman score kernels: Farrar
+//!   striped layout, SSE2/AVX2 with runtime ISA dispatch, scalar oracle.
 //! * [`seq`] — DNA sequence generation with planted homologous regions,
 //!   mutation models, and FASTA I/O.
 //! * [`blast`] — a BlastN-like seed-and-extend baseline.
@@ -44,6 +46,7 @@ pub use genomedsm_blast as blast;
 pub use genomedsm_core as core;
 pub use genomedsm_dotplot as dotplot;
 pub use genomedsm_dsm as dsm;
+pub use genomedsm_kernels as kernels;
 pub use genomedsm_seq as seq;
 pub use genomedsm_strategies as strategies;
 
@@ -52,6 +55,7 @@ pub mod prelude {
     pub use genomedsm_core::{
         finalize_queue, heuristic_align, GlobalAlignment, HeuristicParams, LocalRegion, Scoring,
     };
+    pub use genomedsm_kernels::{kernel_for, KernelChoice, ScoreKernel};
     pub use genomedsm_seq::{planted_pair, random_dna, DnaSeq, HomologyPlan};
     pub use genomedsm_strategies::{
         heuristic_align_dsm, heuristic_block_align, phase2_scattered, preprocess_align,

@@ -24,7 +24,11 @@ fn generate_align_exact_round_trip() {
         .arg(&fa)
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(fa.exists());
 
     let out = bin()
@@ -34,7 +38,11 @@ fn generate_align_exact_round_trip() {
         .arg(&svg)
         .output()
         .expect("run align");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("candidate similar regions"), "{stdout}");
     assert!(stdout.contains("similarity:"), "{stdout}");
@@ -48,7 +56,11 @@ fn generate_align_exact_round_trip() {
         .args(["--min-score", "80", "--threads", "2"])
         .output()
         .expect("run exact");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("exact local alignments"), "{stdout}");
 

@@ -6,9 +6,7 @@ use genomedsm_core::heuristic_align;
 use genomedsm_core::linear::sw_score_linear;
 use genomedsm_core::nw::nw_score;
 use genomedsm_dotplot::{ascii_plot, svg_plot, PlotSpec};
-use genomedsm_strategies::{
-    heuristic_block_align_shm, BandScheme, ChunkPlan, HeuristicDsmConfig,
-};
+use genomedsm_strategies::{heuristic_block_align_shm, BandScheme, ChunkPlan, HeuristicDsmConfig};
 
 const SC: Scoring = Scoring::paper();
 
@@ -114,7 +112,10 @@ fn preprocess_band_schemes_agree() {
     ] {
         let mut config = PreprocessConfig::new(3);
         config.band = band;
-        config.chunk = ChunkPlan::Arithmetic { start: 32, step: 32 };
+        config.chunk = ChunkPlan::Arithmetic {
+            start: 32,
+            step: 32,
+        };
         config.threshold = 18;
         let out = preprocess_align(&s, &t, &SC, &config);
         totals.push((out.total_hits(), out.best_score));
@@ -170,7 +171,12 @@ fn fasta_round_trip_preserves_pipeline_results() {
     genomedsm_seq::fasta::write_fasta_file(&path, &records).unwrap();
     let back = genomedsm_seq::fasta::read_fasta_file(&path).unwrap();
     let before = heuristic_align(&s, &t, &SC, &params());
-    let after = heuristic_align(back[0].seq.as_bytes(), back[1].seq.as_bytes(), &SC, &params());
+    let after = heuristic_align(
+        back[0].seq.as_bytes(),
+        back[1].seq.as_bytes(),
+        &SC,
+        &params(),
+    );
     assert_eq!(before, after);
     std::fs::remove_file(&path).ok();
 }

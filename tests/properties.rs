@@ -15,7 +15,10 @@ use proptest::prelude::*;
 const SC: Scoring = Scoring::paper();
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max_len)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..max_len,
+    )
 }
 
 proptest! {

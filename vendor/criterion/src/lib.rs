@@ -1,0 +1,278 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the benchmarking API surface it uses: `criterion_group!`/
+//! `criterion_main!`, benchmark groups with `sample_size`/`throughput`,
+//! `bench_function`/`bench_with_input`, and `Bencher::iter`. Instead of
+//! criterion's statistical machinery this shim times `sample_size`
+//! batches, reports the median wall time (plus derived element
+//! throughput), and prints one line per benchmark — enough to track the
+//! perf trajectory in CI logs without any external dependency.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration (e.g. DP cells).
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+/// How much setup output to batch per timing pass (criterion API
+/// compatibility; the shim times one input per pass regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many per measurement.
+    SmallInput,
+    /// Inputs are large; batch few per measurement.
+    LargeInput,
+    /// Regenerate the input for every single iteration.
+    PerIteration,
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `samples` timed calls;
+    /// records the median.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        let mut times: Vec<Duration> = (0..self.samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut times: Vec<Duration> = (0..self.samples.max(1))
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 1000);
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher) -> R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        self.report(&id.label, bencher.last_median);
+        self
+    }
+
+    /// Benchmarks `routine` with an input value under `id`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I) -> R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.label, bencher.last_median);
+        self
+    }
+
+    /// Ends the group (criterion API compatibility; drop also works).
+    pub fn finish(self) {}
+
+    fn report(&mut self, label: &str, median: Duration) {
+        let mut line = format!(
+            "{}/{label}: median {:>12.3?} over {} samples",
+            self.name, median, self.sample_size
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |count: u64| count as f64 / median.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "  ({:.3e} elem/s)", per_sec(n));
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, "  ({:.3e} B/s)", per_sec(n));
+                }
+            }
+        }
+        println!("{line}");
+        self.criterion.results.push((line, median));
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R>(
+        &mut self,
+        id: &str,
+        routine: impl FnMut(&mut Bencher) -> R,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_test");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn group_macro_runs_targets() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_nonzero_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_function("spin", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        });
+        drop(g);
+        assert!(c
+            .results
+            .iter()
+            .all(|(_, d)| *d >= Duration::from_micros(10)));
+    }
+}

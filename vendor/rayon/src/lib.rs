@@ -1,0 +1,335 @@
+//! Hermetic stand-in for the `rayon` crate.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the parallel-iterator subset it uses: `par_iter`/`into_par_iter` with
+//! `map`/`filter_map`/`collect`, plus `ThreadPoolBuilder`/`ThreadPool::
+//! install`. Unlike real rayon there is no work-stealing: `collect`
+//! materialises the source, splits it into one contiguous chunk per
+//! thread, and runs the composed pipeline on scoped threads, preserving
+//! source order in the output. That is semantically identical for the
+//! pure per-item pipelines this workspace runs, and keeps the shim small.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] for the scope of
+    /// its closure; 0 means "use available parallelism".
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn effective_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads (0 = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: it only records the thread count; threads are
+/// spawned per `collect` (scoped), which is fine at this workspace's
+/// granularity of a handful of pool constructions per run.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed for any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(previous));
+        result
+    }
+}
+
+/// The parallel-iterator traits and adaptors.
+pub mod iter {
+    use super::effective_threads;
+
+    /// A composable parallel pipeline. `into_parts` exposes the
+    /// materialised source plus the composed per-item function so that
+    /// every adaptor in a chain runs inside the same parallel pass.
+    pub trait ParallelIterator: Sized {
+        /// Item type produced by the source.
+        type Source: Send;
+        /// Item type produced by the full pipeline.
+        type Item: Send;
+
+        /// Splits into (source items, composed pipeline function).
+        #[allow(clippy::type_complexity)]
+        fn into_parts(
+            self,
+        ) -> (
+            Vec<Self::Source>,
+            impl Fn(Self::Source) -> Option<Self::Item> + Sync,
+        );
+
+        /// Maps each item through `f`.
+        fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+            Map { base: self, f }
+        }
+
+        /// Maps each item through `f`, dropping `None`s.
+        fn filter_map<R: Send, F: Fn(Self::Item) -> Option<R> + Sync>(
+            self,
+            f: F,
+        ) -> FilterMap<Self, F> {
+            FilterMap { base: self, f }
+        }
+
+        /// Runs the pipeline across threads, preserving source order.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            let (items, pipeline) = self.into_parts();
+            run_chunks(items, &pipeline).into_iter().flatten().collect()
+        }
+    }
+
+    /// Splits `items` into one contiguous chunk per thread and applies
+    /// `pipeline` on scoped threads; chunk results come back in order.
+    fn run_chunks<S: Send, T: Send>(
+        items: Vec<S>,
+        pipeline: &(impl Fn(S) -> Option<T> + Sync),
+    ) -> Vec<Vec<T>> {
+        let threads = effective_threads().max(1);
+        if threads == 1 || items.len() <= 1 {
+            return vec![items.into_iter().filter_map(pipeline).collect()];
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<S>> = Vec::new();
+        let mut rest = items;
+        while rest.len() > chunk {
+            let tail = rest.split_off(chunk);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        chunks.push(rest);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().filter_map(pipeline).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Source adaptor over an owned `Vec`.
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Source = T;
+        type Item = T;
+        fn into_parts(self) -> (Vec<T>, impl Fn(T) -> Option<T> + Sync) {
+            (self.items, Some)
+        }
+    }
+
+    /// `map` adaptor.
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, R, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Sync,
+    {
+        type Source = P::Source;
+        type Item = R;
+        fn into_parts(self) -> (Vec<Self::Source>, impl Fn(Self::Source) -> Option<R> + Sync) {
+            let (items, base) = self.base.into_parts();
+            let f = self.f;
+            (items, move |s| base(s).map(&f))
+        }
+    }
+
+    /// `filter_map` adaptor.
+    pub struct FilterMap<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, R, F> ParallelIterator for FilterMap<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> Option<R> + Sync,
+    {
+        type Source = P::Source;
+        type Item = R;
+        fn into_parts(self) -> (Vec<Self::Source>, impl Fn(Self::Source) -> Option<R> + Sync) {
+            let (items, base) = self.base.into_parts();
+            let f = self.f;
+            (items, move |s| base(s).and_then(&f))
+        }
+    }
+
+    /// Conversion into a parallel iterator (subset of rayon's trait).
+    pub trait IntoParallelIterator {
+        /// Pipeline item type.
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    macro_rules! impl_range_into_par_iter {
+        ($($ty:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$ty> {
+                type Item = $ty;
+                type Iter = VecIter<$ty>;
+                fn into_par_iter(self) -> VecIter<$ty> {
+                    VecIter { items: self.collect() }
+                }
+            }
+            impl IntoParallelIterator for std::ops::RangeInclusive<$ty> {
+                type Item = $ty;
+                type Iter = VecIter<$ty>;
+                fn into_par_iter(self) -> VecIter<$ty> {
+                    VecIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    impl_range_into_par_iter!(usize, u32, u64, i32, i64);
+
+    /// By-reference parallel iteration (rayon's `par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Pipeline item type (a reference).
+        type Item: Send + 'a;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Iterates `self` by reference.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = VecIter<&'a T>;
+        fn par_iter(&'a self) -> VecIter<&'a T> {
+            VecIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = VecIter<&'a T>;
+        fn par_iter(&'a self) -> VecIter<&'a T> {
+            VecIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+/// The rayon prelude: the traits needed for `par_iter` chains.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_drops_nones() {
+        let data: Vec<i32> = (0..100).collect();
+        let odd: Vec<i32> = data
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odd.len(), 50);
+        assert!(odd.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pool_install_controls_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let v: Vec<usize> = pool.install(|| (0..10usize).into_par_iter().map(|x| x).collect());
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_source() {
+        let v: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn chained_map_runs_in_one_pass() {
+        let v: Vec<String> = (1..=5usize)
+            .into_par_iter()
+            .map(|x| x * x)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(v, ["1", "4", "9", "16", "25"]);
+    }
+}
