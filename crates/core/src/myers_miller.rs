@@ -307,7 +307,7 @@ fn rec(
 }
 
 /// Computes the global affine-gap alignment of `s` and `t` in linear
-/// space. Scores exactly match [`nw_affine_align`].
+/// space. Scores exactly match [`crate::affine::nw_affine_align`].
 pub fn myers_miller_align(s: &[u8], t: &[u8], sc: &AffineScoring) -> GlobalAlignment {
     let mut aligned_s = Vec::with_capacity(s.len() + 8);
     let mut aligned_t = Vec::with_capacity(t.len() + 8);

@@ -1,0 +1,502 @@
+//! Wire codec for the protocol messages.
+//!
+//! JIAJIA ships its protocol over raw UDP datagrams; this codec gives the
+//! simulated transport the same failure surface. Every [`Msg`] and
+//! [`Reply`] encodes to a self-contained little-endian frame ending in a
+//! checksum, and decoding **never panics**: malformed input surfaces as a
+//! typed [`DsmError`], which the reliability layer treats as a lost frame
+//! (the sender's retransmission timer recovers it).
+//!
+//! The checksum is a wrapping byte sum, which is guaranteed to catch any
+//! single-byte corruption (a changed byte shifts the sum by a non-zero
+//! delta smaller than 2³²) — exactly the fault the chaos injector's
+//! `corrupt` verdict models.
+
+use crate::error::DsmError;
+use crate::msg::{Msg, Notice, Patch, Reply};
+
+/// Sanity bound on any length field (pages, patch data, notice lists).
+/// Frames are in-memory, so this only guards fuzzed/corrupted input.
+const MAX_LEN: usize = 1 << 28;
+
+fn checksum(bytes: &[u8]) -> u32 {
+    bytes
+        .iter()
+        .fold(0u32, |acc, &b| acc.wrapping_add(b as u32))
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u8) -> Self {
+        Self { buf: vec![tag] }
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+    fn notice(&mut self, n: &Notice) {
+        self.u64(n.page);
+        self.usize(n.writer);
+        self.usize(n.home);
+    }
+    fn notices(&mut self, ns: &[Notice]) {
+        self.u64(ns.len() as u64);
+        for n in ns {
+            self.notice(n);
+        }
+    }
+    fn finish(mut self) -> Vec<u8> {
+        let sum = checksum(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Verifies the trailing checksum and returns a reader over the body.
+    fn checked(frame: &'a [u8]) -> Result<Self, DsmError> {
+        if frame.len() < 5 {
+            return Err(DsmError::Truncated {
+                need: 5,
+                have: frame.len(),
+            });
+        }
+        let (body, tail) = frame.split_at(frame.len() - 4);
+        let expect = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+        let got = checksum(body);
+        if expect != got {
+            return Err(DsmError::Checksum { expect, got });
+        }
+        Ok(Self { buf: body, pos: 0 })
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DsmError> {
+        if self.remaining() < n {
+            return Err(DsmError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DsmError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DsmError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, DsmError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn usize(&mut self) -> Result<usize, DsmError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DsmError::Oversize {
+            len: u64::MAX as usize,
+            max: MAX_LEN,
+        })
+    }
+
+    /// A length field that must be plausible for `elem_size`-byte elements
+    /// in the remaining frame.
+    fn len(&mut self, elem_size: usize) -> Result<usize, DsmError> {
+        let v = self.usize()?;
+        if v > MAX_LEN || v.saturating_mul(elem_size) > self.remaining() {
+            return Err(DsmError::Oversize {
+                len: v,
+                max: self.remaining() / elem_size.max(1),
+            });
+        }
+        Ok(v)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, DsmError> {
+        let n = self.len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn notice(&mut self) -> Result<Notice, DsmError> {
+        Ok(Notice {
+            page: self.u64()?,
+            writer: self.usize()?,
+            home: self.usize()?,
+        })
+    }
+
+    fn notices(&mut self) -> Result<Vec<Notice>, DsmError> {
+        let n = self.len(24)?;
+        (0..n).map(|_| self.notice()).collect()
+    }
+
+    fn done<T>(self, value: T) -> Result<T, DsmError> {
+        if self.remaining() != 0 {
+            return Err(DsmError::Trailing {
+                extra: self.remaining(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Msg
+// ---------------------------------------------------------------------
+
+const MSG_GETPAGE: u8 = 0;
+const MSG_DIFF: u8 = 1;
+const MSG_ACQUIRE: u8 = 2;
+const MSG_RELEASE: u8 = 3;
+const MSG_SETCV: u8 = 4;
+const MSG_WAITCV: u8 = 5;
+const MSG_BARRIER: u8 = 6;
+const MSG_MIGRATION_NOTICE: u8 = 7;
+const MSG_MIGRATE_OUT: u8 = 8;
+const MSG_ADOPT_PAGE: u8 = 9;
+const MSG_SHUTDOWN: u8 = 10;
+
+/// Encodes a request into a checksummed frame.
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut w;
+    match msg {
+        Msg::GetPage { page, from, epoch } => {
+            w = Writer::new(MSG_GETPAGE);
+            w.u64(*page);
+            w.usize(*from);
+            w.u64(*epoch);
+        }
+        Msg::Diff {
+            page,
+            from,
+            patches,
+            epoch,
+        } => {
+            w = Writer::new(MSG_DIFF);
+            w.u64(*page);
+            w.usize(*from);
+            w.u64(*epoch);
+            w.u64(patches.len() as u64);
+            for p in patches {
+                w.u32(p.offset);
+                w.bytes(&p.data);
+            }
+        }
+        Msg::Acquire {
+            lock,
+            from,
+            last_seq,
+        } => {
+            w = Writer::new(MSG_ACQUIRE);
+            w.u32(*lock);
+            w.usize(*from);
+            w.u64(*last_seq);
+        }
+        Msg::Release {
+            lock,
+            from,
+            notices,
+        } => {
+            w = Writer::new(MSG_RELEASE);
+            w.u32(*lock);
+            w.usize(*from);
+            w.notices(notices);
+        }
+        Msg::SetCv { cv, from, notices } => {
+            w = Writer::new(MSG_SETCV);
+            w.u32(*cv);
+            w.usize(*from);
+            w.notices(notices);
+        }
+        Msg::WaitCv { cv, from, last_seq } => {
+            w = Writer::new(MSG_WAITCV);
+            w.u32(*cv);
+            w.usize(*from);
+            w.u64(*last_seq);
+        }
+        Msg::Barrier { from, notices } => {
+            w = Writer::new(MSG_BARRIER);
+            w.usize(*from);
+            w.notices(notices);
+        }
+        Msg::MigrationNotice { epoch, incoming } => {
+            w = Writer::new(MSG_MIGRATION_NOTICE);
+            w.u64(*epoch);
+            w.u64(incoming.len() as u64);
+            for p in incoming {
+                w.u64(*p);
+            }
+        }
+        Msg::MigrateOut { page, to } => {
+            w = Writer::new(MSG_MIGRATE_OUT);
+            w.u64(*page);
+            w.usize(*to);
+        }
+        Msg::AdoptPage { page, data } => {
+            w = Writer::new(MSG_ADOPT_PAGE);
+            w.u64(*page);
+            w.bytes(data);
+        }
+        Msg::Shutdown => {
+            w = Writer::new(MSG_SHUTDOWN);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a request frame; returns a typed error on any malformation.
+pub fn decode_msg(frame: &[u8]) -> Result<Msg, DsmError> {
+    let mut r = Reader::checked(frame)?;
+    let tag = r.u8()?;
+    let msg = match tag {
+        MSG_GETPAGE => Msg::GetPage {
+            page: r.u64()?,
+            from: r.usize()?,
+            epoch: r.u64()?,
+        },
+        MSG_DIFF => {
+            let page = r.u64()?;
+            let from = r.usize()?;
+            let epoch = r.u64()?;
+            let n = r.len(12)?;
+            let mut patches = Vec::with_capacity(n);
+            for _ in 0..n {
+                patches.push(Patch {
+                    offset: r.u32()?,
+                    data: r.bytes()?,
+                });
+            }
+            Msg::Diff {
+                page,
+                from,
+                patches,
+                epoch,
+            }
+        }
+        MSG_ACQUIRE => Msg::Acquire {
+            lock: r.u32()?,
+            from: r.usize()?,
+            last_seq: r.u64()?,
+        },
+        MSG_RELEASE => Msg::Release {
+            lock: r.u32()?,
+            from: r.usize()?,
+            notices: r.notices()?,
+        },
+        MSG_SETCV => Msg::SetCv {
+            cv: r.u32()?,
+            from: r.usize()?,
+            notices: r.notices()?,
+        },
+        MSG_WAITCV => Msg::WaitCv {
+            cv: r.u32()?,
+            from: r.usize()?,
+            last_seq: r.u64()?,
+        },
+        MSG_BARRIER => Msg::Barrier {
+            from: r.usize()?,
+            notices: r.notices()?,
+        },
+        MSG_MIGRATION_NOTICE => {
+            let epoch = r.u64()?;
+            let n = r.len(8)?;
+            let incoming = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            Msg::MigrationNotice { epoch, incoming }
+        }
+        MSG_MIGRATE_OUT => Msg::MigrateOut {
+            page: r.u64()?,
+            to: r.usize()?,
+        },
+        MSG_ADOPT_PAGE => Msg::AdoptPage {
+            page: r.u64()?,
+            data: r.bytes()?,
+        },
+        MSG_SHUTDOWN => Msg::Shutdown,
+        other => return Err(DsmError::BadTag(other)),
+    };
+    r.done(msg)
+}
+
+// ---------------------------------------------------------------------
+// Reply
+// ---------------------------------------------------------------------
+
+const REPLY_PAGE: u8 = 0x80;
+const REPLY_DIFF_ACK: u8 = 0x81;
+const REPLY_LOCK_GRANTED: u8 = 0x82;
+const REPLY_CV_GRANTED: u8 = 0x83;
+const REPLY_BARRIER_DONE: u8 = 0x84;
+
+/// Encodes a reply into a checksummed frame.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut w;
+    match reply {
+        Reply::Page { page, data } => {
+            w = Writer::new(REPLY_PAGE);
+            w.u64(*page);
+            w.bytes(data);
+        }
+        Reply::DiffAck => {
+            w = Writer::new(REPLY_DIFF_ACK);
+        }
+        Reply::LockGranted { notices, seq } => {
+            w = Writer::new(REPLY_LOCK_GRANTED);
+            w.u64(*seq);
+            w.notices(notices);
+        }
+        Reply::CvGranted { notices, seq } => {
+            w = Writer::new(REPLY_CV_GRANTED);
+            w.u64(*seq);
+            w.notices(notices);
+        }
+        Reply::BarrierDone {
+            notices,
+            migrations,
+        } => {
+            w = Writer::new(REPLY_BARRIER_DONE);
+            w.notices(notices);
+            w.u64(migrations.len() as u64);
+            for (page, to) in migrations {
+                w.u64(*page);
+                w.usize(*to);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a reply frame; returns a typed error on any malformation.
+pub fn decode_reply(frame: &[u8]) -> Result<Reply, DsmError> {
+    let mut r = Reader::checked(frame)?;
+    let tag = r.u8()?;
+    let reply = match tag {
+        REPLY_PAGE => Reply::Page {
+            page: r.u64()?,
+            data: r.bytes()?,
+        },
+        REPLY_DIFF_ACK => Reply::DiffAck,
+        REPLY_LOCK_GRANTED => {
+            let seq = r.u64()?;
+            Reply::LockGranted {
+                notices: r.notices()?,
+                seq,
+            }
+        }
+        REPLY_CV_GRANTED => {
+            let seq = r.u64()?;
+            Reply::CvGranted {
+                notices: r.notices()?,
+                seq,
+            }
+        }
+        REPLY_BARRIER_DONE => {
+            let notices = r.notices()?;
+            let n = r.len(16)?;
+            let migrations = (0..n)
+                .map(|_| Ok((r.u64()?, r.usize()?)))
+                .collect::<Result<_, DsmError>>()?;
+            Reply::BarrierDone {
+                notices,
+                migrations,
+            }
+        }
+        other => return Err(DsmError::BadTag(other)),
+    };
+    r.done(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let m = Msg::GetPage {
+            page: 42,
+            from: 3,
+            epoch: 7,
+        };
+        assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn single_byte_flip_is_always_caught() {
+        let m = Msg::Diff {
+            page: 9,
+            from: 1,
+            epoch: 0,
+            patches: vec![Patch {
+                offset: 4,
+                data: vec![1, 2, 3, 250],
+            }],
+        };
+        let frame = encode_msg(&m);
+        for i in 0..frame.len() {
+            for flip in [0x01u8, 0x5a, 0xff] {
+                let mut bad = frame.clone();
+                bad[i] ^= flip;
+                assert!(
+                    decode_msg(&bad).is_err(),
+                    "flip {flip:#x} at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let frame = encode_reply(&Reply::DiffAck);
+        for cut in 0..frame.len() {
+            assert!(decode_reply(&frame[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_typed() {
+        let mut w = Writer::new(0x7f);
+        w.u64(1);
+        let frame = w.finish();
+        assert_eq!(decode_msg(&frame), Err(DsmError::BadTag(0x7f)));
+    }
+
+    #[test]
+    fn oversize_length_rejected_without_allocation() {
+        // A Diff frame claiming 2^60 patches must fail fast.
+        let mut w = Writer::new(MSG_DIFF);
+        w.u64(0); // page
+        w.u64(0); // from
+        w.u64(0); // epoch
+        w.u64(1 << 60); // patch count
+        let frame = w.finish();
+        assert!(matches!(decode_msg(&frame), Err(DsmError::Oversize { .. })));
+    }
+}

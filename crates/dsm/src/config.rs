@@ -1,6 +1,7 @@
 //! DSM system configuration.
 
-use crate::net::NetworkModel;
+use crate::net::{FaultInjector, NetworkModel, RetransmitPolicy};
+use std::sync::Arc;
 
 /// Configuration of a [`crate::DsmSystem`] run.
 #[derive(Debug, Clone)]
@@ -27,6 +28,12 @@ pub struct DsmConfig {
     /// set to OFF"). When on, a page written in a barrier interval by
     /// exactly one node that is not its home migrates to that writer.
     pub home_migration: bool,
+    /// Deterministic network fault injector (`None` = perfect links).
+    /// Shared by every node and daemon of the run.
+    pub faults: Option<Arc<dyn FaultInjector>>,
+    /// Timeout/backoff policy of the reliability sublayer; only exercised
+    /// when `faults` is set.
+    pub retransmit: RetransmitPolicy,
 }
 
 impl DsmConfig {
@@ -42,6 +49,8 @@ impl DsmConfig {
             network: NetworkModel::fast_ethernet(),
             speed_factors: None,
             home_migration: false,
+            faults: None,
+            retransmit: RetransmitPolicy::default(),
         }
     }
 
@@ -77,6 +86,20 @@ impl DsmConfig {
     /// Enables JIAJIA's home-migration feature (the `jia_config` toggle).
     pub fn home_migration(mut self, on: bool) -> Self {
         self.home_migration = on;
+        self
+    }
+
+    /// Installs a deterministic fault injector on every inter-machine
+    /// link of the run.
+    pub fn faults(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Overrides the retransmission policy of the reliability sublayer.
+    pub fn retransmit(mut self, policy: RetransmitPolicy) -> Self {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.retransmit = policy;
         self
     }
 

@@ -23,11 +23,16 @@
 //! The reply's network cost is added on top, so the worker's clock lands
 //! exactly where a real cluster's would (modulo the cost model).
 
-use crate::msg::{Envelope, Msg, Notice, Patch, Reply, ReplyEnvelope};
-use crate::net::NetworkModel;
+use crate::codec;
+use crate::msg::{Envelope, Msg, Notice, Patch, Reply, ReplyEnvelope, SYSTEM_SRC};
+use crate::net::{
+    FaultInjector, LinkMsg, NetworkModel, RetransmitPolicy, TransmitFate, CHAN_DAEMON,
+};
 use crate::page::apply_patches;
+use crate::stats::DaemonStats;
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-lock manager state.
@@ -35,8 +40,8 @@ use std::time::Duration;
 struct LockState {
     /// Node currently holding the lock.
     holder: Option<usize>,
-    /// Waiting acquirers (FIFO): `(node, last_seq, arrival)`.
-    waiters: VecDeque<(usize, u64, Duration)>,
+    /// Waiting acquirers (FIFO): `(node, last_seq, arrival, transport seq)`.
+    waiters: VecDeque<(usize, u64, Duration, u64)>,
     /// Virtual time of the last release.
     free_at: Duration,
     /// Write notices attached to this lock, with their sequence numbers.
@@ -51,8 +56,8 @@ struct LockState {
 struct CvState {
     /// Virtual arrival times of pending (unconsumed) signals.
     pending: VecDeque<Duration>,
-    /// Waiting nodes (FIFO): `(node, last_seq, arrival)`.
-    waiters: VecDeque<(usize, u64, Duration)>,
+    /// Waiting nodes (FIFO): `(node, last_seq, arrival, transport seq)`.
+    waiters: VecDeque<(usize, u64, Duration, u64)>,
     /// Write notices attached to this cv, with sequence numbers.
     history: Vec<(u64, Notice)>,
     /// Next sequence number.
@@ -62,8 +67,8 @@ struct CvState {
 /// Barrier manager state (lives on node 0's daemon).
 #[derive(Default)]
 struct BarrierState {
-    /// Nodes that arrived this round.
-    arrived: Vec<usize>,
+    /// Nodes that arrived this round, with their transport seqs.
+    arrived: Vec<(usize, u64)>,
     /// Union of the round's notices.
     notices: Vec<Notice>,
     /// Latest virtual arrival of the round.
@@ -93,6 +98,21 @@ pub struct Daemon {
     incoming: std::collections::HashSet<u64>,
     /// Requests parked until an epoch bump or a page adoption.
     parked: Vec<Envelope>,
+    /// Fault injector for outbound daemon links (`None` = perfect).
+    faults: Option<Arc<dyn FaultInjector>>,
+    /// Retransmission policy for daemon → daemon control traffic.
+    retransmit: RetransmitPolicy,
+    /// Receiver half of duplicate suppression: next expected transport
+    /// sequence number per source link.
+    req_next: HashMap<usize, u64>,
+    /// Last reply sent per worker, keyed by the request's transport seq —
+    /// resent verbatim when a retransmitted request proves the original
+    /// reply (or its ack) was lost.
+    reply_cache: HashMap<usize, (u64, Reply)>,
+    /// Next transport sequence number per outbound daemon link.
+    daemon_seq: Vec<u64>,
+    /// Transport counters, returned by [`Daemon::run`].
+    stats: DaemonStats,
 }
 
 impl Daemon {
@@ -107,6 +127,8 @@ impl Daemon {
         inbox: Receiver<Envelope>,
         reply_tx: Vec<Sender<ReplyEnvelope>>,
         daemon_tx: Vec<Sender<Envelope>>,
+        faults: Option<Arc<dyn FaultInjector>>,
+        retransmit: RetransmitPolicy,
     ) -> Self {
         Self {
             id,
@@ -124,13 +146,142 @@ impl Daemon {
             epoch: 0,
             incoming: std::collections::HashSet::new(),
             parked: Vec::new(),
+            faults,
+            retransmit,
+            req_next: HashMap::new(),
+            reply_cache: HashMap::new(),
+            daemon_seq: vec![0; nprocs],
+            stats: DaemonStats::default(),
         }
     }
 
-    /// Sends a protocol message to another daemon, departing at `when`.
-    fn send_daemon(&self, to: usize, when: Duration, msg: Msg) {
-        let arrive = when + self.network.cost(self.id, to, msg.wire_size());
-        let _ = self.daemon_tx[to].send(Envelope { msg, arrive });
+    /// Sends a protocol message to another daemon, departing at `when`,
+    /// through the same reliability loop workers use: the deterministic
+    /// fate of every copy and ack is resolved up front, lost copies are
+    /// retransmitted with backed-off virtual timers, and the final
+    /// attempt is delivered unconditionally.
+    fn send_daemon(&mut self, to: usize, when: Duration, msg: Msg) {
+        let seq = self.daemon_seq[to];
+        self.daemon_seq[to] += 1;
+        let src = self.nprocs + self.id;
+        let cost = self.network.cost(self.id, to, msg.wire_size());
+        let injector = match (&self.faults, to == self.id) {
+            (Some(f), false) => Some(Arc::clone(f)),
+            _ => None,
+        };
+        let Some(injector) = injector else {
+            let _ = self.daemon_tx[to].send(Envelope {
+                msg,
+                arrive: when + cost,
+                src,
+                seq,
+            });
+            return;
+        };
+        let max = self.retransmit.max_attempts.max(1);
+        let mut t = when;
+        for attempt in 0..max {
+            let forced = attempt + 1 >= max;
+            let fwd = LinkMsg {
+                from: src,
+                to: self.nprocs + to,
+                chan: CHAN_DAEMON,
+                seq,
+                attempt,
+            };
+            let mut sent = false;
+            if let Some((extra_delay, duplicates)) =
+                self.resolve_fate(injector.fate(&fwd), forced, Some(&msg))
+            {
+                let arrive = t + cost + extra_delay;
+                for _ in 0..=duplicates {
+                    let _ = self.daemon_tx[to].send(Envelope {
+                        msg: msg.clone(),
+                        arrive,
+                        src,
+                        seq,
+                    });
+                }
+                sent = true;
+            }
+            if sent {
+                let ack = LinkMsg {
+                    from: self.nprocs + to,
+                    to: src,
+                    chan: CHAN_DAEMON,
+                    seq,
+                    attempt,
+                };
+                if forced
+                    || self
+                        .resolve_fate(injector.fate(&ack), forced, None)
+                        .is_some()
+                {
+                    return;
+                }
+            }
+            t += self.retransmit.rto(attempt);
+            self.stats.retransmits += 1;
+        }
+    }
+
+    /// Resolves one transmission fate (see `Node::resolve_fate`): corrupt
+    /// request copies are proven undecodable against the real wire frame
+    /// and then treated as losses.
+    fn resolve_fate(
+        &mut self,
+        fate: TransmitFate,
+        forced: bool,
+        msg: Option<&Msg>,
+    ) -> Option<(Duration, u8)> {
+        match fate {
+            TransmitFate::Deliver {
+                extra_delay,
+                duplicates,
+            } => Some((extra_delay, duplicates)),
+            _ if forced => Some((Duration::ZERO, 0)),
+            TransmitFate::Drop => None,
+            TransmitFate::Corrupt => {
+                if let Some(msg) = msg {
+                    let mut frame = codec::encode_msg(msg);
+                    let idx = self.stats.corrupt_dropped as usize % frame.len();
+                    frame[idx] ^= 0x40;
+                    debug_assert!(
+                        codec::decode_msg(&frame).is_err(),
+                        "corrupted frame must not decode"
+                    );
+                }
+                self.stats.corrupt_dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// Receiver half of the reliability layer: per-source-link sequence
+    /// dedup. Returns true when the message is fresh and must be
+    /// dispatched; duplicates are suppressed here, resending the cached
+    /// reply when the duplicate proves a reply (or ack) was lost.
+    fn accept(&mut self, env: &Envelope) -> bool {
+        if env.src == SYSTEM_SRC {
+            return true;
+        }
+        let next = self.req_next.entry(env.src).or_insert(0);
+        if env.seq >= *next {
+            debug_assert_eq!(env.seq, *next, "per-link sends are in order");
+            *next = env.seq + 1;
+            return true;
+        }
+        self.stats.dups_dropped += 1;
+        if env.src < self.nprocs {
+            if let Some((seq, reply)) = self.reply_cache.get(&env.src) {
+                if *seq == env.seq {
+                    let (seq, reply) = (*seq, reply.clone());
+                    self.stats.retransmits += 1;
+                    self.reply(env.src, env.arrive, seq, reply);
+                }
+            }
+        }
+        false
     }
 
     /// Whether a page request must wait for migration bookkeeping.
@@ -148,12 +299,21 @@ impl Daemon {
         }
     }
 
-    /// Sends `reply` to node `to`, departing (virtually) at `when`.
-    fn reply(&self, to: usize, when: Duration, reply: Reply) {
+    /// Sends `reply` to node `to`, departing (virtually) at `when`. The
+    /// reply is stamped with the request's transport sequence `seq` (the
+    /// worker matches on it) and cached for resending if the worker's
+    /// retransmission timer proves it lost.
+    fn reply(&mut self, to: usize, when: Duration, seq: u64, reply: Reply) {
         let arrive = when + self.network.cost(self.id, to, reply.wire_size());
+        self.reply_cache.insert(to, (seq, reply.clone()));
         // A closed reply channel means the worker panicked; the daemon
         // keeps servicing others so the run can tear down cleanly.
-        let _ = self.reply_tx[to].send(ReplyEnvelope { reply, arrive });
+        let _ = self.reply_tx[to].send(ReplyEnvelope {
+            reply,
+            arrive,
+            src: self.nprocs + self.id,
+            seq,
+        });
     }
 
     /// History notices newer than `last_seq`, deduplicated by
@@ -170,24 +330,36 @@ impl Daemon {
             .collect()
     }
 
-    /// Runs the service loop until `Shutdown`.
-    pub fn run(mut self) {
+    /// Runs the service loop until `Shutdown`, returning the daemon's
+    /// transport counters.
+    pub fn run(mut self) -> DaemonStats {
         while let Ok(env) = self.inbox.recv() {
             if matches!(env.msg, Msg::Shutdown) {
                 break;
             }
-            self.dispatch(env);
+            if self.accept(&env) {
+                self.dispatch(env);
+            }
         }
+        self.stats
     }
 
     /// Handles one request (possibly re-injected from the parked queue).
-    fn dispatch(&mut self, Envelope { msg, arrive }: Envelope) {
+    fn dispatch(&mut self, env: Envelope) {
+        let Envelope {
+            msg,
+            arrive,
+            src,
+            seq: rseq,
+        } = env;
         match msg {
             Msg::GetPage { page, from, epoch } => {
                 if self.must_park(page, epoch) {
                     self.parked.push(Envelope {
                         msg: Msg::GetPage { page, from, epoch },
                         arrive,
+                        src,
+                        seq: rseq,
                     });
                     return;
                 }
@@ -196,7 +368,7 @@ impl Daemon {
                     .entry(page)
                     .or_insert_with(|| vec![0; self.page_size])
                     .clone();
-                self.reply(from, arrive, Reply::Page { page, data });
+                self.reply(from, arrive, rseq, Reply::Page { page, data });
             }
             Msg::Diff {
                 page,
@@ -213,25 +385,29 @@ impl Daemon {
                             epoch,
                         },
                         arrive,
+                        src,
+                        seq: rseq,
                     });
                     return;
                 }
                 self.apply_diff(page, &patches);
-                self.reply(from, arrive, Reply::DiffAck);
+                self.reply(from, arrive, rseq, Reply::DiffAck);
             }
             Msg::Acquire {
                 lock,
                 from,
                 last_seq,
-            } => self.handle_acquire(lock, from, last_seq, arrive),
+            } => self.handle_acquire(lock, from, last_seq, arrive, rseq),
             Msg::Release {
                 lock,
                 from,
                 notices,
             } => self.handle_release(lock, from, notices, arrive),
             Msg::SetCv { cv, notices, .. } => self.handle_setcv(cv, notices, arrive),
-            Msg::WaitCv { cv, from, last_seq } => self.handle_waitcv(cv, from, last_seq, arrive),
-            Msg::Barrier { from, notices } => self.handle_barrier(from, notices, arrive),
+            Msg::WaitCv { cv, from, last_seq } => {
+                self.handle_waitcv(cv, from, last_seq, arrive, rseq)
+            }
+            Msg::Barrier { from, notices } => self.handle_barrier(from, notices, arrive, rseq),
             Msg::MigrationNotice { epoch, incoming } => {
                 debug_assert!(epoch >= self.epoch);
                 self.epoch = epoch;
@@ -262,7 +438,14 @@ impl Daemon {
         apply_patches(home, patches);
     }
 
-    fn handle_acquire(&mut self, lock: u32, from: usize, last_seq: u64, arrive: Duration) {
+    fn handle_acquire(
+        &mut self,
+        lock: u32,
+        from: usize,
+        last_seq: u64,
+        arrive: Duration,
+        rseq: u64,
+    ) {
         debug_assert_eq!(lock as usize % self.nprocs, self.id, "wrong manager");
         let st = self.locks.entry(lock).or_default();
         if st.holder.is_none() {
@@ -270,9 +453,9 @@ impl Daemon {
             let notices = Self::notices_since(&st.history, last_seq);
             let seq = st.next_seq;
             let when = arrive.max(st.free_at);
-            self.reply(from, when, Reply::LockGranted { notices, seq });
+            self.reply(from, when, rseq, Reply::LockGranted { notices, seq });
         } else {
-            st.waiters.push_back((from, last_seq, arrive));
+            st.waiters.push_back((from, last_seq, arrive, rseq));
         }
     }
 
@@ -289,7 +472,7 @@ impl Daemon {
         }
         st.holder = None;
         st.free_at = st.free_at.max(arrive);
-        if let Some((next, last_seq, req_arrive)) = st.waiters.pop_front() {
+        if let Some((next, last_seq, req_arrive, rseq)) = st.waiters.pop_front() {
             st.holder = Some(next);
             let granted = Self::notices_since(&st.history, last_seq);
             let seq = st.next_seq;
@@ -297,6 +480,7 @@ impl Daemon {
             self.reply(
                 next,
                 when,
+                rseq,
                 Reply::LockGranted {
                     notices: granted,
                     seq,
@@ -311,13 +495,14 @@ impl Daemon {
             st.next_seq += 1;
             st.history.push((st.next_seq, n));
         }
-        if let Some((node, last_seq, wait_arrive)) = st.waiters.pop_front() {
+        if let Some((node, last_seq, wait_arrive, rseq)) = st.waiters.pop_front() {
             let granted = Self::notices_since(&st.history, last_seq);
             let seq = st.next_seq;
             let when = wait_arrive.max(arrive);
             self.reply(
                 node,
                 when,
+                rseq,
                 Reply::CvGranted {
                     notices: granted,
                     seq,
@@ -328,7 +513,7 @@ impl Daemon {
         }
     }
 
-    fn handle_waitcv(&mut self, cv: u32, from: usize, last_seq: u64, arrive: Duration) {
+    fn handle_waitcv(&mut self, cv: u32, from: usize, last_seq: u64, arrive: Duration, rseq: u64) {
         let st = self.cvs.entry(cv).or_default();
         if let Some(signal_arrive) = st.pending.pop_front() {
             let granted = Self::notices_since(&st.history, last_seq);
@@ -337,19 +522,20 @@ impl Daemon {
             self.reply(
                 from,
                 when,
+                rseq,
                 Reply::CvGranted {
                     notices: granted,
                     seq,
                 },
             );
         } else {
-            st.waiters.push_back((from, last_seq, arrive));
+            st.waiters.push_back((from, last_seq, arrive, rseq));
         }
     }
 
-    fn handle_barrier(&mut self, from: usize, notices: Vec<Notice>, arrive: Duration) {
+    fn handle_barrier(&mut self, from: usize, notices: Vec<Notice>, arrive: Duration, rseq: u64) {
         assert_eq!(self.id, 0, "barrier messages go to node 0");
-        self.barrier.arrived.push(from);
+        self.barrier.arrived.push((from, rseq));
         self.barrier.notices.extend(notices);
         self.barrier.latest = self.barrier.latest.max(arrive);
         if self.barrier.arrived.len() == self.nprocs {
@@ -385,10 +571,11 @@ impl Daemon {
                     .expect("migration decided from a notice");
                 self.send_daemon(old, round.latest, Msg::MigrateOut { page, to });
             }
-            for node in round.arrived {
+            for (node, rseq) in round.arrived {
                 self.reply(
                     node,
                     round.latest,
+                    rseq,
                     Reply::BarrierDone {
                         notices: notices.clone(),
                         migrations: migrations.clone(),

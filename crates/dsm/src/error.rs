@@ -1,0 +1,90 @@
+//! Typed errors for the DSM transport and wire codec.
+//!
+//! The reliability layer treats every decode failure as a *recoverable*
+//! transport event: a frame that fails checksum or structural validation
+//! is dropped and recovered by retransmission, never by aborting the
+//! node. These are the errors that surface from [`crate::codec`] and the
+//! channel-transport paths in [`crate::node`] / [`crate::daemon`].
+
+use std::fmt;
+
+/// Errors of the DSM wire codec and transport paths.
+///
+/// Every variant is recoverable at the protocol level: corrupted or
+/// truncated frames are dropped (and retransmitted by the sender's
+/// timeout machinery); `Disconnected` means the peer endpoint is gone and
+/// the run is tearing down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsmError {
+    /// The frame ended before the expected field.
+    Truncated {
+        /// Bytes required by the field being decoded.
+        need: usize,
+        /// Bytes remaining in the frame.
+        have: usize,
+    },
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// The frame checksum does not match its contents (bit corruption).
+    Checksum {
+        /// Checksum carried by the frame.
+        expect: u32,
+        /// Checksum computed over the received bytes.
+        got: u32,
+    },
+    /// A length field exceeds the frame or a sanity bound.
+    Oversize {
+        /// The declared length.
+        len: usize,
+        /// The maximum admissible here.
+        max: usize,
+    },
+    /// The frame decoded fully but trailing bytes remain.
+    Trailing {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A peer endpoint (daemon inbox or worker reply channel) is closed.
+    Disconnected(&'static str),
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            DsmError::BadTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            DsmError::Checksum { expect, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expect:#010x}, computed {got:#010x}"
+                )
+            }
+            DsmError::Oversize { len, max } => {
+                write!(f, "length field {len} exceeds bound {max}")
+            }
+            DsmError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after a complete frame")
+            }
+            DsmError::Disconnected(what) => write!(f, "transport disconnected: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = DsmError::Checksum { expect: 1, got: 2 };
+        assert!(e.to_string().contains("checksum"));
+        assert!(DsmError::BadTag(0xff).to_string().contains("0xff"));
+        assert!(DsmError::Truncated { need: 8, have: 3 }
+            .to_string()
+            .contains("need 8"));
+    }
+}

@@ -56,8 +56,10 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod config;
 pub mod daemon;
+pub mod error;
 pub mod msg;
 pub mod net;
 pub mod node;
@@ -67,8 +69,12 @@ pub mod system;
 pub mod vec;
 
 pub use config::DsmConfig;
-pub use net::NetworkModel;
+pub use error::DsmError;
+pub use net::{
+    FaultInjector, LinkMsg, NetworkModel, RetransmitPolicy, TransmitFate, CHAN_DAEMON, CHAN_REPLY,
+    CHAN_REQ,
+};
 pub use node::Node;
-pub use stats::{breakdown_many, NodeStats, StatsBreakdown};
+pub use stats::{breakdown_many, DaemonStats, NodeStats, StatsBreakdown};
 pub use system::{DsmRun, DsmSystem};
 pub use vec::{DsmData, GlobalVec};

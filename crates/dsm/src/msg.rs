@@ -44,25 +44,39 @@ impl Patch {
 /// reply's own arrival stamp, so waiting times and speed-ups are derived
 /// from the dependency DAG rather than from host wall time — essential on
 /// machines with fewer cores than simulated nodes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Envelope {
     /// The request.
     pub msg: Msg,
     /// Virtual time at which the message reaches the daemon.
     pub arrive: std::time::Duration,
+    /// Transport source: worker index (`< nprocs`), daemon index
+    /// (`nprocs + d`), or [`SYSTEM_SRC`] for harness-internal messages.
+    pub src: usize,
+    /// Per-(source, destination) link sequence number, used by the
+    /// reliability layer for duplicate suppression and reply caching.
+    pub seq: u64,
 }
 
+/// Transport source id for harness-internal messages (shutdown sentinel);
+/// exempt from the reliability layer's per-link sequencing.
+pub const SYSTEM_SRC: usize = usize::MAX;
+
 /// A reply with its virtual arrival time at the worker.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReplyEnvelope {
     /// The reply.
     pub reply: Reply,
     /// Virtual time at which the reply reaches the worker.
     pub arrive: std::time::Duration,
+    /// Transport source: `nprocs + d` for daemon `d`.
+    pub src: usize,
+    /// Per-link reply sequence number (see [`Envelope::seq`]).
+    pub seq: u64,
 }
 
 /// Requests sent to a daemon.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
     /// Fetch a copy of a page from its home (remote access fault).
     GetPage {
@@ -158,7 +172,7 @@ pub enum Msg {
 }
 
 /// Replies delivered to a worker's reply channel.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
     /// Page copy (GETPAGE response).
     Page {

@@ -83,6 +83,122 @@ impl Default for NetworkModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// Link channel discriminator: worker → daemon requests.
+pub const CHAN_REQ: u8 = 0;
+/// Link channel discriminator: daemon → worker replies.
+pub const CHAN_REPLY: u8 = 1;
+/// Link channel discriminator: daemon → daemon control traffic.
+pub const CHAN_DAEMON: u8 = 2;
+
+/// Identity of one transmission attempt of one message copy on a link.
+///
+/// A fault injector's verdict must be a pure function of this value (plus
+/// its seed), never of wall time or thread schedule — that is what makes
+/// chaos runs reproducible: the same seed yields the same loss pattern
+/// regardless of how the host schedules the simulated nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkMsg {
+    /// Transport source id (worker index, or `nprocs + d` for daemon `d`).
+    pub from: usize,
+    /// Transport destination id.
+    pub to: usize,
+    /// Which logical channel ([`CHAN_REQ`], [`CHAN_REPLY`], [`CHAN_DAEMON`]).
+    pub chan: u8,
+    /// Per-link sequence number of the message.
+    pub seq: u64,
+    /// Retransmission attempt (0 = original transmission).
+    pub attempt: u32,
+}
+
+/// What happens to one transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitFate {
+    /// The copy reaches the receiver.
+    Deliver {
+        /// Additional queueing delay beyond the modeled link cost. A
+        /// non-zero delay on one copy while a later copy sails through is
+        /// how the injector produces (virtual-time) reordering.
+        extra_delay: Duration,
+        /// Extra identical copies delivered right behind this one
+        /// (duplication fault).
+        duplicates: u8,
+    },
+    /// The copy is silently lost.
+    Drop,
+    /// The copy arrives bit-corrupted; the receiver's checksum rejects
+    /// the frame, so it behaves like a loss but is counted separately.
+    Corrupt,
+}
+
+/// A deterministic network fault injector.
+///
+/// Implementations must be pure: the verdict for a given [`LinkMsg`] may
+/// depend only on the injector's own configuration (seed, rates,
+/// schedule). The DSM layer consults the injector from multiple threads.
+pub trait FaultInjector: Send + Sync + std::fmt::Debug {
+    /// Verdict for one transmission attempt.
+    fn fate(&self, link: &LinkMsg) -> TransmitFate;
+
+    /// If worker `node` is scheduled to fail-stop, the ordinal of the
+    /// work unit (strategy-defined; chunk for `pre_process`) after which
+    /// it crashes. `None` means the node is immortal.
+    fn crash_point(&self, node: usize) -> Option<u64> {
+        let _ = node;
+        None
+    }
+}
+
+/// Timeout/retransmission policy of the reliability sublayer.
+///
+/// Mirrors a classic UDP request/ack scheme: an attempt that is not
+/// acknowledged within the current RTO is retransmitted with the RTO
+/// doubled, up to `max_attempts`, after which the transport escalates
+/// (here: the simulation delivers the final attempt unconditionally, so a
+/// pathological plan cannot wedge a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitPolicy {
+    /// First retransmission timeout; should comfortably exceed one RTT.
+    pub initial_rto: Duration,
+    /// Ceiling for the exponential backoff.
+    pub max_rto: Duration,
+    /// Total transmission attempts before forced delivery (≥ 1).
+    pub max_attempts: u32,
+}
+
+impl RetransmitPolicy {
+    /// Policy sized for [`NetworkModel::paper_cluster`] latencies:
+    /// 3 ms initial RTO (≈ 2× the 1.5 ms round trip), doubling to 48 ms.
+    pub fn paper_cluster() -> Self {
+        Self {
+            initial_rto: Duration::from_millis(3),
+            max_rto: Duration::from_millis(48),
+            max_attempts: 12,
+        }
+    }
+
+    /// RTO in force for a given attempt number (exponential backoff).
+    pub fn rto(&self, attempt: u32) -> Duration {
+        let mut rto = self.initial_rto;
+        for _ in 0..attempt {
+            rto = (rto * 2).min(self.max_rto);
+            if rto == self.max_rto {
+                break;
+            }
+        }
+        rto
+    }
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        Self::paper_cluster()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +230,19 @@ mod tests {
     fn simulated_flag_toggles() {
         assert!(!NetworkModel::fast_ethernet().simulate);
         assert!(NetworkModel::fast_ethernet().simulated().simulate);
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_and_caps() {
+        let p = RetransmitPolicy {
+            initial_rto: Duration::from_millis(2),
+            max_rto: Duration::from_millis(10),
+            max_attempts: 8,
+        };
+        assert_eq!(p.rto(0), Duration::from_millis(2));
+        assert_eq!(p.rto(1), Duration::from_millis(4));
+        assert_eq!(p.rto(2), Duration::from_millis(8));
+        assert_eq!(p.rto(3), Duration::from_millis(10));
+        assert_eq!(p.rto(30), Duration::from_millis(10));
     }
 }

@@ -37,6 +37,20 @@ pub struct NodeStats {
     pub msgs_sent: u64,
     /// Estimated bytes sent.
     pub bytes_sent: u64,
+    /// Retransmissions performed by the reliability sublayer (worker
+    /// request timers plus daemon reply-cache resends).
+    pub retransmits: u64,
+    /// Duplicate messages suppressed (daemon request dedup plus worker
+    /// stale-reply dedup).
+    pub dups_dropped: u64,
+    /// Frames rejected by the wire-codec checksum (injected corruption).
+    pub corrupt_dropped: u64,
+    /// Fail-stop crashes this node recovered from.
+    pub recoveries: u64,
+    /// Virtual time spent down and restoring checkpoints. Reported
+    /// separately; within Fig. 10 it is part of the derived computation
+    /// remainder.
+    pub recovery_time: Duration,
 }
 
 impl NodeStats {
@@ -74,7 +88,36 @@ impl NodeStats {
         self.migrations = self.migrations.max(other.migrations);
         self.msgs_sent += other.msgs_sent;
         self.bytes_sent += other.bytes_sent;
+        self.retransmits += other.retransmits;
+        self.dups_dropped += other.dups_dropped;
+        self.corrupt_dropped += other.corrupt_dropped;
+        self.recoveries += other.recoveries;
+        self.recovery_time += other.recovery_time;
     }
+
+    /// Folds a daemon's transport counters into this (same-machine)
+    /// node's stats, so the reported per-node totals cover both halves of
+    /// the reliability layer.
+    pub fn absorb_daemon(&mut self, d: &DaemonStats) {
+        self.retransmits += d.retransmits;
+        self.dups_dropped += d.dups_dropped;
+        self.corrupt_dropped += d.corrupt_dropped;
+    }
+}
+
+/// Transport counters of one daemon (the receiver half of the
+/// reliability layer), returned by the daemon thread at shutdown and
+/// folded into its machine's [`NodeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Retransmissions performed by the daemon: cached replies resent in
+    /// response to retransmitted requests, plus daemon-to-daemon control
+    /// messages retransmitted by its own timers.
+    pub retransmits: u64,
+    /// Duplicate request copies suppressed by sequence-number dedup.
+    pub dups_dropped: u64,
+    /// Frames rejected by the wire-codec checksum.
+    pub corrupt_dropped: u64,
 }
 
 /// Fractional breakdown over a set of nodes: category sums divided by the

@@ -7,7 +7,7 @@
 
 use crate::config::DsmConfig;
 use crate::daemon::Daemon;
-use crate::msg::{Envelope, Msg, ReplyEnvelope};
+use crate::msg::{Envelope, Msg, ReplyEnvelope, SYSTEM_SRC};
 use crate::node::Node;
 use crate::stats::NodeStats;
 use crossbeam::channel::unbounded;
@@ -86,6 +86,8 @@ impl DsmSystem {
                     rx,
                     reply_tx.clone(),
                     daemon_tx.clone(),
+                    config.faults.clone(),
+                    config.retransmit,
                 );
                 daemon_handles.push(scope.spawn(move || daemon.run()));
             }
@@ -115,15 +117,24 @@ impl DsmSystem {
                     Err(e) => panic = panic.or(Some(e)),
                 }
             }
-            // Tear down daemons regardless of worker outcome.
+            // Tear down daemons regardless of worker outcome, folding
+            // each daemon's transport counters into its machine's node
+            // stats (both halves of the reliability layer run on the same
+            // simulated host).
             for tx in daemon_tx_ref.iter() {
                 let _ = tx.send(Envelope {
                     msg: Msg::Shutdown,
                     arrive: std::time::Duration::ZERO,
+                    src: SYSTEM_SRC,
+                    seq: 0,
                 });
             }
-            for handle in daemon_handles {
-                let _ = handle.join();
+            for (id, handle) in daemon_handles.into_iter().enumerate() {
+                if let Ok(dstats) = handle.join() {
+                    if let Some(s) = stats.get_mut(id) {
+                        s.absorb_daemon(&dstats);
+                    }
+                }
             }
             if let Some(e) = panic {
                 std::panic::resume_unwind(e);

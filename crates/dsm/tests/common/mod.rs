@@ -1,0 +1,97 @@
+//! Shared helpers for the dsm integration tests: a deterministic inline
+//! fault injector. The production injector lives in `genomedsm-chaos`
+//! (which depends on this crate), so tests here use an equivalent
+//! hash-based one to avoid a dependency cycle.
+
+// Each integration-test binary compiles this module separately and uses
+// a different subset of the constructors.
+#![allow(dead_code)]
+
+use genomedsm_dsm::{FaultInjector, LinkMsg, TransmitFate};
+use std::time::Duration;
+
+/// Hash-seeded fault injector: every verdict is a pure function of the
+/// seed and the transmission identity.
+#[derive(Debug, Clone)]
+pub struct TestFaults {
+    pub seed: u64,
+    pub drop: f64,
+    pub corrupt: f64,
+    pub duplicate: f64,
+    pub reorder: f64,
+    pub max_delay: Duration,
+    pub crash: Option<(usize, u64)>,
+}
+
+impl TestFaults {
+    pub fn drop_rate(seed: u64, p: f64) -> Self {
+        Self {
+            seed,
+            drop: p,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            max_delay: Duration::ZERO,
+            crash: None,
+        }
+    }
+
+    /// A harsh mixed plan: loss, corruption, duplication, reordering.
+    pub fn harsh(seed: u64) -> Self {
+        Self {
+            seed,
+            drop: 0.1,
+            corrupt: 0.03,
+            duplicate: 0.08,
+            reorder: 0.08,
+            max_delay: Duration::from_millis(2),
+            crash: None,
+        }
+    }
+
+    fn draw(&self, link: &LinkMsg, salt: u64) -> f64 {
+        let mut h = self.seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
+        for field in [
+            link.from as u64,
+            link.to as u64,
+            link.chan as u64,
+            link.seq,
+            link.attempt as u64,
+        ] {
+            h = h.wrapping_add(field).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        }
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl FaultInjector for TestFaults {
+    fn fate(&self, link: &LinkMsg) -> TransmitFate {
+        let loss = self.draw(link, 1);
+        if loss < self.drop {
+            return TransmitFate::Drop;
+        }
+        if loss < self.drop + self.corrupt {
+            return TransmitFate::Corrupt;
+        }
+        let duplicates = u8::from(self.draw(link, 2) < self.duplicate);
+        let extra_delay = if self.draw(link, 3) < self.reorder {
+            self.max_delay.mul_f64(self.draw(link, 4))
+        } else {
+            Duration::ZERO
+        };
+        TransmitFate::Deliver {
+            extra_delay,
+            duplicates,
+        }
+    }
+
+    fn crash_point(&self, node: usize) -> Option<u64> {
+        match self.crash {
+            Some((n, unit)) if n == node => Some(unit),
+            _ => None,
+        }
+    }
+}

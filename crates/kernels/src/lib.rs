@@ -153,8 +153,8 @@ impl std::fmt::Display for KernelChoice {
 ///
 /// Local scores are bounded by `min(m, n) * matches` (each of the at most
 /// `min(m, n)` aligned columns contributes at most `matches`), so keeping
-/// that product under [`I16_SCORE_CEILING`] rules out saturation of every
-/// intermediate value. Degenerate scoring schemes (non-negative gap, huge
+/// that product under the internal `I16_SCORE_CEILING` (32 000) rules out
+/// saturation of every intermediate value. Degenerate scoring schemes (non-negative gap, huge
 /// magnitudes, mismatch above match) are routed to scalar rather than
 /// reasoned about.
 pub fn fits_i16(m: usize, n: usize, scoring: &Scoring) -> bool {

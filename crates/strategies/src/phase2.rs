@@ -54,10 +54,23 @@ pub fn phase2_scattered(
     scoring: &Scoring,
     nprocs: usize,
 ) -> Phase2Outcome {
+    let config = DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster());
+    phase2_scattered_with(s, t, regions, scoring, &config)
+}
+
+/// [`phase2_scattered`] with an explicit DSM configuration, so callers can
+/// attach a fault injector, retransmission policy, or network model (the
+/// chaos suite runs phase 2 under injected loss through this entry).
+pub fn phase2_scattered_with(
+    s: &[u8],
+    t: &[u8],
+    regions: &[LocalRegion],
+    scoring: &Scoring,
+    config: &DsmConfig,
+) -> Phase2Outcome {
     let t0 = Instant::now();
     let scoring = *scoring;
-    let config = DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster());
-    let run = DsmSystem::run(config, |node| {
+    let run = DsmSystem::run(config.clone(), |node| {
         let p = node.id();
         let shared_scores = node.alloc_vec::<i32>(regions.len().max(1));
         node.barrier();

@@ -196,6 +196,19 @@ pub struct PreprocessConfig {
     /// bit-identical; only host time changes (the simulated cluster time
     /// is driven by `cell_cost` regardless).
     pub kernel: KernelChoice,
+    /// Enables band-boundary checkpointing plus border message logging so
+    /// a node can recover from a fail-stop crash (DESIGN.md §5.7). A
+    /// checkpoint flushes the band's result-matrix row home and durably
+    /// records the deferred-column buffer and save cursors; popped top
+    /// borders of the in-flight band are logged so a restarted node can
+    /// replay the band without re-consuming the ring. Off by default —
+    /// fault-free runs skip the checkpoint overhead, and crash points
+    /// reported by the injector are ignored.
+    pub checkpoint: bool,
+    /// Virtual downtime charged when a node crash-restarts (failure
+    /// detection + checkpoint reload). Lands in the derived computation
+    /// remainder and in [`NodeStats::recovery_time`].
+    pub restart_cost: Duration,
     /// DSM cluster configuration.
     pub dsm: DsmConfig,
 }
@@ -215,6 +228,8 @@ impl PreprocessConfig {
             io_byte_cost: Duration::from_nanos(50), // ~20 MB/s buffered
             save_dir: None,
             kernel: KernelChoice::Auto,
+            checkpoint: false,
+            restart_cost: Duration::from_millis(250),
             dsm: DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster()),
         }
     }
@@ -345,8 +360,33 @@ pub fn preprocess_align(
         } else {
             None
         };
+        // --- Crash-recovery state (DESIGN.md §5.7) -------------------
+        // The fail-stop model is cooperative: the injector names a chunk
+        // ordinal, and when this node completes that many chunks it
+        // "crashes" — the DSM cache and all volatile band state are lost
+        // and the band loop restarts from the last checkpoint. Durable
+        // state (modeled as surviving the crash): the checkpoint cursors
+        // below, the per-band log of popped top borders, the count of
+        // chunks already pushed downstream, and columns already written
+        // by immediate I/O.
+        let crash_at = if config.checkpoint {
+            node.crash_point()
+        } else {
+            None
+        };
+        let mut chunks_done = 0u64;
+        let mut crashed = false;
+        let mut ckpt_band = p; // band to resume from
+        let mut ckpt_best = 0i32;
+        let mut ckpt_saved_len = 0usize; // deferred columns in the checkpoint
+        let mut ckpt_cols_seen = 0u64;
+        let mut cols_seen = 0u64; // save events so far (logical order)
+        let mut cols_saved = 0u64; // columns durably written (immediate I/O)
+        let mut top_log: Vec<Vec<i32>> = Vec::new(); // borders popped this band
+        let mut pushed = 0usize; // chunks already sent downstream this band
+
         let mut band = p;
-        while band < nbands {
+        'bands: while band < nbands {
             let (i0, i1) = bands[band];
             let h = i1 + 1 - i0;
             let mut hits_row = vec![0i64; groups];
@@ -367,16 +407,82 @@ pub fn preprocess_align(
             } else {
                 None
             };
+            // Saves a selected column, honoring the durable-write cursor:
+            // during post-crash replay, columns immediate I/O already put
+            // on disk are skipped (and not re-charged) so the file stays
+            // bit-identical to a fault-free run.
+            macro_rules! save_column {
+                ($column:expr) => {{
+                    let column: SavedColumn = $column;
+                    match config.io_mode {
+                        IoMode::Immediate => {
+                            if cols_seen >= cols_saved {
+                                let bytes = 12 + 4 * column.values.len();
+                                write_column(writer.as_mut().expect("writer"), &column);
+                                node.advance(crate::costs::cells(config.io_byte_cost, bytes));
+                                cols_saved += 1;
+                            }
+                        }
+                        IoMode::Deferred => saved.push(column),
+                        IoMode::None => unreachable!("save_every is None without I/O"),
+                    }
+                    cols_seen += 1;
+                }};
+            }
+            // Fail-stop crash at a chunk boundary: lose all volatile band
+            // state, charge the downtime, and resume from the checkpoint.
+            macro_rules! crash_check {
+                () => {{
+                    chunks_done += 1;
+                    if !crashed && crash_at == Some(chunks_done) {
+                        crashed = true;
+                        node.crash_restart(config.restart_cost);
+                        best_score = ckpt_best;
+                        saved.truncate(ckpt_saved_len);
+                        cols_seen = ckpt_cols_seen;
+                        band = ckpt_band;
+                        continue 'bands;
+                    }
+                }};
+            }
+            // Fetches the chunk's top border: band 0 regenerates zeros;
+            // otherwise a replayed chunk reads the logged border, and a
+            // fresh chunk pops the ring (logging the border when
+            // checkpointing is on, so a later replay can reproduce it
+            // without re-consuming the ring).
+            macro_rules! top_border {
+                ($k:expr, $width:expr) => {{
+                    if band == 0 {
+                        vec![0i32; $width + 1]
+                    } else if $k < top_log.len() {
+                        top_log[$k].clone()
+                    } else {
+                        let border = rings[from_ring].pop(node, $width + 1);
+                        if config.checkpoint {
+                            top_log.push(border.clone());
+                        }
+                        border
+                    }
+                }};
+            }
+            // Sends the chunk's bottom border downstream, unless a
+            // pre-crash execution already delivered it (the consumer's pop
+            // cursor has moved past it; re-pushing would corrupt the ring).
+            macro_rules! push_bottom {
+                ($k:expr, $bottom:expr) => {{
+                    if band + 1 < nbands && $k >= pushed {
+                        rings[p].push(node, $bottom);
+                        pushed = $k + 1;
+                    }
+                }};
+            }
+
             if let Some(scorer) = scorer.as_mut() {
                 // Striped SIMD inner loop: the same cells, vectorized.
                 let mut corner = 0i32; // H[i1][c_lo - 1]; 0 at the left border
-                for &(c_lo, c_hi) in &chunks {
+                for (k, &(c_lo, c_hi)) in chunks.iter().enumerate() {
                     let width = c_hi + 1 - c_lo;
-                    let top: Vec<i32> = if band == 0 {
-                        vec![0; width + 1]
-                    } else {
-                        rings[from_ring].pop(node, width + 1)
-                    };
+                    let top: Vec<i32> = top_border!(k, width);
                     let mut bottom_vals = Vec::with_capacity(width);
                     let mut col_hits = Vec::with_capacity(width);
                     let mut saved_cols = Vec::new();
@@ -393,103 +499,94 @@ pub fn preprocess_align(
                         hits_row[(j - 1) / config.result_interleave] += hits as i64;
                     }
                     for (col, values) in saved_cols {
-                        let column = SavedColumn {
+                        save_column!(SavedColumn {
                             band: band as u32,
                             col: col as u32,
                             values,
-                        };
-                        match config.io_mode {
-                            IoMode::Immediate => {
-                                let bytes = 12 + 4 * column.values.len();
-                                write_column(writer.as_mut().expect("writer"), &column);
-                                node.advance(crate::costs::cells(config.io_byte_cost, bytes));
-                            }
-                            IoMode::Deferred => saved.push(column),
-                            IoMode::None => unreachable!("save_every is None without I/O"),
-                        }
+                        });
                     }
                     let mut bottom = Vec::with_capacity(width + 1);
                     bottom.push(corner);
                     bottom.append(&mut bottom_vals);
                     corner = *bottom.last().expect("non-empty chunk");
                     node.advance(crate::costs::cells(config.cell_cost, h * width));
-                    if band + 1 < nbands {
-                        rings[p].push(node, &bottom);
-                    }
+                    push_bottom!(k, &bottom);
+                    crash_check!();
                 }
                 best_score = best_score.max(scorer.best_score());
-                if groups > 0 {
-                    node.vec_write_range(&result_rows[band], 0, &hits_row);
-                }
-                band += nprocs;
-                continue;
-            }
-            // Left border column (column 0 of the band): zeros.
-            let mut left_col = vec![0i32; h + 1];
-            for (k, &(c_lo, c_hi)) in chunks.iter().enumerate() {
-                let width = c_hi + 1 - c_lo;
-                let top: Vec<i32> = if band == 0 {
-                    vec![0; width + 1]
-                } else {
-                    rings[from_ring].pop(node, width + 1)
-                };
-                // Process the chunk column by column, top to bottom.
-                let mut bottom = vec![0i32; width + 1];
-                bottom[0] = left_col[h];
-                let mut prev_col = left_col.clone();
-                prev_col[0] = top[0];
-                let mut cur_col = vec![0i32; h + 1];
-                for j in c_lo..=c_hi {
-                    cur_col[0] = top[j - c_lo + 1];
-                    let tc = t[j - 1];
-                    let mut col_best = 0i32;
-                    for r in 1..=h {
-                        let i = i0 + r - 1;
-                        let diag = prev_col[r - 1] + scoring.subst(s[i - 1], tc);
-                        let up = cur_col[r - 1] + scoring.gap;
-                        let left = prev_col[r] + scoring.gap;
-                        let v = diag.max(up).max(left).max(0);
-                        cur_col[r] = v;
-                        if v >= config.threshold {
-                            hits_row[(j - 1) / config.result_interleave] += 1;
-                        }
-                        col_best = col_best.max(v);
-                    }
-                    best_score = best_score.max(col_best);
-                    bottom[j - c_lo + 1] = cur_col[h];
-                    // Column saving (save interleave).
-                    if config.io_mode != IoMode::None
-                        && config.save_interleave > 0
-                        && j % config.save_interleave == 0
-                    {
-                        let column = SavedColumn {
-                            band: band as u32,
-                            col: j as u32,
-                            values: cur_col[1..].to_vec(),
-                        };
-                        match config.io_mode {
-                            IoMode::Immediate => {
-                                let bytes = 12 + 4 * column.values.len();
-                                write_column(writer.as_mut().expect("writer"), &column);
-                                node.advance(crate::costs::cells(config.io_byte_cost, bytes));
+            } else {
+                // Left border column (column 0 of the band): zeros.
+                let mut left_col = vec![0i32; h + 1];
+                for (k, &(c_lo, c_hi)) in chunks.iter().enumerate() {
+                    let width = c_hi + 1 - c_lo;
+                    let top: Vec<i32> = top_border!(k, width);
+                    // Process the chunk column by column, top to bottom.
+                    let mut bottom = vec![0i32; width + 1];
+                    bottom[0] = left_col[h];
+                    let mut prev_col = left_col.clone();
+                    prev_col[0] = top[0];
+                    let mut cur_col = vec![0i32; h + 1];
+                    for j in c_lo..=c_hi {
+                        cur_col[0] = top[j - c_lo + 1];
+                        let tc = t[j - 1];
+                        let mut col_best = 0i32;
+                        for r in 1..=h {
+                            let i = i0 + r - 1;
+                            let diag = prev_col[r - 1] + scoring.subst(s[i - 1], tc);
+                            let up = cur_col[r - 1] + scoring.gap;
+                            let left = prev_col[r] + scoring.gap;
+                            let v = diag.max(up).max(left).max(0);
+                            cur_col[r] = v;
+                            if v >= config.threshold {
+                                hits_row[(j - 1) / config.result_interleave] += 1;
                             }
-                            IoMode::Deferred => saved.push(column),
-                            IoMode::None => unreachable!(),
+                            col_best = col_best.max(v);
                         }
+                        best_score = best_score.max(col_best);
+                        bottom[j - c_lo + 1] = cur_col[h];
+                        // Column saving (save interleave).
+                        if config.io_mode != IoMode::None
+                            && config.save_interleave > 0
+                            && j % config.save_interleave == 0
+                        {
+                            save_column!(SavedColumn {
+                                band: band as u32,
+                                col: j as u32,
+                                values: cur_col[1..].to_vec(),
+                            });
+                        }
+                        std::mem::swap(&mut prev_col, &mut cur_col);
                     }
-                    std::mem::swap(&mut prev_col, &mut cur_col);
-                }
-                left_col.copy_from_slice(&prev_col);
-                let _ = k;
-                node.advance(crate::costs::cells(config.cell_cost, h * width));
-                if band + 1 < nbands {
-                    rings[p].push(node, &bottom);
+                    left_col.copy_from_slice(&prev_col);
+                    node.advance(crate::costs::cells(config.cell_cost, h * width));
+                    push_bottom!(k, &bottom);
+                    crash_check!();
                 }
             }
             // Publish this band's result-matrix row (local-home write).
             if groups > 0 {
                 node.vec_write_range(&result_rows[band], 0, &hits_row);
             }
+            if config.checkpoint {
+                // Band-boundary checkpoint: flush the result row to its
+                // home (durable on a surviving machine) and persist the
+                // deferred columns appended since the last checkpoint,
+                // plus the cursors, to local stable storage.
+                node.flush_modified();
+                let ckpt_bytes = 32
+                    + groups * 8
+                    + saved[ckpt_saved_len..]
+                        .iter()
+                        .map(|c| 12 + 4 * c.values.len())
+                        .sum::<usize>();
+                node.advance(crate::costs::cells(config.io_byte_cost, ckpt_bytes));
+                ckpt_band = band + nprocs;
+                ckpt_best = best_score;
+                ckpt_saved_len = saved.len();
+                ckpt_cols_seen = cols_seen;
+            }
+            top_log.clear();
+            pushed = 0;
             band += nprocs;
         }
         let core = node.now() - core_start;
@@ -579,22 +676,36 @@ fn write_column(w: &mut impl std::io::Write, c: &SavedColumn) {
 }
 
 /// Reads back a per-node column file written by [`preprocess_align`].
+///
+/// A truncated or corrupted file yields a typed
+/// [`std::io::ErrorKind::InvalidData`] error rather than a panic, so a
+/// recovery path probing a half-written checkpoint can fall back cleanly.
 pub fn read_saved_columns(path: &std::path::Path) -> std::io::Result<Vec<SavedColumn>> {
+    fn bad(what: &str) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+    }
+    fn take_u32(data: &[u8], pos: &mut usize) -> std::io::Result<u32> {
+        let end = pos
+            .checked_add(4)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| bad("truncated column record"))?;
+        let v = u32::from_le_bytes(data[*pos..end].try_into().expect("4-byte slice"));
+        *pos = end;
+        Ok(v)
+    }
     let data = std::fs::read(path)?;
     let mut out = Vec::new();
     let mut pos = 0;
-    let take_u32 = |pos: &mut usize, data: &[u8]| -> u32 {
-        let v = u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes"));
-        *pos += 4;
-        v
-    };
-    while pos + 12 <= data.len() {
-        let band = take_u32(&mut pos, &data);
-        let col = take_u32(&mut pos, &data);
-        let len = take_u32(&mut pos, &data) as usize;
+    while pos < data.len() {
+        let band = take_u32(&data, &mut pos)?;
+        let col = take_u32(&data, &mut pos)?;
+        let len = take_u32(&data, &mut pos)? as usize;
+        if len > (data.len() - pos) / 4 {
+            return Err(bad("column length exceeds file size"));
+        }
         let mut values = Vec::with_capacity(len);
         for _ in 0..len {
-            values.push(take_u32(&mut pos, &data) as i32);
+            values.push(take_u32(&data, &mut pos)? as i32);
         }
         out.push(SavedColumn { band, col, values });
     }

@@ -6,6 +6,7 @@
 //! genomedsm align s.fa t.fa [options]
 //! genomedsm exact s.fa t.fa [--min-score N]
 //! genomedsm score s.fa t.fa [--threshold N] [--kernel scalar|simd|auto]
+//! genomedsm chaos s.fa t.fa [--plan SPEC] [--strategy S] [--procs N]
 //!
 //! align options:
 //!   --strategy heuristic|blocked|preprocess   (default blocked)
@@ -20,6 +21,15 @@
 //!
 //! score: exact SW best score + threshold-hit count on the host (no DSM
 //! simulation), timed, using the selected vectorized kernel.
+//!
+//! chaos: runs the selected strategy twice — fault-free and under the
+//! fault plan — verifies the results are bit-identical, and reports the
+//! reliability layer's work (retransmits, duplicates dropped, corrupt
+//! frames, crash recoveries) plus the virtual-time overhead.
+//!   --plan SPEC   "none", "paper", or key=value list:
+//!                 seed=N drop=P corrupt=P dup=P reorder=P delay_us=N
+//!                 crash=NODE@UNIT          (default "paper")
+//!   --strategy heuristic|blocked|preprocess  (default preprocess)
 //! ```
 
 use genomedsm::prelude::*;
@@ -36,6 +46,7 @@ fn main() {
         Some("align") => align(&args[1..]),
         Some("exact") => exact(&args[1..]),
         Some("score") => score(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
         }
@@ -46,7 +57,8 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: genomedsm <generate|align|exact|score> [options]  (--help for details)";
+const USAGE: &str =
+    "usage: genomedsm <generate|align|exact|score|chaos> [options]  (--help for details)";
 
 fn opt_kernel(args: &[String]) -> KernelChoice {
     match opt(args, "--kernel") {
@@ -252,6 +264,139 @@ fn score(args: &[String]) {
         kernel.name(),
         cells / elapsed.as_secs_f64().max(1e-9) / 1e9
     );
+}
+
+fn chaos(args: &[String]) {
+    let (s, t) = load_pair(args);
+    let spec = opt(args, "--plan").unwrap_or_else(|| "paper".into());
+    let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| {
+        eprintln!("invalid --plan '{spec}': {e}");
+        exit(2);
+    });
+    let strategy = opt(args, "--strategy").unwrap_or_else(|| "preprocess".into());
+    let procs: usize = opt_num(args, "--procs", 4);
+    let scoring = Scoring::paper();
+    let params = HeuristicParams {
+        open_threshold: opt_num(args, "--open", 15),
+        close_threshold: opt_num(args, "--close", 15),
+        min_score: opt_num(args, "--min-score", 50),
+    };
+    let injector = std::sync::Arc::new(SeededFaults::new(plan.clone(), procs));
+    eprintln!(
+        "chaos run: {} bp x {} bp, strategy '{strategy}', {procs} nodes, plan '{spec}'",
+        s.len(),
+        t.len()
+    );
+
+    // (identical?, clean stats, faulty stats, clean wall, faulty wall)
+    let (identical, clean_stats, faulty_stats, clean_wall, faulty_wall) = match strategy.as_str() {
+        "heuristic" => {
+            let clean =
+                heuristic_align_dsm(&s, &t, &scoring, &params, &HeuristicDsmConfig::new(procs));
+            let mut config = HeuristicDsmConfig::new(procs);
+            config.dsm = config.dsm.faults(injector);
+            let faulty = heuristic_align_dsm(&s, &t, &scoring, &params, &config);
+            (
+                clean.regions == faulty.regions,
+                clean.aggregate(),
+                faulty.aggregate(),
+                clean.wall,
+                faulty.wall,
+            )
+        }
+        "blocked" => {
+            let bands: usize = opt_num(args, "--bands", 40);
+            let blocks: usize = opt_num(args, "--blocks", 40);
+            let clean = heuristic_block_align(
+                &s,
+                &t,
+                &scoring,
+                &params,
+                &BlockedConfig::new(procs, bands, blocks),
+            );
+            let mut config = BlockedConfig::new(procs, bands, blocks);
+            config.dsm = config.dsm.faults(injector);
+            let faulty = heuristic_block_align(&s, &t, &scoring, &params, &config);
+            (
+                clean.regions == faulty.regions,
+                clean.aggregate(),
+                faulty.aggregate(),
+                clean.wall,
+                faulty.wall,
+            )
+        }
+        "preprocess" => {
+            let base = || {
+                let mut config = PreprocessConfig::new(procs);
+                config.band = BandScheme::Balanced(1024.min(s.len().max(1)));
+                config.chunk = ChunkPlan::Fixed(1024.min(t.len().max(1)));
+                config.threshold = params.min_score;
+                config.kernel = opt_kernel(args);
+                config
+            };
+            let clean = preprocess_align(&s, &t, &scoring, &base());
+            let mut config = base();
+            // Crash recovery needs checkpoints; they are also what a
+            // production deployment would run with, so the chaos report
+            // includes their cost.
+            config.checkpoint = true;
+            config.dsm = config.dsm.faults(injector);
+            let faulty = preprocess_align(&s, &t, &scoring, &config);
+            let agg = |per_node: &[genomedsm::dsm::NodeStats]| {
+                let mut a = genomedsm::dsm::NodeStats::default();
+                for st in per_node {
+                    a.merge(st);
+                }
+                a
+            };
+            (
+                clean.result == faulty.result && clean.best_score == faulty.best_score,
+                agg(&clean.per_node),
+                agg(&faulty.per_node),
+                clean.wall,
+                faulty.wall,
+            )
+        }
+        other => {
+            eprintln!("unknown strategy '{other}' (heuristic|blocked|preprocess)");
+            exit(2);
+        }
+    };
+
+    println!(
+        "results: {}",
+        if identical {
+            "BIT-IDENTICAL to fault-free run"
+        } else {
+            "DIVERGED from fault-free run"
+        }
+    );
+    println!(
+        "reliability: {} retransmits, {} duplicates dropped, {} corrupt frames dropped",
+        faulty_stats.retransmits, faulty_stats.dups_dropped, faulty_stats.corrupt_dropped
+    );
+    println!(
+        "traffic: {} msgs / {} KiB fault-free vs {} msgs / {} KiB under faults",
+        clean_stats.msgs_sent,
+        clean_stats.bytes_sent / 1024,
+        faulty_stats.msgs_sent,
+        faulty_stats.bytes_sent / 1024
+    );
+    if faulty_stats.recoveries > 0 {
+        println!(
+            "recovery: {} node crash(es) recovered, {:.2?} total downtime",
+            faulty_stats.recoveries, faulty_stats.recovery_time
+        );
+    }
+    let overhead = faulty_wall.as_secs_f64() / clean_wall.as_secs_f64().max(1e-12) - 1.0;
+    println!(
+        "virtual time: {clean_wall:.2?} fault-free vs {faulty_wall:.2?} under faults \
+         ({:+.1}% overhead)",
+        overhead * 100.0
+    );
+    if !identical {
+        exit(1);
+    }
 }
 
 fn exact(args: &[String]) {

@@ -18,6 +18,9 @@
 //! * [`seq`] — DNA sequence generation with planted homologous regions,
 //!   mutation models, and FASTA I/O.
 //! * [`blast`] — a BlastN-like seed-and-extend baseline.
+//! * [`chaos`] — deterministic fault injection for the DSM transport:
+//!   seeded per-link drop/corrupt/duplicate/reorder plans and scheduled
+//!   fail-stop node crashes.
 //! * [`strategies`] — the paper's three parallel strategies plus the
 //!   phase-2 scattered-mapping global aligner and rayon ports.
 //! * [`dotplot`] — dot-plot visualization of similar regions.
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use genomedsm_blast as blast;
+pub use genomedsm_chaos as chaos;
 pub use genomedsm_core as core;
 pub use genomedsm_dotplot as dotplot;
 pub use genomedsm_dsm as dsm;
@@ -52,6 +56,7 @@ pub use genomedsm_strategies as strategies;
 
 /// Everything needed for the common pipeline in one import.
 pub mod prelude {
+    pub use genomedsm_chaos::{FaultPlan, LinkFaults, SeededFaults};
     pub use genomedsm_core::{
         finalize_queue, heuristic_align, GlobalAlignment, HeuristicParams, LocalRegion, Scoring,
     };
