@@ -53,7 +53,7 @@ fn bench_preprocess(c: &mut Criterion) {
     for nprocs in [1usize, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(nprocs), &nprocs, |b, &p| {
             let config = PreprocessConfig::new(p);
-            b.iter(|| black_box(preprocess_align(&s, &t, &SC, &config)));
+            b.iter(|| black_box(preprocess_align(&s, &t, &SC, &config).unwrap()));
         });
     }
     g.finish();
@@ -66,10 +66,10 @@ fn bench_phase2(c: &mut Criterion) {
     let mut g = c.benchmark_group("phase2_host_time");
     g.sample_size(10);
     g.bench_function("dsm_scattered", |b| {
-        b.iter(|| black_box(phase2_scattered(&s, &t, &regions, &SC, 4)));
+        b.iter(|| black_box(phase2_scattered(&s, &t, &regions, &SC, 4).unwrap()));
     });
     g.bench_function("rayon", |b| {
-        b.iter(|| black_box(phase2_scattered_rayon(&s, &t, &regions, &SC, 4)));
+        b.iter(|| black_box(phase2_scattered_rayon(&s, &t, &regions, &SC, 4).unwrap()));
     });
     g.finish();
 }

@@ -27,6 +27,10 @@
 //!   chaos      reliability sweep: pre-process runs under 0-15% per-link
 //!              drop (plus duplication/reordering and one node crash),
 //!              recording retransmit counts and virtual-time overhead
+//!   takeover   degradation sweep: every strategy run with 0-3 of the
+//!              nodes fail-stopped mid-run, verifying exact-match
+//!              results on the survivors and recording takeover counts
+//!              and the virtual-time cost of each death
 //!   summary    machine-checked repro gate: re-run the key claims and
 //!              print PASS/FAIL per claim
 //!   all        everything above
@@ -115,6 +119,7 @@ fn main() {
         "ablation" => ablation(&args),
         "kernels" => kernels_bench(&args),
         "chaos" => chaos_sweep(&args),
+        "takeover" => takeover_sweep(&args),
         "summary" => summary(&args),
         "all" => {
             table1_fig9_fig10(&args);
@@ -132,6 +137,7 @@ fn main() {
             ablation(&args);
             kernels_bench(&args);
             chaos_sweep(&args);
+            takeover_sweep(&args);
         }
         other => {
             eprintln!("unknown experiment '{other}'\n{HELP}");
@@ -142,7 +148,7 @@ fn main() {
 
 const HELP: &str = "\
 usage: paper <experiment> [--scale N] [--procs 1,2,4,8] [--out DIR]
-experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels chaos summary all\n";
+experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels chaos takeover summary all\n";
 
 /// The serial reference: a 1-node cluster run (virtual time = cells x
 /// calibrated cell cost plus negligible self-messaging), which matches the
@@ -434,10 +440,10 @@ fn fig15(args: &HarnessArgs) {
             t.extend_from_slice(pt.as_bytes());
             regions.push(r);
         }
-        let serial = phase2_scattered(&s, &t, &regions, &SC, 1);
+        let serial = phase2_scattered(&s, &t, &regions, &SC, 1).unwrap();
         let mut row = vec![format!("{count}"), secs(serial.wall)];
         for &p in args.procs.iter().filter(|&&p| p > 1) {
-            let out = phase2_scattered(&s, &t, &regions, &SC, p);
+            let out = phase2_scattered(&s, &t, &regions, &SC, p).unwrap();
             assert_eq!(out.alignments, serial.alignments);
             row.push(format!("{:.2}", speedup(serial.wall, out.wall)));
         }
@@ -457,7 +463,7 @@ fn fig16(args: &HarnessArgs) {
     let len = args.size(50_000).min(8_000);
     let (s, t, _) = workloads::pair(len, 2);
     let phase1 = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(4, 16, 16));
-    let phase2 = phase2_scattered(&s, &t, &phase1.regions, &SC, 4);
+    let phase2 = phase2_scattered(&s, &t, &phase1.regions, &SC, 4).unwrap();
     println!("== Fig. 16: global alignments of two subsequences generated in phase 1 ==\n");
     for ra in phase2.alignments.iter().take(2) {
         println!("{}", render_region_alignment(ra));
@@ -510,7 +516,7 @@ fn fig18_fig19(args: &HarnessArgs) {
         for &p in &args.procs {
             let mut cores = Vec::new();
             for (name, config) in preprocess_configs(args, p) {
-                let out = preprocess_align(&s, &t, &SC, &config);
+                let out = preprocess_align(&s, &t, &SC, &config).unwrap();
                 f19.row(&[
                     format!("{p}"),
                     format!("{len}"),
@@ -592,7 +598,7 @@ fn fig20(args: &HarnessArgs) {
                 if mode != IoMode::None {
                     config.save_dir = Some(dir.clone());
                 }
-                let out = preprocess_align(&s, &t, &SC, &config);
+                let out = preprocess_align(&s, &t, &SC, &config).unwrap();
                 cells.push(secs(out.core_time()));
             }
             tab.row(&cells);
@@ -905,7 +911,7 @@ fn chaos_sweep(args: &HarnessArgs) {
         config.chunk = ChunkPlan::Fixed(args.size(1024));
         config
     };
-    let clean = preprocess_align(&s, &t, &SC, &base_config());
+    let clean = preprocess_align(&s, &t, &SC, &base_config()).unwrap();
 
     let mut tab = Table::new(
         &format!(
@@ -949,7 +955,7 @@ fn chaos_sweep(args: &HarnessArgs) {
         config.dsm = config
             .dsm
             .faults(std::sync::Arc::new(SeededFaults::new(plan, nprocs)));
-        let out = preprocess_align(&s, &t, &SC, &config);
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
         let identical = out.result == clean.result && out.best_score == clean.best_score;
         let mut agg = genomedsm_dsm::NodeStats::default();
         for st in &out.per_node {
@@ -974,6 +980,156 @@ fn chaos_sweep(args: &HarnessArgs) {
     print!("{}", tab.render());
     println!();
     tab.save_csv(&args.artifact("chaos.csv")).expect("csv");
+}
+
+// ---------------------------------------------------------------------
+// Takeover: the graceful-degradation sweep
+// ---------------------------------------------------------------------
+
+/// Runs every phase-1 strategy (and phase 2) with 0–3 of the cluster's
+/// nodes fail-stopped mid-run and verifies the survivors' results match
+/// the fault-free run exactly, recording takeover counts and the
+/// virtual-time cost of each death. The `killed=0` supervised row
+/// measures the supervision layer's fault-free overhead.
+fn takeover_sweep(args: &HarnessArgs) {
+    use genomedsm_strategies::KillPlan;
+    let len = args.size(20_000);
+    let (s, t, _) = workloads::pair(len, 53);
+    let nprocs = (*args.procs.iter().max().expect("procs")).max(4);
+    let max_killed = 3.min(nprocs - 1);
+    let supervise = |dsm: genomedsm_dsm::DsmConfig| dsm.tolerate_failures();
+    // Stagger the fail-stops across work-unit depths so the deaths land
+    // at different stages of the wavefront.
+    let kills = |k: usize, stagger: &[u64]| -> std::sync::Arc<KillPlan> {
+        let mut plan = KillPlan::new();
+        for victim in 1..=k {
+            plan = plan.kill(victim, stagger[(victim - 1) % stagger.len()]);
+        }
+        std::sync::Arc::new(plan)
+    };
+
+    let mut tab = Table::new(
+        &format!("Takeover sweep: {len} bp x {len} bp, {nprocs} nodes, 0-{max_killed} killed"),
+        &[
+            "strategy",
+            "killed",
+            "exact match",
+            "takeovers",
+            "obituaries",
+            "time (s)",
+            "overhead",
+        ],
+    );
+
+    // (strategy name, work-unit stagger, run closure). Each closure runs
+    // its strategy under the given DSM config and returns a result
+    // fingerprint plus aggregated stats and the virtual wall time.
+    type Run<'a> = Box<
+        dyn Fn(Option<std::sync::Arc<KillPlan>>, bool) -> (u64, genomedsm_dsm::NodeStats, Duration)
+            + 'a,
+    >;
+    let fingerprint_regions = |regions: &[LocalRegion]| -> u64 {
+        // Order-sensitive FNV over the region list: any divergence flips it.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for r in regions {
+            for v in [r.s_begin, r.t_begin, r.s_end, r.t_end, r.score as usize] {
+                h ^= v as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    };
+    let agg_of = |per_node: &[genomedsm_dsm::NodeStats]| {
+        let mut agg = genomedsm_dsm::NodeStats::default();
+        for st in per_node {
+            agg.merge(st);
+        }
+        agg
+    };
+
+    let rows = s.len() as u64;
+    let heuristic_stagger = [rows / 20, rows / 10, rows * 3 / 20];
+    let strategies: Vec<(&str, Vec<u64>, Run)> = vec![
+        (
+            "heuristic",
+            heuristic_stagger.to_vec(),
+            Box::new(|plan, tolerant| {
+                let mut config = HeuristicDsmConfig::new(nprocs);
+                if tolerant {
+                    config.dsm = supervise(config.dsm);
+                }
+                if let Some(p) = plan {
+                    config.dsm = config.dsm.faults(p as _);
+                }
+                let out = heuristic_align_dsm(&s, &t, &SC, &params(), &config);
+                (fingerprint_regions(&out.regions), out.aggregate(), out.wall)
+            }),
+        ),
+        (
+            "blocked",
+            vec![5, 9, 13],
+            Box::new(|plan, tolerant| {
+                let mut config = BlockedConfig::new(nprocs, 24, 12);
+                if tolerant {
+                    config.dsm = supervise(config.dsm);
+                }
+                if let Some(p) = plan {
+                    config.dsm = config.dsm.faults(p as _);
+                }
+                let out = heuristic_block_align(&s, &t, &SC, &params(), &config);
+                (fingerprint_regions(&out.regions), out.aggregate(), out.wall)
+            }),
+        ),
+        (
+            "preprocess",
+            vec![3, 5, 7],
+            Box::new(|plan, tolerant| {
+                let mut config = PreprocessConfig::new(nprocs);
+                config.band = BandScheme::Balanced(args.size(1024));
+                config.chunk = ChunkPlan::Fixed(args.size(1024));
+                if tolerant {
+                    config.dsm = supervise(config.dsm);
+                }
+                if let Some(p) = plan {
+                    config.dsm = config.dsm.faults(p as _);
+                }
+                let out = preprocess_align(&s, &t, &SC, &config).expect("preprocess");
+                // Fingerprint the scoreboard and the best score together.
+                let mut h: u64 = 0xcbf29ce484222325 ^ out.best_score as u64;
+                for row in &out.result {
+                    for &v in row {
+                        h ^= v as u64;
+                        h = h.wrapping_mul(0x100000001b3);
+                    }
+                }
+                (h, agg_of(&out.per_node), out.wall)
+            }),
+        ),
+    ];
+
+    for (name, stagger, run) in &strategies {
+        let (clean_fp, _, clean_wall) = run(None, false);
+        for k in 0..=max_killed {
+            let plan = (k > 0).then(|| kills(k, stagger));
+            let (fp, agg, wall) = run(plan, true);
+            tab.row(&[
+                name.to_string(),
+                k.to_string(),
+                if fp == clean_fp { "yes" } else { "NO" }.to_string(),
+                agg.takeovers.to_string(),
+                agg.obituaries.to_string(),
+                secs(wall),
+                format!(
+                    "{:+.1}%",
+                    (wall.as_secs_f64() / clean_wall.as_secs_f64().max(1e-12) - 1.0) * 100.0
+                ),
+            ]);
+            eprintln!("[takeover] {name} killed={k} done");
+        }
+    }
+    print!("{}", tab.render());
+    println!();
+    tab.save_csv(&args.artifact("takeover.csv")).expect("csv");
 }
 
 // ---------------------------------------------------------------------
@@ -1045,8 +1201,8 @@ fn summary(args: &HarnessArgs) {
             s.extend_from_slice(ps.as_bytes());
             t.extend_from_slice(pt.as_bytes());
         }
-        let serial = phase2_scattered(&s, &t, &regions, &SC, 1);
-        let par = phase2_scattered(&s, &t, &regions, &SC, nprocs);
+        let serial = phase2_scattered(&s, &t, &regions, &SC, 1).unwrap();
+        let par = phase2_scattered(&s, &t, &regions, &SC, nprocs).unwrap();
         let sp = speedup(serial.wall, par.wall);
         let lockfree = par.per_node.iter().all(|n| n.lock_cv == Duration::ZERO);
         results.push((
@@ -1069,7 +1225,7 @@ fn summary(args: &HarnessArgs) {
         let mut config = PreprocessConfig::new(nprocs);
         config.band = BandScheme::Balanced(args.size(1024));
         config.chunk = ChunkPlan::Fixed(args.size(1024));
-        let out = preprocess_align(&s, &t, &SC, &config);
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
         let oracle = genomedsm_core::linear::sw_score_linear(&s, &t, &SC, config.threshold);
         results.push((
             "pre-process strategy is exact (§5)",
@@ -1081,7 +1237,7 @@ fn summary(args: &HarnessArgs) {
         let mut io_config = config.clone();
         io_config.io_mode = IoMode::Immediate;
         io_config.save_dir = Some(dir.clone());
-        let with_io = preprocess_align(&s, &t, &SC, &io_config);
+        let with_io = preprocess_align(&s, &t, &SC, &io_config).unwrap();
         let ratio = with_io.core_time().as_secs_f64() / out.core_time().as_secs_f64();
         results.push((
             "column saving costs little (Fig. 20)",
@@ -1172,14 +1328,14 @@ fn summary(args: &HarnessArgs) {
             config.chunk = ChunkPlan::Fixed(args.size(1024));
             config
         };
-        let clean = preprocess_align(&s, &t, &SC, &base());
+        let clean = preprocess_align(&s, &t, &SC, &base()).unwrap();
         let mut config = base();
         config.checkpoint = true;
         config.dsm = config.dsm.faults(std::sync::Arc::new(SeededFaults::new(
             FaultPlan::paper_chaos(4242).with_crash(1 % nprocs, 2),
             nprocs,
         )));
-        let chaotic = preprocess_align(&s, &t, &SC, &config);
+        let chaotic = preprocess_align(&s, &t, &SC, &config).unwrap();
         let identical = chaotic.result == clean.result && chaotic.best_score == clean.best_score;
         let mut agg = genomedsm_dsm::NodeStats::default();
         for st in &chaotic.per_node {
@@ -1194,6 +1350,36 @@ fn summary(args: &HarnessArgs) {
             ),
         ));
         eprintln!("[summary] claim 11 done");
+    }
+
+    // Claim 12: an N−1 run matches the fault-free output exactly — a
+    // node fail-stopped mid-run (never restarted) has its bands adopted
+    // by the survivors through the supervision layer, and the blocked
+    // strategy's candidate regions stay bit-identical.
+    {
+        use genomedsm_strategies::KillPlan;
+        let len = args.size(30_000);
+        let (s, t, _) = workloads::pair(len, 53);
+        let clean =
+            heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(nprocs, 24, 12));
+        let mut config = BlockedConfig::new(nprocs, 24, 12);
+        config.dsm = config
+            .dsm
+            .tolerate_failures()
+            .faults(std::sync::Arc::new(KillPlan::new().kill(1 % nprocs, 7)));
+        let degraded = heuristic_block_align(&s, &t, &SC, &params(), &config);
+        let agg = degraded.aggregate();
+        results.push((
+            "N-1 run matches fault-free output exactly (§5.8 takeover)",
+            degraded.regions == clean.regions && agg.takeovers >= 1 && agg.obituaries > 0,
+            format!(
+                "{} regions, {} takeover(s), {} obituaries",
+                degraded.regions.len(),
+                agg.takeovers,
+                agg.obituaries
+            ),
+        ));
+        eprintln!("[summary] claim 12 done");
     }
 
     let mut table = Table::new(

@@ -184,6 +184,9 @@ const MSG_MIGRATION_NOTICE: u8 = 7;
 const MSG_MIGRATE_OUT: u8 = 8;
 const MSG_ADOPT_PAGE: u8 = 9;
 const MSG_SHUTDOWN: u8 = 10;
+const MSG_HEARTBEAT: u8 = 11;
+const MSG_OBITUARY: u8 = 12;
+const MSG_PROBE_FAILURES: u8 = 13;
 
 /// Encodes a request into a checksummed frame.
 pub fn encode_msg(msg: &Msg) -> Vec<u8> {
@@ -269,6 +272,27 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
         Msg::Shutdown => {
             w = Writer::new(MSG_SHUTDOWN);
         }
+        Msg::Heartbeat { node } => {
+            w = Writer::new(MSG_HEARTBEAT);
+            w.usize(*node);
+        }
+        Msg::Obituary { node } => {
+            w = Writer::new(MSG_OBITUARY);
+            w.usize(*node);
+        }
+        Msg::ProbeFailures {
+            from,
+            cancel_waits,
+            known,
+        } => {
+            w = Writer::new(MSG_PROBE_FAILURES);
+            w.usize(*from);
+            w.u32(u32::from(*cancel_waits));
+            w.u64(known.len() as u64);
+            for n in known {
+                w.usize(*n);
+            }
+        }
     }
     w.finish()
 }
@@ -341,6 +365,19 @@ pub fn decode_msg(frame: &[u8]) -> Result<Msg, DsmError> {
             data: r.bytes()?,
         },
         MSG_SHUTDOWN => Msg::Shutdown,
+        MSG_HEARTBEAT => Msg::Heartbeat { node: r.usize()? },
+        MSG_OBITUARY => Msg::Obituary { node: r.usize()? },
+        MSG_PROBE_FAILURES => {
+            let from = r.usize()?;
+            let cancel_waits = r.u32()? != 0;
+            let k = r.len(8)?;
+            let known = (0..k).map(|_| r.usize()).collect::<Result<_, _>>()?;
+            Msg::ProbeFailures {
+                from,
+                cancel_waits,
+                known,
+            }
+        }
         other => return Err(DsmError::BadTag(other)),
     };
     r.done(msg)
@@ -355,6 +392,8 @@ const REPLY_DIFF_ACK: u8 = 0x81;
 const REPLY_LOCK_GRANTED: u8 = 0x82;
 const REPLY_CV_GRANTED: u8 = 0x83;
 const REPLY_BARRIER_DONE: u8 = 0x84;
+const REPLY_NODE_FAILED: u8 = 0x85;
+const REPLY_FAILURE_REPORT: u8 = 0x86;
 
 /// Encodes a reply into a checksummed frame.
 pub fn encode_reply(reply: &Reply) -> Vec<u8> {
@@ -381,6 +420,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
         Reply::BarrierDone {
             notices,
             migrations,
+            dead,
         } => {
             w = Writer::new(REPLY_BARRIER_DONE);
             w.notices(notices);
@@ -389,6 +429,30 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                 w.u64(*page);
                 w.usize(*to);
             }
+            w.u64(dead.len() as u64);
+            for n in dead {
+                w.usize(*n);
+            }
+        }
+        Reply::NodeFailed { node } => {
+            w = Writer::new(REPLY_NODE_FAILED);
+            w.usize(*node);
+        }
+        Reply::FailureReport {
+            dead,
+            suspects,
+            canceled,
+        } => {
+            w = Writer::new(REPLY_FAILURE_REPORT);
+            w.u64(dead.len() as u64);
+            for n in dead {
+                w.usize(*n);
+            }
+            w.u64(suspects.len() as u64);
+            for n in suspects {
+                w.usize(*n);
+            }
+            w.u32(u32::from(*canceled));
         }
     }
     w.finish()
@@ -424,9 +488,24 @@ pub fn decode_reply(frame: &[u8]) -> Result<Reply, DsmError> {
             let migrations = (0..n)
                 .map(|_| Ok((r.u64()?, r.usize()?)))
                 .collect::<Result<_, DsmError>>()?;
+            let d = r.len(8)?;
+            let dead = (0..d).map(|_| r.usize()).collect::<Result<_, _>>()?;
             Reply::BarrierDone {
                 notices,
                 migrations,
+                dead,
+            }
+        }
+        REPLY_NODE_FAILED => Reply::NodeFailed { node: r.usize()? },
+        REPLY_FAILURE_REPORT => {
+            let n = r.len(8)?;
+            let dead = (0..n).map(|_| r.usize()).collect::<Result<_, _>>()?;
+            let s = r.len(8)?;
+            let suspects = (0..s).map(|_| r.usize()).collect::<Result<_, _>>()?;
+            Reply::FailureReport {
+                dead,
+                suspects,
+                canceled: r.u32()? != 0,
             }
         }
         other => return Err(DsmError::BadTag(other)),
@@ -469,6 +548,36 @@ mod tests {
                     "flip {flip:#x} at byte {i} went undetected"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn supervision_frames_roundtrip() {
+        for m in [
+            Msg::Heartbeat { node: 5 },
+            Msg::Obituary { node: 2 },
+            Msg::ProbeFailures {
+                from: 7,
+                cancel_waits: true,
+                known: vec![1, 3],
+            },
+        ] {
+            assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
+        }
+        for r in [
+            Reply::NodeFailed { node: 4 },
+            Reply::FailureReport {
+                dead: vec![1, 6],
+                suspects: vec![3],
+                canceled: false,
+            },
+            Reply::BarrierDone {
+                notices: vec![],
+                migrations: vec![(3, 1)],
+                dead: vec![2],
+            },
+        ] {
+            assert_eq!(decode_reply(&encode_reply(&r)).unwrap(), r);
         }
     }
 

@@ -2,6 +2,40 @@
 
 use crate::net::{FaultInjector, NetworkModel, RetransmitPolicy};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Cluster supervision: failure detection, lock-lease recovery, and
+/// waiter wake-up (ISSUE 3).
+///
+/// When enabled, workers piggyback heartbeats on their daemon traffic, a
+/// fail-stopped node's obituary breaks its lock leases and wakes blocked
+/// cv waiters with [`crate::DsmError::NodeFailed`], barriers complete over
+/// the surviving nodes, and a host-time stall watchdog probes for
+/// failures when a waiter makes no progress. When disabled (the default)
+/// none of these paths run, so a fault-free run pays nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// Master switch for the supervision layer.
+    pub enabled: bool,
+    /// Virtual-time detection latency: how long after a node's last
+    /// heartbeat the failure detector declares it suspect. Obituaries are
+    /// stamped `death time + detect_after` to model the timeout firing.
+    pub detect_after: Duration,
+    /// Host-time stall watchdog: a blocked cv waiter that sees no reply
+    /// for this long sends a `ProbeFailures` to its manager (lost-signal
+    /// / live-lock backstop).
+    pub watchdog: Duration,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            detect_after: Duration::from_millis(100),
+            watchdog: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Configuration of a [`crate::DsmSystem`] run.
 #[derive(Debug, Clone)]
@@ -34,6 +68,9 @@ pub struct DsmConfig {
     /// Timeout/backoff policy of the reliability sublayer; only exercised
     /// when `faults` is set.
     pub retransmit: RetransmitPolicy,
+    /// Cluster supervision layer (failure detection + recovery). Disabled
+    /// by default.
+    pub supervision: SupervisionConfig,
 }
 
 impl DsmConfig {
@@ -51,6 +88,7 @@ impl DsmConfig {
             home_migration: false,
             faults: None,
             retransmit: RetransmitPolicy::default(),
+            supervision: SupervisionConfig::default(),
         }
     }
 
@@ -100,6 +138,20 @@ impl DsmConfig {
     pub fn retransmit(mut self, policy: RetransmitPolicy) -> Self {
         assert!(policy.max_attempts >= 1, "need at least one attempt");
         self.retransmit = policy;
+        self
+    }
+
+    /// Enables the cluster supervision layer with default timings
+    /// (failure detection, lock-lease break, waiter wake-up, surviving
+    /// barriers).
+    pub fn tolerate_failures(mut self) -> Self {
+        self.supervision.enabled = true;
+        self
+    }
+
+    /// Overrides the supervision layer configuration.
+    pub fn supervise(mut self, supervision: SupervisionConfig) -> Self {
+        self.supervision = supervision;
         self
     }
 

@@ -24,6 +24,7 @@
 //! exactly where a real cluster's would (modulo the cost model).
 
 use crate::codec;
+use crate::config::SupervisionConfig;
 use crate::msg::{Envelope, Msg, Notice, Patch, Reply, ReplyEnvelope, SYSTEM_SRC};
 use crate::net::{
     FaultInjector, LinkMsg, NetworkModel, RetransmitPolicy, TransmitFate, CHAN_DAEMON,
@@ -31,7 +32,7 @@ use crate::net::{
 use crate::page::apply_patches;
 use crate::stats::DaemonStats;
 use crossbeam::channel::{Receiver, Sender};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -113,6 +114,14 @@ pub struct Daemon {
     daemon_seq: Vec<u64>,
     /// Transport counters, returned by [`Daemon::run`].
     stats: DaemonStats,
+    /// Supervision layer configuration (failure detection + recovery).
+    supervision: SupervisionConfig,
+    /// Nodes this daemon has seen obituaries for (the failure detector's
+    /// confirmed-dead set; ordered so reports are deterministic).
+    dead: BTreeSet<usize>,
+    /// Heartbeat gossip table: virtual time each node was last heard
+    /// from (heartbeats plus any request traffic).
+    last_heard: Vec<Duration>,
 }
 
 impl Daemon {
@@ -129,6 +138,7 @@ impl Daemon {
         daemon_tx: Vec<Sender<Envelope>>,
         faults: Option<Arc<dyn FaultInjector>>,
         retransmit: RetransmitPolicy,
+        supervision: SupervisionConfig,
     ) -> Self {
         Self {
             id,
@@ -152,6 +162,9 @@ impl Daemon {
             reply_cache: HashMap::new(),
             daemon_seq: vec![0; nprocs],
             stats: DaemonStats::default(),
+            supervision,
+            dead: BTreeSet::new(),
+            last_heard: vec![Duration::ZERO; nprocs],
         }
     }
 
@@ -352,6 +365,10 @@ impl Daemon {
             src,
             seq: rseq,
         } = env;
+        if self.supervision.enabled && src < self.nprocs {
+            // Heartbeat gossip piggybacks on every worker request.
+            self.last_heard[src] = self.last_heard[src].max(arrive);
+        }
         match msg {
             Msg::GetPage { page, from, epoch } => {
                 if self.must_park(page, epoch) {
@@ -427,6 +444,17 @@ impl Daemon {
                 self.drain_parked(arrive);
             }
             Msg::Shutdown => unreachable!("handled by run()"),
+            Msg::Heartbeat { node } => {
+                if node < self.nprocs {
+                    self.last_heard[node] = self.last_heard[node].max(arrive);
+                }
+            }
+            Msg::Obituary { node } => self.handle_obituary(node, arrive),
+            Msg::ProbeFailures {
+                from,
+                cancel_waits,
+                known,
+            } => self.handle_probe(from, cancel_waits, &known, arrive, rseq),
         }
     }
 
@@ -538,7 +566,22 @@ impl Daemon {
         self.barrier.arrived.push((from, rseq));
         self.barrier.notices.extend(notices);
         self.barrier.latest = self.barrier.latest.max(arrive);
-        if self.barrier.arrived.len() == self.nprocs {
+        self.maybe_finish_barrier();
+    }
+
+    /// Completes the barrier round once every node has either arrived or
+    /// been declared dead (the supervision layer's "barrier over the
+    /// survivors" rule; with an empty dead set this is the plain
+    /// all-arrived barrier).
+    fn maybe_finish_barrier(&mut self) {
+        let missing_dead = self
+            .dead
+            .iter()
+            .filter(|d| !self.barrier.arrived.iter().any(|(n, _)| n == *d))
+            .count();
+        if !self.barrier.arrived.is_empty()
+            && self.barrier.arrived.len() + missing_dead >= self.nprocs
+        {
             let round = std::mem::take(&mut self.barrier);
             // Deduplicate by (page, writer): a node must invalidate a page
             // another node wrote even if it wrote the page itself (its
@@ -571,6 +614,7 @@ impl Daemon {
                     .expect("migration decided from a notice");
                 self.send_daemon(old, round.latest, Msg::MigrateOut { page, to });
             }
+            let dead: Vec<usize> = self.dead.iter().copied().collect();
             for (node, rseq) in round.arrived {
                 self.reply(
                     node,
@@ -579,10 +623,127 @@ impl Daemon {
                     Reply::BarrierDone {
                         notices: notices.clone(),
                         migrations: migrations.clone(),
+                        dead: dead.clone(),
                     },
                 );
             }
         }
+    }
+
+    /// Processes a death notice: records the node as dead, breaks its
+    /// lock leases (granting the next waiter from the last released
+    /// state), removes its queued lock/cv waits, wakes every remaining cv
+    /// waiter with [`Reply::NodeFailed`] so blocked survivors can unwind
+    /// into recovery, and re-checks the barrier over the survivors.
+    fn handle_obituary(&mut self, node: usize, arrive: Duration) {
+        if !self.dead.insert(node) {
+            return;
+        }
+        self.stats.obituaries += 1;
+        // Lease break: a lock held by the dead node is released on its
+        // behalf. The notices of its *completed* release intervals are
+        // already in the lock history, so the next grant replays the last
+        // released state; writes of the interrupted critical section are
+        // lost, which is exactly fail-stop semantics.
+        let lock_ids: Vec<u32> = self.locks.keys().copied().collect();
+        for lock in lock_ids {
+            let st = self.locks.get_mut(&lock).expect("lock exists");
+            st.waiters.retain(|&(n, ..)| n != node);
+            if st.holder == Some(node) {
+                st.holder = None;
+                st.free_at = st.free_at.max(arrive);
+                self.stats.leases_broken += 1;
+                let st = self.locks.get_mut(&lock).expect("lock exists");
+                if let Some((next, last_seq, req_arrive, rseq)) = st.waiters.pop_front() {
+                    st.holder = Some(next);
+                    let granted = Self::notices_since(&st.history, last_seq);
+                    let seq = st.next_seq;
+                    let when = req_arrive.max(st.free_at);
+                    self.reply(
+                        next,
+                        when,
+                        rseq,
+                        Reply::LockGranted {
+                            notices: granted,
+                            seq,
+                        },
+                    );
+                }
+            }
+        }
+        // Wake every parked cv waiter with NodeFailed: their signal may
+        // have died with the node. Pending (unconsumed) signals are kept,
+        // so a survivor that re-waits loses nothing.
+        let cv_ids: Vec<u32> = self.cvs.keys().copied().collect();
+        for cv in cv_ids {
+            let st = self.cvs.get_mut(&cv).expect("cv exists");
+            st.waiters.retain(|&(n, ..)| n != node);
+            let woken: Vec<(usize, u64, Duration, u64)> = std::mem::take(&mut st.waiters).into();
+            for (waiter, _last_seq, wait_arrive, rseq) in woken {
+                self.stats.waiters_woken += 1;
+                self.reply(
+                    waiter,
+                    wait_arrive.max(arrive),
+                    rseq,
+                    Reply::NodeFailed { node },
+                );
+            }
+        }
+        if self.id == 0 {
+            self.barrier.latest = self.barrier.latest.max(arrive);
+            self.maybe_finish_barrier();
+        }
+    }
+
+    /// Answers a failure-detector query. Suspicion state: confirmed-dead
+    /// nodes (obituaries) plus nodes whose last heartbeat is older than
+    /// `detect_after` relative to the probe. If `cancel_waits` is set and
+    /// there are confirmed deaths the prober has *not* listed in `known`,
+    /// the prober's parked cv waits on this daemon are cancelled so it can
+    /// unwind into recovery instead of re-blocking. Already-known deaths
+    /// never cancel: a survivor that adopted the dead node's work may
+    /// legitimately block again on the same cvs.
+    fn handle_probe(
+        &mut self,
+        from: usize,
+        cancel_waits: bool,
+        known: &[usize],
+        arrive: Duration,
+        rseq: u64,
+    ) {
+        let dead: Vec<usize> = self.dead.iter().copied().collect();
+        let mut suspects: Vec<usize> = self
+            .last_heard
+            .iter()
+            .enumerate()
+            .filter(|&(n, &heard)| {
+                n != from
+                    && !self.dead.contains(&n)
+                    && heard > Duration::ZERO
+                    && heard + self.supervision.detect_after < arrive
+            })
+            .map(|(n, _)| n)
+            .collect();
+        suspects.sort_unstable();
+        let mut canceled = false;
+        let new_death = self.dead.iter().any(|n| !known.contains(n));
+        if cancel_waits && new_death {
+            for st in self.cvs.values_mut() {
+                let before = st.waiters.len();
+                st.waiters.retain(|&(n, ..)| n != from);
+                canceled |= st.waiters.len() != before;
+            }
+        }
+        self.reply(
+            from,
+            arrive,
+            rseq,
+            Reply::FailureReport {
+                dead,
+                suspects,
+                canceled,
+            },
+        );
     }
 }
 

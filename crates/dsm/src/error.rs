@@ -46,6 +46,13 @@ pub enum DsmError {
     },
     /// A peer endpoint (daemon inbox or worker reply channel) is closed.
     Disconnected(&'static str),
+    /// A cluster node was declared dead by the failure detector. Surfaced
+    /// to blocked waiters (lock/cv/barrier) so the application can take
+    /// over the dead node's work instead of deadlocking.
+    NodeFailed {
+        /// The node declared dead.
+        node: usize,
+    },
 }
 
 impl fmt::Display for DsmError {
@@ -68,6 +75,7 @@ impl fmt::Display for DsmError {
                 write!(f, "{extra} trailing bytes after a complete frame")
             }
             DsmError::Disconnected(what) => write!(f, "transport disconnected: {what}"),
+            DsmError::NodeFailed { node } => write!(f, "node {node} declared failed"),
         }
     }
 }
@@ -86,5 +94,8 @@ mod tests {
         assert!(DsmError::Truncated { need: 8, have: 3 }
             .to_string()
             .contains("need 8"));
+        assert!(DsmError::NodeFailed { node: 3 }
+            .to_string()
+            .contains("node 3"));
     }
 }

@@ -68,7 +68,7 @@ pub mod stats;
 pub mod system;
 pub mod vec;
 
-pub use config::DsmConfig;
+pub use config::{DsmConfig, SupervisionConfig};
 pub use error::DsmError;
 pub use net::{
     FaultInjector, LinkMsg, NetworkModel, RetransmitPolicy, TransmitFate, CHAN_DAEMON, CHAN_REPLY,

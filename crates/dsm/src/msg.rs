@@ -169,6 +169,38 @@ pub enum Msg {
     },
     /// Stop the daemon (end of the run).
     Shutdown,
+    /// Liveness heartbeat (worker → its local daemon, piggybacked on the
+    /// work loop at unit boundaries). Updates the daemon's `last_heard`
+    /// gossip table entry for `node`.
+    Heartbeat {
+        /// The node asserting liveness.
+        node: usize,
+    },
+    /// Authoritative death notice for `node`, broadcast to every daemon by
+    /// a fail-stopping worker (cooperative fail-stop) — the simulation
+    /// analogue of every manager's timeout detector firing. The receiving
+    /// daemon breaks `node`'s lock leases, removes its queued waits, wakes
+    /// remaining cv waiters with [`Reply::NodeFailed`], and completes
+    /// barriers over the survivors.
+    Obituary {
+        /// The node declared dead.
+        node: usize,
+    },
+    /// Explicit failure-detector query (stall watchdog, or a survivor
+    /// refreshing its dead-set). The daemon answers with
+    /// [`Reply::FailureReport`]; if `cancel_waits` is set and dead nodes
+    /// *not already in `known`* exist, the prober's parked cv waits on
+    /// this daemon are cancelled so it can unwind into recovery. Deaths
+    /// the prober lists in `known` never cancel — a survivor that has
+    /// already adopted the dead node's work may legitimately block again.
+    ProbeFailures {
+        /// The probing node.
+        from: usize,
+        /// Cancel the prober's parked cv waits when *new* failures exist.
+        cancel_waits: bool,
+        /// Deaths the prober already recovered from (sorted).
+        known: Vec<usize>,
+    },
 }
 
 /// Replies delivered to a worker's reply channel.
@@ -205,6 +237,27 @@ pub enum Reply {
         /// Home migrations decided this round (page, new home); empty
         /// unless migration is enabled.
         migrations: Vec<(u64, usize)>,
+        /// Nodes declared dead as of this round; the barrier completed
+        /// over the survivors. Empty on a healthy run.
+        dead: Vec<usize>,
+    },
+    /// A blocked wait was cancelled because a node was declared dead
+    /// (lease break / cv wake-up path of the supervision layer).
+    NodeFailed {
+        /// The dead node that triggered the wake-up.
+        node: usize,
+    },
+    /// Failure-detector state (ProbeFailures response).
+    FailureReport {
+        /// Nodes this daemon has seen obituaries for (sorted; confirmed
+        /// dead — recovery acts on these).
+        dead: Vec<usize>,
+        /// Nodes whose last heartbeat is stale beyond `detect_after`
+        /// (sorted; advisory suspicion — may include slow-but-alive
+        /// nodes, so recovery never acts on suspicion alone).
+        suspects: Vec<usize>,
+        /// Whether the prober's parked cv waits were cancelled.
+        canceled: bool,
     },
 }
 
@@ -224,6 +277,9 @@ impl Msg {
             Msg::MigrateOut { .. } => HDR,
             Msg::AdoptPage { data, .. } => HDR + data.len(),
             Msg::Shutdown => HDR,
+            Msg::Heartbeat { .. } => HDR,
+            Msg::Obituary { .. } => HDR,
+            Msg::ProbeFailures { known, .. } => HDR + known.len() * 4,
         }
     }
 }
@@ -241,7 +297,12 @@ impl Reply {
             Reply::BarrierDone {
                 notices,
                 migrations,
-            } => HDR + notices.len() * 12 + migrations.len() * 12,
+                dead,
+            } => HDR + notices.len() * 12 + migrations.len() * 12 + dead.len() * 4,
+            Reply::NodeFailed { .. } => HDR,
+            Reply::FailureReport { dead, suspects, .. } => {
+                HDR + dead.len() * 4 + suspects.len() * 4
+            }
         }
     }
 }

@@ -51,6 +51,16 @@ pub struct NodeStats {
     /// separately; within Fig. 10 it is part of the derived computation
     /// remainder.
     pub recovery_time: Duration,
+    /// Heartbeats sent to the local daemon (supervision layer).
+    pub heartbeats: u64,
+    /// Dead-node work units this node adopted and re-executed.
+    pub takeovers: u64,
+    /// Lock leases this machine's daemon broke for dead holders.
+    pub leases_broken: u64,
+    /// Obituaries this machine's daemon processed.
+    pub obituaries: u64,
+    /// Cv waiters this machine's daemon woke with `NodeFailed`.
+    pub waiters_woken: u64,
 }
 
 impl NodeStats {
@@ -93,6 +103,11 @@ impl NodeStats {
         self.corrupt_dropped += other.corrupt_dropped;
         self.recoveries += other.recoveries;
         self.recovery_time += other.recovery_time;
+        self.heartbeats += other.heartbeats;
+        self.takeovers += other.takeovers;
+        self.leases_broken += other.leases_broken;
+        self.obituaries += other.obituaries;
+        self.waiters_woken += other.waiters_woken;
     }
 
     /// Folds a daemon's transport counters into this (same-machine)
@@ -102,6 +117,9 @@ impl NodeStats {
         self.retransmits += d.retransmits;
         self.dups_dropped += d.dups_dropped;
         self.corrupt_dropped += d.corrupt_dropped;
+        self.leases_broken += d.leases_broken;
+        self.obituaries += d.obituaries;
+        self.waiters_woken += d.waiters_woken;
     }
 }
 
@@ -118,6 +136,12 @@ pub struct DaemonStats {
     pub dups_dropped: u64,
     /// Frames rejected by the wire-codec checksum.
     pub corrupt_dropped: u64,
+    /// Lock leases broken because their holder was declared dead.
+    pub leases_broken: u64,
+    /// Obituaries processed (one per dead node per daemon).
+    pub obituaries: u64,
+    /// Blocked cv waiters woken with `NodeFailed` by obituary handling.
+    pub waiters_woken: u64,
 }
 
 /// Fractional breakdown over a set of nodes: category sums divided by the

@@ -88,6 +88,7 @@ impl DsmSystem {
                     daemon_tx.clone(),
                     config.faults.clone(),
                     config.retransmit,
+                    config.supervision,
                 );
                 daemon_handles.push(scope.spawn(move || daemon.run()));
             }

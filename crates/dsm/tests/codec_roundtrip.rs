@@ -85,6 +85,18 @@ fn all_msgs() -> Vec<Msg> {
             data: vec![7; 4096],
         },
         Msg::Shutdown,
+        Msg::Heartbeat { node: 3 },
+        Msg::Obituary { node: 7 },
+        Msg::ProbeFailures {
+            from: 1,
+            cancel_waits: true,
+            known: vec![2, 4],
+        },
+        Msg::ProbeFailures {
+            from: 0,
+            cancel_waits: false,
+            known: vec![],
+        },
     ]
 }
 
@@ -111,6 +123,23 @@ fn all_replies() -> Vec<Reply> {
         Reply::BarrierDone {
             notices: notices(),
             migrations: vec![(5, 1), (u64::MAX, 7)],
+            dead: vec![],
+        },
+        Reply::BarrierDone {
+            notices: vec![],
+            migrations: vec![],
+            dead: vec![2, 5],
+        },
+        Reply::NodeFailed { node: 6 },
+        Reply::FailureReport {
+            dead: vec![1, 4],
+            suspects: vec![2],
+            canceled: true,
+        },
+        Reply::FailureReport {
+            dead: vec![],
+            suspects: vec![],
+            canceled: false,
         },
     ]
 }

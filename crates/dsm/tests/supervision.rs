@@ -1,0 +1,198 @@
+//! Supervision-layer coverage at the DSM level: a fail-stopped node's
+//! obituary must break its lock leases (granting the next waiter the
+//! last *released* state), wake blocked cv waiters with a typed
+//! `NodeFailed` instead of deadlocking, complete barriers over the
+//! survivors, and surface heartbeat-staleness suspicion on probes.
+
+use genomedsm_dsm::{DsmConfig, DsmError, DsmSystem, SupervisionConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn supervised(nprocs: usize) -> DsmConfig {
+    DsmConfig::new(nprocs).supervise(SupervisionConfig {
+        enabled: true,
+        detect_after: Duration::from_millis(100),
+        watchdog: Duration::from_millis(500),
+    })
+}
+
+#[test]
+fn dead_lock_holder_lease_is_broken_and_survivors_finish() {
+    // Node 1 fail-stops *while holding* lock 0. Without supervision every
+    // other node deadlocks in acquire; with it, the manager breaks the
+    // lease and grants the next waiter. The dead node's unreleased
+    // critical-section write is lost (fail-stop), so the counter ends at
+    // the survivors' total.
+    let run = DsmSystem::run(supervised(4), |node| {
+        let counter = node.alloc_vec::<i64>(1);
+        node.barrier();
+        for round in 0..3 {
+            if node.id() == 1 && round == 1 {
+                node.lock(0);
+                let v = node.vec_get(&counter, 0);
+                node.vec_set(&counter, 0, v + 1);
+                // Dies inside the critical section: no release, no flush.
+                node.fail_stop();
+                return -1;
+            }
+            node.lock(0);
+            let v = node.vec_get(&counter, 0);
+            node.vec_set(&counter, 0, v + 1);
+            node.unlock(0);
+        }
+        let dead = node.barrier_wait();
+        assert_eq!(dead, vec![1], "round's dead set is reported");
+        node.lock(0);
+        let v = node.vec_get(&counter, 0);
+        node.unlock(0);
+        v
+    });
+    // 3 survivors × 3 rounds, plus node 1's completed round 0; its
+    // unflushed round-1 increment is lost with the broken lease.
+    for (id, v) in run.results.iter().enumerate() {
+        if id == 1 {
+            assert_eq!(*v, -1);
+        } else {
+            assert_eq!(*v, 10, "node {id} saw a wrong final count");
+        }
+    }
+    let total: u64 = run.stats.iter().map(|s| s.leases_broken).sum();
+    assert_eq!(total, 1, "exactly one lease break");
+    assert_eq!(run.stats.iter().map(|s| s.obituaries).sum::<u64>(), 4);
+}
+
+#[test]
+fn blocked_cv_waiter_is_woken_with_typed_node_failed() {
+    // Node 0 waits on a cv that only node 1 would signal; node 1 dies
+    // after the wait is registered. The waiter must unwind with
+    // DsmError::NodeFailed, not hang. The flag + sleep order the WaitCv
+    // frame ahead of the obituary at cv 7's manager so the obituary
+    // wake-up path (not the slower probe watchdog) is exercised.
+    let parked = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&parked);
+    let run = DsmSystem::run(supervised(2), move |node| {
+        node.barrier();
+        if node.id() == 1 {
+            while !flag.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            node.fail_stop();
+            return 0;
+        }
+        flag.store(true, Ordering::Release);
+        match node.try_waitcv(7) {
+            Err(DsmError::NodeFailed { node: dead }) => {
+                assert_eq!(dead, 1);
+                assert_eq!(node.known_dead(), vec![1]);
+                1
+            }
+            other => panic!("expected NodeFailed, got {other:?}"),
+        }
+    });
+    assert_eq!(run.results[0], 1);
+    assert!(run.stats.iter().map(|s| s.waiters_woken).sum::<u64>() >= 1);
+}
+
+#[test]
+fn pending_signals_survive_a_node_failed_wakeup() {
+    // Counting semantics across recovery: a signal sent before the death
+    // wake-up is not lost — a re-wait after the NodeFailed consumes it.
+    let run = DsmSystem::run(supervised(3), |node| {
+        node.barrier();
+        match node.id() {
+            2 => {
+                node.fail_stop();
+                0
+            }
+            1 => {
+                // Signal once, then park on a cv nobody signals; the
+                // obituary wake-up must not consume cv 0's pending signal.
+                node.setcv(0);
+                match node.try_waitcv(5) {
+                    Err(DsmError::NodeFailed { .. }) => {}
+                    other => panic!("expected NodeFailed, got {other:?}"),
+                }
+                1
+            }
+            _ => {
+                // Consume the pending signal, possibly after a NodeFailed
+                // wake-up raced it.
+                loop {
+                    match node.try_waitcv(0) {
+                        Ok(()) => break,
+                        Err(DsmError::NodeFailed { .. }) => continue,
+                        Err(other) => panic!("unexpected {other:?}"),
+                    }
+                }
+                2
+            }
+        }
+    });
+    assert_eq!(run.results, vec![2, 1, 0]);
+}
+
+#[test]
+fn barrier_completes_over_survivors_and_reports_dead() {
+    let run = DsmSystem::run(supervised(4), |node| {
+        node.barrier();
+        if node.id() == 3 {
+            node.fail_stop();
+            return Vec::new();
+        }
+        // The dead node never arrives; survivors still pass.
+        node.barrier_wait()
+    });
+    for id in 0..3 {
+        assert_eq!(run.results[id], vec![3]);
+    }
+}
+
+#[test]
+fn stale_heartbeats_surface_as_suspicion_not_death() {
+    let run = DsmSystem::run(supervised(2), |node| {
+        let v = node.alloc_vec::<i64>(1);
+        if node.id() == 1 {
+            // Touch node 0's daemon early (heartbeat gossip piggybacks
+            // on request traffic), then go silent.
+            let _ = node.vec_get(&v, 0);
+        }
+        node.barrier();
+        if node.id() == 0 {
+            // Virtually long after node 1's last contact with daemon 0.
+            node.advance(Duration::from_secs(1));
+            let suspects = node.probe_suspects();
+            assert_eq!(suspects, vec![1], "stale node 1 must be suspected");
+            assert!(node.known_dead().is_empty(), "suspicion is not death");
+        }
+        node.barrier();
+        node.id() as i64
+    });
+    assert_eq!(run.results, vec![0, 1]);
+}
+
+#[test]
+fn heartbeats_are_counted_and_free_of_failures() {
+    let run = DsmSystem::run(supervised(2), |node| {
+        for _ in 0..5 {
+            node.heartbeat();
+        }
+        node.barrier();
+        0
+    });
+    assert_eq!(run.stats.iter().map(|s| s.heartbeats).sum::<u64>(), 10);
+    assert_eq!(run.stats.iter().map(|s| s.obituaries).sum::<u64>(), 0);
+}
+
+#[test]
+fn unsupervised_runs_pay_nothing() {
+    // With supervision disabled (the default), no heartbeats are sent
+    // and the sync ops take the plain blocking path.
+    let run = DsmSystem::run(DsmConfig::new(2), |node| {
+        node.heartbeat(); // no-op
+        node.barrier();
+        node.id()
+    });
+    assert_eq!(run.stats.iter().map(|s| s.heartbeats).sum::<u64>(), 0);
+}

@@ -15,11 +15,12 @@
 //! Table 3's *blocking multiplier* `a × h` maps to `blocks = a·P` and
 //! `bands = h·P`.
 
+use crate::checkpoint::{run_with_takeover, FlowChannel, Ledger};
 use crate::hcell_data::HCellData;
 use crate::ring::ChunkRing;
 use crate::Phase1Outcome;
 use genomedsm_core::{finalize_queue, HCell, HeuristicParams, LocalRegion, RowKernel, Scoring};
-use genomedsm_dsm::{DsmConfig, DsmSystem, Node};
+use genomedsm_dsm::{DsmConfig, DsmError, DsmSystem, Node};
 use std::time::Instant;
 
 /// How the matrix is cut into bands and blocks.
@@ -186,6 +187,19 @@ pub fn heuristic_block_align(
         .unwrap_or(1);
 
     let run = DsmSystem::run(config.dsm.clone(), |node: &mut Node| {
+        if node.supervised() {
+            return tolerant_worker(
+                node,
+                &kernel,
+                s,
+                t,
+                band_bounds,
+                block_bounds,
+                nprocs,
+                max_chunk,
+                cell_cost,
+            );
+        }
         let p = node.id();
         // One ring per ordered neighbour pair (q -> q+1 mod P); ring `q`
         // is produced by q. Capacity = one band of blocks, so a producer
@@ -271,6 +285,158 @@ pub fn heuristic_block_align(
         wall,
         host_wall: t0.elapsed(),
     }
+}
+
+/// Strategy 2 worker in tolerant mode (supervision enabled): border
+/// chunks flow through a per-role [`Ledger`] log instead of ring slots.
+/// A role here is a node's cyclic band set; a surviving node adopts a
+/// dead role and re-executes its bands, replaying recorded chunks. The
+/// plain path above is untouched when supervision is off.
+#[allow(clippy::too_many_arguments)]
+fn tolerant_worker(
+    node: &mut Node,
+    kernel: &RowKernel,
+    s: &[u8],
+    t: &[u8],
+    band_bounds: &[(usize, usize)],
+    block_bounds: &[(usize, usize)],
+    nprocs: usize,
+    max_chunk: usize,
+    cell_cost: std::time::Duration,
+) -> Vec<LocalRegion> {
+    let bands = band_bounds.len();
+    let blocks = block_bounds.len();
+    // Role r pushes at most one chunk per block of each of its bands.
+    let log_entries = bands.div_ceil(nprocs) * blocks;
+    let ledger = Ledger::<HCellData>::new(node, nprocs, log_entries, max_chunk);
+    node.barrier();
+    let crash_at = node.crash_point();
+    let mut units = 0u64;
+
+    let pieces = run_with_takeover(node, nprocs, |node, execute, resume, queue| {
+        run_bands(
+            node,
+            &ledger,
+            kernel,
+            s,
+            t,
+            band_bounds,
+            block_bounds,
+            nprocs,
+            cell_cost,
+            execute,
+            resume,
+            crash_at,
+            &mut units,
+            queue,
+        )
+    });
+    match pieces {
+        Some(qs) => qs.into_iter().flatten().collect(),
+        None => Vec::new(), // this worker fail-stopped
+    }
+}
+
+/// Executes every band whose role is in `execute`, in ascending band
+/// order — the wavefront order: band `b` consumes only band `b-1`'s
+/// chunks, which are either recorded earlier in this very loop (internal
+/// role) or produced in real time by a live external role.
+#[allow(clippy::too_many_arguments)]
+fn run_bands(
+    node: &mut Node,
+    ledger: &Ledger<HCellData>,
+    kernel: &RowKernel,
+    s: &[u8],
+    t: &[u8],
+    band_bounds: &[(usize, usize)],
+    block_bounds: &[(usize, usize)],
+    nprocs: usize,
+    cell_cost: std::time::Duration,
+    execute: &[usize],
+    resume: bool,
+    crash_at: Option<u64>,
+    units: &mut u64,
+    queue: &mut Vec<LocalRegion>,
+) -> Result<(), DsmError> {
+    let m = s.len();
+    let n = t.len();
+    let bands = band_bounds.len();
+    let blocks = block_bounds.len();
+    // Ring q carries chunks from role q to role (q+1) mod P.
+    let mut channels: Vec<FlowChannel> = (0..nprocs)
+        .map(|q| {
+            FlowChannel::new(
+                node,
+                ledger,
+                q,
+                (q + 1) % nprocs,
+                (2 * q) as u32,
+                (2 * q + 1) as u32,
+                blocks as u64,
+                resume,
+            )
+        })
+        .collect();
+    // Per-role running chunk ordinals (pops and pushes are dense within
+    // a role: every band but the first pops, every band but the last
+    // pushes, in ascending band order).
+    let mut pops = vec![0u64; nprocs];
+    let mut pushes = vec![0u64; nprocs];
+    for band in 0..bands {
+        let role = band % nprocs;
+        if !execute.contains(&role) {
+            continue;
+        }
+        let in_ring = (role + nprocs - 1) % nprocs;
+        let (i0, i1) = band_bounds[band];
+        let h = (i1 + 1).saturating_sub(i0);
+        let mut left_col = vec![HCell::fresh(); h + 1];
+        for k in 0..blocks {
+            let (c_lo, c_hi) = block_bounds[k];
+            let width = (c_hi + 1).saturating_sub(c_lo);
+            let top: Vec<HCell> = if band == 0 {
+                vec![HCell::fresh(); width + 1]
+            } else {
+                let ord = pops[role];
+                pops[role] += 1;
+                channels[in_ring]
+                    .consume(node, ledger, execute, ord, width + 1)?
+                    .into_iter()
+                    .map(HCell::from)
+                    .collect()
+            };
+            let bottom =
+                process_block(kernel, s, t, i0, i1, c_lo, width, top, &mut left_col, queue);
+            node.advance(crate::costs::cells(cell_cost, h * width));
+            *units += 1;
+            if crash_at == Some(*units) {
+                node.fail_stop();
+                return Err(DsmError::Disconnected("injected fail-stop"));
+            }
+            if (*units).is_multiple_of(64) {
+                node.heartbeat();
+            }
+            if k + 1 == blocks {
+                for r in 1..=h {
+                    kernel.flush_open(&left_col[r], i0 + r - 1, n, queue);
+                }
+            }
+            if band + 1 < bands {
+                let chunk: Vec<HCellData> = bottom.iter().copied().map(HCellData).collect();
+                let ord = pushes[role];
+                pushes[role] += 1;
+                channels[role].produce(node, ledger, execute, ord, &chunk)?;
+            } else {
+                for (idx, cell) in bottom.iter().enumerate().skip(1) {
+                    let j = c_lo - 1 + idx;
+                    if j < n {
+                        kernel.flush_open(cell, m, j, queue);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -380,6 +546,68 @@ mod tests {
     #[should_panic(expected = "at least one band")]
     fn zero_bands_rejected() {
         let _ = BlockedConfig::new(2, 0, 4);
+    }
+
+    fn tolerant(nprocs: usize, bands: usize, blocks: usize) -> BlockedConfig {
+        let mut c = BlockedConfig::new(nprocs, bands, blocks);
+        c.dsm = c.dsm.supervise(genomedsm_dsm::SupervisionConfig {
+            enabled: true,
+            detect_after: std::time::Duration::from_millis(40),
+            watchdog: std::time::Duration::from_millis(400),
+        });
+        c
+    }
+
+    #[test]
+    fn tolerant_mode_without_failures_matches_serial() {
+        let (s, t) = workload(300, 21);
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        for (nprocs, bands, blocks) in [(1, 4, 4), (2, 8, 3), (4, 8, 8), (3, 7, 5)] {
+            let out =
+                heuristic_block_align(&s, &t, &SC, &params(), &tolerant(nprocs, bands, blocks));
+            assert_eq!(out.regions, serial, "nprocs={nprocs}");
+        }
+    }
+
+    #[test]
+    fn single_death_mid_run_recovers_bit_identical() {
+        let (s, t) = workload(300, 22);
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        let mut cfg = tolerant(3, 9, 6);
+        cfg.dsm = cfg
+            .dsm
+            .faults(std::sync::Arc::new(crate::KillPlan::new().kill(1, 8)));
+        let out = heuristic_block_align(&s, &t, &SC, &params(), &cfg);
+        assert_eq!(out.regions, serial);
+        assert!(out.aggregate().takeovers >= 1);
+    }
+
+    #[test]
+    fn death_of_final_band_owner_is_swept() {
+        // The owner of the last band pushes nothing, so its death is
+        // only discovered at the barrier and recovered by the sweep.
+        let (s, t) = workload(260, 23);
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        let mut cfg = tolerant(3, 6, 4);
+        // Node 2 owns bands 2 and 5 (the last): 8 blocks total, die on
+        // its very last block.
+        cfg.dsm = cfg
+            .dsm
+            .faults(std::sync::Arc::new(crate::KillPlan::new().kill(2, 8)));
+        let out = heuristic_block_align(&s, &t, &SC, &params(), &cfg);
+        assert_eq!(out.regions, serial);
+    }
+
+    #[test]
+    fn double_death_with_ramped_grid_recovers() {
+        let (s, t) = workload(280, 24);
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        let mut cfg = tolerant(4, 8, 8).ramped(1);
+        cfg.dsm = cfg.dsm.faults(std::sync::Arc::new(
+            crate::KillPlan::new().kill(1, 11).kill(2, 23),
+        ));
+        let out = heuristic_block_align(&s, &t, &SC, &params(), &cfg);
+        assert_eq!(out.regions, serial);
     }
 }
 

@@ -14,11 +14,12 @@
 //!
 //! Barriers are used only at the beginning and end of the computation.
 
+use crate::checkpoint::{run_with_takeover, FlowChannel, Ledger};
 use crate::hcell_data::HCellData;
 use crate::ring::ChunkRing;
 use crate::Phase1Outcome;
 use genomedsm_core::{finalize_queue, HCell, HeuristicParams, LocalRegion, RowKernel, Scoring};
-use genomedsm_dsm::{DsmConfig, DsmSystem};
+use genomedsm_dsm::{DsmConfig, DsmError, DsmSystem, Node};
 use std::time::Instant;
 
 /// Configuration of the non-blocked heuristic strategy.
@@ -66,6 +67,9 @@ pub fn heuristic_align_dsm(
     let n = t.len();
 
     let run = DsmSystem::run(config.dsm.clone(), |node| {
+        if node.supervised() {
+            return tolerant_worker(node, &kernel, s, t, nprocs, cell_cost);
+        }
         let p = node.id();
         // Border rings: ring `b` moves cells from processor b to b+1.
         // Collective allocation: every node builds every ring handle.
@@ -126,6 +130,134 @@ pub fn heuristic_align_dsm(
         wall,
         host_wall: t0.elapsed(),
     }
+}
+
+/// Strategy 1 worker in tolerant mode (supervision enabled): border
+/// cells flow through a per-role [`Ledger`] log instead of ring slots,
+/// so a surviving node can adopt a dead neighbour's column slice and
+/// re-execute it, replaying the corpse's recorded input/output chunks
+/// bit-for-bit. The plain path above is untouched when supervision is
+/// off, so a fault-free unsupervised run pays nothing.
+fn tolerant_worker(
+    node: &mut Node,
+    kernel: &RowKernel,
+    s: &[u8],
+    t: &[u8],
+    nprocs: usize,
+    cell_cost: std::time::Duration,
+) -> Vec<LocalRegion> {
+    let m = s.len();
+    // Role r's push log holds its border cell for every row.
+    let ledger = Ledger::<HCellData>::new(node, nprocs, m.max(1), 1);
+    node.barrier();
+    let crash_at = node.crash_point();
+    let mut units = 0u64;
+
+    // Roles execute in ascending order: role r's input producer is r-1,
+    // so earlier merged roles fully feed later ones through the log.
+    let pieces = run_with_takeover(node, nprocs, |node, execute, resume, queue| {
+        for &r in execute {
+            run_role(
+                node, &ledger, kernel, s, t, nprocs, cell_cost, r, execute, resume, crash_at,
+                &mut units, queue,
+            )?;
+        }
+        Ok(())
+    });
+    match pieces {
+        Some(qs) => qs.into_iter().flatten().collect(),
+        None => Vec::new(), // this worker fail-stopped
+    }
+}
+
+/// One role's complete row loop on the tolerant path. `roles` is the
+/// executing node's current merged role set (decides which channel
+/// endpoints are internal); `resume` replays recorded progress.
+#[allow(clippy::too_many_arguments)]
+fn run_role(
+    node: &mut Node,
+    ledger: &Ledger<HCellData>,
+    kernel: &RowKernel,
+    s: &[u8],
+    t: &[u8],
+    nprocs: usize,
+    cell_cost: std::time::Duration,
+    r: usize,
+    roles: &[usize],
+    resume: bool,
+    crash_at: Option<u64>,
+    units: &mut u64,
+    queue: &mut Vec<LocalRegion>,
+) -> Result<(), DsmError> {
+    let m = s.len();
+    let n = t.len();
+    let (j_lo, j_hi) = column_slice(n, nprocs, r);
+    let width = (j_hi + 1).saturating_sub(j_lo);
+    let mut input = (r > 0).then(|| {
+        let b = r - 1;
+        FlowChannel::new(
+            node,
+            ledger,
+            b,
+            r,
+            (2 * b) as u32,
+            (2 * b + 1) as u32,
+            1,
+            resume,
+        )
+    });
+    let mut output = (r + 1 < nprocs).then(|| {
+        FlowChannel::new(
+            node,
+            ledger,
+            r,
+            r + 1,
+            (2 * r) as u32,
+            (2 * r + 1) as u32,
+            1,
+            resume,
+        )
+    });
+    let mut prev = vec![HCell::fresh(); width + 1];
+    let mut cur = vec![HCell::fresh(); width + 1];
+    for i in 1..=m {
+        cur[0] = match input.as_mut() {
+            None => HCell::fresh(),
+            Some(ch) => ch.consume(node, ledger, roles, (i - 1) as u64, 1)?[0].into(),
+        };
+        if width > 0 {
+            kernel.process_row_segment(i, s[i - 1], t, j_lo, &prev, &mut cur, queue);
+            node.advance(crate::costs::cells(cell_cost, width));
+        }
+        *units += 1;
+        if crash_at == Some(*units) {
+            node.fail_stop();
+            return Err(DsmError::Disconnected("injected fail-stop"));
+        }
+        if (*units).is_multiple_of(64) {
+            node.heartbeat();
+        }
+        match output.as_mut() {
+            Some(ch) => ch.produce(
+                node,
+                ledger,
+                roles,
+                (i - 1) as u64,
+                &[HCellData(cur[width])],
+            )?,
+            None => kernel.flush_open(&cur[width], i, n, queue),
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    // Bottom row: flush open candidates (column n excluded — the
+    // right-edge rule already flushed it on the last role).
+    for (k, cell) in prev.iter().enumerate().skip(1) {
+        let j = j_lo - 1 + k;
+        if j < n {
+            kernel.flush_open(cell, m, j, queue);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -196,6 +328,82 @@ mod tests {
             &HeuristicDsmConfig::new(8),
         );
         let serial = heuristic_align(b"ACGTACGT", b"ACG", &SC, &params());
+        assert_eq!(out.regions, serial);
+    }
+
+    fn tolerant(nprocs: usize) -> HeuristicDsmConfig {
+        let mut c = HeuristicDsmConfig::new(nprocs);
+        c.dsm = c.dsm.supervise(genomedsm_dsm::SupervisionConfig {
+            enabled: true,
+            detect_after: std::time::Duration::from_millis(40),
+            watchdog: std::time::Duration::from_millis(400),
+        });
+        c
+    }
+
+    fn test_pair() -> (genomedsm_seq::DnaSeq, genomedsm_seq::DnaSeq) {
+        let (s, t, _) = planted_pair(
+            260,
+            260,
+            &HomologyPlan {
+                region_count: 3,
+                region_len_mean: 50,
+                region_len_jitter: 10,
+                profile: genomedsm_seq::MutationProfile::similar(),
+            },
+            11,
+        );
+        (s, t)
+    }
+
+    #[test]
+    fn tolerant_mode_without_failures_matches_serial() {
+        let (s, t) = test_pair();
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        for nprocs in [1, 2, 4] {
+            let out = heuristic_align_dsm(&s, &t, &SC, &params(), &tolerant(nprocs));
+            assert_eq!(out.regions, serial, "nprocs = {nprocs}");
+        }
+    }
+
+    #[test]
+    fn single_death_mid_run_recovers_bit_identical() {
+        let (s, t) = test_pair();
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        let mut cfg = tolerant(3);
+        cfg.dsm = cfg
+            .dsm
+            .faults(std::sync::Arc::new(crate::KillPlan::new().kill(1, 97)));
+        let out = heuristic_align_dsm(&s, &t, &SC, &params(), &cfg);
+        assert_eq!(out.regions, serial);
+        let agg = out.aggregate();
+        assert!(agg.takeovers >= 1, "takeovers {}", agg.takeovers);
+    }
+
+    #[test]
+    fn last_node_death_is_recovered_by_the_barrier_sweep() {
+        // The last role's border feeds no one, so its death goes
+        // unnoticed until the final barrier; the sweep re-executes it
+        // (adoption wraps to node 0).
+        let (s, t) = test_pair();
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        let mut cfg = tolerant(3);
+        cfg.dsm = cfg
+            .dsm
+            .faults(std::sync::Arc::new(crate::KillPlan::new().kill(2, 150)));
+        let out = heuristic_align_dsm(&s, &t, &SC, &params(), &cfg);
+        assert_eq!(out.regions, serial);
+    }
+
+    #[test]
+    fn contiguous_double_death_folds_onto_one_adopter() {
+        let (s, t) = test_pair();
+        let serial = heuristic_align(&s, &t, &SC, &params());
+        let mut cfg = tolerant(4);
+        cfg.dsm = cfg.dsm.faults(std::sync::Arc::new(
+            crate::KillPlan::new().kill(1, 60).kill(2, 120),
+        ));
+        let out = heuristic_align_dsm(&s, &t, &SC, &params(), &cfg);
         assert_eq!(out.regions, serial);
     }
 

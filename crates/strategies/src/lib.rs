@@ -19,6 +19,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod blocked;
+pub mod checkpoint;
 pub mod costs;
 pub mod hcell_data;
 pub mod heuristic_dsm;
@@ -29,6 +30,7 @@ pub mod reverse_parallel;
 pub mod ring;
 
 pub use blocked::{heuristic_block_align, BlockedConfig, GridPlan};
+pub use checkpoint::{KillPlan, StrategyError, StrategyResult};
 pub use heuristic_dsm::{heuristic_align_dsm, HeuristicDsmConfig};
 pub use phase2::{
     phase2_block_mapping, phase2_scattered, phase2_scattered_rayon, phase2_scattered_with,

@@ -10,6 +10,7 @@
 //! and condition variables"; barriers are used only at the beginning and
 //! the end.
 
+use crate::checkpoint::{merged_roles, StrategyError, StrategyResult};
 use crate::Phase1Outcome;
 use genomedsm_core::nw::{align_region, RegionAlignment};
 use genomedsm_core::{LocalRegion, Scoring};
@@ -53,7 +54,7 @@ pub fn phase2_scattered(
     regions: &[LocalRegion],
     scoring: &Scoring,
     nprocs: usize,
-) -> Phase2Outcome {
+) -> StrategyResult<Phase2Outcome> {
     let config = DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster());
     phase2_scattered_with(s, t, regions, scoring, &config)
 }
@@ -61,42 +62,114 @@ pub fn phase2_scattered(
 /// [`phase2_scattered`] with an explicit DSM configuration, so callers can
 /// attach a fault injector, retransmission policy, or network model (the
 /// chaos suite runs phase 2 under injected loss through this entry).
+///
+/// With supervision enabled the run tolerates fail-stop deaths: the
+/// scattered mapping has no mid-run synchronization, so deaths surface at
+/// the end-of-compute barrier, where survivors deterministically adopt
+/// the dead roles' scattered indices (see [`merged_roles`]) and re-align
+/// them — duplicates across rounds overwrite with identical alignments.
+/// The cross-check falls to the lowest *alive* node. Locks and condition
+/// variables stay unused either way.
+///
+/// # Errors
+///
+/// Returns [`StrategyError::Worker`] if any region ends the run
+/// unaligned (every worker holding it died and no survivor adopted it —
+/// cannot happen while at least one node survives).
 pub fn phase2_scattered_with(
     s: &[u8],
     t: &[u8],
     regions: &[LocalRegion],
     scoring: &Scoring,
     config: &DsmConfig,
-) -> Phase2Outcome {
+) -> StrategyResult<Phase2Outcome> {
     let t0 = Instant::now();
     let scoring = *scoring;
     let run = DsmSystem::run(config.clone(), |node| {
         let p = node.id();
+        let nprocs = node.nprocs();
         let shared_scores = node.alloc_vec::<i32>(regions.len().max(1));
         node.barrier();
+        let crash_at = if node.supervised() {
+            node.crash_point()
+        } else {
+            None
+        };
+        let mut units = 0u64;
         let mut mine: Vec<(usize, RegionAlignment)> = Vec::new();
-        let mut idx = p;
-        while idx < regions.len() {
-            let r = &regions[idx];
-            let ra = align_region(s, t, r, &scoring);
-            node.advance(crate::costs::cells(
-                crate::costs::NW_CELL,
-                r.s_len() * r.t_len(),
-            ));
-            node.vec_set(&shared_scores, idx, ra.alignment.score);
-            mine.push((idx, ra));
-            idx += node.nprocs();
+        // Aligns every scattered index of `role`; false means this node
+        // fail-stopped mid-role (its memory, `mine` included, is lost).
+        macro_rules! run_role {
+            ($role:expr) => {{
+                let mut idx = $role;
+                let mut ok = true;
+                while idx < regions.len() {
+                    let r = &regions[idx];
+                    let ra = align_region(s, t, r, &scoring);
+                    node.advance(crate::costs::cells(
+                        crate::costs::NW_CELL,
+                        r.s_len() * r.t_len(),
+                    ));
+                    node.vec_set(&shared_scores, idx, ra.alignment.score);
+                    mine.push((idx, ra));
+                    units += 1;
+                    if crash_at == Some(units) {
+                        node.fail_stop();
+                        ok = false;
+                        break;
+                    }
+                    node.heartbeat();
+                    idx += nprocs;
+                }
+                ok
+            }};
         }
-        node.barrier();
-        // Cross-check the shared vector on node 0 (every score must have
-        // been merged through the multiple-writer protocol).
-        if p == 0 {
-            for (i, r) in regions.iter().enumerate() {
-                let _ = r;
+        if !run_role!(p) {
+            return Vec::new();
+        }
+        if node.supervised() {
+            // Takeover sweep: the scattered mapping has no locks or cvs,
+            // so deaths are only discovered here. Loop until a barrier
+            // reports no new corpses; each round re-runs the dead roles
+            // this node adopts. Re-aligning an index twice is harmless —
+            // the alignment is deterministic and overwrites itself.
+            let mut handled: std::collections::BTreeSet<usize> = [p].into();
+            let mut seen_dead: Vec<usize> = Vec::new();
+            loop {
+                let dead = node.barrier_wait();
+                if dead.iter().all(|d| seen_dead.contains(d)) {
+                    break;
+                }
+                for role in merged_roles(p, nprocs, &dead) {
+                    if handled.contains(&role) {
+                        continue;
+                    }
+                    if !run_role!(role) {
+                        return Vec::new();
+                    }
+                    handled.insert(role);
+                    node.note_takeover();
+                }
+                seen_dead = dead;
+            }
+        } else {
+            node.barrier();
+        }
+        // Cross-check the shared vector on the lowest alive node (every
+        // score must have been merged through the multiple-writer
+        // protocol).
+        let dead = node.known_dead();
+        let checker = (0..nprocs).find(|q| !dead.contains(q)).unwrap_or(0);
+        if p == checker {
+            for i in 0..regions.len() {
                 let _ = node.vec_get(&shared_scores, i);
             }
         }
-        node.barrier();
+        if node.supervised() {
+            node.barrier_wait();
+        } else {
+            node.barrier();
+        }
         mine
     });
 
@@ -106,36 +179,43 @@ pub fn phase2_scattered_with(
             alignments[idx] = Some(ra);
         }
     }
-    Phase2Outcome {
-        alignments: alignments
-            .into_iter()
-            .map(|a| a.expect("every region aligned"))
-            .collect(),
+    let mut out = Vec::with_capacity(alignments.len());
+    for (idx, a) in alignments.into_iter().enumerate() {
+        out.push(
+            a.ok_or_else(|| StrategyError::Worker(format!("region {idx} was never aligned")))?,
+        );
+    }
+    Ok(Phase2Outcome {
+        alignments: out,
         wall: run.stats.iter().map(|s| s.total).max().unwrap_or_default(),
         host_wall: t0.elapsed(),
         per_node: run.stats,
-    }
+    })
 }
 
 /// The modern shared-memory port: the same scattered unit of work on a
 /// rayon thread pool (ablation baseline for the DSM version).
+///
+/// # Errors
+///
+/// Returns [`StrategyError::Worker`] if the thread pool cannot be built.
 pub fn phase2_scattered_rayon(
     s: &[u8],
     t: &[u8],
     regions: &[LocalRegion],
     scoring: &Scoring,
     threads: usize,
-) -> Vec<RegionAlignment> {
+) -> StrategyResult<Vec<RegionAlignment>> {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
-        .expect("build rayon pool");
-    pool.install(|| {
+        .map_err(|e| StrategyError::Worker(format!("build rayon pool: {e}")))?;
+    Ok(pool.install(|| {
         regions
             .par_iter()
             .map(|r| align_region(s, t, r, scoring))
             .collect()
-    })
+    }))
 }
 
 /// The ablation foil for the scattered mapping: contiguous **block
@@ -150,7 +230,7 @@ pub fn phase2_block_mapping(
     regions: &[LocalRegion],
     scoring: &Scoring,
     nprocs: usize,
-) -> Phase2Outcome {
+) -> StrategyResult<Phase2Outcome> {
     let t0 = Instant::now();
     let scoring = *scoring;
     let config = DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster());
@@ -179,15 +259,18 @@ pub fn phase2_block_mapping(
             alignments[idx] = Some(ra);
         }
     }
-    Phase2Outcome {
-        alignments: alignments
-            .into_iter()
-            .map(|a| a.expect("every region aligned"))
-            .collect(),
+    let mut out = Vec::with_capacity(alignments.len());
+    for (idx, a) in alignments.into_iter().enumerate() {
+        out.push(
+            a.ok_or_else(|| StrategyError::Worker(format!("region {idx} was never aligned")))?,
+        );
+    }
+    Ok(Phase2Outcome {
+        alignments: out,
         wall: run.stats.iter().map(|s| s.total).max().unwrap_or_default(),
         host_wall: t0.elapsed(),
         per_node: run.stats,
-    }
+    })
 }
 
 /// Convenience: runs phase 1 (any strategy) then phase 2 over its regions.
@@ -197,7 +280,7 @@ pub fn phase2_from_phase1(
     phase1: &Phase1Outcome,
     scoring: &Scoring,
     nprocs: usize,
-) -> Phase2Outcome {
+) -> StrategyResult<Phase2Outcome> {
     phase2_scattered(s, t, &phase1.regions, scoring, nprocs)
 }
 
@@ -227,7 +310,7 @@ mod tests {
         let (s, t, regions) = regions_for_test(600, 31);
         assert!(!regions.is_empty(), "need regions to align");
         for nprocs in [1, 2, 4] {
-            let out = phase2_scattered(&s, &t, &regions, &SC, nprocs);
+            let out = phase2_scattered(&s, &t, &regions, &SC, nprocs).unwrap();
             assert_eq!(out.alignments.len(), regions.len());
             for (ra, r) in out.alignments.iter().zip(&regions) {
                 assert_eq!(ra.region, *r);
@@ -241,15 +324,15 @@ mod tests {
     #[test]
     fn dsm_and_rayon_agree() {
         let (s, t, regions) = regions_for_test(500, 32);
-        let dsm = phase2_scattered(&s, &t, &regions, &SC, 3);
-        let ray = phase2_scattered_rayon(&s, &t, &regions, &SC, 3);
+        let dsm = phase2_scattered(&s, &t, &regions, &SC, 3).unwrap();
+        let ray = phase2_scattered_rayon(&s, &t, &regions, &SC, 3).unwrap();
         assert_eq!(dsm.alignments, ray);
     }
 
     #[test]
     fn no_locks_are_used() {
         let (s, t, regions) = regions_for_test(400, 33);
-        let out = phase2_scattered(&s, &t, &regions, &SC, 4);
+        let out = phase2_scattered(&s, &t, &regions, &SC, 4).unwrap();
         // Scattered mapping: zero lock/cv messages; only page traffic and
         // the start/end barriers.
         for s in &out.per_node {
@@ -266,8 +349,8 @@ mod tests {
         let (s, t, mut regions) = regions_for_test(700, 35);
         regions.sort_by_key(|r| std::cmp::Reverse(r.size()));
         // Skew the sizes so imbalance is visible even with few regions.
-        let scattered = phase2_scattered(&s, &t, &regions, &SC, 4);
-        let block = phase2_block_mapping(&s, &t, &regions, &SC, 4);
+        let scattered = phase2_scattered(&s, &t, &regions, &SC, 4).unwrap();
+        let block = phase2_block_mapping(&s, &t, &regions, &SC, 4).unwrap();
         assert_eq!(scattered.alignments, block.alignments);
         // Scattered's critical path is at most block's (usually shorter).
         assert!(scattered.wall <= block.wall + Duration::from_millis(50));
@@ -275,7 +358,7 @@ mod tests {
 
     #[test]
     fn empty_region_list() {
-        let out = phase2_scattered(b"ACGT", b"ACGT", &[], &SC, 2);
+        let out = phase2_scattered(b"ACGT", b"ACGT", &[], &SC, 2).unwrap();
         assert!(out.alignments.is_empty());
     }
 
@@ -283,7 +366,52 @@ mod tests {
     fn more_processors_than_regions() {
         let (s, t, regions) = regions_for_test(300, 34);
         let take = regions.into_iter().take(2).collect::<Vec<_>>();
-        let out = phase2_scattered(&s, &t, &take, &SC, 8);
+        let out = phase2_scattered(&s, &t, &take, &SC, 8).unwrap();
         assert_eq!(out.alignments.len(), take.len());
+    }
+
+    fn tolerant_config(nprocs: usize) -> DsmConfig {
+        DsmConfig::new(nprocs)
+            .network(genomedsm_dsm::NetworkModel::paper_cluster())
+            .supervise(genomedsm_dsm::SupervisionConfig {
+                enabled: true,
+                detect_after: std::time::Duration::from_millis(40),
+                watchdog: std::time::Duration::from_millis(400),
+            })
+    }
+
+    #[test]
+    fn tolerant_mode_keeps_lockless_invariant() {
+        let (s, t, regions) = regions_for_test(400, 33);
+        let plain = phase2_scattered(&s, &t, &regions, &SC, 4).unwrap();
+        let out = phase2_scattered_with(&s, &t, &regions, &SC, &tolerant_config(4)).unwrap();
+        assert_eq!(out.alignments, plain.alignments);
+        // Heartbeats and barriers only — still zero lock/cv time.
+        for st in &out.per_node {
+            assert_eq!(st.lock_cv, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn tolerant_mode_survives_single_death() {
+        let (s, t, regions) = regions_for_test(900, 31);
+        assert!(regions.len() >= 6, "need enough regions to kill mid-role");
+        let expect = phase2_scattered(&s, &t, &regions, &SC, 3).unwrap();
+        let config =
+            tolerant_config(3).faults(std::sync::Arc::new(crate::KillPlan::new().kill(1, 2)));
+        let out = phase2_scattered_with(&s, &t, &regions, &SC, &config).unwrap();
+        assert_eq!(out.alignments, expect.alignments);
+        assert!(out.aggregate().takeovers >= 1, "no takeover recorded");
+    }
+
+    #[test]
+    fn death_of_node_zero_moves_the_crosscheck() {
+        let (s, t, regions) = regions_for_test(900, 32);
+        assert!(regions.len() >= 4);
+        let expect = phase2_scattered(&s, &t, &regions, &SC, 2).unwrap();
+        let config =
+            tolerant_config(2).faults(std::sync::Arc::new(crate::KillPlan::new().kill(0, 1)));
+        let out = phase2_scattered_with(&s, &t, &regions, &SC, &config).unwrap();
+        assert_eq!(out.alignments, expect.alignments);
     }
 }

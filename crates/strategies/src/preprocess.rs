@@ -24,13 +24,28 @@
 //! The measured times mirror the paper's: **init** (DSM start-up to the
 //! first barrier), **core** (score-matrix computation; "the largest of
 //! the measured times"), **term** (deferred I/O + final barrier).
+//!
+//! With supervision enabled ([`genomedsm_dsm::DsmConfig::supervise`]) the
+//! strategy runs in **tolerant mode**: border chunks flow through a
+//! per-role [`Ledger`] log, a surviving node adopts a dead node's bands
+//! (see [`crate::checkpoint`]), saved columns are buffered per role and
+//! written crash-safely at termination (so an adopter reproduces the dead
+//! node's `node_r.cols` byte for byte), and the result matrix is gathered
+//! by the lowest *alive* node. Saved-column files always carry the
+//! checksummed [`crate::checkpoint::FILE_MAGIC`] footer, written via
+//! temp-file + fsync + atomic rename, and [`read_saved_columns`] rejects
+//! truncated or corrupted files with a typed error.
 
+use crate::checkpoint::{
+    read_verified, run_with_takeover, AtomicFileWriter, FlowChannel, Ledger, StrategyError,
+    StrategyResult,
+};
 use crate::ring::ChunkRing;
 use genomedsm_core::Scoring;
-use genomedsm_dsm::{DsmConfig, DsmSystem, Node, NodeStats};
+use genomedsm_dsm::{DsmConfig, DsmError, DsmSystem, GlobalVec, Node, NodeStats};
 use genomedsm_kernels::{BandScorer, KernelChoice};
-use std::io::Write as _;
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Band (row-group) sizing scheme (§5's three schemes).
@@ -285,15 +300,35 @@ impl PreprocessOutcome {
     }
 }
 
+/// Per-node output of a pre-process worker. `Default` doubles as the
+/// sentinel a fail-stopped worker leaves behind.
+#[derive(Debug, Default)]
+struct NodeOut {
+    init: Duration,
+    core: Duration,
+    term: Duration,
+    best: i32,
+    gathered: Vec<i64>,
+    /// First I/O failure, deferred to the end of the run so the worker
+    /// keeps lockstep with its peers instead of deadlocking them.
+    io_err: Option<(String, io::Error)>,
+}
+
 /// Runs the pre-process strategy: exact SW scores over a banded wavefront,
 /// producing the result matrix of threshold hits and (optionally) saved
 /// columns.
+///
+/// # Errors
+///
+/// Returns [`StrategyError::Io`] when a saved-column file cannot be
+/// created, written, or atomically finished (the computation itself still
+/// ran to completion — the error reports the first failing file).
 pub fn preprocess_align(
     s: &[u8],
     t: &[u8],
     scoring: &Scoring,
     config: &PreprocessConfig,
-) -> PreprocessOutcome {
+) -> StrategyResult<PreprocessOutcome> {
     assert!(config.result_interleave >= 1, "interleave must be >= 1");
     assert!(
         config.io_mode == IoMode::None || config.save_dir.is_some(),
@@ -319,6 +354,20 @@ pub fn preprocess_align(
         .unwrap_or(1);
 
     let run = DsmSystem::run(config.dsm.clone(), |node: &mut Node| {
+        if node.supervised() {
+            let ctx = PpCtx {
+                s,
+                t,
+                scoring,
+                config,
+                bands: &bands,
+                chunks: &chunks,
+                groups,
+                nprocs,
+                max_chunk,
+            };
+            return tolerant_pp_worker(node, &ctx);
+        }
         let p = node.id();
         let mut rings: Vec<ChunkRing<i32>> = (0..nprocs)
             .map(|q| {
@@ -345,12 +394,17 @@ pub fn preprocess_align(
         let from_ring = (p + nprocs - 1) % nprocs;
         let mut best_score = 0i32;
         let mut saved: Vec<SavedColumn> = Vec::new();
+        let mut io_err: Option<(String, io::Error)> = None;
         let mut writer = match (config.io_mode, &config.save_dir) {
             (IoMode::Immediate, Some(dir)) => {
                 let path = dir.join(format!("node_{p}.cols"));
-                Some(std::io::BufWriter::new(
-                    std::fs::File::create(path).expect("create column file"),
-                ))
+                match AtomicFileWriter::create(&path) {
+                    Ok(w) => Some(w),
+                    Err(e) => {
+                        io_err = Some((format!("create saved-column file {}", path.display()), e));
+                        None
+                    }
+                }
             }
             _ => None,
         };
@@ -417,9 +471,20 @@ pub fn preprocess_align(
                     match config.io_mode {
                         IoMode::Immediate => {
                             if cols_seen >= cols_saved {
-                                let bytes = 12 + 4 * column.values.len();
-                                write_column(writer.as_mut().expect("writer"), &column);
-                                node.advance(crate::costs::cells(config.io_byte_cost, bytes));
+                                let mut buf = Vec::with_capacity(12 + 4 * column.values.len());
+                                encode_column(&mut buf, &column);
+                                let failed = match writer.as_mut() {
+                                    Some(w) => w.write_all(&buf).err(),
+                                    None => None, // already failed; keep computing
+                                };
+                                if let Some(e) = failed {
+                                    writer = None;
+                                    io_err.get_or_insert((
+                                        format!("write saved-column file node_{p}.cols"),
+                                        e,
+                                    ));
+                                }
+                                node.advance(crate::costs::cells(config.io_byte_cost, buf.len()));
                                 cols_saved += 1;
                             }
                         }
@@ -596,18 +661,16 @@ pub fn preprocess_align(
         if config.io_mode == IoMode::Deferred {
             let dir = config.save_dir.as_ref().expect("save_dir");
             let path = dir.join(format!("node_{p}.cols"));
-            let mut w =
-                std::io::BufWriter::new(std::fs::File::create(path).expect("create column file"));
             let mut bytes = 0usize;
-            for column in &saved {
-                write_column(&mut w, column);
-                bytes += 12 + 4 * column.values.len();
+            if let Err(e) = write_role_file(&path, &saved, &mut bytes) {
+                io_err.get_or_insert((format!("write saved-column file {}", path.display()), e));
             }
-            w.flush().expect("flush deferred columns");
             node.advance(crate::costs::cells(config.io_byte_cost, bytes));
         }
-        if let Some(mut w) = writer {
-            w.flush().expect("flush immediate columns");
+        if let Some(w) = writer.take() {
+            if let Err(e) = w.finish() {
+                io_err.get_or_insert((format!("finish saved-column file node_{p}.cols"), e));
+            }
         }
         node.barrier();
         // Node 0 gathers the result matrix for reporting.
@@ -622,7 +685,14 @@ pub fn preprocess_align(
         };
         node.barrier();
         let term = node.now() - term_start;
-        (init, core, term, best_score, gathered)
+        NodeOut {
+            init,
+            core,
+            term,
+            best: best_score,
+            gathered,
+            io_err,
+        }
     });
 
     let mut init = Vec::new();
@@ -630,13 +700,16 @@ pub fn preprocess_align(
     let mut term = Vec::new();
     let mut best_score = 0;
     let mut flat = Vec::new();
-    for (i, c, tm, b, g) in run.results {
-        init.push(i);
-        core.push(c);
-        term.push(tm);
-        best_score = best_score.max(b);
-        if !g.is_empty() {
-            flat = g;
+    for out in run.results {
+        if let Some((context, source)) = out.io_err {
+            return Err(StrategyError::io(context, source));
+        }
+        init.push(out.init);
+        core.push(out.core);
+        term.push(out.term);
+        best_score = best_score.max(out.best);
+        if !out.gathered.is_empty() {
+            flat = out.gathered;
         }
     }
     let result: Vec<Vec<i64>> = if groups == 0 {
@@ -651,7 +724,7 @@ pub fn preprocess_align(
             .collect(),
         _ => Vec::new(),
     };
-    PreprocessOutcome {
+    Ok(PreprocessOutcome {
         result,
         band_bounds: bands,
         best_score,
@@ -662,24 +735,407 @@ pub fn preprocess_align(
         host_wall: t_start.elapsed(),
         per_node: run.stats,
         files,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Tolerant (takeover-capable) worker
+// ---------------------------------------------------------------------------
+
+/// Shared read-only inputs of the tolerant worker.
+struct PpCtx<'a> {
+    s: &'a [u8],
+    t: &'a [u8],
+    scoring: &'a Scoring,
+    config: &'a PreprocessConfig,
+    bands: &'a [(usize, usize)],
+    chunks: &'a [(usize, usize)],
+    groups: usize,
+    nprocs: usize,
+    max_chunk: usize,
+}
+
+/// One executed role's results: the bands' best score and the columns it
+/// selected for disk, in deterministic band-then-column order (an adopter
+/// reproduces the dead owner's file byte for byte).
+struct RoleRun {
+    role: usize,
+    best: i32,
+    saved: Vec<SavedColumn>,
+}
+
+/// Accumulator of one takeover attempt (see
+/// [`crate::checkpoint::run_with_takeover`]).
+#[derive(Default)]
+struct PpAcc {
+    runs: Vec<RoleRun>,
+}
+
+fn entry(acc: &mut PpAcc, role: usize) -> &mut RoleRun {
+    if let Some(i) = acc.runs.iter().position(|r| r.role == role) {
+        return &mut acc.runs[i];
+    }
+    acc.runs.push(RoleRun {
+        role,
+        best: 0,
+        saved: Vec::new(),
+    });
+    acc.runs.last_mut().expect("just pushed")
+}
+
+/// Strategy 3 worker in tolerant mode: bands flow through the per-role
+/// [`Ledger`] log and [`run_with_takeover`] re-executes dead roles on
+/// survivors. Saved columns are buffered per role and written atomically
+/// at termination; the result matrix is gathered by the lowest alive
+/// node; each role's best score is published in its ledger user word so a
+/// completed-then-died role still contributes.
+fn tolerant_pp_worker(node: &mut Node, ctx: &PpCtx<'_>) -> NodeOut {
+    let nprocs = ctx.nprocs;
+    let nbands = ctx.bands.len();
+    let nchunks = ctx.chunks.len();
+    // Role r pushes at most one chunk per passage-band chunk of each of
+    // its bands.
+    let log_entries = nbands.div_ceil(nprocs.max(1)) * nchunks.max(1);
+    let ledger = Ledger::<i32>::new(node, nprocs, log_entries, ctx.max_chunk);
+    let result_rows: Vec<GlobalVec<i64>> = (0..nbands)
+        .map(|b| node.alloc_vec_on::<i64>(ctx.groups.max(1), b % nprocs))
+        .collect();
+    node.barrier();
+    let init = node.now();
+    let core_start = node.now();
+    let crash_at = node.crash_point();
+    let mut units = 0u64;
+
+    let pieces = run_with_takeover(node, nprocs, |node, execute, resume, acc: &mut PpAcc| {
+        run_pp_bands(
+            node,
+            ctx,
+            &ledger,
+            &result_rows,
+            execute,
+            resume,
+            crash_at,
+            &mut units,
+            acc,
+        )
+    });
+    let Some(pieces) = pieces else {
+        return NodeOut::default(); // this worker fail-stopped
+    };
+    let core = node.now() - core_start;
+    let term_start = node.now();
+
+    // Merge role runs: at most one *surviving* node holds a given role
+    // (adoption only changes when the adopter itself dies), and replayed
+    // duplicates within this node are identical — last wins.
+    let mut by_role: std::collections::BTreeMap<usize, RoleRun> = Default::default();
+    for run in pieces.into_iter().flat_map(|a| a.runs) {
+        by_role.insert(run.role, run);
+    }
+    let mut best = 0i32;
+    let mut io_err: Option<(String, io::Error)> = None;
+    for run in by_role.values() {
+        best = best.max(run.best);
+        if ctx.config.io_mode != IoMode::None {
+            let dir = ctx.config.save_dir.as_ref().expect("save_dir");
+            let path = dir.join(format!("node_{}.cols", run.role));
+            let mut bytes = 0usize;
+            let res = write_role_file(&path, &run.saved, &mut bytes);
+            if ctx.config.io_mode == IoMode::Deferred {
+                // Immediate mode already charged each column as it was
+                // selected; deferred pays for the whole file here.
+                node.advance(crate::costs::cells(ctx.config.io_byte_cost, bytes));
+            }
+            if let Err(e) = res {
+                io_err.get_or_insert((format!("write saved-column file {}", path.display()), e));
+            }
+        }
+    }
+
+    let dead = node.barrier_wait();
+    let gatherer = (0..nprocs).find(|q| !dead.contains(q)).unwrap_or(0);
+    let mut gathered = Vec::new();
+    if node.id() == gatherer {
+        if ctx.groups > 0 {
+            for row in &result_rows {
+                node.invalidate_vec(row);
+                gathered.extend(node.vec_read_range(row, 0..ctx.groups));
+            }
+        }
+        // Fold the per-role best scores published in the ledger: this
+        // covers a role whose worker completed, published, and only then
+        // died — its memory is gone but its user word survives.
+        for r in 0..nprocs {
+            best = best.max(ledger.snapshot(node, r).user as i32);
+        }
+    }
+    node.barrier_wait();
+    let term = node.now() - term_start;
+    NodeOut {
+        init,
+        core,
+        term,
+        best,
+        gathered,
+        io_err,
     }
 }
 
-fn write_column(w: &mut impl std::io::Write, c: &SavedColumn) {
-    w.write_all(&c.band.to_le_bytes()).expect("write band");
-    w.write_all(&c.col.to_le_bytes()).expect("write col");
-    w.write_all(&(c.values.len() as u32).to_le_bytes())
-        .expect("write len");
+/// Executes every band whose role is in `execute`, ascending — the
+/// wavefront order; band `b` consumes band `b-1`'s chunks either from
+/// this very loop (internal role) or from a live external producer.
+#[allow(clippy::too_many_arguments)]
+fn run_pp_bands(
+    node: &mut Node,
+    ctx: &PpCtx<'_>,
+    ledger: &Ledger<i32>,
+    result_rows: &[GlobalVec<i64>],
+    execute: &[usize],
+    resume: bool,
+    crash_at: Option<u64>,
+    units: &mut u64,
+    acc: &mut PpAcc,
+) -> Result<(), DsmError> {
+    let config = ctx.config;
+    let nprocs = ctx.nprocs;
+    let nbands = ctx.bands.len();
+    let (m, n) = (ctx.s.len(), ctx.t.len());
+    // Ring q carries passage-band chunks from role q to role (q+1) mod P;
+    // capacity = one whole passage band, as in the plain path's rings.
+    let mut channels: Vec<FlowChannel> = (0..nprocs)
+        .map(|q| {
+            FlowChannel::new(
+                node,
+                ledger,
+                q,
+                (q + 1) % nprocs,
+                (2 * q) as u32,
+                (2 * q + 1) as u32,
+                ctx.chunks.len().max(1) as u64,
+                resume,
+            )
+        })
+        .collect();
+    // Per-role dense chunk ordinals: every band but the first pops, every
+    // band but the last pushes, in ascending band order.
+    let mut pops = vec![0u64; nprocs];
+    let mut pushes = vec![0u64; nprocs];
+    // Every executed role gets an entry (and so a column file) even if it
+    // owns no bands, mirroring the plain path's one-file-per-node.
+    for &r in execute {
+        entry(acc, r);
+    }
+    let save_every = if config.io_mode != IoMode::None && config.save_interleave > 0 {
+        Some(config.save_interleave)
+    } else {
+        None
+    };
+    for band in 0..nbands {
+        let role = band % nprocs;
+        if !execute.contains(&role) {
+            continue;
+        }
+        let in_ring = (role + nprocs - 1) % nprocs;
+        let (i0, i1) = ctx.bands[band];
+        let h = i1 + 1 - i0;
+        let mut hits_row = vec![0i64; ctx.groups];
+        let mut band_best = 0i32;
+        let mut scorer = if config.threshold >= 1 {
+            BandScorer::new(
+                config.kernel,
+                &ctx.s[i0 - 1..i1],
+                (m, n),
+                ctx.scoring,
+                config.threshold,
+                save_every,
+            )
+        } else {
+            None
+        };
+        macro_rules! save_col {
+            ($column:expr) => {{
+                let column: SavedColumn = $column;
+                if config.io_mode == IoMode::Immediate {
+                    let bytes = 12 + 4 * column.values.len();
+                    node.advance(crate::costs::cells(config.io_byte_cost, bytes));
+                }
+                entry(acc, role).saved.push(column);
+            }};
+        }
+        macro_rules! unit_done {
+            () => {{
+                *units += 1;
+                if crash_at == Some(*units) {
+                    node.fail_stop();
+                    return Err(DsmError::Disconnected("injected fail-stop"));
+                }
+                if (*units).is_multiple_of(64) {
+                    node.heartbeat();
+                }
+            }};
+        }
+        if let Some(scorer) = scorer.as_mut() {
+            let mut corner = 0i32;
+            for (k, &(c_lo, c_hi)) in ctx.chunks.iter().enumerate() {
+                let width = c_hi + 1 - c_lo;
+                let top: Vec<i32> = if band == 0 {
+                    vec![0i32; width + 1]
+                } else {
+                    let ord = pops[role];
+                    pops[role] += 1;
+                    channels[in_ring].consume(node, ledger, execute, ord, width + 1)?
+                };
+                let mut bottom_vals = Vec::with_capacity(width);
+                let mut col_hits = Vec::with_capacity(width);
+                let mut saved_cols = Vec::new();
+                scorer.advance(
+                    &ctx.t[c_lo - 1..c_hi],
+                    &top,
+                    c_lo,
+                    &mut bottom_vals,
+                    &mut col_hits,
+                    &mut saved_cols,
+                );
+                for (idx, &hits) in col_hits.iter().enumerate() {
+                    let j = c_lo + idx;
+                    hits_row[(j - 1) / config.result_interleave] += hits as i64;
+                }
+                for (col, values) in saved_cols {
+                    save_col!(SavedColumn {
+                        band: band as u32,
+                        col: col as u32,
+                        values,
+                    });
+                }
+                let mut bottom = Vec::with_capacity(width + 1);
+                bottom.push(corner);
+                bottom.append(&mut bottom_vals);
+                corner = *bottom.last().expect("non-empty chunk");
+                node.advance(crate::costs::cells(config.cell_cost, h * width));
+                unit_done!();
+                if band + 1 < nbands {
+                    let ord = pushes[role];
+                    pushes[role] += 1;
+                    channels[role].produce(node, ledger, execute, ord, &bottom)?;
+                }
+                let _ = k;
+            }
+            band_best = band_best.max(scorer.best_score());
+        } else {
+            let mut left_col = vec![0i32; h + 1];
+            for (k, &(c_lo, c_hi)) in ctx.chunks.iter().enumerate() {
+                let width = c_hi + 1 - c_lo;
+                let top: Vec<i32> = if band == 0 {
+                    vec![0i32; width + 1]
+                } else {
+                    let ord = pops[role];
+                    pops[role] += 1;
+                    channels[in_ring].consume(node, ledger, execute, ord, width + 1)?
+                };
+                let mut bottom = vec![0i32; width + 1];
+                bottom[0] = left_col[h];
+                let mut prev_col = left_col.clone();
+                prev_col[0] = top[0];
+                let mut cur_col = vec![0i32; h + 1];
+                for j in c_lo..=c_hi {
+                    cur_col[0] = top[j - c_lo + 1];
+                    let tc = ctx.t[j - 1];
+                    let mut col_best = 0i32;
+                    for r in 1..=h {
+                        let i = i0 + r - 1;
+                        let diag = prev_col[r - 1] + ctx.scoring.subst(ctx.s[i - 1], tc);
+                        let up = cur_col[r - 1] + ctx.scoring.gap;
+                        let left = prev_col[r] + ctx.scoring.gap;
+                        let v = diag.max(up).max(left).max(0);
+                        cur_col[r] = v;
+                        if v >= config.threshold {
+                            hits_row[(j - 1) / config.result_interleave] += 1;
+                        }
+                        col_best = col_best.max(v);
+                    }
+                    band_best = band_best.max(col_best);
+                    bottom[j - c_lo + 1] = cur_col[h];
+                    if config.io_mode != IoMode::None
+                        && config.save_interleave > 0
+                        && j % config.save_interleave == 0
+                    {
+                        save_col!(SavedColumn {
+                            band: band as u32,
+                            col: j as u32,
+                            values: cur_col[1..].to_vec(),
+                        });
+                    }
+                    std::mem::swap(&mut prev_col, &mut cur_col);
+                }
+                left_col.copy_from_slice(&prev_col);
+                node.advance(crate::costs::cells(config.cell_cost, h * width));
+                unit_done!();
+                if band + 1 < nbands {
+                    let ord = pushes[role];
+                    pushes[role] += 1;
+                    channels[role].produce(node, ledger, execute, ord, &bottom)?;
+                }
+                let _ = k;
+            }
+        }
+        let run = entry(acc, role);
+        run.best = run.best.max(band_best);
+        // Publish the band's result-matrix row and flush it to its home
+        // (a self-send for the owner; a remote write only during
+        // takeover) so it survives this worker's later death.
+        if ctx.groups > 0 {
+            node.vec_write_range(&result_rows[band], 0, &hits_row);
+            node.flush_vec(&result_rows[band]);
+        }
+    }
+    // Publish completion: the user word (best score) strictly before the
+    // done flag, so a death in between re-executes rather than trusting a
+    // stale word.
+    for run in &acc.runs {
+        ledger.set_user(node, run.role, run.best as i64);
+        ledger.mark_done(node, run.role);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Saved-column files
+// ---------------------------------------------------------------------------
+
+/// Serializes one column record (band, col, len, values — all LE).
+fn encode_column(buf: &mut Vec<u8>, c: &SavedColumn) {
+    buf.extend_from_slice(&c.band.to_le_bytes());
+    buf.extend_from_slice(&c.col.to_le_bytes());
+    buf.extend_from_slice(&(c.values.len() as u32).to_le_bytes());
     for v in &c.values {
-        w.write_all(&v.to_le_bytes()).expect("write value");
+        buf.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-/// Reads back a per-node column file written by [`preprocess_align`].
+/// Writes a whole saved-column file crash-safely (temp file + checksummed
+/// footer + fsync + atomic rename), reporting the payload size in
+/// `bytes`.
+fn write_role_file(path: &Path, cols: &[SavedColumn], bytes: &mut usize) -> io::Result<()> {
+    let mut w = AtomicFileWriter::create(path)?;
+    let mut buf = Vec::new();
+    for c in cols {
+        buf.clear();
+        encode_column(&mut buf, c);
+        w.write_all(&buf)?;
+        *bytes += buf.len();
+    }
+    w.finish()
+}
+
+/// Reads back a per-node column file written by [`preprocess_align`],
+/// first verifying the checksummed footer (see
+/// [`crate::checkpoint::read_verified`]).
 ///
-/// A truncated or corrupted file yields a typed
-/// [`std::io::ErrorKind::InvalidData`] error rather than a panic, so a
-/// recovery path probing a half-written checkpoint can fall back cleanly.
+/// A truncated or corrupted file — torn footer, bad magic, length or
+/// checksum mismatch, or a malformed record inside a valid envelope —
+/// yields a typed [`std::io::ErrorKind::InvalidData`] error rather than a
+/// panic, so a recovery path probing a half-written file can fall back
+/// cleanly.
 pub fn read_saved_columns(path: &std::path::Path) -> std::io::Result<Vec<SavedColumn>> {
     fn bad(what: &str) -> std::io::Error {
         std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
@@ -693,7 +1149,7 @@ pub fn read_saved_columns(path: &std::path::Path) -> std::io::Result<Vec<SavedCo
         *pos = end;
         Ok(v)
     }
-    let data = std::fs::read(path)?;
+    let data = read_verified(path)?;
     let mut out = Vec::new();
     let mut pos = 0;
     while pos < data.len() {
@@ -799,7 +1255,7 @@ mod tests {
             config.chunk = ChunkPlan::Fixed(64);
             config.threshold = threshold;
             config.result_interleave = 50;
-            let out = preprocess_align(&s, &t, &SC, &config);
+            let out = preprocess_align(&s, &t, &SC, &config).unwrap();
             assert_eq!(out.total_hits(), oracle.hits as i64, "nprocs={nprocs}");
             assert_eq!(out.best_score, oracle.best_score, "nprocs={nprocs}");
         }
@@ -814,7 +1270,7 @@ mod tests {
         config.chunk = ChunkPlan::Fixed(50);
         config.threshold = threshold;
         config.result_interleave = 25;
-        let out = preprocess_align(&s, &t, &SC, &config);
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
         let full = sw_matrix(&s, &t, &SC);
         for (b, &(i0, i1)) in out.band_bounds.iter().enumerate() {
             for g in 0..out.result[b].len() {
@@ -846,7 +1302,7 @@ mod tests {
             config.save_interleave = 16;
             config.io_mode = mode;
             config.save_dir = Some(d.clone());
-            let out = preprocess_align(&s, &t, &SC, &config);
+            let out = preprocess_align(&s, &t, &SC, &config).unwrap();
             assert!(!out.files.is_empty());
             let mut cols: Vec<SavedColumn> = out
                 .files
@@ -872,7 +1328,7 @@ mod tests {
         config.save_interleave = 20;
         config.io_mode = IoMode::Immediate;
         config.save_dir = Some(dir.clone());
-        let out = preprocess_align(&s, &t, &SC, &config);
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
         let full = sw_matrix(&s, &t, &SC);
         let mut seen = 0;
         for f in &out.files {
@@ -908,7 +1364,7 @@ mod tests {
             config.io_mode = IoMode::Deferred;
             config.save_dir = Some(d.clone());
             config.kernel = choice;
-            let out = preprocess_align(&s, &t, &SC, &config);
+            let out = preprocess_align(&s, &t, &SC, &config).unwrap();
             let mut cols: Vec<SavedColumn> = out
                 .files
                 .iter()
@@ -923,7 +1379,7 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let out = preprocess_align(b"", b"ACGT", &SC, &PreprocessConfig::new(2));
+        let out = preprocess_align(b"", b"ACGT", &SC, &PreprocessConfig::new(2)).unwrap();
         assert_eq!(out.total_hits(), 0);
         assert_eq!(out.best_score, 0);
     }
@@ -934,5 +1390,125 @@ mod tests {
         let mut config = PreprocessConfig::new(1);
         config.io_mode = IoMode::Immediate;
         let _ = preprocess_align(b"ACGT", b"ACGT", &SC, &config);
+    }
+
+    #[test]
+    fn corrupt_saved_column_file_is_rejected() {
+        let (s, t) = workload(80, 26);
+        let dir = std::env::temp_dir().join("genomedsm_pp_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut config = PreprocessConfig::new(1);
+        config.band = BandScheme::Fixed(40);
+        config.chunk = ChunkPlan::Fixed(40);
+        config.save_interleave = 20;
+        config.io_mode = IoMode::Deferred;
+        config.save_dir = Some(dir.clone());
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
+        let file = &out.files[0];
+        assert!(!read_saved_columns(file).unwrap().is_empty());
+        let mut bytes = std::fs::read(file).unwrap();
+        bytes[3] ^= 0x10;
+        std::fs::write(file, &bytes).unwrap();
+        let err = read_saved_columns(file).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn base_config(nprocs: usize, dir: &std::path::Path) -> PreprocessConfig {
+        let mut c = PreprocessConfig::new(nprocs);
+        c.band = BandScheme::Fixed(30);
+        c.chunk = ChunkPlan::Fixed(48);
+        c.threshold = 10;
+        c.result_interleave = 40;
+        c.save_interleave = 16;
+        c.io_mode = IoMode::Deferred;
+        c.save_dir = Some(dir.to_path_buf());
+        c
+    }
+
+    fn tolerant(mut c: PreprocessConfig) -> PreprocessConfig {
+        c.dsm = c.dsm.supervise(genomedsm_dsm::SupervisionConfig {
+            enabled: true,
+            detect_after: std::time::Duration::from_millis(40),
+            watchdog: std::time::Duration::from_millis(400),
+        });
+        c
+    }
+
+    /// Asserts that two runs produced identical result matrices, best
+    /// scores, and byte-identical per-node saved-column files.
+    fn assert_identical(a: &PreprocessOutcome, b: &PreprocessOutcome, nprocs: usize) {
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.total_hits(), b.total_hits());
+        let dir_a = a.files[0].parent().unwrap();
+        let dir_b = b.files[0].parent().unwrap();
+        for p in 0..nprocs {
+            let fa = std::fs::read(dir_a.join(format!("node_{p}.cols"))).unwrap();
+            let fb = std::fs::read(dir_b.join(format!("node_{p}.cols"))).unwrap();
+            assert_eq!(fa, fb, "node_{p}.cols differs");
+        }
+    }
+
+    #[test]
+    fn tolerant_mode_without_failures_matches_plain() {
+        let (s, t) = workload(220, 31);
+        let dir = std::env::temp_dir().join("genomedsm_pp_tol_parity");
+        for nprocs in [1, 2, 3] {
+            let d_plain = dir.join(format!("plain_{nprocs}"));
+            let d_tol = dir.join(format!("tol_{nprocs}"));
+            std::fs::create_dir_all(&d_plain).unwrap();
+            std::fs::create_dir_all(&d_tol).unwrap();
+            let plain = preprocess_align(&s, &t, &SC, &base_config(nprocs, &d_plain)).unwrap();
+            let tol =
+                preprocess_align(&s, &t, &SC, &tolerant(base_config(nprocs, &d_tol))).unwrap();
+            assert_identical(&plain, &tol, nprocs);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_death_recovers_bit_identical_including_files() {
+        // Node 1 dies mid-band; node 2 adopts its bands, re-selects its
+        // columns, and writes node_1.cols itself — every artifact must
+        // match the fault-free run exactly. Immediate mode exercises the
+        // per-column charge path.
+        let (s, t) = workload(220, 32);
+        let dir = std::env::temp_dir().join("genomedsm_pp_tol_death");
+        let d_plain = dir.join("plain");
+        let d_tol = dir.join("tol");
+        std::fs::create_dir_all(&d_plain).unwrap();
+        std::fs::create_dir_all(&d_tol).unwrap();
+        let mut plain_cfg = base_config(3, &d_plain);
+        plain_cfg.io_mode = IoMode::Immediate;
+        let plain = preprocess_align(&s, &t, &SC, &plain_cfg).unwrap();
+        let mut cfg = tolerant(base_config(3, &d_tol));
+        cfg.io_mode = IoMode::Immediate;
+        cfg.dsm = cfg
+            .dsm
+            .faults(std::sync::Arc::new(crate::KillPlan::new().kill(1, 4)));
+        let tol = preprocess_align(&s, &t, &SC, &cfg).unwrap();
+        assert_identical(&plain, &tol, 3);
+        let takeovers: u64 = tol.per_node.iter().map(|s| s.takeovers).sum();
+        assert!(takeovers >= 1, "no takeover recorded");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn contiguous_double_death_recovers() {
+        let (s, t) = workload(240, 33);
+        let dir = std::env::temp_dir().join("genomedsm_pp_tol_double");
+        let d_plain = dir.join("plain");
+        let d_tol = dir.join("tol");
+        std::fs::create_dir_all(&d_plain).unwrap();
+        std::fs::create_dir_all(&d_tol).unwrap();
+        let plain = preprocess_align(&s, &t, &SC, &base_config(4, &d_plain)).unwrap();
+        let mut cfg = tolerant(base_config(4, &d_tol));
+        cfg.dsm = cfg.dsm.faults(std::sync::Arc::new(
+            crate::KillPlan::new().kill(1, 3).kill(2, 5),
+        ));
+        let tol = preprocess_align(&s, &t, &SC, &cfg).unwrap();
+        assert_identical(&plain, &tol, 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -78,10 +78,10 @@ fn pp_config(nprocs: usize) -> PreprocessConfig {
 fn preprocess_scoreboard_is_bit_identical_under_chaos() {
     let (s, t) = workload(300, 93);
     let nprocs = 3;
-    let clean = preprocess_align(&s, &t, &SC, &pp_config(nprocs));
+    let clean = preprocess_align(&s, &t, &SC, &pp_config(nprocs)).unwrap();
     let mut config = pp_config(nprocs);
     config.dsm = config.dsm.faults(chaos(13, nprocs));
-    let chaotic = preprocess_align(&s, &t, &SC, &config);
+    let chaotic = preprocess_align(&s, &t, &SC, &config).unwrap();
     assert_eq!(clean.result, chaotic.result, "hit scoreboard diverged");
     assert_eq!(clean.best_score, chaotic.best_score);
     let mut agg = genomedsm_dsm::NodeStats::default();
@@ -98,9 +98,9 @@ fn phase2_alignments_are_bit_identical_under_chaos() {
     assert!(!regions.is_empty(), "need regions for phase 2");
     let nprocs = 4;
     let clean_cfg = DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster());
-    let clean = phase2_scattered_with(&s, &t, &regions, &SC, &clean_cfg);
+    let clean = phase2_scattered_with(&s, &t, &regions, &SC, &clean_cfg).unwrap();
     let chaotic_cfg = clean_cfg.faults(chaos(14, nprocs));
-    let chaotic = phase2_scattered_with(&s, &t, &regions, &SC, &chaotic_cfg);
+    let chaotic = phase2_scattered_with(&s, &t, &regions, &SC, &chaotic_cfg).unwrap();
     assert_eq!(clean.alignments, chaotic.alignments);
     assert_reliability_worked(&chaotic.aggregate());
 }
@@ -114,7 +114,7 @@ fn preprocess_crash_recovers_from_checkpoint_to_identical_matrix() {
     let (s, t) = workload(300, 95);
     let nprocs = 3;
     // Fault-free reference (no checkpointing at all).
-    let clean = preprocess_align(&s, &t, &SC, &pp_config(nprocs));
+    let clean = preprocess_align(&s, &t, &SC, &pp_config(nprocs)).unwrap();
     // Crash node 1 after it completes its 4th chunk; quiet links so the
     // only disturbance is the fail-stop itself.
     let mut config = pp_config(nprocs);
@@ -123,7 +123,7 @@ fn preprocess_crash_recovers_from_checkpoint_to_identical_matrix() {
         FaultPlan::quiet(7).with_crash(1, 4),
         nprocs,
     )));
-    let crashed = preprocess_align(&s, &t, &SC, &config);
+    let crashed = preprocess_align(&s, &t, &SC, &config).unwrap();
     assert_eq!(clean.result, crashed.result, "recovery diverged");
     assert_eq!(clean.best_score, crashed.best_score);
     assert_eq!(recoveries(&crashed), 1, "the crash must have fired");
@@ -155,7 +155,7 @@ fn preprocess_crash_under_chaos_keeps_saved_columns_bit_identical() {
                 nprocs,
             )));
         }
-        let out = preprocess_align(&s, &t, &SC, &config);
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
         let mut cols: Vec<SavedColumn> = out
             .files
             .iter()
@@ -185,7 +185,7 @@ fn chaos_suite_is_deterministic_across_runs() {
     let run = || {
         let mut config = pp_config(nprocs);
         config.dsm = config.dsm.faults(chaos(23, nprocs));
-        preprocess_align(&s, &t, &SC, &config)
+        preprocess_align(&s, &t, &SC, &config).unwrap()
     };
     let a = run();
     let b = run();

@@ -44,7 +44,7 @@ fn main() {
     config.save_dir = Some(dir.clone());
 
     let scoring = Scoring::paper();
-    let out = preprocess_align(&s, &t, &scoring, &config);
+    let out = preprocess_align(&s, &t, &scoring, &config).unwrap();
 
     println!(
         "core time {:.2?} (init max {:.2?}, term max {:.2?}), best score {} with {} total hits\n",

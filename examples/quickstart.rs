@@ -53,7 +53,7 @@ fn main() {
     );
 
     // Phase 2: scattered-mapping global alignment.
-    let phase2 = phase2_scattered(&s, &t, &phase1.regions, &scoring, nprocs);
+    let phase2 = phase2_scattered(&s, &t, &phase1.regions, &scoring, nprocs).unwrap();
     println!(
         "phase 2 (scattered mapping): {} global alignments, simulated cluster time {:.2?}\n",
         phase2.alignments.len(),

@@ -18,6 +18,10 @@
 //!                      scalar | simd | auto   (default auto)
 //!   --svg FILE         write a dot plot of the similar regions
 //!   --alignments N     print the N best phase-2 alignments (default 3)
+//!   --tolerate-failures  enable the cluster supervision layer
+//!                      (heartbeats, lock-lease recovery, work takeover)
+//!   --kill NODE:UNITS  fail-stop NODE after UNITS work units
+//!                      (repeatable; implies --tolerate-failures)
 //!
 //! score: exact SW best score + threshold-hit count on the host (no DSM
 //! simulation), timed, using the selected vectorized kernel.
@@ -77,6 +81,62 @@ fn opt(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Option flags that take no value (everything else is `--flag VALUE`).
+const BOOL_FLAGS: &[&str] = &["--tolerate-failures"];
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_all(args: &[String], name: &str) -> Vec<String> {
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if args[i] == name {
+            values.push(args[i + 1].clone());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    values
+}
+
+/// Parses the repeatable `--kill NODE:UNITS` specs into a fault injector.
+fn kill_plan(args: &[String]) -> Option<std::sync::Arc<genomedsm_strategies::KillPlan>> {
+    let specs = opt_all(args, "--kill");
+    if specs.is_empty() {
+        return None;
+    }
+    let mut plan = genomedsm_strategies::KillPlan::new();
+    for spec in &specs {
+        let parsed = spec
+            .split_once(':')
+            .and_then(|(n, u)| Some((n.parse::<usize>().ok()?, u.parse::<u64>().ok()?)));
+        match parsed {
+            Some((node, units)) => plan = plan.kill(node, units),
+            None => {
+                eprintln!("invalid --kill '{spec}' (expected NODE:UNITS)");
+                exit(2);
+            }
+        }
+    }
+    Some(std::sync::Arc::new(plan))
+}
+
+/// Reports what the supervision layer did during a tolerant run.
+fn print_supervision(per_node: &[genomedsm::dsm::NodeStats]) {
+    let mut agg = genomedsm::dsm::NodeStats::default();
+    for st in per_node {
+        agg.merge(st);
+    }
+    println!(
+        "supervision: {} obituaries, {} lease(s) broken, {} role takeover(s), \
+         {} waiter(s) woken, {} heartbeats",
+        agg.obituaries, agg.leases_broken, agg.takeovers, agg.waiters_woken, agg.heartbeats
+    );
+}
+
 fn opt_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
     match opt(args, name) {
         Some(v) => v.parse().unwrap_or_else(|_| {
@@ -118,7 +178,9 @@ fn load_pair(args: &[String]) -> (Vec<u8>, Vec<u8>) {
     let mut files: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i].starts_with("--") {
+        if BOOL_FLAGS.contains(&args[i].as_str()) {
+            i += 1; // bare flag, no value
+        } else if args[i].starts_with("--") {
             i += 2; // skip the flag and its value
         } else {
             files.push(&args[i]);
@@ -163,6 +225,18 @@ fn align(args: &[String]) {
         min_score: opt_num(args, "--min-score", 50),
     };
 
+    let kills = kill_plan(args);
+    let tolerate = has_flag(args, "--tolerate-failures") || kills.is_some();
+    let fortify = |mut dsm: genomedsm::dsm::DsmConfig| {
+        if tolerate {
+            dsm = dsm.tolerate_failures();
+        }
+        if let Some(plan) = &kills {
+            dsm = dsm.faults(std::sync::Arc::clone(plan) as _);
+        }
+        dsm
+    };
+
     eprintln!(
         "aligning {} bp x {} bp with strategy '{strategy}' on {procs} simulated nodes...",
         s.len(),
@@ -170,18 +244,21 @@ fn align(args: &[String]) {
     );
     let (regions, cluster_time) = match strategy.as_str() {
         "heuristic" => {
-            let out =
-                heuristic_align_dsm(&s, &t, &scoring, &params, &HeuristicDsmConfig::new(procs));
+            let mut config = HeuristicDsmConfig::new(procs);
+            config.dsm = fortify(config.dsm);
+            let out = heuristic_align_dsm(&s, &t, &scoring, &params, &config);
+            if tolerate {
+                print_supervision(&out.per_node);
+            }
             (out.regions, out.wall)
         }
         "blocked" => {
-            let out = heuristic_block_align(
-                &s,
-                &t,
-                &scoring,
-                &params,
-                &BlockedConfig::new(procs, bands, blocks),
-            );
+            let mut config = BlockedConfig::new(procs, bands, blocks);
+            config.dsm = fortify(config.dsm);
+            let out = heuristic_block_align(&s, &t, &scoring, &params, &config);
+            if tolerate {
+                print_supervision(&out.per_node);
+            }
             (out.regions, out.wall)
         }
         "preprocess" => {
@@ -190,13 +267,20 @@ fn align(args: &[String]) {
             config.chunk = ChunkPlan::Fixed(1024.min(t.len().max(1)));
             config.threshold = params.min_score;
             config.kernel = opt_kernel(args);
-            let out = preprocess_align(&s, &t, &scoring, &config);
+            config.dsm = fortify(config.dsm);
+            let out = preprocess_align(&s, &t, &scoring, &config).unwrap_or_else(|e| {
+                eprintln!("preprocess failed: {e}");
+                exit(1);
+            });
             println!(
                 "pre-process: best score {}, {} threshold hits, simulated core time {:.2?}",
                 out.best_score,
                 out.total_hits(),
                 out.core_time()
             );
+            if tolerate {
+                print_supervision(&out.per_node);
+            }
             println!("(exact strategy keeps a hit scoreboard; use `exact` to retrieve alignments)");
             return;
         }
@@ -229,7 +313,19 @@ fn align(args: &[String]) {
 
     let show: usize = opt_num(args, "--alignments", 3);
     if show > 0 && !regions.is_empty() {
-        let phase2 = phase2_scattered(&s, &t, &regions, &scoring, procs);
+        let p2_config = fortify(
+            genomedsm::dsm::DsmConfig::new(procs)
+                .network(genomedsm::dsm::NetworkModel::paper_cluster()),
+        );
+        let phase2 =
+            genomedsm_strategies::phase2_scattered_with(&s, &t, &regions, &scoring, &p2_config)
+                .unwrap_or_else(|e| {
+                    eprintln!("phase 2 failed: {e}");
+                    exit(1);
+                });
+        if tolerate {
+            print_supervision(&phase2.per_node);
+        }
         println!("\nphase 2: best alignments");
         let mut ranked: Vec<_> = phase2.alignments.iter().collect();
         ranked.sort_by_key(|ra| -ra.alignment.score);
@@ -334,14 +430,14 @@ fn chaos(args: &[String]) {
                 config.kernel = opt_kernel(args);
                 config
             };
-            let clean = preprocess_align(&s, &t, &scoring, &base());
+            let clean = preprocess_align(&s, &t, &scoring, &base()).unwrap();
             let mut config = base();
             // Crash recovery needs checkpoints; they are also what a
             // production deployment would run with, so the chaos report
             // includes their cost.
             config.checkpoint = true;
             config.dsm = config.dsm.faults(injector);
-            let faulty = preprocess_align(&s, &t, &scoring, &config);
+            let faulty = preprocess_align(&s, &t, &scoring, &config).unwrap();
             let agg = |per_node: &[genomedsm::dsm::NodeStats]| {
                 let mut a = genomedsm::dsm::NodeStats::default();
                 for st in per_node {

@@ -39,7 +39,7 @@
 //! let outcome = heuristic_block_align(
 //!     &s, &t, &Scoring::paper(), &HeuristicParams::default_for_dna(), &config);
 //! // Phase 2: retrieve actual alignments for the regions found.
-//! let phase2 = phase2_scattered(&s, &t, &outcome.regions, &Scoring::paper(), 4);
+//! let phase2 = phase2_scattered(&s, &t, &outcome.regions, &Scoring::paper(), 4).unwrap();
 //! assert_eq!(phase2.alignments.len(), outcome.regions.len());
 //! ```
 

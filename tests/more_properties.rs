@@ -176,7 +176,7 @@ proptest! {
         config.chunk = ChunkPlan::Fixed(chunk_w);
         config.threshold = threshold;
         config.result_interleave = chunk_w;
-        let out = preprocess_align(&s, &t, &SC, &config);
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
         let oracle = sw_score_linear(&s, &t, &SC, threshold);
         prop_assert_eq!(out.total_hits(), oracle.hits as i64);
         prop_assert_eq!(out.best_score, oracle.best_score);

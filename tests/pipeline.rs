@@ -69,7 +69,7 @@ fn full_pipeline_phase1_phase2_dotplot() {
     for nprocs in [1, 2, 4, 8] {
         let phase1 =
             heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(nprocs, 8, 8));
-        let phase2 = phase2_scattered(&s, &t, &phase1.regions, &SC, nprocs);
+        let phase2 = phase2_scattered(&s, &t, &phase1.regions, &SC, nprocs).unwrap();
         assert_eq!(phase2.alignments.len(), phase1.regions.len());
         for ra in &phase2.alignments {
             let r = &ra.region;
@@ -95,7 +95,7 @@ fn preprocess_exactness_across_cluster_sizes() {
         config.chunk = ChunkPlan::Fixed(128);
         config.threshold = 20;
         config.result_interleave = 64;
-        let out = preprocess_align(&s, &t, &SC, &config);
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
         assert_eq!(out.total_hits(), oracle.hits as i64, "P={nprocs}");
         assert_eq!(out.best_score, oracle.best_score, "P={nprocs}");
     }
@@ -117,7 +117,7 @@ fn preprocess_band_schemes_agree() {
             step: 32,
         };
         config.threshold = 18;
-        let out = preprocess_align(&s, &t, &SC, &config);
+        let out = preprocess_align(&s, &t, &SC, &config).unwrap();
         totals.push((out.total_hits(), out.best_score));
     }
     assert_eq!(totals[0], totals[1]);
