@@ -1,0 +1,455 @@
+//! The batch engine: database search and pair-list scoring.
+//!
+//! [`BatchEngine::search`] is the serving entry point: every query against
+//! every database record, top-k hits per query. The work unit is a
+//! *(lane group × target slab)* job: one [`PackedProfile`] is built per
+//! job and re-scored against a contiguous slab of records, so the profile
+//! build (the launch overhead the per-pair path pays per record) amortizes
+//! over the whole slab. Jobs flow through the work-stealing scheduler;
+//! per-job partial top-ks merge in fixed job order, and the strict total
+//! order on [`Hit`]s makes the final top-k independent of worker count
+//! and interleaving.
+//!
+//! [`score_pairs`] is the drop-in for loops of single-pair kernel calls
+//! (BlastN refinement windows, phase-2 style pair lists): pairs sharing an
+//! identical target byte-string are lane-packed together; the rest run as
+//! singles. Results come back in input order, bit-exact per pair.
+
+use crate::db::SeqDatabase;
+use crate::planner::{plan_lane_groups, LanePlan};
+use crate::scheduler::{run_jobs, SchedulerConfig};
+use crate::topk::{Hit, TopK};
+use genomedsm_core::linear::{sw_score_linear, LinearSwResult};
+use genomedsm_core::scoring::Scoring;
+use genomedsm_kernels::{
+    effective_lanes, score_batch, score_batch_packed, Isa, KernelChoice, PackedProfile,
+};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Tuning knobs of a batch search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Kernel selection, as everywhere else in the workspace.
+    pub kernel: KernelChoice,
+    /// Column scoring scheme.
+    pub scoring: Scoring,
+    /// Hits to keep per query.
+    pub top_k: usize,
+    /// Scheduler shape (workers + in-flight window).
+    pub scheduler: SchedulerConfig,
+    /// Database records per job. `0` picks a slab that yields a few jobs
+    /// per worker per lane group.
+    pub slab: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            kernel: KernelChoice::Auto,
+            scoring: Scoring::paper(),
+            top_k: 10,
+            scheduler: SchedulerConfig::default(),
+            slab: 0,
+        }
+    }
+}
+
+/// Work- and shape-counters of one search, for benches and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// DP cells computed if every (query, target) pair ran exactly:
+    /// `Σ |q| × |t|`. GCUPS = `cells / seconds / 1e9`.
+    pub cells: u64,
+    /// Lane groups the planner formed.
+    pub lane_groups: usize,
+    /// Queries that ran on the scalar oracle instead of a packed lane.
+    pub scalar_queries: usize,
+    /// Scheduler jobs executed.
+    pub jobs: usize,
+    /// Padding rows accepted by the lane plan (see
+    /// [`crate::planner::LanePlan::padding_rows`]).
+    pub padding_rows: usize,
+}
+
+/// Everything a search returns.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per query (input order): up to `top_k` hits, best first.
+    pub hits: Vec<Vec<Hit>>,
+    /// Work counters.
+    pub stats: BatchStats,
+}
+
+/// One scheduler job: a set of queries against a slab of records.
+struct Job {
+    /// Caller query indices; packed into lanes iff `packed`.
+    queries: Vec<usize>,
+    targets: Range<usize>,
+    packed: bool,
+}
+
+/// The multi-query database search engine.
+#[derive(Debug, Clone, Default)]
+pub struct BatchEngine {
+    /// The engine's configuration (public: it is plain data).
+    pub config: BatchConfig,
+}
+
+impl BatchEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: BatchConfig) -> Self {
+        Self { config }
+    }
+
+    /// Scores every query against every database record, returning the
+    /// top-k hits per query (only strictly positive scores are hits).
+    ///
+    /// Output is deterministic: the same inputs yield the same hits for
+    /// every worker count and for both lane-packed and scalar execution
+    /// (the kernels are bit-exact against each other).
+    pub fn search(&self, db: &SeqDatabase, queries: &[&[u8]]) -> BatchOutcome {
+        let cfg = &self.config;
+        let mut stats = BatchStats {
+            cells: cell_count(db, queries),
+            ..BatchStats::default()
+        };
+        if queries.is_empty() || db.is_empty() {
+            return BatchOutcome {
+                hits: vec![Vec::new(); queries.len()],
+                stats,
+            };
+        }
+        let lanes = effective_lanes(cfg.kernel);
+        let plan = plan_lane_groups(queries, lanes, &cfg.scoring);
+        stats.lane_groups = plan.groups.len();
+        stats.scalar_queries = plan.scalar.len();
+        stats.padding_rows = plan.padding_rows;
+        let (workers, _) = cfg.scheduler.resolved(usize::MAX);
+        let jobs = build_jobs(&plan, db.len(), self.slab_size(db.len(), &plan, workers));
+        stats.jobs = jobs.len();
+
+        let isa = Isa::best_available();
+        let mut best: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(cfg.top_k)).collect();
+        run_jobs(
+            jobs,
+            &cfg.scheduler,
+            |_, job| exec_job(&job, db, queries, &cfg.scoring, isa, cfg.top_k),
+            |_, partials: Vec<(usize, TopK)>| {
+                for (q, tk) in partials {
+                    best[q].merge(tk);
+                }
+            },
+        );
+        BatchOutcome {
+            hits: best.into_iter().map(TopK::into_sorted).collect(),
+            stats,
+        }
+    }
+
+    /// Records per job: aim for several jobs per worker within each lane
+    /// group so stealing has granules to balance, without collapsing to
+    /// per-record jobs (which would re-pay the profile build everywhere).
+    fn slab_size(&self, records: usize, plan: &LanePlan, workers: usize) -> usize {
+        if self.config.slab > 0 {
+            return self.config.slab;
+        }
+        let groups = (plan.groups.len() + plan.scalar.len()).max(1);
+        let target_jobs = (workers * 4).div_ceil(groups).max(2);
+        records.div_ceil(target_jobs).max(1)
+    }
+}
+
+/// Total exact-DP cells of the full cross product.
+fn cell_count(db: &SeqDatabase, queries: &[&[u8]]) -> u64 {
+    let qsum: u64 = queries.iter().map(|q| q.len() as u64).sum();
+    qsum * db.total_bases() as u64
+}
+
+/// Jobs in a fixed, deterministic order: packed groups first (each ×
+/// every slab), then scalar spill queries (each × every slab).
+fn build_jobs(plan: &LanePlan, records: usize, slab: usize) -> Vec<Job> {
+    let slabs: Vec<Range<usize>> = (0..records.div_ceil(slab))
+        .map(|s| s * slab..((s + 1) * slab).min(records))
+        .collect();
+    let mut jobs = Vec::with_capacity((plan.groups.len() + plan.scalar.len()) * slabs.len());
+    for group in &plan.groups {
+        for slab in &slabs {
+            jobs.push(Job {
+                queries: group.clone(),
+                targets: slab.clone(),
+                packed: true,
+            });
+        }
+    }
+    for &q in &plan.scalar {
+        for slab in &slabs {
+            jobs.push(Job {
+                queries: vec![q],
+                targets: slab.clone(),
+                packed: false,
+            });
+        }
+    }
+    jobs
+}
+
+/// Runs one job: profile built once, scored against every slab record.
+fn exec_job(
+    job: &Job,
+    db: &SeqDatabase,
+    queries: &[&[u8]],
+    scoring: &Scoring,
+    isa: Isa,
+    top_k: usize,
+) -> Vec<(usize, TopK)> {
+    let mut collectors: Vec<(usize, TopK)> =
+        job.queries.iter().map(|&q| (q, TopK::new(top_k))).collect();
+    let packed_prof = if job.packed {
+        let qs: Vec<&[u8]> = job.queries.iter().map(|&q| queries[q]).collect();
+        PackedProfile::new(&qs, scoring, isa)
+    } else {
+        None
+    };
+    match packed_prof {
+        Some(mut prof) => {
+            for (t, target) in db.slab(job.targets.clone()) {
+                for (lane, r) in score_batch_packed(&mut prof, target, 0)
+                    .into_iter()
+                    .enumerate()
+                {
+                    offer(&mut collectors[lane].1, t, &r);
+                }
+            }
+        }
+        None => {
+            // Scalar spill — or a pack the kernel rejected (cannot happen
+            // for planner-admitted groups, but fall back rather than trust).
+            for (t, target) in db.slab(job.targets.clone()) {
+                for (lane, &q) in job.queries.iter().enumerate() {
+                    let r = sw_score_linear(queries[q], target, scoring, 0);
+                    offer(&mut collectors[lane].1, t, &r);
+                }
+            }
+        }
+    }
+    collectors
+}
+
+fn offer(tk: &mut TopK, target: usize, r: &LinearSwResult) {
+    if r.best_score > 0 {
+        tk.push(Hit {
+            score: r.best_score,
+            target,
+            end: r.best_end,
+        });
+    }
+}
+
+/// Scores a list of (query, target) pairs, returning one exact
+/// [`LinearSwResult`] per pair in input order — the batch drop-in for a
+/// loop of single-pair kernel calls.
+///
+/// Pairs sharing a byte-identical target are grouped and lane-packed (a
+/// BlastN run refining many windows of the same subject, phase-2 regions
+/// against a common reference); remaining pairs run one query per
+/// invocation through [`score_batch`], which still lane-packs nothing but
+/// keeps the exact single-pair semantics. Each target group is one
+/// scheduler job.
+pub fn score_pairs(
+    kernel: KernelChoice,
+    pairs: &[(&[u8], &[u8])],
+    scoring: &Scoring,
+    threshold: i32,
+    scheduler: &SchedulerConfig,
+) -> Vec<LinearSwResult> {
+    // Group pair indices by identical target bytes, first-seen order.
+    let mut group_of: HashMap<&[u8], usize> = HashMap::new();
+    let mut groups: Vec<(&[u8], Vec<usize>)> = Vec::new();
+    for (i, &(_, t)) in pairs.iter().enumerate() {
+        match group_of.get(t) {
+            Some(&g) => groups[g].1.push(i),
+            None => {
+                group_of.insert(t, groups.len());
+                groups.push((t, vec![i]));
+            }
+        }
+    }
+    let zero = LinearSwResult {
+        best_score: 0,
+        best_end: (0, 0),
+        hits: 0,
+    };
+    let mut out = vec![zero; pairs.len()];
+    run_jobs(
+        groups,
+        scheduler,
+        |_, (target, members): (&[u8], Vec<usize>)| {
+            let qs: Vec<&[u8]> = members.iter().map(|&i| pairs[i].0).collect();
+            let results = score_batch(kernel, &qs, target, scoring, threshold);
+            members.into_iter().zip(results).collect::<Vec<_>>()
+        },
+        |_, scored| {
+            for (i, r) in scored {
+                out[i] = r;
+            }
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomedsm_kernels::kernel_for;
+    use genomedsm_seq::fasta::FastaRecord;
+    use genomedsm_seq::{random_dna, DnaSeq};
+
+    const SC: Scoring = Scoring::paper();
+
+    fn test_db(n: usize, len: usize, seed: u64) -> SeqDatabase {
+        let records = (0..n)
+            .map(|i| FastaRecord {
+                id: format!("rec{i}"),
+                seq: random_dna(len / 2 + (i * 37) % len.max(1), seed + i as u64),
+            })
+            .collect();
+        SeqDatabase::from_records(records)
+    }
+
+    fn test_queries(n: usize, len: usize, seed: u64) -> Vec<DnaSeq> {
+        (0..n)
+            .map(|i| random_dna(len / 3 + (i * 11) % len.max(1), seed ^ (i as u64) << 4))
+            .collect()
+    }
+
+    /// The sequential single-pair reference the engine must equal.
+    fn brute_force(db: &SeqDatabase, queries: &[&[u8]], k: usize) -> Vec<Vec<Hit>> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut tk = TopK::new(k);
+                for t in 0..db.len() {
+                    let r = sw_score_linear(q, db.seq(t), &SC, 0);
+                    if r.best_score > 0 {
+                        tk.push(Hit {
+                            score: r.best_score,
+                            target: t,
+                            end: r.best_end,
+                        });
+                    }
+                }
+                tk.into_sorted()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn search_matches_brute_force_for_all_kernels() {
+        let db = test_db(23, 60, 7);
+        let queries = test_queries(19, 45, 99);
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_bytes()).collect();
+        let want = brute_force(&db, &refs, 5);
+        for kernel in [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto] {
+            let engine = BatchEngine::new(BatchConfig {
+                kernel,
+                top_k: 5,
+                scheduler: SchedulerConfig {
+                    workers: 3,
+                    window: 2,
+                },
+                ..BatchConfig::default()
+            });
+            let got = engine.search(&db, &refs);
+            assert_eq!(got.hits, want, "kernel {kernel}");
+            assert!(got.stats.cells > 0);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let db = test_db(31, 80, 3);
+        let queries = test_queries(27, 50, 5);
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_bytes()).collect();
+        let runs: Vec<Vec<Vec<Hit>>> = [1usize, 2, 5, 8]
+            .iter()
+            .map(|&workers| {
+                BatchEngine::new(BatchConfig {
+                    top_k: 4,
+                    scheduler: SchedulerConfig { workers, window: 3 },
+                    slab: 4,
+                    ..BatchConfig::default()
+                })
+                .search(&db, &refs)
+                .hits
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r, &runs[0]);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_hit_lists() {
+        let db = test_db(4, 30, 1);
+        let engine = BatchEngine::default();
+        assert!(engine.search(&db, &[]).hits.is_empty());
+        let q: Vec<&[u8]> = vec![b"ACGT"];
+        let empty = SeqDatabase::from_records(vec![]);
+        assert_eq!(engine.search(&empty, &q).hits, vec![Vec::<Hit>::new()]);
+    }
+
+    #[test]
+    fn mixed_degenerate_queries_are_exact() {
+        let db = test_db(9, 40, 11);
+        let long = vec![b'A'; 40_000];
+        let queries: Vec<&[u8]> = vec![b"", b"A", &long, b"GATTACA"];
+        let engine = BatchEngine::new(BatchConfig {
+            top_k: 3,
+            scheduler: SchedulerConfig {
+                workers: 4,
+                window: 0,
+            },
+            ..BatchConfig::default()
+        });
+        assert_eq!(
+            engine.search(&db, &queries).hits,
+            brute_force(&db, &queries, 3)
+        );
+    }
+
+    #[test]
+    fn score_pairs_matches_per_pair_kernel_calls() {
+        let targets: Vec<DnaSeq> = (0..4).map(|i| random_dna(70, 50 + i)).collect();
+        let queries = test_queries(13, 35, 17);
+        // Repeat targets so grouping actually packs lanes.
+        let pairs: Vec<(&[u8], &[u8])> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.as_bytes(), targets[i % targets.len()].as_bytes()))
+            .collect();
+        for kernel in [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto] {
+            for workers in [1, 4] {
+                let got = score_pairs(
+                    kernel,
+                    &pairs,
+                    &SC,
+                    2,
+                    &SchedulerConfig { workers, window: 2 },
+                );
+                let want: Vec<LinearSwResult> = pairs
+                    .iter()
+                    .map(|&(q, t)| kernel_for(kernel).score(q, t, &SC, 2))
+                    .collect();
+                assert_eq!(got, want, "kernel {kernel} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_pairs_empty_list() {
+        assert!(
+            score_pairs(KernelChoice::Auto, &[], &SC, 0, &SchedulerConfig::default()).is_empty()
+        );
+    }
+}

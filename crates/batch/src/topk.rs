@@ -1,0 +1,190 @@
+//! Per-query top-k result heaps with a strict total order.
+//!
+//! Determinism demands more than "keep the k best scores": with ties, the
+//! *set* kept must not depend on arrival order. [`Hit`]'s ordering is
+//! total — score first, then lower target index, then lower end position —
+//! and every (query, target) pair contributes at most one hit, so no two
+//! distinct hits ever compare equal. The k greatest hits under a strict
+//! total order are a unique set, which makes [`TopK`] insertion-order
+//! independent, and top-k of a union equal to top-k of per-part top-ks —
+//! exactly what the scheduler's partial-result merge relies on.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One database hit of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Local alignment score (always > 0; zero-score pairs produce no hit).
+    pub score: i32,
+    /// Database record index (length-sorted database order).
+    pub target: usize,
+    /// End cell of the best local alignment, 1-based (query, target)
+    /// positions, with the kernel's row-major-first tie-break.
+    pub end: (usize, usize),
+}
+
+impl Ord for Hit {
+    /// Greater = better: higher score, then lower target index, then lower
+    /// (row-major) end position.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .cmp(&other.score)
+            .then_with(|| other.target.cmp(&self.target))
+            .then_with(|| other.end.cmp(&self.end))
+    }
+}
+
+impl PartialOrd for Hit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded best-k collector over [`Hit`]s.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    // Min-heap of the current best k: the root is the worst kept hit, the
+    // one a better candidate evicts.
+    heap: BinaryHeap<Reverse<Hit>>,
+}
+
+impl TopK {
+    /// An empty collector keeping at most `k` hits.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(1 << 20)),
+        }
+    }
+
+    /// Offers a hit; it is kept iff it is among the k best seen so far.
+    pub fn push(&mut self, hit: Hit) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(hit));
+        } else if hit > self.heap.peek().expect("non-empty at capacity").0 {
+            self.heap.pop();
+            self.heap.push(Reverse(hit));
+        }
+    }
+
+    /// Absorbs another collector's hits.
+    pub fn merge(&mut self, other: TopK) {
+        for Reverse(h) in other.heap {
+            self.push(h);
+        }
+    }
+
+    /// Number of hits currently kept.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no hit has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The kept hits, best first.
+    pub fn into_sorted(self) -> Vec<Hit> {
+        let mut v: Vec<Hit> = self.heap.into_iter().map(|Reverse(h)| h).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(score: i32, target: usize) -> Hit {
+        Hit {
+            score,
+            target,
+            end: (1, 1),
+        }
+    }
+
+    #[test]
+    fn keeps_the_k_best_in_order() {
+        let mut tk = TopK::new(3);
+        for (s, t) in [(5, 0), (9, 1), (1, 2), (7, 3), (3, 4)] {
+            tk.push(hit(s, t));
+        }
+        let got = tk.into_sorted();
+        assert_eq!(
+            got.iter().map(|h| (h.score, h.target)).collect::<Vec<_>>(),
+            vec![(9, 1), (7, 3), (5, 0)]
+        );
+    }
+
+    #[test]
+    fn ties_break_toward_lower_target_then_lower_end() {
+        let a = Hit {
+            score: 5,
+            target: 2,
+            end: (1, 1),
+        };
+        let b = Hit {
+            score: 5,
+            target: 1,
+            end: (9, 9),
+        };
+        let c = Hit {
+            score: 5,
+            target: 1,
+            end: (1, 2),
+        };
+        assert!(b > a, "lower target beats lower end");
+        assert!(c > b, "same target: lower end wins");
+        let mut tk = TopK::new(2);
+        for h in [a, b, c] {
+            tk.push(h);
+        }
+        assert_eq!(tk.into_sorted(), vec![c, b]);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let hits: Vec<Hit> = (0..20).map(|i| hit(((i * 13) % 7) as i32, i)).collect();
+        let mut forward = TopK::new(5);
+        let mut backward = TopK::new(5);
+        for &h in &hits {
+            forward.push(h);
+        }
+        for &h in hits.iter().rev() {
+            backward.push(h);
+        }
+        assert_eq!(forward.into_sorted(), backward.into_sorted());
+    }
+
+    #[test]
+    fn merge_equals_single_collector() {
+        let hits: Vec<Hit> = (0..30).map(|i| hit(((i * 31) % 11) as i32, i)).collect();
+        let mut whole = TopK::new(4);
+        for &h in &hits {
+            whole.push(h);
+        }
+        let mut left = TopK::new(4);
+        let mut right = TopK::new(4);
+        for &h in &hits[..17] {
+            left.push(h);
+        }
+        for &h in &hits[17..] {
+            right.push(h);
+        }
+        left.merge(right);
+        assert_eq!(left.into_sorted(), whole.into_sorted());
+    }
+
+    #[test]
+    fn zero_k_keeps_nothing() {
+        let mut tk = TopK::new(0);
+        tk.push(hit(100, 0));
+        assert!(tk.is_empty());
+    }
+}

@@ -95,7 +95,7 @@ fn bench_blast(c: &mut Criterion) {
         let (s, t, _) = workloads::pair(len, 15);
         let blast = genomedsm_blast::BlastN::default();
         g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
-            b.iter(|| black_box(blast.search(&s, &t)));
+            b.iter(|| black_box(blast.search(&s, &t).expect("clean DNA input")));
         });
     }
     g.finish();

@@ -8,7 +8,7 @@ use genomedsm_bench::workloads;
 use genomedsm_core::heuristic::{heuristic_align, HeuristicParams};
 use genomedsm_core::Scoring;
 use genomedsm_strategies::{
-    heuristic_block_align, heuristic_block_align_shm, phase2_scattered, phase2_scattered_rayon,
+    heuristic_block_align, heuristic_block_align_shm, phase2_scattered, phase2_scattered_pool,
     preprocess_align, BlockedConfig, PreprocessConfig,
 };
 use std::hint::black_box;
@@ -68,8 +68,8 @@ fn bench_phase2(c: &mut Criterion) {
     g.bench_function("dsm_scattered", |b| {
         b.iter(|| black_box(phase2_scattered(&s, &t, &regions, &SC, 4).unwrap()));
     });
-    g.bench_function("rayon", |b| {
-        b.iter(|| black_box(phase2_scattered_rayon(&s, &t, &regions, &SC, 4).unwrap()));
+    g.bench_function("pool", |b| {
+        b.iter(|| black_box(phase2_scattered_pool(&s, &t, &regions, &SC, 4).unwrap()));
     });
     g.finish();
 }

@@ -24,6 +24,9 @@
 //!   ablation   design-choice ablations: ramped grids, network models
 //!   kernels    vectorized-kernel GCUPS: scalar vs striped SSE2/AVX2 on a
 //!              10k x 10k score-only workload
+//!   batch      multi-query batch engine: aggregate GCUPS of a
+//!              many-small-queries database search, lane-packed vs the
+//!              per-pair kernel-launch baseline
 //!   chaos      reliability sweep: pre-process runs under 0-15% per-link
 //!              drop (plus duplication/reordering and one node crash),
 //!              recording retransmit counts and virtual-time overhead
@@ -118,6 +121,7 @@ fn main() {
         "hetero" => hetero(&args),
         "ablation" => ablation(&args),
         "kernels" => kernels_bench(&args),
+        "batch" => batch_bench(&args),
         "chaos" => chaos_sweep(&args),
         "takeover" => takeover_sweep(&args),
         "summary" => summary(&args),
@@ -136,6 +140,7 @@ fn main() {
             hetero(&args);
             ablation(&args);
             kernels_bench(&args);
+            batch_bench(&args);
             chaos_sweep(&args);
             takeover_sweep(&args);
         }
@@ -148,7 +153,7 @@ fn main() {
 
 const HELP: &str = "\
 usage: paper <experiment> [--scale N] [--procs 1,2,4,8] [--out DIR]
-experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels chaos takeover summary all\n";
+experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels batch chaos takeover summary all\n";
 
 /// The serial reference: a 1-node cluster run (virtual time = cells x
 /// calibrated cell cost plus negligible self-messaging), which matches the
@@ -242,7 +247,9 @@ fn table2(args: &HarnessArgs) {
     let (s, t, _) = workloads::pair(len, 2);
     let nprocs = *args.procs.iter().max().expect("procs");
     let dsm = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(nprocs, 40, 40));
-    let blast = genomedsm_blast::BlastN::default().search(&s, &t);
+    let blast = genomedsm_blast::BlastN::default()
+        .search(&s, &t)
+        .expect("clean DNA input");
 
     let mut best: Vec<&LocalRegion> = dsm.regions.iter().collect();
     best.sort_by_key(|r| -r.score);
@@ -893,6 +900,163 @@ fn kernels_bench(args: &HarnessArgs) {
 }
 
 // ---------------------------------------------------------------------
+// Batch engine: lane-packed database search vs per-pair kernel launches
+// ---------------------------------------------------------------------
+
+/// The many-small-queries workload the per-pair path handles worst:
+/// every (query, record) pair pays a full kernel launch (profile build,
+/// state allocation, mostly-idle lanes on a short query), while the
+/// batch engine packs a different query per lane and reuses one packed
+/// profile across a whole slab of records.
+fn batch_workload(
+    queries: usize,
+    q_len: usize,
+    records: usize,
+    t_len: usize,
+) -> (Vec<Vec<u8>>, genomedsm_batch::SeqDatabase) {
+    let qs: Vec<Vec<u8>> = (0..queries)
+        .map(|i| {
+            genomedsm_seq::random_dna(q_len / 2 + (i * 13) % q_len, 9_000 + i as u64).into_bytes()
+        })
+        .collect();
+    let db = genomedsm_batch::SeqDatabase::from_records(
+        (0..records)
+            .map(|i| genomedsm_seq::fasta::FastaRecord {
+                id: format!("rec{i}"),
+                seq: genomedsm_seq::random_dna(t_len / 2 + (i * 29) % t_len, 7_000 + i as u64),
+            })
+            .collect(),
+    );
+    (qs, db)
+}
+
+/// Per-pair baseline: one kernel launch per (query, record) pair, the
+/// same top-k bookkeeping as the engine.
+fn per_pair_search(
+    choice: genomedsm_kernels::KernelChoice,
+    refs: &[&[u8]],
+    db: &genomedsm_batch::SeqDatabase,
+    top_k: usize,
+) -> Vec<Vec<genomedsm_batch::Hit>> {
+    let kernel = genomedsm_kernels::kernel_for(choice);
+    refs.iter()
+        .map(|q| {
+            let mut tk = genomedsm_batch::TopK::new(top_k);
+            for t in 0..db.len() {
+                let r = kernel.score(q, db.seq(t), &SC, 0);
+                if r.best_score > 0 {
+                    tk.push(genomedsm_batch::Hit {
+                        score: r.best_score,
+                        target: t,
+                        end: r.best_end,
+                    });
+                }
+            }
+            tk.into_sorted()
+        })
+        .collect()
+}
+
+fn batch_bench(args: &HarnessArgs) {
+    use genomedsm_batch::{BatchConfig, BatchEngine};
+    use genomedsm_kernels::KernelChoice;
+    // Fixed sizes: like the kernel bench, this is a host-hardware claim,
+    // not a paper-scale reproduction.
+    let (queries, db) = batch_workload(96, 64, 192, 256);
+    let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+    let cells: f64 = refs.iter().map(|q| q.len() as f64).sum::<f64>() * db.total_bases() as f64;
+    let top_k = 5;
+
+    let mut tab = Table::new(
+        &format!(
+            "Batch engine: {} queries x {} records ({:.1} Mcells), single host",
+            refs.len(),
+            db.len(),
+            cells / 1e6
+        ),
+        &["path", "kernel", "time (s)", "GCUPS", "vs per-pair scalar"],
+    );
+    let reference = per_pair_search(KernelChoice::Scalar, &refs, &db, top_k);
+    let mut base: Option<Duration> = None;
+    let mut timed = |name: &str,
+                     kernel: KernelChoice,
+                     tab: &mut Table,
+                     run: &dyn Fn() -> Vec<Vec<genomedsm_batch::Hit>>| {
+        let mut bestt = Duration::MAX;
+        let mut hits = Vec::new();
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            hits = std::hint::black_box(run());
+            bestt = bestt.min(t0.elapsed());
+        }
+        assert_eq!(
+            hits, reference,
+            "{name}/{kernel} diverged from per-pair scalar"
+        );
+        let base = *base.get_or_insert(bestt);
+        tab.row(&[
+            name.into(),
+            format!("{kernel}"),
+            secs(bestt),
+            format!("{:.3}", gcups(cells, bestt)),
+            format!("{:.2}", base.as_secs_f64() / bestt.as_secs_f64()),
+        ]);
+        eprintln!("[batch] {name}/{kernel} done");
+        bestt
+    };
+
+    let per_pair = |choice: KernelChoice| {
+        let refs = &refs;
+        let db = &db;
+        move || per_pair_search(choice, refs, db, top_k)
+    };
+    let engine = |choice: KernelChoice| {
+        let refs = &refs;
+        let db = &db;
+        move || {
+            BatchEngine::new(BatchConfig {
+                kernel: choice,
+                top_k,
+                ..BatchConfig::default()
+            })
+            .search(db, refs)
+            .hits
+        }
+    };
+    timed(
+        "per-pair",
+        KernelChoice::Scalar,
+        &mut tab,
+        &per_pair(KernelChoice::Scalar),
+    );
+    timed(
+        "per-pair",
+        KernelChoice::Simd,
+        &mut tab,
+        &per_pair(KernelChoice::Simd),
+    );
+    timed(
+        "batch",
+        KernelChoice::Scalar,
+        &mut tab,
+        &engine(KernelChoice::Scalar),
+    );
+    let t_batch = timed(
+        "batch",
+        KernelChoice::Simd,
+        &mut tab,
+        &engine(KernelChoice::Simd),
+    );
+    print!("{}", tab.render());
+    println!(
+        "(lane packing: a different query per i16 lane, one packed profile per record slab;\n \
+         per-pair: one kernel launch per (query, record) pair — {:.3} GCUPS batch aggregate)\n",
+        gcups(cells, t_batch)
+    );
+    tab.save_csv(&args.artifact("batch.csv")).expect("csv");
+}
+
+// ---------------------------------------------------------------------
 // Chaos: the reliability-layer sweep (DESIGN.md §5.7)
 // ---------------------------------------------------------------------
 
@@ -1380,6 +1544,49 @@ fn summary(args: &HarnessArgs) {
             ),
         ));
         eprintln!("[summary] claim 12 done");
+    }
+
+    // Claim 13: the batch engine's aggregate GCUPS on a many-small-
+    // queries database search exceeds the per-pair kernel-launch
+    // baseline at the same kernel choice (inter-sequence lane packing +
+    // profile reuse beat per-pair launch overhead), with identical hits.
+    {
+        use genomedsm_batch::{BatchConfig, BatchEngine};
+        use genomedsm_kernels::KernelChoice;
+        let (queries, db) = batch_workload(64, 64, 128, 256);
+        let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+        let cells: f64 = refs.iter().map(|q| q.len() as f64).sum::<f64>() * db.total_bases() as f64;
+        let time_best = |run: &dyn Fn() -> Vec<Vec<genomedsm_batch::Hit>>| {
+            let mut best = Duration::MAX;
+            let mut hits = Vec::new();
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                hits = std::hint::black_box(run());
+                best = best.min(t0.elapsed());
+            }
+            (hits, best)
+        };
+        let (pp_hits, pp_time) = time_best(&|| per_pair_search(KernelChoice::Simd, &refs, &db, 5));
+        let (b_hits, b_time) = time_best(&|| {
+            BatchEngine::new(BatchConfig {
+                kernel: KernelChoice::Simd,
+                top_k: 5,
+                ..BatchConfig::default()
+            })
+            .search(&db, &refs)
+            .hits
+        });
+        let ratio = pp_time.as_secs_f64() / b_time.as_secs_f64();
+        results.push((
+            "batch engine beats per-pair launches on many small queries (§5.9)",
+            b_hits == pp_hits && ratio > 1.0,
+            format!(
+                "{:.3} vs {:.3} GCUPS ({ratio:.2}x), identical top-k",
+                gcups(cells, b_time),
+                gcups(cells, pp_time)
+            ),
+        ));
+        eprintln!("[summary] claim 13 done");
     }
 
     let mut table = Table::new(

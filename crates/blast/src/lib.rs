@@ -30,12 +30,69 @@ pub mod kmer;
 pub mod stats;
 
 use genomedsm_core::{LocalRegion, Scoring};
+use std::fmt;
 
 pub use extend::extend_ungapped;
 pub use filter::{dust_mask, dust_score, DustParams};
 pub use hsp::dedup_hsps;
 pub use kmer::KmerIndex;
 pub use stats::KarlinAltschul;
+
+/// Typed error of the BlastN-like searcher (same conventions as the
+/// strategies' `StrategyError`: a contextual message per variant, `Display`
+/// + `Error` impls, and a `Result` alias).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlastError {
+    /// A parameter combination the search cannot run with.
+    BadParams(String),
+    /// An input sequence contained a byte outside `{A,C,G,T}`.
+    InvalidBase {
+        /// Which input: `"query"` or `"subject"`.
+        which: &'static str,
+        /// Byte offset of the first offending character.
+        position: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl fmt::Display for BlastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlastError::BadParams(what) => write!(f, "bad blast parameters: {what}"),
+            BlastError::InvalidBase {
+                which,
+                position,
+                byte,
+            } => write!(
+                f,
+                "{which} has invalid base 0x{byte:02x} at position {position}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BlastError {}
+
+/// Convenience alias used by the search entry points.
+pub type BlastResult<T> = Result<T, BlastError>;
+
+/// Rejects bytes outside `{A,C,G,T}` before they can reach the 2-bit
+/// k-mer encoder or the DUST scorer, whose panics would otherwise be the
+/// first to notice.
+fn validate_bases(which: &'static str, seq: &[u8]) -> BlastResult<()> {
+    match seq
+        .iter()
+        .position(|&b| !matches!(b, b'A' | b'C' | b'G' | b'T'))
+    {
+        None => Ok(()),
+        Some(position) => Err(BlastError::InvalidBase {
+            which,
+            position,
+            byte: seq[position],
+        }),
+    }
+}
 
 /// Parameters of the BlastN-like search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,18 +143,45 @@ pub struct BlastN {
 
 impl BlastN {
     /// Creates a searcher with the given parameters.
-    pub fn new(params: BlastParams) -> Self {
-        assert!(params.word_size >= 4, "word size too small to seed");
-        assert!(params.x_drop > 0, "x_drop must be positive");
-        Self { params }
+    ///
+    /// # Errors
+    /// Returns [`BlastError::BadParams`] for a word size outside the 2-bit
+    /// packer's `4..=31` range or a non-positive X-drop.
+    pub fn new(params: BlastParams) -> BlastResult<Self> {
+        if params.word_size < 4 {
+            return Err(BlastError::BadParams(format!(
+                "word size {} too small to seed (need >= 4)",
+                params.word_size
+            )));
+        }
+        if params.word_size > 31 {
+            return Err(BlastError::BadParams(format!(
+                "word size {} exceeds the 2-bit packer's limit of 31",
+                params.word_size
+            )));
+        }
+        if params.x_drop <= 0 {
+            return Err(BlastError::BadParams(format!(
+                "x_drop must be positive, got {}",
+                params.x_drop
+            )));
+        }
+        Ok(Self { params })
     }
 
     /// Searches for local alignments of `s` against `t`, returning HSP
     /// coordinates sorted by descending score.
-    pub fn search(&self, s: &[u8], t: &[u8]) -> Vec<LocalRegion> {
+    ///
+    /// # Errors
+    /// Returns [`BlastError::InvalidBase`] if either input contains a byte
+    /// outside `{A,C,G,T}` (FASTA inputs parsed by `genomedsm-seq` are
+    /// always clean; this guards hand-built byte slices).
+    pub fn search(&self, s: &[u8], t: &[u8]) -> BlastResult<Vec<LocalRegion>> {
         let p = &self.params;
+        validate_bases("query", s)?;
+        validate_bases("subject", t)?;
         if s.len() < p.word_size || t.len() < p.word_size {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let index = KmerIndex::build(t, p.word_size);
         let mask = p.dust.map(|dp| filter::dust_mask(s, &dp));
@@ -137,41 +221,58 @@ impl BlastN {
                 let hsp = extend::extend_ungapped(s, t, i, j, p.word_size, &p.scoring, p.x_drop);
                 diag_reach.insert(diag, hsp.s_end);
                 if hsp.score >= p.min_score {
-                    hsps.push(self.refine_gapped(s, t, hsp));
+                    hsps.push(hsp);
                 }
             }
         }
+        let hsps = self.refine_gapped_batch(s, t, hsps);
         let mut out = dedup_hsps(hsps);
         out.retain(|h| h.score >= p.min_score);
-        out
+        Ok(out)
     }
 
-    /// Re-scores an ungapped HSP over its window, keeping the best of the
-    /// ungapped score, a banded global alignment (gapped alignment can
-    /// only help if the window truly contains indels), and an exact local
-    /// SW score through the configured [`genomedsm_kernels`] kernel. The
-    /// local score dominates both others (it may skip the window's rim and
-    /// is never banded), so on SIMD hardware this is both the tightest and
-    /// the cheapest bound per cell.
-    fn refine_gapped(&self, s: &[u8], t: &[u8], hsp: LocalRegion) -> LocalRegion {
+    /// Re-scores ungapped HSPs over their windows, keeping per HSP the best
+    /// of the ungapped score, a banded global alignment (gapped alignment
+    /// can only help if the window truly contains indels), and an exact
+    /// local SW score. The local score dominates both others (it may skip
+    /// the window's rim and is never banded), so on SIMD hardware this is
+    /// both the tightest and the cheapest bound per cell.
+    ///
+    /// The SW re-scores for *all* windows go through one
+    /// [`genomedsm_batch::score_pairs`] call instead of per-window kernel
+    /// launches: windows over a byte-identical subject slice share a lane
+    /// pack, and singles keep the exact single-pair path.
+    fn refine_gapped_batch(&self, s: &[u8], t: &[u8], hsps: Vec<LocalRegion>) -> Vec<LocalRegion> {
         let p = &self.params;
-        let sub_s = &s[hsp.s_begin..hsp.s_end];
-        let sub_t = &t[hsp.t_begin..hsp.t_end];
-        let mut best = hsp;
-        if let Some(g) = genomedsm_core::nw::nw_banded(sub_s, sub_t, &p.scoring, p.band) {
-            best.score = best.score.max(g.score);
-        }
-        let local = genomedsm_kernels::kernel_for(p.kernel)
-            .score(sub_s, sub_t, &p.scoring, 0)
-            .best_score;
-        best.score = best.score.max(local);
-        best
+        let pairs: Vec<(&[u8], &[u8])> = hsps
+            .iter()
+            .map(|h| (&s[h.s_begin..h.s_end], &t[h.t_begin..h.t_end]))
+            .collect();
+        // One worker: BlastN searches often already run one-per-thread
+        // (phase-1 strategies, benches), so refinement stays inline.
+        let scheduler = genomedsm_batch::SchedulerConfig {
+            workers: 1,
+            window: 1,
+        };
+        let locals = genomedsm_batch::score_pairs(p.kernel, &pairs, &p.scoring, 0, &scheduler);
+        hsps.into_iter()
+            .zip(locals)
+            .map(|(mut best, local)| {
+                let sub_s = &s[best.s_begin..best.s_end];
+                let sub_t = &t[best.t_begin..best.t_end];
+                if let Some(g) = genomedsm_core::nw::nw_banded(sub_s, sub_t, &p.scoring, p.band) {
+                    best.score = best.score.max(g.score);
+                }
+                best.score = best.score.max(local.best_score);
+                best
+            })
+            .collect()
     }
 }
 
 impl Default for BlastN {
     fn default() -> Self {
-        Self::new(BlastParams::default())
+        Self::new(BlastParams::default()).expect("default parameters are valid")
     }
 }
 
@@ -187,7 +288,7 @@ mod tests {
         let repeat = b"GATTACAGATTACAGATTACAGATTACA"; // 28 bp
         s[50..50 + repeat.len()].copy_from_slice(repeat);
         t[120..120 + repeat.len()].copy_from_slice(repeat);
-        let hits = BlastN::default().search(&s, &t);
+        let hits = BlastN::default().search(&s, &t).unwrap();
         assert!(!hits.is_empty());
         let best = &hits[0];
         assert!(best.score >= 20, "score {}", best.score);
@@ -199,13 +300,14 @@ mod tests {
     fn no_hits_between_unrelated_homopolymers() {
         let s = vec![b'A'; 300];
         let t = vec![b'C'; 300];
-        assert!(BlastN::default().search(&s, &t).is_empty());
+        assert!(BlastN::default().search(&s, &t).unwrap().is_empty());
     }
 
     #[test]
     fn too_short_inputs_yield_nothing() {
         assert!(BlastN::default()
             .search(b"ACGT", b"ACGTACGTACGTACG")
+            .unwrap()
             .is_empty());
     }
 
@@ -218,7 +320,7 @@ mod tests {
             profile: genomedsm_seq::MutationProfile::similar(),
         };
         let (s, t, truth) = planted_pair(8_000, 8_000, &plan, 77);
-        let hits = BlastN::default().search(&s, &t);
+        let hits = BlastN::default().search(&s, &t).unwrap();
         // Every planted region should be hit by at least one HSP whose
         // t-interval overlaps it.
         for region in &truth {
@@ -238,7 +340,7 @@ mod tests {
             profile: genomedsm_seq::MutationProfile::similar(),
         };
         let (s, t, _) = planted_pair(6_000, 6_000, &plan, 3);
-        let hits = BlastN::default().search(&s, &t);
+        let hits = BlastN::default().search(&s, &t).unwrap();
         for w in hits.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
@@ -256,8 +358,9 @@ mod tests {
         let blast = BlastN::new(BlastParams {
             two_hit_window: Some(40),
             ..Default::default()
-        });
-        let hits = blast.search(&s, &t);
+        })
+        .unwrap();
+        let hits = blast.search(&s, &t).unwrap();
         for region in &truth {
             let covered = hits
                 .iter()
@@ -265,7 +368,7 @@ mod tests {
             assert!(covered, "two-hit seeding missed {region:?}");
         }
         // And it prunes spurious one-off seeds: no more HSPs than one-hit.
-        let one_hit = BlastN::default().search(&s, &t);
+        let one_hit = BlastN::default().search(&s, &t).unwrap();
         assert!(hits.len() <= one_hit.len());
     }
 
@@ -288,7 +391,7 @@ mod tests {
         for b in t[300..360].iter_mut() {
             *b = b'A';
         }
-        let unmasked = BlastN::default().search(&s, &t);
+        let unmasked = BlastN::default().search(&s, &t).unwrap();
         assert!(
             unmasked.iter().any(|h| h.s_begin >= 90 && h.s_end <= 170),
             "poly-A should hit without DUST"
@@ -297,7 +400,9 @@ mod tests {
             dust: Some(filter::DustParams::default()),
             ..Default::default()
         })
-        .search(&s, &t);
+        .unwrap()
+        .search(&s, &t)
+        .unwrap();
         assert!(
             !masked.iter().any(|h| h.s_begin >= 90 && h.s_end <= 170),
             "poly-A must be masked: {masked:?}"
@@ -321,7 +426,9 @@ mod tests {
                     kernel,
                     ..Default::default()
                 })
+                .unwrap()
                 .search(&s, &t)
+                .unwrap()
             })
             .collect();
         assert_eq!(runs[0], runs[1], "scalar vs simd");
@@ -330,11 +437,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "word size")]
-    fn rejects_tiny_word_size() {
-        let _ = BlastN::new(BlastParams {
-            word_size: 2,
-            ..Default::default()
-        });
+    fn rejects_bad_parameters_with_typed_errors() {
+        for (params, needle) in [
+            (
+                BlastParams {
+                    word_size: 2,
+                    ..Default::default()
+                },
+                "word size",
+            ),
+            (
+                BlastParams {
+                    word_size: 40,
+                    ..Default::default()
+                },
+                "2-bit packer",
+            ),
+            (
+                BlastParams {
+                    x_drop: 0,
+                    ..Default::default()
+                },
+                "x_drop",
+            ),
+        ] {
+            match BlastN::new(params) {
+                Err(BlastError::BadParams(msg)) => {
+                    assert!(msg.contains(needle), "`{msg}` missing `{needle}`")
+                }
+                other => panic!("expected BadParams, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_dna_input_instead_of_panicking() {
+        let blast = BlastN::default();
+        let good = vec![b'A'; 20];
+        let mut bad = good.clone();
+        bad[7] = b'N';
+        let err = blast.search(&bad, &good).unwrap_err();
+        assert_eq!(
+            err,
+            BlastError::InvalidBase {
+                which: "query",
+                position: 7,
+                byte: b'N'
+            }
+        );
+        let err = blast.search(&good, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            BlastError::InvalidBase {
+                which: "subject",
+                ..
+            }
+        ));
+        // And the error formats usefully.
+        assert!(err.to_string().contains("subject"));
     }
 }

@@ -1,0 +1,484 @@
+//! Inter-sequence batch kernel: a **different query per i16 lane**.
+//!
+//! The striped kernel ([`crate::engine`]) spends all its lanes on one
+//! query; profitable for long pairs, wasteful for database search where
+//! millions of *small* queries each pay a full kernel launch (profile
+//! build, state allocation, lazy-F fixups) per pair. This module packs up
+//! to `LANES` distinct queries into one vector register file and scores
+//! them against a shared target in a single pass — the inter-sequence
+//! parallelism of DSA and SWIPE (see PAPERS.md).
+//!
+//! The layout is plain row-major: vector `i` holds cell `(i, j)` of every
+//! lane's private DP matrix, where row `i` is a query position and `j`
+//! walks the shared target. Because the lanes are *independent
+//! alignments*, there is no inter-lane dependency at all: the vertical
+//! gap chain runs down the rows of one column, which the column loop
+//! computes sequentially anyway. No striping, no lazy-F loop — every
+//! instruction is useful work.
+//!
+//! Exactness contract: each lane's result is bit-identical to
+//! [`sw_score_linear`] on that (query, target) pair — same best score,
+//! same row-major-first end-point tie-break, same threshold hit count.
+//! Queries outside the i16 envelope ([`fits_i16_query`]) transparently
+//! fall back to the scalar oracle in [`score_batch`].
+
+use crate::engine::Engine;
+use crate::profile::NEG_INF;
+use crate::{fits_i16_query, Isa, KernelChoice};
+use genomedsm_core::linear::{sw_score_linear, LinearSwResult};
+use genomedsm_core::scoring::Scoring;
+
+/// A batch of up to `lanes` queries packed one-per-lane for a fixed ISA.
+///
+/// The profile precomputes, for each target symbol `c`, the row-major
+/// vector sequence `prof[c][i * lanes + l] = subst(q_l[i], c)` (the
+/// padding sentinel (`NEG_INF`) where lane `l` is shorter than row `i`),
+/// so the inner loop is one saturating add per row. Rows are built lazily
+/// per observed symbol. A profile is built **once per lane group** and
+/// reused across every database record it is scored against — that
+/// amortization is the batch engine's main launch-overhead win.
+pub struct PackedProfile {
+    isa: Isa,
+    /// Vector width in i16 lanes.
+    lanes: usize,
+    /// Rows per column: the longest packed query's length.
+    rows: usize,
+    /// Per-lane query lengths (`lens.len()` = number of packed queries).
+    lens: Vec<usize>,
+    /// Per-row byte-granularity live-lane mask (2 bits per live lane),
+    /// matching the `movemask_epi8` convention of `Engine::gt_bytes`:
+    /// lane `l` is live at row `i` iff `i < lens[l]`.
+    valid: Vec<u64>,
+    /// Lazily built profile rows, one per target symbol.
+    sym_rows: Vec<Option<Box<[i16]>>>,
+    seqs: Vec<Box<[u8]>>,
+    match_score: i16,
+    mismatch: i16,
+    gap: i16,
+}
+
+impl PackedProfile {
+    /// Packs `queries` (at most `isa.lanes()` of them) for `isa`.
+    ///
+    /// Returns `None` when the pack is not exactly representable: the ISA
+    /// is unavailable on this CPU, too many queries, or the scoring
+    /// scheme / a query length fails [`fits_i16_query`]. Callers that
+    /// need a never-fails path use [`score_batch`], which routes
+    /// rejected queries to the scalar oracle instead.
+    pub fn new(queries: &[&[u8]], scoring: &Scoring, isa: Isa) -> Option<Self> {
+        if !isa.available() || queries.len() > isa.lanes() {
+            return None;
+        }
+        if queries.iter().any(|q| !fits_i16_query(q.len(), scoring)) {
+            return None;
+        }
+        let lanes = isa.lanes();
+        let lens: Vec<usize> = queries.iter().map(|q| q.len()).collect();
+        let rows = lens.iter().copied().max().unwrap_or(0);
+        let mut valid = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let mut mask = 0u64;
+            for (l, &len) in lens.iter().enumerate() {
+                if i < len {
+                    mask |= 0b11 << (2 * l);
+                }
+            }
+            valid.push(mask);
+        }
+        Some(Self {
+            isa,
+            lanes,
+            rows,
+            lens,
+            valid,
+            sym_rows: vec![None; 256],
+            seqs: queries.iter().map(|&q| q.into()).collect(),
+            match_score: scoring.matches as i16,
+            mismatch: scoring.mismatch as i16,
+            gap: (-scoring.gap) as i16,
+        })
+    }
+
+    /// Number of queries packed into this profile.
+    pub fn width(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// The ISA this profile is laid out for.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// The profile row for target symbol `c` (`rows * lanes` values).
+    fn row(&mut self, c: u8) -> &[i16] {
+        let slot = &mut self.sym_rows[c as usize];
+        if slot.is_none() {
+            let mut row = vec![NEG_INF; self.rows * self.lanes];
+            for (l, q) in self.seqs.iter().enumerate() {
+                for (i, &qc) in q.iter().enumerate() {
+                    row[i * self.lanes + l] = if qc == c {
+                        self.match_score
+                    } else {
+                        self.mismatch
+                    };
+                }
+            }
+            *slot = Some(row.into_boxed_slice());
+        }
+        slot.as_deref().unwrap()
+    }
+}
+
+/// Mutable per-scan state: two column buffers plus the per-element
+/// running-max bookkeeping that reproduces the oracle's tie-break.
+struct PackedState {
+    /// Previous column's `H` (`rows * lanes`, row-major).
+    ph: Vec<i16>,
+    /// Current column's `H`.
+    ch: Vec<i16>,
+    /// Running per-element maximum over all columns seen so far.
+    vmax: Vec<i16>,
+    /// Column (0-based) of the first strict improvement that set each
+    /// element's current `vmax`.
+    first_j: Vec<u64>,
+    /// Per-lane threshold hits.
+    hits: Vec<u64>,
+}
+
+impl PackedState {
+    fn new(rows: usize, lanes: usize) -> Self {
+        let n = rows * lanes;
+        Self {
+            ph: vec![0; n],
+            ch: vec![0; n],
+            vmax: vec![0; n],
+            first_j: vec![0; n],
+            hits: vec![0; lanes],
+        }
+    }
+
+    #[inline(always)]
+    fn flip(&mut self) {
+        std::mem::swap(&mut self.ph, &mut self.ch);
+    }
+}
+
+/// Computes one target column into `st.ch` from `st.ph`.
+///
+/// Per row `i` (lane-wise): `H[i][j] = max(0, H[i-1][j-1] + subst,
+/// H[i-1][j] - gap, H[i][j-1] - gap)`. The top border (`i = -1`) is the
+/// zero row of a fresh local alignment, so both `diag` and `up` start at
+/// zero.
+#[inline(always)]
+unsafe fn packed_column<E: Engine>(st: &mut PackedState, rows: usize, prof_row: &[i16], gap: i16) {
+    let l = E::LANES;
+    let vzero = E::splat(0);
+    let vgap = E::splat(gap);
+    let mut diag = vzero; // H[i-1][j-1]
+    let mut up = vzero; // H[i-1][j]
+    for i in 0..rows {
+        let off = i * l;
+        let left = E::load(st.ph.as_ptr().add(off)); // H[i][j-1]
+        let mut vh = E::adds(diag, E::load(prof_row.as_ptr().add(off)));
+        vh = E::max(vh, E::subs(left, vgap));
+        vh = E::max(vh, E::subs(up, vgap));
+        vh = E::max(vh, vzero);
+        E::store(st.ch.as_mut_ptr().add(off), vh);
+        diag = left;
+        up = vh;
+    }
+}
+
+/// Post-column statistics: per-lane threshold hits over live elements
+/// and the running per-element max plus the column of its first strict
+/// improvement (the data the final reduction needs for the oracle's
+/// row-major-first tie-break).
+#[inline(always)]
+unsafe fn packed_stats<E: Engine>(
+    st: &mut PackedState,
+    valid: &[u64],
+    thr_minus_1: Option<i16>,
+    j0: usize,
+) {
+    let l = E::LANES;
+    let vthr = thr_minus_1.map(|x| E::splat(x));
+    for (i, &vmask) in valid.iter().enumerate() {
+        let off = i * l;
+        let vh = E::load(st.ch.as_ptr().add(off));
+        if let Some(vt) = vthr {
+            let mut bits = E::gt_bytes(vh, vt) & vmask;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize / 2;
+                st.hits[lane] += 1;
+                bits &= !(0b11u64 << (lane * 2));
+            }
+        }
+        let vm = E::load(st.vmax.as_ptr().add(off));
+        let improved = E::gt_bytes(vh, vm) & vmask;
+        if improved != 0 {
+            E::store(st.vmax.as_mut_ptr().add(off), E::max(vm, vh));
+            let mut bits = improved;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize / 2;
+                st.first_j[off + lane] = j0 as u64;
+                bits &= !(0b11u64 << (lane * 2));
+            }
+        }
+    }
+}
+
+/// Full batch pass: one result per packed query, oracle-exact.
+///
+/// # Safety
+/// The caller must guarantee the engine's ISA is available on the running
+/// CPU (or call this through a `#[target_feature]` wrapper).
+#[inline(always)]
+pub(crate) unsafe fn packed_score<E: Engine>(
+    prof: &mut PackedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    debug_assert_eq!(E::LANES, prof.lanes);
+    let rows = prof.rows;
+    let gap = prof.gap;
+    let mut st = PackedState::new(rows, prof.lanes);
+    // Hits are only counted for positive thresholds (matching the scalar
+    // oracle); a threshold above the i16 range can never be reached by an
+    // admitted problem, so it degenerates to "count nothing".
+    let thr = if threshold > 0 && threshold <= i32::from(i16::MAX) {
+        Some((threshold - 1) as i16)
+    } else {
+        None
+    };
+    for (j0, &c) in t.iter().enumerate() {
+        let row = prof.row(c);
+        packed_column::<E>(&mut st, rows, row, gap);
+        packed_stats::<E>(&mut st, &prof.valid, thr, j0);
+        st.flip();
+    }
+    // Final reduction: scanning each lane's live rows in query order with
+    // a strict `>` reproduces the oracle's row-major-first tie-break —
+    // `first_j` holds each row's first column reaching its max, and the
+    // lowest such row wins.
+    prof.lens
+        .iter()
+        .enumerate()
+        .map(|(l, &len)| {
+            let mut best = LinearSwResult {
+                best_score: 0,
+                best_end: (0, 0),
+                hits: st.hits[l],
+            };
+            for i in 0..len {
+                let idx = i * prof.lanes + l;
+                let v = i32::from(st.vmax[idx]);
+                if v > best.best_score {
+                    best.best_score = v;
+                    best.best_end = (i + 1, st.first_j[idx] as usize + 1);
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Scores every query packed in `prof` against `t`, one oracle-exact
+/// [`LinearSwResult`] per query in pack order.
+///
+/// The profile is reusable: scoring mutates only its lazy symbol-row
+/// cache, so one profile can scan an entire database of targets.
+pub fn score_batch_packed(
+    prof: &mut PackedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    match prof.isa {
+        Isa::Portable => unsafe { packed_score::<crate::scalar::Portable>(prof, t, threshold) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => unsafe { crate::x86::packed_sse2(prof, t, threshold) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { crate::x86::packed_avx2(prof, t, threshold) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Isa::Sse2 | Isa::Avx2 => unreachable!("PackedProfile::new checks Isa::available"),
+    }
+}
+
+/// Number of queries one kernel invocation carries for `choice` on this
+/// host: the i16 lane width for the SIMD paths, 1 for the scalar oracle.
+/// Batch planners size their lane groups with this.
+pub fn effective_lanes(choice: KernelChoice) -> usize {
+    match choice {
+        KernelChoice::Scalar => 1,
+        KernelChoice::Simd => Isa::best_available().lanes(),
+        KernelChoice::Auto => {
+            let best = Isa::best_available();
+            if best == Isa::Portable {
+                1
+            } else {
+                best.lanes()
+            }
+        }
+    }
+}
+
+/// Scores many queries against one shared target, packing a different
+/// query into each i16 lane: the batch drop-in for a loop of single-pair
+/// `score` calls. Results are in query order and bit-identical to
+/// [`sw_score_linear`] per pair.
+///
+/// Queries are packed [`effective_lanes`]`(choice)` at a time in the
+/// given order (pre-sort by length to minimize padding); queries outside
+/// the i16 envelope — and every query under `KernelChoice::Scalar` or
+/// when no real SIMD is available under `Auto` — run on the scalar
+/// oracle instead.
+pub fn score_batch(
+    choice: KernelChoice,
+    queries: &[&[u8]],
+    t: &[u8],
+    scoring: &Scoring,
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    let isa = match choice {
+        KernelChoice::Scalar => None,
+        KernelChoice::Simd => Some(Isa::best_available()),
+        KernelChoice::Auto => {
+            let best = Isa::best_available();
+            (best != Isa::Portable).then_some(best)
+        }
+    };
+    let zero = LinearSwResult {
+        best_score: 0,
+        best_end: (0, 0),
+        hits: 0,
+    };
+    let mut out = vec![zero; queries.len()];
+    let Some(isa) = isa else {
+        for (slot, q) in out.iter_mut().zip(queries) {
+            *slot = sw_score_linear(q, t, scoring, threshold);
+        }
+        return out;
+    };
+    let (packable, scalar): (Vec<usize>, Vec<usize>) =
+        (0..queries.len()).partition(|&i| fits_i16_query(queries[i].len(), scoring));
+    for group in packable.chunks(isa.lanes()) {
+        let qs: Vec<&[u8]> = group.iter().map(|&i| queries[i]).collect();
+        let mut prof =
+            PackedProfile::new(&qs, scoring, isa).expect("members passed fits_i16_query");
+        for (&i, r) in group
+            .iter()
+            .zip(score_batch_packed(&mut prof, t, threshold))
+        {
+            out[i] = r;
+        }
+    }
+    for i in scalar {
+        out[i] = sw_score_linear(queries[i], t, scoring, threshold);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SC: Scoring = Scoring::paper();
+
+    fn oracle_each(queries: &[&[u8]], t: &[u8], thr: i32) -> Vec<LinearSwResult> {
+        queries
+            .iter()
+            .map(|q| sw_score_linear(q, t, &SC, thr))
+            .collect()
+    }
+
+    #[test]
+    fn packed_profile_rejects_overfull_and_oversized() {
+        let qs: Vec<&[u8]> = (0..9).map(|_| &b"ACGT"[..]).collect();
+        assert!(PackedProfile::new(&qs, &SC, Isa::Portable).is_none());
+        let long = vec![b'A'; 40_000];
+        assert!(PackedProfile::new(&[&long], &SC, Isa::Portable).is_none());
+        assert!(PackedProfile::new(&[b"ACGT"], &SC, Isa::Portable).is_some());
+    }
+
+    #[test]
+    fn every_isa_matches_the_oracle_on_a_ragged_pack() {
+        let queries: Vec<&[u8]> = vec![
+            b"TCTCGACGGATTAGTATATATATAGGCATTCA",
+            b"",
+            b"A",
+            b"GATTACA",
+            b"ATATGATCGGAATAGCTCTTAGGCATT",
+            b"CCCCCCCC",
+        ];
+        let t = b"ATATGATCGGAATAGCTCTTAGGCATTCAGATTACA";
+        for thr in [0, 1, 3, i32::MAX] {
+            let want = oracle_each(&queries, t, thr);
+            for isa in Isa::ALL {
+                if !isa.available() {
+                    continue;
+                }
+                let mut prof = PackedProfile::new(&queries, &SC, isa).unwrap();
+                let got = score_batch_packed(&mut prof, t, thr);
+                assert_eq!(got, want, "isa {} thr {thr}", isa.name());
+            }
+        }
+    }
+
+    #[test]
+    fn profile_reuse_across_targets_stays_exact() {
+        let queries: Vec<&[u8]> = vec![b"GACGGATTAG", b"TTTTAGGCAT", b"ACGTACGTACGT"];
+        let targets: [&[u8]; 3] = [b"GATCGGAATAGGGACCATTTACCA", b"ACGT", b""];
+        let mut prof = PackedProfile::new(&queries, &SC, Isa::Portable).unwrap();
+        for t in targets {
+            assert_eq!(
+                score_batch_packed(&mut prof, t, 2),
+                oracle_each(&queries, t, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn score_batch_spills_oversized_queries_to_scalar() {
+        // 40k identical bases exceed the i16 ceiling with paper scoring;
+        // the big query must fall back while its neighbours stay packed.
+        let long = vec![b'A'; 40_000];
+        let queries: Vec<&[u8]> = vec![b"GATTACA", &long, b"ACGT"];
+        let t = vec![b'A'; 1000];
+        for choice in [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto] {
+            let got = score_batch(choice, &queries, &t, &SC, 1);
+            assert_eq!(got, oracle_each(&queries, &t, 1), "choice {choice}");
+        }
+    }
+
+    #[test]
+    fn more_queries_than_lanes_chunks_correctly() {
+        let base = b"TCTCGACGGATTAGTATATATATAGGCATTCAGATTACA";
+        let queries: Vec<&[u8]> = (0..37).map(|i| &base[i % 8..8 + (i * 3) % 30]).collect();
+        let t = b"ATATGATCGGAATAGCTCTTAGGCATTCA";
+        for choice in [KernelChoice::Simd, KernelChoice::Auto] {
+            assert_eq!(
+                score_batch(choice, &queries, t, &SC, 2),
+                oracle_each(&queries, t, 2),
+                "choice {choice}"
+            );
+        }
+    }
+
+    #[test]
+    fn tie_break_matches_oracle_on_repetitive_sequences() {
+        // Periodic sequences create many equal-scoring maxima; the batch
+        // reduction must pick the same (row-major-first) end point.
+        let queries: Vec<&[u8]> = vec![b"ATATATATAT", b"TATATATA", b"ATAT"];
+        let t = b"ATATATATATATATAT";
+        let mut prof = PackedProfile::new(&queries, &SC, Isa::Portable).unwrap();
+        assert_eq!(
+            score_batch_packed(&mut prof, t, 1),
+            oracle_each(&queries, t, 1)
+        );
+    }
+
+    #[test]
+    fn effective_lanes_is_one_for_scalar() {
+        assert_eq!(effective_lanes(KernelChoice::Scalar), 1);
+        assert!(effective_lanes(KernelChoice::Simd) >= 8);
+    }
+}

@@ -23,6 +23,7 @@
 //! (portable fallback included), `scalar` forces the oracle.
 
 mod band;
+mod batch;
 mod engine;
 mod profile;
 mod scalar;
@@ -30,6 +31,7 @@ mod scalar;
 mod x86;
 
 pub use band::BandScorer;
+pub use batch::{effective_lanes, score_batch, score_batch_packed, PackedProfile};
 pub use genomedsm_core::linear::LinearSwResult;
 
 use genomedsm_core::linear::sw_score_linear;
@@ -171,6 +173,28 @@ pub fn fits_i16(m: usize, n: usize, scoring: &Scoring) -> bool {
         return false;
     }
     (m.min(n) as i64).saturating_mul(i64::from(scoring.matches)) <= I16_SCORE_CEILING
+}
+
+/// [`fits_i16`] for a query whose target length is not yet known — the
+/// admission rule for packing a query into a [`PackedProfile`] that will be
+/// reused across a whole database of targets.
+///
+/// Local scores are bounded by `min(m, n) * matches <= m * matches` for any
+/// target length `n`, so `m * matches <= I16_SCORE_CEILING` rules out
+/// saturation against every possible target. Unlike [`fits_i16`], an empty
+/// query is admitted: its lane is fully masked and yields the oracle's zero
+/// result for free.
+pub fn fits_i16_query(m: usize, scoring: &Scoring) -> bool {
+    if scoring.gap >= 0 || scoring.gap < -I16_PARAM_CEILING {
+        return false;
+    }
+    if scoring.matches <= 0
+        || scoring.mismatch > scoring.matches
+        || scoring.mismatch < -I16_PARAM_CEILING
+    {
+        return false;
+    }
+    (m as i64).saturating_mul(i64::from(scoring.matches)) <= I16_SCORE_CEILING
 }
 
 /// A drop-in replacement for `sw_score_linear`: same inputs, same exact

@@ -17,6 +17,7 @@
 
 use std::arch::x86_64::*;
 
+use crate::batch::{packed_score, PackedProfile};
 use crate::engine::{band_advance, striped_score, BandChunkOut, Engine, StripedState};
 use crate::profile::StripedProfile;
 use genomedsm_core::linear::LinearSwResult;
@@ -175,6 +176,28 @@ pub(crate) unsafe fn band_advance_avx2(
     out: &mut BandChunkOut<'_>,
 ) {
     band_advance::<Avx2>(st, prof, chunk, top, thr_minus_1, out)
+}
+
+/// # Safety
+/// Caller must have verified SSE2 availability.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn packed_sse2(
+    prof: &mut PackedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    packed_score::<Sse2>(prof, t, threshold)
+}
+
+/// # Safety
+/// Caller must have verified AVX2 via `is_x86_feature_detected!`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn packed_avx2(
+    prof: &mut PackedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    packed_score::<Avx2>(prof, t, threshold)
 }
 
 #[cfg(test)]

@@ -1,0 +1,141 @@
+//! Property tests: lane-packed batch scoring must reproduce the scalar
+//! single-pair oracle (`sw_score_linear`) exactly, per query — best
+//! score, best end position (including the row-major-first tie-break),
+//! and threshold-hit count — on random query sets and on adversarial
+//! shapes: empty queries, one-character queries, queries too long for
+//! the i16 envelope (which must spill to the scalar path), and ragged
+//! mixes of all of the above sharing one pack.
+
+use genomedsm_core::linear::sw_score_linear;
+use genomedsm_core::Scoring;
+use genomedsm_kernels::{fits_i16_query, score_batch, KernelChoice};
+use proptest::prelude::*;
+
+const SC: Scoring = Scoring::paper();
+const CHOICES: [KernelChoice; 3] = [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto];
+
+fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..max,
+    )
+}
+
+/// Query sets straddle the 8- and 16-lane pack widths (so chunking and
+/// padding lanes both get exercised).
+fn query_set() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(dna(90), 0..40)
+}
+
+/// Degrades a sampled query set in place: roughly one lane in six goes
+/// empty and one in six shrinks to a single character, driven by `shape`
+/// so the mix itself is part of the sampled input.
+fn degrade(queries: &mut [Vec<u8>], mut shape: u64) {
+    for q in queries.iter_mut() {
+        match shape % 6 {
+            0 => q.clear(),
+            1 => q.truncate(1),
+            _ => {}
+        }
+        shape /= 6;
+    }
+}
+
+fn check(choice: KernelChoice, queries: &[Vec<u8>], t: &[u8], scoring: &Scoring, threshold: i32) {
+    let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+    let got = score_batch(choice, &refs, t, scoring, threshold);
+    assert_eq!(got.len(), queries.len());
+    for (q, (query, result)) in queries.iter().zip(&got).enumerate() {
+        let oracle = sw_score_linear(query, t, scoring, threshold);
+        assert_eq!(
+            *result,
+            oracle,
+            "{choice} lane diverged on query {q} (|q|={} |t|={} thr={threshold})",
+            query.len(),
+            t.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_query_sets_match_oracle(mut queries in query_set(), t in dna(150),
+                                      shape in 0u64..u64::MAX, thr in 0i32..30) {
+        degrade(&mut queries, shape);
+        for choice in CHOICES {
+            check(choice, &queries, &t, &SC, thr);
+        }
+    }
+
+    #[test]
+    fn alternative_scorings_match(mut queries in query_set(), t in dna(120),
+                                  shape in 0u64..u64::MAX,
+                                  ma in 1i32..6, mi in -6i32..0, gap in -6i32..-1) {
+        degrade(&mut queries, shape);
+        let scoring = Scoring { matches: ma, mismatch: mi, gap };
+        for choice in CHOICES {
+            check(choice, &queries, &t, &scoring, 2);
+        }
+    }
+
+    #[test]
+    fn oversized_queries_spill_to_scalar_exactly(t in dna(100), n in 1usize..20) {
+        // `matches = 20_000` pushes even a 2-base query past the i16
+        // envelope: every lane must spill, and the spill must be exact.
+        let scoring = Scoring { matches: 20_000, mismatch: -20_000, gap: -20_000 };
+        let queries: Vec<Vec<u8>> = (0..n).map(|i| vec![b"ACGT"[i % 4]; 2 + i]).collect();
+        prop_assert!(queries.iter().all(|q| !fits_i16_query(q.len(), &scoring)));
+        for choice in CHOICES {
+            check(choice, &queries, &t, &scoring, 1);
+        }
+    }
+}
+
+#[test]
+fn ragged_mix_with_oversized_and_degenerate_lanes() {
+    // One pack request holding everything at once: empties, single
+    // characters, ordinary queries, and a query too long for the i16
+    // envelope (40k bases of 'A' at +1 match exceeds the 32k ceiling).
+    let long = vec![b'A'; 40_000];
+    let queries: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        b"A".to_vec(),
+        long,
+        b"GATTACA".to_vec(),
+        vec![b'C'; 77],
+        Vec::new(),
+        b"ACGTACGTACGTACGTACGT".to_vec(),
+    ];
+    let t: Vec<u8> = (0..300).map(|i| b"ACGT"[(i * 7 + 3) % 4]).collect();
+    for choice in CHOICES {
+        for thr in [0, 1, 5, i32::MAX] {
+            check(choice, &queries, &t, &SC, thr);
+        }
+    }
+}
+
+#[test]
+fn tie_break_prefers_row_major_first_in_every_lane() {
+    // Two equally scoring perfect matches per lane; each lane must report
+    // the end with the smaller (row, column), exactly like the oracle.
+    let queries: Vec<Vec<u8>> = vec![
+        b"GATTACA".to_vec(),
+        b"TTACAGA".to_vec(),
+        b"GATTACAGATTACA".to_vec(),
+    ];
+    let t = b"GATTACATTGATTACATTGATTACA".to_vec();
+    for choice in CHOICES {
+        check(choice, &queries, &t, &SC, 1);
+    }
+}
+
+#[test]
+fn empty_target_and_empty_query_list() {
+    for choice in CHOICES {
+        assert!(score_batch(choice, &[], b"ACGT", &SC, 0).is_empty());
+        let queries: Vec<Vec<u8>> = vec![b"ACGT".to_vec(), Vec::new()];
+        check(choice, &queries, b"", &SC, 0);
+    }
+}

@@ -16,6 +16,27 @@ pub fn is_base(b: u8) -> bool {
     matches!(b, b'A' | b'C' | b'G' | b'T')
 }
 
+/// Maps an upper-case IUPAC nucleotide code to a canonical concrete base:
+/// the alphabetically first base in the code's ambiguity set (so `N` → `A`,
+/// `Y` = C/T → `C`, …), with RNA `U` read as `T`. Concrete bases map to
+/// themselves. Returns `None` for bytes outside the IUPAC alphabet.
+///
+/// The choice of representative is arbitrary but *fixed*, which is what
+/// alignment reproducibility needs: every layer that admits ambiguity codes
+/// must resolve them the same way, or identical inputs stop producing
+/// identical scores.
+#[inline]
+pub fn iupac_to_base(b: u8) -> Option<u8> {
+    match b {
+        b'A' | b'C' | b'G' | b'T' => Some(b),
+        b'U' => Some(b'T'), // RNA uracil
+        b'R' | b'W' | b'M' | b'D' | b'H' | b'V' | b'N' => Some(b'A'),
+        b'Y' | b'S' | b'B' => Some(b'C'),
+        b'K' => Some(b'G'),
+        _ => None,
+    }
+}
+
 /// Returns the Watson-Crick complement of a base.
 ///
 /// # Panics
@@ -260,6 +281,24 @@ mod tests {
         let err = DnaSeq::new("ACGN").unwrap_err();
         assert_eq!(err.position, 3);
         assert_eq!(err.byte, b'N');
+    }
+
+    #[test]
+    fn iupac_covers_the_whole_alphabet_and_nothing_else() {
+        for b in b"ACGT" {
+            assert_eq!(iupac_to_base(*b), Some(*b));
+        }
+        assert_eq!(iupac_to_base(b'U'), Some(b'T'));
+        for b in b"RWMDHVN" {
+            assert_eq!(iupac_to_base(*b), Some(b'A'), "{}", *b as char);
+        }
+        for b in b"YSB" {
+            assert_eq!(iupac_to_base(*b), Some(b'C'), "{}", *b as char);
+        }
+        assert_eq!(iupac_to_base(b'K'), Some(b'G'));
+        for b in [b'X', b'Z', b'-', b'.', b'5', b' '] {
+            assert_eq!(iupac_to_base(b), None, "{}", b as char);
+        }
     }
 
     #[test]

@@ -28,12 +28,19 @@ pub enum FastaError {
         /// 1-based line number of the offending line.
         line: usize,
     },
-    /// A sequence line contained a non-DNA character.
+    /// A sequence line contained a character outside the IUPAC alphabet.
     InvalidBase {
         /// 1-based line number of the offending line.
         line: usize,
         /// The offending byte.
         byte: u8,
+    },
+    /// A header had no sequence lines before the next header or EOF.
+    EmptyRecord {
+        /// 1-based line number of the offending header.
+        line: usize,
+        /// The record's id (header text).
+        id: String,
     },
 }
 
@@ -46,6 +53,9 @@ impl fmt::Display for FastaError {
             }
             FastaError::InvalidBase { line, byte } => {
                 write!(f, "line {line}: invalid base 0x{byte:02x}")
+            }
+            FastaError::EmptyRecord { line, id } => {
+                write!(f, "line {line}: record `{id}` has an empty sequence")
             }
         }
     }
@@ -61,47 +71,64 @@ impl From<io::Error> for FastaError {
 
 /// Parses all records from a FASTA reader.
 ///
-/// Blank lines are ignored; sequence lines may be wrapped at any width.
+/// Blank lines are ignored; sequence lines may be wrapped at any width and
+/// may end in CRLF. Bases may be lower-case, and IUPAC ambiguity codes
+/// (`N`, `R`, `Y`, …, plus RNA `U`) are resolved to their canonical
+/// concrete base via [`crate::dna::iupac_to_base`] — the mapping is fixed,
+/// so the same file always yields the same sequences. Records with an empty
+/// sequence body are rejected ([`FastaError::EmptyRecord`]): downstream
+/// database layers index records by id, and a silent zero-length entry is
+/// almost always a truncated or malformed file.
 pub fn read_fasta(reader: impl BufRead) -> Result<Vec<FastaRecord>, FastaError> {
     let mut records: Vec<FastaRecord> = Vec::new();
-    let mut current: Option<(String, Vec<u8>)> = None;
+    // (id, sequence bytes so far, 1-based header line number)
+    let mut current: Option<(String, Vec<u8>, usize)> = None;
+    let mut finish = |current: &mut Option<(String, Vec<u8>, usize)>| -> Result<(), FastaError> {
+        if let Some((id, bytes, header_line)) = current.take() {
+            if bytes.is_empty() {
+                return Err(FastaError::EmptyRecord {
+                    line: header_line,
+                    id,
+                });
+            }
+            records.push(FastaRecord {
+                id,
+                seq: DnaSeq::from_bases(bytes),
+            });
+        }
+        Ok(())
+    };
     for (idx, line) in reader.lines().enumerate() {
         let line_no = idx + 1;
         let line = line?;
+        // `lines()` strips `\n`; trimming the remainder handles CRLF files
+        // and stray trailing whitespace.
         let line = line.trim_end();
         if line.is_empty() {
             continue;
         }
         if let Some(header) = line.strip_prefix('>') {
-            if let Some((id, bytes)) = current.take() {
-                records.push(FastaRecord {
-                    id,
-                    seq: DnaSeq::from_bases(bytes),
-                });
-            }
-            current = Some((header.trim().to_string(), Vec::new()));
+            finish(&mut current)?;
+            current = Some((header.trim().to_string(), Vec::new(), line_no));
         } else {
-            let (_, bytes) = current
+            let (_, bytes, _) = current
                 .as_mut()
                 .ok_or(FastaError::MissingHeader { line: line_no })?;
             for &b in line.as_bytes() {
-                let up = b.to_ascii_uppercase();
-                if !crate::dna::is_base(up) {
-                    return Err(FastaError::InvalidBase {
-                        line: line_no,
-                        byte: b,
-                    });
+                let mapped = crate::dna::iupac_to_base(b.to_ascii_uppercase());
+                match mapped {
+                    Some(base) => bytes.push(base),
+                    None => {
+                        return Err(FastaError::InvalidBase {
+                            line: line_no,
+                            byte: b,
+                        })
+                    }
                 }
-                bytes.push(up);
             }
         }
     }
-    if let Some((id, bytes)) = current {
-        records.push(FastaRecord {
-            id,
-            seq: DnaSeq::from_bases(bytes),
-        });
-    }
+    finish(&mut current)?;
     Ok(records)
 }
 
@@ -191,14 +218,57 @@ mod tests {
 
     #[test]
     fn rejects_invalid_base() {
-        let err = read_fasta(">x\nACGN\n".as_bytes()).unwrap_err();
+        let err = read_fasta(">x\nACGX\n".as_bytes()).unwrap_err();
         assert!(matches!(
             err,
             FastaError::InvalidBase {
                 line: 2,
-                byte: b'N'
+                byte: b'X'
             }
         ));
+    }
+
+    #[test]
+    fn crlf_line_endings_are_stripped() {
+        let recs = read_fasta(">x desc\r\nACG\r\nT\r\n>y\r\nGG\r\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "x desc");
+        assert_eq!(recs[0].seq.as_bytes(), b"ACGT");
+        assert_eq!(recs[1].seq.as_bytes(), b"GG");
+    }
+
+    #[test]
+    fn iupac_codes_resolve_to_fixed_representatives() {
+        // Every ambiguity code maps to the alphabetically first base of its
+        // set; U reads as T. Lower-case codes take the same path.
+        let recs = read_fasta(">x\nNRYSWKMBDHVU\nnu\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.as_bytes(), b"AACCAGACAAATAT");
+        // Determinism: re-parsing yields byte-identical output.
+        let again = read_fasta(">x\nNRYSWKMBDHVU\nnu\n".as_bytes()).unwrap();
+        assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn rejects_empty_record_mid_file() {
+        let err = read_fasta(">a\n>b\nACGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            FastaError::EmptyRecord { line: 1, ref id } if id == "a"
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_record_at_eof() {
+        let err = read_fasta(">a\nACGT\n>trailing\n\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            FastaError::EmptyRecord { line: 3, ref id } if id == "trailing"
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_zero_records() {
+        assert_eq!(read_fasta("".as_bytes()).unwrap(), vec![]);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use blocked::{heuristic_block_align, BlockedConfig, GridPlan};
 pub use checkpoint::{KillPlan, StrategyError, StrategyResult};
 pub use heuristic_dsm::{heuristic_align_dsm, HeuristicDsmConfig};
 pub use phase2::{
-    phase2_block_mapping, phase2_scattered, phase2_scattered_rayon, phase2_scattered_with,
+    phase2_block_mapping, phase2_scattered, phase2_scattered_pool, phase2_scattered_with,
 };
 pub use preprocess::{
     preprocess_align, BandScheme, ChunkPlan, IoMode, PreprocessConfig, PreprocessOutcome,

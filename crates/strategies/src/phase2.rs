@@ -15,7 +15,6 @@ use crate::Phase1Outcome;
 use genomedsm_core::nw::{align_region, RegionAlignment};
 use genomedsm_core::{LocalRegion, Scoring};
 use genomedsm_dsm::{DsmConfig, DsmSystem, NodeStats};
-use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Result of a phase-2 run.
@@ -193,29 +192,36 @@ pub fn phase2_scattered_with(
     })
 }
 
-/// The modern shared-memory port: the same scattered unit of work on a
-/// rayon thread pool (ablation baseline for the DSM version).
+/// The modern shared-memory port: the same scattered unit of work on the
+/// batch subsystem's work-stealing scheduler
+/// ([`genomedsm_batch::run_jobs`]), which steals the lowest-indexed job
+/// when idle and merges results strictly in input order — so the output
+/// is identical for any `threads` (ablation baseline for the DSM
+/// version; previously a plain rayon pool without stealing).
 ///
 /// # Errors
 ///
-/// Returns [`StrategyError::Worker`] if the thread pool cannot be built.
-pub fn phase2_scattered_rayon(
+/// Infallible today; keeps [`StrategyResult`] so the signature matches
+/// the other phase-2 entry points.
+pub fn phase2_scattered_pool(
     s: &[u8],
     t: &[u8],
     regions: &[LocalRegion],
     scoring: &Scoring,
     threads: usize,
 ) -> StrategyResult<Vec<RegionAlignment>> {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .map_err(|e| StrategyError::Worker(format!("build rayon pool: {e}")))?;
-    Ok(pool.install(|| {
-        regions
-            .par_iter()
-            .map(|r| align_region(s, t, r, scoring))
-            .collect()
-    }))
+    let scheduler = genomedsm_batch::SchedulerConfig {
+        workers: threads.max(1),
+        window: 0,
+    };
+    let mut out = Vec::with_capacity(regions.len());
+    genomedsm_batch::run_jobs(
+        (0..regions.len()).collect(),
+        &scheduler,
+        |_, i: usize| align_region(s, t, &regions[i], scoring),
+        |_, ra| out.push(ra),
+    );
+    Ok(out)
 }
 
 /// The ablation foil for the scattered mapping: contiguous **block
@@ -322,11 +328,17 @@ mod tests {
     }
 
     #[test]
-    fn dsm_and_rayon_agree() {
+    fn dsm_and_pool_agree() {
         let (s, t, regions) = regions_for_test(500, 32);
         let dsm = phase2_scattered(&s, &t, &regions, &SC, 3).unwrap();
-        let ray = phase2_scattered_rayon(&s, &t, &regions, &SC, 3).unwrap();
-        assert_eq!(dsm.alignments, ray);
+        let pool = phase2_scattered_pool(&s, &t, &regions, &SC, 3).unwrap();
+        assert_eq!(dsm.alignments, pool);
+        // The scheduler's in-order merge makes the pool output identical
+        // for any worker count.
+        for threads in [1, 2, 8] {
+            let again = phase2_scattered_pool(&s, &t, &regions, &SC, threads).unwrap();
+            assert_eq!(again, pool, "threads={threads}");
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn main() {
     let genome_dsm = heuristic_block_align(&s, &t, &scoring, &params, &config);
 
     // BlastN-like baseline.
-    let blast = BlastN::default().search(&s, &t);
+    let blast = BlastN::default().search(&s, &t).expect("clean DNA input");
 
     println!(
         "GenomeDSM found {} regions; BlastN-like found {} HSPs\n",

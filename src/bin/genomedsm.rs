@@ -7,6 +7,8 @@
 //! genomedsm exact s.fa t.fa [--min-score N]
 //! genomedsm score s.fa t.fa [--threshold N] [--kernel scalar|simd|auto]
 //! genomedsm chaos s.fa t.fa [--plan SPEC] [--strategy S] [--procs N]
+//! genomedsm batch --db db.fa --queries q.fa [--top-k N] [--kernel K]
+//!                 [--workers N] [--check]
 //!
 //! align options:
 //!   --strategy heuristic|blocked|preprocess   (default blocked)
@@ -25,6 +27,12 @@
 //!
 //! score: exact SW best score + threshold-hit count on the host (no DSM
 //! simulation), timed, using the selected vectorized kernel.
+//!
+//! batch: multi-query database search — every query of --queries against
+//! every record of --db, lane-packed (a different query per SIMD lane)
+//! and work-stolen across --workers threads, reporting the --top-k hits
+//! per query and aggregate GCUPS. --check re-runs the search with
+//! sequential per-pair kernel calls and verifies the hits are identical.
 //!
 //! chaos: runs the selected strategy twice — fault-free and under the
 //! fault plan — verifies the results are bit-identical, and reports the
@@ -51,6 +59,7 @@ fn main() {
         Some("exact") => exact(&args[1..]),
         Some("score") => score(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
+        Some("batch") => batch(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
         }
@@ -62,7 +71,7 @@ fn main() {
 }
 
 const USAGE: &str =
-    "usage: genomedsm <generate|align|exact|score|chaos> [options]  (--help for details)";
+    "usage: genomedsm <generate|align|exact|score|chaos|batch> [options]  (--help for details)";
 
 fn opt_kernel(args: &[String]) -> KernelChoice {
     match opt(args, "--kernel") {
@@ -82,7 +91,7 @@ fn opt(args: &[String], name: &str) -> Option<String> {
 }
 
 /// Option flags that take no value (everything else is `--flag VALUE`).
-const BOOL_FLAGS: &[&str] = &["--tolerate-failures"];
+const BOOL_FLAGS: &[&str] = &["--tolerate-failures", "--check"];
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -492,6 +501,103 @@ fn chaos(args: &[String]) {
     );
     if !identical {
         exit(1);
+    }
+}
+
+fn batch(args: &[String]) {
+    let db_path = opt(args, "--db").unwrap_or_else(|| {
+        eprintln!("batch needs --db FILE (multi-record FASTA database)\n{USAGE}");
+        exit(2);
+    });
+    let q_path = opt(args, "--queries").unwrap_or_else(|| {
+        eprintln!("batch needs --queries FILE (multi-record FASTA queries)\n{USAGE}");
+        exit(2);
+    });
+    let db = SeqDatabase::load_fasta_file(&db_path).unwrap_or_else(|e| {
+        eprintln!("cannot load database: {e}");
+        exit(1);
+    });
+    let queries = genomedsm::batch::load_query_file(&q_path).unwrap_or_else(|e| {
+        eprintln!("cannot load queries: {e}");
+        exit(1);
+    });
+    let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+    let config = BatchConfig {
+        kernel: opt_kernel(args),
+        top_k: opt_num(args, "--top-k", 5),
+        scheduler: genomedsm::batch::SchedulerConfig {
+            workers: opt_num(args, "--workers", 0),
+            window: 0,
+        },
+        ..BatchConfig::default()
+    };
+    eprintln!(
+        "batch search: {} queries ({} bp) x {} records ({} bp), kernel '{}', \
+         {} lanes...",
+        refs.len(),
+        refs.iter().map(|q| q.len()).sum::<usize>(),
+        db.len(),
+        db.total_bases(),
+        config.kernel,
+        genomedsm::kernels::effective_lanes(config.kernel),
+    );
+    let engine = BatchEngine::new(config);
+    let t0 = std::time::Instant::now();
+    let out = engine.search(&db, &refs);
+    let elapsed = t0.elapsed();
+    for (q, hits) in out.hits.iter().enumerate() {
+        println!("query {q} ({} bp): {} hit(s)", refs[q].len(), hits.len());
+        for h in hits {
+            println!(
+                "  score {:>6}  {}  end (q={}, t={})",
+                h.score,
+                db.meta(h.target).id,
+                h.end.0,
+                h.end.1
+            );
+        }
+    }
+    println!(
+        "\n{} cells in {elapsed:.2?}: {:.3} aggregate GCUPS \
+         ({} lane groups, {} scalar spill, {} jobs)",
+        out.stats.cells,
+        out.stats.cells as f64 / elapsed.as_secs_f64().max(1e-9) / 1e9,
+        out.stats.lane_groups,
+        out.stats.scalar_queries,
+        out.stats.jobs
+    );
+    if has_flag(args, "--check") {
+        use genomedsm::batch::{Hit, TopK};
+        use genomedsm::core::linear::sw_score_linear;
+        let t0 = std::time::Instant::now();
+        let want: Vec<Vec<Hit>> = refs
+            .iter()
+            .map(|q| {
+                let mut tk = TopK::new(engine.config.top_k);
+                for t in 0..db.len() {
+                    let r = sw_score_linear(q, db.seq(t), &engine.config.scoring, 0);
+                    if r.best_score > 0 {
+                        tk.push(Hit {
+                            score: r.best_score,
+                            target: t,
+                            end: r.best_end,
+                        });
+                    }
+                }
+                tk.into_sorted()
+            })
+            .collect();
+        let seq_elapsed = t0.elapsed();
+        if want == out.hits {
+            println!(
+                "check: IDENTICAL to sequential per-pair scoring \
+                 ({seq_elapsed:.2?} sequential, {:.1}x speedup)",
+                seq_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+            );
+        } else {
+            eprintln!("check: batch hits DIVERGE from sequential per-pair scoring");
+            exit(1);
+        }
     }
 }
 

@@ -21,8 +21,12 @@
 //! * [`chaos`] — deterministic fault injection for the DSM transport:
 //!   seeded per-link drop/corrupt/duplicate/reorder plans and scheduled
 //!   fail-stop node crashes.
+//! * [`batch`] — the multi-query batch alignment engine: database search
+//!   with inter-sequence lane packing (a different query per SIMD lane),
+//!   a work-stealing scheduler with bounded in-flight batches, and
+//!   deterministic per-query top-k merging.
 //! * [`strategies`] — the paper's three parallel strategies plus the
-//!   phase-2 scattered-mapping global aligner and rayon ports.
+//!   phase-2 scattered-mapping global aligner and shared-memory ports.
 //! * [`dotplot`] — dot-plot visualization of similar regions.
 //!
 //! ## Quickstart
@@ -45,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub use genomedsm_batch as batch;
 pub use genomedsm_blast as blast;
 pub use genomedsm_chaos as chaos;
 pub use genomedsm_core as core;
@@ -56,6 +61,7 @@ pub use genomedsm_strategies as strategies;
 
 /// Everything needed for the common pipeline in one import.
 pub mod prelude {
+    pub use genomedsm_batch::{BatchConfig, BatchEngine, SeqDatabase};
     pub use genomedsm_chaos::{FaultPlan, LinkFaults, SeededFaults};
     pub use genomedsm_core::{
         finalize_queue, heuristic_align, GlobalAlignment, HeuristicParams, LocalRegion, Scoring,

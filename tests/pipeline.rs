@@ -144,7 +144,9 @@ fn reverse_exact_agrees_with_phase1_peak() {
 fn blast_and_genomedsm_find_the_same_top_region() {
     let (s, t, _) = workload(1_500, 77);
     let dsm = heuristic_block_align(&s, &t, &SC, &params(), &BlockedConfig::new(2, 6, 6));
-    let blast = genomedsm_blast::BlastN::default().search(&s, &t);
+    let blast = genomedsm_blast::BlastN::default()
+        .search(&s, &t)
+        .expect("clean DNA input");
     let top_dsm = dsm.regions.iter().max_by_key(|r| r.score).expect("regions");
     assert!(
         blast.iter().any(|h| h.overlaps(top_dsm)),

@@ -163,7 +163,7 @@ proptest! {
         let mut t = genomedsm_seq::random_dna(300, seed.wrapping_add(2)).into_bytes();
         s[100..180].copy_from_slice(src.as_bytes());
         t[40..120].copy_from_slice(src.as_bytes());
-        let hits = genomedsm_blast::BlastN::default().search(&s, &t);
+        let hits = genomedsm_blast::BlastN::default().search(&s, &t).unwrap();
         prop_assert!(hits.iter().any(|h| h.score >= 40));
     }
 }
