@@ -72,7 +72,11 @@ struct MergeFront {
 
 /// Pops the worker's own front, else steals the lowest-indexed front.
 fn pop_or_steal<J>(deques: &[Mutex<VecDeque<(usize, J)>>], me: usize) -> Option<(usize, J)> {
-    if let Some(job) = deques[me].lock().expect("deque poisoned").pop_front() {
+    if let Some(job) = deques[me]
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop_front()
+    {
         return Some(job);
     }
     loop {
@@ -83,14 +87,20 @@ fn pop_or_steal<J>(deques: &[Mutex<VecDeque<(usize, J)>>], me: usize) -> Option<
             if v == me {
                 continue;
             }
-            if let Some(&(idx, _)) = d.lock().expect("deque poisoned").front() {
+            if let Some(&(idx, _)) = d
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .front()
+            {
                 if best.is_none_or(|(_, b)| idx < b) {
                     best = Some((v, idx));
                 }
             }
         }
         let (victim, want) = best?;
-        let mut d = deques[victim].lock().expect("deque poisoned");
+        let mut d = deques[victim]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // The front may have been taken between scan and steal; re-check
         // and re-scan on a mismatch rather than stealing blind.
         match d.front() {
@@ -131,7 +141,7 @@ where
     for (idx, job) in jobs.into_iter().enumerate() {
         deques[idx % workers]
             .get_mut()
-            .expect("fresh mutex")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push_back((idx, job));
     }
     let front = MergeFront {
@@ -148,9 +158,15 @@ where
             scope.spawn(move || {
                 while let Some((idx, job)) = pop_or_steal(deques, me) {
                     {
-                        let mut merged = front.merged.lock().expect("cursor poisoned");
+                        let mut merged = front
+                            .merged
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         while idx >= *merged + window {
-                            merged = front.advanced.wait(merged).expect("cursor poisoned");
+                            merged = front
+                                .advanced
+                                .wait(merged)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                         }
                     }
                     let result = exec(idx, job);
@@ -164,9 +180,13 @@ where
         let mut pending: BTreeMap<usize, R> = BTreeMap::new();
         let mut cursor = 0usize;
         while cursor < total {
-            let (idx, result) = rx
-                .recv()
-                .expect("a worker exited before its jobs completed");
+            let (idx, result) = match rx.recv() {
+                Ok(pair) => pair,
+                // Workers only drop their senders after draining the
+                // deques, so a closed channel with jobs outstanding means
+                // a worker panicked mid-job.
+                Err(_) => panic!("a worker exited before its jobs completed"),
+            };
             pending.insert(idx, result);
             let mut moved = false;
             while let Some(result) = pending.remove(&cursor) {
@@ -175,7 +195,10 @@ where
                 moved = true;
             }
             if moved {
-                *front.merged.lock().expect("cursor poisoned") = cursor;
+                *front
+                    .merged
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = cursor;
                 front.advanced.notify_all();
             }
         }

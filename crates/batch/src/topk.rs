@@ -66,7 +66,7 @@ impl TopK {
         }
         if self.heap.len() < self.k {
             self.heap.push(Reverse(hit));
-        } else if hit > self.heap.peek().expect("non-empty at capacity").0 {
+        } else if self.heap.peek().is_some_and(|min| hit > min.0) {
             self.heap.pop();
             self.heap.push(Reverse(hit));
         }

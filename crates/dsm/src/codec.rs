@@ -87,7 +87,9 @@ impl<'a> Reader<'a> {
             });
         }
         let (body, tail) = frame.split_at(frame.len() - 4);
-        let expect = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+        let mut sum = [0u8; 4];
+        sum.copy_from_slice(tail);
+        let expect = u32::from_le_bytes(sum);
         let got = checksum(body);
         if expect != got {
             return Err(DsmError::Checksum { expect, got });
@@ -114,11 +116,17 @@ impl<'a> Reader<'a> {
     fn u8(&mut self) -> Result<u8, DsmError> {
         Ok(self.take(1)?[0])
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DsmError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
     fn u32(&mut self) -> Result<u32, DsmError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, DsmError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn usize(&mut self) -> Result<usize, DsmError> {
         let v = self.u64()?;

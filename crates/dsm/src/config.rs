@@ -1,5 +1,6 @@
 //! DSM system configuration.
 
+use crate::lock_order::LockOrderMode;
 use crate::net::{FaultInjector, NetworkModel, RetransmitPolicy};
 use std::sync::Arc;
 use std::time::Duration;
@@ -71,6 +72,11 @@ pub struct DsmConfig {
     /// Cluster supervision layer (failure detection + recovery). Disabled
     /// by default.
     pub supervision: SupervisionConfig,
+    /// What the runtime lock-order graph does on an inversion, when it is
+    /// active at all (debug builds or the `lock-order` feature); see
+    /// [`crate::lock_order::LOCK_ORDER_ENABLED`]. Defaults to
+    /// [`LockOrderMode::Panic`].
+    pub lock_order: LockOrderMode,
 }
 
 impl DsmConfig {
@@ -89,6 +95,7 @@ impl DsmConfig {
             faults: None,
             retransmit: RetransmitPolicy::default(),
             supervision: SupervisionConfig::default(),
+            lock_order: LockOrderMode::default(),
         }
     }
 
@@ -152,6 +159,13 @@ impl DsmConfig {
     /// Overrides the supervision layer configuration.
     pub fn supervise(mut self, supervision: SupervisionConfig) -> Self {
         self.supervision = supervision;
+        self
+    }
+
+    /// Overrides the lock-order graph's reaction to an inversion
+    /// (panic by default; record to inspect violations after the run).
+    pub fn lock_order(mut self, mode: LockOrderMode) -> Self {
+        self.lock_order = mode;
         self
     }
 

@@ -607,11 +607,9 @@ impl Daemon {
             }
             for &(page, to) in &migrations {
                 // The old home ships the page to the new home.
-                let old = notices
-                    .iter()
-                    .find(|n| n.page == page)
-                    .map(|n| n.home)
-                    .expect("migration decided from a notice");
+                let Some(old) = notices.iter().find(|n| n.page == page).map(|n| n.home) else {
+                    unreachable!("migration of page {page} was decided from these notices")
+                };
                 self.send_daemon(old, round.latest, Msg::MigrateOut { page, to });
             }
             let dead: Vec<usize> = self.dead.iter().copied().collect();
@@ -647,13 +645,17 @@ impl Daemon {
         // lost, which is exactly fail-stop semantics.
         let lock_ids: Vec<u32> = self.locks.keys().copied().collect();
         for lock in lock_ids {
-            let st = self.locks.get_mut(&lock).expect("lock exists");
+            let Some(st) = self.locks.get_mut(&lock) else {
+                unreachable!("lock id {lock} came from self.locks.keys()")
+            };
             st.waiters.retain(|&(n, ..)| n != node);
             if st.holder == Some(node) {
                 st.holder = None;
                 st.free_at = st.free_at.max(arrive);
                 self.stats.leases_broken += 1;
-                let st = self.locks.get_mut(&lock).expect("lock exists");
+                let Some(st) = self.locks.get_mut(&lock) else {
+                    unreachable!("lock id {lock} came from self.locks.keys()")
+                };
                 if let Some((next, last_seq, req_arrive, rseq)) = st.waiters.pop_front() {
                     st.holder = Some(next);
                     let granted = Self::notices_since(&st.history, last_seq);
@@ -676,7 +678,9 @@ impl Daemon {
         // so a survivor that re-waits loses nothing.
         let cv_ids: Vec<u32> = self.cvs.keys().copied().collect();
         for cv in cv_ids {
-            let st = self.cvs.get_mut(&cv).expect("cv exists");
+            let Some(st) = self.cvs.get_mut(&cv) else {
+                unreachable!("cv id {cv} came from self.cvs.keys()")
+            };
             st.waiters.retain(|&(n, ..)| n != node);
             let woken: Vec<(usize, u64, Duration, u64)> = std::mem::take(&mut st.waiters).into();
             for (waiter, _last_seq, wait_arrive, rseq) in woken {

@@ -60,6 +60,7 @@ pub mod codec;
 pub mod config;
 pub mod daemon;
 pub mod error;
+pub mod lock_order;
 pub mod msg;
 pub mod net;
 pub mod node;
@@ -70,6 +71,7 @@ pub mod vec;
 
 pub use config::{DsmConfig, SupervisionConfig};
 pub use error::DsmError;
+pub use lock_order::{LockOrderGraph, LockOrderMode, LockOrderViolation, LOCK_ORDER_ENABLED};
 pub use net::{
     FaultInjector, LinkMsg, NetworkModel, RetransmitPolicy, TransmitFate, CHAN_DAEMON, CHAN_REPLY,
     CHAN_REQ,

@@ -1,0 +1,288 @@
+//! Runtime lock-order verification.
+//!
+//! A debug-build tripwire for lock-order inversions across the whole
+//! cluster run: every time a worker acquires a DSM lock while already
+//! holding others, the held→acquired pairs are recorded as directed
+//! *acquisition edges* in a per-run graph, each edge tagged with the
+//! source locations of both acquisitions (captured via
+//! `#[track_caller]`). Inserting an edge runs an incremental cycle check;
+//! a cycle means two code paths disagree about the acquisition order —
+//! the AB-BA pattern that deadlocks only under an unlucky interleaving,
+//! reported here deterministically on *every* run that merely exercises
+//! both orders, even when no deadlock manifests.
+//!
+//! The graph is active when [`LOCK_ORDER_ENABLED`] is true: in every
+//! `debug_assertions` build (so the entire test suite runs under it) or
+//! when the `lock-order` feature is turned on explicitly for release
+//! builds. In [`LockOrderMode::Panic`] (the default) a violation panics
+//! the acquiring worker with both acquisition sites of the offending
+//! edge and the previously recorded conflicting edge; in
+//! [`LockOrderMode::Record`] violations accumulate and are returned on
+//! [`crate::DsmRun::lock_order_violations`] for inspection.
+//!
+//! The same discipline is model-checked schedule-exhaustively in
+//! `genomedsm-verify` (`models::inversion`), giving lock-order bugs two
+//! independent tripwires: the checker proves the inverted order can
+//! deadlock, this graph catches any code path that reintroduces it.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::Location;
+use std::sync::Mutex;
+
+/// Whether acquisition tracking is compiled in and active.
+pub const LOCK_ORDER_ENABLED: bool = cfg!(debug_assertions) || cfg!(feature = "lock-order");
+
+/// What to do when an inversion is detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockOrderMode {
+    /// Panic in the acquiring worker (fail the run loudly).
+    #[default]
+    Panic,
+    /// Keep running; collect violations for post-run inspection.
+    Record,
+}
+
+/// One acquisition edge: `from` was held at `from_site` when `to` was
+/// acquired at `to_site`.
+#[derive(Debug, Clone, Copy)]
+struct EdgeInfo {
+    from_site: &'static Location<'static>,
+    to_site: &'static Location<'static>,
+}
+
+/// A detected lock-order inversion.
+#[derive(Debug, Clone)]
+pub struct LockOrderViolation {
+    /// The edge whose insertion closed the cycle: (held lock, acquired lock).
+    pub edge: (u32, u32),
+    /// Where the held lock of the new edge was acquired.
+    pub held_site: &'static Location<'static>,
+    /// Where the offending acquisition happened.
+    pub acquire_site: &'static Location<'static>,
+    /// The cycle as lock ids, starting and ending at the acquired lock.
+    pub cycle: Vec<u32>,
+    /// The previously recorded edges along the cycle, rendered as
+    /// `from->to (held at X, acquired at Y)`.
+    pub prior_edges: Vec<String>,
+}
+
+impl fmt::Display for LockOrderViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lock-order inversion: acquiring lock {} at {} while holding lock {} \
+             (acquired at {}) closes the cycle {:?}",
+            self.edge.1, self.acquire_site, self.edge.0, self.held_site, self.cycle
+        )?;
+        for e in &self.prior_edges {
+            writeln!(f, "  conflicting acquisition order: {e}")?;
+        }
+        write!(
+            f,
+            "  fix: acquire these locks in one global order on every code path"
+        )
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Adjacency: `from -> to -> first witnessed sites`.
+    edges: HashMap<u32, HashMap<u32, EdgeInfo>>,
+    violations: Vec<LockOrderViolation>,
+}
+
+impl Inner {
+    /// Path from `start` to `goal` over recorded edges, if any (DFS).
+    fn find_path(&self, start: u32, goal: u32) -> Option<Vec<u32>> {
+        let mut stack = vec![(start, vec![start])];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(start);
+        while let Some((at, path)) = stack.pop() {
+            if at == goal {
+                return Some(path);
+            }
+            if let Some(nexts) = self.edges.get(&at) {
+                for &next in nexts.keys() {
+                    if seen.insert(next) {
+                        let mut p = path.clone();
+                        p.push(next);
+                        stack.push((next, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The per-run acquisition-order graph, shared by every worker thread.
+pub struct LockOrderGraph {
+    mode: LockOrderMode,
+    inner: Mutex<Inner>,
+}
+
+impl LockOrderGraph {
+    /// Creates an empty graph.
+    pub fn new(mode: LockOrderMode) -> Self {
+        Self {
+            mode,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Records that `acquired` was taken at `acquire_site` while every
+    /// lock in `held` was already held (with its own acquisition site).
+    ///
+    /// # Panics
+    /// In [`LockOrderMode::Panic`], if the new edges close a cycle.
+    pub fn on_acquire(
+        &self,
+        held: &[(u32, &'static Location<'static>)],
+        acquired: u32,
+        acquire_site: &'static Location<'static>,
+    ) {
+        if held.is_empty() {
+            return;
+        }
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut panic_on: Option<LockOrderViolation> = None;
+        for &(held_lock, held_site) in held {
+            if held_lock == acquired {
+                continue;
+            }
+            if inner
+                .edges
+                .get(&held_lock)
+                .is_some_and(|m| m.contains_key(&acquired))
+            {
+                // Keep the first witness of an already-known edge.
+                continue;
+            }
+            // Adding held_lock -> acquired closes a cycle iff a path
+            // acquired -> ... -> held_lock already exists.
+            if let Some(path) = inner.find_path(acquired, held_lock) {
+                let mut cycle = path.clone();
+                cycle.push(acquired);
+                let prior_edges = path
+                    .windows(2)
+                    .filter_map(|w| {
+                        let info = inner.edges.get(&w[0])?.get(&w[1])?;
+                        Some(format!(
+                            "{}->{} (lock {} held at {}, lock {} acquired at {})",
+                            w[0], w[1], w[0], info.from_site, w[1], info.to_site
+                        ))
+                    })
+                    .collect();
+                let violation = LockOrderViolation {
+                    edge: (held_lock, acquired),
+                    held_site,
+                    acquire_site,
+                    cycle,
+                    prior_edges,
+                };
+                match self.mode {
+                    LockOrderMode::Panic => {
+                        panic_on = Some(violation);
+                        break;
+                    }
+                    LockOrderMode::Record => inner.violations.push(violation),
+                }
+                // Record mode: still insert the edge so the report shows
+                // every independent inversion once.
+            }
+            inner.edges.entry(held_lock).or_default().insert(
+                acquired,
+                EdgeInfo {
+                    from_site: held_site,
+                    to_site: acquire_site,
+                },
+            );
+        }
+        drop(inner);
+        if let Some(v) = panic_on {
+            panic!("{v}");
+        }
+    }
+
+    /// Violations collected so far (only populated in record mode).
+    pub fn violations(&self) -> Vec<LockOrderViolation> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .violations
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let g = LockOrderGraph::new(LockOrderMode::Panic);
+        let s = site();
+        // Many acquisitions, always ascending.
+        for _ in 0..3 {
+            g.on_acquire(&[(0, s)], 1, s);
+            g.on_acquire(&[(0, s), (1, s)], 2, s);
+        }
+        assert!(g.violations().is_empty());
+    }
+
+    #[test]
+    fn two_lock_inversion_is_recorded_with_both_sites() {
+        let g = LockOrderGraph::new(LockOrderMode::Record);
+        let first = site();
+        let second = site();
+        g.on_acquire(&[(0, first)], 1, second);
+        g.on_acquire(&[(1, second)], 0, first);
+        let v = g.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].edge, (1, 0));
+        assert_eq!(v[0].cycle, vec![0, 1, 0]);
+        let text = v[0].to_string();
+        assert!(text.contains(&first.to_string()), "{text}");
+        assert!(text.contains(&second.to_string()), "{text}");
+    }
+
+    #[test]
+    fn three_lock_cycle_is_detected() {
+        let g = LockOrderGraph::new(LockOrderMode::Record);
+        let s = site();
+        g.on_acquire(&[(0, s)], 1, s);
+        g.on_acquire(&[(1, s)], 2, s);
+        g.on_acquire(&[(2, s)], 0, s);
+        let v = g.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].cycle, vec![0, 1, 2, 0]);
+        assert_eq!(v[0].prior_edges.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn panic_mode_panics_on_inversion() {
+        let g = LockOrderGraph::new(LockOrderMode::Panic);
+        let s = site();
+        g.on_acquire(&[(7, s)], 9, s);
+        g.on_acquire(&[(9, s)], 7, s);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_first_witness_and_do_not_refire() {
+        let g = LockOrderGraph::new(LockOrderMode::Record);
+        let s = site();
+        g.on_acquire(&[(0, s)], 1, s);
+        g.on_acquire(&[(1, s)], 0, s); // inversion #1
+        g.on_acquire(&[(1, s)], 0, s); // same edge: no new violation
+        assert_eq!(g.violations().len(), 1);
+    }
+}

@@ -7,10 +7,12 @@
 
 use crate::config::DsmConfig;
 use crate::daemon::Daemon;
+use crate::lock_order::{LockOrderGraph, LockOrderViolation, LOCK_ORDER_ENABLED};
 use crate::msg::{Envelope, Msg, ReplyEnvelope, SYSTEM_SRC};
 use crate::node::Node;
 use crate::stats::NodeStats;
 use crossbeam::channel::unbounded;
+use std::sync::Arc;
 
 /// Outcome of a DSM run: per-node results and statistics, plus the total
 /// wall time of the parallel section.
@@ -22,6 +24,12 @@ pub struct DsmRun<R> {
     pub stats: Vec<NodeStats>,
     /// Wall time from spawn to last join.
     pub wall: std::time::Duration,
+    /// Lock-order inversions observed by the runtime graph. Only
+    /// populated when tracking is active (debug builds or the
+    /// `lock-order` feature) *and* the config selected
+    /// [`crate::LockOrderMode::Record`]; in the default panic mode a
+    /// violation aborts the run instead.
+    pub lock_order_violations: Vec<LockOrderViolation>,
 }
 
 impl<R> DsmRun<R> {
@@ -71,6 +79,11 @@ impl DsmSystem {
             reply_rx.push(rx);
         }
 
+        // One acquisition-order graph for the whole run, shared by every
+        // worker; compiled out of the hot path in plain release builds.
+        let lock_order =
+            LOCK_ORDER_ENABLED.then(|| Arc::new(LockOrderGraph::new(config.lock_order)));
+
         let t0 = std::time::Instant::now();
         let (results, stats) = std::thread::scope(|scope| {
             // Daemons first: they must be servicing before any worker
@@ -96,10 +109,17 @@ impl DsmSystem {
             let f = &f;
             let config_ref = &config;
             let daemon_tx_ref = &daemon_tx;
+            let lock_order_ref = &lock_order;
             let mut worker_handles = Vec::with_capacity(nprocs);
             for (id, rx) in reply_rx.into_iter().enumerate() {
                 worker_handles.push(scope.spawn(move || {
-                    let mut node = Node::new(id, config_ref, daemon_tx_ref.clone(), rx);
+                    let mut node = Node::new(
+                        id,
+                        config_ref,
+                        daemon_tx_ref.clone(),
+                        rx,
+                        lock_order_ref.clone(),
+                    );
                     let result = f(&mut node);
                     let stats = node.finish_stats();
                     (result, stats)
@@ -146,6 +166,7 @@ impl DsmSystem {
             results,
             stats,
             wall: t0.elapsed(),
+            lock_order_violations: lock_order.map(|g| g.violations()).unwrap_or_default(),
         }
     }
 }

@@ -1,0 +1,77 @@
+//! Regression: the page-lock / lease-table lock-order inversion.
+//!
+//! Two nodes acquire the same pair of DSM locks in opposite orders. The
+//! acquisitions are serialized by a barrier so the run never actually
+//! deadlocks — which is exactly the trap: the inverted order is latent
+//! and only wedges under an unlucky interleaving. The runtime lock-order
+//! graph must flag it deterministically anyway, on every run. The same
+//! discipline is model-checked in `genomedsm-verify`
+//! (`models::inversion`), where the checker proves the inverted order
+//! deadlocks and replays the failing schedule from its seed — two
+//! independent tripwires for one bug.
+#![cfg(any(debug_assertions, feature = "lock-order"))]
+
+use genomedsm_dsm::{DsmConfig, DsmSystem, LockOrderMode};
+
+/// Lock id playing the per-page lock on the failure path.
+const PAGE_LOCK: u32 = 0;
+/// Lock id playing the lease table.
+const LEASE_TABLE: u32 = 1;
+
+fn inverted_run(mode: LockOrderMode) -> genomedsm_dsm::DsmRun<()> {
+    DsmSystem::run(DsmConfig::new(2).lock_order(mode), |node| {
+        if node.id() == 0 {
+            // The documented discipline: page lock first, lease table second.
+            node.lock(PAGE_LOCK);
+            node.lock(LEASE_TABLE);
+            node.unlock(LEASE_TABLE);
+            node.unlock(PAGE_LOCK);
+        }
+        node.barrier();
+        if node.id() == 1 {
+            // The reintroduced bug: lease table before page lock.
+            node.lock(LEASE_TABLE);
+            node.lock(PAGE_LOCK);
+            node.unlock(PAGE_LOCK);
+            node.unlock(LEASE_TABLE);
+        }
+    })
+}
+
+#[test]
+#[should_panic(expected = "lock-order inversion")]
+fn inverted_acquisition_order_panics_in_debug_builds() {
+    let _ = inverted_run(LockOrderMode::Panic);
+}
+
+#[test]
+fn record_mode_reports_the_inversion_with_both_sites() {
+    let run = inverted_run(LockOrderMode::Record);
+    assert_eq!(run.lock_order_violations.len(), 1);
+    let v = &run.lock_order_violations[0];
+    assert_eq!(v.edge, (LEASE_TABLE, PAGE_LOCK));
+    assert_eq!(v.cycle, vec![PAGE_LOCK, LEASE_TABLE, PAGE_LOCK]);
+    // Both acquisition sites point into this test file.
+    let text = v.to_string();
+    assert!(v.held_site.file().ends_with("lock_order.rs"), "{text}");
+    assert!(v.acquire_site.file().ends_with("lock_order.rs"), "{text}");
+    assert!(
+        !v.prior_edges.is_empty(),
+        "the conflicting recorded edge must be shown: {text}"
+    );
+}
+
+#[test]
+fn consistent_acquisition_order_stays_clean() {
+    let run = DsmSystem::run(
+        DsmConfig::new(2).lock_order(LockOrderMode::Record),
+        |node| {
+            node.lock(PAGE_LOCK);
+            node.lock(LEASE_TABLE);
+            node.unlock(LEASE_TABLE);
+            node.unlock(PAGE_LOCK);
+            node.barrier();
+        },
+    );
+    assert!(run.lock_order_violations.is_empty());
+}

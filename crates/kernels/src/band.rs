@@ -111,6 +111,8 @@ impl BandScorer {
             saved,
         };
         match self.isa {
+            // SAFETY: the portable engine has no ISA requirement; state and
+            // profile were built together for its lane width.
             Isa::Portable => unsafe {
                 engine::band_advance::<Portable>(
                     &mut self.st,
@@ -121,6 +123,8 @@ impl BandScorer {
                     &mut out,
                 )
             },
+            // SAFETY: self.isa is only set to Sse2 after runtime detection
+            // (Isa::available), satisfying the target_feature contract.
             #[cfg(target_arch = "x86_64")]
             Isa::Sse2 => unsafe {
                 crate::x86::band_advance_sse2(
@@ -132,6 +136,8 @@ impl BandScorer {
                     &mut out,
                 )
             },
+            // SAFETY: as above — Avx2 is only selected when
+            // is_x86_feature_detected!("avx2") held at construction.
             #[cfg(target_arch = "x86_64")]
             Isa::Avx2 => unsafe {
                 crate::x86::band_advance_avx2(

@@ -169,6 +169,12 @@ impl PackedState {
 /// H[i-1][j] - gap, H[i][j-1] - gap)`. The top border (`i = -1`) is the
 /// zero row of a fresh local alignment, so both `diag` and `up` start at
 /// zero.
+///
+/// # Safety
+/// The caller must guarantee the engine's ISA is available on the running
+/// CPU (or call this through a `#[target_feature]` wrapper), and `st` /
+/// `prof_row` must be packed for `E::LANES` lanes with at least `rows`
+/// rows.
 #[inline(always)]
 unsafe fn packed_column<E: Engine>(st: &mut PackedState, rows: usize, prof_row: &[i16], gap: i16) {
     let l = E::LANES;
@@ -193,6 +199,10 @@ unsafe fn packed_column<E: Engine>(st: &mut PackedState, rows: usize, prof_row: 
 /// and the running per-element max plus the column of its first strict
 /// improvement (the data the final reduction needs for the oracle's
 /// row-major-first tie-break).
+///
+/// # Safety
+/// Same contract as [`packed_column`]; `valid` must cover every packed
+/// row of `st`.
 #[inline(always)]
 unsafe fn packed_stats<E: Engine>(
     st: &mut PackedState,
@@ -293,9 +303,12 @@ pub fn score_batch_packed(
     threshold: i32,
 ) -> Vec<LinearSwResult> {
     match prof.isa {
+        // SAFETY: the portable engine has no ISA requirement.
         Isa::Portable => unsafe { packed_score::<crate::scalar::Portable>(prof, t, threshold) },
+        // SAFETY: prof.isa is only Sse2 when runtime detection admitted it.
         #[cfg(target_arch = "x86_64")]
         Isa::Sse2 => unsafe { crate::x86::packed_sse2(prof, t, threshold) },
+        // SAFETY: prof.isa is only Avx2 when runtime detection admitted it.
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => unsafe { crate::x86::packed_avx2(prof, t, threshold) },
         #[cfg(not(target_arch = "x86_64"))]

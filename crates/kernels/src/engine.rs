@@ -27,6 +27,12 @@ use crate::profile::{StripedProfile, NEG_INF};
 ///
 /// All operations are `unsafe fn` because the x86 backends lower to
 /// `target_feature` intrinsics; the portable backend implements them safely.
+///
+/// # Safety
+/// Every method shares one contract: the caller must ensure the engine's
+/// ISA is enabled in the calling context (via runtime detection plus a
+/// `#[target_feature]` wrapper, as the backends do), and `load`/`store`
+/// pointers must be valid for `LANES` consecutive `i16` reads/writes.
 pub(crate) trait Engine: Copy {
     /// Number of i16 lanes per vector.
     const LANES: usize;
@@ -34,24 +40,50 @@ pub(crate) trait Engine: Copy {
     type V: Copy;
 
     /// Broadcast `x` to all lanes.
+    ///
+    /// # Safety
+    /// The trait-level ISA contract must hold.
     unsafe fn splat(x: i16) -> Self::V;
     /// Unaligned load of `LANES` i16 values.
+    ///
+    /// # Safety
+    /// The trait-level ISA contract must hold and `src` must be valid for
+    /// `LANES` consecutive `i16` reads.
     unsafe fn load(src: *const i16) -> Self::V;
     /// Unaligned store of `LANES` i16 values.
+    ///
+    /// # Safety
+    /// The trait-level ISA contract must hold and `dst` must be valid for
+    /// `LANES` consecutive `i16` writes.
     unsafe fn store(dst: *mut i16, v: Self::V);
     /// Lane-wise saturating add.
+    ///
+    /// # Safety
+    /// The trait-level ISA contract must hold.
     unsafe fn adds(a: Self::V, b: Self::V) -> Self::V;
     /// Lane-wise saturating subtract.
+    ///
+    /// # Safety
+    /// The trait-level ISA contract must hold.
     unsafe fn subs(a: Self::V, b: Self::V) -> Self::V;
     /// Lane-wise signed max.
+    ///
+    /// # Safety
+    /// The trait-level ISA contract must hold.
     unsafe fn max(a: Self::V, b: Self::V) -> Self::V;
     /// `movemask_epi8`-style byte mask of `a > b` (two bits per i16 lane,
     /// lane `l` occupying bits `2l` and `2l+1`). Zero iff no lane is greater.
+    ///
+    /// # Safety
+    /// The trait-level ISA contract must hold.
     unsafe fn gt_bytes(a: Self::V, b: Self::V) -> u64;
     /// Shift lanes up by one (`lane l` receives `lane l-1`) inserting
     /// `first` into lane 0. This is the stripe-boundary rotation: lane `l`
     /// of stripe 0 (query `l*p`) depends on lane `l-1` of stripe `p-1`
     /// (query `l*p - 1`).
+    ///
+    /// # Safety
+    /// The trait-level ISA contract must hold.
     unsafe fn shift_in(v: Self::V, first: i16) -> Self::V;
 }
 
@@ -106,6 +138,11 @@ impl StripedState {
 /// (`H[row0][j] - gap`). For a plain local alignment both derive from a
 /// zero top row; the banded pre-process wavefront injects real border
 /// values here.
+///
+/// # Safety
+/// The caller must guarantee the engine's ISA is available on the running
+/// CPU (or call this through a `#[target_feature]` wrapper), and `st` must
+/// have been built for `E::LANES` lanes with `p` stripes.
 #[inline(always)]
 pub(crate) unsafe fn column<E: Engine>(
     st: &mut StripedState,
@@ -159,6 +196,10 @@ pub(crate) unsafe fn column<E: Engine>(
 /// Post-column statistics pass over `st.ch`: threshold hits (live lanes
 /// only) and, in argmax mode, the running per-element max plus the column
 /// of its first strict improvement.
+///
+/// # Safety
+/// Same contract as [`column`]; additionally `valid` must cover all `p`
+/// stripes of `st`.
 #[inline(always)]
 pub(crate) unsafe fn stats<E: Engine>(
     st: &mut StripedState,
@@ -196,6 +237,10 @@ pub(crate) unsafe fn stats<E: Engine>(
 }
 
 /// Reads one element of the current column (pre-`flip`).
+///
+/// # Safety
+/// Same contract as [`column`]; `q` must be a valid query index
+/// (`q < p * lanes`).
 #[inline(always)]
 pub(crate) unsafe fn extract<E: Engine>(st: &mut StripedState, q: usize) -> i16 {
     let k = q % st.p;
@@ -206,6 +251,10 @@ pub(crate) unsafe fn extract<E: Engine>(st: &mut StripedState, q: usize) -> i16 
 }
 
 /// De-stripes the current column (pre-`flip`) into `out[0..m]`.
+///
+/// # Safety
+/// Same contract as [`column`]; `m` must not exceed the profile's query
+/// length and `out` must hold at least `m` elements.
 #[inline(always)]
 pub(crate) unsafe fn destripe_column<E: Engine>(st: &StripedState, m: usize, out: &mut [i32]) {
     debug_assert!(out.len() >= m);

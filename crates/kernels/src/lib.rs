@@ -260,11 +260,16 @@ impl ScoreKernel for StripedKernel {
         }
         let mut prof = StripedProfile::new(s, scoring, self.isa.lanes());
         match self.isa {
+            // SAFETY: the portable engine has no ISA requirement; the
+            // profile above was built for its lane width.
             Isa::Portable => unsafe {
                 engine::striped_score::<scalar::Portable>(&mut prof, t, threshold)
             },
+            // SAFETY: self.isa.available() was checked above, so the
+            // target_feature contract of the wrapper holds.
             #[cfg(target_arch = "x86_64")]
             Isa::Sse2 => unsafe { x86::score_sse2(&mut prof, t, threshold) },
+            // SAFETY: as above — available() verified AVX2 at runtime.
             #[cfg(target_arch = "x86_64")]
             Isa::Avx2 => unsafe { x86::score_avx2(&mut prof, t, threshold) },
             #[cfg(not(target_arch = "x86_64"))]

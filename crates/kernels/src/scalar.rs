@@ -19,36 +19,43 @@ impl Engine for Portable {
     const LANES: usize = PORTABLE_LANES;
     type V = [i16; PORTABLE_LANES];
 
+    // SAFETY: trivially safe — plain array arithmetic; unsafe only to match the Engine signature.
     #[inline(always)]
     unsafe fn splat(x: i16) -> Self::V {
         [x; PORTABLE_LANES]
     }
 
+    // SAFETY: the Engine contract guarantees the pointer is valid for LANES i16s; unaligned access is explicit.
     #[inline(always)]
     unsafe fn load(src: *const i16) -> Self::V {
         std::ptr::read_unaligned(src.cast::<Self::V>())
     }
 
+    // SAFETY: the Engine contract guarantees the pointer is valid for LANES i16s; unaligned access is explicit.
     #[inline(always)]
     unsafe fn store(dst: *mut i16, v: Self::V) {
         std::ptr::write_unaligned(dst.cast::<Self::V>(), v);
     }
 
+    // SAFETY: trivially safe — plain array arithmetic; unsafe only to match the Engine signature.
     #[inline(always)]
     unsafe fn adds(a: Self::V, b: Self::V) -> Self::V {
         std::array::from_fn(|l| a[l].saturating_add(b[l]))
     }
 
+    // SAFETY: trivially safe — plain array arithmetic; unsafe only to match the Engine signature.
     #[inline(always)]
     unsafe fn subs(a: Self::V, b: Self::V) -> Self::V {
         std::array::from_fn(|l| a[l].saturating_sub(b[l]))
     }
 
+    // SAFETY: trivially safe — plain array arithmetic; unsafe only to match the Engine signature.
     #[inline(always)]
     unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
         std::array::from_fn(|l| a[l].max(b[l]))
     }
 
+    // SAFETY: trivially safe — plain array arithmetic; unsafe only to match the Engine signature.
     #[inline(always)]
     unsafe fn gt_bytes(a: Self::V, b: Self::V) -> u64 {
         let mut mask = 0u64;
@@ -60,6 +67,7 @@ impl Engine for Portable {
         mask
     }
 
+    // SAFETY: trivially safe — plain array arithmetic; unsafe only to match the Engine signature.
     #[inline(always)]
     unsafe fn shift_in(v: Self::V, first: i16) -> Self::V {
         std::array::from_fn(|l| if l == 0 { first } else { v[l - 1] })

@@ -30,41 +30,49 @@ impl Engine for Sse2 {
     const LANES: usize = 8;
     type V = __m128i;
 
+    // SAFETY: caller upholds the Engine contract — SSE2 is enabled.
     #[inline(always)]
     unsafe fn splat(x: i16) -> Self::V {
         _mm_set1_epi16(x)
     }
 
+    // SAFETY: caller upholds the Engine contract — SSE2 is enabled and the pointer is valid for LANES i16s (unaligned ok).
     #[inline(always)]
     unsafe fn load(src: *const i16) -> Self::V {
         _mm_loadu_si128(src.cast())
     }
 
+    // SAFETY: caller upholds the Engine contract — SSE2 is enabled and the pointer is valid for LANES i16s (unaligned ok).
     #[inline(always)]
     unsafe fn store(dst: *mut i16, v: Self::V) {
         _mm_storeu_si128(dst.cast(), v)
     }
 
+    // SAFETY: caller upholds the Engine contract — SSE2 is enabled.
     #[inline(always)]
     unsafe fn adds(a: Self::V, b: Self::V) -> Self::V {
         _mm_adds_epi16(a, b)
     }
 
+    // SAFETY: caller upholds the Engine contract — SSE2 is enabled.
     #[inline(always)]
     unsafe fn subs(a: Self::V, b: Self::V) -> Self::V {
         _mm_subs_epi16(a, b)
     }
 
+    // SAFETY: caller upholds the Engine contract — SSE2 is enabled.
     #[inline(always)]
     unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
         _mm_max_epi16(a, b)
     }
 
+    // SAFETY: caller upholds the Engine contract — SSE2 is enabled.
     #[inline(always)]
     unsafe fn gt_bytes(a: Self::V, b: Self::V) -> u64 {
         _mm_movemask_epi8(_mm_cmpgt_epi16(a, b)) as u32 as u64
     }
 
+    // SAFETY: caller upholds the Engine contract — SSE2 is enabled.
     #[inline(always)]
     unsafe fn shift_in(v: Self::V, first: i16) -> Self::V {
         // Byte-shift toward higher lanes zero-fills lane 0; OR the boundary in.
@@ -81,41 +89,49 @@ impl Engine for Avx2 {
     const LANES: usize = 16;
     type V = __m256i;
 
+    // SAFETY: caller upholds the Engine contract — AVX2 is enabled.
     #[inline(always)]
     unsafe fn splat(x: i16) -> Self::V {
         _mm256_set1_epi16(x)
     }
 
+    // SAFETY: caller upholds the Engine contract — AVX2 is enabled and the pointer is valid for LANES i16s (unaligned ok).
     #[inline(always)]
     unsafe fn load(src: *const i16) -> Self::V {
         _mm256_loadu_si256(src.cast())
     }
 
+    // SAFETY: caller upholds the Engine contract — AVX2 is enabled and the pointer is valid for LANES i16s (unaligned ok).
     #[inline(always)]
     unsafe fn store(dst: *mut i16, v: Self::V) {
         _mm256_storeu_si256(dst.cast(), v)
     }
 
+    // SAFETY: caller upholds the Engine contract — AVX2 is enabled.
     #[inline(always)]
     unsafe fn adds(a: Self::V, b: Self::V) -> Self::V {
         _mm256_adds_epi16(a, b)
     }
 
+    // SAFETY: caller upholds the Engine contract — AVX2 is enabled.
     #[inline(always)]
     unsafe fn subs(a: Self::V, b: Self::V) -> Self::V {
         _mm256_subs_epi16(a, b)
     }
 
+    // SAFETY: caller upholds the Engine contract — AVX2 is enabled.
     #[inline(always)]
     unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
         _mm256_max_epi16(a, b)
     }
 
+    // SAFETY: caller upholds the Engine contract — AVX2 is enabled.
     #[inline(always)]
     unsafe fn gt_bytes(a: Self::V, b: Self::V) -> u64 {
         _mm256_movemask_epi8(_mm256_cmpgt_epi16(a, b)) as u32 as u64
     }
 
+    // SAFETY: caller upholds the Engine contract — AVX2 is enabled.
     #[inline(always)]
     unsafe fn shift_in(v: Self::V, first: i16) -> Self::V {
         // [zero, v.low] so vpalignr can pull v.low's top lane into the

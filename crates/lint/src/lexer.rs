@@ -1,0 +1,276 @@
+//! A minimal Rust token-surface scanner.
+//!
+//! The lint rules need to know where *code* is — as opposed to comments,
+//! string/char literals, and doc text — and what each comment says. A
+//! full parse is unnecessary (and the build is hermetic, so there is no
+//! `syn` to lean on): a single pass tracking the literal/comment state is
+//! enough. [`scan`] returns the source with every comment body and
+//! literal interior blanked to spaces (newlines preserved, so byte
+//! offsets and line numbers still line up) plus the per-line comment
+//! text for the SAFETY-comment rule.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings `r#"…"#` (any hash depth, `b`/`br` prefixes),
+//! char literals (including escapes), and the char-vs-lifetime
+//! ambiguity (`'a'` is a literal, `'a` in `&'a str` is not).
+
+/// Result of scanning one source file.
+pub struct Scanned {
+    /// The source with comments and literal interiors blanked to spaces.
+    /// Same byte length and line structure as the input.
+    pub code: String,
+    /// For each 0-based line, the concatenation of all comment text
+    /// appearing on that line (empty if none).
+    pub comments: Vec<String>,
+}
+
+impl Scanned {
+    /// 0-based line number of byte offset `at` in `code`.
+    pub fn line_of(&self, at: usize) -> usize {
+        self.code.as_bytes()[..at]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+}
+
+/// True if `b` can be part of an identifier.
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans `src`, blanking comments and literal interiors.
+pub fn scan(src: &str) -> Scanned {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut code: Vec<u8> = Vec::with_capacity(n);
+    let line_count = src.lines().count().max(1);
+    let mut comments: Vec<String> = vec![String::new(); line_count + 1];
+    let mut line = 0usize;
+
+    // Pushes `b` through to the masked output, tracking line numbers.
+    let push = |out: &mut Vec<u8>, b: u8, line: &mut usize| {
+        if b == b'\n' {
+            *line += 1;
+            out.push(b'\n');
+        } else {
+            out.push(b);
+        }
+    };
+    // Blanks `b`: newlines survive, everything else becomes a space.
+    let blank = |out: &mut Vec<u8>, b: u8, line: &mut usize| {
+        if b == b'\n' {
+            *line += 1;
+            out.push(b'\n');
+        } else {
+            out.push(b' ');
+        }
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        let b = bytes[i];
+        // Line comment (also covers `///` and `//!` doc comments).
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            let start = i;
+            while i < n && bytes[i] != b'\n' {
+                blank(&mut code, bytes[i], &mut line);
+                i += 1;
+            }
+            if let Ok(text) = std::str::from_utf8(&bytes[start..i]) {
+                comments[line].push_str(text);
+                comments[line].push(' ');
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 0usize;
+            let text_start_line = line;
+            while i < n {
+                if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    blank(&mut code, bytes[i], &mut line);
+                    blank(&mut code, bytes[i + 1], &mut line);
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    blank(&mut code, bytes[i], &mut line);
+                    blank(&mut code, bytes[i + 1], &mut line);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut code, bytes[i], &mut line);
+                    i += 1;
+                }
+            }
+            if let Ok(text) = std::str::from_utf8(&bytes[start..i]) {
+                for (k, part) in text.split('\n').enumerate() {
+                    comments[text_start_line + k].push_str(part);
+                    comments[text_start_line + k].push(' ');
+                }
+            }
+            continue;
+        }
+        // Raw string (r"…", r#"…"#, br#"…"#), only when `r`/`b` starts a
+        // token (not the tail of an identifier).
+        if (b == b'r' || b == b'b') && (i == 0 || !is_ident(bytes[i - 1])) {
+            let mut j = i;
+            if bytes[j] == b'b' && j + 1 < n && bytes[j + 1] == b'r' {
+                j += 1;
+            }
+            if bytes[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && bytes[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && bytes[k] == b'"' {
+                    // Emit the prefix as code, blank the interior.
+                    while i <= k {
+                        push(&mut code, bytes[i], &mut line);
+                        i += 1;
+                    }
+                    'raw: while i < n {
+                        if bytes[i] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && i + 1 + h < n && bytes[i + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for _ in 0..=hashes {
+                                    push(&mut code, bytes[i], &mut line);
+                                    i += 1;
+                                }
+                                break 'raw;
+                            }
+                        }
+                        blank(&mut code, bytes[i], &mut line);
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            // Plain byte string b"…" falls through to the `"` case below
+            // on its quote; emit the prefix byte as code.
+            push(&mut code, b, &mut line);
+            i += 1;
+            continue;
+        }
+        // String literal.
+        if b == b'"' {
+            push(&mut code, b, &mut line);
+            i += 1;
+            while i < n {
+                if bytes[i] == b'\\' && i + 1 < n {
+                    blank(&mut code, bytes[i], &mut line);
+                    blank(&mut code, bytes[i + 1], &mut line);
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    push(&mut code, bytes[i], &mut line);
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut code, bytes[i], &mut line);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            let next = bytes.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(c) if is_ident(c) => bytes.get(i + 2).copied() == Some(b'\''),
+                Some(_) => bytes.get(i + 2).copied() == Some(b'\''),
+                None => false,
+            };
+            if is_char {
+                push(&mut code, b, &mut line);
+                i += 1;
+                while i < n {
+                    if bytes[i] == b'\\' && i + 1 < n {
+                        blank(&mut code, bytes[i], &mut line);
+                        blank(&mut code, bytes[i + 1], &mut line);
+                        i += 2;
+                    } else if bytes[i] == b'\'' {
+                        push(&mut code, bytes[i], &mut line);
+                        i += 1;
+                        break;
+                    } else {
+                        blank(&mut code, bytes[i], &mut line);
+                        i += 1;
+                    }
+                }
+            } else {
+                // Lifetime: keep the quote, code continues normally.
+                push(&mut code, b, &mut line);
+                i += 1;
+            }
+            continue;
+        }
+        push(&mut code, b, &mut line);
+        i += 1;
+    }
+
+    comments.truncate(line + 1);
+    Scanned {
+        code: String::from_utf8(code).unwrap_or_default(),
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_but_captured() {
+        let s = scan("let x = 1; // SAFETY: fine\nlet y = 2;\n");
+        assert!(!s.code.contains("SAFETY"));
+        assert!(s.comments[0].contains("SAFETY: fine"));
+        assert!(s.comments[1].is_empty());
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let s = scan(r#"let x = "call .unwrap() now"; x.len();"#);
+        assert!(!s.code.contains(".unwrap()"));
+        assert!(s.code.contains("x.len()"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let s = scan("let a = r#\"unsafe \"quoted\" here\"#; let b = \"esc \\\" unsafe\";");
+        assert!(!s.code.contains("unsafe"), "{}", s.code);
+        assert!(s.code.contains("let b"));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let s = scan("let c = '\"'; let d: &'static str = \"x\"; let e = '\\n';");
+        assert!(s.code.contains("&'static str"));
+        assert!(s.code.contains("let e"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner unsafe */ SAFETY: yes */ let x = 1;");
+        assert!(!s.code.contains("unsafe"));
+        assert!(s.code.contains("let x = 1;"));
+        assert!(s.comments[0].contains("SAFETY: yes"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n/* c1\nc2 */\nb\n";
+        let s = scan(src);
+        assert_eq!(s.code.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(s.line_of(s.code.find('b').unwrap()), 3);
+    }
+}

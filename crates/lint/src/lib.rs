@@ -1,0 +1,83 @@
+//! Static concurrency-hygiene lints for the GenomeDSM workspace.
+//!
+//! A `syn`-style source-level linter, adapted to the hermetic build (no
+//! registry, so no real `syn`): a small token-surface scanner
+//! ([`lexer`]) distinguishes code from comments and literals, and the
+//! rule engine ([`rules`]) enforces the workspace policy on top of it —
+//! SAFETY comments on every `unsafe`, no `unwrap()`/`expect()`, no
+//! `Ordering::Relaxed`, and no `thread::sleep` in the protocol crates
+//! (`genomedsm-dsm`, `genomedsm-strategies`, `genomedsm-batch`), all
+//! outside test code.
+//!
+//! Run it with `cargo run -p genomedsm-lint` (CI runs it in the `verify`
+//! job). There is **no allowlist**: the workspace itself must be clean,
+//! and the `repo_clean` integration test keeps it that way.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Finding, RuleScope};
+
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` is subject to the protocol rules (`no-unwrap`,
+/// `no-relaxed`, `no-sleep`) in addition to `safety-comment`.
+pub const PROTOCOL_CRATES: &[&str] = &["dsm", "strategies", "batch"];
+
+/// Recursively collects `.rs` files under `dir` (sorted for determinism).
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every first-party source file of the workspace rooted at `root`:
+/// the root package's `src/` and each `crates/*/src`. Vendored dependency
+/// shims (`vendor/`), `tests/`, and `benches/` are out of scope.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut targets: Vec<(PathBuf, RuleScope)> =
+        vec![(root.join("src"), RuleScope { protocol: false })];
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let protocol = PROTOCOL_CRATES.contains(&name);
+        targets.push((dir.join("src"), RuleScope { protocol }));
+    }
+
+    let mut findings = Vec::new();
+    for (src_dir, scope) in targets {
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src_dir, &mut files)?;
+        for file in files {
+            let src = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file);
+            findings.extend(rules::lint_source(rel, &src, scope));
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}

@@ -1,0 +1,31 @@
+//! Workspace lint driver: `cargo run -p genomedsm-lint [ROOT]`.
+//!
+//! Lints the GenomeDSM workspace (defaulting to the workspace this
+//! binary was built from) and exits non-zero if any finding survives.
+//! There is no allowlist — a finding means the source must change.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    let findings = match genomedsm_lint::lint_workspace(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("genomedsm-lint: failed to walk {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("genomedsm-lint: workspace clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!("genomedsm-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -729,7 +729,11 @@ pub fn read_verified(path: &Path) -> io::Result<Vec<u8>> {
         )));
     }
     let body = bytes.len() - 24;
-    let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+    let word = |at: usize| {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&bytes[at..at + 8]);
+        u64::from_le_bytes(a)
+    };
     let (len, fnv, magic) = (word(body), word(body + 8), word(body + 16));
     if magic != FILE_MAGIC {
         return Err(corrupt(format!("bad checkpoint magic {magic:#018x}")));

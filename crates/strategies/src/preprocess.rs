@@ -573,7 +573,10 @@ pub fn preprocess_align(
                     let mut bottom = Vec::with_capacity(width + 1);
                     bottom.push(corner);
                     bottom.append(&mut bottom_vals);
-                    corner = *bottom.last().expect("non-empty chunk");
+                    let Some(&last) = bottom.last() else {
+                        unreachable!("bottom always carries the corner plus the chunk")
+                    };
+                    corner = last;
                     node.advance(crate::costs::cells(config.cell_cost, h * width));
                     push_bottom!(k, &bottom);
                     crash_check!();
@@ -659,7 +662,9 @@ pub fn preprocess_align(
         // Termination: deferred I/O, then the final barrier.
         let term_start = node.now();
         if config.io_mode == IoMode::Deferred {
-            let dir = config.save_dir.as_ref().expect("save_dir");
+            let Some(dir) = config.save_dir.as_ref() else {
+                unreachable!("deferred IoMode is only configured with a save_dir")
+            };
             let path = dir.join(format!("node_{p}.cols"));
             let mut bytes = 0usize;
             if let Err(e) = write_role_file(&path, &saved, &mut bytes) {
@@ -780,7 +785,10 @@ fn entry(acc: &mut PpAcc, role: usize) -> &mut RoleRun {
         best: 0,
         saved: Vec::new(),
     });
-    acc.runs.last_mut().expect("just pushed")
+    let Some(run) = acc.runs.last_mut() else {
+        unreachable!("a run record was pushed just above")
+    };
+    run
 }
 
 /// Strategy 3 worker in tolerant mode: bands flow through the per-role
@@ -837,7 +845,9 @@ fn tolerant_pp_worker(node: &mut Node, ctx: &PpCtx<'_>) -> NodeOut {
     for run in by_role.values() {
         best = best.max(run.best);
         if ctx.config.io_mode != IoMode::None {
-            let dir = ctx.config.save_dir.as_ref().expect("save_dir");
+            let Some(dir) = ctx.config.save_dir.as_ref() else {
+                unreachable!("io_mode != None is only configured with a save_dir")
+            };
             let path = dir.join(format!("node_{}.cols", run.role));
             let mut bytes = 0usize;
             let res = write_role_file(&path, &run.saved, &mut bytes);
@@ -1010,7 +1020,10 @@ fn run_pp_bands(
                 let mut bottom = Vec::with_capacity(width + 1);
                 bottom.push(corner);
                 bottom.append(&mut bottom_vals);
-                corner = *bottom.last().expect("non-empty chunk");
+                let Some(&last) = bottom.last() else {
+                    unreachable!("bottom always carries the corner plus the chunk")
+                };
+                corner = last;
                 node.advance(crate::costs::cells(config.cell_cost, h * width));
                 unit_done!();
                 if band + 1 < nbands {
@@ -1145,7 +1158,9 @@ pub fn read_saved_columns(path: &std::path::Path) -> std::io::Result<Vec<SavedCo
             .checked_add(4)
             .filter(|&e| e <= data.len())
             .ok_or_else(|| bad("truncated column record"))?;
-        let v = u32::from_le_bytes(data[*pos..end].try_into().expect("4-byte slice"));
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&data[*pos..end]);
+        let v = u32::from_le_bytes(a);
         *pos = end;
         Ok(v)
     }

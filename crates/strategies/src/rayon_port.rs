@@ -71,7 +71,12 @@ pub fn heuristic_block_align_shm(
                         let top: Vec<HCell> = if band == 0 {
                             vec![HCell::fresh(); width + 1]
                         } else {
-                            from_rx.recv().expect("upstream closed")
+                            match from_rx.recv() {
+                                Ok(top) => top,
+                                Err(_) => {
+                                    panic!("band {band}: upstream worker hung up mid-wavefront")
+                                }
+                            }
                         };
                         let bottom = process_block(
                             &kernel,
@@ -91,7 +96,9 @@ pub fn heuristic_block_align_shm(
                             }
                         }
                         if band + 1 < bands {
-                            to_tx.send(bottom).expect("downstream closed");
+                            if to_tx.send(bottom).is_err() {
+                                panic!("band {band}: downstream worker hung up mid-wavefront");
+                            }
                         } else {
                             for (idx, cell) in bottom.iter().enumerate().skip(1) {
                                 let j = c_lo - 1 + idx;
@@ -109,7 +116,10 @@ pub fn heuristic_block_align_shm(
         drop(senders);
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
@@ -239,7 +249,12 @@ pub fn score_bands_shm(
                         let top: Vec<i32> = if band == 0 {
                             vec![0; width + 1]
                         } else {
-                            from_rx.recv().expect("upstream closed")
+                            match from_rx.recv() {
+                                Ok(top) => top,
+                                Err(_) => {
+                                    panic!("band {band}: upstream worker hung up mid-wavefront")
+                                }
+                            }
                         };
                         let mut bottom = Vec::with_capacity(width + 1);
                         match scorer.as_mut() {
@@ -256,7 +271,10 @@ pub fn score_bands_shm(
                                     &mut saved,
                                 );
                                 hits += col_hits.iter().sum::<u64>();
-                                left_col[h] = *bottom.last().expect("chunk bottom");
+                                let Some(&chunk_bottom) = bottom.last() else {
+                                    unreachable!("advance produced a non-empty chunk bottom")
+                                };
+                                left_col[h] = chunk_bottom;
                             }
                             None => {
                                 let (ch, cb) = scalar_band_chunk(
@@ -272,8 +290,8 @@ pub fn score_bands_shm(
                                 best = best.max(cb);
                             }
                         }
-                        if band + 1 < bands {
-                            to_tx.send(bottom).expect("downstream closed");
+                        if band + 1 < bands && to_tx.send(bottom).is_err() {
+                            panic!("band {band}: downstream worker hung up mid-wavefront");
                         }
                         c_lo = c_hi + 1;
                     }
@@ -288,7 +306,10 @@ pub fn score_bands_shm(
         drop(senders);
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
@@ -327,10 +348,13 @@ pub fn heuristic_antidiagonal_rayon(
     let kernel = RowKernel::new(*scoring, *params);
     let m = s.len();
     let n = t.len();
-    let pool = rayon::ThreadPoolBuilder::new()
+    let pool = match rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
-        .expect("build rayon pool");
+    {
+        Ok(pool) => pool,
+        Err(e) => panic!("rayon pool construction cannot fail for >= 1 threads: {e}"),
+    };
 
     // Antidiagonal d holds cells (i, j) with i + j == d, 1 <= i <= m,
     // 1 <= j <= n. Buffers are indexed by i; index 0 stands for the zero

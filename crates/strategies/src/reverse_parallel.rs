@@ -24,10 +24,13 @@ pub fn reverse_align_all_parallel(
     threads: usize,
 ) -> Vec<RecoveredAlignment> {
     let ends = sorted_ends(s, t, scoring, min_score);
-    let pool = rayon::ThreadPoolBuilder::new()
+    let pool = match rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
-        .expect("build rayon pool");
+    {
+        Ok(pool) => pool,
+        Err(e) => panic!("rayon pool construction cannot fail for >= 1 threads: {e}"),
+    };
     let recovered: Vec<RecoveredAlignment> = pool.install(|| {
         ends.par_iter()
             .filter_map(|&end| recover_end(s, t, scoring, end))

@@ -1,0 +1,121 @@
+//! `genomedsm-verify`: run the model-checking suite and the seeded
+//! regression checks, printing one row per model.
+//!
+//! Exit status is non-zero if any healthy model fails, the suite explored
+//! fewer than 10 000 distinct schedules, or a seeded bug is not found and
+//! deterministically replayed from its printed seed.
+
+use genomedsm_verify::models::{inversion::InversionModel, merge::MergeModel};
+use genomedsm_verify::run_suite;
+use shuttle::Config;
+
+fn main() {
+    let mut failed = false;
+
+    println!("== healthy protocol suite ==");
+    println!(
+        "{:<34} {:>9} {:>9} {:>6} {:>9}  result",
+        "model", "schedules", "distinct", "depth", "exhausted"
+    );
+    let mut distinct_total: u64 = 0;
+    for entry in run_suite() {
+        let r = &entry.report;
+        distinct_total += r.distinct;
+        let result = match &r.failure {
+            None => "ok".to_string(),
+            Some(f) => {
+                failed = true;
+                format!("FAIL: {}", f.reason)
+            }
+        };
+        println!(
+            "{:<34} {:>9} {:>9} {:>6} {:>9}  {}",
+            entry.name, r.schedules, r.distinct, r.max_depth, r.exhausted, result
+        );
+    }
+    println!("total distinct schedules: {distinct_total}");
+    if distinct_total < 10_000 {
+        println!("FAIL: suite explored fewer than 10000 distinct schedules");
+        failed = true;
+    }
+
+    println!();
+    println!("== seeded regressions (must be found and replayed) ==");
+    failed |= !check_inversion_regression();
+    failed |= !check_permit_regression();
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!();
+    println!("verify: all models clean, all seeded bugs found and replayed");
+}
+
+/// The lock-order inversion between the page lock and the lease table:
+/// random exploration must hit the AB-BA deadlock, print its seed, and
+/// replay the identical failing schedule from that seed alone.
+fn check_inversion_regression() -> bool {
+    let spec = InversionModel {
+        inverted: true,
+        rounds: 2,
+    };
+    let report = shuttle::check_random(&spec, &Config::default());
+    let Some(failure) = report.failure else {
+        println!("inversion/page-lock-vs-lease-table: FAIL (deadlock not found)");
+        return false;
+    };
+    let Some(seed) = failure.seed else {
+        println!("inversion/page-lock-vs-lease-table: FAIL (no seed recorded)");
+        return false;
+    };
+    println!(
+        "inversion/page-lock-vs-lease-table: found `{}`",
+        failure.reason
+    );
+    println!("  seed {seed:#018x}, schedule {:?}", failure.schedule);
+    let replay = shuttle::replay_seed(&spec, seed, &Config::default());
+    match replay.failure {
+        Some(rf) if rf.reason == failure.reason && rf.schedule == failure.schedule => {
+            println!("  replay from seed: identical failure reproduced — ok");
+            true
+        }
+        Some(rf) => {
+            println!(
+                "  replay from seed: DIVERGED ({} / {:?})",
+                rf.reason, rf.schedule
+            );
+            false
+        }
+        None => {
+            println!("  replay from seed: FAIL (did not re-fail)");
+            false
+        }
+    }
+}
+
+/// The rejected permit-counting merge gate must deadlock.
+fn check_permit_regression() -> bool {
+    let report = shuttle::check_exhaustive(
+        &MergeModel {
+            jobs: 2,
+            workers: 2,
+            window: 1,
+            permit_bug: true,
+        },
+        &Config::default(),
+    );
+    match report.failure {
+        Some(f) if f.reason.contains("deadlock") => {
+            println!("merge/permit-counting: found `{}` — ok", f.reason);
+            true
+        }
+        Some(f) => {
+            println!("merge/permit-counting: FAIL (wrong failure: {})", f.reason);
+            false
+        }
+        None => {
+            println!("merge/permit-counting: FAIL (deadlock not found)");
+            false
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Model of the DSM condition-variable handoff (daemon `CvState`).
+//!
+//! The daemon gives `setcv`/`waitcv` *counting* semantics: a signal that
+//! arrives while no waiter is queued is remembered as a pending grant
+//! (with the signaller's data snapshot and vector clock), and a waiter
+//! that arrives while grants are pending consumes one immediately. This
+//! is what makes the real protocol immune to the classic lost-wakeup
+//! race, and it is exactly the property this model checks: across every
+//! interleaving of producers signalling and consumers waiting,
+//!
+//! * **no lost wakeup** — every signal is eventually consumed by exactly
+//!   one waiter (terminal: `consumed == signalled`, no process stuck —
+//!   a dropped signal shows up as a structural deadlock with a consumer
+//!   blocked in `AwaitGrant` forever);
+//! * **handoff ordering** — each consumer's successively observed data
+//!   snapshots are nondecreasing (banked signals are granted FIFO over a
+//!   monotone producer counter, so a later wait can never surface an
+//!   older snapshot than an earlier one);
+//! * **happens-before** — the consumer's clock after the grant dominates
+//!   the clock of the producer whose signal it consumed.
+
+use shuttle::{Ctx, Process, Spec, VectorClock};
+use std::collections::VecDeque;
+
+/// A pending signal: the producer's published value and clock snapshot.
+struct Signal {
+    value: u64,
+    clock: VectorClock,
+}
+
+/// Shared state: the manager's cv record plus the published counter.
+pub struct CvWorld {
+    /// Signals that arrived with no waiter queued (counting semantics).
+    pending: VecDeque<Signal>,
+    /// Consumers blocked in `waitcv`, FIFO.
+    waiters: VecDeque<usize>,
+    /// Grants in flight to consumers.
+    grants: Vec<Option<Signal>>,
+    /// The producers' shared published value (monotone).
+    published: u64,
+    /// Total signals sent.
+    pub signalled: u64,
+    /// Total grants consumed by waiters.
+    pub consumed: u64,
+    violations: Vec<String>,
+}
+
+impl CvWorld {
+    fn new(procs: usize) -> Self {
+        Self {
+            pending: VecDeque::new(),
+            waiters: VecDeque::new(),
+            grants: (0..procs).map(|_| None).collect(),
+            published: 0,
+            signalled: 0,
+            consumed: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// `handle_setcv`: wake the oldest waiter, else bank the signal.
+    fn handle_setcv(&mut self, sig: Signal) {
+        self.signalled += 1;
+        if let Some(w) = self.waiters.pop_front() {
+            self.grants[w] = Some(sig);
+        } else {
+            self.pending.push_back(sig);
+        }
+    }
+
+    /// `handle_waitcv`: consume a banked signal, else queue as a waiter.
+    fn handle_waitcv(&mut self, from: usize) {
+        if let Some(sig) = self.pending.pop_front() {
+            self.grants[from] = Some(sig);
+        } else {
+            self.waiters.push_back(from);
+        }
+    }
+}
+
+enum ProducerState {
+    Publish,
+    Signal,
+    Done,
+}
+
+struct Producer {
+    state: ProducerState,
+    remaining: usize,
+}
+
+impl Process<CvWorld> for Producer {
+    fn ready(&self, _w: &CvWorld) -> bool {
+        !matches!(self.state, ProducerState::Done)
+    }
+
+    fn done(&self, _w: &CvWorld) -> bool {
+        matches!(self.state, ProducerState::Done)
+    }
+
+    fn step(&mut self, w: &mut CvWorld, ctx: &mut Ctx) {
+        match self.state {
+            ProducerState::Publish => {
+                w.published += 1;
+                ctx.trace(format!("publish {}", w.published));
+                self.state = ProducerState::Signal;
+            }
+            ProducerState::Signal => {
+                let sig = Signal {
+                    value: w.published,
+                    clock: ctx.clock().clone(),
+                };
+                w.handle_setcv(sig);
+                ctx.trace(format!("setcv snapshot={}", w.published));
+                self.remaining -= 1;
+                self.state = if self.remaining == 0 {
+                    ProducerState::Done
+                } else {
+                    ProducerState::Publish
+                };
+            }
+            ProducerState::Done => {}
+        }
+    }
+}
+
+enum ConsumerState {
+    Wait,
+    AwaitGrant,
+    Done,
+}
+
+struct Consumer {
+    me: usize,
+    state: ConsumerState,
+    remaining: usize,
+    /// Newest snapshot this consumer has observed (monotonicity check).
+    last_value: u64,
+}
+
+impl Process<CvWorld> for Consumer {
+    fn ready(&self, w: &CvWorld) -> bool {
+        match self.state {
+            ConsumerState::AwaitGrant => w.grants[self.me].is_some(),
+            ConsumerState::Done => false,
+            ConsumerState::Wait => true,
+        }
+    }
+
+    fn done(&self, _w: &CvWorld) -> bool {
+        matches!(self.state, ConsumerState::Done)
+    }
+
+    fn step(&mut self, w: &mut CvWorld, ctx: &mut Ctx) {
+        match self.state {
+            ConsumerState::Wait => {
+                w.handle_waitcv(self.me);
+                ctx.trace("waitcv");
+                self.state = ConsumerState::AwaitGrant;
+            }
+            ConsumerState::AwaitGrant => {
+                let Some(sig) = w.grants[self.me].take() else {
+                    w.violations
+                        .push(format!("consumer {} woke without a grant", self.me));
+                    return;
+                };
+                ctx.acquire(&sig.clock);
+                w.consumed += 1;
+                if sig.value < self.last_value {
+                    w.violations.push(format!(
+                        "handoff ordering violated: consumer {} observed snapshot {} \
+                         after already seeing {}",
+                        self.me, sig.value, self.last_value
+                    ));
+                }
+                self.last_value = sig.value;
+                if !ctx.clock().dominates(&sig.clock) {
+                    w.violations.push(format!(
+                        "happens-before violated: consumer {} is concurrent with the \
+                         producer it consumed from",
+                        self.me
+                    ));
+                }
+                ctx.trace(format!("granted snapshot={}", sig.value));
+                self.remaining -= 1;
+                self.state = if self.remaining == 0 {
+                    ConsumerState::Done
+                } else {
+                    ConsumerState::Wait
+                };
+            }
+            ConsumerState::Done => {}
+        }
+    }
+}
+
+/// The cv-handoff model: `producers` nodes each publishing and signalling
+/// `signals_each` times, `consumers` nodes collectively consuming every
+/// signal (the total signal count must be divisible by `consumers`).
+pub struct CvModel {
+    /// Number of signalling producer nodes.
+    pub producers: usize,
+    /// Number of waiting consumer nodes.
+    pub consumers: usize,
+    /// Signals sent by each producer.
+    pub signals_each: usize,
+}
+
+impl Spec for CvModel {
+    type S = CvWorld;
+
+    fn build(&self) -> (CvWorld, Vec<Box<dyn Process<CvWorld>>>) {
+        let total = self.producers * self.signals_each;
+        assert!(
+            total.is_multiple_of(self.consumers),
+            "signal total must divide evenly across consumers"
+        );
+        let mut procs: Vec<Box<dyn Process<CvWorld>>> = Vec::new();
+        for _ in 0..self.producers {
+            procs.push(Box::new(Producer {
+                state: ProducerState::Publish,
+                remaining: self.signals_each,
+            }));
+        }
+        for c in 0..self.consumers {
+            procs.push(Box::new(Consumer {
+                // Consumer pids follow the producers'.
+                me: self.producers + c,
+                state: ConsumerState::Wait,
+                remaining: total / self.consumers,
+                last_value: 0,
+            }));
+        }
+        let n = procs.len();
+        (CvWorld::new(n), procs)
+    }
+
+    fn invariant(&self, w: &CvWorld) -> Result<(), String> {
+        if let Some(v) = w.violations.first() {
+            return Err(v.clone());
+        }
+        if w.consumed > w.signalled {
+            return Err(format!(
+                "phantom wakeup: {} grants consumed but only {} signals sent",
+                w.consumed, w.signalled
+            ));
+        }
+        Ok(())
+    }
+
+    fn terminal(&self, w: &CvWorld) -> Result<(), String> {
+        let want = (self.producers * self.signals_each) as u64;
+        if w.consumed != want {
+            return Err(format!(
+                "lost wakeup: {} of {want} signals consumed at termination",
+                w.consumed
+            ));
+        }
+        if !w.pending.is_empty() || !w.waiters.is_empty() {
+            return Err("cv state not drained at termination".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shuttle::Config;
+
+    #[test]
+    fn exhaustive_one_to_one() {
+        let report = shuttle::check_exhaustive(
+            &CvModel {
+                producers: 1,
+                consumers: 1,
+                signals_each: 3,
+            },
+            &Config::default(),
+        );
+        report.assert_ok();
+        assert!(report.exhausted, "small model should be fully explored");
+    }
+
+    #[test]
+    fn exhaustive_two_producers_two_consumers() {
+        let report = shuttle::check_exhaustive(
+            &CvModel {
+                producers: 2,
+                consumers: 2,
+                signals_each: 1,
+            },
+            &Config {
+                max_schedules: 50_000,
+                ..Config::default()
+            },
+        );
+        report.assert_ok();
+    }
+
+    /// Sanity: a cv *without* counting semantics (signals to an empty
+    /// waiter queue are dropped) must deadlock — the classic lost wakeup.
+    struct DroppingCv;
+
+    struct DroppingProducer {
+        fired: bool,
+    }
+
+    impl Process<CvWorld> for DroppingProducer {
+        fn ready(&self, _w: &CvWorld) -> bool {
+            !self.fired
+        }
+        fn done(&self, _w: &CvWorld) -> bool {
+            self.fired
+        }
+        fn step(&mut self, w: &mut CvWorld, ctx: &mut Ctx) {
+            w.signalled += 1;
+            // Broken semantics: only wake a queued waiter; otherwise the
+            // signal evaporates instead of being banked.
+            if let Some(waiter) = w.waiters.pop_front() {
+                w.grants[waiter] = Some(Signal {
+                    value: 1,
+                    clock: ctx.clock().clone(),
+                });
+            }
+            self.fired = true;
+        }
+    }
+
+    impl Spec for DroppingCv {
+        type S = CvWorld;
+        fn build(&self) -> (CvWorld, Vec<Box<dyn Process<CvWorld>>>) {
+            let procs: Vec<Box<dyn Process<CvWorld>>> = vec![
+                Box::new(DroppingProducer { fired: false }),
+                Box::new(Consumer {
+                    me: 1,
+                    state: ConsumerState::Wait,
+                    remaining: 1,
+                    last_value: 0,
+                }),
+            ];
+            (CvWorld::new(2), procs)
+        }
+    }
+
+    #[test]
+    fn dropping_signals_deadlocks_as_lost_wakeup() {
+        let report = shuttle::check_exhaustive(&DroppingCv, &Config::default());
+        let f = report.failure.expect("lost wakeup must be detected");
+        assert!(f.reason.contains("deadlock"), "{}", f.reason);
+    }
+}

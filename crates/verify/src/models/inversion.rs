@@ -1,0 +1,196 @@
+//! Model of the page-lock / lease-table lock-order discipline.
+//!
+//! The DSM daemon takes two internal locks on the failure path: the
+//! per-page lock (guarding the cached copy and its twin) and the lease
+//! table (guarding holder/waiter records for break-on-death). The
+//! project-wide discipline is **page lock first, lease table second**.
+//! This model runs two daemon threads through their lock-protected
+//! critical sections; the `inverted` knob makes the second thread take
+//! the locks in the opposite order — the classic AB-BA inversion — which
+//! the checker must expose as a deadlock, with a deterministic seed
+//! replay. The same seeded bug is caught at runtime by the lock-order
+//! graph in `genomedsm-dsm` (see `lock_order.rs`), giving the regression
+//! two independent tripwires.
+
+use shuttle::{Ctx, Process, Spec};
+
+/// Lock id of the per-page lock.
+pub const PAGE_LOCK: usize = 0;
+/// Lock id of the lease table.
+pub const LEASE_TABLE: usize = 1;
+
+/// Shared state: two plain mutexes modeled as holder slots.
+pub struct TwoLocks {
+    holder: [Option<usize>; 2],
+    /// Completed critical sections (both locks held), per process.
+    pub sections: [u32; 2],
+}
+
+enum ThreadState {
+    First,
+    Second,
+    Work,
+    Unwind,
+    Done,
+}
+
+struct DaemonThread {
+    me: usize,
+    /// Lock ids in acquisition order for this thread.
+    order: [usize; 2],
+    state: ThreadState,
+    rounds: u32,
+}
+
+impl Process<TwoLocks> for DaemonThread {
+    fn ready(&self, w: &TwoLocks) -> bool {
+        match self.state {
+            ThreadState::First => w.holder[self.order[0]].is_none(),
+            ThreadState::Second => w.holder[self.order[1]].is_none(),
+            ThreadState::Done => false,
+            _ => true,
+        }
+    }
+
+    fn done(&self, _w: &TwoLocks) -> bool {
+        matches!(self.state, ThreadState::Done)
+    }
+
+    fn step(&mut self, w: &mut TwoLocks, ctx: &mut Ctx) {
+        match self.state {
+            ThreadState::First => {
+                w.holder[self.order[0]] = Some(self.me);
+                ctx.trace(format!("lock {}", name(self.order[0])));
+                self.state = ThreadState::Second;
+            }
+            ThreadState::Second => {
+                w.holder[self.order[1]] = Some(self.me);
+                ctx.trace(format!("lock {}", name(self.order[1])));
+                self.state = ThreadState::Work;
+            }
+            ThreadState::Work => {
+                w.sections[self.me] += 1;
+                ctx.trace("critical section");
+                self.state = ThreadState::Unwind;
+            }
+            ThreadState::Unwind => {
+                w.holder[self.order[1]] = None;
+                w.holder[self.order[0]] = None;
+                ctx.trace("unlock both");
+                self.rounds -= 1;
+                self.state = if self.rounds == 0 {
+                    ThreadState::Done
+                } else {
+                    ThreadState::First
+                };
+            }
+            ThreadState::Done => {}
+        }
+    }
+}
+
+fn name(lock: usize) -> &'static str {
+    if lock == PAGE_LOCK {
+        "page_lock"
+    } else {
+        "lease_table"
+    }
+}
+
+/// Two daemon threads crossing the page lock and the lease table.
+pub struct InversionModel {
+    /// When true, thread 1 takes lease table before page lock (AB-BA).
+    pub inverted: bool,
+    /// Critical sections per thread.
+    pub rounds: u32,
+}
+
+impl Spec for InversionModel {
+    type S = TwoLocks;
+
+    fn build(&self) -> (TwoLocks, Vec<Box<dyn Process<TwoLocks>>>) {
+        let second_order = if self.inverted {
+            [LEASE_TABLE, PAGE_LOCK]
+        } else {
+            [PAGE_LOCK, LEASE_TABLE]
+        };
+        let procs: Vec<Box<dyn Process<TwoLocks>>> = vec![
+            Box::new(DaemonThread {
+                me: 0,
+                order: [PAGE_LOCK, LEASE_TABLE],
+                state: ThreadState::First,
+                rounds: self.rounds,
+            }),
+            Box::new(DaemonThread {
+                me: 1,
+                order: second_order,
+                state: ThreadState::First,
+                rounds: self.rounds,
+            }),
+        ];
+        (
+            TwoLocks {
+                holder: [None, None],
+                sections: [0, 0],
+            },
+            procs,
+        )
+    }
+
+    fn terminal(&self, w: &TwoLocks) -> Result<(), String> {
+        if w.sections != [self.rounds, self.rounds] {
+            return Err(format!(
+                "sections ran {:?}, want {} each",
+                w.sections, self.rounds
+            ));
+        }
+        if w.holder.iter().any(Option::is_some) {
+            return Err("a lock is still held at termination".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shuttle::Config;
+
+    #[test]
+    fn consistent_order_is_deadlock_free() {
+        let report = shuttle::check_exhaustive(
+            &InversionModel {
+                inverted: false,
+                rounds: 2,
+            },
+            &Config::default(),
+        );
+        report.assert_ok();
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn inverted_order_deadlocks_and_replays() {
+        let report = shuttle::check_random(
+            &InversionModel {
+                inverted: true,
+                rounds: 2,
+            },
+            &Config::default(),
+        );
+        let f = report.failure.expect("AB-BA inversion must deadlock");
+        assert!(f.reason.contains("deadlock"), "{}", f.reason);
+        let seed = f.seed.expect("random failures carry their seed");
+        let replay = shuttle::replay_seed(
+            &InversionModel {
+                inverted: true,
+                rounds: 2,
+            },
+            seed,
+            &Config::default(),
+        );
+        let rf = replay.failure.expect("seed replay must re-fail");
+        assert_eq!(rf.reason, f.reason);
+        assert_eq!(rf.schedule, f.schedule);
+    }
+}

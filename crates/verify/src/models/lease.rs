@@ -1,0 +1,438 @@
+//! Model of the lock-lease break-on-death path (daemon `handle_obituary`)
+//! plus the ledger-driven work takeover from the supervision layer.
+//!
+//! A *victim* node and a *survivor* node both run lock-protected work
+//! units. A *reaper* process is ready at every scheduler step until it
+//! fires, so the checker explores a crash at **every** protocol point:
+//! while the victim is queued, while it holds the lease mid-critical-
+//! section with an uncommitted write, between sections, and after it
+//! finished. The reaper's single step is the daemon's atomic obituary
+//! handler: purge the dead node from the waiter queue, break its lease if
+//! it is the holder, and grant the next waiter from the **last released**
+//! state — the victim's uncommitted write is discarded, exactly as the
+//! real protocol discards a dead holder's unflushed diffs. An *adopter*
+//! process becomes ready only after the crash, reads the ledger cursor
+//! (the victim's committed unit count), and re-runs the remaining units
+//! through the normal lock protocol.
+//!
+//! Checked properties:
+//!
+//! * **no deadlock after death** — a queued or holding victim never
+//!   wedges the survivor or the adopter (lease break + waiter purge);
+//! * **last-released state only** — survivors entering the critical
+//!   section see the home's committed version, never the victim's
+//!   uncommitted write (scope check, same as the lock model);
+//! * **exactly-once units** — every victim work unit is committed exactly
+//!   once, by the victim before the crash or by the adopter after it
+//!   (ledger invariant);
+//! * **no grant to the dead** — the manager never issues a grant to the
+//!   victim after the obituary was processed.
+//!
+//! The `bug_grant_uncommitted` knob seeds the historical bug where the
+//! obituary handed the next waiter the dead holder's in-progress state
+//! instead of the last released one; the checker must flag it.
+
+use shuttle::{Ctx, Process, Spec, VectorClock};
+use std::collections::VecDeque;
+
+const VICTIM: usize = 0;
+const SURVIVOR: usize = 1;
+const ADOPTER: usize = 3;
+
+struct Grant {
+    seq: u64,
+    latest: Option<u64>,
+    clock: VectorClock,
+}
+
+/// Shared state: lock manager, home version, ledger, and crash flag.
+pub struct LeaseWorld {
+    holder: Option<usize>,
+    waiters: VecDeque<(usize, u64)>,
+    history: Vec<(u64, u64)>,
+    next_seq: u64,
+    grants: Vec<Option<Grant>>,
+    version: u64,
+    view: Vec<u64>,
+    in_cs: Vec<bool>,
+    lock_clock: VectorClock,
+    /// True once the reaper has delivered the obituary.
+    pub crashed: bool,
+    /// Commit count per victim work unit (exactly-once check).
+    pub unit_commits: Vec<u32>,
+    /// Ledger cursor: victim units committed, in order.
+    ledger: usize,
+    violations: Vec<String>,
+    bug_grant_uncommitted: bool,
+}
+
+impl LeaseWorld {
+    fn new(procs: usize, victim_units: usize, bug: bool) -> Self {
+        Self {
+            holder: None,
+            waiters: VecDeque::new(),
+            history: Vec::new(),
+            next_seq: 0,
+            grants: (0..procs).map(|_| None).collect(),
+            version: 0,
+            view: vec![0; procs],
+            in_cs: vec![false; procs],
+            lock_clock: VectorClock::new(procs),
+            crashed: false,
+            unit_commits: vec![0; victim_units],
+            ledger: 0,
+            violations: Vec::new(),
+            bug_grant_uncommitted: bug,
+        }
+    }
+
+    fn latest_since(&self, last_seq: u64) -> Option<u64> {
+        self.history
+            .iter()
+            .rev()
+            .find(|(s, _)| *s > last_seq)
+            .map(|(_, v)| *v)
+    }
+
+    fn issue(&mut self, to: usize, last_seq: u64) {
+        if self.crashed && to == VICTIM {
+            self.violations
+                .push("manager granted the lease to a dead node".into());
+            return;
+        }
+        self.holder = Some(to);
+        self.grants[to] = Some(Grant {
+            seq: self.next_seq,
+            latest: self.latest_since(last_seq),
+            clock: self.lock_clock.clone(),
+        });
+    }
+
+    fn handle_acquire(&mut self, from: usize, last_seq: u64) {
+        if self.holder.is_none() {
+            self.issue(from, last_seq);
+        } else {
+            self.waiters.push_back((from, last_seq));
+        }
+    }
+
+    fn handle_release(&mut self, from: usize, committed: u64) {
+        if self.holder != Some(from) {
+            self.violations
+                .push(format!("node {from} released a lease it does not hold"));
+            return;
+        }
+        self.version = committed;
+        self.next_seq += 1;
+        self.history.push((self.next_seq, committed));
+        self.holder = None;
+        if let Some((next, wseq)) = self.waiters.pop_front() {
+            self.issue(next, wseq);
+        }
+    }
+
+    /// The atomic obituary handler (daemon `handle_obituary`).
+    fn handle_obituary(&mut self) {
+        self.crashed = true;
+        self.waiters.retain(|&(n, _)| n != VICTIM);
+        if self.holder == Some(VICTIM) {
+            if self.bug_grant_uncommitted {
+                // Seeded bug: publish the dead holder's in-progress view as
+                // if it had been released.
+                let leaked = self.view[VICTIM];
+                self.version = leaked;
+                self.next_seq += 1;
+                self.history.push((self.next_seq, leaked));
+            }
+            // Break the lease from the last *released* state: drop the
+            // in-flight grant, clear the holder, and hand the lease to the
+            // next waiter with notices from the committed history only.
+            self.grants[VICTIM] = None;
+            self.in_cs[VICTIM] = false;
+            self.holder = None;
+            if let Some((next, wseq)) = self.waiters.pop_front() {
+                self.issue(next, wseq);
+            }
+        }
+    }
+}
+
+enum WorkState {
+    Acquire,
+    AwaitGrant,
+    Write,
+    Release,
+    Done,
+}
+
+/// A node running lock-protected work units. The victim's units commit to
+/// the ledger; the survivor's only bump the home version.
+struct NodeProc {
+    me: usize,
+    state: WorkState,
+    /// Victim/adopter: next victim unit to commit. Survivor: units left.
+    cursor: usize,
+    limit: usize,
+    last_seq: u64,
+    /// Adopter only: wait for the crash, then read the ledger once.
+    adopter: bool,
+    adopted: bool,
+}
+
+impl NodeProc {
+    fn is_victim(&self) -> bool {
+        self.me == VICTIM
+    }
+}
+
+impl Process<LeaseWorld> for NodeProc {
+    fn ready(&self, w: &LeaseWorld) -> bool {
+        if self.is_victim() && w.crashed {
+            return false;
+        }
+        if self.adopter && !w.crashed {
+            return false;
+        }
+        match self.state {
+            WorkState::AwaitGrant => w.grants[self.me].is_some(),
+            WorkState::Done => false,
+            _ => true,
+        }
+    }
+
+    fn done(&self, w: &LeaseWorld) -> bool {
+        // A crashed victim is finished as far as liveness is concerned:
+        // its remaining work is the adopter's problem, not a deadlock.
+        if self.is_victim() && w.crashed {
+            return true;
+        }
+        if self.adopter && !w.crashed {
+            // If every live process finished without a crash, the adopter
+            // has nothing to do.
+            return true;
+        }
+        matches!(self.state, WorkState::Done)
+    }
+
+    fn step(&mut self, w: &mut LeaseWorld, ctx: &mut Ctx) {
+        let me = self.me;
+        if self.adopter && !self.adopted {
+            // First step after the crash: recover the cursor from the
+            // ledger, exactly like a takeover scanning checkpoints.
+            self.cursor = w.ledger;
+            self.adopted = true;
+            ctx.trace(format!("adopt from ledger cursor={}", self.cursor));
+            if self.cursor >= self.limit {
+                self.state = WorkState::Done;
+            }
+            return;
+        }
+        match self.state {
+            WorkState::Acquire => {
+                w.handle_acquire(me, self.last_seq);
+                ctx.trace("acquire");
+                self.state = WorkState::AwaitGrant;
+            }
+            WorkState::AwaitGrant => {
+                let Some(grant) = w.grants[me].take() else {
+                    w.violations.push(format!("node {me} woke without a grant"));
+                    return;
+                };
+                self.last_seq = grant.seq;
+                if let Some(v) = grant.latest {
+                    w.view[me] = v;
+                }
+                ctx.acquire(&grant.clock);
+                w.in_cs[me] = true;
+                if w.view[me] != w.version {
+                    w.violations.push(format!(
+                        "scope consistency violated after lease break: node {me} sees \
+                         version {} but home holds {}",
+                        w.view[me], w.version
+                    ));
+                }
+                self.state = WorkState::Write;
+            }
+            WorkState::Write => {
+                w.view[me] += 1;
+                ctx.trace(format!("write view={}", w.view[me]));
+                self.state = WorkState::Release;
+            }
+            WorkState::Release => {
+                w.in_cs[me] = false;
+                ctx.release(&mut w.lock_clock);
+                let committed = w.view[me];
+                w.handle_release(me, committed);
+                if self.is_victim() || self.adopter {
+                    // Commit this victim unit to the ledger.
+                    w.unit_commits[self.cursor] += 1;
+                    w.ledger = self.cursor + 1;
+                    ctx.trace(format!("commit unit {}", self.cursor));
+                } else {
+                    ctx.trace(format!("commit {committed}"));
+                }
+                self.cursor += 1;
+                self.state = if self.cursor >= self.limit {
+                    WorkState::Done
+                } else {
+                    WorkState::Acquire
+                };
+            }
+            WorkState::Done => {}
+        }
+    }
+}
+
+/// The reaper: ready until it fires, so the crash point is a free
+/// scheduling choice explored like any other interleaving.
+struct Reaper {
+    fired: bool,
+}
+
+impl Process<LeaseWorld> for Reaper {
+    fn ready(&self, _w: &LeaseWorld) -> bool {
+        !self.fired
+    }
+    fn done(&self, _w: &LeaseWorld) -> bool {
+        self.fired
+    }
+    fn step(&mut self, w: &mut LeaseWorld, ctx: &mut Ctx) {
+        w.handle_obituary();
+        ctx.trace("obituary delivered");
+        self.fired = true;
+    }
+}
+
+/// The lease-break model: one victim (crashed at a scheduler-chosen
+/// point), one survivor, one reaper, one adopter.
+pub struct LeaseModel {
+    /// Work units the victim is responsible for (ledger length).
+    pub victim_units: usize,
+    /// Work units the survivor runs concurrently.
+    pub survivor_units: usize,
+    /// Seed the grant-uncommitted-state obituary bug.
+    pub bug_grant_uncommitted: bool,
+}
+
+impl Spec for LeaseModel {
+    type S = LeaseWorld;
+
+    fn build(&self) -> (LeaseWorld, Vec<Box<dyn Process<LeaseWorld>>>) {
+        let procs: Vec<Box<dyn Process<LeaseWorld>>> = vec![
+            Box::new(NodeProc {
+                me: VICTIM,
+                state: WorkState::Acquire,
+                cursor: 0,
+                limit: self.victim_units,
+                last_seq: 0,
+                adopter: false,
+                adopted: false,
+            }),
+            Box::new(NodeProc {
+                me: SURVIVOR,
+                state: WorkState::Acquire,
+                cursor: 0,
+                limit: self.survivor_units,
+                last_seq: 0,
+                adopter: false,
+                adopted: false,
+            }),
+            Box::new(Reaper { fired: false }),
+            Box::new(NodeProc {
+                me: ADOPTER,
+                state: WorkState::Acquire,
+                cursor: 0,
+                limit: self.victim_units,
+                last_seq: 0,
+                adopter: true,
+                adopted: false,
+            }),
+        ];
+        (
+            LeaseWorld::new(procs.len(), self.victim_units, self.bug_grant_uncommitted),
+            procs,
+        )
+    }
+
+    fn invariant(&self, w: &LeaseWorld) -> Result<(), String> {
+        if let Some(v) = w.violations.first() {
+            return Err(v.clone());
+        }
+        let inside: Vec<usize> = (0..w.in_cs.len()).filter(|&i| w.in_cs[i]).collect();
+        if inside.len() > 1 {
+            return Err(format!(
+                "mutual exclusion violated: {inside:?} all inside the CS"
+            ));
+        }
+        if let Some(&c) = w.unit_commits.iter().find(|&&c| c > 1) {
+            return Err(format!("a victim unit was committed {c} times"));
+        }
+        Ok(())
+    }
+
+    fn terminal(&self, w: &LeaseWorld) -> Result<(), String> {
+        if let Some(u) = w.unit_commits.iter().position(|&c| c != 1) {
+            return Err(format!(
+                "exactly-once violated: unit {u} committed {} times",
+                w.unit_commits[u]
+            ));
+        }
+        if w.holder.is_some() || !w.waiters.is_empty() {
+            return Err("lease not free at termination".into());
+        }
+        let want = (self.victim_units + self.survivor_units) as u64;
+        if w.version != want {
+            return Err(format!(
+                "home version {} after {want} committed units",
+                w.version
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shuttle::Config;
+
+    #[test]
+    fn exhaustive_crash_at_every_point() {
+        let report = shuttle::check_exhaustive(
+            &LeaseModel {
+                victim_units: 2,
+                survivor_units: 1,
+                bug_grant_uncommitted: false,
+            },
+            &Config {
+                max_schedules: 200_000,
+                ..Config::default()
+            },
+        );
+        report.assert_ok();
+        assert!(report.schedules > 500, "crash points under-explored");
+    }
+
+    #[test]
+    fn uncommitted_grant_bug_is_flagged() {
+        let report = shuttle::check_exhaustive(
+            &LeaseModel {
+                victim_units: 2,
+                survivor_units: 1,
+                bug_grant_uncommitted: true,
+            },
+            &Config {
+                max_schedules: 200_000,
+                ..Config::default()
+            },
+        );
+        let f = report
+            .failure
+            .expect("the seeded obituary bug must be found");
+        assert!(
+            f.reason.contains("scope consistency") || f.reason.contains("home version"),
+            "unexpected failure reason: {}",
+            f.reason
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Model of the batch scheduler's windowed in-order merge
+//! (`genomedsm_batch::scheduler::run_jobs`).
+//!
+//! Jobs `0..jobs` are dealt round-robin into per-worker deques. Workers
+//! pop their own front, or steal the **lowest-indexed front** from any
+//! other deque when theirs is empty — the anti-starvation rule from the
+//! real scheduler. Execution is gated by the backpressure window: a
+//! worker may start job `idx` only while `idx < merged + window`. A
+//! merger consumes completed jobs strictly in index order.
+//!
+//! Checked properties:
+//!
+//! * **liveness** — the window gate never wedges: whatever the
+//!   interleaving of grabs, steals, executions, and merges, every job is
+//!   eventually merged (structural deadlock detection plus the terminal
+//!   `merged == jobs` check). This machine-checks the informal liveness
+//!   argument in the scheduler's module docs;
+//! * **bounded buffering** — at most `window` completed-but-unmerged jobs
+//!   exist at any instant;
+//! * **strict order** — the merge cursor only ever consumes index
+//!   `merged` (by construction, checked via the contiguity invariant).
+//!
+//! The `permit_bug` knob swaps the window gate for the counting-semaphore
+//! design the scheduler docs reject: take a permit to execute, return it
+//! on merge. The checker must find its deadlock (a worker holding the
+//! last permit for an out-of-order job starves the worker whose job the
+//! merger actually needs).
+
+use shuttle::{Ctx, Process, Spec};
+use std::collections::VecDeque;
+
+/// Shared state: the deques, the completion buffer, and the merge cursor.
+pub struct MergeWorld {
+    deques: Vec<VecDeque<usize>>,
+    /// Completed-but-unmerged job indices.
+    buffer: Vec<usize>,
+    /// In-order merge cursor: jobs `0..merged` are merged.
+    pub merged: usize,
+    /// Permit pool (only consulted in `permit_bug` mode).
+    permits: usize,
+    window: usize,
+    permit_bug: bool,
+    violations: Vec<String>,
+}
+
+enum WorkerState {
+    Grab,
+    Exec(usize),
+    Done,
+}
+
+struct WorkerProc {
+    me: usize,
+    state: WorkerState,
+}
+
+impl WorkerProc {
+    /// `pop_or_steal`: own front first, else the lowest-indexed front.
+    fn grab(&self, w: &mut MergeWorld) -> Option<usize> {
+        if let Some(idx) = w.deques[self.me].pop_front() {
+            return Some(idx);
+        }
+        let victim = (0..w.deques.len())
+            .filter(|&d| !w.deques[d].is_empty())
+            .min_by_key(|&d| w.deques[d][0])?;
+        w.deques[victim].pop_front()
+    }
+}
+
+impl Process<MergeWorld> for WorkerProc {
+    fn ready(&self, w: &MergeWorld) -> bool {
+        match self.state {
+            WorkerState::Grab => true,
+            WorkerState::Exec(idx) => {
+                if w.permit_bug {
+                    // Buggy gate: need a permit (consumed at exec start,
+                    // returned only when the merger retires a job).
+                    w.permits > 0
+                } else {
+                    // Real gate: the backpressure window over the cursor.
+                    idx < w.merged + w.window
+                }
+            }
+            WorkerState::Done => false,
+        }
+    }
+
+    fn done(&self, _w: &MergeWorld) -> bool {
+        matches!(self.state, WorkerState::Done)
+    }
+
+    fn step(&mut self, w: &mut MergeWorld, ctx: &mut Ctx) {
+        match self.state {
+            WorkerState::Grab => match self.grab(w) {
+                Some(idx) => {
+                    ctx.trace(format!("grab job {idx}"));
+                    self.state = WorkerState::Exec(idx);
+                }
+                None => {
+                    ctx.trace("no work left");
+                    self.state = WorkerState::Done;
+                }
+            },
+            WorkerState::Exec(idx) => {
+                if w.permit_bug {
+                    w.permits -= 1;
+                }
+                if w.buffer.contains(&idx) || idx < w.merged {
+                    w.violations.push(format!("job {idx} executed twice"));
+                }
+                w.buffer.push(idx);
+                ctx.trace(format!("exec job {idx}"));
+                self.state = WorkerState::Grab;
+            }
+            WorkerState::Done => {}
+        }
+    }
+}
+
+struct MergerProc {
+    jobs: usize,
+}
+
+impl Process<MergeWorld> for MergerProc {
+    fn ready(&self, w: &MergeWorld) -> bool {
+        w.merged < self.jobs && w.buffer.contains(&w.merged)
+    }
+
+    fn done(&self, w: &MergeWorld) -> bool {
+        w.merged == self.jobs
+    }
+
+    fn step(&mut self, w: &mut MergeWorld, ctx: &mut Ctx) {
+        let cursor = w.merged;
+        w.buffer.retain(|&i| i != cursor);
+        w.merged += 1;
+        if w.permit_bug {
+            w.permits += 1;
+        }
+        ctx.trace(format!("merge job {cursor}"));
+    }
+}
+
+/// The windowed-merge model.
+pub struct MergeModel {
+    /// Total jobs to execute and merge.
+    pub jobs: usize,
+    /// Worker count (deques are dealt `idx % workers`).
+    pub workers: usize,
+    /// Backpressure window (or initial permit pool in bug mode).
+    pub window: usize,
+    /// Use the rejected counting-semaphore gate instead of the window.
+    pub permit_bug: bool,
+}
+
+impl Spec for MergeModel {
+    type S = MergeWorld;
+
+    fn build(&self) -> (MergeWorld, Vec<Box<dyn Process<MergeWorld>>>) {
+        let mut deques: Vec<VecDeque<usize>> = (0..self.workers).map(|_| VecDeque::new()).collect();
+        for idx in 0..self.jobs {
+            deques[idx % self.workers].push_back(idx);
+        }
+        let world = MergeWorld {
+            deques,
+            buffer: Vec::new(),
+            merged: 0,
+            permits: self.window,
+            window: self.window,
+            permit_bug: self.permit_bug,
+            violations: Vec::new(),
+        };
+        let mut procs: Vec<Box<dyn Process<MergeWorld>>> = (0..self.workers)
+            .map(|me| {
+                Box::new(WorkerProc {
+                    me,
+                    state: WorkerState::Grab,
+                }) as Box<dyn Process<MergeWorld>>
+            })
+            .collect();
+        procs.push(Box::new(MergerProc { jobs: self.jobs }));
+        (world, procs)
+    }
+
+    fn invariant(&self, w: &MergeWorld) -> Result<(), String> {
+        if let Some(v) = w.violations.first() {
+            return Err(v.clone());
+        }
+        if !self.permit_bug && w.buffer.len() > self.window {
+            return Err(format!(
+                "window overrun: {} completed jobs buffered with window {}",
+                w.buffer.len(),
+                self.window
+            ));
+        }
+        if w.buffer.iter().any(|&i| i < w.merged) {
+            return Err("merge order violated: an already-merged index re-buffered".into());
+        }
+        Ok(())
+    }
+
+    fn terminal(&self, w: &MergeWorld) -> Result<(), String> {
+        if w.merged != self.jobs {
+            return Err(format!("only {} of {} jobs merged", w.merged, self.jobs));
+        }
+        if !w.buffer.is_empty() || w.deques.iter().any(|d| !d.is_empty()) {
+            return Err("work left behind after final merge".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shuttle::Config;
+
+    #[test]
+    fn window_gate_is_live_exhaustively() {
+        let report = shuttle::check_exhaustive(
+            &MergeModel {
+                jobs: 4,
+                workers: 2,
+                window: 1,
+                permit_bug: false,
+            },
+            &Config {
+                max_schedules: 100_000,
+                ..Config::default()
+            },
+        );
+        report.assert_ok();
+        assert!(report.exhausted, "small model should be fully explored");
+    }
+
+    #[test]
+    fn window_two_with_three_workers() {
+        let report = shuttle::check_random(
+            &MergeModel {
+                jobs: 6,
+                workers: 3,
+                window: 2,
+                permit_bug: false,
+            },
+            &Config {
+                iterations: 1_000,
+                ..Config::default()
+            },
+        );
+        report.assert_ok();
+    }
+
+    #[test]
+    fn permit_gate_deadlocks() {
+        let report = shuttle::check_exhaustive(
+            &MergeModel {
+                jobs: 2,
+                workers: 2,
+                window: 1,
+                permit_bug: true,
+            },
+            &Config::default(),
+        );
+        let f = report
+            .failure
+            .expect("the rejected permit design must deadlock");
+        assert!(f.reason.contains("deadlock"), "{}", f.reason);
+    }
+}

@@ -1,0 +1,80 @@
+//! Acceptance: the seeded known-bad configurations are found by the
+//! checker and replay deterministically from their recorded seed.
+
+use genomedsm_verify::models::inversion::InversionModel;
+use genomedsm_verify::models::lease::LeaseModel;
+use genomedsm_verify::models::merge::MergeModel;
+use shuttle::Config;
+
+/// The page-lock / lease-table AB-BA inversion: random exploration finds
+/// the deadlock, and replaying from nothing but the failure's seed
+/// reproduces the identical schedule and reason.
+#[test]
+fn lock_order_inversion_is_found_and_replays_from_seed() {
+    let spec = InversionModel {
+        inverted: true,
+        rounds: 2,
+    };
+    let report = shuttle::check_random(&spec, &Config::default());
+    let failure = report.failure.expect("AB-BA inversion must deadlock");
+    assert!(failure.reason.contains("deadlock"), "{}", failure.reason);
+    let seed = failure.seed.expect("random failures record their seed");
+
+    let replay = shuttle::replay_seed(&spec, seed, &Config::default());
+    let refailure = replay.failure.expect("seed replay must re-fail");
+    assert_eq!(refailure.reason, failure.reason);
+    assert_eq!(refailure.schedule, failure.schedule);
+
+    // And the recorded schedule itself replays without the seed.
+    let by_schedule = shuttle::replay_schedule(&spec, &failure.schedule, &Config::default());
+    let sf = by_schedule.failure.expect("schedule replay must re-fail");
+    assert_eq!(sf.reason, failure.reason);
+}
+
+/// The rejected permit-counting window gate deadlocks; the correct
+/// window gate on the same workload does not.
+#[test]
+fn permit_counting_merge_gate_deadlocks_but_window_gate_does_not() {
+    let buggy = shuttle::check_exhaustive(
+        &MergeModel {
+            jobs: 2,
+            workers: 2,
+            window: 1,
+            permit_bug: true,
+        },
+        &Config::default(),
+    );
+    let f = buggy.failure.expect("permit gate must deadlock");
+    assert!(f.reason.contains("deadlock"), "{}", f.reason);
+
+    let correct = shuttle::check_exhaustive(
+        &MergeModel {
+            jobs: 2,
+            workers: 2,
+            window: 1,
+            permit_bug: false,
+        },
+        &Config::default(),
+    );
+    correct.assert_ok();
+}
+
+/// The obituary-grants-uncommitted-state lease bug is detected.
+#[test]
+fn uncommitted_lease_grant_bug_is_found() {
+    let report = shuttle::check_exhaustive(
+        &LeaseModel {
+            victim_units: 2,
+            survivor_units: 1,
+            bug_grant_uncommitted: true,
+        },
+        &Config {
+            max_schedules: 200_000,
+            ..Config::default()
+        },
+    );
+    assert!(
+        report.failure.is_some(),
+        "seeded lease bug must be detected"
+    );
+}

@@ -1,0 +1,653 @@
+//! The controlled scheduler and the two exploration strategies.
+//!
+//! A model is a set of guarded processes over one shared state. Each
+//! [`Process::step`] is one *atomic* transition (the unit of interleaving,
+//! like one instruction window under loom); between steps the checker asks
+//! a [`Chooser`] which ready process runs next. Exploring all (bounded)
+//! answers to that question visits every schedule the real concurrent
+//! system could exhibit at this atomicity:
+//!
+//! * [`check_exhaustive`] — depth-first search over the schedule tree with
+//!   a schedule budget and a per-schedule depth bound; within the budget
+//!   it is *exhaustive*: every interleaving is visited exactly once.
+//! * [`check_random`] — seeded uniform random walks; each iteration derives
+//!   its own sub-seed, and a failing iteration reports that sub-seed so
+//!   [`replay_seed`] reproduces the exact schedule deterministically.
+//!
+//! Deadlocks are detected structurally (no process ready, not all done);
+//! safety properties are checked after every step via [`Spec::invariant`];
+//! terminal properties via [`Spec::terminal`]. Failures carry the full
+//! schedule (the chosen process ids in order) and the per-step trace.
+
+use crate::clock::VectorClock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One process of a model: a guarded state machine over shared state `S`.
+///
+/// The checker only calls [`Process::step`] when `!done()` and
+/// `ready(shared)` — a process whose guard is closed is *blocked*, and a
+/// state where every live process is blocked is a deadlock.
+pub trait Process<S> {
+    /// Whether the process can take a step in the current shared state.
+    fn ready(&self, shared: &S) -> bool;
+    /// Whether the process has finished (never scheduled again). Receives
+    /// the shared state so liveness can depend on it (e.g. a modeled
+    /// process is "done" once a shared crash flag marks it dead).
+    fn done(&self, shared: &S) -> bool;
+    /// Perform one atomic transition. `ctx` carries the process's vector
+    /// clock and a trace hook.
+    fn step(&mut self, shared: &mut S, ctx: &mut Ctx);
+}
+
+/// Per-step context handed to [`Process::step`].
+pub struct Ctx {
+    pid: usize,
+    clocks: Vec<VectorClock>,
+    note: Option<String>,
+}
+
+impl Ctx {
+    /// The id of the process taking this step.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// The stepping process's own vector clock (already ticked).
+    pub fn clock(&self) -> &VectorClock {
+        &self.clocks[self.pid]
+    }
+
+    /// Release edge: publish this process's history into an object clock
+    /// (`obj = max(obj, mine)`).
+    pub fn release(&self, obj: &mut VectorClock) {
+        obj.join(&self.clocks[self.pid]);
+    }
+
+    /// Acquire edge: absorb an object clock into this process's history
+    /// (`mine = max(mine, obj)`).
+    pub fn acquire(&mut self, obj: &VectorClock) {
+        let pid = self.pid;
+        self.clocks[pid].join(obj);
+    }
+
+    /// Records a one-line description of this step for failure traces.
+    pub fn trace(&mut self, msg: impl Into<String>) {
+        self.note = Some(msg.into());
+    }
+}
+
+/// The process set a [`Spec::build`] returns alongside its fresh state.
+pub type Procs<S> = Vec<Box<dyn Process<S>>>;
+
+/// A checkable model: how to build a fresh instance, and its properties.
+pub trait Spec {
+    /// The shared state all processes step against.
+    type S;
+    /// Builds a fresh copy of the model (shared state + processes).
+    fn build(&self) -> (Self::S, Procs<Self::S>);
+    /// Safety property, checked after every step.
+    fn invariant(&self, _s: &Self::S) -> Result<(), String> {
+        Ok(())
+    }
+    /// Terminal property, checked when every process is done.
+    fn terminal(&self, _s: &Self::S) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Per-schedule depth bound; longer runs are pruned (counted, not failed).
+    pub max_steps: usize,
+    /// DFS schedule budget for [`check_exhaustive`].
+    pub max_schedules: u64,
+    /// Number of random walks for [`check_random`].
+    pub iterations: u64,
+    /// Master seed for [`check_random`] (each iteration derives a sub-seed).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_steps: 10_000,
+            max_schedules: 100_000,
+            iterations: 1_000,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules fully executed (terminal, pruned, or failing).
+    pub schedules: u64,
+    /// Distinct schedules among them (DFS: all; random: deduplicated).
+    pub distinct: u64,
+    /// DFS only: the whole bounded tree was visited within the budget.
+    pub exhausted: bool,
+    /// Deepest schedule seen (steps).
+    pub max_depth: usize,
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panics with the failure's full report if one was found.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!("model check failed: {f}");
+        }
+    }
+}
+
+/// A property violation or deadlock, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub reason: String,
+    /// The chosen process id at every step, in order.
+    pub schedule: Vec<usize>,
+    /// For random walks: the iteration's sub-seed ([`replay_seed`] with
+    /// this value reproduces the identical schedule).
+    pub seed: Option<u64>,
+    /// Per-step trace lines recorded via [`Ctx::trace`].
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.reason)?;
+        if let Some(seed) = self.seed {
+            writeln!(
+                f,
+                "  replay: shuttle::replay_seed(&spec, {seed:#018x}, &cfg)"
+            )?;
+        }
+        writeln!(
+            f,
+            "  schedule ({} steps): {:?}",
+            self.schedule.len(),
+            self.schedule
+        )?;
+        for line in &self.trace {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How a chooser picks the next process.
+trait Chooser {
+    /// Returns an index **into `ready`** (not a pid).
+    fn choose(&mut self, ready: &[usize], depth: usize) -> usize;
+}
+
+enum RunEnd {
+    /// All processes done, terminal property held.
+    Terminal,
+    /// Depth bound hit; pruned, not a failure.
+    Pruned,
+    /// Deadlock or property violation.
+    Failed(Failure),
+}
+
+fn run_one<M: Spec>(spec: &M, chooser: &mut dyn Chooser, cfg: &Config) -> (RunEnd, Vec<usize>) {
+    let (mut shared, mut procs) = spec.build();
+    let n = procs.len();
+    let mut ctx = Ctx {
+        pid: 0,
+        clocks: vec![VectorClock::new(n); n],
+        note: None,
+    };
+    let mut schedule = Vec::new();
+    let mut trace = Vec::new();
+    for depth in 0..cfg.max_steps {
+        let ready: Vec<usize> = (0..n)
+            .filter(|&i| !procs[i].done(&shared) && procs[i].ready(&shared))
+            .collect();
+        if ready.is_empty() {
+            let blocked: Vec<usize> = (0..n).filter(|&i| !procs[i].done(&shared)).collect();
+            let end = if blocked.is_empty() {
+                match spec.terminal(&shared) {
+                    Ok(()) => RunEnd::Terminal,
+                    Err(e) => RunEnd::Failed(Failure {
+                        reason: format!("terminal property violated: {e}"),
+                        schedule: schedule.clone(),
+                        seed: None,
+                        trace,
+                    }),
+                }
+            } else {
+                RunEnd::Failed(Failure {
+                    reason: format!(
+                        "deadlock: processes {blocked:?} are blocked and will never wake"
+                    ),
+                    schedule: schedule.clone(),
+                    seed: None,
+                    trace,
+                })
+            };
+            return (end, schedule);
+        }
+        let pos = chooser.choose(&ready, depth);
+        let pid = ready[pos];
+        schedule.push(pid);
+        ctx.pid = pid;
+        ctx.clocks[pid].tick(pid);
+        procs[pid].step(&mut shared, &mut ctx);
+        if let Some(note) = ctx.note.take() {
+            trace.push(format!("[{depth}] p{pid}: {note}"));
+        }
+        if let Err(e) = spec.invariant(&shared) {
+            return (
+                RunEnd::Failed(Failure {
+                    reason: format!("invariant violated: {e}"),
+                    schedule: schedule.clone(),
+                    seed: None,
+                    trace,
+                }),
+                schedule,
+            );
+        }
+    }
+    (RunEnd::Pruned, schedule)
+}
+
+/// DFS chooser: replays a prefix recorded on previous runs, then takes the
+/// first unexplored branch, recording branch widths as it goes.
+struct DfsChooser {
+    /// `(options, cursor)` per depth.
+    stack: Vec<(usize, usize)>,
+    depth: usize,
+}
+
+impl Chooser for DfsChooser {
+    fn choose(&mut self, ready: &[usize], depth: usize) -> usize {
+        debug_assert_eq!(depth, self.depth);
+        let pos = if depth < self.stack.len() {
+            self.stack[depth].1
+        } else {
+            self.stack.push((ready.len(), 0));
+            0
+        };
+        self.depth += 1;
+        pos
+    }
+}
+
+/// Seeded uniform chooser.
+struct RandomChooser {
+    rng: StdRng,
+}
+
+impl Chooser for RandomChooser {
+    fn choose(&mut self, ready: &[usize], _depth: usize) -> usize {
+        if ready.len() == 1 {
+            0
+        } else {
+            self.rng.gen_range(0..ready.len())
+        }
+    }
+}
+
+/// Replays a fixed schedule of process ids; diverging (the recorded pid is
+/// not ready) fails loudly, which would mean the model is not
+/// deterministic under its schedule — itself a bug worth surfacing.
+struct ScheduleChooser<'a> {
+    schedule: &'a [usize],
+}
+
+impl Chooser for ScheduleChooser<'_> {
+    fn choose(&mut self, ready: &[usize], depth: usize) -> usize {
+        let want = self.schedule[depth];
+        ready
+            .iter()
+            .position(|&p| p == want)
+            .unwrap_or_else(|| panic!("replay diverged at step {depth}: p{want} not ready"))
+    }
+}
+
+/// Bounded-exhaustive DFS over the schedule tree.
+pub fn check_exhaustive<M: Spec>(spec: &M, cfg: &Config) -> Report {
+    let mut chooser = DfsChooser {
+        stack: Vec::new(),
+        depth: 0,
+    };
+    let mut schedules = 0u64;
+    let mut max_depth = 0usize;
+    loop {
+        chooser.depth = 0;
+        let (end, schedule) = run_one(spec, &mut chooser, cfg);
+        schedules += 1;
+        max_depth = max_depth.max(schedule.len());
+        if let RunEnd::Failed(f) = end {
+            return Report {
+                schedules,
+                distinct: schedules,
+                exhausted: false,
+                max_depth,
+                failure: Some(f),
+            };
+        }
+        // Drop stale frames past this run's actual depth (a different
+        // branch may terminate earlier than the recorded prefix).
+        chooser.stack.truncate(schedule.len());
+        // Advance to the next unexplored branch, backtracking exhausted
+        // depths.
+        while let Some(top) = chooser.stack.last_mut() {
+            top.1 += 1;
+            if top.1 < top.0 {
+                break;
+            }
+            chooser.stack.pop();
+        }
+        let exhausted = chooser.stack.is_empty();
+        if exhausted || schedules >= cfg.max_schedules {
+            return Report {
+                schedules,
+                distinct: schedules,
+                exhausted,
+                max_depth,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Derives the sub-seed of random iteration `i` (SplitMix64 increment).
+fn iteration_seed(master: u64, i: u64) -> u64 {
+    let mut z = master ^ (i.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(schedule: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &p in schedule {
+        h ^= p as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Seeded random walks; a failure reports the iteration's sub-seed.
+pub fn check_random<M: Spec>(spec: &M, cfg: &Config) -> Report {
+    let mut seen = HashSet::new();
+    let mut max_depth = 0usize;
+    for i in 0..cfg.iterations {
+        let sub = iteration_seed(cfg.seed, i);
+        let mut chooser = RandomChooser {
+            rng: StdRng::seed_from_u64(sub),
+        };
+        let (end, schedule) = run_one(spec, &mut chooser, cfg);
+        max_depth = max_depth.max(schedule.len());
+        seen.insert(fnv1a(&schedule));
+        if let RunEnd::Failed(mut f) = end {
+            f.seed = Some(sub);
+            return Report {
+                schedules: i + 1,
+                distinct: seen.len() as u64,
+                exhausted: false,
+                max_depth,
+                failure: Some(f),
+            };
+        }
+    }
+    Report {
+        schedules: cfg.iterations,
+        distinct: seen.len() as u64,
+        exhausted: false,
+        max_depth,
+        failure: None,
+    }
+}
+
+/// Deterministically re-runs the single random schedule derived from
+/// `seed` (the value printed by a [`check_random`] failure).
+pub fn replay_seed<M: Spec>(spec: &M, seed: u64, cfg: &Config) -> Report {
+    let mut chooser = RandomChooser {
+        rng: StdRng::seed_from_u64(seed),
+    };
+    let (end, schedule) = run_one(spec, &mut chooser, cfg);
+    let failure = match end {
+        RunEnd::Failed(mut f) => {
+            f.seed = Some(seed);
+            Some(f)
+        }
+        _ => None,
+    };
+    Report {
+        schedules: 1,
+        distinct: 1,
+        exhausted: false,
+        max_depth: schedule.len(),
+        failure,
+    }
+}
+
+/// Re-runs one exact schedule (e.g. a recorded [`Failure::schedule`]).
+pub fn replay_schedule<M: Spec>(spec: &M, schedule: &[usize], cfg: &Config) -> Report {
+    let mut bounded = *cfg;
+    // One extra iteration: terminal and deadlock detection happen at the
+    // top of the step *after* the last scheduled one (with no choice
+    // consumed, so the chooser is never consulted past the schedule).
+    bounded.max_steps = schedule.len() + 1;
+    let mut chooser = ScheduleChooser { schedule };
+    let (end, ran) = run_one(spec, &mut chooser, &bounded);
+    let failure = match end {
+        RunEnd::Failed(f) => Some(f),
+        _ => None,
+    };
+    Report {
+        schedules: 1,
+        distinct: 1,
+        exhausted: false,
+        max_depth: ran.len(),
+        failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two processes each do read-increment-write of a shared counter in
+    /// two separate steps: the classic lost update. DFS must find the
+    /// interleaving where the final count is 1, not 2.
+    struct RacyCounter;
+
+    #[derive(Default)]
+    struct RacyState {
+        count: u64,
+        finished: usize,
+    }
+
+    struct RacyProc {
+        read: Option<u64>,
+        done: bool,
+    }
+
+    impl Process<RacyState> for RacyProc {
+        fn ready(&self, _s: &RacyState) -> bool {
+            true
+        }
+        fn done(&self, _s: &RacyState) -> bool {
+            self.done
+        }
+        fn step(&mut self, s: &mut RacyState, ctx: &mut Ctx) {
+            match self.read {
+                None => {
+                    self.read = Some(s.count);
+                    ctx.trace(format!("read {}", s.count));
+                }
+                Some(v) => {
+                    s.count = v + 1;
+                    s.finished += 1;
+                    self.done = true;
+                    ctx.trace(format!("wrote {}", v + 1));
+                }
+            }
+        }
+    }
+
+    impl Spec for RacyCounter {
+        type S = RacyState;
+        fn build(&self) -> (RacyState, Vec<Box<dyn Process<RacyState>>>) {
+            (
+                RacyState::default(),
+                (0..2)
+                    .map(|_| {
+                        Box::new(RacyProc {
+                            read: None,
+                            done: false,
+                        }) as Box<dyn Process<RacyState>>
+                    })
+                    .collect(),
+            )
+        }
+        fn terminal(&self, s: &RacyState) -> Result<(), String> {
+            if s.count == 2 {
+                Ok(())
+            } else {
+                Err(format!("lost update: count = {}", s.count))
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_finds_the_lost_update() {
+        let report = check_exhaustive(&RacyCounter, &Config::default());
+        let f = report.failure.expect("the race must be found");
+        assert!(f.reason.contains("lost update"));
+        assert!(!f.trace.is_empty());
+    }
+
+    #[test]
+    fn random_finds_the_lost_update_and_replays_from_seed() {
+        let cfg = Config {
+            iterations: 200,
+            ..Config::default()
+        };
+        let report = check_random(&RacyCounter, &cfg);
+        let f = report.failure.expect("the race must be found");
+        let seed = f.seed.expect("random failures carry a seed");
+        // The printed seed reproduces the identical failing schedule.
+        let replay = replay_seed(&RacyCounter, seed, &cfg);
+        let rf = replay.failure.expect("replay must fail the same way");
+        assert_eq!(rf.schedule, f.schedule);
+        assert_eq!(rf.reason, f.reason);
+        // And the exact schedule replays too.
+        let by_schedule = replay_schedule(&RacyCounter, &f.schedule, &cfg);
+        assert_eq!(
+            by_schedule.failure.expect("schedule replay fails").reason,
+            f.reason
+        );
+    }
+
+    /// AB–BA deadlock: two processes take two "locks" in opposite order,
+    /// one atomic acquisition per step.
+    struct AbBa;
+
+    #[derive(Default)]
+    struct TwoLocks {
+        held: [Option<usize>; 2],
+    }
+
+    struct Locker {
+        order: [usize; 2],
+        at: usize,
+        me: usize,
+    }
+
+    impl Process<TwoLocks> for Locker {
+        fn ready(&self, s: &TwoLocks) -> bool {
+            self.at < 2 && s.held[self.order[self.at]].is_none()
+        }
+        fn done(&self, _s: &TwoLocks) -> bool {
+            self.at >= 2
+        }
+        fn step(&mut self, s: &mut TwoLocks, _ctx: &mut Ctx) {
+            s.held[self.order[self.at]] = Some(self.me);
+            self.at += 1;
+        }
+    }
+
+    impl Spec for AbBa {
+        type S = TwoLocks;
+        fn build(&self) -> (TwoLocks, Vec<Box<dyn Process<TwoLocks>>>) {
+            (
+                TwoLocks::default(),
+                vec![
+                    Box::new(Locker {
+                        order: [0, 1],
+                        at: 0,
+                        me: 0,
+                    }),
+                    Box::new(Locker {
+                        order: [1, 0],
+                        at: 0,
+                        me: 1,
+                    }),
+                ],
+            )
+        }
+    }
+
+    #[test]
+    fn dfs_finds_the_ab_ba_deadlock() {
+        let report = check_exhaustive(&AbBa, &Config::default());
+        let f = report.failure.expect("deadlock must be found");
+        assert!(f.reason.contains("deadlock"), "{}", f.reason);
+    }
+
+    /// A three-process model with no failure: DFS must terminate having
+    /// visited every interleaving (exhausted), all distinct.
+    struct Independent;
+
+    impl Spec for Independent {
+        type S = ();
+        fn build(&self) -> ((), Vec<Box<dyn Process<()>>>) {
+            struct Steps(usize);
+            impl Process<()> for Steps {
+                fn ready(&self, _: &()) -> bool {
+                    true
+                }
+                fn done(&self, _s: &()) -> bool {
+                    self.0 == 0
+                }
+                fn step(&mut self, _: &mut (), _: &mut Ctx) {
+                    self.0 -= 1;
+                }
+            }
+            ((), (0..3).map(|_| Box::new(Steps(2)) as _).collect())
+        }
+    }
+
+    #[test]
+    fn exhaustive_visits_the_whole_tree() {
+        let report = check_exhaustive(&Independent, &Config::default());
+        assert!(report.exhausted);
+        assert!(report.failure.is_none());
+        // 6 steps total, multinomial 6!/(2!2!2!) = 90 schedules.
+        assert_eq!(report.schedules, 90);
+        assert_eq!(report.max_depth, 6);
+    }
+
+    #[test]
+    fn budget_caps_dfs() {
+        let cfg = Config {
+            max_schedules: 10,
+            ..Config::default()
+        };
+        let report = check_exhaustive(&Independent, &cfg);
+        assert_eq!(report.schedules, 10);
+        assert!(!report.exhausted);
+    }
+}

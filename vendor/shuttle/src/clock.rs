@@ -1,0 +1,95 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every model process carries a [`VectorClock`]; the checker ticks the
+//! stepping process's own component before each step, and synchronization
+//! objects in a model carry their own clocks that processes `join` into
+//! (release) and from (acquire). Two events are *ordered* when one clock
+//! dominates the other, and *concurrent* otherwise — which is exactly the
+//! question scope-consistency invariants need answered: "had the waiter
+//! observed the signaller's release interval when it woke?"
+
+/// A fixed-width vector clock over `n` process components.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    t: Vec<u64>,
+}
+
+impl VectorClock {
+    /// A zero clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Self { t: vec![0; n] }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether the clock has no components.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Component `i` (a process's logical time).
+    pub fn get(&self, i: usize) -> u64 {
+        self.t[i]
+    }
+
+    /// Advances component `i` by one local event.
+    pub fn tick(&mut self, i: usize) {
+        self.t[i] += 1;
+    }
+
+    /// Componentwise maximum: `self = max(self, other)`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (a, &b) in self.t.iter_mut().zip(other.t.iter()) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// `self >= other` componentwise: everything `other` has seen,
+    /// `self` has seen too (i.e. `other` happens-before-or-equals `self`).
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        (0..self.t.len().max(other.t.len())).all(|i| {
+            let a = self.t.get(i).copied().unwrap_or(0);
+            let b = other.t.get(i).copied().unwrap_or(0);
+            a >= b
+        })
+    }
+
+    /// Neither clock dominates the other: the events are concurrent.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_dominance() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent_with(&b));
+        b.join(&a);
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn zero_clocks_dominate_each_other() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(2);
+        assert!(a.dominates(&b) && b.dominates(&a));
+        assert!(!a.concurrent_with(&b));
+    }
+}
