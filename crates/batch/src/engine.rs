@@ -109,16 +109,45 @@ impl BatchEngine {
     /// every worker count and for both lane-packed and scalar execution
     /// (the kernels are bit-exact against each other).
     pub fn search(&self, db: &SeqDatabase, queries: &[&[u8]]) -> BatchOutcome {
+        let mut hits: Vec<Vec<Hit>> = Vec::with_capacity(queries.len());
+        let stats = self.search_streaming(db, queries, |q, h| {
+            debug_assert_eq!(q, hits.len(), "streaming emission out of order");
+            hits.push(h);
+        });
+        BatchOutcome { hits, stats }
+    }
+
+    /// [`search`](Self::search) with incremental delivery: `on_query(q,
+    /// hits)` fires once per query, **in ascending query index order**,
+    /// as soon as that query's top-k can no longer change.
+    ///
+    /// A query's hits are final once every job touching its lane group
+    /// (or its scalar spill) has passed the scheduler's strictly in-order
+    /// merge, so each emitted list is already the exact final answer —
+    /// the stream of emissions is a growing prefix of the full result,
+    /// which is what lets a server forward partial responses that never
+    /// need correction. Emission order and content are deterministic for
+    /// every worker count (the merge is in fixed job order and the hit
+    /// order is a strict total order).
+    pub fn search_streaming(
+        &self,
+        db: &SeqDatabase,
+        queries: &[&[u8]],
+        mut on_query: impl FnMut(usize, Vec<Hit>),
+    ) -> BatchStats {
         let cfg = &self.config;
         let mut stats = BatchStats {
             cells: cell_count(db, queries),
             ..BatchStats::default()
         };
-        if queries.is_empty() || db.is_empty() {
-            return BatchOutcome {
-                hits: vec![Vec::new(); queries.len()],
-                stats,
-            };
+        if queries.is_empty() {
+            return stats;
+        }
+        if db.is_empty() {
+            for q in 0..queries.len() {
+                on_query(q, Vec::new());
+            }
+            return stats;
         }
         let lanes = effective_lanes(cfg.kernel);
         let plan = plan_lane_groups(queries, lanes, &cfg.scoring);
@@ -126,25 +155,55 @@ impl BatchEngine {
         stats.scalar_queries = plan.scalar.len();
         stats.padding_rows = plan.padding_rows;
         let (workers, _) = cfg.scheduler.resolved(usize::MAX);
-        let jobs = build_jobs(&plan, db.len(), self.slab_size(db.len(), &plan, workers));
+        let slab = self.slab_size(db.len(), &plan, workers);
+        let slabs = db.len().div_ceil(slab);
+        // Work units in job-layout order: packed groups, then scalar
+        // spill singletons. Jobs are unit-major × slab (build_jobs), so
+        // job j belongs to unit j / slabs and a unit is complete exactly
+        // when its last job, (unit + 1) * slabs - 1, merges.
+        let units: Vec<Vec<usize>> = plan
+            .groups
+            .iter()
+            .cloned()
+            .chain(plan.scalar.iter().map(|&q| vec![q]))
+            .collect();
+        let jobs = build_jobs(&plan, db.len(), slab);
         stats.jobs = jobs.len();
 
         let isa = Isa::best_available();
         let mut best: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(cfg.top_k)).collect();
+        // Reorder buffer: units finalize in unit order, but the contract
+        // is ascending query order — the same cursor-and-buffer scheme as
+        // the scheduler's merge, one level up.
+        let mut finalized: Vec<Option<Vec<Hit>>> = (0..queries.len()).map(|_| None).collect();
+        let mut cursor = 0usize;
         run_jobs(
             jobs,
             &cfg.scheduler,
             |_, job| exec_job(&job, db, queries, &cfg.scoring, isa, cfg.top_k),
-            |_, partials: Vec<(usize, TopK)>| {
+            |j, partials: Vec<(usize, TopK)>| {
                 for (q, tk) in partials {
                     best[q].merge(tk);
                 }
+                if (j + 1) % slabs == 0 {
+                    for &q in &units[j / slabs] {
+                        let done = std::mem::replace(&mut best[q], TopK::new(0));
+                        finalized[q] = Some(done.into_sorted());
+                    }
+                    while cursor < finalized.len() {
+                        match finalized[cursor].take() {
+                            Some(hits) => {
+                                on_query(cursor, hits);
+                                cursor += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
             },
         );
-        BatchOutcome {
-            hits: best.into_iter().map(TopK::into_sorted).collect(),
-            stats,
-        }
+        debug_assert_eq!(cursor, queries.len(), "a query never finalized");
+        stats
     }
 
     /// Records per job: aim for several jobs per worker within each lane
@@ -298,6 +357,34 @@ pub fn score_pairs(
     out
 }
 
+/// The sequential per-pair reference answer: every query scored against
+/// every record with the scalar oracle [`sw_score_linear`], identical
+/// top-k bookkeeping to the engine.
+///
+/// This is the `--check` oracle of `genomedsm batch` and the reference
+/// the engine's own tests compare against: [`BatchEngine::search`] must
+/// equal it byte for byte on every kernel choice and worker count. It is
+/// deliberately the dumbest possible implementation — no lane packing,
+/// no slabs, no scheduler — so a disagreement always indicts the engine.
+pub fn oracle_search(
+    db: &SeqDatabase,
+    queries: &[&[u8]],
+    scoring: &Scoring,
+    top_k: usize,
+) -> Vec<Vec<Hit>> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut tk = TopK::new(top_k);
+            for t in 0..db.len() {
+                let r = sw_score_linear(q, db.seq(t), scoring, 0);
+                offer(&mut tk, t, &r);
+            }
+            tk.into_sorted()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,23 +412,7 @@ mod tests {
 
     /// The sequential single-pair reference the engine must equal.
     fn brute_force(db: &SeqDatabase, queries: &[&[u8]], k: usize) -> Vec<Vec<Hit>> {
-        queries
-            .iter()
-            .map(|q| {
-                let mut tk = TopK::new(k);
-                for t in 0..db.len() {
-                    let r = sw_score_linear(q, db.seq(t), &SC, 0);
-                    if r.best_score > 0 {
-                        tk.push(Hit {
-                            score: r.best_score,
-                            target: t,
-                            end: r.best_end,
-                        });
-                    }
-                }
-                tk.into_sorted()
-            })
-            .collect()
+        oracle_search(db, queries, &SC, k)
     }
 
     #[test]
@@ -416,6 +487,30 @@ mod tests {
             engine.search(&db, &queries).hits,
             brute_force(&db, &queries, 3)
         );
+    }
+
+    #[test]
+    fn streaming_emits_final_answers_in_ascending_query_order() {
+        let db = test_db(17, 70, 21);
+        let queries = test_queries(23, 40, 77);
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_bytes()).collect();
+        let want = brute_force(&db, &refs, 4);
+        for workers in [1usize, 3, 6] {
+            let engine = BatchEngine::new(BatchConfig {
+                top_k: 4,
+                scheduler: SchedulerConfig { workers, window: 2 },
+                slab: 5,
+                ..BatchConfig::default()
+            });
+            let mut seen: Vec<(usize, Vec<Hit>)> = Vec::new();
+            engine.search_streaming(&db, &refs, |q, hits| seen.push((q, hits)));
+            // One emission per query, strictly ascending, each already final.
+            assert_eq!(seen.len(), refs.len(), "workers {workers}");
+            for (i, (q, hits)) in seen.iter().enumerate() {
+                assert_eq!(*q, i);
+                assert_eq!(hits, &want[i], "workers {workers} query {i}");
+            }
+        }
     }
 
     #[test]

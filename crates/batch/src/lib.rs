@@ -31,12 +31,14 @@
 pub mod db;
 pub mod engine;
 pub mod planner;
+pub mod run;
 pub mod scheduler;
 pub mod topk;
 
 pub use db::{RecordMeta, SeqDatabase};
-pub use engine::{score_pairs, BatchConfig, BatchEngine, BatchOutcome, BatchStats};
+pub use engine::{oracle_search, score_pairs, BatchConfig, BatchEngine, BatchOutcome, BatchStats};
 pub use planner::{plan_lane_groups, LanePlan};
+pub use run::{execute, load_inputs, verify_against_oracle, SearchInputs};
 pub use scheduler::{run_jobs, SchedulerConfig};
 pub use topk::{Hit, TopK};
 

@@ -1,0 +1,205 @@
+//! The engine-core entry point shared by every front-end.
+//!
+//! `genomedsm batch`, `genomedsm serve`, and the bench harness all used
+//! to (or would have to) re-assemble the same pipeline by hand: load the
+//! database and queries, build a [`BatchEngine`], run the search, and
+//! optionally re-derive the answer with the sequential oracle. This
+//! module is that pipeline, written once:
+//!
+//! * [`load_inputs`] — FASTA database + query file into a
+//!   [`SearchInputs`], with the same typed errors everywhere;
+//! * [`execute`] — one streaming search, delivering each query's final
+//!   hits in ascending query order *and* returning the collected
+//!   [`BatchOutcome`], so callers that print incrementally (the CLI, the
+//!   server) and callers that want the whole answer (benches, tests)
+//!   share one code path;
+//! * [`verify_against_oracle`] — the `--check` contract: compare a
+//!   result against [`oracle_search`] and name the first divergent query.
+//!
+//! Keeping the front-ends on this path is what makes "cache hit equals
+//! recompute" and "`--check` preserved bit-identically" single theorems
+//! instead of per-binary claims.
+
+use crate::db::SeqDatabase;
+use crate::engine::{oracle_search, BatchEngine, BatchOutcome};
+use crate::topk::Hit;
+use crate::BatchError;
+use std::path::Path;
+
+/// A loaded search problem: the database plus the owned query bytes.
+#[derive(Debug, Clone)]
+pub struct SearchInputs {
+    /// The length-sorted record arena.
+    pub db: SeqDatabase,
+    /// Query sequences, input order.
+    pub queries: Vec<Vec<u8>>,
+}
+
+impl SearchInputs {
+    /// Borrowed views of the queries, as the engine consumes them.
+    pub fn query_refs(&self) -> Vec<&[u8]> {
+        self.queries.iter().map(Vec::as_slice).collect()
+    }
+}
+
+/// Loads the database FASTA and the query FASTA.
+///
+/// # Errors
+///
+/// [`BatchError`] if either file is unreadable, malformed, or empty.
+pub fn load_inputs(
+    db_path: impl AsRef<Path>,
+    query_path: impl AsRef<Path>,
+) -> Result<SearchInputs, BatchError> {
+    let db = SeqDatabase::load_fasta_file(db_path)?;
+    let queries = crate::load_query_file(query_path)?;
+    Ok(SearchInputs { db, queries })
+}
+
+/// Runs one search, streaming each query's **final** hit list (ascending
+/// query order) through `on_query` and returning the collected outcome.
+///
+/// The emissions are exact prefixes of `outcome.hits`: a caller that
+/// forwards them (the server's partial responses, the CLI's progressive
+/// print) never has to correct anything it already sent.
+pub fn execute(
+    engine: &BatchEngine,
+    db: &SeqDatabase,
+    queries: &[&[u8]],
+    mut on_query: impl FnMut(usize, &[Hit]),
+) -> BatchOutcome {
+    let mut hits: Vec<Vec<Hit>> = Vec::with_capacity(queries.len());
+    let stats = engine.search_streaming(db, queries, |q, h| {
+        on_query(q, &h);
+        debug_assert_eq!(q, hits.len(), "streaming emission out of order");
+        hits.push(h);
+    });
+    BatchOutcome { hits, stats }
+}
+
+/// Checks a search result against the sequential per-pair oracle.
+///
+/// Returns `Ok(())` when every query's hit list is byte-identical to
+/// [`oracle_search`]'s; otherwise the index of the first query whose
+/// hits diverge (the `--check` failure the CLI reports).
+///
+/// # Errors
+///
+/// The index of the first divergent query.
+pub fn verify_against_oracle(
+    engine: &BatchEngine,
+    db: &SeqDatabase,
+    queries: &[&[u8]],
+    hits: &[Vec<Hit>],
+) -> Result<(), usize> {
+    let want = oracle_search(db, queries, &engine.config.scoring, engine.config.top_k);
+    if hits.len() != want.len() {
+        return Err(hits.len().min(want.len()));
+    }
+    match hits.iter().zip(&want).position(|(got, want)| got != want) {
+        Some(q) => Err(q),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::BatchConfig;
+    use crate::scheduler::SchedulerConfig;
+    use genomedsm_seq::fasta::{write_fasta_file, FastaRecord};
+    use genomedsm_seq::random_dna;
+
+    fn fixture_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("genomedsm-run-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_records(path: &Path, n: usize, len: usize, seed: u64) {
+        let records: Vec<FastaRecord> = (0..n)
+            .map(|i| FastaRecord {
+                id: format!("r{i}"),
+                seq: random_dna(len + i, seed + i as u64),
+            })
+            .collect();
+        write_fasta_file(path, &records).unwrap();
+    }
+
+    #[test]
+    fn load_execute_verify_roundtrip() {
+        let dir = fixture_dir();
+        let db_path = dir.join("db.fa");
+        let q_path = dir.join("q.fa");
+        write_records(&db_path, 8, 50, 11);
+        write_records(&q_path, 5, 30, 99);
+        let inputs = load_inputs(&db_path, &q_path).unwrap();
+        assert_eq!(inputs.db.len(), 8);
+        assert_eq!(inputs.queries.len(), 5);
+
+        let engine = BatchEngine::new(BatchConfig {
+            top_k: 3,
+            scheduler: SchedulerConfig {
+                workers: 2,
+                window: 2,
+            },
+            ..BatchConfig::default()
+        });
+        let refs = inputs.query_refs();
+        let want = oracle_search(
+            &inputs.db,
+            &refs,
+            &engine.config.scoring,
+            engine.config.top_k,
+        );
+        let mut streamed = 0usize;
+        let outcome = execute(&engine, &inputs.db, &refs, |q, hits| {
+            assert_eq!(q, streamed);
+            assert_eq!(hits, &want[q][..], "streamed answer not final");
+            streamed += 1;
+        });
+        assert_eq!(streamed, refs.len());
+        assert_eq!(outcome.hits, want);
+        assert_eq!(
+            verify_against_oracle(&engine, &inputs.db, &refs, &outcome.hits),
+            Ok(())
+        );
+        std::fs::remove_file(&db_path).ok();
+        std::fs::remove_file(&q_path).ok();
+    }
+
+    #[test]
+    fn verify_flags_first_divergent_query() {
+        let dir = fixture_dir();
+        let db_path = dir.join("db2.fa");
+        let q_path = dir.join("q2.fa");
+        write_records(&db_path, 6, 40, 3);
+        write_records(&q_path, 4, 25, 5);
+        let inputs = load_inputs(&db_path, &q_path).unwrap();
+        let engine = BatchEngine::default();
+        let refs = inputs.query_refs();
+        let mut hits = engine.search(&inputs.db, &refs).hits;
+        assert_eq!(
+            verify_against_oracle(&engine, &inputs.db, &refs, &hits),
+            Ok(())
+        );
+        // Corrupt query 2's answer: verify must name exactly that index.
+        hits[2].push(Hit {
+            score: 1,
+            target: 0,
+            end: (0, 0),
+        });
+        assert_eq!(
+            verify_against_oracle(&engine, &inputs.db, &refs, &hits),
+            Err(2)
+        );
+        std::fs::remove_file(&db_path).ok();
+        std::fs::remove_file(&q_path).ok();
+    }
+
+    #[test]
+    fn load_inputs_propagates_missing_file() {
+        let err = load_inputs("/nonexistent/db.fa", "/nonexistent/q.fa");
+        assert!(err.is_err());
+    }
+}

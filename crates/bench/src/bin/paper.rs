@@ -27,6 +27,10 @@
 //!   batch      multi-query batch engine: aggregate GCUPS of a
 //!              many-small-queries database search, lane-packed vs the
 //!              per-pair kernel-launch baseline
+//!   serve      always-on alignment service: multi-client cold/warm
+//!              sweep over a running server (cache hit rate, request
+//!              throughput, bit-identical answers) plus a hot reload
+//!              under load
 //!   chaos      reliability sweep: pre-process runs under 0-15% per-link
 //!              drop (plus duplication/reordering and one node crash),
 //!              recording retransmit counts and virtual-time overhead
@@ -122,6 +126,7 @@ fn main() {
         "ablation" => ablation(&args),
         "kernels" => kernels_bench(&args),
         "batch" => batch_bench(&args),
+        "serve" => serve_bench(&args),
         "chaos" => chaos_sweep(&args),
         "takeover" => takeover_sweep(&args),
         "summary" => summary(&args),
@@ -141,6 +146,7 @@ fn main() {
             ablation(&args);
             kernels_bench(&args);
             batch_bench(&args);
+            serve_bench(&args);
             chaos_sweep(&args);
             takeover_sweep(&args);
         }
@@ -153,7 +159,7 @@ fn main() {
 
 const HELP: &str = "\
 usage: paper <experiment> [--scale N] [--procs 1,2,4,8] [--out DIR]
-experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels batch chaos takeover summary all\n";
+experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels batch serve chaos takeover summary all\n";
 
 /// The serial reference: a 1-node cluster run (virtual time = cells x
 /// calibrated cell cost plus negligible self-messaging), which matches the
@@ -1057,6 +1063,211 @@ fn batch_bench(args: &HarnessArgs) {
 }
 
 // ---------------------------------------------------------------------
+// Serve: the always-on alignment service (DESIGN.md §5.11)
+// ---------------------------------------------------------------------
+
+/// Generates a serve database and writes it as FASTA; returns the same
+/// records as a [`genomedsm_batch::SeqDatabase`] for the local oracle.
+fn serve_db_file(
+    path: &std::path::Path,
+    records: usize,
+    t_len: usize,
+    seed: u64,
+) -> genomedsm_batch::SeqDatabase {
+    let recs: Vec<genomedsm_seq::fasta::FastaRecord> = (0..records)
+        .map(|i| genomedsm_seq::fasta::FastaRecord {
+            id: format!("rec{i}"),
+            seq: genomedsm_seq::random_dna(t_len / 2 + (i * 29) % t_len, seed + i as u64),
+        })
+        .collect();
+    genomedsm_seq::fasta::write_fasta_file(path, &recs).expect("write serve db");
+    genomedsm_batch::SeqDatabase::from_records(recs)
+}
+
+/// Multi-client cold/warm sweep against a running server, then a hot
+/// reload under load. Every answer the service returns — computed or
+/// cached, before or after the reload — is checked bit-for-bit against
+/// a local [`genomedsm_batch::BatchEngine`] run, so the throughput
+/// numbers are backed by a correctness gate.
+fn serve_bench(args: &HarnessArgs) {
+    use genomedsm_batch::{BatchConfig, BatchEngine};
+    use genomedsm_serve::{ServeClient, Server, ServerConfig};
+
+    let top_k = 5;
+    let reqs_per_client = 2;
+    let db1_path = args.artifact("serve_db1.fa");
+    let db2_path = args.artifact("serve_db2.fa");
+    let db1 = serve_db_file(&db1_path, 96, 256, 7_000);
+    let db2 = serve_db_file(&db2_path, 128, 256, 8_000);
+    let socket = args.artifact("serve.sock");
+
+    let mut config = ServerConfig::new(&socket, &db1_path);
+    config.queue_capacity = 64;
+    config.cache_capacity = 4096;
+    config.workers = 2;
+    let server = Server::start(config).expect("start server");
+    let oracle = BatchEngine::new(BatchConfig {
+        top_k,
+        ..BatchConfig::default()
+    });
+
+    let mut tab = Table::new(
+        "Always-on service: cold/warm multi-client sweep, single host",
+        &[
+            "clients",
+            "phase",
+            "time (s)",
+            "req/s",
+            "answers",
+            "cached",
+            "identical",
+        ],
+    );
+    for &clients in &[1usize, 2, 4] {
+        // A fresh query set per client count keeps the cold pass cold
+        // (the server cache persists across the sweep).
+        let qs: Vec<Vec<u8>> = (0..48)
+            .map(|i| {
+                genomedsm_seq::random_dna(
+                    32 + (i * 13) % 64,
+                    11_000 + clients as u64 * 997 + i as u64,
+                )
+                .into_bytes()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = qs.iter().map(Vec::as_slice).collect();
+        let want = oracle.search(&db1, &refs).hits;
+        for phase in ["cold", "warm"] {
+            let t0 = std::time::Instant::now();
+            let per_client: Vec<(usize, usize, bool)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let qs = &qs;
+                        let want = &want;
+                        let socket = &socket;
+                        scope.spawn(move || {
+                            let mut cl = ServeClient::connect(socket).expect("connect");
+                            cl.hello(&format!("bench-{c}"), 1).expect("hello");
+                            let mut answers = 0usize;
+                            let mut cached = 0usize;
+                            let mut identical = true;
+                            for _ in 0..reqs_per_client {
+                                let sum = cl.search(qs, top_k, |_| {}).expect("search");
+                                answers += sum.answers.len();
+                                cached += sum.answers.iter().filter(|a| a.cached).count();
+                                identical &= sum.hit_lists() == *want;
+                            }
+                            (answers, cached, identical)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client"))
+                    .collect()
+            });
+            let elapsed = t0.elapsed();
+            let answers: usize = per_client.iter().map(|r| r.0).sum();
+            let cached: usize = per_client.iter().map(|r| r.1).sum();
+            let identical = per_client.iter().all(|r| r.2);
+            assert!(
+                identical,
+                "{clients}-client {phase} pass diverged from local engine"
+            );
+            let requests = clients * reqs_per_client;
+            tab.row(&[
+                clients.to_string(),
+                phase.into(),
+                secs(elapsed),
+                format!("{:.1}", requests as f64 / elapsed.as_secs_f64()),
+                answers.to_string(),
+                cached.to_string(),
+                "yes".into(),
+            ]);
+            eprintln!("[serve] {clients} clients / {phase} done");
+        }
+    }
+
+    // Hot reload under load: a runner hammers one query set while an
+    // admin swaps the database; every answer must match the local oracle
+    // for whichever epoch the server says it was computed against.
+    let qs: Vec<Vec<u8>> = (0..24)
+        .map(|i| genomedsm_seq::random_dna(32 + (i * 13) % 64, 15_000 + i as u64).into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = qs.iter().map(Vec::as_slice).collect();
+    let want1 = oracle.search(&db1, &refs).hits;
+    let want2 = oracle.search(&db2, &refs).hits;
+    let (e1_answers, e2_answers, mismatched) = std::thread::scope(|scope| {
+        let runner = {
+            let qs = &qs;
+            let want1 = &want1;
+            let want2 = &want2;
+            let socket = &socket;
+            scope.spawn(move || {
+                let mut cl = ServeClient::connect(socket).expect("connect runner");
+                cl.hello("reload-runner", 1).expect("hello");
+                let (mut e1, mut e2, mut bad) = (0usize, 0usize, 0usize);
+                // Hammer until a full post-reload pass has been seen
+                // (bounded, in case the reload fails outright).
+                for round in 0..400 {
+                    let sum = cl.search(qs, top_k, |_| {}).expect("search under reload");
+                    for a in &sum.answers {
+                        let want = if a.epoch == 1 { want1 } else { want2 };
+                        if a.hits == want[a.query] {
+                            if a.epoch == 1 {
+                                e1 += 1;
+                            } else {
+                                e2 += 1;
+                            }
+                        } else {
+                            bad += 1;
+                        }
+                    }
+                    if round >= 40 && e2 >= qs.len() {
+                        break;
+                    }
+                }
+                (e1, e2, bad)
+            })
+        };
+        let admin = {
+            let socket = &socket;
+            let db2_path = &db2_path;
+            scope.spawn(move || {
+                let mut cl = ServeClient::connect(socket).expect("connect admin");
+                std::thread::sleep(Duration::from_millis(20));
+                cl.reload(db2_path.to_str().expect("utf8 path"))
+                    .expect("reload")
+            })
+        };
+        let (epoch, records, purged) = admin.join().expect("admin");
+        eprintln!(
+            "[serve] reload -> epoch {epoch}, {records} records, {purged} cache entries purged"
+        );
+        runner.join().expect("runner")
+    });
+    assert_eq!(
+        mismatched, 0,
+        "answers under reload diverged from their epoch's oracle"
+    );
+
+    let stats = server.stats();
+    server.stop();
+    print!("{}", tab.render());
+    println!(
+        "(reload under load: {e1_answers} epoch-1 + {e2_answers} epoch-2 answers, 0 mismatches;\n \
+         cache {} hits / {} misses, {} purged by reload; {} rejected, {} protocol errors)\n",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_stale_purged,
+        stats.rejected,
+        stats.protocol_errors
+    );
+    assert_eq!(stats.protocol_errors, 0, "service saw protocol errors");
+    tab.save_csv(&args.artifact("serve.csv")).expect("csv");
+}
+
+// ---------------------------------------------------------------------
 // Chaos: the reliability-layer sweep (DESIGN.md §5.7)
 // ---------------------------------------------------------------------
 
@@ -1587,6 +1798,59 @@ fn summary(args: &HarnessArgs) {
             ),
         ));
         eprintln!("[summary] claim 13 done");
+    }
+
+    // Claim 14: the always-on service answers bit-identically to a
+    // local engine run — cold (computed), warm (served from the result
+    // cache), and across a hot reload (new epoch, cache purged, old
+    // answers never served) — with zero protocol errors.
+    {
+        use genomedsm_batch::{BatchConfig, BatchEngine};
+        use genomedsm_serve::{ServeClient, Server, ServerConfig};
+        let top_k = 5;
+        let db1_path = args.artifact("summary_serve_db1.fa");
+        let db2_path = args.artifact("summary_serve_db2.fa");
+        let db1 = serve_db_file(&db1_path, 48, 192, 17_000);
+        let db2 = serve_db_file(&db2_path, 64, 192, 18_000);
+        let mut config = ServerConfig::new(args.artifact("summary_serve.sock"), &db1_path);
+        config.workers = 2;
+        let server = Server::start(config).expect("start server");
+        let qs: Vec<Vec<u8>> = (0..12)
+            .map(|i| genomedsm_seq::random_dna(32 + (i * 13) % 48, 19_000 + i as u64).into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = qs.iter().map(Vec::as_slice).collect();
+        let oracle = BatchEngine::new(BatchConfig {
+            top_k,
+            ..BatchConfig::default()
+        });
+        let want1 = oracle.search(&db1, &refs).hits;
+        let want2 = oracle.search(&db2, &refs).hits;
+
+        let mut cl = ServeClient::connect(server.socket()).expect("connect");
+        cl.hello("summary", 1).expect("hello");
+        let cold = cl.search(&qs, top_k, |_| {}).expect("cold search");
+        let warm = cl.search(&qs, top_k, |_| {}).expect("warm search");
+        let cold_ok = cold.hit_lists() == want1 && cold.answers.iter().all(|a| !a.cached);
+        let warm_ok = warm.hit_lists() == want1 && warm.answers.iter().all(|a| a.cached);
+        let (epoch, _records, purged) = cl
+            .reload(db2_path.to_str().expect("utf8 path"))
+            .expect("reload");
+        let after = cl.search(&qs, top_k, |_| {}).expect("post-reload search");
+        let reload_ok = epoch == 2
+            && after.hit_lists() == want2
+            && after.answers.iter().all(|a| !a.cached && a.epoch == 2);
+        let stats = server.stats();
+        server.stop();
+        results.push((
+            "service cache hits and hot reload are bit-exact (§5.11)",
+            cold_ok && warm_ok && reload_ok && stats.protocol_errors == 0,
+            format!(
+                "cold/warm/post-reload all match the local engine; warm fully cached; \
+                 reload purged {purged} entries; {} protocol errors",
+                stats.protocol_errors
+            ),
+        ));
+        eprintln!("[summary] claim 14 done");
     }
 
     let mut table = Table::new(

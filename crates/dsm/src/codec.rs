@@ -29,26 +29,42 @@ fn checksum(bytes: &[u8]) -> u32 {
 // Writer
 // ---------------------------------------------------------------------
 
-struct Writer {
+/// Builds one checksummed frame: a tag byte, little-endian fields, and a
+/// trailing byte-sum checksum.
+///
+/// Public so other protocol layers (the `genomedsm-serve` request/response
+/// protocol) can reuse the exact framing discipline — and therefore the
+/// same failure surface and decode guarantees — instead of inventing a
+/// second wire format.
+pub struct FrameWriter {
     buf: Vec<u8>,
 }
 
-impl Writer {
-    fn new(tag: u8) -> Self {
+impl FrameWriter {
+    /// Starts a frame with its tag byte.
+    pub fn new(tag: u8) -> Self {
         Self { buf: vec![tag] }
     }
-    fn u32(&mut self, v: u32) {
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn usize(&mut self, v: usize) {
+    /// Appends a `usize` as a little-endian `u64`.
+    pub fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
-    fn bytes(&mut self, v: &[u8]) {
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
         self.u64(v.len() as u64);
         self.buf.extend_from_slice(v);
+    }
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
     }
     fn notice(&mut self, n: &Notice) {
         self.u64(n.page);
@@ -61,7 +77,8 @@ impl Writer {
             self.notice(n);
         }
     }
-    fn finish(mut self) -> Vec<u8> {
+    /// Seals the frame: appends the checksum and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
         let sum = checksum(&self.buf);
         self.buf.extend_from_slice(&sum.to_le_bytes());
         self.buf
@@ -72,14 +89,23 @@ impl Writer {
 // Reader
 // ---------------------------------------------------------------------
 
-struct Reader<'a> {
+/// Decodes one checksummed frame built by [`FrameWriter`].
+///
+/// Decoding **never panics**: every malformation (bad checksum,
+/// truncation, oversize length, trailing bytes) surfaces as a typed
+/// [`DsmError`]. Public for the same reason as [`FrameWriter`].
+pub struct FrameReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
-impl<'a> Reader<'a> {
+impl<'a> FrameReader<'a> {
     /// Verifies the trailing checksum and returns a reader over the body.
-    fn checked(frame: &'a [u8]) -> Result<Self, DsmError> {
+    ///
+    /// # Errors
+    /// [`DsmError::Truncated`] for frames shorter than tag + checksum,
+    /// [`DsmError::Checksum`] on a sum mismatch.
+    pub fn checked(frame: &'a [u8]) -> Result<Self, DsmError> {
         if frame.len() < 5 {
             return Err(DsmError::Truncated {
                 need: 5,
@@ -97,11 +123,16 @@ impl<'a> Reader<'a> {
         Ok(Self { buf: body, pos: 0 })
     }
 
-    fn remaining(&self) -> usize {
+    /// Bytes left in the frame body.
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DsmError> {
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`DsmError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DsmError> {
         if self.remaining() < n {
             return Err(DsmError::Truncated {
                 need: n,
@@ -113,7 +144,11 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, DsmError> {
+    /// Reads the next byte (used for the frame tag).
+    ///
+    /// # Errors
+    /// [`DsmError::Truncated`] at end of frame.
+    pub fn u8(&mut self) -> Result<u8, DsmError> {
         Ok(self.take(1)?[0])
     }
     fn array<const N: usize>(&mut self) -> Result<[u8; N], DsmError> {
@@ -122,13 +157,25 @@ impl<'a> Reader<'a> {
         a.copy_from_slice(s);
         Ok(a)
     }
-    fn u32(&mut self) -> Result<u32, DsmError> {
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`DsmError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, DsmError> {
         Ok(u32::from_le_bytes(self.array()?))
     }
-    fn u64(&mut self) -> Result<u64, DsmError> {
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`DsmError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, DsmError> {
         Ok(u64::from_le_bytes(self.array()?))
     }
-    fn usize(&mut self) -> Result<usize, DsmError> {
+    /// Reads a `u64` that must fit a `usize`.
+    ///
+    /// # Errors
+    /// [`DsmError::Truncated`] / [`DsmError::Oversize`] on malformation.
+    pub fn usize(&mut self) -> Result<usize, DsmError> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| DsmError::Oversize {
             len: u64::MAX as usize,
@@ -138,7 +185,12 @@ impl<'a> Reader<'a> {
 
     /// A length field that must be plausible for `elem_size`-byte elements
     /// in the remaining frame.
-    fn len(&mut self, elem_size: usize) -> Result<usize, DsmError> {
+    ///
+    /// # Errors
+    /// [`DsmError::Oversize`] when the claimed count cannot fit in the
+    /// remaining body — the guard that makes fuzzed frames fail fast
+    /// instead of allocating.
+    pub fn len(&mut self, elem_size: usize) -> Result<usize, DsmError> {
         let v = self.usize()?;
         if v > MAX_LEN || v.saturating_mul(elem_size) > self.remaining() {
             return Err(DsmError::Oversize {
@@ -149,9 +201,25 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, DsmError> {
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    /// Typed [`DsmError`] on truncation or an implausible length.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DsmError> {
         let n = self.len(1)?;
         Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// Typed [`DsmError`] on truncation or an implausible length;
+    /// [`DsmError::Utf8`] when the bytes are not valid UTF-8.
+    pub fn str(&mut self) -> Result<String, DsmError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw).map_err(|e| DsmError::Utf8 {
+            valid_up_to: e.utf8_error().valid_up_to(),
+        })
     }
 
     fn notice(&mut self) -> Result<Notice, DsmError> {
@@ -167,7 +235,12 @@ impl<'a> Reader<'a> {
         (0..n).map(|_| self.notice()).collect()
     }
 
-    fn done<T>(self, value: T) -> Result<T, DsmError> {
+    /// Finishes decoding: the frame must be fully consumed.
+    ///
+    /// # Errors
+    /// [`DsmError::Trailing`] if body bytes remain — a frame with junk
+    /// after its payload is as malformed as a truncated one.
+    pub fn done<T>(self, value: T) -> Result<T, DsmError> {
         if self.remaining() != 0 {
             return Err(DsmError::Trailing {
                 extra: self.remaining(),
@@ -201,7 +274,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
     let mut w;
     match msg {
         Msg::GetPage { page, from, epoch } => {
-            w = Writer::new(MSG_GETPAGE);
+            w = FrameWriter::new(MSG_GETPAGE);
             w.u64(*page);
             w.usize(*from);
             w.u64(*epoch);
@@ -212,7 +285,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             patches,
             epoch,
         } => {
-            w = Writer::new(MSG_DIFF);
+            w = FrameWriter::new(MSG_DIFF);
             w.u64(*page);
             w.usize(*from);
             w.u64(*epoch);
@@ -227,7 +300,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             from,
             last_seq,
         } => {
-            w = Writer::new(MSG_ACQUIRE);
+            w = FrameWriter::new(MSG_ACQUIRE);
             w.u32(*lock);
             w.usize(*from);
             w.u64(*last_seq);
@@ -237,30 +310,30 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             from,
             notices,
         } => {
-            w = Writer::new(MSG_RELEASE);
+            w = FrameWriter::new(MSG_RELEASE);
             w.u32(*lock);
             w.usize(*from);
             w.notices(notices);
         }
         Msg::SetCv { cv, from, notices } => {
-            w = Writer::new(MSG_SETCV);
+            w = FrameWriter::new(MSG_SETCV);
             w.u32(*cv);
             w.usize(*from);
             w.notices(notices);
         }
         Msg::WaitCv { cv, from, last_seq } => {
-            w = Writer::new(MSG_WAITCV);
+            w = FrameWriter::new(MSG_WAITCV);
             w.u32(*cv);
             w.usize(*from);
             w.u64(*last_seq);
         }
         Msg::Barrier { from, notices } => {
-            w = Writer::new(MSG_BARRIER);
+            w = FrameWriter::new(MSG_BARRIER);
             w.usize(*from);
             w.notices(notices);
         }
         Msg::MigrationNotice { epoch, incoming } => {
-            w = Writer::new(MSG_MIGRATION_NOTICE);
+            w = FrameWriter::new(MSG_MIGRATION_NOTICE);
             w.u64(*epoch);
             w.u64(incoming.len() as u64);
             for p in incoming {
@@ -268,24 +341,24 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             }
         }
         Msg::MigrateOut { page, to } => {
-            w = Writer::new(MSG_MIGRATE_OUT);
+            w = FrameWriter::new(MSG_MIGRATE_OUT);
             w.u64(*page);
             w.usize(*to);
         }
         Msg::AdoptPage { page, data } => {
-            w = Writer::new(MSG_ADOPT_PAGE);
+            w = FrameWriter::new(MSG_ADOPT_PAGE);
             w.u64(*page);
             w.bytes(data);
         }
         Msg::Shutdown => {
-            w = Writer::new(MSG_SHUTDOWN);
+            w = FrameWriter::new(MSG_SHUTDOWN);
         }
         Msg::Heartbeat { node } => {
-            w = Writer::new(MSG_HEARTBEAT);
+            w = FrameWriter::new(MSG_HEARTBEAT);
             w.usize(*node);
         }
         Msg::Obituary { node } => {
-            w = Writer::new(MSG_OBITUARY);
+            w = FrameWriter::new(MSG_OBITUARY);
             w.usize(*node);
         }
         Msg::ProbeFailures {
@@ -293,7 +366,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             cancel_waits,
             known,
         } => {
-            w = Writer::new(MSG_PROBE_FAILURES);
+            w = FrameWriter::new(MSG_PROBE_FAILURES);
             w.usize(*from);
             w.u32(u32::from(*cancel_waits));
             w.u64(known.len() as u64);
@@ -307,7 +380,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
 
 /// Decodes a request frame; returns a typed error on any malformation.
 pub fn decode_msg(frame: &[u8]) -> Result<Msg, DsmError> {
-    let mut r = Reader::checked(frame)?;
+    let mut r = FrameReader::checked(frame)?;
     let tag = r.u8()?;
     let msg = match tag {
         MSG_GETPAGE => Msg::GetPage {
@@ -408,20 +481,20 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
     let mut w;
     match reply {
         Reply::Page { page, data } => {
-            w = Writer::new(REPLY_PAGE);
+            w = FrameWriter::new(REPLY_PAGE);
             w.u64(*page);
             w.bytes(data);
         }
         Reply::DiffAck => {
-            w = Writer::new(REPLY_DIFF_ACK);
+            w = FrameWriter::new(REPLY_DIFF_ACK);
         }
         Reply::LockGranted { notices, seq } => {
-            w = Writer::new(REPLY_LOCK_GRANTED);
+            w = FrameWriter::new(REPLY_LOCK_GRANTED);
             w.u64(*seq);
             w.notices(notices);
         }
         Reply::CvGranted { notices, seq } => {
-            w = Writer::new(REPLY_CV_GRANTED);
+            w = FrameWriter::new(REPLY_CV_GRANTED);
             w.u64(*seq);
             w.notices(notices);
         }
@@ -430,7 +503,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             migrations,
             dead,
         } => {
-            w = Writer::new(REPLY_BARRIER_DONE);
+            w = FrameWriter::new(REPLY_BARRIER_DONE);
             w.notices(notices);
             w.u64(migrations.len() as u64);
             for (page, to) in migrations {
@@ -443,7 +516,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             }
         }
         Reply::NodeFailed { node } => {
-            w = Writer::new(REPLY_NODE_FAILED);
+            w = FrameWriter::new(REPLY_NODE_FAILED);
             w.usize(*node);
         }
         Reply::FailureReport {
@@ -451,7 +524,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             suspects,
             canceled,
         } => {
-            w = Writer::new(REPLY_FAILURE_REPORT);
+            w = FrameWriter::new(REPLY_FAILURE_REPORT);
             w.u64(dead.len() as u64);
             for n in dead {
                 w.usize(*n);
@@ -468,7 +541,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
 
 /// Decodes a reply frame; returns a typed error on any malformation.
 pub fn decode_reply(frame: &[u8]) -> Result<Reply, DsmError> {
-    let mut r = Reader::checked(frame)?;
+    let mut r = FrameReader::checked(frame)?;
     let tag = r.u8()?;
     let reply = match tag {
         REPLY_PAGE => Reply::Page {
@@ -599,7 +672,7 @@ mod tests {
 
     #[test]
     fn bad_tag_is_typed() {
-        let mut w = Writer::new(0x7f);
+        let mut w = FrameWriter::new(0x7f);
         w.u64(1);
         let frame = w.finish();
         assert_eq!(decode_msg(&frame), Err(DsmError::BadTag(0x7f)));
@@ -608,7 +681,7 @@ mod tests {
     #[test]
     fn oversize_length_rejected_without_allocation() {
         // A Diff frame claiming 2^60 patches must fail fast.
-        let mut w = Writer::new(MSG_DIFF);
+        let mut w = FrameWriter::new(MSG_DIFF);
         w.u64(0); // page
         w.u64(0); // from
         w.u64(0); // epoch

@@ -44,6 +44,13 @@ pub enum DsmError {
         /// Number of unconsumed bytes.
         extra: usize,
     },
+    /// A string field is not valid UTF-8 (only higher-level protocols
+    /// built on [`crate::codec::FrameReader::str`] carry strings; the DSM
+    /// messages themselves are all-numeric).
+    Utf8 {
+        /// Length of the valid prefix.
+        valid_up_to: usize,
+    },
     /// A peer endpoint (daemon inbox or worker reply channel) is closed.
     Disconnected(&'static str),
     /// A cluster node was declared dead by the failure detector. Surfaced
@@ -73,6 +80,9 @@ impl fmt::Display for DsmError {
             }
             DsmError::Trailing { extra } => {
                 write!(f, "{extra} trailing bytes after a complete frame")
+            }
+            DsmError::Utf8 { valid_up_to } => {
+                write!(f, "invalid UTF-8 in string field after {valid_up_to} bytes")
             }
             DsmError::Disconnected(what) => write!(f, "transport disconnected: {what}"),
             DsmError::NodeFailed { node } => write!(f, "node {node} declared failed"),

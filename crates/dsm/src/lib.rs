@@ -69,6 +69,7 @@ pub mod stats;
 pub mod system;
 pub mod vec;
 
+pub use codec::{FrameReader, FrameWriter};
 pub use config::{DsmConfig, SupervisionConfig};
 pub use error::DsmError;
 pub use lock_order::{LockOrderGraph, LockOrderMode, LockOrderViolation, LOCK_ORDER_ENABLED};

@@ -1,0 +1,335 @@
+//! Admission control: a bounded queue with weighted fair dispatch.
+//!
+//! The service must degrade by **refusing**, never by hanging or by
+//! silently dropping: when the queue is at capacity, `submit` returns a
+//! typed [`Overloaded`] immediately (the caller turns it into an
+//! `Overloaded` response), and once a request is accepted it is
+//! dispatched exactly once — the `genomedsm-verify` admission model
+//! proves *accepted ⇒ eventually dispatched, exactly once* and catches
+//! the known-bad variant that drops a request on reject.
+//!
+//! Dispatch order is **weighted fair** across clients: among clients
+//! with pending requests, pick the one with the smallest
+//! `served_units / weight` ratio (compared exactly via cross
+//! multiplication — no floats), FIFO within a client, lexicographic
+//! client name as the deterministic tie-break. A client that floods the
+//! queue can exhaust *its own* patience, not other clients' throughput:
+//! the ratio ledger keeps light clients ahead of heavy ones at every
+//! pick, which is the fairness the e2e test reads out of
+//! [`AdmissionStats`].
+//!
+//! This sits *above* the batch scheduler's windowed backpressure: this
+//! queue decides **which request** runs next; the scheduler's window
+//! bounds in-flight jobs **within** the request that is running.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Typed rejection: the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Queue depth at the moment of rejection (== `limit`).
+    pub depth: usize,
+    /// The queue's capacity.
+    pub limit: usize,
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue full: depth {} of {}", self.depth, self.limit)
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// One client's ledger row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Client name.
+    pub client: String,
+    /// Scheduling weight (≥ 1).
+    pub weight: u64,
+    /// Requests accepted from this client.
+    pub submitted: u64,
+    /// Requests refused with [`Overloaded`].
+    pub rejected: u64,
+    /// Requests dispatched to a worker.
+    pub dispatched: u64,
+    /// Work units (query count) dispatched for this client.
+    pub served_units: u64,
+}
+
+/// Queue-level counters plus the per-client ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests currently queued.
+    pub depth: u64,
+    /// Highest depth ever observed (the watermark).
+    pub high_water: u64,
+    /// The admission limit.
+    pub capacity: u64,
+    /// Total requests accepted.
+    pub submitted: u64,
+    /// Total requests refused.
+    pub rejected: u64,
+    /// Total requests dispatched.
+    pub dispatched: u64,
+    /// Per-client rows, sorted by client name.
+    pub clients: Vec<ClientStats>,
+}
+
+struct ClientState<T> {
+    weight: u64,
+    pending: VecDeque<(u64, T)>,
+    submitted: u64,
+    rejected: u64,
+    dispatched: u64,
+    served_units: u64,
+}
+
+struct QueueInner<T> {
+    clients: HashMap<String, ClientState<T>>,
+    depth: usize,
+    high_water: usize,
+    submitted: u64,
+    rejected: u64,
+    dispatched: u64,
+    closed: bool,
+}
+
+/// The bounded, weighted-fair request queue.
+///
+/// `T` is the request payload; each entry also carries a work-unit count
+/// used for the fairness ledger (the service uses the request's query
+/// count).
+pub struct AdmissionQueue<T> {
+    capacity: usize,
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` requests (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueInner {
+                clients: HashMap::new(),
+                depth: 0,
+                high_water: 0,
+                submitted: 0,
+                rejected: 0,
+                dispatched: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a request from `client` (with scheduling `weight`, clamped
+    /// to ≥ 1, and `units` of work for the fairness ledger).
+    ///
+    /// # Errors
+    /// [`Overloaded`] when the queue is at capacity — recorded in the
+    /// client's ledger; the request is **not** enqueued. Also refused
+    /// (as `Overloaded` at zero capacity) after [`close`](Self::close).
+    pub fn submit(&self, client: &str, weight: u64, units: u64, item: T) -> Result<(), Overloaded> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = inner
+            .clients
+            .entry(client.to_string())
+            .or_insert_with(|| ClientState {
+                weight: weight.max(1),
+                pending: VecDeque::new(),
+                submitted: 0,
+                rejected: 0,
+                dispatched: 0,
+                served_units: 0,
+            });
+        state.weight = weight.max(1);
+        if inner.closed {
+            inner.rejected += 1;
+            if let Some(s) = inner.clients.get_mut(client) {
+                s.rejected += 1;
+            }
+            return Err(Overloaded { depth: 0, limit: 0 });
+        }
+        if inner.depth >= self.capacity {
+            let depth = inner.depth;
+            inner.rejected += 1;
+            if let Some(s) = inner.clients.get_mut(client) {
+                s.rejected += 1;
+            }
+            return Err(Overloaded {
+                depth,
+                limit: self.capacity,
+            });
+        }
+        if let Some(s) = inner.clients.get_mut(client) {
+            s.pending.push_back((units, item));
+            s.submitted += 1;
+        }
+        inner.depth += 1;
+        inner.high_water = inner.high_water.max(inner.depth);
+        inner.submitted += 1;
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next request under the weighted fair policy.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn next(&self) -> Option<(String, T)> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(pick) = fair_pick(&inner.clients) {
+                if let Some(s) = inner.clients.get_mut(&pick) {
+                    if let Some((units, item)) = s.pending.pop_front() {
+                        s.dispatched += 1;
+                        s.served_units += units;
+                        inner.depth -= 1;
+                        inner.dispatched += 1;
+                        return Some((pick, item));
+                    }
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending requests still drain through
+    /// [`next`](Self::next); new submissions are refused; blocked workers
+    /// wake up.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// A snapshot of the counters and the per-client ledger.
+    pub fn stats(&self) -> AdmissionStats {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut clients: Vec<ClientStats> = inner
+            .clients
+            .iter()
+            .map(|(name, s)| ClientStats {
+                client: name.clone(),
+                weight: s.weight,
+                submitted: s.submitted,
+                rejected: s.rejected,
+                dispatched: s.dispatched,
+                served_units: s.served_units,
+            })
+            .collect();
+        clients.sort_by(|a, b| a.client.cmp(&b.client));
+        AdmissionStats {
+            depth: inner.depth as u64,
+            high_water: inner.high_water as u64,
+            capacity: self.capacity as u64,
+            submitted: inner.submitted,
+            rejected: inner.rejected,
+            dispatched: inner.dispatched,
+            clients,
+        }
+    }
+}
+
+/// The weighted fair pick: among clients with pending work, minimize
+/// `served_units / weight` (exact integer cross-multiplication), breaking
+/// ties by lexicographic client name. Deterministic given the ledger.
+fn fair_pick<T>(clients: &HashMap<String, ClientState<T>>) -> Option<String> {
+    let mut best: Option<(&String, &ClientState<T>)> = None;
+    for (name, s) in clients {
+        if s.pending.is_empty() {
+            continue;
+        }
+        best = Some(match best {
+            None => (name, s),
+            Some((bn, bs)) => {
+                // s.served/s.weight < bs.served/bs.weight, exactly.
+                let lhs = s.served_units as u128 * bs.weight as u128;
+                let rhs = bs.served_units as u128 * s.weight as u128;
+                if lhs < rhs || (lhs == rhs && name < bn) {
+                    (name, s)
+                } else {
+                    (bn, bs)
+                }
+            }
+        });
+    }
+    best.map(|(name, _)| name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_typed_when_full_and_never_hangs() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(2);
+        q.submit("a", 1, 1, 1).unwrap();
+        q.submit("a", 1, 1, 2).unwrap();
+        let err = q.submit("a", 1, 1, 3).unwrap_err();
+        assert_eq!(err, Overloaded { depth: 2, limit: 2 });
+        let s = q.stats();
+        assert_eq!((s.submitted, s.rejected, s.depth), (2, 1, 2));
+        assert_eq!(s.high_water, 2);
+    }
+
+    #[test]
+    fn fair_pick_follows_served_over_weight() {
+        let q: AdmissionQueue<&'static str> = AdmissionQueue::new(16);
+        // heavy has weight 2, light weight 1; heavy floods first.
+        for i in 0..4 {
+            q.submit("heavy", 2, 10, ["h0", "h1", "h2", "h3"][i])
+                .unwrap();
+        }
+        q.submit("light", 1, 10, "l0").unwrap();
+        // First pick: both ledgers at 0, tie broken by name → heavy.
+        assert_eq!(q.next(), Some(("heavy".into(), "h0")));
+        // heavy now at 10/2 = 5, light at 0/1 = 0 → light.
+        assert_eq!(q.next(), Some(("light".into(), "l0")));
+        // light at 10/1, heavy at 10/2 → heavy drains.
+        assert_eq!(q.next(), Some(("heavy".into(), "h1")));
+        assert_eq!(q.next(), Some(("heavy".into(), "h2")));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(4));
+        q.submit("a", 1, 1, 7).unwrap();
+        q.close();
+        assert!(q.submit("a", 1, 1, 8).is_err(), "closed queue refuses");
+        assert_eq!(q.next(), Some(("a".into(), 7)));
+        assert_eq!(q.next(), None);
+        // A blocked worker on an empty closed queue also gets None.
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.next());
+        assert_eq!(h.join().ok().flatten(), None);
+    }
+
+    #[test]
+    fn fifo_within_a_client() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(8);
+        for i in 0..5 {
+            q.submit("only", 1, 1, i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.next(), Some(("only".into(), i)));
+        }
+    }
+}

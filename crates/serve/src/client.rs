@@ -1,0 +1,233 @@
+//! The service client: one connection, synchronous request/response.
+//!
+//! [`ServeClient`] speaks the [`crate::proto`] line protocol over a Unix
+//! socket. It is deliberately blocking and single-request — the service
+//! multiplexes across *connections*, not within one — which keeps the
+//! client trivially correct: every response on this connection belongs
+//! to the one request in flight.
+//!
+//! [`ServeClient::search`] surfaces the server's streaming: the
+//! callback sees each query's final top-k as it arrives (ascending
+//! query order — a prefix of the final answer at every instant), and
+//! the returned [`SearchSummary`] has everything collected.
+
+use crate::proto::{from_hex_line, to_hex_line, Request, Response, ServiceStats};
+use crate::ServeError;
+use genomedsm_batch::Hit;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One query's answer, as streamed by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryHits {
+    /// Query index within the request.
+    pub query: usize,
+    /// Whether the server answered from its result cache.
+    pub cached: bool,
+    /// Database epoch the answer was computed against.
+    pub epoch: u64,
+    /// The top-k hits, best first.
+    pub hits: Vec<Hit>,
+}
+
+/// Everything one search returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSummary {
+    /// Per query, input order.
+    pub answers: Vec<QueryHits>,
+}
+
+impl SearchSummary {
+    /// Just the hit lists, input order (the [`genomedsm_batch`] shape).
+    pub fn hit_lists(&self) -> Vec<Vec<Hit>> {
+        self.answers.iter().map(|a| a.hits.clone()).collect()
+    }
+}
+
+/// A blocking client connection to a running server.
+pub struct ServeClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to the server socket.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the socket is absent or refuses.
+    pub fn connect(socket: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let socket = socket.as_ref();
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| ServeError::io(format!("connect {socket:?}"), e))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| ServeError::io("clone stream", e))?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ServeError> {
+        let line = to_hex_line(&req.encode());
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| ServeError::io("send request", e))
+    }
+
+    fn recv(&mut self) -> Result<Response, ServeError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| ServeError::io("read response", e))?;
+            if n == 0 {
+                return Err(ServeError::Disconnected);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let frame = from_hex_line(&line)?;
+            return Ok(Response::decode(&frame)?);
+        }
+    }
+
+    /// Introduces this client to the fairness ledger; returns
+    /// `(epoch, records)` of the resident database.
+    ///
+    /// # Errors
+    /// [`ServeError`] on transport failure or an unexpected response.
+    pub fn hello(&mut self, client: &str, weight: u32) -> Result<(u64, u64), ServeError> {
+        self.send(&Request::Hello {
+            client: client.to_string(),
+            weight,
+        })?;
+        match self.recv()? {
+            Response::Welcome { epoch, records } => Ok((epoch, records)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs one search, invoking `on_hits` for every streamed answer
+    /// (ascending query order) and returning the collected summary.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when admission control refuses —
+    /// typed, so callers can back off and retry; other [`ServeError`]s
+    /// on transport or protocol failure.
+    pub fn search(
+        &mut self,
+        queries: &[Vec<u8>],
+        top_k: usize,
+        mut on_hits: impl FnMut(&QueryHits),
+    ) -> Result<SearchSummary, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Search {
+            id,
+            top_k: top_k as u32,
+            queries: queries.to_vec(),
+        })?;
+        let mut answers: Vec<QueryHits> = Vec::with_capacity(queries.len());
+        loop {
+            match self.recv()? {
+                Response::Hits {
+                    id: rid,
+                    query,
+                    cached,
+                    epoch,
+                    hits,
+                } if rid == id => {
+                    let qh = QueryHits {
+                        query: query as usize,
+                        cached,
+                        epoch,
+                        hits,
+                    };
+                    on_hits(&qh);
+                    answers.push(qh);
+                }
+                Response::Done {
+                    id: rid,
+                    queries: n,
+                } if rid == id => {
+                    if answers.len() != n as usize {
+                        return Err(ServeError::Server(format!(
+                            "server announced {n} answers, streamed {}",
+                            answers.len()
+                        )));
+                    }
+                    return Ok(SearchSummary { answers });
+                }
+                Response::Overloaded {
+                    id: rid,
+                    depth,
+                    limit,
+                } if rid == id => {
+                    return Err(ServeError::Overloaded {
+                        depth: depth as usize,
+                        limit: limit as usize,
+                    });
+                }
+                Response::Error { message, .. } => return Err(ServeError::Server(message)),
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Hot-reloads the server database from `path` (a path visible to
+    /// the **server**). Returns `(new_epoch, records, purged_entries)`.
+    ///
+    /// # Errors
+    /// [`ServeError::Server`] when the server could not load the file
+    /// (its database is left untouched); transport errors otherwise.
+    pub fn reload(&mut self, path: &str) -> Result<(u64, u64, u64), ServeError> {
+        self.send(&Request::Reload {
+            path: path.to_string(),
+        })?;
+        match self.recv()? {
+            Response::Reloaded {
+                epoch,
+                records,
+                purged,
+            } => Ok((epoch, records, purged)),
+            Response::Error { message, .. } => Err(ServeError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the service statistics snapshot.
+    ///
+    /// # Errors
+    /// [`ServeError`] on transport failure or an unexpected response.
+    pub fn stats(&mut self) -> Result<ServiceStats, ServeError> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::StatsReply(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down; returns once the server has
+    /// acknowledged.
+    ///
+    /// # Errors
+    /// [`ServeError`] on transport failure or an unexpected response.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::Done { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServeError {
+    ServeError::Server(format!("unexpected response {resp:?}"))
+}

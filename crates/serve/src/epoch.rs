@@ -1,0 +1,136 @@
+//! The hot-reloadable database: epoch-stamped `Arc` snapshots.
+//!
+//! A reload must be **atomic** for readers (a request sees entirely the
+//! old database or entirely the new one, never a mix) and **non-fatal**
+//! for in-flight work (requests already dispatched finish against the
+//! arena they started with). Both fall out of one representation: the
+//! resident database is an `Arc<DbSnapshot>` behind a mutex, swapped
+//! wholesale on reload. A worker clones the `Arc` once at dispatch and
+//! keeps the old arena alive for exactly as long as it needs it; the
+//! epoch is bumped with the swap, so the result cache's epoch-stamped
+//! keys cleanly separate answers computed before and after.
+//!
+//! A **failed** reload (missing file, parse error) leaves the current
+//! snapshot untouched — the service keeps answering on the old epoch.
+
+use crate::ServeError;
+use genomedsm_batch::SeqDatabase;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One immutable generation of the resident database.
+#[derive(Debug)]
+pub struct DbSnapshot {
+    /// Monotonically increasing generation number (starts at 1).
+    pub epoch: u64,
+    /// The length-sorted record arena.
+    pub db: SeqDatabase,
+    /// Where this generation was loaded from.
+    pub source: PathBuf,
+}
+
+/// The swappable handle the server shares with its workers.
+pub struct EpochDb {
+    current: Mutex<Arc<DbSnapshot>>,
+}
+
+impl EpochDb {
+    /// Wraps an already-loaded database as epoch 1.
+    pub fn new(db: SeqDatabase, source: impl Into<PathBuf>) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(DbSnapshot {
+                epoch: 1,
+                db,
+                source: source.into(),
+            })),
+        }
+    }
+
+    /// Loads `path` and wraps it as epoch 1.
+    ///
+    /// # Errors
+    /// [`ServeError::Batch`] if the file is unreadable, malformed, or
+    /// empty.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let path = path.as_ref();
+        let db = SeqDatabase::load_fasta_file(path)?;
+        Ok(Self::new(db, path))
+    }
+
+    /// The current snapshot. Cheap (one `Arc` clone); hold the returned
+    /// `Arc` for the duration of a request and the arena cannot change
+    /// underneath it.
+    pub fn current(&self) -> Arc<DbSnapshot> {
+        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Atomically replaces the database with the contents of `path`,
+    /// bumping the epoch. Returns the new snapshot.
+    ///
+    /// # Errors
+    /// [`ServeError::Batch`] on load failure — the current snapshot is
+    /// left untouched (the service keeps serving the old epoch).
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<Arc<DbSnapshot>, ServeError> {
+        let path = path.as_ref();
+        // Load outside the lock: readers keep snapshotting the old arena
+        // while the new one parses.
+        let db = SeqDatabase::load_fasta_file(path)?;
+        let mut current = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        let next = Arc::new(DbSnapshot {
+            epoch: current.epoch + 1,
+            db,
+            source: path.to_path_buf(),
+        });
+        *current = Arc::clone(&next);
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomedsm_seq::fasta::{write_fasta_file, FastaRecord};
+    use genomedsm_seq::random_dna;
+
+    fn write_db(name: &str, n: usize, seed: u64) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("genomedsm-epoch-{}-{name}.fa", std::process::id()));
+        let records: Vec<FastaRecord> = (0..n)
+            .map(|i| FastaRecord {
+                id: format!("r{i}"),
+                seq: random_dna(30 + i, seed + i as u64),
+            })
+            .collect();
+        write_fasta_file(&path, &records).unwrap();
+        path
+    }
+
+    #[test]
+    fn reload_bumps_epoch_and_keeps_old_snapshot_alive() {
+        let p1 = write_db("a", 3, 1);
+        let p2 = write_db("b", 5, 2);
+        let handle = EpochDb::load(&p1).unwrap();
+        let old = handle.current();
+        assert_eq!(old.epoch, 1);
+        assert_eq!(old.db.len(), 3);
+
+        let new = handle.reload(&p2).unwrap();
+        assert_eq!(new.epoch, 2);
+        assert_eq!(new.db.len(), 5);
+        assert_eq!(handle.current().epoch, 2);
+        // The held Arc still reads the old arena.
+        assert_eq!(old.db.len(), 3);
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn failed_reload_leaves_current_untouched() {
+        let p1 = write_db("c", 2, 3);
+        let handle = EpochDb::load(&p1).unwrap();
+        assert!(handle.reload("/nonexistent/nope.fa").is_err());
+        assert_eq!(handle.current().epoch, 1);
+        assert_eq!(handle.current().db.len(), 2);
+        std::fs::remove_file(&p1).ok();
+    }
+}

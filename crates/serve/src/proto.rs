@@ -1,0 +1,645 @@
+//! The service wire protocol: dsm-framed messages, one hex line each.
+//!
+//! Every message is a checksummed binary frame built with the `dsm`
+//! codec's [`FrameWriter`] and decoded — without ever panicking — by
+//! [`FrameReader`]. Frames are hex-armored onto a single line
+//! ([`to_hex_line`] / [`from_hex_line`]), so the transport is plain
+//! line-delimited text while every payload byte stays under the wrapping
+//! byte-sum checksum; a corrupted or truncated line surfaces as a typed
+//! error, never a wrong answer.
+//!
+//! The exchange is client-driven:
+//!
+//! ```text
+//! client                         server
+//!   Hello {name, weight}    →
+//!                           ←    Welcome {epoch, records}
+//!   Search {id, queries,…}  →
+//!                           ←    Hits {id, query 0, …}   (streamed,
+//!                           ←    Hits {id, query 1, …}    ascending)
+//!                           ←    Done {id, queries}
+//!   Search {id', …}         →
+//!                           ←    Overloaded {id', depth, limit}
+//!   Reload {path}           →
+//!                           ←    Reloaded {epoch, records, purged}
+//!   Stats                   →
+//!                           ←    StatsReply {…}
+//! ```
+//!
+//! `Hits` messages for one request arrive in ascending query order and
+//! each carries that query's *final* top-k (the engine's streaming
+//! emission) — the received stream is always a prefix of the complete
+//! answer.
+
+use genomedsm_batch::Hit;
+use genomedsm_dsm::{DsmError, FrameReader, FrameWriter};
+
+const REQ_HELLO: u8 = 0x40;
+const REQ_SEARCH: u8 = 0x41;
+const REQ_RELOAD: u8 = 0x42;
+const REQ_STATS: u8 = 0x43;
+const REQ_SHUTDOWN: u8 = 0x44;
+
+const RSP_WELCOME: u8 = 0x50;
+const RSP_HITS: u8 = 0x51;
+const RSP_DONE: u8 = 0x52;
+const RSP_OVERLOADED: u8 = 0x53;
+const RSP_RELOADED: u8 = 0x54;
+const RSP_STATS: u8 = 0x55;
+const RSP_ERROR: u8 = 0x56;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Introduces the client: a display name for the fairness ledger and
+    /// a scheduling weight (≥ 1; a weight-2 client is entitled to twice
+    /// the served units of a weight-1 client under contention).
+    Hello {
+        /// Client name (fairness ledger key).
+        client: String,
+        /// Scheduling weight, clamped to ≥ 1 by the server.
+        weight: u32,
+    },
+    /// A search: score every query against the resident database.
+    Search {
+        /// Client-chosen request id, echoed on every response.
+        id: u64,
+        /// Hits to keep per query.
+        top_k: u32,
+        /// Query sequences.
+        queries: Vec<Vec<u8>>,
+    },
+    /// Hot-reload the database from a FASTA path visible to the server.
+    Reload {
+        /// The FASTA file to load.
+        path: String,
+    },
+    /// Ask for service statistics.
+    Stats,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session opener: the resident database's identity.
+    Welcome {
+        /// Current database epoch.
+        epoch: u64,
+        /// Records in the database.
+        records: u64,
+    },
+    /// One query's final top-k (streamed in ascending query order).
+    Hits {
+        /// The request this answers.
+        id: u64,
+        /// Query index within the request.
+        query: u32,
+        /// Whether this answer came from the result cache.
+        cached: bool,
+        /// Database epoch the answer was computed against.
+        epoch: u64,
+        /// The top-k hits, best first.
+        hits: Vec<Hit>,
+    },
+    /// The request is complete; all `queries` answers were sent.
+    Done {
+        /// The request this finishes.
+        id: u64,
+        /// Number of queries answered.
+        queries: u32,
+    },
+    /// Admission control refused the request: the queue is full.
+    Overloaded {
+        /// The refused request.
+        id: u64,
+        /// Queue depth at rejection.
+        depth: u64,
+        /// Queue capacity.
+        limit: u64,
+    },
+    /// A reload completed.
+    Reloaded {
+        /// The new epoch.
+        epoch: u64,
+        /// Records in the new database.
+        records: u64,
+        /// Cache entries purged (exactly the superseded epochs).
+        purged: u64,
+    },
+    /// Service statistics snapshot.
+    StatsReply(ServiceStats),
+    /// A request-level failure (bad reload path, malformed search…).
+    Error {
+        /// The request this concerns (0 when unattributable).
+        id: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// A statistics snapshot, as carried by [`Response::StatsReply`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Current database epoch.
+    pub epoch: u64,
+    /// Records in the resident database.
+    pub records: u64,
+    /// Requests currently queued.
+    pub depth: u64,
+    /// Highest queue depth observed.
+    pub high_water: u64,
+    /// Queue capacity (admission limit).
+    pub capacity: u64,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests refused with `Overloaded`.
+    pub rejected: u64,
+    /// Requests dispatched to workers.
+    pub dispatched: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Cache insertions.
+    pub cache_inserts: u64,
+    /// Cache entries evicted by capacity.
+    pub cache_evicted: u64,
+    /// Cache entries purged by epoch reloads.
+    pub cache_stale_purged: u64,
+    /// Malformed or undecodable request lines the server has seen.
+    pub protocol_errors: u64,
+    /// Per-client fairness ledger.
+    pub clients: Vec<ClientLedger>,
+}
+
+/// One client's row in the fairness ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientLedger {
+    /// Client name (from `Hello`).
+    pub client: String,
+    /// Scheduling weight.
+    pub weight: u64,
+    /// Requests this client submitted.
+    pub submitted: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Requests dispatched to a worker.
+    pub dispatched: u64,
+    /// Work units (queries) served for this client.
+    pub served_units: u64,
+}
+
+impl Request {
+    /// Encodes the request into one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello { client, weight } => {
+                let mut w = FrameWriter::new(REQ_HELLO);
+                w.str(client);
+                w.u32(*weight);
+                w.finish()
+            }
+            Request::Search { id, top_k, queries } => {
+                let mut w = FrameWriter::new(REQ_SEARCH);
+                w.u64(*id);
+                w.u32(*top_k);
+                w.u64(queries.len() as u64);
+                for q in queries {
+                    w.bytes(q);
+                }
+                w.finish()
+            }
+            Request::Reload { path } => {
+                let mut w = FrameWriter::new(REQ_RELOAD);
+                w.str(path);
+                w.finish()
+            }
+            Request::Stats => FrameWriter::new(REQ_STATS).finish(),
+            Request::Shutdown => FrameWriter::new(REQ_SHUTDOWN).finish(),
+        }
+    }
+
+    /// Decodes one frame into a request.
+    ///
+    /// # Errors
+    /// Typed [`DsmError`] on any malformation; never panics.
+    pub fn decode(frame: &[u8]) -> Result<Self, DsmError> {
+        let mut r = FrameReader::checked(frame)?;
+        let tag = r.u8()?;
+        match tag {
+            REQ_HELLO => {
+                let client = r.str()?;
+                let weight = r.u32()?;
+                r.done(Request::Hello { client, weight })
+            }
+            REQ_SEARCH => {
+                let id = r.u64()?;
+                let top_k = r.u32()?;
+                let n = r.len(8)?;
+                let queries = (0..n).map(|_| r.bytes()).collect::<Result<_, _>>()?;
+                r.done(Request::Search { id, top_k, queries })
+            }
+            REQ_RELOAD => {
+                let path = r.str()?;
+                r.done(Request::Reload { path })
+            }
+            REQ_STATS => r.done(Request::Stats),
+            REQ_SHUTDOWN => r.done(Request::Shutdown),
+            other => Err(DsmError::BadTag(other)),
+        }
+    }
+}
+
+fn write_hits(w: &mut FrameWriter, hits: &[Hit]) {
+    w.u64(hits.len() as u64);
+    for h in hits {
+        w.u32(h.score as u32);
+        w.usize(h.target);
+        w.usize(h.end.0);
+        w.usize(h.end.1);
+    }
+}
+
+fn read_hits(r: &mut FrameReader<'_>) -> Result<Vec<Hit>, DsmError> {
+    let n = r.len(28)?;
+    (0..n)
+        .map(|_| {
+            Ok(Hit {
+                score: r.u32()? as i32,
+                target: r.usize()?,
+                end: (r.usize()?, r.usize()?),
+            })
+        })
+        .collect()
+}
+
+impl Response {
+    /// Encodes the response into one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Welcome { epoch, records } => {
+                let mut w = FrameWriter::new(RSP_WELCOME);
+                w.u64(*epoch);
+                w.u64(*records);
+                w.finish()
+            }
+            Response::Hits {
+                id,
+                query,
+                cached,
+                epoch,
+                hits,
+            } => {
+                let mut w = FrameWriter::new(RSP_HITS);
+                w.u64(*id);
+                w.u32(*query);
+                w.u32(u32::from(*cached));
+                w.u64(*epoch);
+                write_hits(&mut w, hits);
+                w.finish()
+            }
+            Response::Done { id, queries } => {
+                let mut w = FrameWriter::new(RSP_DONE);
+                w.u64(*id);
+                w.u32(*queries);
+                w.finish()
+            }
+            Response::Overloaded { id, depth, limit } => {
+                let mut w = FrameWriter::new(RSP_OVERLOADED);
+                w.u64(*id);
+                w.u64(*depth);
+                w.u64(*limit);
+                w.finish()
+            }
+            Response::Reloaded {
+                epoch,
+                records,
+                purged,
+            } => {
+                let mut w = FrameWriter::new(RSP_RELOADED);
+                w.u64(*epoch);
+                w.u64(*records);
+                w.u64(*purged);
+                w.finish()
+            }
+            Response::StatsReply(s) => {
+                let mut w = FrameWriter::new(RSP_STATS);
+                for v in [
+                    s.epoch,
+                    s.records,
+                    s.depth,
+                    s.high_water,
+                    s.capacity,
+                    s.submitted,
+                    s.rejected,
+                    s.dispatched,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_inserts,
+                    s.cache_evicted,
+                    s.cache_stale_purged,
+                    s.protocol_errors,
+                ] {
+                    w.u64(v);
+                }
+                w.u64(s.clients.len() as u64);
+                for c in &s.clients {
+                    w.str(&c.client);
+                    w.u64(c.weight);
+                    w.u64(c.submitted);
+                    w.u64(c.rejected);
+                    w.u64(c.dispatched);
+                    w.u64(c.served_units);
+                }
+                w.finish()
+            }
+            Response::Error { id, message } => {
+                let mut w = FrameWriter::new(RSP_ERROR);
+                w.u64(*id);
+                w.str(message);
+                w.finish()
+            }
+        }
+    }
+
+    /// Decodes one frame into a response.
+    ///
+    /// # Errors
+    /// Typed [`DsmError`] on any malformation; never panics.
+    pub fn decode(frame: &[u8]) -> Result<Self, DsmError> {
+        let mut r = FrameReader::checked(frame)?;
+        let tag = r.u8()?;
+        match tag {
+            RSP_WELCOME => {
+                let epoch = r.u64()?;
+                let records = r.u64()?;
+                r.done(Response::Welcome { epoch, records })
+            }
+            RSP_HITS => {
+                let id = r.u64()?;
+                let query = r.u32()?;
+                let cached = r.u32()? != 0;
+                let epoch = r.u64()?;
+                let hits = read_hits(&mut r)?;
+                r.done(Response::Hits {
+                    id,
+                    query,
+                    cached,
+                    epoch,
+                    hits,
+                })
+            }
+            RSP_DONE => {
+                let id = r.u64()?;
+                let queries = r.u32()?;
+                r.done(Response::Done { id, queries })
+            }
+            RSP_OVERLOADED => {
+                let id = r.u64()?;
+                let depth = r.u64()?;
+                let limit = r.u64()?;
+                r.done(Response::Overloaded { id, depth, limit })
+            }
+            RSP_RELOADED => {
+                let epoch = r.u64()?;
+                let records = r.u64()?;
+                let purged = r.u64()?;
+                r.done(Response::Reloaded {
+                    epoch,
+                    records,
+                    purged,
+                })
+            }
+            RSP_STATS => {
+                let mut vals = [0u64; 14];
+                for v in &mut vals {
+                    *v = r.u64()?;
+                }
+                let n = r.len(48)?;
+                let clients = (0..n)
+                    .map(|_| {
+                        Ok(ClientLedger {
+                            client: r.str()?,
+                            weight: r.u64()?,
+                            submitted: r.u64()?,
+                            rejected: r.u64()?,
+                            dispatched: r.u64()?,
+                            served_units: r.u64()?,
+                        })
+                    })
+                    .collect::<Result<_, DsmError>>()?;
+                r.done(Response::StatsReply(ServiceStats {
+                    epoch: vals[0],
+                    records: vals[1],
+                    depth: vals[2],
+                    high_water: vals[3],
+                    capacity: vals[4],
+                    submitted: vals[5],
+                    rejected: vals[6],
+                    dispatched: vals[7],
+                    cache_hits: vals[8],
+                    cache_misses: vals[9],
+                    cache_inserts: vals[10],
+                    cache_evicted: vals[11],
+                    cache_stale_purged: vals[12],
+                    protocol_errors: vals[13],
+                    clients,
+                }))
+            }
+            RSP_ERROR => {
+                let id = r.u64()?;
+                let message = r.str()?;
+                r.done(Response::Error { id, message })
+            }
+            other => Err(DsmError::BadTag(other)),
+        }
+    }
+}
+
+/// Hex-armors a frame onto one line (lowercase, no newline).
+pub fn to_hex_line(frame: &[u8]) -> String {
+    let mut s = String::with_capacity(frame.len() * 2);
+    for &b in frame {
+        let hi = b >> 4;
+        let lo = b & 0xf;
+        s.push(char::from_digit(hi as u32, 16).unwrap_or('0'));
+        s.push(char::from_digit(lo as u32, 16).unwrap_or('0'));
+    }
+    s
+}
+
+/// Decodes one hex-armored line back into frame bytes.
+///
+/// # Errors
+/// [`crate::ServeError::BadLine`] on odd length or a non-hex character —
+/// the transport-level counterpart of a checksum failure.
+pub fn from_hex_line(line: &str) -> Result<Vec<u8>, crate::ServeError> {
+    let line = line.trim();
+    if !line.len().is_multiple_of(2) {
+        return Err(crate::ServeError::BadLine {
+            what: format!("odd hex length {}", line.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(line.len() / 2);
+    let bytes = line.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0]).ok_or_else(|| crate::ServeError::BadLine {
+            what: format!("non-hex byte {:#04x}", pair[0]),
+        })?;
+        let lo = hex_val(pair[1]).ok_or_else(|| crate::ServeError::BadLine {
+            what: format!("non-hex byte {:#04x}", pair[1]),
+        })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let frame = req.encode();
+        assert_eq!(Request::decode(&frame).unwrap(), req);
+        let line = to_hex_line(&frame);
+        assert!(!line.contains('\n'));
+        assert_eq!(from_hex_line(&line).unwrap(), frame);
+    }
+
+    fn roundtrip_rsp(rsp: Response) {
+        let frame = rsp.encode();
+        assert_eq!(Response::decode(&frame).unwrap(), rsp);
+        assert_eq!(from_hex_line(&to_hex_line(&frame)).unwrap(), frame);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            client: "alice".into(),
+            weight: 3,
+        });
+        roundtrip_req(Request::Search {
+            id: 42,
+            top_k: 5,
+            queries: vec![b"ACGT".to_vec(), b"".to_vec(), b"GATTACA".to_vec()],
+        });
+        roundtrip_req(Request::Reload {
+            path: "/tmp/db.fa".into(),
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_rsp(Response::Welcome {
+            epoch: 1,
+            records: 9,
+        });
+        roundtrip_rsp(Response::Hits {
+            id: 7,
+            query: 2,
+            cached: true,
+            epoch: 3,
+            hits: vec![
+                Hit {
+                    score: 11,
+                    target: 4,
+                    end: (5, 6),
+                },
+                Hit {
+                    score: 3,
+                    target: 0,
+                    end: (0, 1),
+                },
+            ],
+        });
+        roundtrip_rsp(Response::Done { id: 7, queries: 3 });
+        roundtrip_rsp(Response::Overloaded {
+            id: 9,
+            depth: 16,
+            limit: 16,
+        });
+        roundtrip_rsp(Response::Reloaded {
+            epoch: 2,
+            records: 12,
+            purged: 5,
+        });
+        roundtrip_rsp(Response::StatsReply(ServiceStats {
+            epoch: 2,
+            records: 10,
+            depth: 1,
+            high_water: 4,
+            capacity: 16,
+            submitted: 20,
+            rejected: 2,
+            dispatched: 19,
+            cache_hits: 7,
+            cache_misses: 12,
+            cache_inserts: 12,
+            cache_evicted: 1,
+            cache_stale_purged: 3,
+            protocol_errors: 0,
+            clients: vec![ClientLedger {
+                client: "bob".into(),
+                weight: 2,
+                submitted: 10,
+                rejected: 1,
+                dispatched: 9,
+                served_units: 40,
+            }],
+        }));
+        roundtrip_rsp(Response::Error {
+            id: 0,
+            message: "no such file".into(),
+        });
+    }
+
+    #[test]
+    fn corrupted_line_is_a_typed_error_never_a_panic() {
+        let frame = Request::Stats.encode();
+        let mut line = to_hex_line(&frame);
+        // Flip one hex digit: the checksum catches it.
+        let flipped = if line.ends_with('0') { '1' } else { '0' };
+        line.pop();
+        line.push(flipped);
+        let bytes = from_hex_line(&line).unwrap();
+        assert!(Request::decode(&bytes).is_err());
+        // Structural junk.
+        assert!(from_hex_line("zz").is_err());
+        assert!(from_hex_line("abc").is_err());
+        assert!(Request::decode(&[]).is_err());
+        assert!(Response::decode(&[1, 2, 3]).is_err());
+        // Wrong-family tag.
+        let rsp_frame = Response::Done { id: 1, queries: 1 }.encode();
+        assert!(Request::decode(&rsp_frame).is_err());
+    }
+
+    #[test]
+    fn negative_scores_survive_the_u32_cast() {
+        // Hits always have score > 0 in practice, but the codec must not
+        // corrupt values regardless.
+        roundtrip_rsp(Response::Hits {
+            id: 1,
+            query: 0,
+            cached: false,
+            epoch: 1,
+            hits: vec![Hit {
+                score: -5,
+                target: 1,
+                end: (2, 3),
+            }],
+        });
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for cache correctness (ISSUE 6 satellite): a cache hit
+//! equals a fresh recompute byte for byte across kernel choices, and a
+//! hot-reload invalidates exactly the superseded epoch — stale-epoch
+//! requests re-run, never serve stale hits.
+
+use genomedsm_batch::{BatchConfig, BatchEngine, SchedulerConfig, SeqDatabase};
+use genomedsm_kernels::KernelChoice;
+use genomedsm_seq::fasta::{write_fasta_file, FastaRecord};
+use genomedsm_seq::random_dna;
+use genomedsm_serve::{EpochDb, QueryKey, ResultCache};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn make_db(n: usize, len: usize, seed: u64) -> SeqDatabase {
+    SeqDatabase::from_records(
+        (0..n)
+            .map(|i| FastaRecord {
+                id: format!("r{i}"),
+                seq: random_dna(len / 2 + (i * 17) % len.max(1), seed + i as u64),
+            })
+            .collect(),
+    )
+}
+
+fn make_queries(n: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| random_dna((i * 11) % (len + 1), seed ^ (i as u64) << 5).into_bytes())
+        .collect()
+}
+
+fn engine(kernel: KernelChoice, top_k: usize, workers: usize) -> BatchEngine {
+    BatchEngine::new(BatchConfig {
+        kernel,
+        top_k,
+        scheduler: SchedulerConfig { workers, window: 2 },
+        ..BatchConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fill the cache with one kernel's answers, then verify the hits are
+    /// byte-identical to a fresh recompute under EVERY kernel choice and
+    /// a different worker count — the determinism that makes caching
+    /// sound at all.
+    #[test]
+    fn cache_hit_equals_recompute_across_kernels(
+        seed in 0u64..500,
+        nq in 1usize..6,
+        nr in 1usize..10,
+        top_k in 1usize..6,
+    ) {
+        let db = make_db(nr, 50, seed);
+        let qs = make_queries(nq, 40, seed.wrapping_mul(31));
+        let refs: Vec<&[u8]> = qs.iter().map(Vec::as_slice).collect();
+        let cache = ResultCache::new(64);
+        let epoch = 1u64;
+
+        // Populate from the Auto kernel with 2 workers.
+        let filled = engine(KernelChoice::Auto, top_k, 2).search(&db, &refs);
+        for (q, hits) in filled.hits.iter().enumerate() {
+            cache.insert(QueryKey::of(&qs[q]), top_k, epoch, Arc::new(hits.clone()));
+        }
+
+        // Every kernel choice, different parallelism: recompute must
+        // equal the cached answer byte for byte.
+        for kernel in [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto] {
+            let fresh = engine(kernel, top_k, 1).search(&db, &refs);
+            for (q, hits) in fresh.hits.iter().enumerate() {
+                let cached = cache
+                    .get(QueryKey::of(&qs[q]), top_k, epoch)
+                    .expect("warm cache");
+                prop_assert_eq!(
+                    &*cached, hits,
+                    "kernel {} query {} cache/recompute divergence", kernel, q
+                );
+            }
+        }
+    }
+
+    /// Hot-reload invalidates exactly the old epoch: lookups under the
+    /// new epoch miss (forcing a re-run on the new database), purged
+    /// entries are exactly the stale ones, and the re-run result differs
+    /// from the stale answer whenever the databases differ.
+    #[test]
+    fn reload_invalidates_exactly_the_old_epoch(
+        seed in 0u64..500,
+        nq in 1usize..5,
+    ) {
+        let dir = std::env::temp_dir();
+        let p1 = dir.join(format!("gdsm-props-{}-{seed}-1.fa", std::process::id()));
+        let p2 = dir.join(format!("gdsm-props-{}-{seed}-2.fa", std::process::id()));
+        let db1 = make_db(6, 40, seed);
+        let db2 = make_db(9, 40, seed.wrapping_add(1000));
+        write_fasta_file(&p1, &fasta_of(&db1)).expect("write db1");
+        write_fasta_file(&p2, &fasta_of(&db2)).expect("write db2");
+
+        let qs = make_queries(nq, 30, seed.wrapping_mul(7).wrapping_add(1));
+        let top_k = 3;
+        let cache = ResultCache::new(64);
+        let handle = EpochDb::load(&p1).expect("load epoch 1");
+
+        // Epoch 1: compute and cache every answer.
+        let snap1 = handle.current();
+        let eng = engine(KernelChoice::Auto, top_k, 2);
+        let refs: Vec<&[u8]> = qs.iter().map(Vec::as_slice).collect();
+        let at1 = eng.search(&snap1.db, &refs).hits;
+        for (q, hits) in at1.iter().enumerate() {
+            cache.insert(QueryKey::of(&qs[q]), top_k, snap1.epoch, Arc::new(hits.clone()));
+        }
+
+        // Reload: epoch bumps, purge removes exactly the old entries.
+        let snap2 = handle.reload(&p2).expect("reload");
+        prop_assert_eq!(snap2.epoch, snap1.epoch + 1);
+        let purged = cache.purge_epoch(snap2.epoch);
+        prop_assert_eq!(purged, qs.len() as u64, "exactly the stale entries");
+
+        // Stale-epoch lookups now miss: the service must re-run, and the
+        // re-run answers the NEW database.
+        let at2 = eng.search(&snap2.db, &refs).hits;
+        for (q, want) in at2.iter().enumerate() {
+            let key = QueryKey::of(&qs[q]);
+            prop_assert!(cache.get(key, top_k, snap2.epoch).is_none(), "no stale hit");
+            cache.insert(key, top_k, snap2.epoch, Arc::new(want.clone()));
+            let roundtrip = cache.get(key, top_k, snap2.epoch).expect("fresh insert");
+            prop_assert_eq!(&*roundtrip, want);
+        }
+
+        // The old snapshot still answers exactly as before (in-flight
+        // requests holding it are unaffected by the reload).
+        let again1 = eng.search(&snap1.db, &refs).hits;
+        prop_assert_eq!(again1, at1);
+
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+}
+
+/// Rebuilds FASTA records from a database (ids regenerated; the arena
+/// orders by length, which `from_records` re-applies stably).
+fn fasta_of(db: &SeqDatabase) -> Vec<FastaRecord> {
+    (0..db.len())
+        .map(|i| FastaRecord {
+            id: format!("r{i}"),
+            seq: genomedsm_seq::DnaSeq::from_bases(db.seq(i).to_vec()),
+        })
+        .collect()
+}

@@ -16,7 +16,11 @@
 //!   rejected permit-counting design that must deadlock;
 //! * [`models::inversion`] — the page-lock / lease-table lock-order
 //!   discipline, with an AB-BA knob for the seeded regression that the
-//!   runtime lock-order graph in `genomedsm-dsm` also catches.
+//!   runtime lock-order graph in `genomedsm-dsm` also catches;
+//! * [`models::admission`] — the serve admission gate (bounded queue +
+//!   weighted fair dispatch): no request lost or double-dispatched,
+//!   depth never exceeds capacity, plus the rejected drop-on-reject
+//!   design that must lose a request.
 //!
 //! [`run_suite`] drives every healthy model through thousands of distinct
 //! interleavings (exhaustive where the state space allows, seeded-random
@@ -28,6 +32,7 @@
 
 pub mod models {
     //! The checkable protocol models.
+    pub mod admission;
     pub mod cv;
     pub mod inversion;
     pub mod lease;
@@ -36,7 +41,8 @@ pub mod models {
 }
 
 use models::{
-    cv::CvModel, inversion::InversionModel, lease::LeaseModel, lock::LockModel, merge::MergeModel,
+    admission::AdmissionModel, cv::CvModel, inversion::InversionModel, lease::LeaseModel,
+    lock::LockModel, merge::MergeModel,
 };
 use shuttle::{Config, Report};
 
@@ -163,6 +169,28 @@ pub fn run_suite() -> Vec<SuiteEntry> {
                 workers: 3,
                 window: 2,
                 permit_bug: false,
+            },
+            6_000,
+        ),
+        exhaustive(
+            "admission/2c2r cap1 exhaustive",
+            AdmissionModel {
+                clients: 2,
+                requests_each: 2,
+                capacity: 1,
+                workers: 1,
+                bug_drop_on_reject: false,
+            },
+            50_000,
+        ),
+        random(
+            "admission/3c2r cap2 2w random",
+            AdmissionModel {
+                clients: 3,
+                requests_each: 2,
+                capacity: 2,
+                workers: 2,
+                bug_drop_on_reject: false,
             },
             6_000,
         ),

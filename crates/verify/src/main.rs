@@ -5,7 +5,9 @@
 //! fewer than 10 000 distinct schedules, or a seeded bug is not found and
 //! deterministically replayed from its printed seed.
 
-use genomedsm_verify::models::{inversion::InversionModel, merge::MergeModel};
+use genomedsm_verify::models::{
+    admission::AdmissionModel, inversion::InversionModel, merge::MergeModel,
+};
 use genomedsm_verify::run_suite;
 use shuttle::Config;
 
@@ -43,6 +45,7 @@ fn main() {
     println!("== seeded regressions (must be found and replayed) ==");
     failed |= !check_inversion_regression();
     failed |= !check_permit_regression();
+    failed |= !check_drop_on_reject_regression();
 
     if failed {
         std::process::exit(1);
@@ -72,6 +75,56 @@ fn check_inversion_regression() -> bool {
         "inversion/page-lock-vs-lease-table: found `{}`",
         failure.reason
     );
+    println!("  seed {seed:#018x}, schedule {:?}", failure.schedule);
+    let replay = shuttle::replay_seed(&spec, seed, &Config::default());
+    match replay.failure {
+        Some(rf) if rf.reason == failure.reason && rf.schedule == failure.schedule => {
+            println!("  replay from seed: identical failure reproduced — ok");
+            true
+        }
+        Some(rf) => {
+            println!(
+                "  replay from seed: DIVERGED ({} / {:?})",
+                rf.reason, rf.schedule
+            );
+            false
+        }
+        None => {
+            println!("  replay from seed: FAIL (did not re-fail)");
+            false
+        }
+    }
+}
+
+/// The rejected drop-on-reject admission design (reject returns
+/// `Overloaded` without recording it) must lose a request: random
+/// exploration has to find the accounting hole, print its seed, and
+/// replay the identical failing schedule from that seed alone.
+fn check_drop_on_reject_regression() -> bool {
+    let spec = AdmissionModel {
+        clients: 2,
+        requests_each: 2,
+        capacity: 1,
+        workers: 1,
+        bug_drop_on_reject: true,
+    };
+    let report = shuttle::check_random(&spec, &Config::default());
+    let Some(failure) = report.failure else {
+        println!("admission/drop-on-reject: FAIL (lost request not found)");
+        return false;
+    };
+    if !failure.reason.contains("request lost") {
+        println!(
+            "admission/drop-on-reject: FAIL (wrong failure: {})",
+            failure.reason
+        );
+        return false;
+    }
+    let Some(seed) = failure.seed else {
+        println!("admission/drop-on-reject: FAIL (no seed recorded)");
+        return false;
+    };
+    println!("admission/drop-on-reject: found `{}`", failure.reason);
     println!("  seed {seed:#018x}, schedule {:?}", failure.schedule);
     let replay = shuttle::replay_seed(&spec, seed, &Config::default());
     match replay.failure {

@@ -1,0 +1,351 @@
+//! Model of the serve admission gate
+//! (`genomedsm_serve::AdmissionQueue`): a bounded request queue with
+//! per-client weighted fair dispatch.
+//!
+//! Clients submit requests one atomic step at a time (the real gate does
+//! check-and-enqueue under one mutex): if the queue has room the request
+//! is enqueued, otherwise the submitter is told `Overloaded` and the
+//! rejection is recorded in the client's ledger. Workers dispatch in two
+//! steps — an atomic **pick** (the weighted fair choice: minimise
+//! `served_units / weight` by cross-multiplication, FIFO within a
+//! client) followed by a separate **serve** step that retires the
+//! request and updates the served ledger — so the fairness accounting
+//! other workers read can lag a pick in flight, exactly as in the real
+//! server.
+//!
+//! Checked properties:
+//!
+//! * **bounded queue** — the depth never exceeds the configured
+//!   capacity, under every interleaving of submitters and workers;
+//! * **no double dispatch, no reorder** — each client's requests retire
+//!   exactly once and in submission order (the per-client FIFO cursor
+//!   flags both repeats and skips);
+//! * **nothing lost** — at quiescence every submitted request was either
+//!   dispatched or recorded as rejected: `dispatched + rejected ==
+//!   submitted` per client, and the queue is empty.
+//!
+//! The `bug_drop_on_reject` knob reproduces the rejected design where an
+//! overloaded submit returns `Overloaded` to the caller but never
+//! records the rejection: the request silently vanishes from the
+//! accounting, and the checker must catch the loss at the terminal
+//! check.
+
+use shuttle::{Ctx, Process, Spec};
+use std::collections::VecDeque;
+
+/// Per-client ledger row, mirroring `genomedsm_serve::ClientStats`.
+struct Ledger {
+    weight: u64,
+    submitted: u64,
+    rejected: u64,
+    dispatched: u64,
+    served_units: u64,
+    /// Next accepted request id expected at dispatch (FIFO cursor).
+    next_dispatch: u64,
+}
+
+/// Shared state: per-client FIFO queues, the global depth, the ledgers.
+pub struct AdmissionWorld {
+    /// Per-client queued request ids, FIFO.
+    queue: Vec<VecDeque<u64>>,
+    /// Total queued requests across clients (the admission gate's depth).
+    depth: usize,
+    capacity: usize,
+    ledger: Vec<Ledger>,
+    bug_drop_on_reject: bool,
+    violations: Vec<String>,
+}
+
+impl AdmissionWorld {
+    /// The weighted fair pick, byte-for-byte the policy in
+    /// `genomedsm_serve::admission`: among clients with queued work,
+    /// minimise `served_units / weight` (compared by cross-multiplying
+    /// in wide arithmetic), breaking ties toward the lower client index
+    /// (the real gate breaks ties lexicographically on the client name).
+    fn fair_pick(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for c in 0..self.queue.len() {
+            if self.queue[c].is_empty() {
+                continue;
+            }
+            best = Some(match best {
+                None => c,
+                Some(b) => {
+                    let lhs = self.ledger[c].served_units as u128 * self.ledger[b].weight as u128;
+                    let rhs = self.ledger[b].served_units as u128 * self.ledger[c].weight as u128;
+                    if lhs < rhs {
+                        c
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    fn all_submitted(&self, requests_each: u64) -> bool {
+        self.ledger.iter().all(|l| l.submitted == requests_each)
+    }
+}
+
+/// A client: submits `remaining` requests, one per step.
+struct ClientProc {
+    me: usize,
+    next_id: u64,
+    remaining: u64,
+}
+
+impl Process<AdmissionWorld> for ClientProc {
+    fn ready(&self, _w: &AdmissionWorld) -> bool {
+        self.remaining > 0
+    }
+
+    fn done(&self, _w: &AdmissionWorld) -> bool {
+        self.remaining == 0
+    }
+
+    fn step(&mut self, w: &mut AdmissionWorld, ctx: &mut Ctx) {
+        self.remaining -= 1;
+        w.ledger[self.me].submitted += 1;
+        if w.depth < w.capacity {
+            // Ids number *accepted* requests only (a rejected request
+            // never enters the queue, so it has no place in the FIFO).
+            let id = self.next_id;
+            self.next_id += 1;
+            w.queue[self.me].push_back(id);
+            w.depth += 1;
+            ctx.trace(format!("client {} submit {id}: accepted", self.me));
+        } else if w.bug_drop_on_reject {
+            // The rejected design: tell the caller Overloaded but never
+            // record it — the request is lost to the accounting.
+            ctx.trace(format!("client {} submit: DROPPED", self.me));
+        } else {
+            w.ledger[self.me].rejected += 1;
+            ctx.trace(format!("client {} submit: rejected", self.me));
+        }
+    }
+}
+
+enum WorkerState {
+    Pick,
+    Serve { client: usize, id: u64 },
+}
+
+/// A worker: fair-pick + pop atomically, then retire in a later step.
+struct WorkerProc {
+    state: WorkerState,
+    requests_each: u64,
+}
+
+impl Process<AdmissionWorld> for WorkerProc {
+    fn ready(&self, w: &AdmissionWorld) -> bool {
+        match self.state {
+            WorkerState::Pick => w.depth > 0,
+            WorkerState::Serve { .. } => true,
+        }
+    }
+
+    fn done(&self, w: &AdmissionWorld) -> bool {
+        matches!(self.state, WorkerState::Pick)
+            && w.depth == 0
+            && w.all_submitted(self.requests_each)
+    }
+
+    fn step(&mut self, w: &mut AdmissionWorld, ctx: &mut Ctx) {
+        match self.state {
+            WorkerState::Pick => {
+                let Some(client) = w.fair_pick() else {
+                    ctx.trace("spurious wake: queue drained");
+                    return;
+                };
+                let Some(id) = w.queue[client].pop_front() else {
+                    w.violations
+                        .push(format!("fair pick chose client {client} with empty queue"));
+                    return;
+                };
+                w.depth -= 1;
+                // Dispatch-order check at the pop (the gate's guarantee
+                // is FIFO *dispatch* within a client; two workers may
+                // then finish a client's requests in either order).
+                let l = &mut w.ledger[client];
+                if id < l.next_dispatch {
+                    w.violations
+                        .push(format!("client {client} request {id} dispatched twice"));
+                } else if id > l.next_dispatch {
+                    w.violations.push(format!(
+                        "client {client} dispatched {id} before {} (FIFO broken)",
+                        l.next_dispatch
+                    ));
+                } else {
+                    l.next_dispatch += 1;
+                }
+                ctx.trace(format!("pick client {client} request {id}"));
+                self.state = WorkerState::Serve { client, id };
+            }
+            WorkerState::Serve { client, id } => {
+                let l = &mut w.ledger[client];
+                l.dispatched += 1;
+                l.served_units += 1;
+                ctx.trace(format!("serve client {client} request {id}"));
+                self.state = WorkerState::Pick;
+            }
+        }
+    }
+}
+
+/// The admission-gate model.
+pub struct AdmissionModel {
+    /// Submitting clients; client `i` gets weight `i + 1`.
+    pub clients: usize,
+    /// Requests each client submits.
+    pub requests_each: u64,
+    /// Queue capacity (the admission bound).
+    pub capacity: usize,
+    /// Dispatching workers.
+    pub workers: usize,
+    /// Use the rejected drop-on-reject design that loses requests.
+    pub bug_drop_on_reject: bool,
+}
+
+impl Spec for AdmissionModel {
+    type S = AdmissionWorld;
+
+    fn build(&self) -> (AdmissionWorld, Vec<Box<dyn Process<AdmissionWorld>>>) {
+        let world = AdmissionWorld {
+            queue: (0..self.clients).map(|_| VecDeque::new()).collect(),
+            depth: 0,
+            capacity: self.capacity,
+            ledger: (0..self.clients)
+                .map(|c| Ledger {
+                    weight: c as u64 + 1,
+                    submitted: 0,
+                    rejected: 0,
+                    dispatched: 0,
+                    served_units: 0,
+                    next_dispatch: 0,
+                })
+                .collect(),
+            bug_drop_on_reject: self.bug_drop_on_reject,
+            violations: Vec::new(),
+        };
+        let mut procs: Vec<Box<dyn Process<AdmissionWorld>>> = (0..self.clients)
+            .map(|me| {
+                Box::new(ClientProc {
+                    me,
+                    next_id: 0,
+                    remaining: self.requests_each,
+                }) as Box<dyn Process<AdmissionWorld>>
+            })
+            .collect();
+        for _ in 0..self.workers {
+            procs.push(Box::new(WorkerProc {
+                state: WorkerState::Pick,
+                requests_each: self.requests_each,
+            }));
+        }
+        (world, procs)
+    }
+
+    fn invariant(&self, w: &AdmissionWorld) -> Result<(), String> {
+        if let Some(v) = w.violations.first() {
+            return Err(v.clone());
+        }
+        if w.depth > w.capacity {
+            return Err(format!(
+                "admission bound broken: depth {} exceeds capacity {}",
+                w.depth, w.capacity
+            ));
+        }
+        let queued: usize = w.queue.iter().map(VecDeque::len).sum();
+        if queued != w.depth {
+            return Err(format!(
+                "depth accounting drift: counter {} vs {} actually queued",
+                w.depth, queued
+            ));
+        }
+        Ok(())
+    }
+
+    fn terminal(&self, w: &AdmissionWorld) -> Result<(), String> {
+        for (c, l) in w.ledger.iter().enumerate() {
+            if l.submitted != self.requests_each {
+                return Err(format!(
+                    "client {c} submitted {} of {}",
+                    l.submitted, self.requests_each
+                ));
+            }
+            if l.dispatched + l.rejected != l.submitted {
+                return Err(format!(
+                    "client {c}: {} dispatched + {} rejected != {} submitted (request lost)",
+                    l.dispatched, l.rejected, l.submitted
+                ));
+            }
+        }
+        if w.depth != 0 || w.queue.iter().any(|q| !q.is_empty()) {
+            return Err("requests left queued after quiescence".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shuttle::Config;
+
+    #[test]
+    fn bounded_gate_loses_nothing_exhaustively() {
+        let report = shuttle::check_exhaustive(
+            &AdmissionModel {
+                clients: 2,
+                requests_each: 2,
+                capacity: 1,
+                workers: 1,
+                bug_drop_on_reject: false,
+            },
+            &Config {
+                max_schedules: 100_000,
+                ..Config::default()
+            },
+        );
+        report.assert_ok();
+        assert!(report.exhausted, "small model should be fully explored");
+    }
+
+    #[test]
+    fn two_workers_three_clients_random() {
+        let report = shuttle::check_random(
+            &AdmissionModel {
+                clients: 3,
+                requests_each: 2,
+                capacity: 2,
+                workers: 2,
+                bug_drop_on_reject: false,
+            },
+            &Config {
+                iterations: 2_000,
+                ..Config::default()
+            },
+        );
+        report.assert_ok();
+    }
+
+    #[test]
+    fn drop_on_reject_is_caught() {
+        let report = shuttle::check_exhaustive(
+            &AdmissionModel {
+                clients: 2,
+                requests_each: 2,
+                capacity: 1,
+                workers: 1,
+                bug_drop_on_reject: true,
+            },
+            &Config::default(),
+        );
+        let f = report
+            .failure
+            .expect("the drop-on-reject design must lose a request");
+        assert!(f.reason.contains("request lost"), "{}", f.reason);
+    }
+}

@@ -9,6 +9,11 @@
 //! genomedsm chaos s.fa t.fa [--plan SPEC] [--strategy S] [--procs N]
 //! genomedsm batch --db db.fa --queries q.fa [--top-k N] [--kernel K]
 //!                 [--workers N] [--check]
+//! genomedsm serve --db db.fa --socket PATH [--queue N] [--cache N]
+//!                 [--service-workers N] [--workers N] [--kernel K]
+//! genomedsm client --socket PATH [--name NAME] [--weight W]
+//!                  (--queries q.fa [--top-k N] | --reload db.fa |
+//!                   --stats | --shutdown)
 //!
 //! align options:
 //!   --strategy heuristic|blocked|preprocess   (default blocked)
@@ -33,6 +38,18 @@
 //! and work-stolen across --workers threads, reporting the --top-k hits
 //! per query and aggregate GCUPS. --check re-runs the search with
 //! sequential per-pair kernel calls and verifies the hits are identical.
+//!
+//! serve: the always-on alignment service. Loads --db once, listens on
+//! the --socket Unix socket, and answers `client` searches with a
+//! bounded admission queue (--queue, refused-not-hung overload), a
+//! result cache keyed by (query digest, db epoch) (--cache answers),
+//! per-client weighted fair scheduling across --service-workers request
+//! workers, and hot-reloadable databases (client --reload). Runs until a
+//! client sends --shutdown.
+//!
+//! client: one interaction with a running server — a search streamed
+//! answer by answer (each query's final top-k arrives as soon as it is
+//! ready), a database hot-reload, a statistics snapshot, or shutdown.
 //!
 //! chaos: runs the selected strategy twice — fault-free and under the
 //! fault plan — verifies the results are bit-identical, and reports the
@@ -60,6 +77,8 @@ fn main() {
         Some("score") => score(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("batch") => batch(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
         }
@@ -70,8 +89,8 @@ fn main() {
     }
 }
 
-const USAGE: &str =
-    "usage: genomedsm <generate|align|exact|score|chaos|batch> [options]  (--help for details)";
+const USAGE: &str = "usage: genomedsm <generate|align|exact|score|chaos|batch|serve|client> \
+     [options]  (--help for details)";
 
 fn opt_kernel(args: &[String]) -> KernelChoice {
     match opt(args, "--kernel") {
@@ -91,7 +110,7 @@ fn opt(args: &[String], name: &str) -> Option<String> {
 }
 
 /// Option flags that take no value (everything else is `--flag VALUE`).
-const BOOL_FLAGS: &[&str] = &["--tolerate-failures", "--check"];
+const BOOL_FLAGS: &[&str] = &["--tolerate-failures", "--check", "--stats", "--shutdown"];
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -504,6 +523,19 @@ fn chaos(args: &[String]) {
     }
 }
 
+/// Parses the engine knobs shared by `batch` and `serve`.
+fn batch_config(args: &[String], default_top_k: usize) -> BatchConfig {
+    BatchConfig {
+        kernel: opt_kernel(args),
+        top_k: opt_num(args, "--top-k", default_top_k),
+        scheduler: genomedsm::batch::SchedulerConfig {
+            workers: opt_num(args, "--workers", 0),
+            window: 0,
+        },
+        ..BatchConfig::default()
+    }
+}
+
 fn batch(args: &[String]) {
     let db_path = opt(args, "--db").unwrap_or_else(|| {
         eprintln!("batch needs --db FILE (multi-record FASTA database)\n{USAGE}");
@@ -513,24 +545,14 @@ fn batch(args: &[String]) {
         eprintln!("batch needs --queries FILE (multi-record FASTA queries)\n{USAGE}");
         exit(2);
     });
-    let db = SeqDatabase::load_fasta_file(&db_path).unwrap_or_else(|e| {
-        eprintln!("cannot load database: {e}");
+    // The shared engine-core path: the same load + execute + oracle steps
+    // the server and the bench harness run.
+    let inputs = genomedsm::batch::load_inputs(&db_path, &q_path).unwrap_or_else(|e| {
+        eprintln!("cannot load inputs: {e}");
         exit(1);
     });
-    let queries = genomedsm::batch::load_query_file(&q_path).unwrap_or_else(|e| {
-        eprintln!("cannot load queries: {e}");
-        exit(1);
-    });
-    let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
-    let config = BatchConfig {
-        kernel: opt_kernel(args),
-        top_k: opt_num(args, "--top-k", 5),
-        scheduler: genomedsm::batch::SchedulerConfig {
-            workers: opt_num(args, "--workers", 0),
-            window: 0,
-        },
-        ..BatchConfig::default()
-    };
+    let (db, refs) = (&inputs.db, inputs.query_refs());
+    let config = batch_config(args, 5);
     eprintln!(
         "batch search: {} queries ({} bp) x {} records ({} bp), kernel '{}', \
          {} lanes...",
@@ -543,9 +565,8 @@ fn batch(args: &[String]) {
     );
     let engine = BatchEngine::new(config);
     let t0 = std::time::Instant::now();
-    let out = engine.search(&db, &refs);
-    let elapsed = t0.elapsed();
-    for (q, hits) in out.hits.iter().enumerate() {
+    // Streaming: each query prints the moment its top-k is final.
+    let out = genomedsm::batch::execute(&engine, db, &refs, |q, hits| {
         println!("query {q} ({} bp): {} hit(s)", refs[q].len(), hits.len());
         for h in hits {
             println!(
@@ -556,7 +577,8 @@ fn batch(args: &[String]) {
                 h.end.1
             );
         }
-    }
+    });
+    let elapsed = t0.elapsed();
     println!(
         "\n{} cells in {elapsed:.2?}: {:.3} aggregate GCUPS \
          ({} lane groups, {} scalar spill, {} jobs)",
@@ -567,37 +589,181 @@ fn batch(args: &[String]) {
         out.stats.jobs
     );
     if has_flag(args, "--check") {
-        use genomedsm::batch::{Hit, TopK};
-        use genomedsm::core::linear::sw_score_linear;
         let t0 = std::time::Instant::now();
-        let want: Vec<Vec<Hit>> = refs
-            .iter()
-            .map(|q| {
-                let mut tk = TopK::new(engine.config.top_k);
-                for t in 0..db.len() {
-                    let r = sw_score_linear(q, db.seq(t), &engine.config.scoring, 0);
-                    if r.best_score > 0 {
-                        tk.push(Hit {
-                            score: r.best_score,
-                            target: t,
-                            end: r.best_end,
-                        });
-                    }
-                }
-                tk.into_sorted()
-            })
-            .collect();
+        let verdict = genomedsm::batch::verify_against_oracle(&engine, db, &refs, &out.hits);
         let seq_elapsed = t0.elapsed();
-        if want == out.hits {
-            println!(
+        match verdict {
+            Ok(()) => println!(
                 "check: IDENTICAL to sequential per-pair scoring \
                  ({seq_elapsed:.2?} sequential, {:.1}x speedup)",
                 seq_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
-            );
-        } else {
-            eprintln!("check: batch hits DIVERGE from sequential per-pair scoring");
-            exit(1);
+            ),
+            Err(q) => {
+                eprintln!(
+                    "check: batch hits DIVERGE from sequential per-pair scoring \
+                     (first at query {q})"
+                );
+                exit(1);
+            }
         }
+    }
+}
+
+fn serve(args: &[String]) {
+    let db_path = opt(args, "--db").unwrap_or_else(|| {
+        eprintln!("serve needs --db FILE (multi-record FASTA database)\n{USAGE}");
+        exit(2);
+    });
+    let socket = opt(args, "--socket").unwrap_or_else(|| {
+        eprintln!("serve needs --socket PATH (Unix socket to listen on)\n{USAGE}");
+        exit(2);
+    });
+    let mut config = genomedsm::serve::ServerConfig::new(&socket, &db_path);
+    config.queue_capacity = opt_num(args, "--queue", 16);
+    config.cache_capacity = opt_num(args, "--cache", 1024);
+    config.workers = opt_num(args, "--service-workers", 2);
+    config.engine = batch_config(args, 5);
+    let server = genomedsm::serve::Server::start(config).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        exit(1);
+    });
+    let stats = server.stats();
+    eprintln!(
+        "serving {} records (epoch {}) on {socket} — queue {}, cache enabled, \
+         awaiting clients (send --shutdown to stop)",
+        stats.records, stats.epoch, stats.capacity
+    );
+    let end = server.wait();
+    println!(
+        "served {} request(s) ({} rejected, {} protocol error(s)), \
+         cache {} hit(s) / {} miss(es), final epoch {}",
+        end.dispatched,
+        end.rejected,
+        end.protocol_errors,
+        end.cache_hits,
+        end.cache_misses,
+        end.epoch
+    );
+}
+
+fn client(args: &[String]) {
+    let socket = opt(args, "--socket").unwrap_or_else(|| {
+        eprintln!("client needs --socket PATH (a running `genomedsm serve`)\n{USAGE}");
+        exit(2);
+    });
+    let mut client = genomedsm::serve::ServeClient::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("cannot connect: {e}");
+        exit(1);
+    });
+    let name = opt(args, "--name").unwrap_or_else(|| format!("cli-{}", std::process::id()));
+    let weight: u32 = opt_num(args, "--weight", 1);
+    let (epoch, records) = client.hello(&name, weight).unwrap_or_else(|e| {
+        eprintln!("handshake failed: {e}");
+        exit(1);
+    });
+    eprintln!("connected to {socket}: {records} records, epoch {epoch}");
+
+    if let Some(q_path) = opt(args, "--queries") {
+        let queries = genomedsm::batch::load_query_file(&q_path).unwrap_or_else(|e| {
+            eprintln!("cannot load queries: {e}");
+            exit(1);
+        });
+        let top_k: usize = opt_num(args, "--top-k", 5);
+        let t0 = std::time::Instant::now();
+        let result = client.search(&queries, top_k, |qh| {
+            println!(
+                "query {} ({}): {} hit(s){}",
+                qh.query,
+                if qh.cached { "cached" } else { "computed" },
+                qh.hits.len(),
+                if qh.epoch != epoch {
+                    format!(" [epoch {}]", qh.epoch)
+                } else {
+                    String::new()
+                }
+            );
+            for h in &qh.hits {
+                println!(
+                    "  score {:>6}  target {}  end (q={}, t={})",
+                    h.score, h.target, h.end.0, h.end.1
+                );
+            }
+        });
+        match result {
+            Ok(summary) => {
+                let cached = summary.answers.iter().filter(|a| a.cached).count();
+                println!(
+                    "\n{} answer(s) in {:.2?} ({cached} from cache)",
+                    summary.answers.len(),
+                    t0.elapsed()
+                );
+            }
+            Err(genomedsm::serve::ServeError::Overloaded { depth, limit }) => {
+                eprintln!("server overloaded (queue {depth}/{limit}); retry later");
+                exit(3);
+            }
+            Err(e) => {
+                eprintln!("search failed: {e}");
+                exit(1);
+            }
+        }
+    } else if let Some(path) = opt(args, "--reload") {
+        match client.reload(&path) {
+            Ok((epoch, records, purged)) => println!(
+                "reloaded: epoch {epoch}, {records} records, {purged} stale cache entr(ies) purged"
+            ),
+            Err(e) => {
+                eprintln!("reload failed: {e}");
+                exit(1);
+            }
+        }
+    } else if has_flag(args, "--stats") {
+        match client.stats() {
+            Ok(s) => {
+                println!(
+                    "epoch {} | {} records | queue {}/{} (high water {}) | \
+                     {} submitted, {} rejected, {} dispatched | cache {} hit(s), \
+                     {} miss(es), {} resident-insert(s), {} evicted, {} stale purged | \
+                     {} protocol error(s)",
+                    s.epoch,
+                    s.records,
+                    s.depth,
+                    s.capacity,
+                    s.high_water,
+                    s.submitted,
+                    s.rejected,
+                    s.dispatched,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_inserts,
+                    s.cache_evicted,
+                    s.cache_stale_purged,
+                    s.protocol_errors
+                );
+                for c in &s.clients {
+                    println!(
+                        "  client {:<16} weight {} | {} submitted, {} rejected, \
+                         {} dispatched, {} unit(s) served",
+                        c.client, c.weight, c.submitted, c.rejected, c.dispatched, c.served_units
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("stats failed: {e}");
+                exit(1);
+            }
+        }
+    } else if has_flag(args, "--shutdown") {
+        match client.shutdown() {
+            Ok(()) => println!("server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        eprintln!("client needs one of --queries, --reload, --stats, --shutdown\n{USAGE}");
+        exit(2);
     }
 }
 

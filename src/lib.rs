@@ -27,6 +27,10 @@
 //!   deterministic per-query top-k merging.
 //! * [`strategies`] — the paper's three parallel strategies plus the
 //!   phase-2 scattered-mapping global aligner and shared-memory ports.
+//! * [`serve`] — the always-on alignment service: the batch engine
+//!   behind a checksummed line protocol on a Unix socket, with bounded
+//!   admission control, per-client weighted fair scheduling, an
+//!   epoch-keyed result cache, and hot-reloadable databases.
 //! * [`dotplot`] — dot-plot visualization of similar regions.
 //!
 //! ## Quickstart
@@ -57,6 +61,7 @@ pub use genomedsm_dotplot as dotplot;
 pub use genomedsm_dsm as dsm;
 pub use genomedsm_kernels as kernels;
 pub use genomedsm_seq as seq;
+pub use genomedsm_serve as serve;
 pub use genomedsm_strategies as strategies;
 
 /// Everything needed for the common pipeline in one import.
