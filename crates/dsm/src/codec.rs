@@ -45,6 +45,10 @@ impl FrameWriter {
     pub fn new(tag: u8) -> Self {
         Self { buf: vec![tag] }
     }
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
     /// Appends a little-endian `u32`.
     pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());

@@ -2,6 +2,7 @@
 
 use crate::lock_order::LockOrderMode;
 use crate::net::{FaultInjector, NetworkModel, RetransmitPolicy};
+use crate::transport::manifest::ClusterCtx;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -77,6 +78,11 @@ pub struct DsmConfig {
     /// [`crate::lock_order::LOCK_ORDER_ENABLED`]. Defaults to
     /// [`LockOrderMode::Panic`].
     pub lock_order: LockOrderMode,
+    /// When set, [`crate::DsmSystem::run_wire`] runs this process as ONE
+    /// rank of a multi-process cluster over the UDP socket transport
+    /// instead of spawning all ranks as threads. `None` (the default)
+    /// keeps the in-process channel transport.
+    pub cluster: Option<ClusterCtx>,
 }
 
 impl DsmConfig {
@@ -96,6 +102,7 @@ impl DsmConfig {
             retransmit: RetransmitPolicy::default(),
             supervision: SupervisionConfig::default(),
             lock_order: LockOrderMode::default(),
+            cluster: None,
         }
     }
 
@@ -166,6 +173,19 @@ impl DsmConfig {
     /// (panic by default; record to inspect violations after the run).
     pub fn lock_order(mut self, mode: LockOrderMode) -> Self {
         self.lock_order = mode;
+        self
+    }
+
+    /// Runs this process as one rank of a multi-process cluster over the
+    /// UDP socket transport (`ctx` carries the rank, manifest, and
+    /// session). The manifest's node count must match `nprocs`.
+    pub fn cluster(mut self, ctx: ClusterCtx) -> Self {
+        assert_eq!(
+            ctx.manifest.len(),
+            self.nprocs,
+            "manifest rank count must equal nprocs"
+        );
+        self.cluster = Some(ctx);
         self
     }
 

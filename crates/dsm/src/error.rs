@@ -53,6 +53,10 @@ pub enum DsmError {
     },
     /// A peer endpoint (daemon inbox or worker reply channel) is closed.
     Disconnected(&'static str),
+    /// The cluster manifest (TOML file or environment override) is
+    /// malformed, or a socket operation it implies failed (bad bind
+    /// address, unresolvable peer).
+    Manifest(String),
     /// A cluster node was declared dead by the failure detector. Surfaced
     /// to blocked waiters (lock/cv/barrier) so the application can take
     /// over the dead node's work instead of deadlocking.
@@ -85,6 +89,7 @@ impl fmt::Display for DsmError {
                 write!(f, "invalid UTF-8 in string field after {valid_up_to} bytes")
             }
             DsmError::Disconnected(what) => write!(f, "transport disconnected: {what}"),
+            DsmError::Manifest(reason) => write!(f, "cluster manifest: {reason}"),
             DsmError::NodeFailed { node } => write!(f, "node {node} declared failed"),
         }
     }

@@ -67,6 +67,7 @@ pub mod node;
 pub mod page;
 pub mod stats;
 pub mod system;
+pub mod transport;
 pub mod vec;
 
 pub use codec::{FrameReader, FrameWriter};
@@ -80,4 +81,9 @@ pub use net::{
 pub use node::Node;
 pub use stats::{breakdown_many, DaemonStats, NodeStats, StatsBreakdown};
 pub use system::{DsmRun, DsmSystem};
+pub use transport::clock::Clock;
+pub use transport::manifest::{ClusterCtx, ClusterManifest, CLUSTER_ENV};
+pub use transport::udp::UdpTransport;
+pub use transport::wire::{decode_frame, encode_frame, Wire};
+pub use transport::{ChannelTransport, RankWiring, Transport, TransportStats};
 pub use vec::{DsmData, GlobalVec};

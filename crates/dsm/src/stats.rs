@@ -23,6 +23,21 @@ pub struct NodeStats {
     pub total: Duration,
     /// Modeled network cost accumulated against this node.
     pub modeled_network: Duration,
+    /// Measured wall-clock network cost on the real socket transport:
+    /// the sum of send→ack round-trip times observed by this machine's
+    /// UDP transport. Zero on the in-process channel transport, where
+    /// `modeled_network` plays this role.
+    pub measured_network: Duration,
+    /// Datagrams this machine's socket transport put on the wire
+    /// (including retransmissions and chaos duplicates). Zero in-process.
+    pub datagrams_sent: u64,
+    /// Datagrams this machine's socket transport received and parsed.
+    pub datagrams_received: u64,
+    /// Malformed datagrams the socket transport rejected with a typed
+    /// [`crate::DsmError`] other than a checksum mismatch (truncated,
+    /// bad tag, oversize, trailing, undecodable payload). Checksum
+    /// rejections count under `corrupt_dropped`.
+    pub malformed_dropped: u64,
     /// Number of remote page fetches (access faults on non-resident pages).
     pub page_fetches: u64,
     /// Number of diffs sent home.
@@ -91,6 +106,10 @@ impl NodeStats {
         self.barrier += other.barrier;
         self.total = self.total.max(other.total);
         self.modeled_network += other.modeled_network;
+        self.measured_network += other.measured_network;
+        self.datagrams_sent += other.datagrams_sent;
+        self.datagrams_received += other.datagrams_received;
+        self.malformed_dropped += other.malformed_dropped;
         self.page_fetches += other.page_fetches;
         self.diffs_sent += other.diffs_sent;
         self.invalidations += other.invalidations;

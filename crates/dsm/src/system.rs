@@ -3,16 +3,27 @@
 //! [`DsmSystem::run`] plays the role of JIAJIA's launcher: it starts one
 //! daemon thread and one worker thread per node, runs the SPMD closure on
 //! every worker, joins everything, and returns each node's result plus its
-//! statistics.
+//! statistics. [`DsmSystem::run_wire`] is the transport-generic variant:
+//! with [`DsmConfig::cluster`] set it runs this process as ONE rank of a
+//! multi-process cluster over the UDP socket transport and all-gathers
+//! every rank's result through the DSM itself, so callers get the same
+//! full [`DsmRun`] either way.
 
 use crate::config::DsmConfig;
 use crate::daemon::Daemon;
 use crate::lock_order::{LockOrderGraph, LockOrderViolation, LOCK_ORDER_ENABLED};
-use crate::msg::{Envelope, Msg, ReplyEnvelope, SYSTEM_SRC};
+use crate::msg::{Envelope, Msg, SYSTEM_SRC};
 use crate::node::Node;
 use crate::stats::NodeStats;
-use crossbeam::channel::unbounded;
+use crate::transport::clock::Clock;
+use crate::transport::manifest::ClusterCtx;
+use crate::transport::udp::UdpTransport;
+use crate::transport::wire::{decode_frame, encode_frame, Wire};
+use crate::transport::{ChannelTransport, RankWiring, Transport};
 use std::sync::Arc;
+
+/// Frame tag of a result-gather blob (`(R, NodeStats)` per rank).
+const GATHER_TAG: u8 = 0x47;
 
 /// Outcome of a DSM run: per-node results and statistics, plus the total
 /// wall time of the parallel section.
@@ -64,61 +75,66 @@ impl DsmSystem {
         F: Fn(&mut Node) -> R + Send + Sync,
     {
         let nprocs = config.nprocs;
-        let mut daemon_tx = Vec::with_capacity(nprocs);
-        let mut daemon_rx = Vec::with_capacity(nprocs);
-        for _ in 0..nprocs {
-            let (tx, rx) = unbounded::<Envelope>();
-            daemon_tx.push(tx);
-            daemon_rx.push(rx);
-        }
-        let mut reply_tx = Vec::with_capacity(nprocs);
-        let mut reply_rx = Vec::with_capacity(nprocs);
-        for _ in 0..nprocs {
-            let (tx, rx) = unbounded::<ReplyEnvelope>();
-            reply_tx.push(tx);
-            reply_rx.push(rx);
-        }
+        let mut transport = ChannelTransport::new(nprocs);
+        let wirings: Vec<RankWiring> = (0..nprocs).map(|r| transport.wiring(r)).collect();
+        // Keep a direct sender to each daemon's inbox for teardown.
+        let shutdown_tx: Vec<_> = wirings
+            .iter()
+            .enumerate()
+            .map(|(r, w)| w.daemon_tx[r].clone())
+            .collect();
 
         // One acquisition-order graph for the whole run, shared by every
         // worker; compiled out of the hot path in plain release builds.
         let lock_order =
             LOCK_ORDER_ENABLED.then(|| Arc::new(LockOrderGraph::new(config.lock_order)));
+        // One cancellable sleep source for the run (`network.simulate`).
+        let clock = Clock::new();
 
         let t0 = std::time::Instant::now();
         let (results, stats) = std::thread::scope(|scope| {
             // Daemons first: they must be servicing before any worker
             // faults a page.
             let mut daemon_handles = Vec::with_capacity(nprocs);
-            for (id, rx) in daemon_rx.into_iter().enumerate() {
+            let mut worker_parts = Vec::with_capacity(nprocs);
+            for (id, wiring) in wirings.into_iter().enumerate() {
+                let RankWiring {
+                    daemon_tx,
+                    reply_tx,
+                    daemon_rx,
+                    reply_rx,
+                } = wiring;
                 let daemon = Daemon::new(
                     id,
                     nprocs,
                     config.page_size,
                     config.network,
                     config.home_migration,
-                    rx,
-                    reply_tx.clone(),
+                    daemon_rx,
+                    reply_tx,
                     daemon_tx.clone(),
                     config.faults.clone(),
                     config.retransmit,
                     config.supervision,
                 );
                 daemon_handles.push(scope.spawn(move || daemon.run()));
+                worker_parts.push((daemon_tx, reply_rx));
             }
 
             let f = &f;
             let config_ref = &config;
-            let daemon_tx_ref = &daemon_tx;
             let lock_order_ref = &lock_order;
+            let clock_ref = &clock;
             let mut worker_handles = Vec::with_capacity(nprocs);
-            for (id, rx) in reply_rx.into_iter().enumerate() {
+            for (id, (daemon_tx, reply_rx)) in worker_parts.into_iter().enumerate() {
                 worker_handles.push(scope.spawn(move || {
                     let mut node = Node::new(
                         id,
                         config_ref,
-                        daemon_tx_ref.clone(),
-                        rx,
+                        daemon_tx,
+                        reply_rx,
                         lock_order_ref.clone(),
+                        clock_ref.clone(),
                     );
                     let result = f(&mut node);
                     let stats = node.finish_stats();
@@ -142,7 +158,7 @@ impl DsmSystem {
             // each daemon's transport counters into its machine's node
             // stats (both halves of the reliability layer run on the same
             // simulated host).
-            for tx in daemon_tx_ref.iter() {
+            for tx in &shutdown_tx {
                 let _ = tx.send(Envelope {
                     msg: Msg::Shutdown,
                     arrive: std::time::Duration::ZERO,
@@ -158,10 +174,15 @@ impl DsmSystem {
                 }
             }
             if let Some(e) = panic {
+                // Release any worker parked in a simulated sleep before
+                // propagating (they have all joined already on the happy
+                // path; this is belt-and-braces for teardown paths).
+                clock.cancel();
                 std::panic::resume_unwind(e);
             }
             (results, stats)
         });
+        transport.shutdown();
         DsmRun {
             results,
             stats,
@@ -169,6 +190,177 @@ impl DsmSystem {
             lock_order_violations: lock_order.map(|g| g.violations()).unwrap_or_default(),
         }
     }
+
+    /// Transport-generic run: like [`DsmSystem::run`] when
+    /// [`DsmConfig::cluster`] is `None`; with a cluster context set, runs
+    /// this process as ONE rank over the UDP socket transport and
+    /// all-gathers `(result, stats)` from every rank through the DSM
+    /// itself, so the returned [`DsmRun`] is complete — and bit-identical
+    /// across ranks — on every process of the cluster.
+    ///
+    /// # Panics
+    /// Propagates worker panics; also panics if the socket cannot be
+    /// bound or a gather blob fails to decode.
+    pub fn run_wire<R, F>(config: DsmConfig, f: F) -> DsmRun<R>
+    where
+        R: Wire + Send,
+        F: Fn(&mut Node) -> R + Send + Sync,
+    {
+        match config.cluster.clone() {
+            None => Self::run(config, f),
+            Some(ctx) => Self::run_rank(config, &ctx, f),
+        }
+    }
+
+    /// One rank of a multi-process cluster: local daemon + local worker
+    /// over a [`UdpTransport`], with the result gather of
+    /// [`DsmSystem::run_wire`].
+    fn run_rank<R, F>(mut config: DsmConfig, ctx: &ClusterCtx, f: F) -> DsmRun<R>
+    where
+        R: Wire + Send,
+        F: Fn(&mut Node) -> R + Send + Sync,
+    {
+        let nprocs = config.nprocs;
+        assert_eq!(
+            ctx.manifest.len(),
+            nprocs,
+            "manifest rank count must equal nprocs"
+        );
+        let rank = ctx.rank;
+        // The chaos injector moves from the protocol layer (where it
+        // would simulate faults in virtual time) to the transport, which
+        // applies the same seeded fates to the real datagrams.
+        let faults = config.faults.take();
+        let mut transport = match UdpTransport::bind(ctx, config.retransmit, faults) {
+            Ok(t) => t,
+            Err(e) => panic!("cannot start UDP transport: {e}"),
+        };
+        let RankWiring {
+            daemon_tx,
+            reply_tx,
+            daemon_rx,
+            reply_rx,
+        } = transport.wiring(rank);
+        let shutdown_tx = daemon_tx[rank].clone();
+        let lock_order =
+            LOCK_ORDER_ENABLED.then(|| Arc::new(LockOrderGraph::new(config.lock_order)));
+        let clock = Clock::new();
+
+        let t0 = std::time::Instant::now();
+        let (results, mut stats) = std::thread::scope(|scope| {
+            let daemon = Daemon::new(
+                rank,
+                nprocs,
+                config.page_size,
+                config.network,
+                config.home_migration,
+                daemon_rx,
+                reply_tx,
+                daemon_tx.clone(),
+                None,
+                config.retransmit,
+                config.supervision,
+            );
+            let daemon_handle = scope.spawn(move || daemon.run());
+
+            let f = &f;
+            let config_ref = &config;
+            let lock_order_ref = &lock_order;
+            let clock_ref = &clock;
+            let worker = scope.spawn(move || {
+                let mut node = Node::new(
+                    rank,
+                    config_ref,
+                    daemon_tx,
+                    reply_rx,
+                    lock_order_ref.clone(),
+                    clock_ref.clone(),
+                );
+                let result = f(&mut node);
+                // Snapshot this rank's app-phase stats before the gather
+                // adds its own traffic, so every rank publishes the same
+                // cut of the run.
+                let snapshot = node.finish_stats();
+                gather_results(&mut node, rank, nprocs, result, snapshot)
+            });
+            let joined = worker.join();
+            let _ = shutdown_tx.send(Envelope {
+                msg: Msg::Shutdown,
+                arrive: std::time::Duration::ZERO,
+                src: SYSTEM_SRC,
+                seq: 0,
+            });
+            let dstats = daemon_handle.join();
+            match joined {
+                Ok(gathered) => {
+                    let mut results = Vec::with_capacity(nprocs);
+                    let mut stats = Vec::with_capacity(nprocs);
+                    for (r, s) in gathered {
+                        results.push(r);
+                        stats.push(s);
+                    }
+                    // Daemon counters are local knowledge: they land in
+                    // this rank's slot only (each process owns one line
+                    // of the final table).
+                    if let Ok(ds) = dstats {
+                        if let Some(s) = stats.get_mut(rank) {
+                            s.absorb_daemon(&ds);
+                        }
+                    }
+                    (results, stats)
+                }
+                Err(e) => {
+                    clock.cancel();
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+        transport.shutdown();
+        transport.stats().fold_into(&mut stats[rank]);
+        DsmRun {
+            results,
+            stats,
+            wall: t0.elapsed(),
+            lock_order_violations: lock_order.map(|g| g.violations()).unwrap_or_default(),
+        }
+    }
+}
+
+/// All-gathers `(result, stats)` from every rank through the DSM itself:
+/// publish lengths, publish blobs, read everything back. Every rank
+/// decodes the same shared bytes, which is what makes the returned
+/// vectors bit-identical across processes.
+fn gather_results<R: Wire>(
+    node: &mut Node,
+    rank: usize,
+    nprocs: usize,
+    result: R,
+    snapshot: NodeStats,
+) -> Vec<(R, NodeStats)> {
+    let blob = encode_frame(GATHER_TAG, &(result, snapshot));
+    let lens = node.alloc_vec::<u64>(nprocs);
+    node.vec_set(&lens, rank, blob.len() as u64);
+    node.barrier();
+    let lens_v = node.vec_read_range(&lens, 0..nprocs);
+    let total: usize = lens_v.iter().map(|&l| l as usize).sum();
+    let data = node.alloc_vec::<u8>(total);
+    let offset: usize = lens_v[..rank].iter().map(|&l| l as usize).sum();
+    node.vec_write_range(&data, offset, &blob);
+    node.barrier();
+    let all = node.vec_read_range(&data, 0..total);
+    node.barrier();
+    let mut out = Vec::with_capacity(nprocs);
+    let mut off = 0;
+    for (r, &len) in lens_v.iter().enumerate() {
+        let len = len as usize;
+        let slice = &all[off..off + len];
+        off += len;
+        match decode_frame::<(R, NodeStats)>(GATHER_TAG, slice) {
+            Ok(pair) => out.push(pair),
+            Err(e) => panic!("rank {r}: result-gather blob corrupt: {e}"),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,95 @@
+//! The clock abstraction behind [`NetworkModel::simulate`].
+//!
+//! Protocol code is forbidden to call `thread::sleep` (the workspace
+//! lint's no-sleep rule): a bare sleep is unkillable, invisible to
+//! shutdown, and untestable. [`Clock::sleep`] provides the one sanctioned
+//! way to really elapse modeled time — a `Condvar::wait_timeout` loop on
+//! a gate that [`Clock::cancel`] can open, so a run being torn down never
+//! waits out a pending simulated delay.
+//!
+//! [`NetworkModel::simulate`]: crate::NetworkModel
+
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A cancellable sleep source shared by everything that really elapses
+/// modeled time (the `simulate: true` network path).
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Clock {
+    /// A fresh, uncancelled clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Really elapses `d` of wall time, unless/until the clock is
+    /// cancelled. Returns `true` if the full duration elapsed, `false`
+    /// if the sleep was cut short by [`Clock::cancel`].
+    pub fn sleep(&self, d: Duration) -> bool {
+        if d.is_zero() {
+            return true;
+        }
+        let deadline = Instant::now() + d;
+        let (lock, cv) = &*self.gate;
+        let mut cancelled = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if *cancelled {
+                return false;
+            }
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return true;
+            };
+            cancelled = cv
+                .wait_timeout(cancelled, left)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Opens the gate: every current and future [`Clock::sleep`] on this
+    /// clock (or a clone of it) returns immediately.
+    pub fn cancel(&self) {
+        let (lock, cv) = &*self.gate;
+        *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_elapses_requested_time() {
+        let clock = Clock::new();
+        let t0 = Instant::now();
+        assert!(clock.sleep(Duration::from_millis(15)));
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn zero_sleep_is_free() {
+        assert!(Clock::new().sleep(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancel_interrupts_a_long_sleep() {
+        let clock = Clock::new();
+        let other = clock.clone();
+        let t0 = Instant::now();
+        let handle = std::thread::spawn(move || other.sleep(Duration::from_secs(60)));
+        std::thread::sleep(Duration::from_millis(10));
+        clock.cancel();
+        assert!(!handle.join().expect("sleeper panicked"));
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        // Once cancelled, later sleeps return immediately too.
+        assert!(!clock.sleep(Duration::from_secs(60)));
+    }
+}

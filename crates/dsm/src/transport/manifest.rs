@@ -1,0 +1,341 @@
+//! Static cluster membership: who the ranks are and where they listen.
+//!
+//! A [`ClusterManifest`] is the socket transport's peer-discovery input:
+//! one UDP address per rank, in rank order. It is loaded from a tiny TOML
+//! subset (a `nodes` string array, the only key the transport needs) or
+//! from the `GENOMEDSM_CLUSTER` environment variable (comma-separated
+//! addresses), so a launcher can hand children their peer set without
+//! touching the filesystem.
+//!
+//! ```toml
+//! # cluster.toml — rank r binds nodes[r] and sends to the others
+//! nodes = [
+//!     "127.0.0.1:7700",
+//!     "127.0.0.1:7701",
+//!     "127.0.0.1:7702",
+//!     "127.0.0.1:7703",
+//! ]
+//! ```
+//!
+//! A [`ClusterCtx`] pairs a manifest with this process's rank and the
+//! run's session number; storing one in
+//! [`DsmConfig::cluster`](crate::DsmConfig) is what switches
+//! [`DsmSystem::run_wire`](crate::DsmSystem::run_wire) from the
+//! in-process channel transport to the real UDP transport.
+
+use crate::error::DsmError;
+use std::net::SocketAddr;
+
+/// Environment variable overriding the manifest file: comma-separated
+/// `host:port` addresses in rank order.
+pub const CLUSTER_ENV: &str = "GENOMEDSM_CLUSTER";
+
+/// One UDP listen address per rank, in rank order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterManifest {
+    /// `nodes[r]` is the address rank `r` binds and its peers send to.
+    pub nodes: Vec<SocketAddr>,
+}
+
+impl ClusterManifest {
+    /// Builds a manifest from already-resolved addresses.
+    pub fn new(nodes: Vec<SocketAddr>) -> Self {
+        Self { nodes }
+    }
+
+    /// A loopback manifest on consecutive ports starting at `base_port`.
+    pub fn loopback(nprocs: usize, base_port: u16) -> Self {
+        Self {
+            nodes: (0..nprocs)
+                .map(|r| {
+                    let port = base_port + r as u16;
+                    SocketAddr::from(([127, 0, 0, 1], port))
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the manifest names no ranks at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Parses the TOML subset: comments (`#` to end of line), blank
+    /// lines, and a `nodes = [ "host:port", ... ]` string array. Any
+    /// other key is rejected — the format is deliberately closed so a
+    /// typo fails loudly instead of being ignored.
+    pub fn parse(text: &str) -> Result<Self, DsmError> {
+        let mut tokens = Vec::new();
+        for line in text.lines() {
+            let code = strip_comment(line);
+            tokenize(code, &mut tokens)?;
+        }
+        // Grammar: `nodes` `=` `[` str (`,` str)* `,`? `]`
+        let mut it = tokens.into_iter();
+        match it.next() {
+            Some(Token::Word(w)) if w == "nodes" => {}
+            Some(t) => return Err(bad(format!("expected `nodes`, found {t}"))),
+            None => return Err(bad("empty manifest (expected a `nodes` array)")),
+        }
+        if !matches!(it.next(), Some(Token::Equals)) {
+            return Err(bad("expected `=` after `nodes`"));
+        }
+        if !matches!(it.next(), Some(Token::Open)) {
+            return Err(bad("expected `[` after `nodes =`"));
+        }
+        let mut nodes = Vec::new();
+        let mut want_value = true;
+        loop {
+            match it.next() {
+                Some(Token::Str(s)) if want_value => {
+                    let addr: SocketAddr = s
+                        .parse()
+                        .map_err(|e| bad(format!("bad address {s:?}: {e}")))?;
+                    nodes.push(addr);
+                    want_value = false;
+                }
+                Some(Token::Comma) if !want_value => want_value = true,
+                Some(Token::Close) => break,
+                Some(t) => return Err(bad(format!("unexpected {t} in `nodes` array"))),
+                None => return Err(bad("unterminated `nodes` array")),
+            }
+        }
+        if let Some(t) = it.next() {
+            return Err(bad(format!("unexpected {t} after `nodes` array")));
+        }
+        if nodes.is_empty() {
+            return Err(bad("`nodes` array is empty"));
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Loads a manifest: the `GENOMEDSM_CLUSTER` environment variable if
+    /// set (comma-separated addresses), else the TOML file at `path`.
+    pub fn load(path: &str) -> Result<Self, DsmError> {
+        if let Ok(spec) = std::env::var(CLUSTER_ENV) {
+            return Self::from_list(&spec);
+        }
+        let text =
+            std::fs::read_to_string(path).map_err(|e| bad(format!("cannot read {path}: {e}")))?;
+        Self::parse(&text)
+    }
+
+    /// Parses a comma-separated address list (the env-variable format).
+    pub fn from_list(spec: &str) -> Result<Self, DsmError> {
+        let mut nodes = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            nodes.push(
+                part.parse()
+                    .map_err(|e| bad(format!("bad address {part:?}: {e}")))?,
+            );
+        }
+        if nodes.is_empty() {
+            return Err(bad("address list is empty"));
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Renders the manifest back to its TOML form (what a launcher
+    /// writes for its children).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from("nodes = [\n");
+        for addr in &self.nodes {
+            out.push_str(&format!("    \"{addr}\",\n"));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// This process's place in a cluster run: which rank it is, the full
+/// membership, and the run's session number.
+///
+/// The session number is stamped into every datagram and checked on
+/// receive, so a sequence of DSM runs over the same manifest (phase 1
+/// then phase 2, or a strategy sweep) cannot have a late retransmission
+/// from run *k* corrupt the sequence spaces of run *k+1*. All ranks must
+/// agree on it (derive it from the run ordinal, as the CLI does).
+#[derive(Debug, Clone)]
+pub struct ClusterCtx {
+    /// This process's rank (index into `manifest.nodes`).
+    pub rank: usize,
+    /// The full cluster membership.
+    pub manifest: ClusterManifest,
+    /// Session discriminator carried by every datagram of this run.
+    pub session: u64,
+}
+
+impl ClusterCtx {
+    /// Builds a context after validating `rank` against the manifest.
+    pub fn new(rank: usize, manifest: ClusterManifest, session: u64) -> Result<Self, DsmError> {
+        if rank >= manifest.len() {
+            return Err(bad(format!(
+                "rank {rank} out of range for a {}-node manifest",
+                manifest.len()
+            )));
+        }
+        Ok(Self {
+            rank,
+            manifest,
+            session,
+        })
+    }
+}
+
+fn bad(reason: impl Into<String>) -> DsmError {
+    DsmError::Manifest(reason.into())
+}
+
+/// Removes a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[derive(Debug)]
+enum Token {
+    Word(String),
+    Str(String),
+    Equals,
+    Open,
+    Close,
+    Comma,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "`{w}`"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Equals => write!(f, "`=`"),
+            Token::Open => write!(f, "`[`"),
+            Token::Close => write!(f, "`]`"),
+            Token::Comma => write!(f, "`,`"),
+        }
+    }
+}
+
+fn tokenize(code: &str, out: &mut Vec<Token>) -> Result<(), DsmError> {
+    let mut chars = code.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\r' => {
+                chars.next();
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Equals);
+            }
+            '[' => {
+                chars.next();
+                out.push(Token::Open);
+            }
+            ']' => {
+                chars.next();
+                out.push(Token::Close);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(bad("unterminated string")),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let mut w = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        w.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Word(w));
+            }
+            other => return Err(bad(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_manifest() {
+        let m = ClusterManifest::parse(
+            "# four loopback ranks\nnodes = [\n  \"127.0.0.1:7700\", # rank 0\n  \
+             \"127.0.0.1:7701\",\n  \"127.0.0.1:7702\",\n  \"127.0.0.1:7703\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.nodes[2], SocketAddr::from(([127, 0, 0, 1], 7702)));
+    }
+
+    #[test]
+    fn roundtrips_through_to_toml() {
+        let m = ClusterManifest::loopback(3, 9000);
+        let again = ClusterManifest::parse(&m.to_toml()).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "nodes = [",
+            "nodes = [ 127.0.0.1:1 ]",
+            "nodes = [ \"not an addr\" ]",
+            "peers = [ \"127.0.0.1:1\" ]",
+            "nodes = []",
+            "nodes = [ \"127.0.0.1:1\" ] extra",
+            "nodes = [ \"127.0.0.1:1\" \"127.0.0.1:2\" ]",
+        ] {
+            assert!(
+                matches!(ClusterManifest::parse(bad), Err(DsmError::Manifest(_))),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn env_list_format() {
+        let m = ClusterManifest::from_list("127.0.0.1:1, 127.0.0.1:2 ,127.0.0.1:3").unwrap();
+        assert_eq!(m.len(), 3);
+        assert!(ClusterManifest::from_list("  ,  ").is_err());
+    }
+
+    #[test]
+    fn ctx_validates_rank() {
+        let m = ClusterManifest::loopback(2, 9100);
+        assert!(ClusterCtx::new(1, m.clone(), 7).is_ok());
+        assert!(ClusterCtx::new(2, m, 7).is_err());
+    }
+}

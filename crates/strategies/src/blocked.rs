@@ -186,9 +186,9 @@ pub fn heuristic_block_align(
         .max()
         .unwrap_or(1);
 
-    let run = DsmSystem::run(config.dsm.clone(), |node: &mut Node| {
+    let run = DsmSystem::run_wire(config.dsm.clone(), |node: &mut Node| {
         if node.supervised() {
-            return tolerant_worker(
+            return crate::wire::WireRegions(tolerant_worker(
                 node,
                 &kernel,
                 s,
@@ -198,7 +198,7 @@ pub fn heuristic_block_align(
                 nprocs,
                 max_chunk,
                 cell_cost,
-            );
+            ));
         }
         let p = node.id();
         // One ring per ordered neighbour pair (q -> q+1 mod P); ring `q`
@@ -274,10 +274,10 @@ pub fn heuristic_block_align(
             band += nprocs;
         }
         node.barrier();
-        queue
+        crate::wire::WireRegions(queue)
     });
 
-    let all: Vec<LocalRegion> = run.results.into_iter().flatten().collect();
+    let all: Vec<LocalRegion> = run.results.into_iter().flat_map(|w| w.0).collect();
     let wall = run.stats.iter().map(|s| s.total).max().unwrap_or_default();
     Phase1Outcome {
         regions: finalize_queue(all),

@@ -66,9 +66,11 @@ pub fn heuristic_align_dsm(
     let m = s.len();
     let n = t.len();
 
-    let run = DsmSystem::run(config.dsm.clone(), |node| {
+    let run = DsmSystem::run_wire(config.dsm.clone(), |node| {
         if node.supervised() {
-            return tolerant_worker(node, &kernel, s, t, nprocs, cell_cost);
+            return crate::wire::WireRegions(tolerant_worker(
+                node, &kernel, s, t, nprocs, cell_cost,
+            ));
         }
         let p = node.id();
         // Border rings: ring `b` moves cells from processor b to b+1.
@@ -118,10 +120,10 @@ pub fn heuristic_align_dsm(
             }
         }
         node.barrier();
-        queue
+        crate::wire::WireRegions(queue)
     });
 
-    let mut all: Vec<LocalRegion> = run.results.into_iter().flatten().collect();
+    let mut all: Vec<LocalRegion> = run.results.into_iter().flat_map(|w| w.0).collect();
     all = finalize_queue(all);
     let wall = run.stats.iter().map(|s| s.total).max().unwrap_or_default();
     Phase1Outcome {

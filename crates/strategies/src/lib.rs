@@ -28,6 +28,7 @@ pub mod preprocess;
 pub mod rayon_port;
 pub mod reverse_parallel;
 pub mod ring;
+pub mod wire;
 
 pub use blocked::{heuristic_block_align, BlockedConfig, GridPlan};
 pub use checkpoint::{KillPlan, StrategyError, StrategyResult};
@@ -42,6 +43,7 @@ pub use rayon_port::{
     heuristic_antidiagonal_rayon, heuristic_block_align_shm, score_bands_shm, ShmScoreOutcome,
 };
 pub use reverse_parallel::reverse_align_all_parallel;
+pub use wire::{WireIndexed, WireRegions};
 
 use genomedsm_core::LocalRegion;
 use genomedsm_dsm::NodeStats;

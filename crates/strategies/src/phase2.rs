@@ -84,7 +84,7 @@ pub fn phase2_scattered_with(
 ) -> StrategyResult<Phase2Outcome> {
     let t0 = Instant::now();
     let scoring = *scoring;
-    let run = DsmSystem::run(config.clone(), |node| {
+    let run = DsmSystem::run_wire(config.clone(), |node| {
         let p = node.id();
         let nprocs = node.nprocs();
         let shared_scores = node.alloc_vec::<i32>(regions.len().max(1));
@@ -124,7 +124,7 @@ pub fn phase2_scattered_with(
             }};
         }
         if !run_role!(p) {
-            return Vec::new();
+            return crate::wire::WireIndexed(Vec::new());
         }
         if node.supervised() {
             // Takeover sweep: the scattered mapping has no locks or cvs,
@@ -144,7 +144,7 @@ pub fn phase2_scattered_with(
                         continue;
                     }
                     if !run_role!(role) {
-                        return Vec::new();
+                        return crate::wire::WireIndexed(Vec::new());
                     }
                     handled.insert(role);
                     node.note_takeover();
@@ -169,12 +169,12 @@ pub fn phase2_scattered_with(
         } else {
             node.barrier();
         }
-        mine
+        crate::wire::WireIndexed(mine)
     });
 
     let mut alignments: Vec<Option<RegionAlignment>> = vec![None; regions.len()];
     for per_node in run.results {
-        for (idx, ra) in per_node {
+        for (idx, ra) in per_node.0 {
             alignments[idx] = Some(ra);
         }
     }
@@ -240,7 +240,7 @@ pub fn phase2_block_mapping(
     let t0 = Instant::now();
     let scoring = *scoring;
     let config = DsmConfig::new(nprocs).network(genomedsm_dsm::NetworkModel::paper_cluster());
-    let run = DsmSystem::run(config, |node| {
+    let run = DsmSystem::run_wire(config, |node| {
         let p = node.id();
         let total = regions.len();
         let nprocs = node.nprocs();
@@ -257,11 +257,11 @@ pub fn phase2_block_mapping(
             mine.push((idx, ra));
         }
         node.barrier();
-        mine
+        crate::wire::WireIndexed(mine)
     });
     let mut alignments: Vec<Option<RegionAlignment>> = vec![None; regions.len()];
     for per_node in run.results {
-        for (idx, ra) in per_node {
+        for (idx, ra) in per_node.0 {
             alignments[idx] = Some(ra);
         }
     }

@@ -42,7 +42,9 @@ use crate::checkpoint::{
 };
 use crate::ring::ChunkRing;
 use genomedsm_core::Scoring;
-use genomedsm_dsm::{DsmConfig, DsmError, DsmSystem, GlobalVec, Node, NodeStats};
+use genomedsm_dsm::{
+    DsmConfig, DsmError, DsmSystem, FrameReader, FrameWriter, GlobalVec, Node, NodeStats, Wire,
+};
 use genomedsm_kernels::{BandScorer, KernelChoice};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -314,6 +316,34 @@ struct NodeOut {
     io_err: Option<(String, io::Error)>,
 }
 
+impl Wire for NodeOut {
+    fn encode(&self, w: &mut FrameWriter) {
+        self.init.encode(w);
+        self.core.encode(w);
+        self.term.encode(w);
+        self.best.encode(w);
+        self.gathered.encode(w);
+        // An `io::Error` does not round-trip structurally; what the
+        // gather consumer needs is the message, so that is what travels.
+        let flat = self
+            .io_err
+            .as_ref()
+            .map(|(ctx, e)| (ctx.clone(), e.to_string()));
+        flat.encode(w);
+    }
+    fn decode(r: &mut FrameReader<'_>) -> Result<Self, DsmError> {
+        Ok(NodeOut {
+            init: Duration::decode(r)?,
+            core: Duration::decode(r)?,
+            term: Duration::decode(r)?,
+            best: i32::decode(r)?,
+            gathered: Vec::<i64>::decode(r)?,
+            io_err: Option::<(String, String)>::decode(r)?
+                .map(|(ctx, msg)| (ctx, io::Error::other(msg))),
+        })
+    }
+}
+
 /// Runs the pre-process strategy: exact SW scores over a banded wavefront,
 /// producing the result matrix of threshold hits and (optionally) saved
 /// columns.
@@ -353,7 +383,7 @@ pub fn preprocess_align(
         .max()
         .unwrap_or(1);
 
-    let run = DsmSystem::run(config.dsm.clone(), |node: &mut Node| {
+    let run = DsmSystem::run_wire(config.dsm.clone(), |node: &mut Node| {
         if node.supervised() {
             let ctx = PpCtx {
                 s,

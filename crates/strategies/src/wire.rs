@@ -1,0 +1,155 @@
+//! Wire encodings for strategy results crossing process boundaries.
+//!
+//! A multi-process run ([`genomedsm_dsm::DsmSystem::run_wire`]) gathers every rank's
+//! closure result through the DSM itself, so the result type must
+//! implement the dsm crate's [`Wire`] codec. The alignment types live in
+//! `genomedsm-core`, which knows nothing about the DSM — the orphan rule
+//! therefore forces thin newtype wrappers here rather than impls on the
+//! core types directly.
+
+use genomedsm_core::nw::RegionAlignment;
+use genomedsm_core::{GlobalAlignment, LocalRegion};
+use genomedsm_dsm::{DsmError, FrameReader, FrameWriter, Wire};
+
+/// A phase-1 result queue ([`Vec<LocalRegion>`]) in wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRegions(pub Vec<LocalRegion>);
+
+/// A phase-2 result set (`Vec<(queue index, RegionAlignment)>`) in wire
+/// form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireIndexed(pub Vec<(usize, RegionAlignment)>);
+
+fn encode_region(r: &LocalRegion, w: &mut FrameWriter) {
+    w.usize(r.s_begin);
+    w.usize(r.s_end);
+    w.usize(r.t_begin);
+    w.usize(r.t_end);
+    w.u32(r.score as u32);
+}
+
+fn decode_region(r: &mut FrameReader<'_>) -> Result<LocalRegion, DsmError> {
+    Ok(LocalRegion {
+        s_begin: r.usize()?,
+        s_end: r.usize()?,
+        t_begin: r.usize()?,
+        t_end: r.usize()?,
+        score: r.u32()? as i32,
+    })
+}
+
+impl Wire for WireRegions {
+    fn encode(&self, w: &mut FrameWriter) {
+        w.usize(self.0.len());
+        for region in &self.0 {
+            encode_region(region, w);
+        }
+    }
+    fn decode(r: &mut FrameReader<'_>) -> Result<Self, DsmError> {
+        let n = r.len(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(decode_region(r)?);
+        }
+        Ok(WireRegions(out))
+    }
+}
+
+impl Wire for WireIndexed {
+    fn encode(&self, w: &mut FrameWriter) {
+        w.usize(self.0.len());
+        for (idx, ra) in &self.0 {
+            w.usize(*idx);
+            encode_region(&ra.region, w);
+            w.bytes(&ra.alignment.aligned_s);
+            w.bytes(&ra.alignment.aligned_t);
+            w.u32(ra.alignment.score as u32);
+        }
+    }
+    fn decode(r: &mut FrameReader<'_>) -> Result<Self, DsmError> {
+        let n = r.len(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.usize()?;
+            let region = decode_region(r)?;
+            let aligned_s = r.bytes()?;
+            let aligned_t = r.bytes()?;
+            let score = r.u32()? as i32;
+            out.push((
+                idx,
+                RegionAlignment {
+                    region,
+                    alignment: GlobalAlignment {
+                        aligned_s,
+                        aligned_t,
+                        score,
+                    },
+                },
+            ));
+        }
+        Ok(WireIndexed(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomedsm_dsm::{decode_frame, encode_frame};
+
+    fn region(k: usize) -> LocalRegion {
+        LocalRegion {
+            s_begin: k,
+            s_end: k + 10,
+            t_begin: 2 * k,
+            t_end: 2 * k + 5,
+            score: -(k as i32) + 40,
+        }
+    }
+
+    #[test]
+    fn regions_roundtrip() {
+        let v = WireRegions((0..5).map(region).collect());
+        let frame = encode_frame(0x60, &v);
+        let back: WireRegions = decode_frame(0x60, &frame).expect("decode");
+        assert_eq!(back, v);
+        let empty = WireRegions(Vec::new());
+        let frame = encode_frame(0x60, &empty);
+        assert_eq!(
+            decode_frame::<WireRegions>(0x60, &frame).expect("decode"),
+            empty
+        );
+    }
+
+    #[test]
+    fn indexed_roundtrip() {
+        let v = WireIndexed(
+            (0..3)
+                .map(|k| {
+                    (
+                        7 * k,
+                        RegionAlignment {
+                            region: region(k),
+                            alignment: GlobalAlignment {
+                                aligned_s: vec![b'A'; k + 1],
+                                aligned_t: vec![b'-'; k + 1],
+                                score: k as i32 - 1,
+                            },
+                        },
+                    )
+                })
+                .collect(),
+        );
+        let frame = encode_frame(0x61, &v);
+        let back: WireIndexed = decode_frame(0x61, &frame).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        let v = WireRegions(vec![region(1)]);
+        let frame = encode_frame(0x60, &v);
+        for cut in 0..frame.len() {
+            assert!(decode_frame::<WireRegions>(0x60, &frame[..cut]).is_err());
+        }
+    }
+}

@@ -17,6 +17,11 @@
 //! * [`models::inversion`] — the page-lock / lease-table lock-order
 //!   discipline, with an AB-BA knob for the seeded regression that the
 //!   runtime lock-order graph in `genomedsm-dsm` also catches;
+//! * [`models::retransmit`] — the UDP transport's per-link
+//!   retransmit/dedup window under reordering and duplication (sender
+//!   window, reorder stash, reply cache with evict-on-ack lifetime),
+//!   plus the rejected evict-before-ack variant that must
+//!   double-execute a request;
 //! * [`models::admission`] — the serve admission gate (bounded queue +
 //!   weighted fair dispatch): no request lost or double-dispatched,
 //!   depth never exceeds capacity, plus the rejected drop-on-reject
@@ -38,11 +43,12 @@ pub mod models {
     pub mod lease;
     pub mod lock;
     pub mod merge;
+    pub mod retransmit;
 }
 
 use models::{
     admission::AdmissionModel, cv::CvModel, inversion::InversionModel, lease::LeaseModel,
-    lock::LockModel, merge::MergeModel,
+    lock::LockModel, merge::MergeModel, retransmit::RetransmitModel,
 };
 use shuttle::{Config, Report};
 
@@ -191,6 +197,28 @@ pub fn run_suite() -> Vec<SuiteEntry> {
                 capacity: 2,
                 workers: 2,
                 bug_drop_on_reject: false,
+            },
+            6_000,
+        ),
+        exhaustive(
+            "retransmit/2m w2 d1 s1 exhaustive",
+            RetransmitModel {
+                msgs: 2,
+                window: 2,
+                dup_budget: 1,
+                swap_budget: 1,
+                bug_evict_before_ack: false,
+            },
+            200_000,
+        ),
+        random(
+            "retransmit/3m w2 d2 s2 random",
+            RetransmitModel {
+                msgs: 3,
+                window: 2,
+                dup_budget: 2,
+                swap_budget: 2,
+                bug_evict_before_ack: false,
             },
             6_000,
         ),

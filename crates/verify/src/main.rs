@@ -7,6 +7,7 @@
 
 use genomedsm_verify::models::{
     admission::AdmissionModel, inversion::InversionModel, merge::MergeModel,
+    retransmit::RetransmitModel,
 };
 use genomedsm_verify::run_suite;
 use shuttle::Config;
@@ -46,6 +47,7 @@ fn main() {
     failed |= !check_inversion_regression();
     failed |= !check_permit_regression();
     failed |= !check_drop_on_reject_regression();
+    failed |= !check_evict_before_ack_regression();
 
     if failed {
         std::process::exit(1);
@@ -125,6 +127,56 @@ fn check_drop_on_reject_regression() -> bool {
         return false;
     };
     println!("admission/drop-on-reject: found `{}`", failure.reason);
+    println!("  seed {seed:#018x}, schedule {:?}", failure.schedule);
+    let replay = shuttle::replay_seed(&spec, seed, &Config::default());
+    match replay.failure {
+        Some(rf) if rf.reason == failure.reason && rf.schedule == failure.schedule => {
+            println!("  replay from seed: identical failure reproduced — ok");
+            true
+        }
+        Some(rf) => {
+            println!(
+                "  replay from seed: DIVERGED ({} / {:?})",
+                rf.reason, rf.schedule
+            );
+            false
+        }
+        None => {
+            println!("  replay from seed: FAIL (did not re-fail)");
+            false
+        }
+    }
+}
+
+/// The reply cache evicted when the reply is *sent* instead of when it
+/// is acked: a retransmitted duplicate must then be re-executed, and
+/// random exploration has to find that double execution, print its seed,
+/// and replay the identical failing schedule from the seed alone.
+fn check_evict_before_ack_regression() -> bool {
+    let spec = RetransmitModel {
+        msgs: 2,
+        window: 2,
+        dup_budget: 1,
+        swap_budget: 1,
+        bug_evict_before_ack: true,
+    };
+    let report = shuttle::check_random(&spec, &Config::default());
+    let Some(failure) = report.failure else {
+        println!("retransmit/evict-before-ack: FAIL (double execution not found)");
+        return false;
+    };
+    if !failure.reason.contains("executed 2 times") {
+        println!(
+            "retransmit/evict-before-ack: FAIL (wrong failure: {})",
+            failure.reason
+        );
+        return false;
+    }
+    let Some(seed) = failure.seed else {
+        println!("retransmit/evict-before-ack: FAIL (no seed recorded)");
+        return false;
+    };
+    println!("retransmit/evict-before-ack: found `{}`", failure.reason);
     println!("  seed {seed:#018x}, schedule {:?}", failure.schedule);
     let replay = shuttle::replay_seed(&spec, seed, &Config::default());
     match replay.failure {

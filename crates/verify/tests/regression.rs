@@ -4,6 +4,7 @@
 use genomedsm_verify::models::inversion::InversionModel;
 use genomedsm_verify::models::lease::LeaseModel;
 use genomedsm_verify::models::merge::MergeModel;
+use genomedsm_verify::models::retransmit::RetransmitModel;
 use shuttle::Config;
 
 /// The page-lock / lease-table AB-BA inversion: random exploration finds
@@ -57,6 +58,42 @@ fn permit_counting_merge_gate_deadlocks_but_window_gate_does_not() {
         &Config::default(),
     );
     correct.assert_ok();
+}
+
+/// Evicting the cached reply before the sender's ack double-executes a
+/// retransmitted request; the evict-on-ack lifetime on the same
+/// adversarial workload stays exactly-once. The failure replays from
+/// its recorded seed.
+#[test]
+fn evict_before_ack_double_executes_and_replays_from_seed() {
+    let spec = RetransmitModel {
+        msgs: 2,
+        window: 2,
+        dup_budget: 1,
+        swap_budget: 1,
+        bug_evict_before_ack: true,
+    };
+    let report = shuttle::check_random(&spec, &Config::default());
+    let failure = report.failure.expect("early eviction must double-execute");
+    assert!(
+        failure.reason.contains("executed 2 times"),
+        "{}",
+        failure.reason
+    );
+    let seed = failure.seed.expect("random failures record their seed");
+    let replay = shuttle::replay_seed(&spec, seed, &Config::default());
+    let refailure = replay.failure.expect("seed replay must re-fail");
+    assert_eq!(refailure.reason, failure.reason);
+    assert_eq!(refailure.schedule, failure.schedule);
+
+    let healthy = shuttle::check_random(
+        &RetransmitModel {
+            bug_evict_before_ack: false,
+            ..spec
+        },
+        &Config::default(),
+    );
+    healthy.assert_ok();
 }
 
 /// The obituary-grants-uncommitted-state lease bug is detected.

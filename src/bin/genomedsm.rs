@@ -14,6 +14,10 @@
 //! genomedsm client --socket PATH [--name NAME] [--weight W]
 //!                  (--queries q.fa [--top-k N] | --reload db.fa |
 //!                   --stats | --shutdown)
+//! genomedsm node --rank R --cluster FILE [--session N] [--len N]
+//!                [--seed N] [--procs N] [--plan SPEC]
+//! genomedsm launch [--ranks N] [--cluster loopback] [--len N]
+//!                  [--seed N] [--session N] [--plan SPEC]
 //!
 //! align options:
 //!   --strategy heuristic|blocked|preprocess   (default blocked)
@@ -29,6 +33,19 @@
 //!                      (heartbeats, lock-lease recovery, work takeover)
 //!   --kill NODE:UNITS  fail-stop NODE after UNITS work units
 //!                      (repeatable; implies --tolerate-failures)
+//!
+//! node: one rank of a real multi-process cluster. Binds the UDP socket
+//! the manifest assigns to --rank, runs all three phase-1 strategies and
+//! phase 2 over the deterministic (--len, --seed) workload, and prints a
+//! report built only from gathered results — bit-identical on every rank
+//! and to the in-process simulation. Per-rank timings and transport
+//! counters go to stderr as `#metric` lines. The manifest comes from
+//! --cluster FILE (TOML) or the GENOMEDSM_CLUSTER environment variable.
+//!
+//! launch: spawns --ranks copies of this binary as `node` processes on a
+//! fresh loopback manifest, waits for them, and verifies every rank's
+//! report is bit-identical to the in-process run (with --plan, the chaos
+//! happens on real datagrams and must be invisible in the results).
 //!
 //! score: exact SW best score + threshold-hit count on the host (no DSM
 //! simulation), timed, using the selected vectorized kernel.
@@ -79,6 +96,8 @@ fn main() {
         Some("batch") => batch(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("node") => node(&args[1..]),
+        Some("launch") => launch(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
         }
@@ -89,8 +108,8 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: genomedsm <generate|align|exact|score|chaos|batch|serve|client> \
-     [options]  (--help for details)";
+const USAGE: &str = "usage: genomedsm <generate|align|exact|score|chaos|batch|serve|client\
+     |node|launch> [options]  (--help for details)";
 
 fn opt_kernel(args: &[String]) -> KernelChoice {
     match opt(args, "--kernel") {
@@ -764,6 +783,105 @@ fn client(args: &[String]) {
     } else {
         eprintln!("client needs one of --queries, --reload, --stats, --shutdown\n{USAGE}");
         exit(2);
+    }
+}
+
+/// Shared workload flags of `node` and `launch`.
+fn workload_spec(args: &[String], procs: usize) -> genomedsm::cluster::WorkloadSpec {
+    let mut spec = genomedsm::cluster::WorkloadSpec::quick(procs);
+    spec.len = opt_num(args, "--len", spec.len);
+    spec.seed = opt_num(args, "--seed", spec.seed);
+    spec.plan = opt(args, "--plan");
+    spec
+}
+
+fn node(args: &[String]) {
+    let rank: usize = match opt(args, "--rank") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --rank '{v}'");
+            exit(2);
+        }),
+        None => {
+            eprintln!("node needs --rank R\n{USAGE}");
+            exit(2);
+        }
+    };
+    // `load` prefers the GENOMEDSM_CLUSTER environment variable, so the
+    // flag is optional when the launcher exports the manifest instead.
+    let cluster_file = opt(args, "--cluster").unwrap_or_default();
+    if cluster_file.is_empty() && std::env::var(genomedsm::dsm::CLUSTER_ENV).is_err() {
+        eprintln!(
+            "node needs --cluster FILE (or ${})\n{USAGE}",
+            genomedsm::dsm::CLUSTER_ENV
+        );
+        exit(2);
+    }
+    let manifest = genomedsm::dsm::ClusterManifest::load(&cluster_file).unwrap_or_else(|e| {
+        eprintln!("cannot load cluster manifest '{cluster_file}': {e}");
+        exit(1);
+    });
+    let session: u64 = opt_num(args, "--session", 0);
+    let spec = workload_spec(args, opt_num(args, "--procs", manifest.len()));
+    if spec.procs != manifest.len() {
+        eprintln!(
+            "--procs {} does not match the manifest's {} node(s)",
+            spec.procs,
+            manifest.len()
+        );
+        exit(2);
+    }
+    let t0 = std::time::Instant::now();
+    let outcome = genomedsm::cluster::run_workload(&spec, Some((&manifest, rank, session)))
+        .unwrap_or_else(|e| {
+            eprintln!("rank {rank} failed: {e}");
+            exit(1);
+        });
+    print!("{}", outcome.report);
+    eprint!(
+        "{}",
+        genomedsm::cluster::render_metrics(rank, &outcome.metrics)
+    );
+    eprintln!("rank {rank} finished in {:.2?}", t0.elapsed());
+}
+
+fn launch(args: &[String]) {
+    let ranks: usize = opt_num(args, "--ranks", 4);
+    let cluster = opt(args, "--cluster").unwrap_or_else(|| "loopback".into());
+    if cluster != "loopback" {
+        eprintln!("launch only supports --cluster loopback (ephemeral local ports)");
+        exit(2);
+    }
+    let session: u64 = opt_num(args, "--session", 100);
+    let spec = workload_spec(args, ranks);
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own executable: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "launching {ranks} `genomedsm node` processes over loopback UDP \
+         ({} bp workload{})...",
+        spec.len,
+        spec.plan
+            .as_deref()
+            .map(|p| format!(", chaos plan '{p}'"))
+            .unwrap_or_default()
+    );
+    let t0 = std::time::Instant::now();
+    match genomedsm::cluster::launch(&exe, &spec, session) {
+        Ok(out) => {
+            print!("{}", out.report);
+            println!(
+                "launch: {ranks} processes, reports BIT-IDENTICAL to the in-process run \
+                 ({} datagrams, {} retransmits, {:.2?})",
+                out.datagrams_sent,
+                out.retransmits,
+                t0.elapsed()
+            );
+        }
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            exit(1);
+        }
     }
 }
 

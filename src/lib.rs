@@ -53,6 +53,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
+
 pub use genomedsm_batch as batch;
 pub use genomedsm_blast as blast;
 pub use genomedsm_chaos as chaos;

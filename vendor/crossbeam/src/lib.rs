@@ -18,6 +18,10 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signaled when a bounded queue frees a slot.
+        space: Condvar,
+        /// `None` = unbounded; `Some(cap)` = block sends at `cap` items.
+        capacity: Option<usize>,
         senders: AtomicUsize,
     }
 
@@ -52,9 +56,22 @@ pub mod channel {
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with(None)
+    }
+
+    /// Creates a bounded channel: `send` blocks while `cap` values are
+    /// queued (crossbeam's backpressure contract). `cap` must be ≥ 1.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel needs capacity >= 1");
+        channel_with(Some(cap))
+    }
+
+    fn channel_with<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
         });
         (
@@ -66,12 +83,31 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`; never blocks. Errors only when no receiver
-        /// can ever observe the value (all receivers dropped and we hold
-        /// the only queue reference) — matching crossbeam, a send into a
+        /// Enqueues `value`. Unbounded channels never block; bounded
+        /// channels block while full. Errors only when no receiver can
+        /// ever observe the value (all receivers dropped and we hold the
+        /// only queue reference) — matching crossbeam, a send into a
         /// channel that still has any live handle succeeds.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            if let Some(cap) = self.shared.capacity {
+                while queue.len() >= cap {
+                    // A full channel whose receivers are all gone would
+                    // block forever; report disconnection instead. The
+                    // only handles left are senders and the queue itself.
+                    if Arc::strong_count(&self.shared)
+                        <= self.shared.senders.load(Ordering::Acquire)
+                    {
+                        return Err(SendError(value));
+                    }
+                    queue = self
+                        .shared
+                        .space
+                        .wait_timeout(queue, std::time::Duration::from_millis(50))
+                        .expect("channel poisoned")
+                        .0;
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -105,6 +141,7 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = queue.pop_front() {
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -121,6 +158,7 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = queue.pop_front() {
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -150,11 +188,16 @@ pub mod channel {
 
         /// Dequeues without blocking; `None` when currently empty.
         pub fn try_recv(&self) -> Option<T> {
-            self.shared
+            let value = self
+                .shared
                 .queue
                 .lock()
                 .expect("channel poisoned")
-                .pop_front()
+                .pop_front();
+            if value.is_some() {
+                self.shared.space.notify_one();
+            }
+            value
         }
     }
 
@@ -222,6 +265,30 @@ pub mod channel {
                 rx.recv_timeout(std::time::Duration::from_millis(10)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let handle = std::thread::spawn(move || {
+                tx.send(3).unwrap(); // blocks until a slot frees
+                tx.send(4).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            for i in 1..=4 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_send_errors_when_full_and_receiver_gone() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            drop(rx);
+            assert_eq!(tx.send(2), Err(SendError(2)));
         }
 
         #[test]
