@@ -42,6 +42,11 @@
 //!              nodes fail-stopped mid-run, verifying exact-match
 //!              results on the survivors and recording takeover counts
 //!              and the virtual-time cost of each death
+//!   rejoin     elastic-membership sweep: a 3-round campaign with k of
+//!              the nodes killed in round 0 and readmitted at the next
+//!              workload boundary, asserting every round bit-identical
+//!              to the fault-free campaign and post-rejoin rounds
+//!              faster than a permanently degraded N-k cluster
 //!   summary    machine-checked repro gate: re-run the key claims and
 //!              print PASS/FAIL per claim
 //!   all        everything above
@@ -134,6 +139,7 @@ fn main() {
         "sockets" => sockets_bench(&args),
         "chaos" => chaos_sweep(&args),
         "takeover" => takeover_sweep(&args),
+        "rejoin" => rejoin_sweep(&args),
         "summary" => summary(&args),
         "all" => {
             table1_fig9_fig10(&args);
@@ -155,6 +161,7 @@ fn main() {
             sockets_bench(&args);
             chaos_sweep(&args);
             takeover_sweep(&args);
+            rejoin_sweep(&args);
         }
         other => {
             eprintln!("unknown experiment '{other}'\n{HELP}");
@@ -165,7 +172,7 @@ fn main() {
 
 const HELP: &str = "\
 usage: paper <experiment> [--scale N] [--procs 1,2,4,8] [--out DIR]
-experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels batch serve sockets chaos takeover summary all\n";
+experiments: table1 fig9 fig10 table2 table3 table4 fig12 fig13 fig14 fig15\n             fig16 fig18 fig19 fig20 section6 section6-area hetero ablation\n             kernels batch serve sockets chaos takeover rejoin summary all\n";
 
 /// The serial reference: a 1-node cluster run (virtual time = cells x
 /// calibrated cell cost plus negligible self-messaging), which matches the
@@ -1606,6 +1613,94 @@ fn takeover_sweep(args: &HarnessArgs) {
 }
 
 // ---------------------------------------------------------------------
+// Rejoin: the elastic-membership sweep
+// ---------------------------------------------------------------------
+
+/// Runs a 3-round heuristic campaign three ways — fault-free, with k
+/// nodes killed in round 0 and readmitted at the next workload
+/// boundary, and with the same k kills left permanent — asserting that
+/// every round of every scenario stays bit-identical to the fault-free
+/// campaign and recording whether the post-rejoin rounds recover
+/// full-strength throughput instead of staying degraded at N−k.
+fn rejoin_sweep(args: &HarnessArgs) {
+    use genomedsm_strategies::{heuristic_campaign, KillPlan};
+    let len = args.size(20_000);
+    let (s, t, _) = workloads::pair(len, 61);
+    let nprocs = (*args.procs.iter().max().expect("procs")).max(4);
+    let rounds = 3usize;
+    let max_killed = 2.min(nprocs - 1);
+    // Round-0 fail-stop points, staggered inside each victim's share of
+    // the wavefront (heuristic work units are per-node rows), and a
+    // short virtual downtime so the boundary admission lands the
+    // joiner at the round-1 membership-refresh barrier.
+    let per_node_rows = (s.len() / nprocs) as u64;
+    let stagger = [per_node_rows / 5, per_node_rows / 2];
+    let downtime = 8u64;
+
+    let campaign = |plan: Option<std::sync::Arc<KillPlan>>| {
+        let mut config = HeuristicDsmConfig::new(nprocs);
+        config.dsm = config.dsm.tolerate_failures();
+        if let Some(p) = plan {
+            config.dsm = config.dsm.faults(p as _);
+        }
+        heuristic_campaign(&s, &t, &SC, &params(), &config, rounds)
+    };
+    let clean = campaign(None);
+
+    let mut tab = Table::new(
+        &format!("Rejoin sweep: {len} bp x {len} bp, {nprocs} nodes, {rounds}-round campaign"),
+        &[
+            "killed",
+            "round",
+            "exact match",
+            "rejoins",
+            "elastic (s)",
+            "degraded (s)",
+            "clean (s)",
+            "recovered",
+        ],
+    );
+    for k in 1..=max_killed {
+        let mut rejoining = KillPlan::new();
+        let mut permanent = KillPlan::new();
+        for victim in 1..=k {
+            let at = stagger[(victim - 1) % stagger.len()];
+            rejoining = rejoining.kill(victim, at).rejoin(victim, downtime);
+            permanent = permanent.kill(victim, at);
+        }
+        let elastic = campaign(Some(std::sync::Arc::new(rejoining)));
+        let degraded = campaign(Some(std::sync::Arc::new(permanent)));
+        let rejoins: u64 = elastic.per_node.iter().map(|st| st.rejoins).sum();
+        for w in 0..rounds {
+            let exact = elastic.rounds[w].regions == clean.rounds[w].regions
+                && degraded.rounds[w].regions == clean.rounds[w].regions;
+            tab.row(&[
+                k.to_string(),
+                w.to_string(),
+                if exact { "yes" } else { "NO" }.to_string(),
+                rejoins.to_string(),
+                secs(elastic.rounds[w].wall),
+                secs(degraded.rounds[w].wall),
+                secs(clean.rounds[w].wall),
+                // Round 0 contains the deaths; full strength is only
+                // owed from the first post-rejoin round on.
+                if w == 0 {
+                    "n/a".to_string()
+                } else if elastic.rounds[w].wall < degraded.rounds[w].wall {
+                    "yes".to_string()
+                } else {
+                    "NO".to_string()
+                },
+            ]);
+        }
+        eprintln!("[rejoin] killed={k} done");
+    }
+    print!("{}", tab.render());
+    println!();
+    tab.save_csv(&args.artifact("rejoin.csv")).expect("csv");
+}
+
+// ---------------------------------------------------------------------
 // Summary: the machine-checked repro gate
 // ---------------------------------------------------------------------
 
@@ -1992,6 +2087,50 @@ fn summary(args: &HarnessArgs) {
             }
         }
         eprintln!("[summary] claim 15 done");
+    }
+
+    // Claim 16: elastic membership — a rank killed in round 0 of a
+    // 3-round campaign and readmitted at the next workload boundary
+    // leaves every round bit-identical to the fault-free campaign and
+    // restores full-strength throughput from the first post-rejoin
+    // round on, while a permanent kill stays degraded at N−1.
+    {
+        use genomedsm_strategies::{heuristic_campaign, KillPlan};
+        let len = args.size(15_000);
+        let (s, t, _) = workloads::pair(len, 61);
+        let rounds = 3usize;
+        let victim = 1 % nprocs;
+        let kill_at = (s.len() / nprocs.max(1)) as u64 / 5;
+        let campaign = |plan: Option<KillPlan>| {
+            let mut config = HeuristicDsmConfig::new(nprocs);
+            config.dsm = config.dsm.tolerate_failures();
+            if let Some(p) = plan {
+                config.dsm = config.dsm.faults(std::sync::Arc::new(p));
+            }
+            heuristic_campaign(&s, &t, &SC, &params(), &config, rounds)
+        };
+        let clean = campaign(None);
+        let elastic = campaign(Some(
+            KillPlan::new().kill(victim, kill_at).rejoin(victim, 8),
+        ));
+        let degraded = campaign(Some(KillPlan::new().kill(victim, kill_at)));
+        let identical = (0..rounds).all(|w| {
+            elastic.rounds[w].regions == clean.rounds[w].regions
+                && degraded.rounds[w].regions == clean.rounds[w].regions
+        });
+        let rejoins: u64 = elastic.per_node.iter().map(|st| st.rejoins).sum();
+        let recovered = (1..rounds).all(|w| elastic.rounds[w].wall < degraded.rounds[w].wall);
+        let gain =
+            degraded.rounds[1].wall.as_secs_f64() / elastic.rounds[1].wall.as_secs_f64().max(1e-12);
+        results.push((
+            "kill-then-rejoin campaign: bit-identical, throughput recovered (§5.13)",
+            identical && rejoins == 1 && recovered,
+            format!(
+                "{rounds} rounds bit-identical; {rejoins} rejoin; post-rejoin round \
+                 {gain:.2}x faster than permanent N-1"
+            ),
+        ));
+        eprintln!("[summary] claim 16 done");
     }
 
     let mut table = Table::new(

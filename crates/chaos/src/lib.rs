@@ -97,6 +97,17 @@ pub struct CrashEvent {
     pub after_unit: u64,
 }
 
+/// A scheduled rejoin of a previously crashed worker (elastic
+/// membership: the node announces itself after a spell of virtual
+/// downtime and is readmitted at the next workload boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinEvent {
+    /// The crashed machine that comes back.
+    pub node: usize,
+    /// Work units of virtual downtime before it announces itself.
+    pub after_unit: u64,
+}
+
 /// A complete, reproducible description of a chaos experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -108,6 +119,8 @@ pub struct FaultPlan {
     pub per_link: Vec<((usize, usize), LinkFaults)>,
     /// Scheduled node crashes.
     pub crashes: Vec<CrashEvent>,
+    /// Scheduled rejoins of crashed nodes.
+    pub rejoins: Vec<RejoinEvent>,
 }
 
 impl FaultPlan {
@@ -118,6 +131,7 @@ impl FaultPlan {
             link: LinkFaults::none(),
             per_link: Vec::new(),
             crashes: Vec::new(),
+            rejoins: Vec::new(),
         }
     }
 
@@ -153,6 +167,15 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a scheduled rejoin of a crashed node (builder-style). Only
+    /// meaningful for a node with a scheduled crash; the rejoin must name
+    /// a workload boundary inside the run (see the elastic-membership
+    /// notes in DESIGN.md §5.13).
+    pub fn with_rejoin(mut self, node: usize, after_unit: u64) -> Self {
+        self.rejoins.push(RejoinEvent { node, after_unit });
+        self
+    }
+
     /// Overrides the fault rates of the directed machine link
     /// `from → to` (builder-style).
     pub fn with_link(mut self, from: usize, to: usize, faults: LinkFaults) -> Self {
@@ -169,8 +192,9 @@ impl FaultPlan {
     /// seed=42,drop=0.05,dup=0.02,reorder=0.05,corrupt=0.01,delay_us=2000,crash=3@40
     /// ```
     ///
-    /// `crash=NODE@UNIT` may repeat. Unknown keys and malformed values
-    /// are errors, so a typo cannot silently run a different experiment.
+    /// `crash=NODE@UNIT` and `rejoin=NODE@UNIT` may repeat (a rejoin
+    /// needs a matching crash). Unknown keys and malformed values are
+    /// errors, so a typo cannot silently run a different experiment.
     pub fn parse(spec: &str) -> Result<Self, String> {
         match spec.trim() {
             "none" => return Ok(Self::quiet(0)),
@@ -219,11 +243,32 @@ impl FaultPlan {
                             .map_err(|_| format!("bad crash unit: '{unit}'"))?,
                     });
                 }
+                "rejoin" => {
+                    let (node, unit) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("rejoin wants NODE@UNIT, got '{value}'"))?;
+                    plan.rejoins.push(RejoinEvent {
+                        node: node
+                            .parse()
+                            .map_err(|_| format!("bad rejoin node: '{node}'"))?,
+                        after_unit: unit
+                            .parse()
+                            .map_err(|_| format!("bad rejoin unit: '{unit}'"))?,
+                    });
+                }
                 other => return Err(format!("unknown fault-plan key '{other}'")),
             }
         }
         if plan.link.reorder > 0.0 && plan.link.max_extra_delay == Duration::ZERO {
             plan.link.max_extra_delay = Duration::from_millis(2);
+        }
+        for r in &plan.rejoins {
+            if !plan.crashes.iter().any(|c| c.node == r.node) {
+                return Err(format!(
+                    "rejoin={}@{} has no matching crash for node {}",
+                    r.node, r.after_unit, r.node
+                ));
+            }
         }
         plan.link.validate()?;
         Ok(plan)
@@ -345,6 +390,15 @@ impl FaultInjector for SeededFaults {
             .map(|c| c.after_unit)
             .min()
     }
+
+    fn rejoin_point(&self, node: usize) -> Option<u64> {
+        self.plan
+            .rejoins
+            .iter()
+            .filter(|r| r.node == node)
+            .map(|r| r.after_unit)
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +516,33 @@ mod tests {
         assert!(FaultPlan::parse("drop=1.5").is_err());
         assert!(FaultPlan::parse("crash=3").is_err());
         assert!(FaultPlan::parse("drop=abc").is_err());
+    }
+
+    #[test]
+    fn parse_rejoin_needs_a_matching_crash() {
+        let plan = FaultPlan::parse("crash=2@10,rejoin=2@6").unwrap();
+        assert_eq!(
+            plan.rejoins,
+            vec![RejoinEvent {
+                node: 2,
+                after_unit: 6
+            }]
+        );
+        assert!(FaultPlan::parse("rejoin=2@6").is_err());
+        assert!(FaultPlan::parse("crash=1@10,rejoin=2@6").is_err());
+        assert!(FaultPlan::parse("crash=2@10,rejoin=2").is_err());
+        assert!(FaultPlan::parse("crash=2@10,rejoin=x@6").is_err());
+    }
+
+    #[test]
+    fn rejoin_point_reports_earliest_event_for_scheduled_nodes_only() {
+        let plan = FaultPlan::quiet(0)
+            .with_crash(2, 10)
+            .with_rejoin(2, 8)
+            .with_rejoin(2, 4);
+        let inj = SeededFaults::new(plan, 8);
+        assert_eq!(inj.rejoin_point(2), Some(4));
+        assert_eq!(inj.rejoin_point(3), None);
     }
 
     #[test]

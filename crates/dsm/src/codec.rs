@@ -272,6 +272,7 @@ const MSG_SHUTDOWN: u8 = 10;
 const MSG_HEARTBEAT: u8 = 11;
 const MSG_OBITUARY: u8 = 12;
 const MSG_PROBE_FAILURES: u8 = 13;
+const MSG_REJOIN: u8 = 14;
 
 /// Encodes a request into a checksummed frame.
 pub fn encode_msg(msg: &Msg) -> Vec<u8> {
@@ -361,9 +362,22 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             w = FrameWriter::new(MSG_HEARTBEAT);
             w.usize(*node);
         }
-        Msg::Obituary { node } => {
+        Msg::Obituary { node, incarnation } => {
             w = FrameWriter::new(MSG_OBITUARY);
             w.usize(*node);
+            w.u32(*incarnation);
+        }
+        Msg::Rejoin {
+            node,
+            incarnation,
+            admit_at_round,
+            stride,
+        } => {
+            w = FrameWriter::new(MSG_REJOIN);
+            w.usize(*node);
+            w.u32(*incarnation);
+            w.u64(*admit_at_round);
+            w.u64(*stride);
         }
         Msg::ProbeFailures {
             from,
@@ -451,7 +465,16 @@ pub fn decode_msg(frame: &[u8]) -> Result<Msg, DsmError> {
         },
         MSG_SHUTDOWN => Msg::Shutdown,
         MSG_HEARTBEAT => Msg::Heartbeat { node: r.usize()? },
-        MSG_OBITUARY => Msg::Obituary { node: r.usize()? },
+        MSG_OBITUARY => Msg::Obituary {
+            node: r.usize()?,
+            incarnation: r.u32()?,
+        },
+        MSG_REJOIN => Msg::Rejoin {
+            node: r.usize()?,
+            incarnation: r.u32()?,
+            admit_at_round: r.u64()?,
+            stride: r.u64()?,
+        },
         MSG_PROBE_FAILURES => {
             let from = r.usize()?;
             let cancel_waits = r.u32()? != 0;
@@ -479,6 +502,7 @@ const REPLY_CV_GRANTED: u8 = 0x83;
 const REPLY_BARRIER_DONE: u8 = 0x84;
 const REPLY_NODE_FAILED: u8 = 0x85;
 const REPLY_FAILURE_REPORT: u8 = 0x86;
+const REPLY_REJOIN_ACK: u8 = 0x87;
 
 /// Encodes a reply into a checksummed frame.
 pub fn encode_reply(reply: &Reply) -> Vec<u8> {
@@ -527,6 +551,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             dead,
             suspects,
             canceled,
+            epoch,
         } => {
             w = FrameWriter::new(REPLY_FAILURE_REPORT);
             w.u64(dead.len() as u64);
@@ -538,6 +563,24 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                 w.usize(*n);
             }
             w.u32(u32::from(*canceled));
+            w.u64(*epoch);
+        }
+        Reply::RejoinAck {
+            round,
+            dead,
+            migrations,
+        } => {
+            w = FrameWriter::new(REPLY_REJOIN_ACK);
+            w.u64(*round);
+            w.u64(dead.len() as u64);
+            for n in dead {
+                w.usize(*n);
+            }
+            w.u64(migrations.len() as u64);
+            for (page, to) in migrations {
+                w.u64(*page);
+                w.usize(*to);
+            }
         }
     }
     w.finish()
@@ -591,6 +634,21 @@ pub fn decode_reply(frame: &[u8]) -> Result<Reply, DsmError> {
                 dead,
                 suspects,
                 canceled: r.u32()? != 0,
+                epoch: r.u64()?,
+            }
+        }
+        REPLY_REJOIN_ACK => {
+            let round = r.u64()?;
+            let d = r.len(8)?;
+            let dead = (0..d).map(|_| r.usize()).collect::<Result<_, _>>()?;
+            let m = r.len(16)?;
+            let migrations = (0..m)
+                .map(|_| Ok((r.u64()?, r.usize()?)))
+                .collect::<Result<_, DsmError>>()?;
+            Reply::RejoinAck {
+                round,
+                dead,
+                migrations,
             }
         }
         other => return Err(DsmError::BadTag(other)),
@@ -640,11 +698,20 @@ mod tests {
     fn supervision_frames_roundtrip() {
         for m in [
             Msg::Heartbeat { node: 5 },
-            Msg::Obituary { node: 2 },
+            Msg::Obituary {
+                node: 2,
+                incarnation: 0,
+            },
             Msg::ProbeFailures {
                 from: 7,
                 cancel_waits: true,
                 known: vec![1, 3],
+            },
+            Msg::Rejoin {
+                node: 3,
+                incarnation: 2,
+                admit_at_round: 41,
+                stride: 9,
             },
         ] {
             assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
@@ -655,6 +722,12 @@ mod tests {
                 dead: vec![1, 6],
                 suspects: vec![3],
                 canceled: false,
+                epoch: 9,
+            },
+            Reply::RejoinAck {
+                round: 12,
+                dead: vec![5],
+                migrations: vec![(17, 2), (40, 0)],
             },
             Reply::BarrierDone {
                 notices: vec![],

@@ -119,9 +119,36 @@ pub struct Daemon {
     /// Nodes this daemon has seen obituaries for (the failure detector's
     /// confirmed-dead set; ordered so reports are deterministic).
     dead: BTreeSet<usize>,
+    /// Every node that has *ever* fail-stopped, regardless of later
+    /// re-admission. Wait cancellation is driven by this history, not by
+    /// the current dead set: a consumer that parks *after* a producer's
+    /// rejoin was admitted would otherwise never learn about the death
+    /// (its chunks stop at the crash point — the joiner idles until the
+    /// handback barrier) and block forever.
+    ever_died: BTreeSet<usize>,
     /// Heartbeat gossip table: virtual time each node was last heard
     /// from (heartbeats plus any request traffic).
     last_heard: Vec<Duration>,
+    /// Membership epoch: bumped on every processed obituary and every
+    /// admitted rejoin, and gossiped in [`Reply::FailureReport`] so
+    /// probers observe view changes, not just the current dead set.
+    membership_epoch: u64,
+    /// Cumulative home-migration decisions of the whole run (daemon 0
+    /// only — it decides every migration). Shipped in
+    /// [`Reply::RejoinAck`] so a joiner can rebuild `home_overrides` it
+    /// missed while dead; stale overrides would fetch pages from homes
+    /// that already shipped them away.
+    migration_log: Vec<(u64, usize)>,
+    /// Rejoin announcements parked until the barrier reaches their
+    /// `admit_at_round` boundary (daemon 0 only): `(node, incarnation,
+    /// admit_at_round, arrive, rseq)`. Admitting mid-workload would make
+    /// in-flight rounds wait for a rank whose next arrival targets a
+    /// later round — a barrier deadlock.
+    pending_rejoins: Vec<(usize, u32, u64, Duration, u64)>,
+    /// Latest admitted incarnation per rank. Fences stale obituaries: on
+    /// a lossy transport a delayed duplicate death notice of incarnation
+    /// `k` must not re-kill a rank whose incarnation `k+1` was admitted.
+    admitted_inc: Vec<u32>,
 }
 
 impl Daemon {
@@ -164,7 +191,12 @@ impl Daemon {
             stats: DaemonStats::default(),
             supervision,
             dead: BTreeSet::new(),
+            ever_died: BTreeSet::new(),
             last_heard: vec![Duration::ZERO; nprocs],
+            membership_epoch: 0,
+            migration_log: Vec::new(),
+            pending_rejoins: Vec::new(),
+            admitted_inc: vec![0; nprocs],
         }
     }
 
@@ -449,7 +481,13 @@ impl Daemon {
                     self.last_heard[node] = self.last_heard[node].max(arrive);
                 }
             }
-            Msg::Obituary { node } => self.handle_obituary(node, arrive),
+            Msg::Obituary { node, incarnation } => self.handle_obituary(node, incarnation, arrive),
+            Msg::Rejoin {
+                node,
+                incarnation,
+                admit_at_round,
+                stride,
+            } => self.handle_rejoin(node, incarnation, admit_at_round, stride, arrive, rseq),
             Msg::ProbeFailures {
                 from,
                 cancel_waits,
@@ -594,6 +632,9 @@ impl Daemon {
             } else {
                 Vec::new()
             };
+            // Only daemon 0 runs this (it is the barrier manager), so the
+            // cumulative log it keeps for rejoin admission is complete.
+            self.migration_log.extend(migrations.iter().copied());
             // Epoch sync: every daemon advances, whether or not it adopts
             // pages, so parked future-epoch requests always drain.
             let mut incoming_per: HashMap<usize, Vec<u64>> = HashMap::new();
@@ -625,6 +666,23 @@ impl Daemon {
                     },
                 );
             }
+            // Boundary admissions: parked rejoins whose agreed round has
+            // been reached take effect now, after this round's grants
+            // went out with the joiner still dead-credited. The admitted
+            // joiner's next barrier arrival is exactly the new round.
+            let latest = round.latest;
+            let due: Vec<(usize, u32, u64, Duration, u64)> = {
+                let rounds = self.barrier.rounds;
+                let (due, keep) = self
+                    .pending_rejoins
+                    .drain(..)
+                    .partition(|&(_, _, at, ..)| rounds >= at);
+                self.pending_rejoins = keep;
+                due
+            };
+            for (node, incarnation, _, arrive, rseq) in due {
+                self.admit(node, incarnation, arrive.max(latest), rseq);
+            }
         }
     }
 
@@ -633,11 +691,18 @@ impl Daemon {
     /// state), removes its queued lock/cv waits, wakes every remaining cv
     /// waiter with [`Reply::NodeFailed`] so blocked survivors can unwind
     /// into recovery, and re-checks the barrier over the survivors.
-    fn handle_obituary(&mut self, node: usize, arrive: Duration) {
+    fn handle_obituary(&mut self, node: usize, incarnation: u32, arrive: Duration) {
+        // Incarnation fence: a delayed duplicate obituary of a life that
+        // has since been re-admitted must not re-kill the rank.
+        if node < self.nprocs && incarnation < self.admitted_inc[node] {
+            return;
+        }
         if !self.dead.insert(node) {
             return;
         }
+        self.ever_died.insert(node);
         self.stats.obituaries += 1;
+        self.membership_epoch += 1;
         // Lease break: a lock held by the dead node is released on its
         // behalf. The notices of its *completed* release intervals are
         // already in the lock history, so the next grant replays the last
@@ -702,11 +767,17 @@ impl Daemon {
     /// Answers a failure-detector query. Suspicion state: confirmed-dead
     /// nodes (obituaries) plus nodes whose last heartbeat is older than
     /// `detect_after` relative to the probe. If `cancel_waits` is set and
-    /// there are confirmed deaths the prober has *not* listed in `known`,
-    /// the prober's parked cv waits on this daemon are cancelled so it can
-    /// unwind into recovery instead of re-blocking. Already-known deaths
-    /// never cancel: a survivor that adopted the dead node's work may
-    /// legitimately block again on the same cvs.
+    /// the death *history* contains a rank the prober has not listed in
+    /// `known`, the prober's parked cv waits on this daemon are cancelled
+    /// so it can unwind into recovery instead of re-blocking. The check
+    /// runs over `ever_died`, not the current dead set: an admitted rejoin
+    /// clears `dead`, but a waiter parked on the joiner's pre-crash chunks
+    /// still has to unwind and adopt — the joiner produces nothing until
+    /// the handback barrier. Deaths the prober has *ever* seen never
+    /// cancel: a survivor that adopted the dead node's work may
+    /// legitimately block again on the same cvs, and once the handback
+    /// barrier clears its current view the history entry must not
+    /// re-cancel it in later workloads.
     fn handle_probe(
         &mut self,
         from: usize,
@@ -715,7 +786,7 @@ impl Daemon {
         arrive: Duration,
         rseq: u64,
     ) {
-        let dead: Vec<usize> = self.dead.iter().copied().collect();
+        let mut dead: Vec<usize> = self.dead.iter().copied().collect();
         let mut suspects: Vec<usize> = self
             .last_heard
             .iter()
@@ -730,12 +801,29 @@ impl Daemon {
             .collect();
         suspects.sort_unstable();
         let mut canceled = false;
-        let new_death = self.dead.iter().any(|n| !known.contains(n));
-        if cancel_waits && new_death {
+        let unseen: Vec<usize> = self
+            .ever_died
+            .iter()
+            .copied()
+            .filter(|n| !known.contains(n))
+            .collect();
+        if cancel_waits && !unseen.is_empty() {
             for st in self.cvs.values_mut() {
                 let before = st.waiters.len();
                 st.waiters.retain(|&(n, ..)| n != from);
                 canceled |= st.waiters.len() != before;
+            }
+            if canceled {
+                // The canceling report must name the historic deaths so
+                // the waiter can blame one and fold them into its view —
+                // even if they have since been re-admitted, their role is
+                // adopted until the handback barrier.
+                for n in unseen {
+                    if !dead.contains(&n) {
+                        dead.push(n);
+                    }
+                }
+                dead.sort_unstable();
             }
         }
         self.reply(
@@ -746,8 +834,109 @@ impl Daemon {
                 dead,
                 suspects,
                 canceled,
+                epoch: self.membership_epoch,
             },
         );
+    }
+
+    /// Routes a rejoin announcement. On daemon 0 — the admission
+    /// authority — the admission is *deferred* until the completed-round
+    /// count reaches `admit_at_round`: the joiner's first post-admission
+    /// barrier arrival is exactly that round, so admitting any earlier
+    /// would stall the in-flight rounds (they would wait for a live rank
+    /// that never arrives at them). An announcement that arrives *after*
+    /// its named boundary already passed (delayed or retransmitted on a
+    /// lossy transport) is just as dangerous in the other direction:
+    /// admitting it mid-workload would hand the role back while the
+    /// survivors' adoption view for the in-flight round still owns it —
+    /// two live owners. So a late announcement is re-deferred to the
+    /// next boundary multiple `admit_at_round + k·stride` strictly in
+    /// the future (the joiner's campaign driver skips the missed rounds;
+    /// see its `run_elastic`). `stride == 0` opts out (no later boundary
+    /// exists) and admits immediately. Non-zero daemons only ever see
+    /// announcements *forwarded by daemon 0 at the boundary*, so they
+    /// admit on receipt.
+    fn handle_rejoin(
+        &mut self,
+        node: usize,
+        incarnation: u32,
+        admit_at_round: u64,
+        stride: u64,
+        arrive: Duration,
+        rseq: u64,
+    ) {
+        if self.id == 0 {
+            let rounds = self.barrier.rounds;
+            let target = if rounds < admit_at_round {
+                admit_at_round
+            } else {
+                match (rounds - admit_at_round).checked_div(stride) {
+                    // Late: next multiple of `stride` past
+                    // `admit_at_round` that is strictly in the future.
+                    // `(d/stride + 1)·stride > d` always, so the
+                    // admission lands at a real boundary the barrier
+                    // has not completed yet.
+                    Some(d) => admit_at_round + (d + 1) * stride,
+                    // `stride == 0`: no later boundary exists — admit
+                    // at whatever boundary comes next.
+                    None => rounds,
+                }
+            };
+            if rounds < target {
+                self.pending_rejoins
+                    .push((node, incarnation, target, arrive, rseq));
+                return;
+            }
+        }
+        self.admit(node, incarnation, arrive, rseq);
+    }
+
+    /// Admits a previously-dead node back into the membership view:
+    /// remove it from the dead set, refresh its heartbeat entry (so the
+    /// stall watchdog does not keep reporting the joiner as suspect
+    /// until its first post-rejoin heartbeat), record the admitted
+    /// incarnation (fencing stale obituaries of the previous life), and
+    /// bump the membership epoch. Daemon 0 additionally forwards the
+    /// announcement to every other daemon and answers the joiner with a
+    /// [`Reply::RejoinAck`] carrying the authoritative barrier round
+    /// (the joiner resynchronizes its consistency epoch to it), the
+    /// post-admission dead set, and the cumulative home-migration log so
+    /// the joiner can rebuild `home_overrides` it missed while dead.
+    fn admit(&mut self, node: usize, incarnation: u32, arrive: Duration, rseq: u64) {
+        let was_dead = self.dead.remove(&node);
+        if node < self.nprocs {
+            self.last_heard[node] = self.last_heard[node].max(arrive);
+            self.admitted_inc[node] = self.admitted_inc[node].max(incarnation);
+        }
+        if was_dead {
+            self.membership_epoch += 1;
+        }
+        if self.id == 0 {
+            for d in 1..self.nprocs {
+                self.send_daemon(
+                    d,
+                    arrive,
+                    Msg::Rejoin {
+                        node,
+                        incarnation,
+                        admit_at_round: self.barrier.rounds,
+                        // Forwarded announcements are already boundary
+                        // decisions; receivers admit on receipt.
+                        stride: 0,
+                    },
+                );
+            }
+            self.reply(
+                node,
+                arrive,
+                rseq,
+                Reply::RejoinAck {
+                    round: self.barrier.rounds,
+                    dead: self.dead.iter().copied().collect(),
+                    migrations: self.migration_log.clone(),
+                },
+            );
+        }
     }
 }
 

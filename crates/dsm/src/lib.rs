@@ -75,8 +75,8 @@ pub use config::{DsmConfig, SupervisionConfig};
 pub use error::DsmError;
 pub use lock_order::{LockOrderGraph, LockOrderMode, LockOrderViolation, LOCK_ORDER_ENABLED};
 pub use net::{
-    FaultInjector, LinkMsg, NetworkModel, RetransmitPolicy, TransmitFate, CHAN_DAEMON, CHAN_REPLY,
-    CHAN_REQ,
+    FaultInjector, LinkMsg, NetworkModel, RetransmitPolicy, ScheduleOnly, TransmitFate,
+    CHAN_DAEMON, CHAN_REPLY, CHAN_REQ,
 };
 pub use node::Node;
 pub use stats::{breakdown_many, DaemonStats, NodeStats, StatsBreakdown};

@@ -185,6 +185,43 @@ pub enum Msg {
     Obituary {
         /// The node declared dead.
         node: usize,
+        /// The incarnation of the life that died. A daemon drops an
+        /// obituary for an incarnation older than the latest one it has
+        /// admitted — on a lossy transport a delayed duplicate must not
+        /// re-kill a rank that has since rejoined.
+        incarnation: u32,
+    },
+    /// Elastic-membership announcement: a fail-stopped worker asks to come
+    /// back. Sent to daemon 0 only — the barrier manager and admission
+    /// authority. Daemon 0 *defers* the admission until its completed
+    /// barrier-round count reaches `admit_at_round` (a workload boundary
+    /// the joiner and the survivors agree on by construction): admitting
+    /// mid-workload would make in-flight rounds wait for a rank that
+    /// arrives at a different round, deadlocking the barrier. At the
+    /// boundary, daemon 0 removes `node` from its dead set, refreshes its
+    /// heartbeat gossip entry (a stale `last_heard` must not make the
+    /// joiner instantly suspect again), bumps its membership epoch,
+    /// forwards the announcement to every other daemon (which admit on
+    /// receipt), and answers the joiner with [`Reply::RejoinAck`].
+    Rejoin {
+        /// The node rejoining the cluster.
+        node: usize,
+        /// The joiner's incarnation number (1 for the first rejoin).
+        /// Carried so a daemon can fence stale obituaries of the previous
+        /// life, and distinguish a fresh announcement from a
+        /// retransmitted stale one.
+        incarnation: u32,
+        /// The completed-round count at which the admission takes effect;
+        /// the joiner's first post-admission barrier arrival is exactly
+        /// this round.
+        admit_at_round: u64,
+        /// Barrier rounds per workload boundary. If the announcement
+        /// arrives *after* `admit_at_round` has already passed (a delayed
+        /// or retransmitted announcement on a lossy transport), daemon 0
+        /// must not admit mid-workload; it defers to the next boundary
+        /// `admit_at_round + k·stride` strictly in the future. `0` means
+        /// "no later boundary exists" and admits immediately when late.
+        stride: u64,
     },
     /// Explicit failure-detector query (stall watchdog, or a survivor
     /// refreshing its dead-set). The daemon answers with
@@ -258,6 +295,27 @@ pub enum Reply {
         suspects: Vec<usize>,
         /// Whether the prober's parked cv waits were cancelled.
         canceled: bool,
+        /// This daemon's membership epoch: bumped on every obituary and
+        /// every admitted rejoin, so heartbeat gossip carries view
+        /// changes, not just deaths.
+        epoch: u64,
+    },
+    /// Admission grant for a rejoining node ([`Msg::Rejoin`] response from
+    /// daemon 0). Resynchronizes the joiner with everything it missed
+    /// while dead.
+    RejoinAck {
+        /// Completed barrier rounds at admission: the joiner's new
+        /// migration epoch (it missed the grants that would have advanced
+        /// it).
+        round: u64,
+        /// The dead set after the joiner's removal (other nodes may still
+        /// be down); becomes the joiner's `known_dead`.
+        dead: Vec<usize>,
+        /// The cumulative home-migration log `(page, new home)` since the
+        /// start of the run, so the joiner rebuilds its `home_overrides`
+        /// — stale overrides would fetch pages from homes that shipped
+        /// them away long ago.
+        migrations: Vec<(u64, usize)>,
     },
 }
 
@@ -279,6 +337,7 @@ impl Msg {
             Msg::Shutdown => HDR,
             Msg::Heartbeat { .. } => HDR,
             Msg::Obituary { .. } => HDR,
+            Msg::Rejoin { .. } => HDR,
             Msg::ProbeFailures { known, .. } => HDR + known.len() * 4,
         }
     }
@@ -303,6 +362,9 @@ impl Reply {
             Reply::FailureReport { dead, suspects, .. } => {
                 HDR + dead.len() * 4 + suspects.len() * 4
             }
+            Reply::RejoinAck {
+                dead, migrations, ..
+            } => HDR + dead.len() * 4 + migrations.len() * 12,
         }
     }
 }

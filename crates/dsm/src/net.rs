@@ -150,6 +150,44 @@ pub trait FaultInjector: Send + Sync + std::fmt::Debug {
         let _ = node;
         None
     }
+
+    /// If a crashed worker `node` is scheduled to rejoin the run, the
+    /// number of work units of virtual downtime before it announces
+    /// itself. `None` (the default) means the crash is permanent and the
+    /// survivors carry the dead node's roles to the end of the run.
+    fn rejoin_point(&self, node: usize) -> Option<u64> {
+        let _ = node;
+        None
+    }
+}
+
+/// An injector view exposing only another injector's crash/rejoin
+/// schedule: every transmission fate is a clean delivery.
+///
+/// The wire path uses this to split one configured injector in two:
+/// link fates go to the [`crate::UdpTransport`], which
+/// applies them to the real datagrams, while the fail-stop/rejoin
+/// schedule stays with the protocol layer (the worker consults
+/// `crash_point`/`rejoin_point` itself). Without the split, simulated
+/// fates in virtual time would compound the transport's real ones.
+#[derive(Debug)]
+pub struct ScheduleOnly(pub std::sync::Arc<dyn FaultInjector>);
+
+impl FaultInjector for ScheduleOnly {
+    fn fate(&self, _link: &LinkMsg) -> TransmitFate {
+        TransmitFate::Deliver {
+            extra_delay: Duration::ZERO,
+            duplicates: 0,
+        }
+    }
+
+    fn crash_point(&self, node: usize) -> Option<u64> {
+        self.0.crash_point(node)
+    }
+
+    fn rejoin_point(&self, node: usize) -> Option<u64> {
+        self.0.rejoin_point(node)
+    }
 }
 
 /// Timeout/retransmission policy of the reliability sublayer.

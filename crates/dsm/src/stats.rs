@@ -70,6 +70,9 @@ pub struct NodeStats {
     pub heartbeats: u64,
     /// Dead-node work units this node adopted and re-executed.
     pub takeovers: u64,
+    /// Times this node rejoined the run after a fail-stop (elastic
+    /// membership); its virtual downtime is part of `recovery_time`.
+    pub rejoins: u64,
     /// Lock leases this machine's daemon broke for dead holders.
     pub leases_broken: u64,
     /// Obituaries this machine's daemon processed.
@@ -124,6 +127,7 @@ impl NodeStats {
         self.recovery_time += other.recovery_time;
         self.heartbeats += other.heartbeats;
         self.takeovers += other.takeovers;
+        self.rejoins += other.rejoins;
         self.leases_broken += other.leases_broken;
         self.obituaries += other.obituaries;
         self.waiters_woken += other.waiters_woken;

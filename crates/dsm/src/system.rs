@@ -227,10 +227,16 @@ impl DsmSystem {
             "manifest rank count must equal nprocs"
         );
         let rank = ctx.rank;
-        // The chaos injector moves from the protocol layer (where it
-        // would simulate faults in virtual time) to the transport, which
-        // applies the same seeded fates to the real datagrams.
+        // The chaos injector's link fates move from the protocol layer
+        // (where they would simulate faults in virtual time) to the
+        // transport, which applies the same seeded fates to the real
+        // datagrams. The crash/rejoin schedule stays with the protocol
+        // layer: the worker consults it for its own fail-stop and
+        // elastic-membership rejoin points.
         let faults = config.faults.take();
+        if let Some(f) = &faults {
+            config.faults = Some(Arc::new(crate::net::ScheduleOnly(Arc::clone(f))));
+        }
         let mut transport = match UdpTransport::bind(ctx, config.retransmit, faults) {
             Ok(t) => t,
             Err(e) => panic!("cannot start UDP transport: {e}"),

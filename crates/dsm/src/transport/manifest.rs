@@ -111,7 +111,36 @@ impl ClusterManifest {
         if nodes.is_empty() {
             return Err(bad("`nodes` array is empty"));
         }
+        Self::finish(nodes)
+    }
+
+    /// Shared validation of a parsed address list: every rank must have
+    /// its own distinct socket (two ranks on one address would fight
+    /// over the bind and the peer map would alias them).
+    fn finish(nodes: Vec<SocketAddr>) -> Result<Self, DsmError> {
+        for (later, addr) in nodes.iter().enumerate() {
+            if let Some(first) = nodes[..later].iter().position(|a| a == addr) {
+                return Err(bad(format!(
+                    "duplicate address {addr} (ranks {first} and {later}): \
+                     every rank needs its own socket"
+                )));
+            }
+        }
         Ok(Self { nodes })
+    }
+
+    /// Checks the manifest against a configured processor count; a
+    /// mismatch (say, `--procs 8` against a 4-node manifest) would leave
+    /// ranks with no address or addresses with no rank.
+    pub fn expect_ranks(&self, nprocs: usize) -> Result<(), DsmError> {
+        if self.len() != nprocs {
+            return Err(bad(format!(
+                "rank count mismatch: the run wants {nprocs} rank(s) but the \
+                 manifest names {} node(s)",
+                self.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Loads a manifest: the `GENOMEDSM_CLUSTER` environment variable if
@@ -141,7 +170,7 @@ impl ClusterManifest {
         if nodes.is_empty() {
             return Err(bad("address list is empty"));
         }
-        Ok(Self { nodes })
+        Self::finish(nodes)
     }
 
     /// Renders the manifest back to its TOML form (what a launcher
@@ -323,6 +352,39 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn rejects_duplicate_addresses_naming_both_ranks() {
+        let err =
+            ClusterManifest::parse("nodes = [ \"127.0.0.1:1\", \"127.0.0.1:2\", \"127.0.0.1:1\" ]")
+                .unwrap_err();
+        let DsmError::Manifest(reason) = &err else {
+            panic!("wrong error type: {err:?}");
+        };
+        assert!(
+            reason.contains("duplicate") && reason.contains("ranks 0 and 2"),
+            "unhelpful message: {reason}"
+        );
+        // Same check guards the env-list format.
+        assert!(matches!(
+            ClusterManifest::from_list("127.0.0.1:9, 127.0.0.1:9"),
+            Err(DsmError::Manifest(_))
+        ));
+    }
+
+    #[test]
+    fn expect_ranks_reports_both_counts() {
+        let m = ClusterManifest::loopback(4, 9200);
+        assert!(m.expect_ranks(4).is_ok());
+        let err = m.expect_ranks(8).unwrap_err();
+        let DsmError::Manifest(reason) = &err else {
+            panic!("wrong error type: {err:?}");
+        };
+        assert!(
+            reason.contains("8 rank(s)") && reason.contains("4 node(s)"),
+            "unhelpful message: {reason}"
+        );
     }
 
     #[test]

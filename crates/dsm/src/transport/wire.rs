@@ -231,6 +231,7 @@ impl Wire for NodeStats {
         self.recovery_time.encode(w);
         w.u64(self.heartbeats);
         w.u64(self.takeovers);
+        w.u64(self.rejoins);
         w.u64(self.leases_broken);
         w.u64(self.obituaries);
         w.u64(self.waiters_woken);
@@ -260,6 +261,7 @@ impl Wire for NodeStats {
             recovery_time: Duration::decode(r)?,
             heartbeats: r.u64()?,
             takeovers: r.u64()?,
+            rejoins: r.u64()?,
             leases_broken: r.u64()?,
             obituaries: r.u64()?,
             waiters_woken: r.u64()?,

@@ -86,7 +86,16 @@ fn all_msgs() -> Vec<Msg> {
         },
         Msg::Shutdown,
         Msg::Heartbeat { node: 3 },
-        Msg::Obituary { node: 7 },
+        Msg::Obituary {
+            node: 7,
+            incarnation: 1,
+        },
+        Msg::Rejoin {
+            node: 7,
+            incarnation: 2,
+            admit_at_round: 19,
+            stride: 4,
+        },
         Msg::ProbeFailures {
             from: 1,
             cancel_waits: true,
@@ -135,11 +144,23 @@ fn all_replies() -> Vec<Reply> {
             dead: vec![1, 4],
             suspects: vec![2],
             canceled: true,
+            epoch: 3,
         },
         Reply::FailureReport {
             dead: vec![],
             suspects: vec![],
             canceled: false,
+            epoch: 0,
+        },
+        Reply::RejoinAck {
+            round: 9,
+            dead: vec![2, 5],
+            migrations: vec![(17, 3), (u64::MAX, 0)],
+        },
+        Reply::RejoinAck {
+            round: 0,
+            dead: vec![],
+            migrations: vec![],
         },
     ]
 }

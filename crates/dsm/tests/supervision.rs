@@ -173,6 +173,146 @@ fn stale_heartbeats_surface_as_suspicion_not_death() {
 }
 
 #[test]
+fn rejoined_node_is_admitted_and_clears_the_dead_view() {
+    // Node 2 fail-stops, then rejoins after 200 ms of virtual downtime
+    // and publishes a write. Every node loops on `barrier_wait` until the
+    // round's dead vector is empty — the strategy sweep's convergence
+    // pattern — which tolerates both admission orderings (before or after
+    // the survivors' round completes). On exit everyone must agree the
+    // cluster is whole again and see the joiner's post-rejoin write.
+    let run = DsmSystem::run(supervised(3), |node| {
+        let v = node.alloc_vec::<i64>(3);
+        node.barrier();
+        if node.id() == 2 {
+            node.fail_stop();
+            assert!(node.failed());
+            // The boundary round is the one the cluster is already at,
+            // so the admission is immediate.
+            let dead = node.rejoin(Duration::from_millis(200), node.round(), 0);
+            assert!(!node.failed());
+            assert_eq!(node.incarnation(), 1);
+            assert!(dead.is_empty(), "joiner's post-admission dead view");
+            node.vec_set(&v, 2, 42);
+        }
+        while !node.barrier_wait().is_empty() {}
+        assert!(node.known_dead().is_empty(), "dead view cleared on rejoin");
+        node.vec_get(&v, 2)
+    });
+    assert_eq!(run.results, vec![42, 42, 42]);
+    assert_eq!(run.stats.iter().map(|s| s.rejoins).sum::<u64>(), 1);
+    assert_eq!(run.stats.iter().map(|s| s.obituaries).sum::<u64>(), 3);
+    assert!(run.stats[2].recovery_time >= Duration::from_millis(200));
+}
+
+#[test]
+fn admission_is_deferred_to_the_agreed_boundary_round() {
+    // The joiner announces immediately but names a boundary two rounds
+    // ahead; daemon 0 parks the announcement, the survivors' mid-workload
+    // rounds complete under dead-credit (their grants still report the
+    // rank dead), and the admission takes effect exactly when the
+    // boundary round starts — the joiner's first arrival lands there.
+    let run = DsmSystem::run(supervised(3), |node| {
+        node.barrier();
+        let base = node.round();
+        if node.id() == 2 {
+            node.fail_stop();
+            let dead = node.rejoin(Duration::from_millis(100), base + 2, 0);
+            assert!(dead.is_empty(), "joiner's post-admission dead view");
+            assert_eq!(node.round(), base + 2, "epoch resyncs to the boundary");
+            node.barrier_wait()
+        } else {
+            assert_eq!(node.barrier_wait(), vec![2], "mid-workload round 1");
+            assert_eq!(node.barrier_wait(), vec![2], "mid-workload round 2");
+            node.barrier_wait()
+        }
+    });
+    for id in 0..3 {
+        assert!(
+            run.results[id].is_empty(),
+            "boundary grant must be clean for node {id}"
+        );
+    }
+    assert_eq!(run.stats.iter().map(|s| s.rejoins).sum::<u64>(), 1);
+}
+
+#[test]
+fn late_announcement_is_redeferred_to_the_next_boundary_multiple() {
+    // The announcement names a boundary that has *already passed* by the
+    // time daemon 0 sees it (a host gate holds it back while the
+    // survivors complete two dead-credited rounds). Admitting it
+    // immediately would hand the role back mid-workload — two live
+    // owners — so the daemon must re-defer to the next multiple of the
+    // announced stride strictly in the future, and the joiner's first
+    // arrival lands exactly there.
+    let gate = std::sync::Arc::new(std::sync::Barrier::new(3));
+    let run = DsmSystem::run(supervised(3), move |node| {
+        node.barrier();
+        let base = node.round();
+        if node.id() == 2 {
+            node.fail_stop();
+            gate.wait(); // survivors are already ≥ 2 rounds past `base`
+            let dead = node.rejoin(Duration::from_millis(50), base, 2);
+            assert!(dead.is_empty(), "joiner's post-admission dead view");
+            let admitted = node.round();
+            assert!(
+                admitted >= base + 4 && (admitted - base) % 2 == 0,
+                "late admission lands on a future stride multiple, got +{}",
+                admitted - base
+            );
+        } else {
+            assert_eq!(node.barrier_wait(), vec![2], "mid-workload round 1");
+            assert_eq!(node.barrier_wait(), vec![2], "mid-workload round 2");
+            gate.wait();
+        }
+        // Pad dead-credited rounds until the admission clears the view;
+        // the joiner's first wait is already clean.
+        while !node.barrier_wait().is_empty() {}
+        node.id() as i64
+    });
+    assert_eq!(run.results, vec![0, 1, 2]);
+    assert_eq!(run.stats.iter().map(|s| s.rejoins).sum::<u64>(), 1);
+}
+
+#[test]
+fn rejoined_rank_is_not_suspect_after_admission() {
+    // Stall-watchdog regression: admission must refresh the joiner's
+    // heartbeat entry. Without it, the joiner's `last_heard` stays at its
+    // pre-death traffic, and a probe right after the handback barrier
+    // reports the freshly-admitted rank as suspect for a whole
+    // `detect_after` window.
+    let run = DsmSystem::run(supervised(2), |node| {
+        let v = node.alloc_vec::<i64>(1);
+        if node.id() == 1 {
+            // Touch node 0's daemon so last_heard[1] is non-zero there.
+            let _ = node.vec_get(&v, 0);
+        }
+        node.barrier();
+        if node.id() == 1 {
+            node.fail_stop();
+            // A downtime much longer than detect_after: a stale heartbeat
+            // entry from before the death is guaranteed suspect.
+            node.rejoin(Duration::from_secs(1), node.round(), 0);
+        }
+        while !node.barrier_wait().is_empty() {}
+        if node.id() == 0 {
+            let suspects = node.probe_suspects();
+            assert!(
+                !suspects.contains(&1),
+                "rejoined rank 1 must not be suspect, got {suspects:?}"
+            );
+            assert!(node.known_dead().is_empty());
+            assert!(
+                node.membership_epoch() >= 2,
+                "death + admission bump the membership epoch twice"
+            );
+        }
+        node.barrier();
+        node.id() as i64
+    });
+    assert_eq!(run.results, vec![0, 1]);
+}
+
+#[test]
 fn heartbeats_are_counted_and_free_of_failures() {
     let run = DsmSystem::run(supervised(2), |node| {
         for _ in 0..5 {

@@ -15,7 +15,7 @@
 //! Table 3's *blocking multiplier* `a × h` maps to `blocks = a·P` and
 //! `bands = h·P`.
 
-use crate::checkpoint::{run_with_takeover, FlowChannel, Ledger};
+use crate::checkpoint::{run_elastic, run_with_takeover, FlowChannel, Ledger};
 use crate::hcell_data::HCellData;
 use crate::ring::ChunkRing;
 use crate::Phase1Outcome;
@@ -313,25 +313,34 @@ fn tolerant_worker(
     let crash_at = node.crash_point();
     let mut units = 0u64;
 
-    let pieces = run_with_takeover(node, nprocs, |node, execute, resume, queue| {
-        run_bands(
-            node,
-            &ledger,
-            kernel,
-            s,
-            t,
-            band_bounds,
-            block_bounds,
-            nprocs,
-            cell_cost,
-            execute,
-            resume,
-            crash_at,
-            &mut units,
-            queue,
-        )
+    // One work unit is one band×block tile; a scheduled rejoin's virtual
+    // downtime is priced at that granularity.
+    let tile_cells = (s.len() / bands.max(1)).max(1) * (t.len() / blocks.max(1)).max(1);
+    let unit_time = cell_cost.saturating_mul(tile_cells.min(u32::MAX as usize) as u32);
+    // A single workload wrapped in the elastic driver: a victim with a
+    // scheduled rejoin is re-admitted at the closing boundary, so the run
+    // always ends with full membership.
+    let mut rounds = run_elastic(node, 1, nprocs.max(1) + 2, unit_time, |node, _| {
+        run_with_takeover(node, nprocs, |node, execute, resume, queue| {
+            run_bands(
+                node,
+                &ledger,
+                kernel,
+                s,
+                t,
+                band_bounds,
+                block_bounds,
+                nprocs,
+                cell_cost,
+                execute,
+                resume,
+                crash_at,
+                &mut units,
+                queue,
+            )
+        })
     });
-    match pieces {
+    match rounds.pop().flatten() {
         Some(qs) => qs.into_iter().flatten().collect(),
         None => Vec::new(), // this worker fail-stopped
     }

@@ -40,6 +40,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Typed error of a strategy run: an I/O failure (checkpoint and
 /// saved-column files), a DSM-level failure that recovery could not
@@ -141,6 +142,22 @@ pub fn merged_roles(me: usize, nprocs: usize, dead: &[usize]) -> Vec<usize> {
     roles.push(me);
     roles.sort_unstable();
     roles
+}
+
+/// The inverse of [`adopter_of`] for elastic membership: the survivor
+/// that carried `joiner`'s role while it was dead and hands it back at
+/// the admission barrier. `dead` is the dead set *after* the joiner's
+/// admission (i.e. not containing the joiner); the carrying adopter is
+/// whoever the adoption assignment named while the joiner was still
+/// counted dead. Like the adoption map itself, every node computes this
+/// identically from the barrier round's dead vector, so handback needs
+/// no coordination beyond the round grant.
+pub fn handback_of(joiner: usize, nprocs: usize, dead: &[usize]) -> usize {
+    let mut while_dead = dead.to_vec();
+    if !while_dead.contains(&joiner) {
+        while_dead.push(joiner);
+    }
+    adopter_of(joiner, nprocs, &while_dead)
 }
 
 // ---------------------------------------------------------------------------
@@ -272,6 +289,7 @@ impl<T: DsmData + Copy> Ledger<T> {
 #[derive(Debug, Clone, Default)]
 pub struct KillPlan {
     kills: Vec<(usize, u64)>,
+    rejoins: Vec<(usize, u64)>,
 }
 
 impl KillPlan {
@@ -288,9 +306,22 @@ impl KillPlan {
         self
     }
 
+    /// Schedules a killed `node` to rejoin the run after `units` work
+    /// units of virtual downtime (elastic membership). Has no effect on a
+    /// node without a scheduled kill.
+    pub fn rejoin(mut self, node: usize, units: u64) -> Self {
+        self.rejoins.push((node, units));
+        self
+    }
+
     /// The scheduled victims, in insertion order.
     pub fn victims(&self) -> Vec<usize> {
         self.kills.iter().map(|&(n, _)| n).collect()
+    }
+
+    /// The victims scheduled to rejoin, in insertion order.
+    pub fn joiners(&self) -> Vec<usize> {
+        self.rejoins.iter().map(|&(n, _)| n).collect()
     }
 }
 
@@ -304,6 +335,13 @@ impl FaultInjector for KillPlan {
 
     fn crash_point(&self, node: usize) -> Option<u64> {
         self.kills
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, u)| u)
+    }
+
+    fn rejoin_point(&self, node: usize) -> Option<u64> {
+        self.rejoins
             .iter()
             .find(|&&(n, _)| n == node)
             .map(|&(_, u)| u)
@@ -546,14 +584,31 @@ impl FlowChannel {
 ///    and the sweep exits immediately — the fault-free path pays exactly
 ///    the one barrier the plain strategy already had.
 ///
-/// Returns the accumulator of every successful body call (attempt first,
-/// then one per sweep round that executed roles), or `None` if this
-/// worker fail-stopped — the strategy then returns its sentinel result.
+/// The sweep's exit test compares each round's dead vector against the
+/// *previous round's grant*: within one workload grants are monotone,
+/// so this is equivalent to the per-node seen-union, and every live
+/// node — receiving the identical global grant sequence — exits at the
+/// same round.
+///
+/// Within one workload a fail-stop is **permanent**: this driver
+/// returns `None` and the strategy returns its sentinel result. A
+/// scheduled rejoin ([`Node::rejoin_point`]) is the campaign driver
+/// [`run_elastic`]'s business — admission happens only at a workload
+/// boundary, never mid-workload, because a joiner re-entering
+/// mid-stream would race its own adopter on the flow-control condition
+/// variables and desynchronize the anonymous barrier rounds.
 pub fn run_with_takeover<R: Default>(
     node: &mut Node,
     nprocs: usize,
     mut body: impl FnMut(&mut Node, &[usize], bool, &mut R) -> Result<(), DsmError>,
 ) -> Option<Vec<R>> {
+    if node.failed() {
+        // A fail-stopped rank must not execute the body at all: its sync
+        // ops are inert but its page reads are not, so running compute
+        // here would resurrect the corpse. Campaign rounds after a
+        // permanent death land here.
+        return None;
+    }
     let p = node.id();
     let mut pieces = Vec::new();
     let completed = loop {
@@ -577,10 +632,10 @@ pub fn run_with_takeover<R: Default>(
         }
     }
     let mut handled: std::collections::BTreeSet<usize> = completed.into_iter().collect();
-    let mut seen_dead: Vec<usize> = Vec::new();
+    let mut prev_dead: Vec<usize> = Vec::new();
     loop {
         let dead = node.barrier_wait();
-        if dead.iter().all(|d| seen_dead.contains(d)) {
+        if dead.iter().all(|d| prev_dead.contains(d)) {
             break;
         }
         let mine = merged_roles(p, nprocs, &dead);
@@ -596,7 +651,9 @@ pub fn run_with_takeover<R: Default>(
                     pieces.push(acc);
                     for &r in &todo {
                         handled.insert(r);
-                        node.note_takeover();
+                        if r != p {
+                            node.note_takeover();
+                        }
                     }
                 }
                 Err(_) if node.failed() => return None,
@@ -606,9 +663,135 @@ pub fn run_with_takeover<R: Default>(
                 Err(e) => panic!("unrecoverable DSM error during takeover: {e}"),
             }
         }
-        seen_dead = dead;
+        prev_dead = dead;
     }
     Some(pieces)
+}
+
+/// Virtual downtime of a scheduled rejoin: `units` work units at the
+/// strategy's calibrated per-unit cost.
+pub fn rejoin_downtime(unit_time: Duration, units: u64) -> Duration {
+    unit_time.saturating_mul(units.min(u64::from(u32::MAX)) as u32)
+}
+
+/// The elastic-membership campaign driver: runs `rounds` workloads and
+/// implements the **join/handback protocol** around them.
+///
+/// Every node calls this with the same arguments; `body(node, w)` runs
+/// workload `w` end to end (typically via [`run_with_takeover`]) and
+/// must tolerate being called on a fail-stopped node (all its DSM sync
+/// ops are inert; [`run_with_takeover`] returns `None` and the body
+/// returns its sentinel).
+///
+/// The driver's contract is **round determinism**: each workload is
+/// padded with empty barriers up to a fixed per-round `budget`, so the
+/// global barrier-round number of every workload boundary is known to
+/// every rank — even to a fail-stopped one whose own grants are inert.
+/// That is what lets a joiner name its admission round: at the first
+/// boundary after its crash it calls [`Node::rejoin`] with
+/// `admit_at_round = base + (w+1) × budget`; daemon 0 parks the
+/// announcement until the survivors' padding completes the boundary
+/// round, the handback happens there, and the joiner re-enters the next
+/// workload owning its original role again (the ledgers of the crashed
+/// workload stay with the adopters — catch-up already replayed them).
+///
+/// `budget` must be at least the barrier count of the worst workload
+/// **plus one**: the driver opens every round with a membership-refresh
+/// barrier (the boundary round's own grant is issued before admissions
+/// drain, so it still dead-credits the joiner), then the body's own
+/// barriers follow — `1 + base_barriers + kills` (each observed death
+/// adds at most one sweep round). The driver asserts it. `unit_time`
+/// prices the joiner's virtual downtime ([`Node::rejoin_point`] is
+/// denominated in work units).
+///
+/// Liveness assumes the transport's delivery bound: an announcement
+/// sent at a boundary is delivered before the campaign's final barrier
+/// tears the run down (`models::rejoin` encodes the same assumption as
+/// its final-boundary gate). Schedule rejoin points inside the
+/// campaign, not at its very end.
+///
+/// Returns one body result per workload round; rounds a late-admitted
+/// joiner missed hold `R::default()`, the same sentinel a dead rank
+/// reports.
+pub fn run_elastic<R: Default>(
+    node: &mut Node,
+    rounds: usize,
+    budget: usize,
+    unit_time: Duration,
+    mut body: impl FnMut(&mut Node, usize) -> R,
+) -> Vec<R> {
+    let base = node.round();
+    let mut rejoined = false;
+    let mut out = Vec::with_capacity(rounds);
+    let mut w = 0usize;
+    while w < rounds {
+        // Boundary w: the first boundary after this rank's crash is
+        // where it announces. Admission is deferred by daemon 0 to the
+        // boundary round itself, so this blocks (in host time) until
+        // every survivor has finished workload w-1 and its padding.
+        if node.failed() && !rejoined {
+            if let Some(units) = node.rejoin_point() {
+                node.rejoin(
+                    rejoin_downtime(unit_time, units),
+                    base + (w as u64) * budget as u64,
+                    budget as u64,
+                );
+                rejoined = true;
+                // If the announcement missed its boundary (delayed or
+                // retransmitted past it), daemon 0 re-deferred the
+                // admission to a later boundary multiple. The missed
+                // workloads ran without us — the survivors' adopters
+                // owned our roles — so record their dead sentinel and
+                // catch up to the admitted boundary's workload index.
+                let admitted = node.round();
+                while base + (w as u64) * (budget as u64) < admitted && w < rounds {
+                    out.push(R::default());
+                    w += 1;
+                }
+                if w >= rounds {
+                    break;
+                }
+            }
+        }
+        let before = node.round();
+        // Membership refresh: the boundary round's grant was issued
+        // while the joiner was still dead-credited (admissions drain
+        // after the grants go out), so every rank takes one barrier
+        // before the body consults its membership view — this round's
+        // grant reflects every admission drained at the boundary. Costs
+        // one budget round; inert on a dead rank, as required.
+        node.barrier_wait();
+        out.push(body(node, w));
+        let used = (node.round() - before) as usize;
+        assert!(
+            used <= budget,
+            "workload {w} consumed {used} barrier rounds, budget is {budget}"
+        );
+        // Padding keeps every boundary at a globally known round number
+        // regardless of how many sweep rounds the deaths cost. A failed
+        // rank's barriers are inert, which is exactly right: it is
+        // dead-credited until its admission boundary.
+        for _ in used..budget {
+            node.barrier_wait();
+        }
+        w += 1;
+    }
+    // Closing boundary: a rank whose crash landed in the last workload
+    // (or whose scheduled downtime reaches past it) rejoins here, so a
+    // campaign always ends with full membership and the rejoin is
+    // observable in the run's stats. Stride 0: there is no boundary
+    // after this one to re-defer a late announcement to.
+    if node.failed() && !rejoined {
+        if let Some(units) = node.rejoin_point() {
+            node.rejoin(
+                rejoin_downtime(unit_time, units),
+                base + (rounds as u64) * budget as u64,
+                0,
+            );
+        }
+    }
+    node.barrier();
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -1027,5 +1210,224 @@ mod tests {
 
         assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn handback_is_the_inverse_of_adoption() {
+        // Property: for every cluster size, joiner, and dead set not
+        // containing the joiner, the rank handing a role back is exactly
+        // the rank that adopted it when the joiner was dead.
+        for nprocs in 1..=8usize {
+            for joiner in 0..nprocs {
+                for mask in 0u32..(1 << nprocs) {
+                    let dead: Vec<usize> = (0..nprocs).filter(|&n| mask & (1 << n) != 0).collect();
+                    if dead.contains(&joiner) || dead.len() == nprocs {
+                        continue;
+                    }
+                    let mut while_dead = dead.clone();
+                    while_dead.push(joiner);
+                    while_dead.sort_unstable();
+                    if while_dead.len() == nprocs {
+                        continue; // nobody left alive to adopt
+                    }
+                    assert_eq!(
+                        handback_of(joiner, nprocs, &dead),
+                        adopter_of(joiner, nprocs, &while_dead),
+                        "nprocs={nprocs} joiner={joiner} dead={dead:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handback_comes_from_a_live_rank_that_held_the_role() {
+        // 8 ranks, 1 and 2 still dead, 3 rejoining: while 3 was dead the
+        // contiguous run {1,2,3} folded onto 4, so 4 hands the role back.
+        assert_eq!(handback_of(3, 8, &[1, 2]), 4);
+        // Healthy cluster: the joiner's role was held by its adopter.
+        assert_eq!(handback_of(5, 8, &[]), 6);
+        assert_eq!(handback_of(7, 8, &[]), 0, "handback wraps cyclically");
+    }
+
+    #[test]
+    fn kill_plan_schedules_rejoins() {
+        let plan = KillPlan::new().kill(2, 5).rejoin(2, 7).kill(4, 9);
+        assert_eq!(plan.victims(), vec![2, 4]);
+        assert_eq!(plan.joiners(), vec![2]);
+        assert_eq!(FaultInjector::crash_point(&plan, 2), Some(5));
+        assert_eq!(FaultInjector::rejoin_point(&plan, 2), Some(7));
+        assert_eq!(
+            FaultInjector::rejoin_point(&plan, 4),
+            None,
+            "no rejoin scheduled for node 4"
+        );
+        assert_eq!(FaultInjector::crash_point(&plan, 0), None);
+    }
+
+    #[test]
+    fn rejoin_downtime_is_units_times_unit_cost() {
+        use std::time::Duration;
+        assert_eq!(
+            rejoin_downtime(Duration::from_millis(3), 7),
+            Duration::from_millis(21)
+        );
+        assert_eq!(rejoin_downtime(Duration::from_millis(3), 0), Duration::ZERO);
+        // Saturates instead of overflowing on absurd unit counts.
+        let _ = rejoin_downtime(Duration::from_secs(1), u64::MAX);
+    }
+
+    #[test]
+    fn ledger_replay_edge_cases() {
+        // Satellite coverage: an empty (never-written) ledger snapshots to
+        // all-zero progress; a resume-from-zero channel replays nothing
+        // and then operates normally; sequential adoptions of the same
+        // role pick up from the exact published cursor each time.
+        let run = DsmSystem::run(DsmConfig::new(1), |node| {
+            let ledger = Ledger::<i32>::new(node, 1, 8, 1);
+            node.barrier();
+
+            // Empty ledger: zero cursors, not done, zero user word.
+            let meta = ledger.snapshot(node, 0);
+            assert_eq!(
+                meta,
+                LedgerMeta {
+                    pushes: 0,
+                    pops: 0,
+                    done: false,
+                    user: 0
+                }
+            );
+
+            // Replay-to-cursor-zero: a resume channel over the empty
+            // ledger starts from ordinal 0 like a fresh one.
+            let roles = [0usize];
+            let mut ch = FlowChannel::new(node, &ledger, 0, 0, 0, 1, 1, true);
+            for c in 0..3u64 {
+                ch.produce(node, &ledger, &roles, c, &[c as i32 + 1])
+                    .unwrap();
+            }
+            for c in 0..3u64 {
+                assert_eq!(
+                    ch.consume(node, &ledger, &roles, c, 1).unwrap(),
+                    vec![c as i32 + 1]
+                );
+            }
+
+            // First adoption of role 0: the adopter's channel resumes at
+            // the published cursors (3 pushes, 3 pops) and extends the
+            // log; a second sequential adoption resumes at the new
+            // cursor (5) — nothing is replayed twice, nothing skipped.
+            for round in 0..2u64 {
+                let mut adopted = FlowChannel::new(node, &ledger, 0, 0, 0, 1, 1, true);
+                let base = 3 + round * 2;
+                for c in base..base + 2 {
+                    adopted
+                        .produce(node, &ledger, &roles, c, &[c as i32 + 1])
+                        .unwrap();
+                    assert_eq!(
+                        adopted.consume(node, &ledger, &roles, c, 1).unwrap(),
+                        vec![c as i32 + 1]
+                    );
+                }
+                assert_eq!(ledger.snapshot(node, 0).pushes, base + 2);
+            }
+
+            // The full log is readable back byte-for-byte.
+            let all: Vec<i32> = (0..7)
+                .map(|c| ledger.read_chunk(node, 0, c, 1)[0])
+                .collect();
+            node.barrier();
+            all
+        });
+        assert_eq!(run.results[0], vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn elastic_driver_readmits_at_the_boundary() {
+        // Three ranks, two campaign rounds with a barrier budget of 3
+        // (refresh + one body barrier + one spare).
+        // Rank 2 dies in round 0 and is scheduled to rejoin; the driver
+        // must re-admit it at the round-1 boundary so round 1 runs on the
+        // full cluster, and every rank's boundary rounds line up.
+        let cfg = DsmConfig::new(3)
+            .supervise(genomedsm_dsm::SupervisionConfig {
+                enabled: true,
+                detect_after: std::time::Duration::from_millis(50),
+                watchdog: std::time::Duration::from_millis(400),
+            })
+            .faults(std::sync::Arc::new(KillPlan::new().kill(2, 1).rejoin(2, 4)));
+        let run = DsmSystem::run(cfg, |node| {
+            node.barrier();
+            let base = node.round();
+            let memberships = run_elastic(
+                node,
+                2,
+                3,
+                std::time::Duration::from_millis(1),
+                |node, w| {
+                    if node.failed() {
+                        return usize::MAX;
+                    }
+                    if node.id() == 2 && w == 0 {
+                        node.fail_stop();
+                        return usize::MAX;
+                    }
+                    let dead = node.barrier_wait();
+                    assert_eq!(
+                        node.round(),
+                        base + (w as u64) * 3 + 2,
+                        "refresh + body barrier land inside the round's budget"
+                    );
+                    3 - dead.len()
+                },
+            );
+            assert_eq!(node.round(), base + 7, "2 rounds × budget 3 + close");
+            memberships
+        });
+        // Round 0 ran degraded (the kill fires before the body barrier on
+        // rank 2), round 1 at full strength after the boundary handback.
+        for id in 0..2 {
+            assert_eq!(run.results[id], vec![2, 3], "rank {id} memberships");
+        }
+        assert_eq!(run.results[2], vec![usize::MAX, 3], "joiner's view");
+        assert_eq!(run.stats.iter().map(|s| s.rejoins).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn elastic_driver_leaves_a_permanent_death_degraded() {
+        // Same shape but no scheduled rejoin: the cluster stays at N−1
+        // for the rest of the campaign — the degradation baseline the
+        // rejoin sweep compares against.
+        let cfg = DsmConfig::new(3)
+            .supervise(genomedsm_dsm::SupervisionConfig {
+                enabled: true,
+                detect_after: std::time::Duration::from_millis(50),
+                watchdog: std::time::Duration::from_millis(400),
+            })
+            .faults(std::sync::Arc::new(KillPlan::new().kill(2, 1)));
+        let run = DsmSystem::run(cfg, |node| {
+            node.barrier();
+            run_elastic(
+                node,
+                2,
+                3,
+                std::time::Duration::from_millis(1),
+                |node, w| {
+                    if node.failed() {
+                        return usize::MAX;
+                    }
+                    if node.id() == 2 && w == 0 {
+                        node.fail_stop();
+                        return usize::MAX;
+                    }
+                    3 - node.barrier_wait().len()
+                },
+            )
+        });
+        for id in 0..2 {
+            assert_eq!(run.results[id], vec![2, 2], "rank {id} stays degraded");
+        }
+        assert_eq!(run.stats.iter().map(|s| s.rejoins).sum::<u64>(), 0);
     }
 }

@@ -14,7 +14,7 @@
 //!
 //! Barriers are used only at the beginning and end of the computation.
 
-use crate::checkpoint::{run_with_takeover, FlowChannel, Ledger};
+use crate::checkpoint::{run_elastic, run_with_takeover, FlowChannel, Ledger};
 use crate::hcell_data::HCellData;
 use crate::ring::ChunkRing;
 use crate::Phase1Outcome;
@@ -134,6 +134,110 @@ pub fn heuristic_align_dsm(
     }
 }
 
+/// Per-round result of an elastic campaign (see [`heuristic_campaign`]).
+#[derive(Debug)]
+pub struct CampaignRound {
+    /// Finalized candidate regions of this round's workload.
+    pub regions: Vec<LocalRegion>,
+    /// Virtual wall of the round: the slowest node's elapsed virtual
+    /// time across the workload, its boundary padding, and any rejoin
+    /// downtime charged at the following boundary.
+    pub wall: std::time::Duration,
+}
+
+/// Outcome of [`heuristic_campaign`].
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// One entry per workload round, in execution order.
+    pub rounds: Vec<CampaignRound>,
+    /// Final per-node DSM statistics (cumulative over the campaign).
+    pub per_node: Vec<genomedsm_dsm::NodeStats>,
+    /// Real host time of the whole campaign.
+    pub host_wall: std::time::Duration,
+}
+
+/// Runs `rounds` back-to-back strategy-1 workloads on one supervised
+/// cluster — the elastic-membership campaign behind the `paper rejoin`
+/// sweep (summary claim 20). A rank killed by the fault plan sits out
+/// the rest of its workload (survivors adopt its role via the push
+/// ledgers); if the plan also schedules a rejoin it is re-admitted at
+/// the next workload boundary and later rounds run at full strength,
+/// while without one the cluster stays degraded at N−k for the rest of
+/// the campaign. Every round recomputes the same alignment, so each
+/// round's regions must equal a fault-free run's — the bench asserts
+/// exactly that bit-identity.
+pub fn heuristic_campaign(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    params: &HeuristicParams,
+    config: &HeuristicDsmConfig,
+    rounds: usize,
+) -> CampaignOutcome {
+    let t0 = Instant::now();
+    let nprocs = config.dsm.nprocs;
+    let cell_cost = config.cell_cost;
+    let kernel = RowKernel::new(*scoring, *params);
+    let m = s.len();
+    let unit_time = cell_cost.saturating_mul((t.len() / nprocs.max(1)).max(1) as u32);
+    // Per-round barrier budget: 1 for the ledger barrier plus the
+    // takeover sweep's worst case of 1 + (nprocs − 1) rounds.
+    let budget = nprocs.max(1) + 2;
+
+    let run = DsmSystem::run(config.dsm.clone(), |node| {
+        assert!(node.supervised(), "elastic campaigns require supervision");
+        let crash_at = node.crash_point();
+        let mut units = 0u64;
+        let mut marks: Vec<std::time::Duration> = Vec::with_capacity(rounds + 1);
+        let per_round = run_elastic(node, rounds, budget, unit_time, |node, w| {
+            marks.push(node.now());
+            // Fresh ledger and cv range per round: a prior round's push
+            // log or leftover ack-signal surplus must not leak forward.
+            let ledger = Ledger::<HCellData>::new(node, nprocs, m.max(1), 1);
+            node.barrier();
+            let cv_base = (2 * nprocs * w) as u32;
+            let pieces = run_with_takeover(node, nprocs, |node, execute, resume, queue| {
+                for &r in execute {
+                    run_role(
+                        node, &ledger, &kernel, s, t, nprocs, cell_cost, r, cv_base, execute,
+                        resume, crash_at, &mut units, queue,
+                    )?;
+                }
+                Ok(())
+            });
+            match pieces {
+                Some(qs) => qs.into_iter().flatten().collect::<Vec<LocalRegion>>(),
+                None => Vec::new(), // dead for the rest of this round
+            }
+        });
+        marks.push(node.now());
+        (per_round, marks)
+    });
+
+    let mut results = run.results;
+    let mut out = Vec::with_capacity(rounds);
+    for w in 0..rounds {
+        let regions: Vec<LocalRegion> = results
+            .iter_mut()
+            .flat_map(|(r, _)| std::mem::take(&mut r[w]))
+            .collect();
+        let wall = results
+            .iter()
+            .map(|(_, marks)| marks[w + 1].saturating_sub(marks[w]))
+            .max()
+            .unwrap_or_default();
+        out.push(CampaignRound {
+            regions: finalize_queue(regions),
+            wall,
+        });
+    }
+    CampaignOutcome {
+        rounds: out,
+        per_node: run.stats,
+        host_wall: t0.elapsed(),
+    }
+}
+
 /// Strategy 1 worker in tolerant mode (supervision enabled): border
 /// cells flow through a per-role [`Ledger`] log instead of ring slots,
 /// so a surviving node can adopt a dead neighbour's column slice and
@@ -155,18 +259,28 @@ fn tolerant_worker(
     let crash_at = node.crash_point();
     let mut units = 0u64;
 
-    // Roles execute in ascending order: role r's input producer is r-1,
-    // so earlier merged roles fully feed later ones through the log.
-    let pieces = run_with_takeover(node, nprocs, |node, execute, resume, queue| {
-        for &r in execute {
-            run_role(
-                node, &ledger, kernel, s, t, nprocs, cell_cost, r, execute, resume, crash_at,
-                &mut units, queue,
-            )?;
-        }
-        Ok(())
+    // One work unit is one row of a role's column slice; a scheduled
+    // rejoin's virtual downtime is priced at that granularity.
+    let unit_time = cell_cost.saturating_mul((t.len() / nprocs.max(1)).max(1) as u32);
+    // A single workload wrapped in the elastic driver: a victim with a
+    // scheduled rejoin is re-admitted at the closing boundary, so the run
+    // always ends with full membership. Budget: the takeover sweep costs
+    // at most 1 + deaths barrier rounds.
+    let mut rounds = run_elastic(node, 1, nprocs.max(1) + 2, unit_time, |node, _| {
+        // Roles execute in ascending order: role r's input producer is
+        // r-1, so earlier merged roles fully feed later ones through the
+        // log.
+        run_with_takeover(node, nprocs, |node, execute, resume, queue| {
+            for &r in execute {
+                run_role(
+                    node, &ledger, kernel, s, t, nprocs, cell_cost, r, 0, execute, resume,
+                    crash_at, &mut units, queue,
+                )?;
+            }
+            Ok(())
+        })
     });
-    match pieces {
+    match rounds.pop().flatten() {
         Some(qs) => qs.into_iter().flatten().collect(),
         None => Vec::new(), // this worker fail-stopped
     }
@@ -174,7 +288,9 @@ fn tolerant_worker(
 
 /// One role's complete row loop on the tolerant path. `roles` is the
 /// executing node's current merged role set (decides which channel
-/// endpoints are internal); `resume` replays recorded progress.
+/// endpoints are internal); `resume` replays recorded progress;
+/// `cv_base` offsets the flow cv ids so campaign rounds sharing a node
+/// never alias a prior round's leftover signal surplus.
 #[allow(clippy::too_many_arguments)]
 fn run_role(
     node: &mut Node,
@@ -185,6 +301,7 @@ fn run_role(
     nprocs: usize,
     cell_cost: std::time::Duration,
     r: usize,
+    cv_base: u32,
     roles: &[usize],
     resume: bool,
     crash_at: Option<u64>,
@@ -202,8 +319,8 @@ fn run_role(
             ledger,
             b,
             r,
-            (2 * b) as u32,
-            (2 * b + 1) as u32,
+            cv_base + (2 * b) as u32,
+            cv_base + (2 * b + 1) as u32,
             1,
             resume,
         )
@@ -214,8 +331,8 @@ fn run_role(
             ledger,
             r,
             r + 1,
-            (2 * r) as u32,
-            (2 * r + 1) as u32,
+            cv_base + (2 * r) as u32,
+            cv_base + (2 * r + 1) as u32,
             1,
             resume,
         )

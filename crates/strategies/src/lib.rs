@@ -32,7 +32,9 @@ pub mod wire;
 
 pub use blocked::{heuristic_block_align, BlockedConfig, GridPlan};
 pub use checkpoint::{KillPlan, StrategyError, StrategyResult};
-pub use heuristic_dsm::{heuristic_align_dsm, HeuristicDsmConfig};
+pub use heuristic_dsm::{
+    heuristic_align_dsm, heuristic_campaign, CampaignOutcome, CampaignRound, HeuristicDsmConfig,
+};
 pub use phase2::{
     phase2_block_mapping, phase2_scattered, phase2_scattered_pool, phase2_scattered_with,
 };

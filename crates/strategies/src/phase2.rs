@@ -84,6 +84,10 @@ pub fn phase2_scattered_with(
 ) -> StrategyResult<Phase2Outcome> {
     let t0 = Instant::now();
     let scoring = *scoring;
+    // One work unit is one region alignment; a scheduled rejoin's
+    // virtual downtime is priced at the mean region cost.
+    let avg_cells =
+        regions.iter().map(|r| r.s_len() * r.t_len()).sum::<usize>() / regions.len().max(1);
     let run = DsmSystem::run_wire(config.clone(), |node| {
         let p = node.id();
         let nprocs = node.nprocs();
@@ -95,80 +99,101 @@ pub fn phase2_scattered_with(
             None
         };
         let mut units = 0u64;
-        let mut mine: Vec<(usize, RegionAlignment)> = Vec::new();
-        // Aligns every scattered index of `role`; false means this node
-        // fail-stopped mid-role (its memory, `mine` included, is lost).
+        // Aligns every scattered index of `role` into `mine`; false means
+        // this node fail-stopped mid-role (its memory, `mine` included,
+        // is lost). Textual macro: `node` and `mine` bind at the
+        // expansion site, so both the plain path and the elastic body
+        // below use their own.
         macro_rules! run_role {
-            ($role:expr) => {{
+            ($node:expr, $mine:expr, $role:expr) => {{
                 let mut idx = $role;
                 let mut ok = true;
                 while idx < regions.len() {
                     let r = &regions[idx];
                     let ra = align_region(s, t, r, &scoring);
-                    node.advance(crate::costs::cells(
+                    $node.advance(crate::costs::cells(
                         crate::costs::NW_CELL,
                         r.s_len() * r.t_len(),
                     ));
-                    node.vec_set(&shared_scores, idx, ra.alignment.score);
-                    mine.push((idx, ra));
+                    $node.vec_set(&shared_scores, idx, ra.alignment.score);
+                    $mine.push((idx, ra));
                     units += 1;
                     if crash_at == Some(units) {
-                        node.fail_stop();
+                        $node.fail_stop();
                         ok = false;
                         break;
                     }
-                    node.heartbeat();
+                    $node.heartbeat();
                     idx += nprocs;
                 }
                 ok
             }};
         }
-        if !run_role!(p) {
+        if node.supervised() {
+            // The tolerant path runs as a one-round elastic campaign: a
+            // victim with a scheduled rejoin is re-admitted at the
+            // closing boundary, after the survivors' cross-check. Budget:
+            // takeover sweep (at most nprocs rounds) + the final barrier.
+            let unit_time = crate::costs::cells(crate::costs::NW_CELL, avg_cells.max(1));
+            let mut rounds =
+                crate::checkpoint::run_elastic(node, 1, nprocs.max(1) + 3, unit_time, |node, _| {
+                    let mut mine: Vec<(usize, RegionAlignment)> = Vec::new();
+                    if node.failed() || !run_role!(node, mine, p) {
+                        return Vec::new();
+                    }
+                    // Takeover sweep: the scattered mapping has no locks
+                    // or cvs, so deaths are only discovered here. Loop
+                    // until a barrier reports no new corpses; each round
+                    // re-runs the dead roles this node adopts. Re-aligning
+                    // an index twice is harmless — the alignment is
+                    // deterministic and overwrites itself.
+                    let mut handled: std::collections::BTreeSet<usize> = [p].into();
+                    let mut seen_dead: Vec<usize> = Vec::new();
+                    loop {
+                        let dead = node.barrier_wait();
+                        if dead.iter().all(|d| seen_dead.contains(d)) {
+                            break;
+                        }
+                        for role in merged_roles(p, nprocs, &dead) {
+                            if handled.contains(&role) {
+                                continue;
+                            }
+                            if !run_role!(node, mine, role) {
+                                return Vec::new();
+                            }
+                            handled.insert(role);
+                            node.note_takeover();
+                        }
+                        seen_dead = dead;
+                    }
+                    // Cross-check the shared vector on the lowest alive
+                    // node (every score must have been merged through the
+                    // multiple-writer protocol).
+                    let dead = node.known_dead();
+                    let checker = (0..nprocs).find(|q| !dead.contains(q)).unwrap_or(0);
+                    if p == checker {
+                        for i in 0..regions.len() {
+                            let _ = node.vec_get(&shared_scores, i);
+                        }
+                    }
+                    node.barrier_wait();
+                    mine
+                });
+            return crate::wire::WireIndexed(rounds.pop().unwrap_or_default());
+        }
+        let mut mine: Vec<(usize, RegionAlignment)> = Vec::new();
+        if !run_role!(node, mine, p) {
             return crate::wire::WireIndexed(Vec::new());
         }
-        if node.supervised() {
-            // Takeover sweep: the scattered mapping has no locks or cvs,
-            // so deaths are only discovered here. Loop until a barrier
-            // reports no new corpses; each round re-runs the dead roles
-            // this node adopts. Re-aligning an index twice is harmless —
-            // the alignment is deterministic and overwrites itself.
-            let mut handled: std::collections::BTreeSet<usize> = [p].into();
-            let mut seen_dead: Vec<usize> = Vec::new();
-            loop {
-                let dead = node.barrier_wait();
-                if dead.iter().all(|d| seen_dead.contains(d)) {
-                    break;
-                }
-                for role in merged_roles(p, nprocs, &dead) {
-                    if handled.contains(&role) {
-                        continue;
-                    }
-                    if !run_role!(role) {
-                        return crate::wire::WireIndexed(Vec::new());
-                    }
-                    handled.insert(role);
-                    node.note_takeover();
-                }
-                seen_dead = dead;
-            }
-        } else {
-            node.barrier();
-        }
-        // Cross-check the shared vector on the lowest alive node (every
-        // score must have been merged through the multiple-writer
-        // protocol).
-        let dead = node.known_dead();
-        let checker = (0..nprocs).find(|q| !dead.contains(q)).unwrap_or(0);
-        if p == checker {
+        node.barrier();
+        // Cross-check the shared vector on node 0 (every score must have
+        // been merged through the multiple-writer protocol).
+        if p == 0 {
             for i in 0..regions.len() {
                 let _ = node.vec_get(&shared_scores, i);
             }
         }
-        if node.supervised() {
-            node.barrier_wait();
-        } else {
-            node.barrier();
-        }
+        node.barrier();
         crate::wire::WireIndexed(mine)
     });
 

@@ -37,8 +37,8 @@
 //! truncated or corrupted files with a typed error.
 
 use crate::checkpoint::{
-    read_verified, run_with_takeover, AtomicFileWriter, FlowChannel, Ledger, StrategyError,
-    StrategyResult,
+    read_verified, run_elastic, run_with_takeover, AtomicFileWriter, FlowChannel, Ledger,
+    StrategyError, StrategyResult,
 };
 use crate::ring::ChunkRing;
 use genomedsm_core::Scoring;
@@ -844,81 +844,94 @@ fn tolerant_pp_worker(node: &mut Node, ctx: &PpCtx<'_>) -> NodeOut {
     let crash_at = node.crash_point();
     let mut units = 0u64;
 
-    let pieces = run_with_takeover(node, nprocs, |node, execute, resume, acc: &mut PpAcc| {
-        run_pp_bands(
-            node,
-            ctx,
-            &ledger,
-            &result_rows,
-            execute,
-            resume,
-            crash_at,
-            &mut units,
-            acc,
-        )
+    // One work unit is one band×chunk tile; a scheduled rejoin's virtual
+    // downtime is priced at that granularity.
+    let tile_cells = (ctx.s.len() / nbands.max(1)).max(1) * (ctx.t.len() / nchunks.max(1)).max(1);
+    let unit_time = crate::costs::cells(ctx.config.cell_cost, tile_cells.min(u32::MAX as usize));
+    // A single workload wrapped in the elastic driver: a victim with a
+    // scheduled rejoin is re-admitted at the closing boundary, after the
+    // survivors have gathered the results. Budget: takeover sweep (at
+    // most nprocs rounds) plus the two termination barriers.
+    let mut rounds = run_elastic(node, 1, nprocs.max(1) + 3, unit_time, |node, _| {
+        let pieces = run_with_takeover(node, nprocs, |node, execute, resume, acc: &mut PpAcc| {
+            run_pp_bands(
+                node,
+                ctx,
+                &ledger,
+                &result_rows,
+                execute,
+                resume,
+                crash_at,
+                &mut units,
+                acc,
+            )
+        });
+        let Some(pieces) = pieces else {
+            return NodeOut::default(); // this worker fail-stopped
+        };
+        let core = node.now() - core_start;
+        let term_start = node.now();
+
+        // Merge role runs: at most one *surviving* node holds a given
+        // role (adoption only changes when the adopter itself dies), and
+        // replayed duplicates within this node are identical — last wins.
+        let mut by_role: std::collections::BTreeMap<usize, RoleRun> = Default::default();
+        for run in pieces.into_iter().flat_map(|a| a.runs) {
+            by_role.insert(run.role, run);
+        }
+        let mut best = 0i32;
+        let mut io_err: Option<(String, io::Error)> = None;
+        for run in by_role.values() {
+            best = best.max(run.best);
+            if ctx.config.io_mode != IoMode::None {
+                let Some(dir) = ctx.config.save_dir.as_ref() else {
+                    unreachable!("io_mode != None is only configured with a save_dir")
+                };
+                let path = dir.join(format!("node_{}.cols", run.role));
+                let mut bytes = 0usize;
+                let res = write_role_file(&path, &run.saved, &mut bytes);
+                if ctx.config.io_mode == IoMode::Deferred {
+                    // Immediate mode already charged each column as it
+                    // was selected; deferred pays for the whole file
+                    // here.
+                    node.advance(crate::costs::cells(ctx.config.io_byte_cost, bytes));
+                }
+                if let Err(e) = res {
+                    io_err
+                        .get_or_insert((format!("write saved-column file {}", path.display()), e));
+                }
+            }
+        }
+
+        let dead = node.barrier_wait();
+        let gatherer = (0..nprocs).find(|q| !dead.contains(q)).unwrap_or(0);
+        let mut gathered = Vec::new();
+        if node.id() == gatherer {
+            if ctx.groups > 0 {
+                for row in &result_rows {
+                    node.invalidate_vec(row);
+                    gathered.extend(node.vec_read_range(row, 0..ctx.groups));
+                }
+            }
+            // Fold the per-role best scores published in the ledger: this
+            // covers a role whose worker completed, published, and only
+            // then died — its memory is gone but its user word survives.
+            for r in 0..nprocs {
+                best = best.max(ledger.snapshot(node, r).user as i32);
+            }
+        }
+        node.barrier_wait();
+        let term = node.now() - term_start;
+        NodeOut {
+            init,
+            core,
+            term,
+            best,
+            gathered,
+            io_err,
+        }
     });
-    let Some(pieces) = pieces else {
-        return NodeOut::default(); // this worker fail-stopped
-    };
-    let core = node.now() - core_start;
-    let term_start = node.now();
-
-    // Merge role runs: at most one *surviving* node holds a given role
-    // (adoption only changes when the adopter itself dies), and replayed
-    // duplicates within this node are identical — last wins.
-    let mut by_role: std::collections::BTreeMap<usize, RoleRun> = Default::default();
-    for run in pieces.into_iter().flat_map(|a| a.runs) {
-        by_role.insert(run.role, run);
-    }
-    let mut best = 0i32;
-    let mut io_err: Option<(String, io::Error)> = None;
-    for run in by_role.values() {
-        best = best.max(run.best);
-        if ctx.config.io_mode != IoMode::None {
-            let Some(dir) = ctx.config.save_dir.as_ref() else {
-                unreachable!("io_mode != None is only configured with a save_dir")
-            };
-            let path = dir.join(format!("node_{}.cols", run.role));
-            let mut bytes = 0usize;
-            let res = write_role_file(&path, &run.saved, &mut bytes);
-            if ctx.config.io_mode == IoMode::Deferred {
-                // Immediate mode already charged each column as it was
-                // selected; deferred pays for the whole file here.
-                node.advance(crate::costs::cells(ctx.config.io_byte_cost, bytes));
-            }
-            if let Err(e) = res {
-                io_err.get_or_insert((format!("write saved-column file {}", path.display()), e));
-            }
-        }
-    }
-
-    let dead = node.barrier_wait();
-    let gatherer = (0..nprocs).find(|q| !dead.contains(q)).unwrap_or(0);
-    let mut gathered = Vec::new();
-    if node.id() == gatherer {
-        if ctx.groups > 0 {
-            for row in &result_rows {
-                node.invalidate_vec(row);
-                gathered.extend(node.vec_read_range(row, 0..ctx.groups));
-            }
-        }
-        // Fold the per-role best scores published in the ledger: this
-        // covers a role whose worker completed, published, and only then
-        // died — its memory is gone but its user word survives.
-        for r in 0..nprocs {
-            best = best.max(ledger.snapshot(node, r).user as i32);
-        }
-    }
-    node.barrier_wait();
-    let term = node.now() - term_start;
-    NodeOut {
-        init,
-        core,
-        term,
-        best,
-        gathered,
-        io_err,
-    }
+    rounds.pop().unwrap_or_default()
 }
 
 /// Executes every band whose role is in `execute`, ascending — the

@@ -25,7 +25,13 @@
 //! * [`models::admission`] — the serve admission gate (bounded queue +
 //!   weighted fair dispatch): no request lost or double-dispatched,
 //!   depth never exceeds capacity, plus the rejected drop-on-reject
-//!   design that must lose a request.
+//!   design that must lose a request;
+//! * [`models::rejoin`] — the elastic-membership join/handback protocol
+//!   (announce → deferred boundary admission → page invalidation →
+//!   ledger catch-up → role handback): no unit owned by two live ranks,
+//!   handback only at workload boundaries, saved columns byte-identical
+//!   to a never-crashed run, plus the skipped-invalidation and
+//!   mid-round-admission variants that must be caught.
 //!
 //! [`run_suite`] drives every healthy model through thousands of distinct
 //! interleavings (exhaustive where the state space allows, seeded-random
@@ -43,12 +49,13 @@ pub mod models {
     pub mod lease;
     pub mod lock;
     pub mod merge;
+    pub mod rejoin;
     pub mod retransmit;
 }
 
 use models::{
     admission::AdmissionModel, cv::CvModel, inversion::InversionModel, lease::LeaseModel,
-    lock::LockModel, merge::MergeModel, retransmit::RetransmitModel,
+    lock::LockModel, merge::MergeModel, rejoin::RejoinModel, retransmit::RetransmitModel,
 };
 use shuttle::{Config, Report};
 
@@ -229,6 +236,24 @@ pub fn run_suite() -> Vec<SuiteEntry> {
                 rounds: 2,
             },
             50_000,
+        ),
+        exhaustive(
+            "rejoin/2u exhaustive",
+            RejoinModel {
+                units: 2,
+                bug_skip_invalidation: false,
+                bug_admit_mid_round: false,
+            },
+            50_000,
+        ),
+        random(
+            "rejoin/3u random",
+            RejoinModel {
+                units: 3,
+                bug_skip_invalidation: false,
+                bug_admit_mid_round: false,
+            },
+            6_000,
         ),
     ]
 }

@@ -6,7 +6,7 @@
 //! deterministically replayed from its printed seed.
 
 use genomedsm_verify::models::{
-    admission::AdmissionModel, inversion::InversionModel, merge::MergeModel,
+    admission::AdmissionModel, inversion::InversionModel, merge::MergeModel, rejoin::RejoinModel,
     retransmit::RetransmitModel,
 };
 use genomedsm_verify::run_suite;
@@ -48,6 +48,7 @@ fn main() {
     failed |= !check_permit_regression();
     failed |= !check_drop_on_reject_regression();
     failed |= !check_evict_before_ack_regression();
+    failed |= !check_skipped_invalidation_regression();
 
     if failed {
         std::process::exit(1);
@@ -177,6 +178,54 @@ fn check_evict_before_ack_regression() -> bool {
         return false;
     };
     println!("retransmit/evict-before-ack: found `{}`", failure.reason);
+    println!("  seed {seed:#018x}, schedule {:?}", failure.schedule);
+    let replay = shuttle::replay_seed(&spec, seed, &Config::default());
+    match replay.failure {
+        Some(rf) if rf.reason == failure.reason && rf.schedule == failure.schedule => {
+            println!("  replay from seed: identical failure reproduced — ok");
+            true
+        }
+        Some(rf) => {
+            println!(
+                "  replay from seed: DIVERGED ({} / {:?})",
+                rf.reason, rf.schedule
+            );
+            false
+        }
+        None => {
+            println!("  replay from seed: FAIL (did not re-fail)");
+            false
+        }
+    }
+}
+
+/// The rejoin variant that hands the joiner its role back *without*
+/// invalidating its stale page cache must serve pre-crash column data:
+/// random exploration has to catch the divergence from the never-crashed
+/// run, print its seed, and replay the identical schedule from it.
+fn check_skipped_invalidation_regression() -> bool {
+    let spec = RejoinModel {
+        units: 2,
+        bug_skip_invalidation: true,
+        bug_admit_mid_round: false,
+    };
+    let report = shuttle::check_random(&spec, &Config::default());
+    let Some(failure) = report.failure else {
+        println!("rejoin/skip-invalidation: FAIL (stale columns not found)");
+        return false;
+    };
+    if !failure.reason.contains("saved columns diverge") {
+        println!(
+            "rejoin/skip-invalidation: FAIL (wrong failure: {})",
+            failure.reason
+        );
+        return false;
+    }
+    let Some(seed) = failure.seed else {
+        println!("rejoin/skip-invalidation: FAIL (no seed recorded)");
+        return false;
+    };
+    println!("rejoin/skip-invalidation: found `{}`", failure.reason);
     println!("  seed {seed:#018x}, schedule {:?}", failure.schedule);
     let replay = shuttle::replay_seed(&spec, seed, &Config::default());
     match replay.failure {

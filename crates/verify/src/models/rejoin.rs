@@ -1,0 +1,663 @@
+//! Model of the elastic-membership **join/handback protocol**
+//! (`strategies::checkpoint::run_elastic` + the DSM daemon's deferred
+//! admission): a rank fail-stops mid-workload, a survivor adopts its
+//! role by replaying the push ledger from the recorded cursor, the
+//! corpse announces its return naming a boundary round, daemon 0 parks
+//! the announcement until the barrier reaches that boundary (or the
+//! *next* stride multiple, if the announcement arrives late), the
+//! admitted joiner invalidates its page cache and catches up from the
+//! ledger, and the role is handed back exactly at a workload boundary.
+//!
+//! Two ranks share two roles over two workload rounds of `units` work
+//! units each. Role 1's rounds are coupled through a border page
+//! (`home`): round 1's outputs are computed from the value role 0's
+//! round finishes with, and the joiner holds a *cached* copy of that
+//! page from before its crash — the protocol's canonical stale state.
+//!
+//! Processes:
+//! * **survivor** — executes its own role each round, arrives at the
+//!   barrier, and adopts the joiner's role from the ledger cursor when
+//!   the crash leaves round-0 work unfinished (the takeover sweep). At
+//!   round 1 entry it decides ownership of the joiner's role from the
+//!   membership view of the moment — exactly what `run_with_takeover`
+//!   does after the membership-refresh barrier.
+//! * **joiner** — executes role 1 until the reaper fires, then runs the
+//!   announce → await-admission → invalidate → ledger-replay → re-enter
+//!   sequence.
+//! * **reaper** — crashes the joiner at a scheduler-chosen work unit
+//!   (or never, if the joiner finishes first: the fault-free schedule
+//!   is part of the state space).
+//! * **carrier** — delivers the announcement to daemon 0 after a
+//!   scheduler-chosen delay, so admission races every boundary.
+//!
+//! Invariants: no work unit is ever executed by two owners (live
+//! double-ownership), admission happens only inside a barrier-boundary
+//! drain (*handback only at unit boundaries*), and the ledger a joiner
+//! catches up from is complete (the adopter finished the crashed
+//! round). Terminal: every unit of every round executed exactly once,
+//! the joiner was readmitted, and round-1 outputs — the saved-column
+//! files — are byte-identical to a never-crashed run.
+//!
+//! Broken variants: [`RejoinModel::bug_skip_invalidation`] (the joiner
+//! keeps its pre-crash page cache and serves stale border data — caught
+//! by the byte-identity terminal check on schedules where the crash
+//! happens after the joiner cached the page) and
+//! [`RejoinModel::bug_admit_mid_round`] (admission takes effect at
+//! announcement delivery instead of the boundary drain — caught by the
+//! boundary invariant, and on deeper schedules by double-ownership).
+
+use shuttle::{Ctx, Process, Spec};
+
+/// The border value role 1's round-0 completion publishes; round-1
+/// outputs derive from it, so a stale cached `0` is detectable.
+const HOME_MARK: u64 = 7;
+
+/// Workload rounds in the campaign (round 0 crashes, round 1 is the
+/// post-handback round).
+const ROUNDS: usize = 2;
+
+/// Spec for the join/handback protocol. Fields select the workload size
+/// and the seeded defect, if any.
+#[derive(Debug, Clone, Copy)]
+pub struct RejoinModel {
+    /// Work units per role per round.
+    pub units: usize,
+    /// Seeded defect: the joiner skips page-cache invalidation on
+    /// admission and serves stale border data.
+    pub bug_skip_invalidation: bool,
+    /// Seeded defect: daemon 0 admits at announcement delivery instead
+    /// of deferring to the boundary drain.
+    pub bug_admit_mid_round: bool,
+}
+
+/// Shared state: the barrier manager (daemon 0), the membership view,
+/// the push ledger for role 1's round 0, the border page, and the
+/// execution bookkeeping the properties are checked against.
+pub struct RejoinWorld {
+    units: usize,
+    bug_skip_invalidation: bool,
+    bug_admit_mid_round: bool,
+    /// Completed workload boundaries (0 while round 0 runs).
+    round: usize,
+    arrived: [bool; 2],
+    crashed: bool,
+    announced: bool,
+    delivered: bool,
+    /// Boundary the parked announcement is deferred to.
+    park_target: Option<usize>,
+    admitted: bool,
+    /// The round the admission took effect at.
+    admitted_round: Option<usize>,
+    /// Whether the admission happened inside a boundary drain.
+    admitted_at_boundary: bool,
+    /// Push-ledger cursor: committed units of role 1, round 0.
+    ledger: usize,
+    /// Role 1's border page (home copy).
+    home: u64,
+    /// The joiner's cached copy of the border page.
+    joiner_cache: Option<u64>,
+    /// Execution counts per `(round, role, unit)`.
+    commits: Vec<u8>,
+    /// Round-1 outputs of role 1 — the "saved columns".
+    out_r1: Vec<Option<u64>>,
+    violations: Vec<String>,
+}
+
+impl RejoinWorld {
+    fn commit(&mut self, round: usize, role: usize, unit: usize, who: &str) {
+        let idx = (round * 2 + role) * self.units + unit;
+        self.commits[idx] += 1;
+        if self.commits[idx] > 1 {
+            self.violations.push(format!(
+                "round {round} role {role} unit {unit} executed by two live owners \
+                 ({who} re-ran it)"
+            ));
+        }
+    }
+
+    /// Barrier manager: advances the round when every live rank has
+    /// arrived (a crashed, unadmitted joiner is dead-credited — but the
+    /// round-0 boundary additionally waits for the takeover sweep to
+    /// finish the crashed role, and the round-1 boundary for the
+    /// announcement to be delivered, the transport's delivery bound).
+    /// After the advance, parked admissions whose boundary is reached
+    /// drain — atomically with the advance, exactly like daemon 0
+    /// finishing a barrier round and then draining `pending_rejoins`.
+    fn try_boundary(&mut self) {
+        let joiner_ok = self.arrived[1]
+            || (self.crashed
+                && !self.admitted
+                && match self.round {
+                    // Round 0's boundary additionally waits for the
+                    // takeover sweep to finish the crashed role.
+                    0 => self.ledger == self.units,
+                    // The final boundary waits for the in-flight
+                    // admission: the announcement is sent at the first
+                    // boundary after the crash and delivered within the
+                    // campaign (the transport's delivery bound — the
+                    // driver documents that scheduled rejoins must name
+                    // a boundary inside the campaign). Without this
+                    // gate the joiner parks past the teardown forever.
+                    _ => self.delivered,
+                });
+        if !(self.arrived[0] && joiner_ok && self.round < ROUNDS) {
+            return;
+        }
+        self.arrived = [false, false];
+        self.round += 1;
+        if let Some(target) = self.park_target {
+            if self.delivered && !self.admitted && self.round >= target {
+                self.admitted = true;
+                self.admitted_round = Some(self.round);
+                self.admitted_at_boundary = true;
+            }
+        }
+    }
+
+    fn arrive(&mut self, rank: usize) {
+        self.arrived[rank] = true;
+        self.try_boundary();
+    }
+}
+
+// --- survivor ---------------------------------------------------------------
+
+enum SurvivorState {
+    /// Round 0, own role: unit cursor.
+    R0Own(usize),
+    R0Arrive,
+    /// Arrived; waiting for the boundary, or adopting the crashed role.
+    R0Wait,
+    /// Takeover sweep: read the push-ledger cursor.
+    AdoptRead,
+    /// Takeover sweep: replay/extend from the adopted cursor.
+    AdoptExec,
+    /// Round 1 entry: decide ownership from the membership view.
+    R1Entry,
+    R1Own(usize),
+    /// Round 1 of the joiner's role, when the joiner was not back.
+    R1Adopted(usize),
+    R1Arrive,
+    Done,
+}
+
+struct Survivor {
+    state: SurvivorState,
+    owns_role1: bool,
+}
+
+impl Process<RejoinWorld> for Survivor {
+    fn ready(&self, s: &RejoinWorld) -> bool {
+        match self.state {
+            SurvivorState::R0Wait => {
+                s.round >= 1 || (s.crashed && !s.admitted && s.ledger < s.units)
+            }
+            SurvivorState::Done => false,
+            _ => true,
+        }
+    }
+
+    fn done(&self, _s: &RejoinWorld) -> bool {
+        matches!(self.state, SurvivorState::Done)
+    }
+
+    fn step(&mut self, s: &mut RejoinWorld, ctx: &mut Ctx) {
+        match self.state {
+            SurvivorState::R0Own(u) => {
+                s.commit(0, 0, u, "survivor");
+                self.state = if u + 1 < s.units {
+                    SurvivorState::R0Own(u + 1)
+                } else {
+                    SurvivorState::R0Arrive
+                };
+            }
+            SurvivorState::R0Arrive => {
+                s.arrive(0);
+                ctx.trace("survivor arrived at boundary 0");
+                self.state = SurvivorState::R0Wait;
+            }
+            SurvivorState::R0Wait => {
+                if s.round >= 1 {
+                    self.state = SurvivorState::R1Entry;
+                } else {
+                    ctx.trace("death observed; takeover sweep begins");
+                    self.state = SurvivorState::AdoptRead;
+                }
+            }
+            SurvivorState::AdoptRead => {
+                ctx.trace(format!("adopter read ledger cursor {}", s.ledger));
+                self.state = SurvivorState::AdoptExec;
+            }
+            SurvivorState::AdoptExec => {
+                let u = s.ledger;
+                s.commit(0, 1, u, "adopter");
+                s.ledger += 1;
+                if s.ledger == s.units {
+                    // Role completion publishes the border page.
+                    s.home = HOME_MARK;
+                    ctx.trace("adopter finished the crashed role; border published");
+                    self.state = SurvivorState::R0Wait;
+                    // The sweep's completion is what unblocks the
+                    // dead-credited boundary.
+                    s.try_boundary();
+                }
+            }
+            SurvivorState::R1Entry => {
+                // The membership view after the refresh barrier: adopt
+                // the role again only if the joiner is still out.
+                self.owns_role1 = s.crashed && !s.admitted;
+                self.state = SurvivorState::R1Own(0);
+            }
+            SurvivorState::R1Own(u) => {
+                s.commit(1, 0, u, "survivor");
+                self.state = if u + 1 < s.units {
+                    SurvivorState::R1Own(u + 1)
+                } else if self.owns_role1 {
+                    SurvivorState::R1Adopted(0)
+                } else {
+                    SurvivorState::R1Arrive
+                };
+            }
+            SurvivorState::R1Adopted(u) => {
+                s.commit(1, 1, u, "adopter");
+                s.out_r1[u] = Some(s.home + 1 + u as u64);
+                self.state = if u + 1 < s.units {
+                    SurvivorState::R1Adopted(u + 1)
+                } else {
+                    SurvivorState::R1Arrive
+                };
+            }
+            SurvivorState::R1Arrive => {
+                s.arrive(0);
+                self.state = SurvivorState::Done;
+            }
+            SurvivorState::Done => unreachable!("done process is never stepped"),
+        }
+    }
+}
+
+// --- joiner -----------------------------------------------------------------
+
+enum JoinerState {
+    /// Round 0, own role: unit cursor (live path).
+    R0Exec(usize),
+    R0Arrive,
+    /// Live path: wait for round 1.
+    Wait,
+    R1Exec(usize),
+    R1Arrive,
+    /// Crashed path: announce the return.
+    Announce,
+    AwaitAdmission,
+    /// Page invalidation on admission.
+    Invalidate,
+    /// Catch-up from the push ledger.
+    Replay,
+    /// Post-rejoin work, if the admission landed on round 1's boundary.
+    Rejoined(usize),
+    RejoinArrive,
+    Done,
+}
+
+struct Joiner {
+    state: JoinerState,
+}
+
+impl Process<RejoinWorld> for Joiner {
+    fn ready(&self, s: &RejoinWorld) -> bool {
+        match self.state {
+            // The live path is interrupted by the crash: once `crashed`
+            // is set these states never run again (the crashed path is
+            // entered via `step` observing the flag).
+            JoinerState::R0Exec(_) | JoinerState::R0Arrive => true,
+            JoinerState::Wait => s.crashed || s.round >= 1,
+            JoinerState::R1Exec(_) | JoinerState::R1Arrive => true,
+            JoinerState::Announce => true,
+            JoinerState::AwaitAdmission => s.admitted,
+            JoinerState::Invalidate | JoinerState::Replay => true,
+            JoinerState::Rejoined(_) | JoinerState::RejoinArrive => true,
+            JoinerState::Done => false,
+        }
+    }
+
+    fn done(&self, _s: &RejoinWorld) -> bool {
+        matches!(self.state, JoinerState::Done)
+    }
+
+    fn step(&mut self, s: &mut RejoinWorld, ctx: &mut Ctx) {
+        // Fail-stop: whatever live-path state the joiner was in, its
+        // next transition is the announce step of the crashed path.
+        if s.crashed
+            && matches!(
+                self.state,
+                JoinerState::R0Exec(_)
+                    | JoinerState::R0Arrive
+                    | JoinerState::Wait
+                    | JoinerState::R1Exec(_)
+                    | JoinerState::R1Arrive
+            )
+        {
+            self.state = JoinerState::Announce;
+        }
+        match self.state {
+            JoinerState::R0Exec(u) => {
+                if u == 0 {
+                    // First touch caches the border page — the copy
+                    // that goes stale while the rank is dead.
+                    s.joiner_cache = Some(s.home);
+                }
+                s.commit(0, 1, u, "joiner");
+                s.ledger += 1;
+                if s.ledger == s.units {
+                    s.home = HOME_MARK;
+                    // The writer's own cached copy is write-through.
+                    s.joiner_cache = Some(HOME_MARK);
+                }
+                self.state = if u + 1 < s.units {
+                    JoinerState::R0Exec(u + 1)
+                } else {
+                    JoinerState::R0Arrive
+                };
+            }
+            JoinerState::R0Arrive => {
+                s.arrive(1);
+                self.state = JoinerState::Wait;
+            }
+            JoinerState::Wait => {
+                self.state = JoinerState::R1Exec(0);
+            }
+            JoinerState::R1Exec(u) => {
+                let v = s.joiner_cache.unwrap_or(s.home);
+                s.commit(1, 1, u, "joiner");
+                s.out_r1[u] = Some(v + 1 + u as u64);
+                self.state = if u + 1 < s.units {
+                    JoinerState::R1Exec(u + 1)
+                } else {
+                    JoinerState::R1Arrive
+                };
+            }
+            JoinerState::R1Arrive => {
+                s.arrive(1);
+                self.state = JoinerState::Done;
+            }
+            JoinerState::Announce => {
+                s.announced = true;
+                ctx.trace("joiner announced its return");
+                self.state = JoinerState::AwaitAdmission;
+            }
+            JoinerState::AwaitAdmission => {
+                if !s.admitted_at_boundary {
+                    s.violations
+                        .push("handback outside a unit boundary".to_string());
+                }
+                self.state = JoinerState::Invalidate;
+            }
+            JoinerState::Invalidate => {
+                if !s.bug_skip_invalidation {
+                    s.joiner_cache = None;
+                    ctx.trace("joiner invalidated its page cache");
+                } else {
+                    ctx.trace("BUG: joiner kept its stale page cache");
+                }
+                self.state = JoinerState::Replay;
+            }
+            JoinerState::Replay => {
+                if s.ledger < s.units {
+                    s.violations.push(format!(
+                        "joiner caught up on a still-advancing ledger (cursor {} of {})",
+                        s.ledger, s.units
+                    ));
+                }
+                ctx.trace(format!("joiner replayed ledger to cursor {}", s.ledger));
+                self.state = if s.admitted_round == Some(1) {
+                    // Handback landed on round 1's boundary: the role is
+                    // ours again for the post-rejoin round.
+                    JoinerState::Rejoined(0)
+                } else {
+                    // Late admission (next stride multiple = campaign
+                    // end): the survivors owned the role throughout.
+                    JoinerState::Done
+                };
+            }
+            JoinerState::Rejoined(u) => {
+                let v = s.joiner_cache.unwrap_or(s.home);
+                s.commit(1, 1, u, "joiner");
+                s.out_r1[u] = Some(v + 1 + u as u64);
+                self.state = if u + 1 < s.units {
+                    JoinerState::Rejoined(u + 1)
+                } else {
+                    JoinerState::RejoinArrive
+                };
+            }
+            JoinerState::RejoinArrive => {
+                s.arrive(1);
+                self.state = JoinerState::Done;
+            }
+            JoinerState::Done => unreachable!("done process is never stepped"),
+        }
+    }
+}
+
+// --- reaper -----------------------------------------------------------------
+
+/// Crashes the joiner at a scheduler-chosen point during its round-0
+/// work — or never, if the joiner finishes first (the fault-free
+/// schedule stays in the state space).
+struct Reaper {
+    fired: bool,
+}
+
+impl Process<RejoinWorld> for Reaper {
+    fn ready(&self, s: &RejoinWorld) -> bool {
+        !self.fired && !s.crashed && s.round == 0 && s.ledger < s.units
+    }
+    fn done(&self, s: &RejoinWorld) -> bool {
+        self.fired || s.ledger >= s.units
+    }
+    fn step(&mut self, s: &mut RejoinWorld, ctx: &mut Ctx) {
+        self.fired = true;
+        s.crashed = true;
+        ctx.trace(format!("joiner fail-stopped at ledger cursor {}", s.ledger));
+    }
+}
+
+// --- carrier ----------------------------------------------------------------
+
+/// Delivers the announcement to daemon 0 after a scheduler-chosen delay.
+/// On delivery the daemon computes the admission boundary: the named
+/// round if still in the future, else the next stride multiple strictly
+/// past the current round (the re-deferral that keeps a late
+/// announcement from handing the role back mid-workload). The
+/// mid-round-admission bug skips the deferral entirely.
+struct Carrier;
+
+impl Process<RejoinWorld> for Carrier {
+    fn ready(&self, s: &RejoinWorld) -> bool {
+        s.announced && !s.delivered
+    }
+    fn done(&self, s: &RejoinWorld) -> bool {
+        s.delivered || (!s.crashed && s.ledger >= s.units)
+    }
+    fn step(&mut self, s: &mut RejoinWorld, ctx: &mut Ctx) {
+        s.delivered = true;
+        if s.bug_admit_mid_round {
+            s.admitted = true;
+            s.admitted_round = Some(s.round);
+            s.admitted_at_boundary = false;
+            ctx.trace(format!("BUG: admitted at delivery, round {}", s.round));
+            return;
+        }
+        // Stride is 1 here: every round is a workload boundary.
+        let target = if s.round < 1 { 1 } else { s.round + 1 };
+        s.park_target = Some(target);
+        ctx.trace(format!("announcement parked until boundary {target}"));
+        // Delivery can be the last gate a dead-credited boundary was
+        // waiting on.
+        s.try_boundary();
+    }
+}
+
+// --- spec -------------------------------------------------------------------
+
+impl Spec for RejoinModel {
+    type S = RejoinWorld;
+
+    fn build(&self) -> (RejoinWorld, shuttle::check::Procs<RejoinWorld>) {
+        let world = RejoinWorld {
+            units: self.units,
+            bug_skip_invalidation: self.bug_skip_invalidation,
+            bug_admit_mid_round: self.bug_admit_mid_round,
+            round: 0,
+            arrived: [false, false],
+            crashed: false,
+            announced: false,
+            delivered: false,
+            park_target: None,
+            admitted: false,
+            admitted_round: None,
+            admitted_at_boundary: false,
+            ledger: 0,
+            home: 0,
+            joiner_cache: None,
+            commits: vec![0; ROUNDS * 2 * self.units],
+            out_r1: vec![None; self.units],
+            violations: Vec::new(),
+        };
+        let procs: shuttle::check::Procs<RejoinWorld> = vec![
+            Box::new(Survivor {
+                state: SurvivorState::R0Own(0),
+                owns_role1: false,
+            }),
+            Box::new(Joiner {
+                state: JoinerState::R0Exec(0),
+            }),
+            Box::new(Reaper { fired: false }),
+            Box::new(Carrier),
+        ];
+        (world, procs)
+    }
+
+    fn invariant(&self, s: &RejoinWorld) -> Result<(), String> {
+        match s.violations.first() {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn terminal(&self, s: &RejoinWorld) -> Result<(), String> {
+        if s.round != ROUNDS {
+            return Err(format!("campaign ended at round {} of {ROUNDS}", s.round));
+        }
+        for round in 0..ROUNDS {
+            for role in 0..2 {
+                for unit in 0..s.units {
+                    let n = s.commits[(round * 2 + role) * s.units + unit];
+                    if n != 1 {
+                        return Err(format!(
+                            "round {round} role {role} unit {unit} executed {n} times"
+                        ));
+                    }
+                }
+            }
+        }
+        if s.crashed && !s.admitted {
+            return Err("crashed rank was never readmitted".to_string());
+        }
+        for (u, out) in s.out_r1.iter().enumerate() {
+            let expect = HOME_MARK + 1 + u as u64;
+            match out {
+                Some(v) if *v == expect => {}
+                Some(v) => {
+                    return Err(format!(
+                        "joiner's saved columns diverge from the never-crashed \
+                         run: unit {u} is {v}, expected {expect} (stale border \
+                         page served after the handback)"
+                    ));
+                }
+                None => return Err(format!("round-1 unit {u} produced no output")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shuttle::Config;
+
+    fn model(units: usize) -> RejoinModel {
+        RejoinModel {
+            units,
+            bug_skip_invalidation: false,
+            bug_admit_mid_round: false,
+        }
+    }
+
+    #[test]
+    fn protocol_is_clean_across_every_crash_point_and_delivery_delay() {
+        let report = shuttle::check_exhaustive(
+            &model(2),
+            &Config {
+                max_schedules: 200_000,
+                ..Config::default()
+            },
+        );
+        report.assert_ok();
+        assert!(
+            report.schedules > 5_000,
+            "rejoin model must explore ≥5k schedules, got {}",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn skipped_invalidation_serves_stale_columns_and_is_caught() {
+        let report = shuttle::check_exhaustive(
+            &RejoinModel {
+                units: 2,
+                bug_skip_invalidation: true,
+                bug_admit_mid_round: false,
+            },
+            &Config::default(),
+        );
+        let f = report.failure.expect("stale cache must be detected");
+        assert!(
+            f.reason.contains("saved columns diverge"),
+            "unexpected reason: {}",
+            f.reason
+        );
+    }
+
+    #[test]
+    fn mid_round_admission_is_caught_at_the_boundary_invariant() {
+        let report = shuttle::check_exhaustive(
+            &RejoinModel {
+                units: 2,
+                bug_skip_invalidation: false,
+                bug_admit_mid_round: true,
+            },
+            &Config::default(),
+        );
+        let f = report
+            .failure
+            .expect("mid-round admission must be detected");
+        assert!(
+            f.reason.contains("outside a unit boundary")
+                || f.reason.contains("two live owners")
+                || f.reason.contains("still-advancing ledger"),
+            "unexpected reason: {}",
+            f.reason
+        );
+    }
+
+    #[test]
+    fn fault_free_schedules_stay_in_the_state_space() {
+        // With one unit per role the fault-free path is short; the
+        // exhaustive run must include schedules where the reaper never
+        // fires (the joiner finishes first) and still be clean.
+        let report = shuttle::check_exhaustive(&model(1), &Config::default());
+        report.assert_ok();
+        assert!(report.exhausted, "one-unit model must be fully explored");
+    }
+}

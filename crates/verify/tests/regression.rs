@@ -4,6 +4,7 @@
 use genomedsm_verify::models::inversion::InversionModel;
 use genomedsm_verify::models::lease::LeaseModel;
 use genomedsm_verify::models::merge::MergeModel;
+use genomedsm_verify::models::rejoin::RejoinModel;
 use genomedsm_verify::models::retransmit::RetransmitModel;
 use shuttle::Config;
 
@@ -89,6 +90,48 @@ fn evict_before_ack_double_executes_and_replays_from_seed() {
     let healthy = shuttle::check_random(
         &RetransmitModel {
             bug_evict_before_ack: false,
+            ..spec
+        },
+        &Config::default(),
+    );
+    healthy.assert_ok();
+}
+
+/// Handing the joiner its role back without invalidating its stale page
+/// cache serves pre-crash column data; the checker catches the
+/// divergence from the never-crashed run and the failure replays from
+/// both its recorded seed and its recorded schedule. The full protocol
+/// on the same workload stays clean.
+#[test]
+fn skipped_invalidation_diverges_and_replays_from_seed() {
+    let spec = RejoinModel {
+        units: 2,
+        bug_skip_invalidation: true,
+        bug_admit_mid_round: false,
+    };
+    let report = shuttle::check_random(&spec, &Config::default());
+    let failure = report
+        .failure
+        .expect("skipped invalidation must serve stale columns");
+    assert!(
+        failure.reason.contains("saved columns diverge"),
+        "{}",
+        failure.reason
+    );
+    let seed = failure.seed.expect("random failures record their seed");
+    let replay = shuttle::replay_seed(&spec, seed, &Config::default());
+    let refailure = replay.failure.expect("seed replay must re-fail");
+    assert_eq!(refailure.reason, failure.reason);
+    assert_eq!(refailure.schedule, failure.schedule);
+
+    // And the recorded schedule itself replays without the seed.
+    let by_schedule = shuttle::replay_schedule(&spec, &failure.schedule, &Config::default());
+    let sf = by_schedule.failure.expect("schedule replay must re-fail");
+    assert_eq!(sf.reason, failure.reason);
+
+    let healthy = shuttle::check_random(
+        &RejoinModel {
+            bug_skip_invalidation: false,
             ..spec
         },
         &Config::default(),

@@ -33,6 +33,10 @@
 //!                      (heartbeats, lock-lease recovery, work takeover)
 //!   --kill NODE:UNITS  fail-stop NODE after UNITS work units
 //!                      (repeatable; implies --tolerate-failures)
+//!   --rejoin NODE:UNITS  readmit a --kill'ed NODE after UNITS work
+//!                      units of downtime, at the next workload boundary
+//!                      (repeatable; the boundary must fall inside the
+//!                      run — see DESIGN.md §5.13)
 //!
 //! node: one rank of a real multi-process cluster. Binds the UDP socket
 //! the manifest assigns to --rank, runs all three phase-1 strategies and
@@ -149,21 +153,45 @@ fn opt_all(args: &[String], name: &str) -> Vec<String> {
     values
 }
 
-/// Parses the repeatable `--kill NODE:UNITS` specs into a fault injector.
+/// Parses one `NODE:UNITS` spec.
+fn node_units(spec: &str) -> Option<(usize, u64)> {
+    spec.split_once(':')
+        .and_then(|(n, u)| Some((n.parse::<usize>().ok()?, u.parse::<u64>().ok()?)))
+}
+
+/// Parses the repeatable `--kill NODE:UNITS` and `--rejoin NODE:UNITS`
+/// specs into a fault injector.
 fn kill_plan(args: &[String]) -> Option<std::sync::Arc<genomedsm_strategies::KillPlan>> {
-    let specs = opt_all(args, "--kill");
-    if specs.is_empty() {
+    let kills = opt_all(args, "--kill");
+    let rejoins = opt_all(args, "--rejoin");
+    if kills.is_empty() {
+        if !rejoins.is_empty() {
+            eprintln!("--rejoin needs a matching --kill (nothing to rejoin)");
+            exit(2);
+        }
         return None;
     }
     let mut plan = genomedsm_strategies::KillPlan::new();
-    for spec in &specs {
-        let parsed = spec
-            .split_once(':')
-            .and_then(|(n, u)| Some((n.parse::<usize>().ok()?, u.parse::<u64>().ok()?)));
-        match parsed {
+    for spec in &kills {
+        match node_units(spec) {
             Some((node, units)) => plan = plan.kill(node, units),
             None => {
                 eprintln!("invalid --kill '{spec}' (expected NODE:UNITS)");
+                exit(2);
+            }
+        }
+    }
+    for spec in &rejoins {
+        match node_units(spec) {
+            Some((node, units)) => {
+                if !plan.victims().contains(&node) {
+                    eprintln!("--rejoin {spec}: node {node} has no scheduled --kill");
+                    exit(2);
+                }
+                plan = plan.rejoin(node, units);
+            }
+            None => {
+                eprintln!("invalid --rejoin '{spec}' (expected NODE:UNITS)");
                 exit(2);
             }
         }
@@ -822,12 +850,8 @@ fn node(args: &[String]) {
     });
     let session: u64 = opt_num(args, "--session", 0);
     let spec = workload_spec(args, opt_num(args, "--procs", manifest.len()));
-    if spec.procs != manifest.len() {
-        eprintln!(
-            "--procs {} does not match the manifest's {} node(s)",
-            spec.procs,
-            manifest.len()
-        );
+    if let Err(e) = manifest.expect_ranks(spec.procs) {
+        eprintln!("{e}");
         exit(2);
     }
     let t0 = std::time::Instant::now();

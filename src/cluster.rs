@@ -125,6 +125,9 @@ fn dsm_for(
         config = config.faults(Arc::new(SeededFaults::new(plan, spec.procs)) as _);
     }
     if let Some((manifest, rank, base)) = cluster {
+        manifest
+            .expect_ranks(spec.procs)
+            .map_err(|e| e.to_string())?;
         let ctx = ClusterCtx::new(rank, manifest.clone(), base + SESSIONS[which])
             .map_err(|e| format!("invalid cluster context: {e}"))?;
         config = config.cluster(ctx);
