@@ -14,7 +14,7 @@
 //! reported in the user's own terms.
 
 use crate::BatchError;
-use genomedsm_seq::fasta::{read_fasta_file, FastaRecord};
+use genomedsm_seq::fasta::{read_fasta_file, read_protein_fasta_file, FastaRecord, ProteinRecord};
 use std::ops::Range;
 use std::path::Path;
 
@@ -54,20 +54,44 @@ impl SeqDatabase {
     /// Builds a database from parsed records, sorting by ascending length
     /// (ties broken by source order, keeping the layout deterministic).
     pub fn from_records(records: Vec<FastaRecord>) -> Self {
+        Self::from_named_seqs(
+            records
+                .into_iter()
+                .map(|r| (r.id, r.seq.into_bytes()))
+                .collect(),
+        )
+    }
+
+    /// Builds a database from parsed protein records; same ordering rules
+    /// as [`from_records`](Self::from_records). The store is
+    /// alphabet-agnostic — only the scoring mode decides how the bytes are
+    /// interpreted downstream.
+    pub fn from_protein_records(records: Vec<ProteinRecord>) -> Self {
+        Self::from_named_seqs(
+            records
+                .into_iter()
+                .map(|r| (r.id, r.seq.into_bytes()))
+                .collect(),
+        )
+    }
+
+    /// The shared constructor: `(id, sequence bytes)` pairs into the
+    /// length-sorted arena.
+    fn from_named_seqs(records: Vec<(String, Vec<u8>)>) -> Self {
         let mut order: Vec<usize> = (0..records.len()).collect();
-        order.sort_by_key(|&i| (records[i].seq.len(), i));
-        let total: usize = records.iter().map(|r| r.seq.len()).sum();
+        order.sort_by_key(|&i| (records[i].1.len(), i));
+        let total: usize = records.iter().map(|r| r.1.len()).sum();
         let mut arena = Vec::with_capacity(total);
         let mut meta = Vec::with_capacity(records.len());
         for &i in &order {
-            let rec = &records[i];
+            let (id, seq) = &records[i];
             let offset = arena.len();
-            arena.extend_from_slice(rec.seq.as_bytes());
+            arena.extend_from_slice(seq);
             meta.push(RecordMeta {
-                id: rec.id.clone(),
+                id: id.clone(),
                 source_index: i,
                 offset,
-                len: rec.seq.len(),
+                len: seq.len(),
             });
         }
         Self { arena, meta }
@@ -91,6 +115,23 @@ impl SeqDatabase {
             });
         }
         Ok(Self::from_records(records))
+    }
+
+    /// Loads a multi-record protein FASTA file into a database, with the
+    /// same emptiness/parse error contract as
+    /// [`load_fasta_file`](Self::load_fasta_file).
+    pub fn load_protein_fasta_file(path: impl AsRef<Path>) -> Result<Self, BatchError> {
+        let path = path.as_ref();
+        let records = read_protein_fasta_file(path).map_err(|source| BatchError::Fasta {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        if records.is_empty() {
+            return Err(BatchError::EmptyDatabase {
+                path: path.to_path_buf(),
+            });
+        }
+        Ok(Self::from_protein_records(records))
     }
 
     /// Number of records.
@@ -168,6 +209,40 @@ mod tests {
         let db = SeqDatabase::from_records(vec![]);
         assert!(db.is_empty());
         assert_eq!(db.total_bases(), 0);
+    }
+
+    #[test]
+    fn protein_records_load_with_the_same_ordering_rules() {
+        use genomedsm_seq::ProteinSeq;
+        let db = SeqDatabase::from_protein_records(vec![
+            ProteinRecord {
+                id: "long".into(),
+                seq: ProteinSeq::new("WQHKRWCEW").unwrap(),
+            },
+            ProteinRecord {
+                id: "short".into(),
+                seq: ProteinSeq::new("MK").unwrap(),
+            },
+        ]);
+        assert_eq!(db.meta(0).id, "short");
+        assert_eq!(db.seq(1), b"WQHKRWCEW");
+
+        let dir = std::env::temp_dir().join("genomedsm_batch_db_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prot.fa");
+        std::fs::write(&path, ">a\nMKWQ\n>b\nWC\n").unwrap();
+        let loaded = SeqDatabase::load_protein_fasta_file(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.seq(0), b"WC");
+        // A protein-only residue fails through the DNA loader but loads
+        // here; a gap character is a typed error in both.
+        assert!(SeqDatabase::load_fasta_file(&path).is_err());
+        std::fs::write(&path, ">a\nMK-WQ\n").unwrap();
+        assert!(matches!(
+            SeqDatabase::load_protein_fasta_file(&path),
+            Err(BatchError::Fasta { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

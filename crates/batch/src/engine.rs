@@ -16,24 +16,49 @@
 //! singles. Results come back in input order, bit-exact per pair.
 
 use crate::db::SeqDatabase;
-use crate::planner::{plan_lane_groups, LanePlan};
+use crate::planner::{plan_lane_groups_fitting, LanePlan};
 use crate::scheduler::{run_jobs, SchedulerConfig};
 use crate::topk::{Hit, TopK};
 use genomedsm_core::linear::{sw_score_linear, LinearSwResult};
 use genomedsm_core::scoring::Scoring;
+use genomedsm_core::submat::MatrixScoring;
+use genomedsm_core::sw_score_profile;
 use genomedsm_kernels::{
-    effective_lanes, score_batch, score_batch_packed, Isa, KernelChoice, PackedProfile,
+    effective_lanes, fits_i16_affine_query, fits_i16_query, score_batch, score_batch_packed,
+    score_batch_packed_affine, Isa, KernelChoice, PackedAffineProfile, PackedProfile,
 };
 use std::collections::HashMap;
 use std::ops::Range;
+
+/// Which alignment arithmetic a search runs.
+///
+/// `Dna` is the original linear-gap path over [`Scoring`] (the config's
+/// `scoring` field); `Protein` switches every layer — planner admission,
+/// packed kernels, scalar spill, and the `--check` oracle — to the
+/// affine-gap (Gotoh) recurrence over a substitution matrix. The variant
+/// carries the full scoring scheme so a [`BatchConfig`] remains one plain
+/// `Copy` value that completely determines the search arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+// The 1.2 kB matrix lives inline by design: boxing it would cost `Copy`,
+// and configs are copied, not stored in bulk.
+#[allow(clippy::large_enum_variant)]
+pub enum ScoreMode {
+    /// Linear-gap DNA scoring via the config's [`Scoring`].
+    #[default]
+    Dna,
+    /// Affine-gap protein scoring via a substitution matrix.
+    Protein(MatrixScoring),
+}
 
 /// Tuning knobs of a batch search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchConfig {
     /// Kernel selection, as everywhere else in the workspace.
     pub kernel: KernelChoice,
-    /// Column scoring scheme.
+    /// Column scoring scheme (the DNA path; ignored in protein mode).
     pub scoring: Scoring,
+    /// Alignment arithmetic: linear-gap DNA or affine-gap protein.
+    pub mode: ScoreMode,
     /// Hits to keep per query.
     pub top_k: usize,
     /// Scheduler shape (workers + in-flight window).
@@ -48,6 +73,7 @@ impl Default for BatchConfig {
         Self {
             kernel: KernelChoice::Auto,
             scoring: Scoring::paper(),
+            mode: ScoreMode::Dna,
             top_k: 10,
             scheduler: SchedulerConfig::default(),
             slab: 0,
@@ -150,7 +176,14 @@ impl BatchEngine {
             return stats;
         }
         let lanes = effective_lanes(cfg.kernel);
-        let plan = plan_lane_groups(queries, lanes, &cfg.scoring);
+        let plan = match &cfg.mode {
+            ScoreMode::Dna => {
+                plan_lane_groups_fitting(queries, lanes, |len| fits_i16_query(len, &cfg.scoring))
+            }
+            ScoreMode::Protein(ms) => {
+                plan_lane_groups_fitting(queries, lanes, |len| fits_i16_affine_query(len, ms))
+            }
+        };
         stats.lane_groups = plan.groups.len();
         stats.scalar_queries = plan.scalar.len();
         stats.padding_rows = plan.padding_rows;
@@ -180,7 +213,7 @@ impl BatchEngine {
         run_jobs(
             jobs,
             &cfg.scheduler,
-            |_, job| exec_job(&job, db, queries, &cfg.scoring, isa, cfg.top_k),
+            |_, job| exec_job(&job, db, queries, cfg, isa),
             |j, partials: Vec<(usize, TopK)>| {
                 for (q, tk) in partials {
                     best[q].merge(tk);
@@ -258,12 +291,30 @@ fn exec_job(
     job: &Job,
     db: &SeqDatabase,
     queries: &[&[u8]],
+    cfg: &BatchConfig,
+    isa: Isa,
+) -> Vec<(usize, TopK)> {
+    let mut collectors: Vec<(usize, TopK)> = job
+        .queries
+        .iter()
+        .map(|&q| (q, TopK::new(cfg.top_k)))
+        .collect();
+    match &cfg.mode {
+        ScoreMode::Dna => exec_job_dna(job, db, queries, &cfg.scoring, isa, &mut collectors),
+        ScoreMode::Protein(ms) => exec_job_protein(job, db, queries, ms, isa, &mut collectors),
+    }
+    collectors
+}
+
+/// The linear-gap DNA execution path of one job.
+fn exec_job_dna(
+    job: &Job,
+    db: &SeqDatabase,
+    queries: &[&[u8]],
     scoring: &Scoring,
     isa: Isa,
-    top_k: usize,
-) -> Vec<(usize, TopK)> {
-    let mut collectors: Vec<(usize, TopK)> =
-        job.queries.iter().map(|&q| (q, TopK::new(top_k))).collect();
+    collectors: &mut [(usize, TopK)],
+) {
     let packed_prof = if job.packed {
         let qs: Vec<&[u8]> = job.queries.iter().map(|&q| queries[q]).collect();
         PackedProfile::new(&qs, scoring, isa)
@@ -292,10 +343,49 @@ fn exec_job(
             }
         }
     }
-    collectors
 }
 
-fn offer(tk: &mut TopK, target: usize, r: &LinearSwResult) {
+/// The affine-gap protein execution path of one job: same shape as the
+/// DNA path with the Gotoh packed kernel and the scalar Gotoh oracle.
+fn exec_job_protein(
+    job: &Job,
+    db: &SeqDatabase,
+    queries: &[&[u8]],
+    ms: &MatrixScoring,
+    isa: Isa,
+    collectors: &mut [(usize, TopK)],
+) {
+    let packed_prof = if job.packed {
+        let qs: Vec<&[u8]> = job.queries.iter().map(|&q| queries[q]).collect();
+        PackedAffineProfile::new(&qs, ms, isa)
+    } else {
+        None
+    };
+    match packed_prof {
+        Some(mut prof) => {
+            for (t, target) in db.slab(job.targets.clone()) {
+                for (lane, r) in score_batch_packed_affine(&mut prof, target, 0)
+                    .into_iter()
+                    .enumerate()
+                {
+                    offer(&mut collectors[lane].1, t, &r);
+                }
+            }
+        }
+        None => {
+            for (t, target) in db.slab(job.targets.clone()) {
+                for (lane, &q) in job.queries.iter().enumerate() {
+                    let r = sw_score_profile(queries[q], target, ms, 0);
+                    offer(&mut collectors[lane].1, t, &r);
+                }
+            }
+        }
+    }
+}
+
+/// Offers one pair result to a collector (shared with the prefiltered
+/// driver so "what counts as a hit" has a single definition).
+pub(crate) fn offer(tk: &mut TopK, target: usize, r: &LinearSwResult) {
     if r.best_score > 0 {
         tk.push(Hit {
             score: r.best_score,
@@ -372,12 +462,29 @@ pub fn oracle_search(
     scoring: &Scoring,
     top_k: usize,
 ) -> Vec<Vec<Hit>> {
+    oracle_search_mode(db, queries, &ScoreMode::Dna, scoring, top_k)
+}
+
+/// [`oracle_search`] generalized over the scoring mode: the scalar
+/// per-pair reference for whichever arithmetic the engine ran — linear
+/// [`sw_score_linear`] for DNA, the scalar Gotoh [`sw_score_profile`] for
+/// protein. Still deliberately the dumbest possible implementation.
+pub fn oracle_search_mode(
+    db: &SeqDatabase,
+    queries: &[&[u8]],
+    mode: &ScoreMode,
+    scoring: &Scoring,
+    top_k: usize,
+) -> Vec<Vec<Hit>> {
     queries
         .iter()
         .map(|q| {
             let mut tk = TopK::new(top_k);
             for t in 0..db.len() {
-                let r = sw_score_linear(q, db.seq(t), scoring, 0);
+                let r = match mode {
+                    ScoreMode::Dna => sw_score_linear(q, db.seq(t), scoring, 0),
+                    ScoreMode::Protein(ms) => sw_score_profile(q, db.seq(t), ms, 0),
+                };
                 offer(&mut tk, t, &r);
             }
             tk.into_sorted()
@@ -539,6 +646,65 @@ mod tests {
                 assert_eq!(got, want, "kernel {kernel} workers {workers}");
             }
         }
+    }
+
+    #[test]
+    fn protein_search_matches_gotoh_oracle_for_all_kernels() {
+        use genomedsm_seq::random_protein;
+        let ms = MatrixScoring::blosum62();
+        let mode = ScoreMode::Protein(ms);
+        let records: Vec<genomedsm_seq::ProteinRecord> = (0..21)
+            .map(|i| genomedsm_seq::ProteinRecord {
+                id: format!("p{i}"),
+                seq: random_protein(30 + (i * 13) % 50, 400 + i as u64),
+            })
+            .collect();
+        let db = SeqDatabase::from_protein_records(records);
+        let queries: Vec<genomedsm_seq::ProteinSeq> = (0..17)
+            .map(|i| random_protein(10 + (i * 7) % 40, 900 + i as u64))
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_bytes()).collect();
+        let want = oracle_search_mode(&db, &refs, &mode, &SC, 5);
+        for kernel in [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto] {
+            for workers in [1usize, 4] {
+                let engine = BatchEngine::new(BatchConfig {
+                    kernel,
+                    mode,
+                    top_k: 5,
+                    scheduler: SchedulerConfig { workers, window: 2 },
+                    slab: 4,
+                    ..BatchConfig::default()
+                });
+                let got = engine.search(&db, &refs);
+                assert_eq!(got.hits, want, "kernel {kernel} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn protein_mode_spills_oversized_queries_exactly() {
+        // A query past the BLOSUM62 i16 envelope (min(m,·)·11 > 32 000)
+        // must run on the scalar Gotoh path and still match the oracle.
+        let ms = MatrixScoring::blosum62();
+        let mode = ScoreMode::Protein(ms);
+        let records: Vec<genomedsm_seq::ProteinRecord> = (0..4)
+            .map(|i| genomedsm_seq::ProteinRecord {
+                id: format!("p{i}"),
+                seq: genomedsm_seq::random_protein(60, i as u64),
+            })
+            .collect();
+        let db = SeqDatabase::from_protein_records(records);
+        let huge = vec![b'W'; 3000];
+        let queries: Vec<&[u8]> = vec![&huge, b"WQHKRWCEW", b""];
+        let want = oracle_search_mode(&db, &queries, &mode, &SC, 3);
+        let engine = BatchEngine::new(BatchConfig {
+            mode,
+            top_k: 3,
+            ..BatchConfig::default()
+        });
+        let got = engine.search(&db, &queries);
+        assert_eq!(got.hits, want);
+        assert!(got.stats.scalar_queries >= 1);
     }
 
     #[test]

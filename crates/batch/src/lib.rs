@@ -31,14 +31,19 @@
 pub mod db;
 pub mod engine;
 pub mod planner;
+pub mod prefilter;
 pub mod run;
 pub mod scheduler;
 pub mod topk;
 
 pub use db::{RecordMeta, SeqDatabase};
-pub use engine::{oracle_search, score_pairs, BatchConfig, BatchEngine, BatchOutcome, BatchStats};
-pub use planner::{plan_lane_groups, LanePlan};
-pub use run::{execute, load_inputs, verify_against_oracle, SearchInputs};
+pub use engine::{
+    oracle_search, oracle_search_mode, score_pairs, BatchConfig, BatchEngine, BatchOutcome,
+    BatchStats, ScoreMode,
+};
+pub use planner::{plan_lane_groups, plan_lane_groups_fitting, LanePlan};
+pub use prefilter::{build_index, prefiltered_search};
+pub use run::{execute, load_inputs, load_protein_inputs, verify_against_oracle, SearchInputs};
 pub use scheduler::{run_jobs, SchedulerConfig};
 pub use topk::{Hit, TopK};
 
@@ -118,6 +123,26 @@ pub fn load_query_file(path: impl AsRef<std::path::Path>) -> Result<Vec<Vec<u8>>
             path: path.to_path_buf(),
             source,
         })?;
+    if records.is_empty() {
+        return Err(BatchError::EmptyDatabase {
+            path: path.to_path_buf(),
+        });
+    }
+    Ok(records.into_iter().map(|r| r.seq.into_bytes()).collect())
+}
+
+/// Loads a multi-record protein FASTA query file (same emptiness contract
+/// as [`load_query_file`]).
+pub fn load_protein_query_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Vec<Vec<u8>>, BatchError> {
+    let path = path.as_ref();
+    let records = genomedsm_seq::fasta::read_protein_fasta_file(path).map_err(|source| {
+        BatchError::Fasta {
+            path: path.to_path_buf(),
+            source,
+        }
+    })?;
     if records.is_empty() {
         return Err(BatchError::EmptyDatabase {
             path: path.to_path_buf(),

@@ -34,11 +34,18 @@ pub struct LanePlan {
     pub padding_rows: usize,
 }
 
-/// Bins `queries` into lane groups of width `lanes`.
+/// Bins `queries` into lane groups of width `lanes`, admitting a query to
+/// lane packing iff `fits(len)` holds (the i16-envelope predicate of the
+/// scoring mode in use: [`fits_i16_query`] for DNA,
+/// [`genomedsm_kernels::fits_i16_affine_query`] for protein).
 ///
 /// `lanes <= 1` means the caller has no packed kernel (scalar choice or no
 /// SIMD); everything spills to the scalar list.
-pub fn plan_lane_groups(queries: &[&[u8]], lanes: usize, scoring: &Scoring) -> LanePlan {
+pub fn plan_lane_groups_fitting(
+    queries: &[&[u8]],
+    lanes: usize,
+    fits: impl Fn(usize) -> bool,
+) -> LanePlan {
     if lanes <= 1 {
         return LanePlan {
             groups: Vec::new(),
@@ -47,7 +54,7 @@ pub fn plan_lane_groups(queries: &[&[u8]], lanes: usize, scoring: &Scoring) -> L
         };
     }
     let (mut packable, scalar): (Vec<usize>, Vec<usize>) =
-        (0..queries.len()).partition(|&i| fits_i16_query(queries[i].len(), scoring));
+        (0..queries.len()).partition(|&i| fits(queries[i].len()));
     // Descending length; ascending index on ties keeps the plan stable.
     packable.sort_by_key(|&i| (std::cmp::Reverse(queries[i].len()), i));
     let mut groups = Vec::with_capacity(packable.len().div_ceil(lanes));
@@ -62,6 +69,11 @@ pub fn plan_lane_groups(queries: &[&[u8]], lanes: usize, scoring: &Scoring) -> L
         scalar,
         padding_rows,
     }
+}
+
+/// [`plan_lane_groups_fitting`] with the DNA (linear-gap) envelope.
+pub fn plan_lane_groups(queries: &[&[u8]], lanes: usize, scoring: &Scoring) -> LanePlan {
+    plan_lane_groups_fitting(queries, lanes, |len| fits_i16_query(len, scoring))
 }
 
 #[cfg(test)]

@@ -14,14 +14,15 @@
 //!   server) and callers that want the whole answer (benches, tests)
 //!   share one code path;
 //! * [`verify_against_oracle`] — the `--check` contract: compare a
-//!   result against [`oracle_search`] and name the first divergent query.
+//!   result against [`crate::engine::oracle_search_mode`] and name the
+//!   first divergent query.
 //!
 //! Keeping the front-ends on this path is what makes "cache hit equals
 //! recompute" and "`--check` preserved bit-identically" single theorems
 //! instead of per-binary claims.
 
 use crate::db::SeqDatabase;
-use crate::engine::{oracle_search, BatchEngine, BatchOutcome};
+use crate::engine::{oracle_search_mode, BatchEngine, BatchOutcome};
 use crate::topk::Hit;
 use crate::BatchError;
 use std::path::Path;
@@ -56,6 +57,22 @@ pub fn load_inputs(
     Ok(SearchInputs { db, queries })
 }
 
+/// [`load_inputs`] for protein FASTA files: the full IUPAC amino-acid
+/// alphabet with the canonical residue folding, typed
+/// `InvalidResidue` errors, and no DNA ambiguity mapping.
+///
+/// # Errors
+///
+/// [`BatchError`] if either file is unreadable, malformed, or empty.
+pub fn load_protein_inputs(
+    db_path: impl AsRef<Path>,
+    query_path: impl AsRef<Path>,
+) -> Result<SearchInputs, BatchError> {
+    let db = SeqDatabase::load_protein_fasta_file(db_path)?;
+    let queries = crate::load_protein_query_file(query_path)?;
+    Ok(SearchInputs { db, queries })
+}
+
 /// Runs one search, streaming each query's **final** hit list (ascending
 /// query order) through `on_query` and returning the collected outcome.
 ///
@@ -77,10 +94,12 @@ pub fn execute(
     BatchOutcome { hits, stats }
 }
 
-/// Checks a search result against the sequential per-pair oracle.
+/// Checks a search result against the sequential per-pair oracle of the
+/// engine's scoring mode — `sw_score_linear` for DNA, the scalar Gotoh
+/// `sw_score_profile` for protein.
 ///
 /// Returns `Ok(())` when every query's hit list is byte-identical to
-/// [`oracle_search`]'s; otherwise the index of the first query whose
+/// [`oracle_search_mode`]'s; otherwise the index of the first query whose
 /// hits diverge (the `--check` failure the CLI reports).
 ///
 /// # Errors
@@ -92,7 +111,13 @@ pub fn verify_against_oracle(
     queries: &[&[u8]],
     hits: &[Vec<Hit>],
 ) -> Result<(), usize> {
-    let want = oracle_search(db, queries, &engine.config.scoring, engine.config.top_k);
+    let want = oracle_search_mode(
+        db,
+        queries,
+        &engine.config.mode,
+        &engine.config.scoring,
+        engine.config.top_k,
+    );
     if hits.len() != want.len() {
         return Err(hits.len().min(want.len()));
     }
@@ -105,7 +130,7 @@ pub fn verify_against_oracle(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::BatchConfig;
+    use crate::engine::{oracle_search, BatchConfig};
     use crate::scheduler::SchedulerConfig;
     use genomedsm_seq::fasta::{write_fasta_file, FastaRecord};
     use genomedsm_seq::random_dna;
@@ -160,6 +185,41 @@ mod tests {
         });
         assert_eq!(streamed, refs.len());
         assert_eq!(outcome.hits, want);
+        assert_eq!(
+            verify_against_oracle(&engine, &inputs.db, &refs, &outcome.hits),
+            Ok(())
+        );
+        std::fs::remove_file(&db_path).ok();
+        std::fs::remove_file(&q_path).ok();
+    }
+
+    #[test]
+    fn protein_load_execute_verify_roundtrip() {
+        use crate::engine::ScoreMode;
+        use genomedsm_core::submat::MatrixScoring;
+        use genomedsm_seq::fasta::{write_protein_fasta_file, ProteinRecord};
+        use genomedsm_seq::random_protein;
+        let dir = fixture_dir();
+        let db_path = dir.join("pdb.fa");
+        let q_path = dir.join("pq.fa");
+        let recs = |n: usize, len: usize, seed: u64| -> Vec<ProteinRecord> {
+            (0..n)
+                .map(|i| ProteinRecord {
+                    id: format!("p{i}"),
+                    seq: random_protein(len + i, seed + i as u64),
+                })
+                .collect()
+        };
+        write_protein_fasta_file(&db_path, &recs(7, 40, 31)).unwrap();
+        write_protein_fasta_file(&q_path, &recs(4, 22, 91)).unwrap();
+        let inputs = load_protein_inputs(&db_path, &q_path).unwrap();
+        let engine = BatchEngine::new(BatchConfig {
+            mode: ScoreMode::Protein(MatrixScoring::blosum62()),
+            top_k: 3,
+            ..BatchConfig::default()
+        });
+        let refs = inputs.query_refs();
+        let outcome = execute(&engine, &inputs.db, &refs, |_, _| {});
         assert_eq!(
             verify_against_oracle(&engine, &inputs.db, &refs, &outcome.hits),
             Ok(())

@@ -84,6 +84,15 @@ impl TopK {
         self.heap.len()
     }
 
+    /// The worst hit currently kept — the one a better candidate would
+    /// evict. `None` while empty. When the collector is full, a candidate
+    /// strictly below this hit (in particular: any hit whose score is
+    /// strictly below `worst().score`) can never enter, which is the
+    /// pruning test of the prefiltered search driver.
+    pub fn worst(&self) -> Option<&Hit> {
+        self.heap.peek().map(|Reverse(h)| h)
+    }
+
     /// Whether no hit has been kept.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

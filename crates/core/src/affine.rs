@@ -9,7 +9,9 @@
 //! which the tests exploit as an oracle.
 
 use crate::alignment::{GlobalAlignment, LocalRegion};
+use crate::linear::LinearSwResult;
 use crate::scoring::Scoring;
+use crate::submat::MatrixScoring;
 
 /// Affine gap scheme: `matches`/`mismatch` per column, `gap_open` for the
 /// first space of a run, `gap_extend` for each further space.
@@ -98,6 +100,98 @@ pub fn sw_affine_score(s: &[u8], t: &[u8], scoring: &AffineScoring) -> (i32, (us
         std::mem::swap(&mut e_prev, &mut e_cur);
     }
     (best, end)
+}
+
+/// Runs the affine-gap (Gotoh) SW recurrence over `s` (rows) and `t`
+/// (columns), mirroring [`sw_score_linear`](crate::linear::sw_score_linear)
+/// exactly: same traversal order, same strict-`>` best with row-major-first
+/// tie-break, same 1-based matrix end point, same `hits` rule (cells
+/// scoring `>= threshold` when `threshold > 0`).
+///
+/// This is the canonical scalar oracle the striped affine kernels are
+/// bit-checked against. With `gap_open == gap_extend` it degenerates to
+/// the paper's linear model and agrees with `sw_score_linear` cell for
+/// cell (the property tests exploit this).
+pub fn sw_score_affine(
+    s: &[u8],
+    t: &[u8],
+    scoring: &AffineScoring,
+    threshold: i32,
+) -> LinearSwResult {
+    scoring.validate();
+    sw_result_affine(
+        s,
+        t,
+        |a, b| scoring.subst(a, b),
+        scoring.gap_open,
+        scoring.gap_extend,
+        threshold,
+    )
+}
+
+/// [`sw_score_affine`] with a full substitution matrix in place of the
+/// match/mismatch pair — the protein-path scalar oracle. Semantics are
+/// otherwise identical (same tie-break, end point, and hit rule).
+pub fn sw_score_profile(
+    s: &[u8],
+    t: &[u8],
+    scoring: &MatrixScoring,
+    threshold: i32,
+) -> LinearSwResult {
+    assert!(
+        scoring.gap_open < 0 && scoring.gap_extend < 0,
+        "gap penalties must be negative"
+    );
+    sw_result_affine(
+        s,
+        t,
+        |a, b| i32::from(scoring.matrix.score(a, b)),
+        scoring.gap_open,
+        scoring.gap_extend,
+        threshold,
+    )
+}
+
+fn sw_result_affine(
+    s: &[u8],
+    t: &[u8],
+    subst: impl Fn(u8, u8) -> i32,
+    gap_open: i32,
+    gap_extend: i32,
+    threshold: i32,
+) -> LinearSwResult {
+    let n = t.len();
+    let mut h_prev = vec![0i32; n + 1];
+    let mut e_prev = vec![NEG; n + 1];
+    let mut h_cur = vec![0i32; n + 1];
+    let mut e_cur = vec![NEG; n + 1];
+    let mut best = LinearSwResult {
+        best_score: 0,
+        best_end: (0, 0),
+        hits: 0,
+    };
+    for (i, &sc) in s.iter().enumerate() {
+        let mut f = NEG;
+        h_cur[0] = 0;
+        for j in 1..=n {
+            let e = (e_prev[j] + gap_extend).max(h_prev[j] + gap_open);
+            f = (f + gap_extend).max(h_cur[j - 1] + gap_open);
+            let diag = h_prev[j - 1] + subst(sc, t[j - 1]);
+            let v = diag.max(e).max(f).max(0);
+            h_cur[j] = v;
+            e_cur[j] = e;
+            if v >= threshold && threshold > 0 {
+                best.hits += 1;
+            }
+            if v > best.best_score {
+                best.best_score = v;
+                best.best_end = (i + 1, j);
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut e_prev, &mut e_cur);
+    }
+    best
 }
 
 /// Global alignment score with affine gaps, linear space.
@@ -354,6 +448,124 @@ mod tests {
             gap_extend: -1,
         };
         let _ = nw_affine_score(b"A", b"A", &bad);
+    }
+
+    // Deterministic byte-sequence generator for the property tests.
+    fn lcg_seq(seed: &mut u64, len: usize, alphabet: &[u8]) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                *seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                alphabet[((*seed >> 33) as usize) % alphabet.len()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sw_score_affine_matches_sw_affine_score_best() {
+        let aff = AffineScoring::dna();
+        let s = b"TCTCGACGGATTAGTATATATATA";
+        let t = b"ATATGATCGGAATAGCTCT";
+        let r = sw_score_affine(s, t, &aff, 3);
+        let (best, end) = sw_affine_score(s, t, &aff);
+        assert_eq!(r.best_score, best);
+        assert_eq!(r.best_end, end);
+        assert!(r.hits > 0);
+    }
+
+    #[test]
+    fn degenerate_affine_equals_linear_kernel_property() {
+        // Satellite: with gap_open == gap_extend the Gotoh recurrence
+        // collapses to the paper's linear model — every field of the
+        // result (score, end point incl. tie-break, hit count) must match
+        // sw_score_linear bit for bit.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for case in 0..200 {
+            let m = (case * 7) % 37; // includes 0 and 1-length inputs
+            let n = (case * 11) % 41;
+            let s = lcg_seq(&mut seed, m, b"ACGT");
+            let t = lcg_seq(&mut seed, n, b"ACGT");
+            for scoring in [
+                Scoring::paper(),
+                Scoring {
+                    matches: 2,
+                    mismatch: -3,
+                    gap: -5,
+                },
+            ] {
+                let aff = AffineScoring::linear(scoring);
+                for threshold in [0, 1, 3, i32::MAX] {
+                    let lin = sw_score_linear(&s, &t, &scoring, threshold);
+                    let got = sw_score_affine(&s, &t, &aff, threshold);
+                    assert_eq!(got, lin, "case {case} threshold {threshold}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_oracle_matches_affine_on_uniform_matrix() {
+        use crate::submat::{MatrixScoring, SubstMatrix, AA_N};
+        // A matrix that is +1 on the diagonal, -1 off it, reproduces the
+        // match/mismatch scheme on residue letters.
+        let mut scores = [[-1i16; AA_N]; AA_N];
+        for d in 0..AA_N {
+            scores[d][d] = 1;
+        }
+        let ms = MatrixScoring::new(SubstMatrix::from_scores(scores), -4, -1);
+        let aff = AffineScoring {
+            matches: 1,
+            mismatch: -1,
+            gap_open: -4,
+            gap_extend: -1,
+        };
+        let mut seed = 17u64;
+        for case in 0..50 {
+            let s = lcg_seq(&mut seed, (case * 5) % 31, b"ARNDCQEGHILKMFPSTWYV");
+            let t = lcg_seq(&mut seed, (case * 13) % 29, b"ARNDCQEGHILKMFPSTWYV");
+            for threshold in [0, 2, i32::MAX] {
+                assert_eq!(
+                    sw_score_profile(&s, &t, &ms, threshold),
+                    sw_score_affine(&s, &t, &aff, threshold),
+                    "case {case}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_oracle_blosum62_planted_motif() {
+        use crate::submat::MatrixScoring;
+        // A shared motif inside unrelated flanks: the local score is at
+        // least the motif's self-score minus nothing (no gaps needed).
+        let motif = b"WQHKRWCEW";
+        let ms = MatrixScoring::blosum62();
+        let mut s = vec![b'A'; 40];
+        let mut t = vec![b'G'; 40];
+        s[10..10 + motif.len()].copy_from_slice(motif);
+        t[25..25 + motif.len()].copy_from_slice(motif);
+        let self_score: i32 = motif
+            .iter()
+            .map(|&c| i32::from(ms.matrix.score(c, c)))
+            .sum();
+        let r = sw_score_profile(&s, &t, &ms, 1);
+        assert!(
+            r.best_score >= self_score,
+            "{} < {self_score}",
+            r.best_score
+        );
+        assert_eq!(r.best_end.0, 10 + motif.len());
+        assert_eq!(r.best_end.1, 25 + motif.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "gap penalties")]
+    fn profile_oracle_validates_gap_signs() {
+        use crate::submat::MatrixScoring;
+        let mut ms = MatrixScoring::blosum62();
+        ms.gap_extend = 0;
+        let _ = sw_score_profile(b"A", b"A", &ms, 1);
     }
 
     #[test]

@@ -24,9 +24,14 @@
 //!   alignments, and the queue post-processing (sort by size, dedup).
 //! * [`affine`] — a production extension beyond the paper: Gotoh
 //!   affine-gap local/global alignment (degenerates to the paper's
-//!   linear gaps when open == extend).
+//!   linear gaps when open == extend), including the scalar
+//!   [`sw_score_affine`]/[`sw_score_profile`] oracles the striped affine
+//!   kernels are bit-checked against.
 //! * [`myers_miller`] — linear-space affine-gap global alignment
 //!   (the Hirschberg idea repaired for gap runs crossing the midline).
+//! * [`submat`] — protein substitution matrices (BLOSUM62/BLOSUM50/PAM250
+//!   baked in, NCBI-format text loadable) and the canonical 24-letter
+//!   amino-acid alphabet.
 
 #![warn(missing_docs)]
 // Index-based loops are the clearest way to write DP stencils; silence
@@ -43,9 +48,11 @@ pub mod myers_miller;
 pub mod nw;
 pub mod reverse;
 pub mod scoring;
+pub mod submat;
 
-pub use affine::AffineScoring;
+pub use affine::{sw_score_affine, sw_score_profile, AffineScoring};
 pub use alignment::{finalize_queue, GlobalAlignment, LocalRegion};
 pub use heuristic::{heuristic_align, HCell, HeuristicParams, RowKernel};
 pub use linear::{sw_score_linear, LinearSwResult};
 pub use scoring::Scoring;
+pub use submat::{aa_index, MatrixError, MatrixScoring, SubstMatrix, AA_ALPHABET, AA_N};

@@ -1,0 +1,418 @@
+//! ALAE-style exact-upper-bound prefilter for protein database search.
+//!
+//! Before running any dynamic programming, a database scan can discard
+//! records that provably cannot reach a score of interest. This crate
+//! computes, from per-record *composition counts* alone (no positional
+//! information), an upper bound on the best local affine-gap alignment
+//! score between a query and a record. The bound is **exact** in the
+//! soundness direction: it is never below the true Smith–Waterman/Gotoh
+//! score, so pruning on it can never drop a record that belongs in the
+//! final result set. That is the property the batch driver's top-k search
+//! relies on and the property the tests here pin.
+//!
+//! # The bound
+//!
+//! A local alignment's score is a sum over its aligned residue pairs
+//! `(a, b)` of `s(a, b)`, plus gap penalties. Gap penalties are negative
+//! (admission requires it), so dropping them only raises the value. The
+//! alignment uses each query residue at most once and each target residue
+//! at most once, hence at most `min(m, L)` pairs. Two relaxations follow:
+//!
+//! * **Query side.** Pair `(a, b)` contributes at most
+//!   `cap_q(a) = max(0, max_b s(a, b))`. Flooring at zero lets us ignore
+//!   how many pairs the alignment actually uses: taking the `min(m, L)`
+//!   largest caps over the query's residues (a sorted prefix sum,
+//!   precomputed once per query) bounds every alignment.
+//! * **Target side.** Symmetrically, `(a, b)` contributes at most
+//!   `cap_t(b) = max(0, max_{a ∈ query} s(a, b))` — the max ranges only
+//!   over residues the query actually contains. With the record's
+//!   composition counts, the greedy assignment (take target residues in
+//!   decreasing `cap_t` order, up to `min(m, L)` of them) dominates every
+//!   real alignment's target-residue usage.
+//!
+//! Both are upper bounds on the true score (each dominates the pair sum,
+//! and the pair sum dominates the score once the non-positive gap terms
+//! are dropped); the prefilter uses their minimum. Records whose bound
+//! falls below the current requirement — a fixed threshold, or the k-th
+//! best score so far in a top-k scan — are pruned without touching the DP
+//! kernels.
+//!
+//! The index stores `24 × u32` counts plus a length per record
+//! (~100 bytes), and evaluating the bound is a 24-step loop — orders of
+//! magnitude cheaper than the `O(m·L)` DP it replaces, which is the point
+//! of the ALAE-style filter cascade this reproduces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use genomedsm_core::submat::{aa_index, MatrixScoring, AA_N};
+
+/// Composition summary of one database record: how many of each alphabet
+/// letter it contains, and its total length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordProfile {
+    /// Residue counts in [`genomedsm_core::submat::AA_ALPHABET`] order.
+    /// Bytes outside the alphabet fold to `X`, matching how the scoring
+    /// kernels index the matrix — profile and DP always see the same
+    /// residue classes.
+    pub counts: [u32; AA_N],
+    /// Record length in residues (the sum of `counts`).
+    pub len: usize,
+}
+
+impl RecordProfile {
+    /// Profiles one record's residue bytes.
+    pub fn of(seq: &[u8]) -> Self {
+        let mut counts = [0u32; AA_N];
+        for &b in seq {
+            counts[aa_index(b)] += 1;
+        }
+        Self {
+            counts,
+            len: seq.len(),
+        }
+    }
+}
+
+/// Composition profiles for a whole database, in record order.
+///
+/// Building the index is a single pass over the database and is
+/// independent of any query or scoring scheme; one index serves every
+/// search against the database.
+#[derive(Debug, Clone, Default)]
+pub struct ProteinIndex {
+    profiles: Vec<RecordProfile>,
+}
+
+impl ProteinIndex {
+    /// Builds an index over a database given as residue byte slices.
+    pub fn build<'a>(records: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        Self {
+            profiles: records.into_iter().map(RecordProfile::of).collect(),
+        }
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the index holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The composition profile of record `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn profile(&self, i: usize) -> &RecordProfile {
+        &self.profiles[i]
+    }
+
+    /// All profiles, in record order.
+    pub fn profiles(&self) -> &[RecordProfile] {
+        &self.profiles
+    }
+
+    /// Upper bounds for every record under `qb`, in record order.
+    pub fn bounds(&self, qb: &QueryBound) -> Vec<i64> {
+        self.profiles.iter().map(|p| qb.bound(p)).collect()
+    }
+
+    /// Record indices in the scan order the top-k driver wants: bound
+    /// descending, ties by ascending record index. Scanning high-bound
+    /// records first fills the top-k with large scores early, which makes
+    /// the `bound < k-th score` prune fire as soon as possible.
+    pub fn scan_order(&self, qb: &QueryBound) -> Vec<(usize, i64)> {
+        let mut order: Vec<(usize, i64)> = self
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, qb.bound(p)))
+            .collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        order
+    }
+}
+
+/// Per-query precomputation for the composition bound: the sorted-cap
+/// prefix sums for the query side and the per-letter caps for the target
+/// side. Build once per `(query, scoring)` pair, then evaluate against any
+/// number of record profiles.
+#[derive(Debug, Clone)]
+pub struct QueryBound {
+    /// `prefix[k]` = sum of the `k` largest query-residue caps; length
+    /// `m + 1` with `prefix[0] = 0`.
+    prefix: Vec<i64>,
+    /// `cap_t[bi]` = best score any *query* residue attains against
+    /// alphabet letter `bi`, floored at zero.
+    cap_t: [i64; AA_N],
+    /// Query length in residues.
+    m: usize,
+}
+
+impl QueryBound {
+    /// Precomputes the bound machinery for `query` under `scoring`.
+    pub fn new(query: &[u8], scoring: &MatrixScoring) -> Self {
+        let matrix = &scoring.matrix;
+        // Which alphabet letters the query contains, and each query
+        // residue's own cap.
+        let mut present = [false; AA_N];
+        let mut caps: Vec<i64> = Vec::with_capacity(query.len());
+        for &a in query {
+            let ai = aa_index(a);
+            present[ai] = true;
+            let mut best = 0i64;
+            for bi in 0..AA_N {
+                best = best.max(i64::from(matrix.score_at(ai, bi)));
+            }
+            caps.push(best);
+        }
+        caps.sort_unstable_by(|a, b| b.cmp(a));
+        let mut prefix = Vec::with_capacity(caps.len() + 1);
+        prefix.push(0i64);
+        let mut acc = 0i64;
+        for &c in &caps {
+            acc += c;
+            prefix.push(acc);
+        }
+        let mut cap_t = [0i64; AA_N];
+        for (bi, cap) in cap_t.iter_mut().enumerate() {
+            for (ai, _) in present.iter().enumerate().filter(|(_, &p)| p) {
+                *cap = (*cap).max(i64::from(matrix.score_at(ai, bi)));
+            }
+        }
+        Self {
+            prefix,
+            cap_t,
+            m: query.len(),
+        }
+    }
+
+    /// Query length this bound was built for.
+    pub fn query_len(&self) -> usize {
+        self.m
+    }
+
+    /// Exact upper bound on the Gotoh local-alignment score between the
+    /// query and any record with composition `profile`. Never below the
+    /// true score; `0` means the record cannot produce any positive-scoring
+    /// alignment at all.
+    pub fn bound(&self, profile: &RecordProfile) -> i64 {
+        let pairs = self.m.min(profile.len);
+        let query_side = self.prefix[pairs];
+        // Greedy target side: spend the pair budget on the letters with the
+        // largest caps first. Letters are visited in decreasing cap order
+        // via a tiny selection over the 24 fixed slots.
+        let mut order: [usize; AA_N] = [0; AA_N];
+        for (i, o) in order.iter_mut().enumerate() {
+            *o = i;
+        }
+        order.sort_unstable_by(|&a, &b| self.cap_t[b].cmp(&self.cap_t[a]));
+        let mut budget = pairs as i64;
+        let mut target_side = 0i64;
+        for &bi in &order {
+            if budget == 0 || self.cap_t[bi] <= 0 {
+                break; // remaining caps are non-positive: using them never helps
+            }
+            let take = i64::from(profile.counts[bi]).min(budget);
+            target_side += take * self.cap_t[bi];
+            budget -= take;
+        }
+        query_side.min(target_side)
+    }
+}
+
+/// Counters a prefilter-driven scan accumulates, for reporting pruning
+/// effectiveness in benchmarks and stats lines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefilterStats {
+    /// Records whose bound was evaluated.
+    pub evaluated: usize,
+    /// Records discarded without any DP.
+    pub pruned: usize,
+    /// Records that went through the full scoring path.
+    pub scored: usize,
+}
+
+impl PrefilterStats {
+    /// Fraction of evaluated records that were pruned (0 when none were
+    /// evaluated).
+    pub fn pruning_rate(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.evaluated as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomedsm_core::submat::SubstMatrix;
+    use genomedsm_core::sw_score_profile;
+    use genomedsm_seq::random_protein;
+    use proptest::prelude::*;
+
+    fn aa_seq(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            proptest::sample::select(genomedsm_core::AA_ALPHABET.to_vec()),
+            0..max,
+        )
+    }
+
+    /// A random symmetric matrix (positive diagonal) and valid penalties,
+    /// mirroring the kernels' property-suite generator.
+    fn random_scheme(seed: u64) -> MatrixScoring {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let mut scores = [[0i16; AA_N]; AA_N];
+        #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
+        for a in 0..AA_N {
+            for b in a..AA_N {
+                let v = if a == b {
+                    1 + (next() % 10) as i16
+                } else {
+                    -6 + (next() % 13) as i16
+                };
+                scores[a][b] = v;
+                scores[b][a] = v;
+            }
+        }
+        let ge = -(1 + (next() % 4) as i32);
+        let go = ge - (next() % 12) as i32;
+        MatrixScoring::new(SubstMatrix::from_scores(scores), go, ge)
+    }
+
+    fn check_sound(q: &[u8], t: &[u8], ms: &MatrixScoring) {
+        let qb = QueryBound::new(q, ms);
+        let bound = qb.bound(&RecordProfile::of(t));
+        let truth = i64::from(sw_score_profile(q, t, ms, 0).best_score);
+        assert!(
+            bound >= truth,
+            "bound {bound} < true score {truth} (|q|={} |t|={})",
+            q.len(),
+            t.len()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn bound_is_never_below_the_true_score_blosum62(q in aa_seq(60), t in aa_seq(60)) {
+            check_sound(&q, &t, &MatrixScoring::blosum62());
+        }
+
+        #[test]
+        fn bound_is_never_below_the_true_score_pam250(q in aa_seq(50), t in aa_seq(50)) {
+            check_sound(&q, &t, &MatrixScoring::new(SubstMatrix::pam250(), -10, -2));
+        }
+
+        #[test]
+        fn bound_is_never_below_the_true_score_random_matrix(
+            q in aa_seq(40), t in aa_seq(40), seed in 0u64..u64::MAX
+        ) {
+            check_sound(&q, &t, &random_scheme(seed));
+        }
+    }
+
+    #[test]
+    fn identical_sequences_bound_tightly_from_the_query_side() {
+        // Against itself, every residue can pair with itself, so the
+        // query-side bound equals the sum of per-residue maxima — at most
+        // a constant factor above the true self-score, never below it.
+        let ms = MatrixScoring::blosum62();
+        let q = random_protein(200, 3);
+        let qb = QueryBound::new(&q, &ms);
+        let bound = qb.bound(&RecordProfile::of(&q));
+        let truth = i64::from(sw_score_profile(&q, &q, &ms, 0).best_score);
+        assert!(bound >= truth);
+        assert!(bound <= truth * 3, "bound {bound} vs truth {truth}");
+    }
+
+    #[test]
+    fn disjoint_composition_bounds_to_zero() {
+        // A poly-W query against a poly-P record: W/P scores -4 in
+        // BLOSUM62, so no positive pair exists and the target side must
+        // collapse the bound to 0.
+        let ms = MatrixScoring::blosum62();
+        let qb = QueryBound::new(&[b'W'; 30], &ms);
+        assert_eq!(qb.bound(&RecordProfile::of(&[b'P'; 30])), 0);
+        // The true score agrees.
+        let truth = sw_score_profile(&[b'W'; 30], &[b'P'; 30], &ms, 0).best_score;
+        assert_eq!(truth, 0);
+    }
+
+    #[test]
+    fn short_record_limits_the_pair_budget() {
+        // min(m, L) caps the bound: a 3-residue record can contribute at
+        // most 3 pairs no matter how long the query is.
+        let ms = MatrixScoring::blosum62();
+        let q = vec![b'W'; 100];
+        let qb = QueryBound::new(&q, &ms);
+        let b3 = qb.bound(&RecordProfile::of(b"WWW"));
+        assert_eq!(b3, 3 * 11); // W/W = 11, three pairs max
+    }
+
+    #[test]
+    fn empty_query_or_record_bounds_to_zero() {
+        let ms = MatrixScoring::blosum62();
+        let qb = QueryBound::new(b"", &ms);
+        assert_eq!(qb.bound(&RecordProfile::of(b"WCEW")), 0);
+        let qb = QueryBound::new(b"WCEW", &ms);
+        assert_eq!(qb.bound(&RecordProfile::of(b"")), 0);
+    }
+
+    #[test]
+    fn scan_order_is_bound_desc_then_index_asc() {
+        let ms = MatrixScoring::blosum62();
+        let q = random_protein(50, 7);
+        let db: Vec<Vec<u8>> = vec![
+            random_protein(40, 1).into_bytes(),
+            q.as_bytes().to_vec(), // exact copy: highest bound
+            random_protein(40, 2).into_bytes(),
+            q.as_bytes().to_vec(), // duplicate copy: same bound, later index
+            vec![b'P'; 10],
+        ];
+        let index = ProteinIndex::build(db.iter().map(Vec::as_slice));
+        let qb = QueryBound::new(&q, &ms);
+        let order = index.scan_order(&qb);
+        assert_eq!(order.len(), 5);
+        // The two copies lead, in index order.
+        assert_eq!(order[0].0, 1);
+        assert_eq!(order[1].0, 3);
+        assert_eq!(order[0].1, order[1].1);
+        // Bounds are non-increasing down the scan.
+        for w in order.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn index_profiles_fold_unknown_bytes_like_the_kernels() {
+        let p = RecordProfile::of(b"W?w");
+        // '?' folds to X (index 22); 'w' folds to W.
+        assert_eq!(p.counts[aa_index(b'W')], 2);
+        assert_eq!(p.counts[22], 1);
+        assert_eq!(p.len, 3);
+    }
+
+    #[test]
+    fn pruning_rate_math() {
+        let s = PrefilterStats {
+            evaluated: 10,
+            pruned: 4,
+            scored: 6,
+        };
+        assert!((s.pruning_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(PrefilterStats::default().pruning_rate(), 0.0);
+    }
+}

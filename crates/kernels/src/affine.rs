@@ -1,0 +1,665 @@
+//! Affine-gap (Gotoh) striped and packed kernels for the protein path.
+//!
+//! The linear-gap kernels in [`crate::engine`]/[`crate::batch`] collapse
+//! the horizontal gap state (`E[i][j] = H[i][j-1] - gap` exactly). With
+//! affine penalties that shortcut is gone: the recurrence carries two
+//! extra states per element,
+//!
+//! ```text
+//! E[i][j] = max(E[i][j-1] + ge, H[i][j-1] + go)   (gap in the query)
+//! F[i][j] = max(F[i-1][j] + ge, H[i-1][j] + go)   (gap in the target)
+//! H[i][j] = max(0, H[i-1][j-1] + s(q_i, t_j), E[i][j], F[i][j])
+//! ```
+//!
+//! with `go`/`ge` the (negative) open/extend penalties and `s` a full
+//! substitution matrix ([`MatrixScoring`]). This module provides both
+//! parallel decompositions, exactly mirroring their linear counterparts:
+//!
+//! * **Striped** (one query across all lanes, SSW-style): the `E` values
+//!   live in a per-element striped buffer written one column ahead; `F`
+//!   runs down the column and crosses stripe boundaries through a lazy
+//!   correction loop. The affine lazy loop continues while any lane has
+//!   `F > H - go` — strictly longer than the linear kernel's `F > H`
+//!   test, because an `F` chain that cannot raise this element's `H` may
+//!   still beat *re-opening* a gap below it. Whenever the loop raises an
+//!   `H`, it also refreshes the stored `E` (`E ← max(E, H_new + go)`),
+//!   which restores the exact Gotoh `E` for the next column: the main
+//!   loop already folded in `E + ge` and the old `H + go`, and the
+//!   raised `H` only adds the third candidate. Propagating the chain as
+//!   `F - ge` alone is complete because admission requires
+//!   `gap_open <= gap_extend`, so extending an existing gap dominates
+//!   re-opening from any lazily-raised `H` (which equals that same `F`).
+//! * **Packed** (a different query per lane, batch-style): lanes are
+//!   independent alignments, so `F` is computed exactly on the way down
+//!   the rows — no lazy loop at all. Only the extra `E` buffer is new.
+//!
+//! Exactness: every routine here is bit-identical to
+//! [`sw_score_profile`] (score, row-major-first end point tie-break,
+//! threshold hit count) whenever [`crate::fits_i16_affine`] /
+//! [`crate::fits_i16_affine_query`] admits the problem; public wrappers
+//! fall back to the scalar Gotoh oracle otherwise. Saturating i16
+//! arithmetic cannot corrupt admitted problems: `H` is bounded by
+//! `min(m, n) * max_matrix_score <= 32 000`, and `E`/`F` values that
+//! saturate toward `i16::MIN` are already dominated by the `H + go`
+//! re-open branch (`>= -28 000`) everywhere they are consumed.
+
+use crate::batch::{packed_stats, PackedState};
+use crate::engine::{stats, Engine, StripedState};
+use crate::profile::NEG_INF;
+use crate::{fits_i16_affine_query, Isa, KernelChoice};
+use genomedsm_core::linear::LinearSwResult;
+use genomedsm_core::submat::{MatrixScoring, SubstMatrix};
+use genomedsm_core::sw_score_profile;
+
+/// Striped substitution profile for one query under a [`MatrixScoring`].
+///
+/// Layout is identical to the linear [`crate::profile::StripedProfile`]
+/// (query element `q` → stripe `q % p`, lane `q / p`); only the row fill
+/// differs: `prof[c][k*lanes + l] = matrix.score(s[l*p + k], c)`. Rows
+/// are built lazily per observed target symbol — the 24-letter protein
+/// alphabet touches at most 24 (plus folded aliases) of the 256 slots.
+pub(crate) struct AffineStripedProfile {
+    /// Query length.
+    pub m: usize,
+    /// Segment length: number of stripes, `ceil(m / lanes)`.
+    pub p: usize,
+    /// Vector width in i16 lanes.
+    pub lanes: usize,
+    /// Gap-open penalty as a positive i16 (`-gap_open`).
+    pub go: i16,
+    /// Gap-extend penalty as a positive i16 (`-gap_extend`).
+    pub ge: i16,
+    /// Per-stripe live-lane mask (2 bits per live lane).
+    pub valid: Vec<u64>,
+    rows: Vec<Option<Box<[i16]>>>,
+    seq: Box<[u8]>,
+    matrix: SubstMatrix,
+}
+
+impl AffineStripedProfile {
+    /// Builds the profile skeleton; rows are filled on first use.
+    ///
+    /// Caller must have checked [`crate::fits_i16_affine`] so all scores
+    /// and penalties are representable.
+    pub fn new(s: &[u8], scoring: &MatrixScoring, lanes: usize) -> Self {
+        debug_assert!(!s.is_empty());
+        let m = s.len();
+        let p = m.div_ceil(lanes);
+        let mut valid = Vec::with_capacity(p);
+        for k in 0..p {
+            let mut mask = 0u64;
+            for l in 0..lanes {
+                if l * p + k < m {
+                    mask |= 0b11 << (2 * l);
+                }
+            }
+            valid.push(mask);
+        }
+        Self {
+            m,
+            p,
+            lanes,
+            go: (-scoring.gap_open) as i16,
+            ge: (-scoring.gap_extend) as i16,
+            valid,
+            rows: vec![None; 256],
+            seq: s.into(),
+            matrix: scoring.matrix,
+        }
+    }
+
+    /// The striped profile row for target symbol `c` (`p * lanes` values).
+    pub fn row(&mut self, c: u8) -> &[i16] {
+        let slot = &mut self.rows[c as usize];
+        if slot.is_none() {
+            let mut row = vec![NEG_INF; self.p * self.lanes];
+            for (q, &sc) in self.seq.iter().enumerate() {
+                row[(q % self.p) * self.lanes + q / self.p] = self.matrix.score(sc, c);
+            }
+            *slot = Some(row.into_boxed_slice());
+        }
+        slot.as_deref().unwrap()
+    }
+
+    /// Striped buffer index of query element `q`.
+    #[inline(always)]
+    pub fn index_of(&self, q: usize) -> usize {
+        (q % self.p) * self.lanes + q / self.p
+    }
+}
+
+/// Computes one target column of the affine recurrence into `st.ch`,
+/// updating the striped `E` buffer `pe` in place for the next column.
+///
+/// On entry `pe[q]` holds `E[q][j]` (written while processing column
+/// `j-1`; initialized to `gap_open` before the first column, which is the
+/// exact `E[q][1]` from the zero boundary column). On exit `st.ch` holds
+/// the exact `H[.][j]` and `pe` the exact `E[.][j+1]`.
+///
+/// # Safety
+/// The caller must guarantee the engine's ISA is available on the running
+/// CPU (or call this through a `#[target_feature]` wrapper), and `st`,
+/// `pe`, and `prof_row` must all be striped for `E::LANES` lanes with `p`
+/// stripes.
+#[inline(always)]
+unsafe fn affine_column<E: Engine>(
+    st: &mut StripedState,
+    pe: &mut [i16],
+    prof_row: &[i16],
+    go: i16,
+    ge: i16,
+) {
+    let p = st.p;
+    let l = E::LANES;
+    debug_assert_eq!(l, st.lanes);
+    debug_assert_eq!(prof_row.len(), p * l);
+    debug_assert_eq!(pe.len(), p * l);
+    let vgo = E::splat(go);
+    let vge = E::splat(ge);
+    let vzero = E::splat(0);
+    let mut vf = E::splat(NEG_INF);
+    // Diagonal feed for stripe 0: last stripe of the previous column,
+    // rotated one lane, with the zero top-left boundary in lane 0.
+    let mut vh = E::shift_in(E::load(st.ph.as_ptr().add((p - 1) * l)), 0);
+    for k in 0..p {
+        let off = k * l;
+        let ve = E::load(pe.as_ptr().add(off));
+        vh = E::adds(vh, E::load(prof_row.as_ptr().add(off)));
+        vh = E::max(vh, ve);
+        vh = E::max(vh, vf);
+        vh = E::max(vh, vzero);
+        E::store(st.ch.as_mut_ptr().add(off), vh);
+        // E for the next column: extend, or re-open from this H.
+        E::store(
+            pe.as_mut_ptr().add(off),
+            E::max(E::subs(ve, vge), E::subs(vh, vgo)),
+        );
+        // F down the column: extend, or open from this H.
+        vf = E::max(E::subs(vf, vge), E::subs(vh, vgo));
+        vh = E::load(st.ph.as_ptr().add(off));
+    }
+    // Affine lazy F: the vertical chain crossing the stripe-0 boundary.
+    // Continue while F could still beat a re-opened gap (`F > H - go`);
+    // the boundary value entering element 0 is the zero row's `0 + go`,
+    // which can never pass that test — NEG_INF stands in for it. Each
+    // pass raises H where F wins and refreshes the stored E from the
+    // raised H; the chain itself advances as `F - ge` only, which is
+    // complete because `go >= ge` makes extension dominate re-opening
+    // from a lazily-raised H (that H *is* this F). Termination: F drops
+    // by `ge >= 1` per stripe while `H - go >= -go` is fixed from below.
+    vf = E::shift_in(vf, NEG_INF);
+    let mut k = 0;
+    loop {
+        let off = k * l;
+        let cur = E::load(st.ch.as_ptr().add(off));
+        if E::gt_bytes(vf, E::subs(cur, vgo)) == 0 {
+            break;
+        }
+        let raised = E::max(cur, vf);
+        E::store(st.ch.as_mut_ptr().add(off), raised);
+        E::store(
+            pe.as_mut_ptr().add(off),
+            E::max(E::load(pe.as_ptr().add(off)), E::subs(raised, vgo)),
+        );
+        vf = E::subs(vf, vge);
+        k += 1;
+        if k == p {
+            k = 0;
+            vf = E::shift_in(vf, NEG_INF);
+        }
+    }
+}
+
+/// Full striped affine pass, exact against [`sw_score_profile`].
+///
+/// # Safety
+/// The caller must guarantee the engine's ISA is available on the running
+/// CPU (or call this through a `#[target_feature]` wrapper).
+#[inline(always)]
+pub(crate) unsafe fn striped_affine_score<E: Engine>(
+    prof: &mut AffineStripedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> LinearSwResult {
+    let (go, ge) = (prof.go, prof.ge);
+    let m = prof.m;
+    let mut st = StripedState::new(prof.p, prof.lanes, true);
+    // E entering the first real column is exactly `gap_open` for every
+    // element (opened from the zero boundary column).
+    let mut pe = vec![-go; prof.p * prof.lanes];
+    let thr = if threshold > 0 && threshold <= i32::from(i16::MAX) {
+        Some((threshold - 1) as i16)
+    } else {
+        None
+    };
+    for (j0, &c) in t.iter().enumerate() {
+        let row = prof.row(c);
+        affine_column::<E>(&mut st, &mut pe, row, go, ge);
+        stats::<E>(&mut st, &prof.valid, thr, true, j0);
+        st.flip();
+    }
+    // Same final reduction as the linear kernel: live elements in query
+    // order with strict `>` reproduce the oracle's row-major-first
+    // tie-break.
+    let mut best = LinearSwResult {
+        best_score: 0,
+        best_end: (0, 0),
+        hits: st.hits,
+    };
+    for q in 0..m {
+        let idx = prof.index_of(q);
+        let v = i32::from(st.vmax[idx]);
+        if v > best.best_score {
+            best.best_score = v;
+            best.best_end = (q + 1, st.first_j[idx] as usize + 1);
+        }
+    }
+    best
+}
+
+/// A batch of up to `lanes` queries packed one-per-lane for the affine
+/// recurrence under a shared [`MatrixScoring`] — the protein counterpart
+/// of [`crate::PackedProfile`], reusable across a whole database scan.
+pub struct PackedAffineProfile {
+    isa: Isa,
+    lanes: usize,
+    rows: usize,
+    lens: Vec<usize>,
+    valid: Vec<u64>,
+    sym_rows: Vec<Option<Box<[i16]>>>,
+    seqs: Vec<Box<[u8]>>,
+    matrix: SubstMatrix,
+    go: i16,
+    ge: i16,
+}
+
+impl PackedAffineProfile {
+    /// Packs `queries` (at most `isa.lanes()` of them) for `isa`.
+    ///
+    /// Returns `None` when the pack is not exactly representable: the ISA
+    /// is unavailable, too many queries, or the scoring scheme / a query
+    /// length fails [`fits_i16_affine_query`].
+    pub fn new(queries: &[&[u8]], scoring: &MatrixScoring, isa: Isa) -> Option<Self> {
+        if !isa.available() || queries.len() > isa.lanes() {
+            return None;
+        }
+        if queries
+            .iter()
+            .any(|q| !fits_i16_affine_query(q.len(), scoring))
+        {
+            return None;
+        }
+        let lanes = isa.lanes();
+        let lens: Vec<usize> = queries.iter().map(|q| q.len()).collect();
+        let rows = lens.iter().copied().max().unwrap_or(0);
+        let mut valid = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let mut mask = 0u64;
+            for (l, &len) in lens.iter().enumerate() {
+                if i < len {
+                    mask |= 0b11 << (2 * l);
+                }
+            }
+            valid.push(mask);
+        }
+        Some(Self {
+            isa,
+            lanes,
+            rows,
+            lens,
+            valid,
+            sym_rows: vec![None; 256],
+            seqs: queries.iter().map(|&q| q.into()).collect(),
+            matrix: scoring.matrix,
+            go: (-scoring.gap_open) as i16,
+            ge: (-scoring.gap_extend) as i16,
+        })
+    }
+
+    /// Number of queries packed into this profile.
+    pub fn width(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// The ISA this profile is laid out for.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// The profile row for target symbol `c` (`rows * lanes` values).
+    fn row(&mut self, c: u8) -> &[i16] {
+        let slot = &mut self.sym_rows[c as usize];
+        if slot.is_none() {
+            let mut row = vec![NEG_INF; self.rows * self.lanes];
+            for (l, q) in self.seqs.iter().enumerate() {
+                for (i, &qc) in q.iter().enumerate() {
+                    row[i * self.lanes + l] = self.matrix.score(qc, c);
+                }
+            }
+            *slot = Some(row.into_boxed_slice());
+        }
+        slot.as_deref().unwrap()
+    }
+}
+
+/// One target column of the packed affine recurrence. Lanes are
+/// independent alignments, so `F` is exact on the way down the rows: the
+/// first row's `F` is `max(NEG_INF + ge, 0 + go) = go`, precisely the
+/// open-from-the-zero-row value.
+///
+/// # Safety
+/// Same contract as the linear `packed_column`: the engine's ISA must be
+/// enabled and `st`/`pe`/`prof_row` packed for `E::LANES` lanes with at
+/// least `rows` rows.
+#[inline(always)]
+unsafe fn packed_affine_column<E: Engine>(
+    st: &mut PackedState,
+    pe: &mut [i16],
+    rows: usize,
+    prof_row: &[i16],
+    go: i16,
+    ge: i16,
+) {
+    let l = E::LANES;
+    let vzero = E::splat(0);
+    let vgo = E::splat(go);
+    let vge = E::splat(ge);
+    let mut diag = vzero; // H[i-1][j-1]
+    let mut up_h = vzero; // H[i-1][j]
+    let mut vf = E::splat(NEG_INF); // F[i-1][j]
+    for i in 0..rows {
+        let off = i * l;
+        let left = E::load(st.ph.as_ptr().add(off)); // H[i][j-1]
+        let ve = E::load(pe.as_ptr().add(off)); // E[i][j]
+        vf = E::max(E::subs(vf, vge), E::subs(up_h, vgo)); // F[i][j]
+        let mut vh = E::adds(diag, E::load(prof_row.as_ptr().add(off)));
+        vh = E::max(vh, ve);
+        vh = E::max(vh, vf);
+        vh = E::max(vh, vzero);
+        E::store(st.ch.as_mut_ptr().add(off), vh);
+        E::store(
+            pe.as_mut_ptr().add(off),
+            E::max(E::subs(ve, vge), E::subs(vh, vgo)),
+        );
+        diag = left;
+        up_h = vh;
+    }
+}
+
+/// Full packed affine pass: one result per packed query, oracle-exact.
+///
+/// # Safety
+/// The caller must guarantee the engine's ISA is available on the running
+/// CPU (or call this through a `#[target_feature]` wrapper).
+#[inline(always)]
+pub(crate) unsafe fn packed_affine_score<E: Engine>(
+    prof: &mut PackedAffineProfile,
+    t: &[u8],
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    debug_assert_eq!(E::LANES, prof.lanes);
+    let rows = prof.rows;
+    let (go, ge) = (prof.go, prof.ge);
+    let mut st = PackedState::new(rows, prof.lanes);
+    // E entering the first real column is exactly `gap_open` everywhere.
+    let mut pe = vec![-go; rows * prof.lanes];
+    let thr = if threshold > 0 && threshold <= i32::from(i16::MAX) {
+        Some((threshold - 1) as i16)
+    } else {
+        None
+    };
+    for (j0, &c) in t.iter().enumerate() {
+        let row = prof.row(c);
+        packed_affine_column::<E>(&mut st, &mut pe, rows, row, go, ge);
+        packed_stats::<E>(&mut st, &prof.valid, thr, j0);
+        st.flip();
+    }
+    prof.lens
+        .iter()
+        .enumerate()
+        .map(|(l, &len)| {
+            let mut best = LinearSwResult {
+                best_score: 0,
+                best_end: (0, 0),
+                hits: st.hits[l],
+            };
+            for i in 0..len {
+                let idx = i * prof.lanes + l;
+                let v = i32::from(st.vmax[idx]);
+                if v > best.best_score {
+                    best.best_score = v;
+                    best.best_end = (i + 1, st.first_j[idx] as usize + 1);
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Scores every query packed in `prof` against `t` under the affine
+/// scheme, one oracle-exact [`LinearSwResult`] per query in pack order.
+pub fn score_batch_packed_affine(
+    prof: &mut PackedAffineProfile,
+    t: &[u8],
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    match prof.isa {
+        // SAFETY: the portable engine has no ISA requirement.
+        Isa::Portable => unsafe {
+            packed_affine_score::<crate::scalar::Portable>(prof, t, threshold)
+        },
+        // SAFETY: prof.isa is only Sse2 when runtime detection admitted it.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => unsafe { crate::x86::packed_affine_sse2(prof, t, threshold) },
+        // SAFETY: prof.isa is only Avx2 when runtime detection admitted it.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { crate::x86::packed_affine_avx2(prof, t, threshold) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Isa::Sse2 | Isa::Avx2 => unreachable!("PackedAffineProfile::new checks Isa::available"),
+    }
+}
+
+/// Scores many queries against one shared target under a shared
+/// [`MatrixScoring`], packing a different query into each i16 lane —
+/// the affine counterpart of [`crate::score_batch`]. Results are in
+/// query order, bit-identical to [`sw_score_profile`] per pair; queries
+/// outside the i16 envelope (and everything under `scalar`/portable
+/// `auto`) run on the scalar Gotoh oracle instead.
+pub fn score_batch_affine(
+    choice: KernelChoice,
+    queries: &[&[u8]],
+    t: &[u8],
+    scoring: &MatrixScoring,
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    let isa = match choice {
+        KernelChoice::Scalar => None,
+        KernelChoice::Simd => Some(Isa::best_available()),
+        KernelChoice::Auto => {
+            let best = Isa::best_available();
+            (best != Isa::Portable).then_some(best)
+        }
+    };
+    let zero = LinearSwResult {
+        best_score: 0,
+        best_end: (0, 0),
+        hits: 0,
+    };
+    let mut out = vec![zero; queries.len()];
+    let Some(isa) = isa else {
+        for (slot, q) in out.iter_mut().zip(queries) {
+            *slot = sw_score_profile(q, t, scoring, threshold);
+        }
+        return out;
+    };
+    let (packable, scalar): (Vec<usize>, Vec<usize>) =
+        (0..queries.len()).partition(|&i| fits_i16_affine_query(queries[i].len(), scoring));
+    for group in packable.chunks(isa.lanes()) {
+        let qs: Vec<&[u8]> = group.iter().map(|&i| queries[i]).collect();
+        let mut prof = PackedAffineProfile::new(&qs, scoring, isa)
+            .expect("members passed fits_i16_affine_query");
+        for (&i, r) in group
+            .iter()
+            .zip(score_batch_packed_affine(&mut prof, t, threshold))
+        {
+            out[i] = r;
+        }
+    }
+    for i in scalar {
+        out[i] = sw_score_profile(queries[i], t, scoring, threshold);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fits_i16_affine;
+
+    fn bl62() -> MatrixScoring {
+        MatrixScoring::blosum62()
+    }
+
+    fn oracle_each(
+        queries: &[&[u8]],
+        t: &[u8],
+        ms: &MatrixScoring,
+        thr: i32,
+    ) -> Vec<LinearSwResult> {
+        queries
+            .iter()
+            .map(|q| sw_score_profile(q, t, ms, thr))
+            .collect()
+    }
+
+    #[test]
+    fn striped_profile_rows_match_matrix() {
+        let ms = bl62();
+        let s = b"MKVLAWQHKRW";
+        let mut prof = AffineStripedProfile::new(s, &ms, 4);
+        for c in [b'W', b'A', b'X', b'*'] {
+            let row: Vec<i16> = prof.row(c).to_vec();
+            for (q, &sc) in s.iter().enumerate() {
+                assert_eq!(row[prof.index_of(q)], ms.matrix.score(sc, c), "q={q} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_affine_matches_oracle_every_engine() {
+        let ms = bl62();
+        let s = b"MKVLAWQHKRWCEWLTNHGGAVDSTRQEFFPK";
+        let t = b"GAVDSMKVLAWQHKRWTTTRQEFFPKAWQHK";
+        assert!(fits_i16_affine(s.len(), t.len(), &ms));
+        for thr in [0, 1, 5, i32::MAX] {
+            let want = sw_score_profile(s, t, &ms, thr);
+            for isa in Isa::ALL {
+                if !isa.available() {
+                    continue;
+                }
+                let mut prof = AffineStripedProfile::new(s, &ms, isa.lanes());
+                // SAFETY: availability checked; each dispatch goes through
+                // the matching target_feature wrapper.
+                let got = match isa {
+                    Isa::Portable => unsafe {
+                        striped_affine_score::<crate::scalar::Portable>(&mut prof, t, thr)
+                    },
+                    #[cfg(target_arch = "x86_64")]
+                    Isa::Sse2 => unsafe { crate::x86::affine_sse2(&mut prof, t, thr) },
+                    #[cfg(target_arch = "x86_64")]
+                    Isa::Avx2 => unsafe { crate::x86::affine_avx2(&mut prof, t, thr) },
+                    #[cfg(not(target_arch = "x86_64"))]
+                    _ => unreachable!(),
+                };
+                assert_eq!(got, want, "isa {} thr {thr}", isa.name());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_affine_matches_oracle_on_a_ragged_pack() {
+        let ms = bl62();
+        let queries: Vec<&[u8]> = vec![
+            b"MKVLAWQHKRWCEWLTNHGG",
+            b"",
+            b"W",
+            b"GAVDSTRQEFFPK",
+            b"AWQHKAWQHKAWQHKAWQHKAWQHK",
+            b"CCCCCCCC",
+        ];
+        let t = b"GAVDSMKVLAWQHKRWTTTRQEFFPKAWQHKWCEWLTN";
+        for thr in [0, 1, 4, i32::MAX] {
+            let want = oracle_each(&queries, t, &ms, thr);
+            for isa in Isa::ALL {
+                if !isa.available() {
+                    continue;
+                }
+                let mut prof = PackedAffineProfile::new(&queries, &ms, isa).unwrap();
+                let got = score_batch_packed_affine(&mut prof, t, thr);
+                assert_eq!(got, want, "isa {} thr {thr}", isa.name());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_affine_profile_reuse_across_targets_stays_exact() {
+        let ms = bl62();
+        let queries: Vec<&[u8]> = vec![b"MKVLAWQHKR", b"GAVDSTRQEF", b"WCEWLTNHGGAV"];
+        let targets: [&[u8]; 3] = [b"AWQHKRWCEWLTNHGGAVDSTRQ", b"MKVL", b""];
+        let mut prof = PackedAffineProfile::new(&queries, &ms, Isa::Portable).unwrap();
+        for t in targets {
+            assert_eq!(
+                score_batch_packed_affine(&mut prof, t, 2),
+                oracle_each(&queries, t, &ms, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn score_batch_affine_spills_oversized_queries_to_scalar() {
+        let ms = bl62();
+        // 40k residues exceed the i16 ceiling (40_000 * 11 cells); the
+        // big query must fall back while its neighbours stay packed.
+        let long = vec![b'W'; 40_000];
+        let queries: Vec<&[u8]> = vec![b"MKVLAWQ", &long, b"GAVD"];
+        let t = vec![b'W'; 500];
+        for choice in [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto] {
+            let got = score_batch_affine(choice, &queries, &t, &ms, 1);
+            assert_eq!(got, oracle_each(&queries, &t, &ms, 1), "choice {choice}");
+        }
+    }
+
+    #[test]
+    fn deep_gap_runs_cross_many_stripe_boundaries() {
+        // A long query with the strong match material at the *end* forces
+        // vertical gap chains to propagate across stripe boundaries, which
+        // is exactly what the lazy loop must get right.
+        let ms = MatrixScoring::new(SubstMatrix::blosum62(), -2, -1);
+        let mut s = vec![b'G'; 90];
+        let motif = b"WWWWHHHHWWWW";
+        let at = s.len() - motif.len();
+        s[at..].copy_from_slice(motif);
+        let mut t = vec![b'A'; 8];
+        t.extend_from_slice(motif);
+        for isa in Isa::ALL {
+            if !isa.available() {
+                continue;
+            }
+            let want = sw_score_profile(&s, &t, &ms, 3);
+            let mut prof = AffineStripedProfile::new(&s, &ms, isa.lanes());
+            // SAFETY: availability checked above.
+            let got = match isa {
+                Isa::Portable => unsafe {
+                    striped_affine_score::<crate::scalar::Portable>(&mut prof, &t, 3)
+                },
+                #[cfg(target_arch = "x86_64")]
+                Isa::Sse2 => unsafe { crate::x86::affine_sse2(&mut prof, &t, 3) },
+                #[cfg(target_arch = "x86_64")]
+                Isa::Avx2 => unsafe { crate::x86::affine_avx2(&mut prof, &t, 3) },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => unreachable!(),
+            };
+            assert_eq!(got, want, "isa {}", isa.name());
+        }
+    }
+}

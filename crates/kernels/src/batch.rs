@@ -131,22 +131,24 @@ impl PackedProfile {
 
 /// Mutable per-scan state: two column buffers plus the per-element
 /// running-max bookkeeping that reproduces the oracle's tie-break.
-struct PackedState {
+/// Shared with the affine packed kernel ([`crate::affine`]), which adds
+/// its own `E` buffer alongside.
+pub(crate) struct PackedState {
     /// Previous column's `H` (`rows * lanes`, row-major).
-    ph: Vec<i16>,
+    pub(crate) ph: Vec<i16>,
     /// Current column's `H`.
-    ch: Vec<i16>,
+    pub(crate) ch: Vec<i16>,
     /// Running per-element maximum over all columns seen so far.
-    vmax: Vec<i16>,
+    pub(crate) vmax: Vec<i16>,
     /// Column (0-based) of the first strict improvement that set each
     /// element's current `vmax`.
-    first_j: Vec<u64>,
+    pub(crate) first_j: Vec<u64>,
     /// Per-lane threshold hits.
-    hits: Vec<u64>,
+    pub(crate) hits: Vec<u64>,
 }
 
 impl PackedState {
-    fn new(rows: usize, lanes: usize) -> Self {
+    pub(crate) fn new(rows: usize, lanes: usize) -> Self {
         let n = rows * lanes;
         Self {
             ph: vec![0; n],
@@ -158,7 +160,7 @@ impl PackedState {
     }
 
     #[inline(always)]
-    fn flip(&mut self) {
+    pub(crate) fn flip(&mut self) {
         std::mem::swap(&mut self.ph, &mut self.ch);
     }
 }
@@ -204,7 +206,7 @@ unsafe fn packed_column<E: Engine>(st: &mut PackedState, rows: usize, prof_row: 
 /// Same contract as [`packed_column`]; `valid` must cover every packed
 /// row of `st`.
 #[inline(always)]
-unsafe fn packed_stats<E: Engine>(
+pub(crate) unsafe fn packed_stats<E: Engine>(
     st: &mut PackedState,
     valid: &[u64],
     thr_minus_1: Option<i16>,

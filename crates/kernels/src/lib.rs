@@ -22,6 +22,7 @@
 //! the fastest exact kernel for the host, `simd` forces the striped path
 //! (portable fallback included), `scalar` forces the oracle.
 
+mod affine;
 mod band;
 mod batch;
 mod engine;
@@ -30,12 +31,16 @@ mod scalar;
 #[cfg(target_arch = "x86_64")]
 mod x86;
 
+pub use affine::{score_batch_affine, score_batch_packed_affine, PackedAffineProfile};
 pub use band::BandScorer;
 pub use batch::{effective_lanes, score_batch, score_batch_packed, PackedProfile};
 pub use genomedsm_core::linear::LinearSwResult;
 
+use affine::AffineStripedProfile;
 use genomedsm_core::linear::sw_score_linear;
 use genomedsm_core::scoring::Scoring;
+use genomedsm_core::submat::MatrixScoring;
+use genomedsm_core::sw_score_profile;
 use profile::StripedProfile;
 
 /// Highest cell value the striped kernels accept, with margin below
@@ -197,6 +202,52 @@ pub fn fits_i16_query(m: usize, scoring: &Scoring) -> bool {
     (m as i64).saturating_mul(i64::from(scoring.matches)) <= I16_SCORE_CEILING
 }
 
+fn affine_params_ok(scoring: &MatrixScoring) -> bool {
+    // Both penalties negative and bounded; open at least as costly as
+    // extend (signed `gap_open <= gap_extend`) — the affine lazy-F loop's
+    // "extension dominates re-opening" argument requires it, and every
+    // standard protein scheme satisfies it.
+    if scoring.gap_open >= 0 || scoring.gap_extend >= 0 {
+        return false;
+    }
+    if scoring.gap_open > scoring.gap_extend || scoring.gap_open < -I16_PARAM_CEILING {
+        return false;
+    }
+    // Matrix entries must stay clear of the padding sentinel and offer a
+    // positive score somewhere (otherwise every result is the zero result
+    // and the scalar oracle is free anyway).
+    let maxs = scoring.matrix.max_score();
+    let mins = scoring.matrix.min_score();
+    maxs >= 1 && i32::from(maxs) <= I16_PARAM_CEILING && i32::from(mins) >= -I16_PARAM_CEILING
+}
+
+/// Whether a problem of these dimensions is exactly representable in the
+/// i16 striped *affine* kernels under `scoring` — the protein-path
+/// counterpart of [`fits_i16`].
+///
+/// Local scores are bounded by `min(m, n) * max_matrix_score` (gaps only
+/// subtract), so keeping that product under the internal ceiling rules
+/// out saturation of every `H`; `E`/`F` values that saturate low are
+/// dominated by the `H + gap_open` re-open branch everywhere they are
+/// consumed, so they cannot corrupt an admitted result.
+pub fn fits_i16_affine(m: usize, n: usize, scoring: &MatrixScoring) -> bool {
+    if m == 0 || n == 0 {
+        return false; // trivial; let the scalar oracle return its zero result
+    }
+    affine_params_ok(scoring)
+        && (m.min(n) as i64).saturating_mul(i64::from(scoring.matrix.max_score()))
+            <= I16_SCORE_CEILING
+}
+
+/// [`fits_i16_affine`] for a query whose target length is not yet known —
+/// the admission rule for packing a query into a [`PackedAffineProfile`]
+/// reused across a whole database. Empty queries are admitted (their lane
+/// is fully masked and yields the zero result for free).
+pub fn fits_i16_affine_query(m: usize, scoring: &MatrixScoring) -> bool {
+    affine_params_ok(scoring)
+        && (m as i64).saturating_mul(i64::from(scoring.matrix.max_score())) <= I16_SCORE_CEILING
+}
+
 /// A drop-in replacement for `sw_score_linear`: same inputs, same exact
 /// outputs, possibly much faster.
 pub trait ScoreKernel: Send + Sync {
@@ -207,6 +258,17 @@ pub trait ScoreKernel: Send + Sync {
     /// oracle's contract (best score, row-major-first end point, threshold
     /// hit count with `threshold > 0` gating).
     fn score(&self, s: &[u8], t: &[u8], scoring: &Scoring, threshold: i32) -> LinearSwResult;
+
+    /// Affine-gap (Gotoh) scoring under a full substitution matrix — the
+    /// protein path. Exact per [`sw_score_profile`]'s contract, with the
+    /// same transparent scalar fallback outside the i16 envelope.
+    fn score_affine(
+        &self,
+        s: &[u8],
+        t: &[u8],
+        scoring: &MatrixScoring,
+        threshold: i32,
+    ) -> LinearSwResult;
 }
 
 /// The plain two-row i32 recurrence (the oracle itself).
@@ -220,6 +282,16 @@ impl ScoreKernel for ScalarKernel {
 
     fn score(&self, s: &[u8], t: &[u8], scoring: &Scoring, threshold: i32) -> LinearSwResult {
         sw_score_linear(s, t, scoring, threshold)
+    }
+
+    fn score_affine(
+        &self,
+        s: &[u8],
+        t: &[u8],
+        scoring: &MatrixScoring,
+        threshold: i32,
+    ) -> LinearSwResult {
+        sw_score_profile(s, t, scoring, threshold)
     }
 }
 
@@ -272,6 +344,35 @@ impl ScoreKernel for StripedKernel {
             // SAFETY: as above — available() verified AVX2 at runtime.
             #[cfg(target_arch = "x86_64")]
             Isa::Avx2 => unsafe { x86::score_avx2(&mut prof, t, threshold) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Isa::Sse2 | Isa::Avx2 => unreachable!("guarded by Isa::available"),
+        }
+    }
+
+    fn score_affine(
+        &self,
+        s: &[u8],
+        t: &[u8],
+        scoring: &MatrixScoring,
+        threshold: i32,
+    ) -> LinearSwResult {
+        if !fits_i16_affine(s.len(), t.len(), scoring) || !self.isa.available() {
+            return sw_score_profile(s, t, scoring, threshold);
+        }
+        let mut prof = AffineStripedProfile::new(s, scoring, self.isa.lanes());
+        match self.isa {
+            // SAFETY: the portable engine has no ISA requirement; the
+            // profile above was built for its lane width.
+            Isa::Portable => unsafe {
+                affine::striped_affine_score::<scalar::Portable>(&mut prof, t, threshold)
+            },
+            // SAFETY: self.isa.available() was checked above, so the
+            // target_feature contract of the wrapper holds.
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse2 => unsafe { x86::affine_sse2(&mut prof, t, threshold) },
+            // SAFETY: as above — available() verified AVX2 at runtime.
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => unsafe { x86::affine_avx2(&mut prof, t, threshold) },
             #[cfg(not(target_arch = "x86_64"))]
             Isa::Sse2 | Isa::Avx2 => unreachable!("guarded by Isa::available"),
         }

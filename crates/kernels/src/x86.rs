@@ -17,6 +17,9 @@
 
 use std::arch::x86_64::*;
 
+use crate::affine::{
+    packed_affine_score, striped_affine_score, AffineStripedProfile, PackedAffineProfile,
+};
 use crate::batch::{packed_score, PackedProfile};
 use crate::engine::{band_advance, striped_score, BandChunkOut, Engine, StripedState};
 use crate::profile::StripedProfile;
@@ -214,6 +217,50 @@ pub(crate) unsafe fn packed_avx2(
     threshold: i32,
 ) -> Vec<LinearSwResult> {
     packed_score::<Avx2>(prof, t, threshold)
+}
+
+/// # Safety
+/// Caller must have verified SSE2 availability.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn affine_sse2(
+    prof: &mut AffineStripedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> LinearSwResult {
+    striped_affine_score::<Sse2>(prof, t, threshold)
+}
+
+/// # Safety
+/// Caller must have verified AVX2 via `is_x86_feature_detected!`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn affine_avx2(
+    prof: &mut AffineStripedProfile,
+    t: &[u8],
+    threshold: i32,
+) -> LinearSwResult {
+    striped_affine_score::<Avx2>(prof, t, threshold)
+}
+
+/// # Safety
+/// Caller must have verified SSE2 availability.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn packed_affine_sse2(
+    prof: &mut PackedAffineProfile,
+    t: &[u8],
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    packed_affine_score::<Sse2>(prof, t, threshold)
+}
+
+/// # Safety
+/// Caller must have verified AVX2 via `is_x86_feature_detected!`.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn packed_affine_avx2(
+    prof: &mut PackedAffineProfile,
+    t: &[u8],
+    threshold: i32,
+) -> Vec<LinearSwResult> {
+    packed_affine_score::<Avx2>(prof, t, threshold)
 }
 
 #[cfg(test)]

@@ -1,0 +1,232 @@
+//! Property suite: every affine kernel path (per-pair `score_affine` on
+//! each `KernelChoice`, plus the lane-packed `score_batch_affine`) must
+//! reproduce the scalar Gotoh oracle (`sw_score_profile`) exactly — best
+//! score, best end position (including the row-major-first tie-break),
+//! and threshold-hit count — on random residue sequences and adversarial
+//! shapes: empty sequences, one-character sequences, ragged packs, and
+//! problems past the i16 saturation boundary (which must spill to the
+//! scalar path and stay exact).
+//!
+//! Matrices covered: BLOSUM62, PAM250, and random symmetric custom
+//! matrices with random (valid) affine penalties.
+
+use genomedsm_core::submat::{MatrixScoring, SubstMatrix, AA_ALPHABET, AA_N};
+use genomedsm_core::sw_score_profile;
+use genomedsm_kernels::{
+    available_kernels, fits_i16_affine, fits_i16_affine_query, kernel_for, score_batch_affine,
+    KernelChoice,
+};
+use proptest::prelude::*;
+
+const CHOICES: [KernelChoice; 3] = [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto];
+
+fn residues(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(AA_ALPHABET.to_vec()), 0..max)
+}
+
+fn query_set() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(residues(70), 0..36)
+}
+
+/// A random symmetric matrix with a positive diagonal, plus random valid
+/// affine penalties (`gap_open <= gap_extend < 0`), all derived from one
+/// sampled seed so failures replay.
+fn random_scheme(seed: u64) -> MatrixScoring {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as i64
+    };
+    let mut scores = [[0i16; AA_N]; AA_N];
+    #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
+    for a in 0..AA_N {
+        for b in a..AA_N {
+            let v = if a == b {
+                1 + (next() % 10) as i16 // diagonal in 1..=10
+            } else {
+                -6 + (next() % 13) as i16 // off-diagonal in -6..=6
+            };
+            scores[a][b] = v;
+            scores[b][a] = v;
+        }
+    }
+    let ge = -(1 + (next() % 4) as i32); // extend in -4..=-1
+    let go = ge - (next() % 12) as i32; // open <= extend
+    MatrixScoring::new(SubstMatrix::from_scores(scores), go, ge)
+}
+
+/// One pair through every runnable kernel object and choice.
+fn check_pair(s: &[u8], t: &[u8], ms: &MatrixScoring, threshold: i32) {
+    let want = sw_score_profile(s, t, ms, threshold);
+    for k in available_kernels() {
+        assert_eq!(
+            k.score_affine(s, t, ms, threshold),
+            want,
+            "kernel {} (|s|={} |t|={} thr={threshold})",
+            k.name(),
+            s.len(),
+            t.len()
+        );
+    }
+    for choice in CHOICES {
+        assert_eq!(
+            kernel_for(choice).score_affine(s, t, ms, threshold),
+            want,
+            "choice {choice}"
+        );
+    }
+}
+
+/// One query set through the lane-packed batch path for every choice.
+fn check_batch(queries: &[Vec<u8>], t: &[u8], ms: &MatrixScoring, threshold: i32) {
+    let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+    for choice in CHOICES {
+        let got = score_batch_affine(choice, &refs, t, ms, threshold);
+        assert_eq!(got.len(), queries.len());
+        for (q, (query, result)) in queries.iter().zip(&got).enumerate() {
+            let oracle = sw_score_profile(query, t, ms, threshold);
+            assert_eq!(
+                *result,
+                oracle,
+                "{choice} lane diverged on query {q} (|q|={} |t|={} thr={threshold})",
+                query.len(),
+                t.len()
+            );
+        }
+    }
+}
+
+/// Degrades a sampled query set in place (one lane in six goes empty, one
+/// in six shrinks to a single residue), driven by the sampled `shape`.
+fn degrade(queries: &mut [Vec<u8>], mut shape: u64) {
+    for q in queries.iter_mut() {
+        match shape % 6 {
+            0 => q.clear(),
+            1 => q.truncate(1),
+            _ => {}
+        }
+        shape /= 6;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blosum62_pairs_match_oracle(s in residues(120), t in residues(120), thr in 0i32..40) {
+        check_pair(&s, &t, &MatrixScoring::blosum62(), thr);
+    }
+
+    #[test]
+    fn pam250_pairs_match_oracle(s in residues(100), t in residues(100), thr in 0i32..30) {
+        let ms = MatrixScoring::new(SubstMatrix::pam250(), -10, -2);
+        check_pair(&s, &t, &ms, thr);
+    }
+
+    #[test]
+    fn random_matrix_pairs_match_oracle(s in residues(90), t in residues(90),
+                                        seed in 0u64..u64::MAX, thr in 0i32..20) {
+        check_pair(&s, &t, &random_scheme(seed), thr);
+    }
+
+    #[test]
+    fn ragged_packs_match_oracle(mut queries in query_set(), t in residues(110),
+                                 shape in 0u64..u64::MAX, thr in 0i32..20) {
+        degrade(&mut queries, shape);
+        check_batch(&queries, &t, &MatrixScoring::blosum62(), thr);
+        let pam = MatrixScoring::new(SubstMatrix::pam250(), -11, -1);
+        check_batch(&queries, &t, &pam, thr);
+    }
+
+    #[test]
+    fn random_matrix_packs_match_oracle(mut queries in query_set(), t in residues(90),
+                                        shape in 0u64..u64::MAX, seed in 0u64..u64::MAX) {
+        degrade(&mut queries, shape);
+        check_batch(&queries, &t, &random_scheme(seed), 3);
+    }
+}
+
+#[test]
+fn saturation_boundary_spills_to_scalar_exactly() {
+    // BLOSUM62's best entry is 11 (W/W), so queries longer than
+    // 32_000 / 11 = 2909 residues leave the i16 envelope. A W-run of
+    // 3000 against a W-run target really would exceed i16::MAX (score
+    // 33_000), so the kernel must detect it and fall back — and a query
+    // one residue under the boundary must stay admitted.
+    let ms = MatrixScoring::blosum62();
+    let boundary = 32_000 / 11; // 2909: largest admitted query length
+    assert!(fits_i16_affine_query(boundary, &ms));
+    assert!(!fits_i16_affine_query(boundary + 1, &ms));
+
+    let s = vec![b'W'; 3000];
+    let t = vec![b'W'; 3000];
+    assert!(!fits_i16_affine(s.len(), t.len(), &ms));
+    let want = sw_score_profile(&s, &t, &ms, 1);
+    assert_eq!(want.best_score, 33_000, "sanity: past i16::MAX");
+    for k in available_kernels() {
+        assert_eq!(k.score_affine(&s, &t, &ms, 1), want, "kernel {}", k.name());
+    }
+    // The packed path must spill the same way.
+    let queries: Vec<Vec<u8>> = vec![s.clone(), vec![b'W'; 10], Vec::new()];
+    check_batch(&queries, &t, &ms, 1);
+}
+
+#[test]
+fn admitted_problem_just_under_the_ceiling_uses_i16_exactly() {
+    // min(m, n) * 11 = 31_999 < 32_000: admitted, and every engine must
+    // produce the exact (large) score without saturating.
+    let ms = MatrixScoring::blosum62();
+    let m = 2909;
+    let s = vec![b'W'; m];
+    let t = vec![b'W'; 4000];
+    assert!(fits_i16_affine(s.len(), t.len(), &ms));
+    check_pair(&s, &t, &ms, 100);
+}
+
+#[test]
+fn degenerate_shapes_on_every_matrix() {
+    let schemes = [
+        MatrixScoring::blosum62(),
+        MatrixScoring::new(SubstMatrix::pam250(), -8, -3),
+        random_scheme(0xfeed_beef),
+    ];
+    let shapes: [(&[u8], &[u8]); 6] = [
+        (b"", b""),
+        (b"", b"WCEW"),
+        (b"WCEW", b""),
+        (b"W", b"W"),
+        (b"W", b"C"),
+        (b"*", b"*"),
+    ];
+    for ms in &schemes {
+        for (s, t) in shapes {
+            check_pair(s, t, ms, 1);
+        }
+    }
+}
+
+#[test]
+fn invalid_schemes_are_rejected_by_admission() {
+    // Positive or zero penalties, open milder than extend, or an
+    // all-non-positive matrix must all be routed to scalar.
+    let mut flat = [[-1i16; AA_N]; AA_N];
+    assert!(!fits_i16_affine_query(
+        5,
+        &MatrixScoring::new(SubstMatrix::from_scores(flat), -11, -1)
+    ));
+    flat[0][0] = 2;
+    let ok = SubstMatrix::from_scores(flat);
+    assert!(fits_i16_affine_query(5, &MatrixScoring::new(ok, -11, -1)));
+    assert!(!fits_i16_affine_query(5, &MatrixScoring::new(ok, 0, -1)));
+    assert!(!fits_i16_affine_query(5, &MatrixScoring::new(ok, -1, 0)));
+    // open (-1) milder than extend (-2): the lazy-F argument breaks, so
+    // admission must refuse.
+    assert!(!fits_i16_affine_query(5, &MatrixScoring::new(ok, -1, -2)));
+    // Equal penalties (the linear degenerate case) are admitted.
+    assert!(fits_i16_affine_query(5, &MatrixScoring::new(ok, -2, -2)));
+    // Rejection still yields exact results through the public kernels.
+    let ms = MatrixScoring::new(ok, -1, -2);
+    check_pair(b"AAAA", b"AAAA", &ms, 1);
+}

@@ -7,7 +7,7 @@
 //! SAFETY comments on every `unsafe`, no `unwrap()`/`expect()`, no
 //! `Ordering::Relaxed`, and no `thread::sleep` in the protocol crates
 //! (`genomedsm-dsm`, `genomedsm-strategies`, `genomedsm-batch`,
-//! `genomedsm-serve`), all outside test code.
+//! `genomedsm-index`, `genomedsm-serve`), all outside test code.
 //!
 //! Run it with `cargo run -p genomedsm-lint` (CI runs it in the `verify`
 //! job). There is **no allowlist**: the workspace itself must be clean,
@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` is subject to the protocol rules (`no-unwrap`,
 /// `no-relaxed`, `no-sleep`) in addition to `safety-comment`.
-pub const PROTOCOL_CRATES: &[&str] = &["dsm", "strategies", "batch", "serve"];
+pub const PROTOCOL_CRATES: &[&str] = &["dsm", "strategies", "batch", "index", "serve"];
 
 /// Recursively collects `.rs` files under `dir` (sorted for determinism).
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -5,6 +5,7 @@
 //! disk and read them back, so runs can be repeated on fixed inputs.
 
 use crate::dna::DnaSeq;
+use crate::protein::ProteinSeq;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
@@ -16,6 +17,15 @@ pub struct FastaRecord {
     pub id: String,
     /// The sequence body.
     pub seq: DnaSeq,
+}
+
+/// One protein FASTA record: a header line (without `>`) and its sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProteinRecord {
+    /// Text after `>` on the header line.
+    pub id: String,
+    /// The amino-acid sequence body.
+    pub seq: ProteinSeq,
 }
 
 /// Errors produced while parsing FASTA input.
@@ -30,6 +40,17 @@ pub enum FastaError {
     },
     /// A sequence line contained a character outside the IUPAC alphabet.
     InvalidBase {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A protein sequence line contained a character outside the IUPAC
+    /// amino-acid alphabet. Distinct from [`FastaError::InvalidBase`] so
+    /// callers can tell "protein file fed to the DNA reader" (typically
+    /// `InvalidBase` on `E`, `Q`, …) apart from genuinely malformed
+    /// protein input.
+    InvalidResidue {
         /// 1-based line number of the offending line.
         line: usize,
         /// The offending byte.
@@ -53,6 +74,9 @@ impl fmt::Display for FastaError {
             }
             FastaError::InvalidBase { line, byte } => {
                 write!(f, "line {line}: invalid base 0x{byte:02x}")
+            }
+            FastaError::InvalidResidue { line, byte } => {
+                write!(f, "line {line}: invalid amino-acid residue 0x{byte:02x}")
             }
             FastaError::EmptyRecord { line, id } => {
                 write!(f, "line {line}: record `{id}` has an empty sequence")
@@ -80,7 +104,55 @@ impl From<io::Error> for FastaError {
 /// database layers index records by id, and a silent zero-length entry is
 /// almost always a truncated or malformed file.
 pub fn read_fasta(reader: impl BufRead) -> Result<Vec<FastaRecord>, FastaError> {
-    let mut records: Vec<FastaRecord> = Vec::new();
+    let raw = read_records(
+        reader,
+        |b| crate::dna::iupac_to_base(b.to_ascii_uppercase()),
+        |line, byte| FastaError::InvalidBase { line, byte },
+    )?;
+    Ok(raw
+        .into_iter()
+        .map(|(id, bytes)| FastaRecord {
+            id,
+            seq: DnaSeq::from_bases(bytes),
+        })
+        .collect())
+}
+
+/// Parses all records from a protein FASTA reader.
+///
+/// Line structure matches [`read_fasta`] (wrapped lines, blank lines, CRLF,
+/// empty records rejected), but the alphabet is the full IUPAC amino-acid
+/// set: the 20 standard residues, `B`/`Z` ambiguity codes, unknown `X`, the
+/// stop `*`, and the fold-to-scored letters `U` → `C`, `J` → `L`, `O` → `K`
+/// ([`crate::protein::canonicalize_residue`]). Bytes outside that set —
+/// including DNA-only ambiguity codes' *targets* like `-` gaps — raise
+/// [`FastaError::InvalidResidue`]; the DNA ambiguity mapping is never
+/// applied to protein records.
+pub fn read_protein_fasta(reader: impl BufRead) -> Result<Vec<ProteinRecord>, FastaError> {
+    let raw = read_records(
+        reader,
+        crate::protein::canonicalize_residue,
+        |line, byte| FastaError::InvalidResidue { line, byte },
+    )?;
+    Ok(raw
+        .into_iter()
+        .map(|(id, bytes)| ProteinRecord {
+            id,
+            seq: ProteinSeq::from_residues(bytes),
+        })
+        .collect())
+}
+
+/// The shared FASTA line discipline behind [`read_fasta`] and
+/// [`read_protein_fasta`]: header/sequence structure, blank-line and CRLF
+/// handling, and empty-record rejection. `map` canonicalizes one sequence
+/// byte (`None` = invalid, reported via `invalid`).
+fn read_records(
+    reader: impl BufRead,
+    map: impl Fn(u8) -> Option<u8>,
+    invalid: impl Fn(usize, u8) -> FastaError,
+) -> Result<Vec<(String, Vec<u8>)>, FastaError> {
+    let mut records: Vec<(String, Vec<u8>)> = Vec::new();
     // (id, sequence bytes so far, 1-based header line number)
     let mut current: Option<(String, Vec<u8>, usize)> = None;
     let mut finish = |current: &mut Option<(String, Vec<u8>, usize)>| -> Result<(), FastaError> {
@@ -91,10 +163,7 @@ pub fn read_fasta(reader: impl BufRead) -> Result<Vec<FastaRecord>, FastaError> 
                     id,
                 });
             }
-            records.push(FastaRecord {
-                id,
-                seq: DnaSeq::from_bases(bytes),
-            });
+            records.push((id, bytes));
         }
         Ok(())
     };
@@ -115,15 +184,9 @@ pub fn read_fasta(reader: impl BufRead) -> Result<Vec<FastaRecord>, FastaError> 
                 .as_mut()
                 .ok_or(FastaError::MissingHeader { line: line_no })?;
             for &b in line.as_bytes() {
-                let mapped = crate::dna::iupac_to_base(b.to_ascii_uppercase());
-                match mapped {
-                    Some(base) => bytes.push(base),
-                    None => {
-                        return Err(FastaError::InvalidBase {
-                            line: line_no,
-                            byte: b,
-                        })
-                    }
+                match map(b) {
+                    Some(mapped) => bytes.push(mapped),
+                    None => return Err(invalid(line_no, b)),
                 }
             }
         }
@@ -138,16 +201,22 @@ pub fn read_fasta_file(path: impl AsRef<Path>) -> Result<Vec<FastaRecord>, Fasta
     read_fasta(io::BufReader::new(file))
 }
 
-/// Writes records in FASTA format, wrapping sequence lines at `width`.
-pub fn write_fasta(
+/// Reads all records from a protein FASTA file on disk.
+pub fn read_protein_fasta_file(path: impl AsRef<Path>) -> Result<Vec<ProteinRecord>, FastaError> {
+    let file = std::fs::File::open(path)?;
+    read_protein_fasta(io::BufReader::new(file))
+}
+
+/// Writes `(id, sequence-bytes)` pairs in FASTA format at `width` columns.
+fn write_records<'a>(
     mut writer: impl Write,
-    records: &[FastaRecord],
+    records: impl Iterator<Item = (&'a str, &'a [u8])>,
     width: usize,
 ) -> io::Result<()> {
     let width = width.max(1);
-    for rec in records {
-        writeln!(writer, ">{}", rec.id)?;
-        for chunk in rec.seq.as_bytes().chunks(width) {
+    for (id, seq) in records {
+        writeln!(writer, ">{id}")?;
+        for chunk in seq.chunks(width) {
             writer.write_all(chunk)?;
             writer.write_all(b"\n")?;
         }
@@ -155,10 +224,41 @@ pub fn write_fasta(
     Ok(())
 }
 
+/// Writes records in FASTA format, wrapping sequence lines at `width`.
+pub fn write_fasta(writer: impl Write, records: &[FastaRecord], width: usize) -> io::Result<()> {
+    write_records(
+        writer,
+        records.iter().map(|r| (r.id.as_str(), r.seq.as_bytes())),
+        width,
+    )
+}
+
 /// Writes records to a FASTA file on disk (70-column wrapping).
 pub fn write_fasta_file(path: impl AsRef<Path>, records: &[FastaRecord]) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
     write_fasta(io::BufWriter::new(file), records, 70)
+}
+
+/// Writes protein records in FASTA format, wrapping at `width` columns.
+pub fn write_protein_fasta(
+    writer: impl Write,
+    records: &[ProteinRecord],
+    width: usize,
+) -> io::Result<()> {
+    write_records(
+        writer,
+        records.iter().map(|r| (r.id.as_str(), r.seq.as_bytes())),
+        width,
+    )
+}
+
+/// Writes protein records to a FASTA file on disk (70-column wrapping).
+pub fn write_protein_fasta_file(
+    path: impl AsRef<Path>,
+    records: &[ProteinRecord],
+) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_protein_fasta(io::BufWriter::new(file), records, 70)
 }
 
 #[cfg(test)]
@@ -269,6 +369,87 @@ mod tests {
     #[test]
     fn empty_input_is_zero_records() {
         assert_eq!(read_fasta("".as_bytes()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn protein_round_trip() {
+        let recs = vec![
+            ProteinRecord {
+                id: "p1 kinase".into(),
+                seq: crate::generate::random_protein(300, 1),
+            },
+            ProteinRecord {
+                id: "p2".into(),
+                seq: ProteinSeq::new("WQHKRWCEWBZX*").unwrap(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_protein_fasta(&mut buf, &recs, 60).unwrap();
+        assert_eq!(read_protein_fasta(buf.as_slice()).unwrap(), recs);
+    }
+
+    #[test]
+    fn protein_reader_accepts_full_iupac_and_folds() {
+        // Lower-case input, wrapped lines, U/J/O folding, stop and X codes.
+        let text = ">p\nmkwQ\nujoBZx*\n";
+        let recs = read_protein_fasta(text.as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.as_bytes(), b"MKWQCLKBZX*");
+    }
+
+    #[test]
+    fn protein_reader_rejects_non_residues_with_typed_error() {
+        let err = read_protein_fasta(">p\nMKW-V\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            FastaError::InvalidResidue {
+                line: 2,
+                byte: b'-'
+            }
+        ));
+    }
+
+    #[test]
+    fn protein_records_never_take_the_dna_ambiguity_mapping() {
+        // 'N' is asparagine in a protein record, not "any nucleotide";
+        // 'U' folds to 'C' (selenocysteine), not to 'T' (RNA uracil).
+        let recs = read_protein_fasta(">p\nNU\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.as_bytes(), b"NC");
+        // Conversely the same bytes through the DNA reader give DNA
+        // semantics — proof the two alphabets stay separate.
+        let dna = read_fasta(">p\nNU\n".as_bytes()).unwrap();
+        assert_eq!(dna[0].seq.as_bytes(), b"AT");
+        // And a protein-only residue is a typed error in the DNA reader.
+        let err = read_fasta(">p\nEQ\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            FastaError::InvalidBase {
+                line: 2,
+                byte: b'E'
+            }
+        ));
+    }
+
+    #[test]
+    fn protein_reader_rejects_empty_record() {
+        let err = read_protein_fasta(">a\n>b\nMKV\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            FastaError::EmptyRecord { line: 1, ref id } if id == "a"
+        ));
+    }
+
+    #[test]
+    fn protein_file_round_trip() {
+        let dir = std::env::temp_dir().join("genomedsm_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.fa");
+        let recs = vec![ProteinRecord {
+            id: "prot".into(),
+            seq: crate::generate::random_protein(500, 9),
+        }];
+        write_protein_fasta_file(&path, &recs).unwrap();
+        assert_eq!(read_protein_fasta_file(&path).unwrap(), recs);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::dna::{DnaSeq, BASES};
 use crate::mutate::{mutate_with, MutationProfile};
+use crate::protein::{ProteinSeq, STANDARD_RESIDUES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,6 +24,22 @@ pub fn random_dna(len: usize, seed: u64) -> DnaSeq {
 pub fn random_dna_with(len: usize, rng: &mut impl Rng) -> DnaSeq {
     let bytes = (0..len).map(|_| BASES[rng.gen_range(0..4usize)]).collect();
     DnaSeq::from_bases(bytes)
+}
+
+/// Generates `len` random residues uniform over the 20 standard amino
+/// acids (no ambiguity codes, so scores against any matrix are unbiased by
+/// the `X`/`B`/`Z` rows).
+pub fn random_protein(len: usize, seed: u64) -> ProteinSeq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_protein_with(len, &mut rng)
+}
+
+/// Generates `len` random residues from the provided RNG.
+pub fn random_protein_with(len: usize, rng: &mut impl Rng) -> ProteinSeq {
+    let bytes = (0..len)
+        .map(|_| STANDARD_RESIDUES[rng.gen_range(0..STANDARD_RESIDUES.len())])
+        .collect();
+    ProteinSeq::from_residues(bytes)
 }
 
 /// Ground-truth coordinates of one planted region (0-based, half-open).
@@ -180,6 +197,21 @@ mod tests {
     fn random_dna_is_deterministic() {
         assert_eq!(random_dna(100, 42), random_dna(100, 42));
         assert_ne!(random_dna(100, 42), random_dna(100, 43));
+    }
+
+    #[test]
+    fn random_protein_is_deterministic_and_standard_only() {
+        let p = random_protein(5_000, 11);
+        assert_eq!(p, random_protein(5_000, 11));
+        assert_ne!(p, random_protein(5_000, 12));
+        assert!(p
+            .as_bytes()
+            .iter()
+            .all(|b| crate::protein::STANDARD_RESIDUES.contains(b)));
+        // Every standard residue shows up in a 5k draw.
+        for r in crate::protein::STANDARD_RESIDUES {
+            assert!(p.as_bytes().contains(&r), "{}", r as char);
+        }
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //!
 //! Modules:
 //! * [`dna`] — the [`DnaSeq`] sequence type and base utilities.
+//! * [`protein`] — the [`ProteinSeq`] type over the 24-letter amino-acid
+//!   alphabet used by the substitution matrices.
 //! * [`generate`] — seeded random sequences and planted-homology pairs.
 //! * [`mod@mutate`] — the mutation model used while planting.
-//! * [`fasta`] — minimal FASTA reading/writing.
+//! * [`fasta`] — minimal FASTA reading/writing (DNA and protein).
 
 #![warn(missing_docs)]
 
@@ -21,7 +23,10 @@ pub mod dna;
 pub mod fasta;
 pub mod generate;
 pub mod mutate;
+pub mod protein;
 
 pub use dna::DnaSeq;
-pub use generate::{planted_pair, random_dna, HomologyPlan, PlantedRegion};
+pub use fasta::{FastaRecord, ProteinRecord};
+pub use generate::{planted_pair, random_dna, random_protein, HomologyPlan, PlantedRegion};
 pub use mutate::{mutate, MutationProfile};
+pub use protein::ProteinSeq;

@@ -1,0 +1,313 @@
+//! The [`ProteinSeq`] type: a validated amino-acid sequence over the
+//! 24-letter NCBI alphabet `ARNDCQEGHILKMFPSTWYVBZX*`.
+//!
+//! Protein residues are stored as plain ASCII bytes, exactly like
+//! [`crate::dna::DnaSeq`], so the affine-gap kernels in `genomedsm-core` /
+//! `genomedsm-kernels` can score them without conversion. The alphabet here
+//! is byte-for-byte the row/column order of the substitution matrices in
+//! `genomedsm_core::submat` (`AA_ALPHABET`); the two crates keep independent
+//! copies so `genomedsm-seq` stays dependency-free, and the kernels' test
+//! suite pins the orders against each other.
+//!
+//! Canonicalization is fixed and lossless for scoring purposes: input is
+//! upper-cased, and the three IUPAC letters without a matrix row are folded
+//! to their closest scored residue — selenocysteine `U` → `C`,
+//! leucine/isoleucine ambiguity `J` → `L`, pyrrolysine `O` → `K`. This is
+//! the same folding `genomedsm_core::submat::aa_index` applies, so a
+//! [`ProteinSeq`] and the raw input bytes always score identically; the
+//! sequence type just makes the folding visible and validated up front.
+
+use std::fmt;
+use std::ops::{Deref, Index};
+
+/// The 24 residue letters a [`ProteinSeq`] may contain, in the NCBI
+/// substitution-matrix order: the 20 standard amino acids, the two
+/// ambiguity codes `B` (Asx) and `Z` (Glx), the unknown residue `X`, and
+/// the stop/terminator `*`.
+pub const RESIDUES: [u8; 24] = *b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// The 20 standard amino acids (the prefix of [`RESIDUES`]); the sampling
+/// alphabet for [`crate::generate::random_protein`].
+pub const STANDARD_RESIDUES: [u8; 20] = *b"ARNDCQEGHILKMFPSTWYV";
+
+/// Returns `true` if `b` is one of the 24 canonical residue letters.
+#[inline]
+pub fn is_residue(b: u8) -> bool {
+    matches!(
+        b,
+        b'A' | b'R'
+            | b'N'
+            | b'D'
+            | b'C'
+            | b'Q'
+            | b'E'
+            | b'G'
+            | b'H'
+            | b'I'
+            | b'L'
+            | b'K'
+            | b'M'
+            | b'F'
+            | b'P'
+            | b'S'
+            | b'T'
+            | b'W'
+            | b'Y'
+            | b'V'
+            | b'B'
+            | b'Z'
+            | b'X'
+            | b'*'
+    )
+}
+
+/// Maps one input byte to its canonical residue letter: upper-cases, folds
+/// `U` → `C`, `J` → `L`, `O` → `K` (IUPAC letters with no matrix row), and
+/// passes the 24 canonical letters through. Returns `None` for everything
+/// else — in particular for gap characters, digits, and whitespace.
+#[inline]
+pub fn canonicalize_residue(b: u8) -> Option<u8> {
+    let up = b.to_ascii_uppercase();
+    match up {
+        b'U' => Some(b'C'), // selenocysteine scores as cysteine
+        b'J' => Some(b'L'), // Leu/Ile ambiguity scores as leucine
+        b'O' => Some(b'K'), // pyrrolysine scores as lysine
+        _ if is_residue(up) => Some(up),
+        _ => None,
+    }
+}
+
+/// Error returned when constructing a [`ProteinSeq`] from bytes containing
+/// a character outside the IUPAC amino-acid alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidResidue {
+    /// Byte offset of the first offending character.
+    pub position: usize,
+    /// The offending byte.
+    pub byte: u8,
+}
+
+impl fmt::Display for InvalidResidue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid amino-acid residue 0x{:02x} at position {}",
+            self.byte, self.position
+        )
+    }
+}
+
+impl std::error::Error for InvalidResidue {}
+
+/// A validated protein sequence.
+///
+/// Dereferences to `&[u8]` so it can be passed directly to
+/// `sw_score_profile` and the striped affine kernels.
+///
+/// ```
+/// use genomedsm_seq::ProteinSeq;
+/// let p = ProteinSeq::new("mkWqu").unwrap(); // folds U -> C
+/// assert_eq!(p.as_bytes(), b"MKWQC");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct ProteinSeq(Vec<u8>);
+
+impl ProteinSeq {
+    /// Builds a sequence from anything byte-like, canonicalizing each
+    /// residue via [`canonicalize_residue`].
+    pub fn new(s: impl AsRef<[u8]>) -> Result<Self, InvalidResidue> {
+        let raw = s.as_ref();
+        let mut bytes = Vec::with_capacity(raw.len());
+        for (position, &b) in raw.iter().enumerate() {
+            match canonicalize_residue(b) {
+                Some(r) => bytes.push(r),
+                None => return Err(InvalidResidue { position, byte: b }),
+            }
+        }
+        Ok(Self(bytes))
+    }
+
+    /// Wraps bytes already known to be canonical residue letters.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a byte is not canonical.
+    pub fn from_residues(bytes: Vec<u8>) -> Self {
+        debug_assert!(bytes.iter().all(|&b| is_residue(b)), "invalid residue");
+        Self(bytes)
+    }
+
+    /// The empty sequence.
+    pub fn empty() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Sequence length in residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the sequence contains no residues.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Raw residue bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the sequence, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// The sequence read right-to-left.
+    pub fn reversed(&self) -> Self {
+        let mut v = self.0.clone();
+        v.reverse();
+        Self(v)
+    }
+
+    /// A sub-sequence by half-open byte range.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        Self(self.0[start..end].to_vec())
+    }
+
+    /// Appends another sequence.
+    pub fn extend_from(&mut self, other: &Self) {
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// Appends a single residue after canonicalizing it.
+    ///
+    /// # Panics
+    /// Panics if the byte is not a valid residue.
+    pub fn push(&mut self, residue: u8) {
+        let r = canonicalize_residue(residue).expect("invalid residue");
+        self.0.push(r);
+    }
+}
+
+impl Deref for ProteinSeq {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Index<usize> for ProteinSeq {
+    type Output = u8;
+    fn index(&self, i: usize) -> &u8 {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for ProteinSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Validated at construction, so this is always valid UTF-8.
+        f.write_str(std::str::from_utf8(&self.0).expect("residues are ASCII"))
+    }
+}
+
+impl fmt::Debug for ProteinSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 40 {
+            write!(f, "ProteinSeq({self})")
+        } else {
+            write!(
+                f,
+                "ProteinSeq({}..{} [{} aa])",
+                std::str::from_utf8(&self.0[..16]).expect("ASCII"),
+                std::str::from_utf8(&self.0[self.len() - 16..]).expect("ASCII"),
+                self.len()
+            )
+        }
+    }
+}
+
+impl std::str::FromStr for ProteinSeq {
+    type Err = InvalidResidue;
+    fn from_str(s: &str) -> Result<Self, InvalidResidue> {
+        Self::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_and_uppercases() {
+        let p = ProteinSeq::new("mkwv").unwrap();
+        assert_eq!(p.as_bytes(), b"MKWV");
+    }
+
+    #[test]
+    fn full_iupac_alphabet_is_accepted() {
+        // All 24 canonical letters plus the three folded ones, both cases.
+        let all = "ARNDCQEGHILKMFPSTWYVBZX*UJO";
+        let p = ProteinSeq::new(all).unwrap();
+        assert_eq!(&p.as_bytes()[..24], &RESIDUES);
+        assert_eq!(&p.as_bytes()[24..], b"CLK");
+        let lower = ProteinSeq::new(all.to_ascii_lowercase()).unwrap();
+        assert_eq!(lower, p);
+    }
+
+    #[test]
+    fn folding_is_fixed() {
+        assert_eq!(canonicalize_residue(b'U'), Some(b'C'));
+        assert_eq!(canonicalize_residue(b'u'), Some(b'C'));
+        assert_eq!(canonicalize_residue(b'J'), Some(b'L'));
+        assert_eq!(canonicalize_residue(b'O'), Some(b'K'));
+        assert_eq!(canonicalize_residue(b'*'), Some(b'*'));
+        assert_eq!(canonicalize_residue(b'x'), Some(b'X'));
+    }
+
+    #[test]
+    fn non_residues_are_rejected() {
+        for b in [b'-', b'.', b'1', b' ', b'\t', 0u8, 0xff] {
+            assert_eq!(canonicalize_residue(b), None, "0x{b:02x}");
+        }
+        let err = ProteinSeq::new("MKW-V").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert_eq!(err.byte, b'-');
+    }
+
+    #[test]
+    fn residues_constant_is_self_consistent() {
+        for &r in &RESIDUES {
+            assert!(is_residue(r), "{}", r as char);
+            assert_eq!(canonicalize_residue(r), Some(r), "{}", r as char);
+        }
+        assert_eq!(&RESIDUES[..20], &STANDARD_RESIDUES);
+    }
+
+    #[test]
+    fn slice_reverse_push_extend() {
+        let mut p = ProteinSeq::new("WQHKR").unwrap();
+        assert_eq!(p.slice(1, 3).as_bytes(), b"QH");
+        assert_eq!(p.reversed().as_bytes(), b"RKHQW");
+        p.push(b'u'); // canonicalizes on push
+        let tail = ProteinSeq::new("GA").unwrap();
+        p.extend_from(&tail);
+        assert_eq!(p.as_bytes(), b"WQHKRCGA");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let p = ProteinSeq::new("WQHKRWCEW").unwrap();
+        assert_eq!(p.to_string().parse::<ProteinSeq>().unwrap(), p);
+    }
+
+    #[test]
+    fn debug_abbreviates_long_sequences() {
+        let p = ProteinSeq::from_residues(vec![b'K'; 100]);
+        assert!(format!("{p:?}").contains("100 aa"));
+    }
+}

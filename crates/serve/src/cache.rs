@@ -1,14 +1,17 @@
 //! The epoch-keyed result cache.
 //!
 //! An alignment answer is a pure function of *(query bytes, top-k,
-//! database contents)* — the engine is deterministic for every kernel
-//! choice and worker count — so the service may reuse answers exactly
-//! (the ALAE discipline, see PAPERS.md). The database is identified by
-//! its **epoch** (bumped atomically on hot-reload, [`crate::epoch`]), so
-//! the cache key is *(query digest, query length, top-k, epoch)*: a
-//! reload can never serve a stale answer because stale entries simply
-//! have a key no new request asks for — and [`ResultCache::purge_epoch`]
-//! reclaims them eagerly.
+//! database contents, scoring parameters)* — the engine is deterministic
+//! for every kernel choice and worker count — so the service may reuse
+//! answers exactly (the ALAE discipline, see PAPERS.md). The database is
+//! identified by its **epoch** (bumped atomically on hot-reload,
+//! [`crate::epoch`]), and the scoring scheme by a 64-bit **params
+//! fingerprint** (a fixed constant for the DNA linear-gap mode,
+//! `MatrixScoring::fingerprint()` for a protein scheme), so the cache key
+//! is *(query digest, query length, top-k, epoch, params)*: a reload or a
+//! different substitution matrix can never serve a stale answer because
+//! stale entries simply have a key no new request asks for — and
+//! [`ResultCache::purge_epoch`] reclaims superseded epochs eagerly.
 //!
 //! The digest is a 128-bit FNV-1a pair (two independent offset bases).
 //! Collisions would need two queries agreeing on both 64-bit streams
@@ -59,6 +62,7 @@ struct CacheKey {
     query: QueryKey,
     top_k: u64,
     epoch: u64,
+    params: u64,
 }
 
 /// Cache traffic counters (monotonic).
@@ -106,13 +110,21 @@ impl ResultCache {
         }
     }
 
-    /// Looks up the answer for `query` at `top_k` under `epoch`.
-    pub fn get(&self, query: QueryKey, top_k: usize, epoch: u64) -> Option<Arc<Vec<Hit>>> {
+    /// Looks up the answer for `query` at `top_k` under `epoch`,
+    /// computed with the scoring scheme fingerprinted by `params`.
+    pub fn get(
+        &self,
+        query: QueryKey,
+        top_k: usize,
+        epoch: u64,
+        params: u64,
+    ) -> Option<Arc<Vec<Hit>>> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let key = CacheKey {
             query,
             top_k: top_k as u64,
             epoch,
+            params,
         };
         match inner.map.get(&key).cloned() {
             Some(v) => {
@@ -127,7 +139,14 @@ impl ResultCache {
     }
 
     /// Stores an answer, evicting the oldest entry when full.
-    pub fn insert(&self, query: QueryKey, top_k: usize, epoch: u64, hits: Arc<Vec<Hit>>) {
+    pub fn insert(
+        &self,
+        query: QueryKey,
+        top_k: usize,
+        epoch: u64,
+        params: u64,
+        hits: Arc<Vec<Hit>>,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -136,6 +155,7 @@ impl ResultCache {
             query,
             top_k: top_k as u64,
             epoch,
+            params,
         };
         if inner.map.insert(key, hits).is_none() {
             inner.order.push_back(key);
@@ -200,14 +220,29 @@ mod tests {
     fn hit_returns_the_stored_answer() {
         let cache = ResultCache::new(8);
         let k = QueryKey::of(b"ACGTACGT");
-        assert!(cache.get(k, 5, 1).is_none());
-        cache.insert(k, 5, 1, hits(3));
-        assert_eq!(cache.get(k, 5, 1).as_deref(), Some(&*hits(3)));
-        // Different top_k or epoch: a different answer space.
-        assert!(cache.get(k, 4, 1).is_none());
-        assert!(cache.get(k, 5, 2).is_none());
+        assert!(cache.get(k, 5, 1, 0).is_none());
+        cache.insert(k, 5, 1, 0, hits(3));
+        assert_eq!(cache.get(k, 5, 1, 0).as_deref(), Some(&*hits(3)));
+        // Different top_k, epoch, or scoring params: a different answer
+        // space.
+        assert!(cache.get(k, 4, 1, 0).is_none());
+        assert!(cache.get(k, 5, 2, 0).is_none());
+        assert!(cache.get(k, 5, 1, 0xb105).is_none());
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.inserts), (1, 3, 1));
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 4, 1));
+    }
+
+    #[test]
+    fn scoring_params_partition_the_key_space() {
+        // The same query under two substitution schemes holds two
+        // independent answers; neither lookup can see the other's entry.
+        let cache = ResultCache::new(8);
+        let k = QueryKey::of(b"WQHKRWCEW");
+        cache.insert(k, 3, 1, 0xaaaa, hits(1));
+        cache.insert(k, 3, 1, 0xbbbb, hits(2));
+        assert_eq!(cache.get(k, 3, 1, 0xaaaa).as_deref(), Some(&*hits(1)));
+        assert_eq!(cache.get(k, 3, 1, 0xbbbb).as_deref(), Some(&*hits(2)));
+        assert_eq!(cache.stats().resident, 2);
     }
 
     #[test]
@@ -224,11 +259,11 @@ mod tests {
             .map(|i| QueryKey::of(format!("Q{i}").as_bytes()))
             .collect();
         for (i, k) in keys.iter().enumerate() {
-            cache.insert(*k, 1, 1, hits(i + 1));
+            cache.insert(*k, 1, 1, 0, hits(i + 1));
         }
-        assert!(cache.get(keys[0], 1, 1).is_none(), "oldest evicted");
-        assert!(cache.get(keys[1], 1, 1).is_some());
-        assert!(cache.get(keys[2], 1, 1).is_some());
+        assert!(cache.get(keys[0], 1, 1, 0).is_none(), "oldest evicted");
+        assert!(cache.get(keys[1], 1, 1, 0).is_some());
+        assert!(cache.get(keys[2], 1, 1, 0).is_some());
         assert_eq!(cache.stats().evicted, 1);
         assert_eq!(cache.stats().resident, 2);
     }
@@ -238,11 +273,11 @@ mod tests {
         let cache = ResultCache::new(16);
         let k1 = QueryKey::of(b"one");
         let k2 = QueryKey::of(b"two");
-        cache.insert(k1, 3, 1, hits(1));
-        cache.insert(k2, 3, 2, hits(2));
+        cache.insert(k1, 3, 1, 0, hits(1));
+        cache.insert(k2, 3, 2, 0, hits(2));
         assert_eq!(cache.purge_epoch(2), 1);
-        assert!(cache.get(k1, 3, 1).is_none(), "epoch-1 entry purged");
-        assert!(cache.get(k2, 3, 2).is_some(), "epoch-2 entry survives");
+        assert!(cache.get(k1, 3, 1, 0).is_none(), "epoch-1 entry purged");
+        assert!(cache.get(k2, 3, 2, 0).is_some(), "epoch-2 entry survives");
         assert_eq!(cache.stats().stale_purged, 1);
     }
 
@@ -250,7 +285,7 @@ mod tests {
     fn zero_capacity_disables_storage() {
         let cache = ResultCache::new(0);
         let k = QueryKey::of(b"x");
-        cache.insert(k, 1, 1, hits(1));
-        assert!(cache.get(k, 1, 1).is_none());
+        cache.insert(k, 1, 1, 0, hits(1));
+        assert!(cache.get(k, 1, 1, 0).is_none());
     }
 }

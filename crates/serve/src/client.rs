@@ -14,6 +14,7 @@
 use crate::proto::{from_hex_line, to_hex_line, Request, Response, ServiceStats};
 use crate::ServeError;
 use genomedsm_batch::Hit;
+use genomedsm_core::submat::MatrixScoring;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -125,6 +126,24 @@ impl ServeClient {
         &mut self,
         queries: &[Vec<u8>],
         top_k: usize,
+        on_hits: impl FnMut(&QueryHits),
+    ) -> Result<SearchSummary, ServeError> {
+        self.search_scored(queries, top_k, None, on_hits)
+    }
+
+    /// [`search`](Self::search) with an explicit scoring scheme: `Some`
+    /// runs the queries in protein mode under the given substitution
+    /// matrix and affine gap penalties (the full matrix travels with the
+    /// request, so any scheme works — not just the baked-in names);
+    /// `None` uses whatever mode the server was configured with.
+    ///
+    /// # Errors
+    /// Same contract as [`search`](Self::search).
+    pub fn search_scored(
+        &mut self,
+        queries: &[Vec<u8>],
+        top_k: usize,
+        scoring: Option<MatrixScoring>,
         mut on_hits: impl FnMut(&QueryHits),
     ) -> Result<SearchSummary, ServeError> {
         let id = self.next_id;
@@ -133,6 +152,7 @@ impl ServeClient {
             id,
             top_k: top_k as u32,
             queries: queries.to_vec(),
+            scoring,
         })?;
         let mut answers: Vec<QueryHits> = Vec::with_capacity(queries.len());
         loop {

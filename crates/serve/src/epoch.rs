@@ -30,23 +30,40 @@ pub struct DbSnapshot {
 }
 
 /// The swappable handle the server shares with its workers.
+///
+/// The handle remembers which FASTA alphabet it was loaded with (DNA or
+/// protein), so a hot-reload parses replacement files under the **same**
+/// alphabet as the original database — a protein service can never be
+/// silently reloaded through the DNA ambiguity mapping.
 pub struct EpochDb {
     current: Mutex<Arc<DbSnapshot>>,
+    protein: bool,
 }
 
 impl EpochDb {
-    /// Wraps an already-loaded database as epoch 1.
+    /// Wraps an already-loaded DNA database as epoch 1.
     pub fn new(db: SeqDatabase, source: impl Into<PathBuf>) -> Self {
+        Self::with_alphabet(db, source, false)
+    }
+
+    /// Wraps an already-loaded protein database as epoch 1; reloads will
+    /// parse with the protein alphabet.
+    pub fn new_protein(db: SeqDatabase, source: impl Into<PathBuf>) -> Self {
+        Self::with_alphabet(db, source, true)
+    }
+
+    fn with_alphabet(db: SeqDatabase, source: impl Into<PathBuf>, protein: bool) -> Self {
         Self {
             current: Mutex::new(Arc::new(DbSnapshot {
                 epoch: 1,
                 db,
                 source: source.into(),
             })),
+            protein,
         }
     }
 
-    /// Loads `path` and wraps it as epoch 1.
+    /// Loads `path` as DNA FASTA and wraps it as epoch 1.
     ///
     /// # Errors
     /// [`ServeError::Batch`] if the file is unreadable, malformed, or
@@ -57,6 +74,18 @@ impl EpochDb {
         Ok(Self::new(db, path))
     }
 
+    /// Loads `path` as protein FASTA (full IUPAC amino-acid alphabet,
+    /// typed `InvalidResidue` errors) and wraps it as epoch 1.
+    ///
+    /// # Errors
+    /// [`ServeError::Batch`] if the file is unreadable, malformed, or
+    /// empty.
+    pub fn load_protein(path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let path = path.as_ref();
+        let db = SeqDatabase::load_protein_fasta_file(path)?;
+        Ok(Self::new_protein(db, path))
+    }
+
     /// The current snapshot. Cheap (one `Arc` clone); hold the returned
     /// `Arc` for the duration of a request and the arena cannot change
     /// underneath it.
@@ -64,8 +93,9 @@ impl EpochDb {
         Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
-    /// Atomically replaces the database with the contents of `path`,
-    /// bumping the epoch. Returns the new snapshot.
+    /// Atomically replaces the database with the contents of `path`
+    /// (parsed under this handle's alphabet), bumping the epoch. Returns
+    /// the new snapshot.
     ///
     /// # Errors
     /// [`ServeError::Batch`] on load failure — the current snapshot is
@@ -74,7 +104,11 @@ impl EpochDb {
         let path = path.as_ref();
         // Load outside the lock: readers keep snapshotting the old arena
         // while the new one parses.
-        let db = SeqDatabase::load_fasta_file(path)?;
+        let db = if self.protein {
+            SeqDatabase::load_protein_fasta_file(path)?
+        } else {
+            SeqDatabase::load_fasta_file(path)?
+        };
         let mut current = self.current.lock().unwrap_or_else(PoisonError::into_inner);
         let next = Arc::new(DbSnapshot {
             epoch: current.epoch + 1,
@@ -120,6 +154,36 @@ mod tests {
         assert_eq!(handle.current().epoch, 2);
         // The held Arc still reads the old arena.
         assert_eq!(old.db.len(), 3);
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn protein_handle_reloads_with_the_protein_alphabet() {
+        use genomedsm_seq::fasta::{write_protein_fasta_file, ProteinRecord};
+        use genomedsm_seq::random_protein;
+        let dir = std::env::temp_dir();
+        let p1 = dir.join(format!("genomedsm-epoch-prot-{}-1.fa", std::process::id()));
+        let p2 = dir.join(format!("genomedsm-epoch-prot-{}-2.fa", std::process::id()));
+        let recs = |n: usize, seed: u64| -> Vec<ProteinRecord> {
+            (0..n)
+                .map(|i| ProteinRecord {
+                    id: format!("p{i}"),
+                    seq: random_protein(20 + i, seed + i as u64),
+                })
+                .collect()
+        };
+        write_protein_fasta_file(&p1, &recs(3, 1)).unwrap();
+        write_protein_fasta_file(&p2, &recs(5, 2)).unwrap();
+        let handle = EpochDb::load_protein(&p1).unwrap();
+        assert_eq!(handle.current().db.len(), 3);
+        // A protein file with residues outside the DNA alphabet reloads
+        // fine because the handle remembers its alphabet...
+        assert_eq!(handle.reload(&p2).unwrap().db.len(), 5);
+        // ...while the same file fails through a DNA handle.
+        let dna = EpochDb::new(SeqDatabase::from_records(vec![]), &p1);
+        std::fs::write(&p1, ">x\nWQHKRWCEW\n").unwrap();
+        assert!(dna.reload(&p1).is_err());
         std::fs::remove_file(&p1).ok();
         std::fs::remove_file(&p2).ok();
     }

@@ -32,6 +32,7 @@
 //! answer.
 
 use genomedsm_batch::Hit;
+use genomedsm_core::submat::{MatrixScoring, SubstMatrix, AA_N};
 use genomedsm_dsm::{DsmError, FrameReader, FrameWriter};
 
 const REQ_HELLO: u8 = 0x40;
@@ -50,6 +51,10 @@ const RSP_ERROR: u8 = 0x56;
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// `Search` carries the full 24x24 substitution matrix inline; requests are
+// transient (decode, serve, drop), so the size is irrelevant and keeping
+// `MatrixScoring` unboxed lets it flow into `ScoreMode` by plain copy.
+#[allow(clippy::large_enum_variant)]
 pub enum Request {
     /// Introduces the client: a display name for the fairness ledger and
     /// a scheduling weight (≥ 1; a weight-2 client is entitled to twice
@@ -68,6 +73,13 @@ pub enum Request {
         top_k: u32,
         /// Query sequences.
         queries: Vec<Vec<u8>>,
+        /// Protein scoring override: the full substitution matrix plus
+        /// affine gap penalties. `None` runs the server's configured
+        /// scoring mode (DNA linear-gap by default). The matrix travels
+        /// in full — 24×24 `i16` scores — so a client can use any scheme,
+        /// not just the baked-in names, and the server's cache keys on
+        /// its fingerprint.
+        scoring: Option<MatrixScoring>,
     },
     /// Hot-reload the database from a FASTA path visible to the server.
     Reload {
@@ -201,13 +213,27 @@ impl Request {
                 w.u32(*weight);
                 w.finish()
             }
-            Request::Search { id, top_k, queries } => {
+            Request::Search {
+                id,
+                top_k,
+                queries,
+                scoring,
+            } => {
                 let mut w = FrameWriter::new(REQ_SEARCH);
                 w.u64(*id);
                 w.u32(*top_k);
                 w.u64(queries.len() as u64);
                 for q in queries {
                     w.bytes(q);
+                }
+                match scoring {
+                    None => w.u32(0),
+                    Some(ms) => {
+                        w.u32(1);
+                        w.bytes(&matrix_bytes(&ms.matrix));
+                        w.u32(ms.gap_open as u32);
+                        w.u32(ms.gap_extend as u32);
+                    }
                 }
                 w.finish()
             }
@@ -239,7 +265,22 @@ impl Request {
                 let top_k = r.u32()?;
                 let n = r.len(8)?;
                 let queries = (0..n).map(|_| r.bytes()).collect::<Result<_, _>>()?;
-                r.done(Request::Search { id, top_k, queries })
+                let scoring = match r.u32()? {
+                    0 => None,
+                    1 => Some(read_scoring(&mut r)?),
+                    other => {
+                        return Err(DsmError::Oversize {
+                            len: other as usize,
+                            max: 1,
+                        })
+                    }
+                };
+                r.done(Request::Search {
+                    id,
+                    top_k,
+                    queries,
+                    scoring,
+                })
             }
             REQ_RELOAD => {
                 let path = r.str()?;
@@ -250,6 +291,41 @@ impl Request {
             other => Err(DsmError::BadTag(other)),
         }
     }
+}
+
+/// Bytes of a Search frame's matrix payload: 24×24 `i16` scores,
+/// row-major, little-endian.
+const MATRIX_BYTES: usize = AA_N * AA_N * 2;
+
+fn matrix_bytes(m: &SubstMatrix) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MATRIX_BYTES);
+    for row in m.table() {
+        for &s in row {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn read_scoring(r: &mut FrameReader<'_>) -> Result<MatrixScoring, DsmError> {
+    let raw = r.bytes()?;
+    if raw.len() != MATRIX_BYTES {
+        return Err(DsmError::Oversize {
+            len: raw.len(),
+            max: MATRIX_BYTES,
+        });
+    }
+    let mut scores = [[0i16; AA_N]; AA_N];
+    for (i, pair) in raw.chunks_exact(2).enumerate() {
+        scores[i / AA_N][i % AA_N] = i16::from_le_bytes([pair[0], pair[1]]);
+    }
+    let gap_open = r.u32()? as i32;
+    let gap_extend = r.u32()? as i32;
+    Ok(MatrixScoring::new(
+        SubstMatrix::from_scores(scores),
+        gap_open,
+        gap_extend,
+    ))
 }
 
 fn write_hits(w: &mut FrameWriter, hits: &[Hit]) {
@@ -533,6 +609,7 @@ mod tests {
             id: 42,
             top_k: 5,
             queries: vec![b"ACGT".to_vec(), b"".to_vec(), b"GATTACA".to_vec()],
+            scoring: None,
         });
         roundtrip_req(Request::Reload {
             path: "/tmp/db.fa".into(),
@@ -604,6 +681,63 @@ mod tests {
             id: 0,
             message: "no such file".into(),
         });
+    }
+
+    #[test]
+    fn protein_scoring_params_roundtrip_in_full() {
+        // A named matrix with non-default gaps...
+        roundtrip_req(Request::Search {
+            id: 9,
+            top_k: 3,
+            queries: vec![b"WQHKRWCEW".to_vec()],
+            scoring: Some(MatrixScoring::new(SubstMatrix::pam250(), -10, -2)),
+        });
+        // ...and a fully custom table: every cell must survive the wire.
+        let mut scores = [[0i16; AA_N]; AA_N];
+        for (i, row) in scores.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (i as i16 * 24 + j as i16) - 288;
+            }
+        }
+        let ms = MatrixScoring::new(SubstMatrix::from_scores(scores), -7, -1);
+        let req = Request::Search {
+            id: 10,
+            top_k: 1,
+            queries: vec![b"ARND".to_vec()],
+            scoring: Some(ms),
+        };
+        roundtrip_req(req.clone());
+        match Request::decode(&req.encode()).unwrap() {
+            Request::Search {
+                scoring: Some(got), ..
+            } => {
+                assert_eq!(got, ms);
+                assert_eq!(got.fingerprint(), ms.fingerprint());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_matrix_payload_is_a_typed_error() {
+        // Hand-build a Search frame whose matrix blob is one byte short:
+        // the decoder must refuse with a typed error, never panic.
+        let mut w = FrameWriter::new(REQ_SEARCH);
+        w.u64(1);
+        w.u32(1);
+        w.u64(0);
+        w.u32(1);
+        w.bytes(&vec![0u8; MATRIX_BYTES - 1]);
+        w.u32(0);
+        w.u32(0);
+        assert!(Request::decode(&w.finish()).is_err());
+        // And a presence flag outside {0, 1} is malformed too.
+        let mut w = FrameWriter::new(REQ_SEARCH);
+        w.u64(1);
+        w.u32(1);
+        w.u64(0);
+        w.u32(7);
+        assert!(Request::decode(&w.finish()).is_err());
     }
 
     #[test]

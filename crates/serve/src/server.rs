@@ -35,7 +35,8 @@ use crate::cache::{QueryKey, ResultCache};
 use crate::epoch::EpochDb;
 use crate::proto::{from_hex_line, to_hex_line, ClientLedger, Request, Response, ServiceStats};
 use crate::ServeError;
-use genomedsm_batch::{run, BatchConfig, BatchEngine, Hit};
+use genomedsm_batch::{run, BatchConfig, BatchEngine, Hit, ScoreMode};
+use genomedsm_core::submat::MatrixScoring;
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -88,7 +89,19 @@ struct SearchJob {
     id: u64,
     top_k: usize,
     queries: Vec<Vec<u8>>,
+    scoring: Option<MatrixScoring>,
     reply: Sender<Response>,
+}
+
+/// Cache-key fingerprint of a scoring mode. DNA linear-gap scoring is a
+/// fixed sentinel (the config's `Scoring` never varies per request);
+/// protein schemes hash the full matrix plus both gap penalties, so two
+/// requests share a cache line only when every scoring parameter agrees.
+fn mode_fingerprint(mode: &ScoreMode) -> u64 {
+    match mode {
+        ScoreMode::Dna => 0x646e_615f_6d6f_6465, // "dna_mode"
+        ScoreMode::Protein(ms) => ms.fingerprint(),
+    }
 }
 
 struct Shared {
@@ -163,7 +176,12 @@ impl Server {
     /// [`ServeError`] if the database fails to load or the socket cannot
     /// be bound.
     pub fn start(config: ServerConfig) -> Result<Self, ServeError> {
-        let db = EpochDb::load(&config.db_path)?;
+        // A protein-mode engine gets a protein-alphabet database (and
+        // protein-alphabet hot reloads); DNA otherwise.
+        let db = match config.engine.mode {
+            ScoreMode::Protein(_) => EpochDb::load_protein(&config.db_path)?,
+            ScoreMode::Dna => EpochDb::load(&config.db_path)?,
+        };
         Self::start_with(config, db)
     }
 
@@ -379,12 +397,18 @@ fn connection_loop(shared: &Arc<Shared>, stream: UnixStream) {
                 })
                 .ok();
             }
-            Request::Search { id, top_k, queries } => {
+            Request::Search {
+                id,
+                top_k,
+                queries,
+                scoring,
+            } => {
                 let units = queries.len().max(1) as u64;
                 let job = SearchJob {
                     id,
                     top_k: top_k as usize,
                     queries,
+                    scoring,
                     reply: tx.clone(),
                 };
                 if let Err(over) = shared.queue.submit(&client, weight, units, job) {
@@ -461,10 +485,17 @@ fn serve_job(shared: &Arc<Shared>, job: SearchJob) {
     } else {
         job.top_k
     };
+    // A request-level scoring override switches this job to protein mode
+    // under its own matrix; otherwise the server's configured mode runs.
+    let mode = match job.scoring {
+        Some(ms) => ScoreMode::Protein(ms),
+        None => shared.config.engine.mode,
+    };
+    let params = mode_fingerprint(&mode);
     let keys: Vec<QueryKey> = job.queries.iter().map(|q| QueryKey::of(q)).collect();
     let cached: Vec<Option<Arc<Vec<Hit>>>> = keys
         .iter()
-        .map(|&k| shared.cache.get(k, top_k, epoch))
+        .map(|&k| shared.cache.get(k, top_k, epoch, params))
         .collect();
     let missed: Vec<usize> = (0..job.queries.len())
         .filter(|&q| cached[q].is_none())
@@ -498,6 +529,7 @@ fn serve_job(shared: &Arc<Shared>, job: SearchJob) {
     if !missed.is_empty() {
         let engine = BatchEngine::new(BatchConfig {
             top_k,
+            mode,
             ..shared.config.engine
         });
         let refs: Vec<&[u8]> = missed.iter().map(|&q| job.queries[q].as_slice()).collect();
@@ -508,7 +540,7 @@ fn serve_job(shared: &Arc<Shared>, job: SearchJob) {
             next_to_send = orig + 1;
             shared
                 .cache
-                .insert(keys[orig], top_k, epoch, Arc::new(hits.to_vec()));
+                .insert(keys[orig], top_k, epoch, params, Arc::new(hits.to_vec()));
         });
     }
     flush_cached_below(job.queries.len(), &mut next_to_send);

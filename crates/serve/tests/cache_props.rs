@@ -60,7 +60,7 @@ proptest! {
         // Populate from the Auto kernel with 2 workers.
         let filled = engine(KernelChoice::Auto, top_k, 2).search(&db, &refs);
         for (q, hits) in filled.hits.iter().enumerate() {
-            cache.insert(QueryKey::of(&qs[q]), top_k, epoch, Arc::new(hits.clone()));
+            cache.insert(QueryKey::of(&qs[q]), top_k, epoch, 0, Arc::new(hits.clone()));
         }
 
         // Every kernel choice, different parallelism: recompute must
@@ -69,7 +69,7 @@ proptest! {
             let fresh = engine(kernel, top_k, 1).search(&db, &refs);
             for (q, hits) in fresh.hits.iter().enumerate() {
                 let cached = cache
-                    .get(QueryKey::of(&qs[q]), top_k, epoch)
+                    .get(QueryKey::of(&qs[q]), top_k, epoch, 0)
                     .expect("warm cache");
                 prop_assert_eq!(
                     &*cached, hits,
@@ -107,7 +107,7 @@ proptest! {
         let refs: Vec<&[u8]> = qs.iter().map(Vec::as_slice).collect();
         let at1 = eng.search(&snap1.db, &refs).hits;
         for (q, hits) in at1.iter().enumerate() {
-            cache.insert(QueryKey::of(&qs[q]), top_k, snap1.epoch, Arc::new(hits.clone()));
+            cache.insert(QueryKey::of(&qs[q]), top_k, snap1.epoch, 0, Arc::new(hits.clone()));
         }
 
         // Reload: epoch bumps, purge removes exactly the old entries.
@@ -121,9 +121,9 @@ proptest! {
         let at2 = eng.search(&snap2.db, &refs).hits;
         for (q, want) in at2.iter().enumerate() {
             let key = QueryKey::of(&qs[q]);
-            prop_assert!(cache.get(key, top_k, snap2.epoch).is_none(), "no stale hit");
-            cache.insert(key, top_k, snap2.epoch, Arc::new(want.clone()));
-            let roundtrip = cache.get(key, top_k, snap2.epoch).expect("fresh insert");
+            prop_assert!(cache.get(key, top_k, snap2.epoch, 0).is_none(), "no stale hit");
+            cache.insert(key, top_k, snap2.epoch, 0, Arc::new(want.clone()));
+            let roundtrip = cache.get(key, top_k, snap2.epoch, 0).expect("fresh insert");
             prop_assert_eq!(&*roundtrip, want);
         }
 

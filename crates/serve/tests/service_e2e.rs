@@ -305,6 +305,85 @@ fn remote_shutdown_stops_the_server() {
 }
 
 #[test]
+fn protein_mode_serves_gotoh_answers_with_params_keyed_caching() {
+    use genomedsm_batch::{oracle_search_mode, ScoreMode, SeqDatabase};
+    use genomedsm_core::scoring::Scoring;
+    use genomedsm_core::submat::{MatrixScoring, SubstMatrix};
+    use genomedsm_seq::fasta::{write_protein_fasta_file, ProteinRecord};
+    use genomedsm_seq::random_protein;
+
+    let db_path = tmp("protein-db.fa");
+    let records: Vec<ProteinRecord> = (0..15)
+        .map(|i| ProteinRecord {
+            id: format!("p{i}"),
+            seq: random_protein(30 + (i * 7) % 40, 900 + i as u64),
+        })
+        .collect();
+    write_protein_fasta_file(&db_path, &records).unwrap();
+    let db = SeqDatabase::from_protein_records(records);
+
+    // The server's configured mode is protein BLOSUM62: the database
+    // loads (and would hot-reload) through the protein parser.
+    let blosum = MatrixScoring::blosum62();
+    let mut config = ServerConfig::new(tmp("protein.sock"), &db_path);
+    config.engine.mode = ScoreMode::Protein(blosum);
+    let server = Server::start(config).unwrap();
+
+    let qs: Vec<Vec<u8>> = (0..5)
+        .map(|i| random_protein(20 + i, 700 + i as u64).into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = qs.iter().map(Vec::as_slice).collect();
+    let top_k = 4;
+
+    let mut client = ServeClient::connect(server.socket()).unwrap();
+    client.hello("prot", 1).unwrap();
+
+    // Default mode (no override): the scalar Gotoh oracle's answer,
+    // byte for byte.
+    let want_blosum = oracle_search_mode(
+        &db,
+        &refs,
+        &ScoreMode::Protein(blosum),
+        &Scoring::paper(),
+        top_k,
+    );
+    let cold = client.search(&qs, top_k, |_| {}).unwrap();
+    assert_eq!(cold.hit_lists(), want_blosum);
+    assert!(cold.answers.iter().all(|a| !a.cached));
+
+    // Same queries under a DIFFERENT scheme (PAM250, other gaps): the
+    // override travels in the request; the params-keyed cache must MISS
+    // — a BLOSUM62 answer can never be served for a PAM250 ask.
+    let pam = MatrixScoring::new(SubstMatrix::pam250(), -10, -2);
+    let want_pam = oracle_search_mode(
+        &db,
+        &refs,
+        &ScoreMode::Protein(pam),
+        &Scoring::paper(),
+        top_k,
+    );
+    let other = client.search_scored(&qs, top_k, Some(pam), |_| {}).unwrap();
+    assert_eq!(other.hit_lists(), want_pam);
+    assert!(
+        other.answers.iter().all(|a| !a.cached),
+        "different scoring params must never hit the cache"
+    );
+
+    // Warm passes under each scheme hit their own cache lines and stay
+    // bit-identical.
+    let warm = client.search(&qs, top_k, |_| {}).unwrap();
+    assert!(warm.answers.iter().all(|a| a.cached));
+    assert_eq!(warm.hit_lists(), want_blosum);
+    let warm_pam = client.search_scored(&qs, top_k, Some(pam), |_| {}).unwrap();
+    assert!(warm_pam.answers.iter().all(|a| a.cached));
+    assert_eq!(warm_pam.hit_lists(), want_pam);
+
+    let stats = server.stop();
+    assert_eq!(stats.protocol_errors, 0);
+    std::fs::remove_file(&db_path).ok();
+}
+
+#[test]
 fn malformed_lines_are_counted_and_answered_not_fatal() {
     use std::io::{BufRead, BufReader, Write};
     let db_path = tmp("garbage-db.fa");

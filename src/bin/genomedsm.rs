@@ -3,17 +3,23 @@
 //!
 //! ```text
 //! genomedsm generate --len 50000 --out pair.fa [--seed 42]
+//! genomedsm generate --mode protein --records N --len L --out db.fa
 //! genomedsm align s.fa t.fa [options]
 //! genomedsm exact s.fa t.fa [--min-score N]
 //! genomedsm score s.fa t.fa [--threshold N] [--kernel scalar|simd|auto]
 //! genomedsm chaos s.fa t.fa [--plan SPEC] [--strategy S] [--procs N]
 //! genomedsm batch --db db.fa --queries q.fa [--top-k N] [--kernel K]
-//!                 [--workers N] [--check]
+//!                 [--workers N] [--check] [--mode dna|protein]
+//!                 [--matrix M] [--gap-open N] [--gap-extend N]
+//!                 [--prefilter]
 //! genomedsm serve --db db.fa --socket PATH [--queue N] [--cache N]
 //!                 [--service-workers N] [--workers N] [--kernel K]
+//!                 [--mode dna|protein] [--matrix M] [--gap-open N]
+//!                 [--gap-extend N]
 //! genomedsm client --socket PATH [--name NAME] [--weight W]
-//!                  (--queries q.fa [--top-k N] | --reload db.fa |
-//!                   --stats | --shutdown)
+//!                  (--queries q.fa [--top-k N] [--mode protein
+//!                   [--matrix M] [--gap-open N] [--gap-extend N]] |
+//!                   --reload db.fa | --stats | --shutdown)
 //! genomedsm node --rank R --cluster FILE [--session N] [--len N]
 //!                [--seed N] [--procs N] [--plan SPEC]
 //! genomedsm launch [--ranks N] [--cluster loopback] [--len N]
@@ -59,6 +65,13 @@
 //! and work-stolen across --workers threads, reporting the --top-k hits
 //! per query and aggregate GCUPS. --check re-runs the search with
 //! sequential per-pair kernel calls and verifies the hits are identical.
+//! --mode protein scores with the affine-gap Gotoh recurrence under a
+//! substitution matrix (--matrix: blosum62|blosum50|pam250 or an
+//! NCBI-format file; --gap-open/--gap-extend, defaults -11/-1), parsing
+//! both FASTA files with the amino-acid alphabet. --prefilter (protein
+//! only) consults the ALAE-style composition index before every DP
+//! launch and reports the pruning rate — the answer is provably
+//! bit-identical to the unfiltered scan.
 //!
 //! serve: the always-on alignment service. Loads --db once, listens on
 //! the --socket Unix socket, and answers `client` searches with a
@@ -132,8 +145,59 @@ fn opt(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parses the shared protein-scoring flags: `--matrix` names a baked-in
+/// matrix (blosum62, blosum50, pam250) or an NCBI-format matrix file,
+/// `--gap-open`/`--gap-extend` set the affine penalties (negative;
+/// defaults −11/−1).
+fn opt_matrix_scoring(args: &[String]) -> genomedsm::core::submat::MatrixScoring {
+    use genomedsm::core::submat::{MatrixScoring, SubstMatrix};
+    let matrix = match opt(args, "--matrix") {
+        None => SubstMatrix::blosum62(),
+        Some(spec) => SubstMatrix::by_name(&spec).unwrap_or_else(|| {
+            let text = std::fs::read_to_string(&spec).unwrap_or_else(|e| {
+                eprintln!("--matrix '{spec}': not a built-in name (blosum62|blosum50|pam250) and not a readable file: {e}");
+                exit(2);
+            });
+            SubstMatrix::parse_ncbi(&text).unwrap_or_else(|e| {
+                eprintln!("--matrix {spec}: {e}");
+                exit(2);
+            })
+        }),
+    };
+    let ms = MatrixScoring::new(
+        matrix,
+        opt_num(args, "--gap-open", -11),
+        opt_num(args, "--gap-extend", -1),
+    );
+    if ms.gap_open > 0 || ms.gap_extend > 0 {
+        eprintln!("--gap-open/--gap-extend are penalties: they must be <= 0");
+        exit(2);
+    }
+    ms
+}
+
+/// Parses `--mode dna|protein` (default dna); protein mode picks up the
+/// `--matrix`/`--gap-open`/`--gap-extend` flags.
+fn opt_mode(args: &[String]) -> genomedsm::batch::ScoreMode {
+    use genomedsm::batch::ScoreMode;
+    match opt(args, "--mode").as_deref() {
+        None | Some("dna") => ScoreMode::Dna,
+        Some("protein") => ScoreMode::Protein(opt_matrix_scoring(args)),
+        Some(other) => {
+            eprintln!("invalid --mode '{other}' (dna|protein)");
+            exit(2);
+        }
+    }
+}
+
 /// Option flags that take no value (everything else is `--flag VALUE`).
-const BOOL_FLAGS: &[&str] = &["--tolerate-failures", "--check", "--stats", "--shutdown"];
+const BOOL_FLAGS: &[&str] = &[
+    "--tolerate-failures",
+    "--check",
+    "--stats",
+    "--shutdown",
+    "--prefilter",
+];
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -223,6 +287,9 @@ fn opt_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
 }
 
 fn generate(args: &[String]) {
+    if opt(args, "--mode").as_deref() == Some("protein") {
+        return generate_protein(args);
+    }
     let len: usize = opt_num(args, "--len", 50_000);
     let seed: u64 = opt_num(args, "--seed", 42);
     let out = opt(args, "--out").unwrap_or_else(|| "pair.fa".into());
@@ -245,6 +312,29 @@ fn generate(args: &[String]) {
         "wrote {out}: two {len} bp sequences, {} planted similar regions",
         truth.len()
     );
+}
+
+/// `generate --mode protein`: a multi-record random protein FASTA
+/// (uniform over the 20 standard residues), ready for `batch`/`serve`.
+fn generate_protein(args: &[String]) {
+    use genomedsm::seq::fasta::{write_protein_fasta_file, ProteinRecord};
+    use genomedsm::seq::random_protein;
+    let n: usize = opt_num(args, "--records", 8);
+    let len: usize = opt_num(args, "--len", 300);
+    let seed: u64 = opt_num(args, "--seed", 42);
+    let out = opt(args, "--out").unwrap_or_else(|| "proteins.fa".into());
+    let records: Vec<ProteinRecord> = (0..n)
+        .map(|i| ProteinRecord {
+            id: format!("p{i} len={} seed={seed}", len / 2 + (i * 31) % len.max(1)),
+            seq: random_protein(len / 2 + (i * 31) % len.max(1), seed + i as u64),
+        })
+        .collect();
+    let total: usize = records.iter().map(|r| r.seq.len()).sum();
+    write_protein_fasta_file(&out, &records).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {out}: {n} protein records, {total} residues total");
 }
 
 fn load_pair(args: &[String]) -> (Vec<u8>, Vec<u8>) {
@@ -575,6 +665,7 @@ fn batch_config(args: &[String], default_top_k: usize) -> BatchConfig {
     BatchConfig {
         kernel: opt_kernel(args),
         top_k: opt_num(args, "--top-k", default_top_k),
+        mode: opt_mode(args),
         scheduler: genomedsm::batch::SchedulerConfig {
             workers: opt_num(args, "--workers", 0),
             window: 0,
@@ -592,17 +683,28 @@ fn batch(args: &[String]) {
         eprintln!("batch needs --queries FILE (multi-record FASTA queries)\n{USAGE}");
         exit(2);
     });
+    let config = batch_config(args, 5);
     // The shared engine-core path: the same load + execute + oracle steps
-    // the server and the bench harness run.
-    let inputs = genomedsm::batch::load_inputs(&db_path, &q_path).unwrap_or_else(|e| {
+    // the server and the bench harness run. Protein mode parses the
+    // amino-acid alphabet (no DNA ambiguity folding).
+    let inputs = match config.mode {
+        genomedsm::batch::ScoreMode::Protein(_) => {
+            genomedsm::batch::load_protein_inputs(&db_path, &q_path)
+        }
+        genomedsm::batch::ScoreMode::Dna => genomedsm::batch::load_inputs(&db_path, &q_path),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("cannot load inputs: {e}");
         exit(1);
     });
     let (db, refs) = (&inputs.db, inputs.query_refs());
-    let config = batch_config(args, 5);
     eprintln!(
-        "batch search: {} queries ({} bp) x {} records ({} bp), kernel '{}', \
+        "batch search ({}): {} queries ({} bp) x {} records ({} bp), kernel '{}', \
          {} lanes...",
+        match config.mode {
+            genomedsm::batch::ScoreMode::Dna => "dna",
+            genomedsm::batch::ScoreMode::Protein(_) => "protein",
+        },
         refs.len(),
         refs.iter().map(|q| q.len()).sum::<usize>(),
         db.len(),
@@ -610,6 +712,10 @@ fn batch(args: &[String]) {
         config.kernel,
         genomedsm::kernels::effective_lanes(config.kernel),
     );
+    if has_flag(args, "--prefilter") {
+        prefiltered_batch(args, &config, db, &refs);
+        return;
+    }
     let engine = BatchEngine::new(config);
     let t0 = std::time::Instant::now();
     // Streaming: each query prints the moment its top-k is final.
@@ -639,19 +745,76 @@ fn batch(args: &[String]) {
         let t0 = std::time::Instant::now();
         let verdict = genomedsm::batch::verify_against_oracle(&engine, db, &refs, &out.hits);
         let seq_elapsed = t0.elapsed();
+        let oracle_name = match engine.config.mode {
+            genomedsm::batch::ScoreMode::Dna => "sequential per-pair scoring",
+            genomedsm::batch::ScoreMode::Protein(_) => "the sequential scalar Gotoh oracle",
+        };
         match verdict {
             Ok(()) => println!(
-                "check: IDENTICAL to sequential per-pair scoring \
+                "check: IDENTICAL to {oracle_name} \
                  ({seq_elapsed:.2?} sequential, {:.1}x speedup)",
                 seq_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
             ),
             Err(q) => {
-                eprintln!(
-                    "check: batch hits DIVERGE from sequential per-pair scoring \
-                     (first at query {q})"
-                );
+                eprintln!("check: batch hits DIVERGE from {oracle_name} (first at query {q})");
                 exit(1);
             }
+        }
+    }
+}
+
+/// The `batch --prefilter` path: composition-bound pruning before every
+/// DP launch (protein mode only), bit-identical to the full scan.
+fn prefiltered_batch(args: &[String], config: &BatchConfig, db: &SeqDatabase, refs: &[&[u8]]) {
+    use genomedsm::batch::{build_index, oracle_search_mode, prefiltered_search, ScoreMode};
+    let ScoreMode::Protein(ms) = config.mode else {
+        eprintln!(
+            "--prefilter requires --mode protein (the bound is a substitution-matrix property)"
+        );
+        exit(2);
+    };
+    let t_index = std::time::Instant::now();
+    let index = build_index(db);
+    let index_elapsed = t_index.elapsed();
+    let t0 = std::time::Instant::now();
+    let (hits, stats) = prefiltered_search(db, &index, refs, &ms, config.kernel, config.top_k);
+    let elapsed = t0.elapsed();
+    for (q, hs) in hits.iter().enumerate() {
+        println!("query {q} ({} bp): {} hit(s)", refs[q].len(), hs.len());
+        for h in hs {
+            println!(
+                "  score {:>6}  {}  end (q={}, t={})",
+                h.score,
+                db.meta(h.target).id,
+                h.end.0,
+                h.end.1
+            );
+        }
+    }
+    println!(
+        "\nprefilter: {} of {} record visits pruned ({:.1}%), {} scored, \
+         index built in {index_elapsed:.2?}, search {elapsed:.2?}",
+        stats.pruned,
+        stats.evaluated,
+        stats.pruning_rate() * 100.0,
+        stats.scored
+    );
+    if has_flag(args, "--check") {
+        let t0 = std::time::Instant::now();
+        let want = oracle_search_mode(db, refs, &config.mode, &config.scoring, config.top_k);
+        let seq_elapsed = t0.elapsed();
+        if hits == want {
+            println!(
+                "check: IDENTICAL to the unfiltered scalar Gotoh scan \
+                 ({seq_elapsed:.2?} sequential)"
+            );
+        } else {
+            let q = hits.iter().zip(&want).position(|(g, w)| g != w);
+            eprintln!(
+                "check: prefiltered hits DIVERGE from the unfiltered scan \
+                 (first at query {q:?})"
+            );
+            exit(1);
         }
     }
 }
@@ -711,13 +874,24 @@ fn client(args: &[String]) {
     eprintln!("connected to {socket}: {records} records, epoch {epoch}");
 
     if let Some(q_path) = opt(args, "--queries") {
-        let queries = genomedsm::batch::load_query_file(&q_path).unwrap_or_else(|e| {
+        // Protein mode sends the full scoring scheme with the request
+        // (matrix + gaps); the server caches under its fingerprint.
+        let scoring = match opt_mode(args) {
+            genomedsm::batch::ScoreMode::Protein(ms) => Some(ms),
+            genomedsm::batch::ScoreMode::Dna => None,
+        };
+        let queries = if scoring.is_some() {
+            genomedsm::batch::load_protein_query_file(&q_path)
+        } else {
+            genomedsm::batch::load_query_file(&q_path)
+        }
+        .unwrap_or_else(|e| {
             eprintln!("cannot load queries: {e}");
             exit(1);
         });
         let top_k: usize = opt_num(args, "--top-k", 5);
         let t0 = std::time::Instant::now();
-        let result = client.search(&queries, top_k, |qh| {
+        let result = client.search_scored(&queries, top_k, scoring, |qh| {
             println!(
                 "query {} ({}): {} hit(s){}",
                 qh.query,

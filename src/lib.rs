@@ -24,7 +24,12 @@
 //! * [`batch`] — the multi-query batch alignment engine: database search
 //!   with inter-sequence lane packing (a different query per SIMD lane),
 //!   a work-stealing scheduler with bounded in-flight batches, and
-//!   deterministic per-query top-k merging.
+//!   deterministic per-query top-k merging. Scores DNA (linear gaps) or
+//!   protein (affine Gotoh under a substitution matrix), optionally
+//!   through the composition prefilter.
+//! * [`index`] — the ALAE-style protein prefilter: per-record
+//!   composition profiles and an exact score upper bound that prunes DP
+//!   launches without ever changing the top-k.
 //! * [`strategies`] — the paper's three parallel strategies plus the
 //!   phase-2 scattered-mapping global aligner and shared-memory ports.
 //! * [`serve`] — the always-on alignment service: the batch engine
@@ -61,6 +66,7 @@ pub use genomedsm_chaos as chaos;
 pub use genomedsm_core as core;
 pub use genomedsm_dotplot as dotplot;
 pub use genomedsm_dsm as dsm;
+pub use genomedsm_index as index;
 pub use genomedsm_kernels as kernels;
 pub use genomedsm_seq as seq;
 pub use genomedsm_serve as serve;
