@@ -1,0 +1,11 @@
+//! Seeded-bad fixture: a channel `recv` while a std `Mutex` guard is
+//! live. Fed to the analyzer as `crates/serve/src/block_under_lock.rs`;
+//! must produce exactly one `blocking-while-locked` finding.
+
+impl Drain {
+    fn drain(&self) {
+        let stats = self.stats.lock();
+        let job = self.rx.recv();
+        stats.note(job);
+    }
+}

@@ -1,0 +1,30 @@
+//! Seeded-bad fixture: a wire enum variant that is encoded and decoded
+//! but never handled. Fed to the analyzer as
+//! `crates/dsm/src/dead_variant.rs`; must produce exactly one
+//! `wire-exhaustiveness` finding (`Msg::Pong` has no handler arm).
+
+enum Msg {
+    Ping(u32),
+    Pong { n: u32 },
+}
+
+fn encode_msg(m: &Msg, w: &mut Writer) {
+    match m {
+        Msg::Ping(n) => w.tag(0),
+        Msg::Pong { n } => w.tag(1),
+    }
+}
+
+fn decode_msg(tag: u8) -> Msg {
+    match tag {
+        0 => Msg::Ping(0),
+        _ => Msg::Pong { n: 0 },
+    }
+}
+
+fn handle(m: Msg) {
+    match m {
+        Msg::Ping(n) => reply(n),
+        _ => {}
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded-bad fixture: slice indexing reachable from a wire-decode
+//! entry point. Fed to the analyzer as
+//! `crates/dsm/src/indexed_decode.rs`; must produce exactly one
+//! `panic-surface` finding with the call chain `decode_msg -> header`.
+
+fn decode_msg(buf: &[u8]) -> u8 {
+    header(buf)
+}
+
+fn header(buf: &[u8]) -> u8 {
+    buf[0]
+}

@@ -1,0 +1,17 @@
+//! Seeded-bad fixture: an AB-BA lock inversion in live protocol code.
+//! Fed to the analyzer as `crates/dsm/src/lock_cycle.rs`; must produce
+//! exactly one `lock-order` cycle finding.
+
+fn writer(node: &mut Node) {
+    node.lock(PAGE_LOCK);
+    node.lock(LEASE_TABLE);
+    node.unlock(LEASE_TABLE);
+    node.unlock(PAGE_LOCK);
+}
+
+fn leaser(node: &mut Node) {
+    node.lock(LEASE_TABLE);
+    node.lock(PAGE_LOCK);
+    node.unlock(PAGE_LOCK);
+    node.unlock(LEASE_TABLE);
+}

@@ -1,0 +1,408 @@
+//! Blocking-while-locked: blockable calls reachable under a live guard.
+//!
+//! A call that can park the thread — channel `recv`, `thread::join`,
+//! condvar `wait`, socket reads, `accept` — made while a std `Mutex`
+//! guard is held turns a short critical section into an unbounded one,
+//! and in a DSM node that means every peer contending for that state
+//! stalls behind one slow socket. The lint layer cannot see this (it is
+//! a *structural* property: which guards are live at the call), so this
+//! analysis walks each live fn body tracking guard lifetimes:
+//!
+//! * a guard is born at an argless `.lock()` / `.try_lock()` or a call
+//!   to an in-crate fn whose signature returns a `MutexGuard`;
+//! * a `let`-bound guard lives until its block closes or an explicit
+//!   `drop(name)`; a statement temporary dies at the statement's `;`;
+//! * the condvar `wait(guard)` family is the sanctioned way to block
+//!   while locked — the guard passed by name is exempt for that call
+//!   (the condvar releases it), but any *other* live guard still flags;
+//! * blocking propagates through the intra-crate call graph: calling an
+//!   in-crate fn that may block is as bad as blocking directly.
+//!
+//! `.join(arg)` with arguments is `Path::join`/`[str]::join`, not
+//! `JoinHandle::join` — the parse captures `join` args so the two can
+//! be told apart.
+
+use crate::callgraph::FnId;
+use crate::parse::Callee;
+use crate::{Finding, Model};
+use std::collections::HashMap;
+
+/// Names that can park the calling thread. The bool is
+/// `only_when_argless` (`join()` blocks; `join(path)` concatenates).
+const BLOCKING: &[(&str, bool)] = &[
+    ("recv", false),
+    ("recv_timeout", false),
+    ("recv_deadline", false),
+    ("recv_from", false),
+    ("join", true),
+    ("wait", false),
+    ("wait_timeout", false),
+    ("wait_while", false),
+    ("park", false),
+    ("park_timeout", false),
+    ("sleep", false),
+    ("accept", false),
+    ("read_line", false),
+    ("read_exact", false),
+    ("read_to_end", false),
+    ("read_to_string", false),
+];
+
+/// The condvar family: blocking by design, but the guard named in the
+/// arguments is released while parked.
+const WAIT_FAMILY: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+fn direct_blocking(callee: &Callee, args: &str) -> Option<&'static str> {
+    let name = match callee {
+        Callee::Macro(_) => return None,
+        c => c.name(),
+    };
+    BLOCKING
+        .iter()
+        .find(|(n, argless)| *n == name && (!argless || args.is_empty()))
+        .map(|(n, _)| *n)
+}
+
+/// Fixpoint: which fns may block, and via what primitive.
+fn may_block(model: &Model) -> HashMap<FnId, &'static str> {
+    let ids: Vec<FnId> = model
+        .files
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, f)| (0..f.fns.len()).map(move |gi| (fi, gi)))
+        .collect();
+    let mut blocks: HashMap<FnId, &'static str> = HashMap::new();
+    for &id in &ids {
+        for c in &model.files[id.0].fns[id.1].calls {
+            if let Some(why) = direct_blocking(&c.callee, &c.args) {
+                blocks.entry(id).or_insert(why);
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for &id in &ids {
+            if blocks.contains_key(&id) {
+                continue;
+            }
+            let crate_name = model.files[id.0].crate_name.clone();
+            let mut found = None;
+            for c in &model.files[id.0].fns[id.1].calls {
+                for g in model.graph.resolve(&model.files, id, &crate_name, c) {
+                    if g == id {
+                        continue;
+                    }
+                    if let Some(&why) = blocks.get(&g) {
+                        found = Some(why);
+                        break;
+                    }
+                }
+                if found.is_some() {
+                    break;
+                }
+            }
+            if let Some(why) = found {
+                blocks.insert(id, why);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    blocks
+}
+
+/// A live guard in the body walk.
+struct Guard {
+    /// `let`-bound name, if any; `None` is a statement temporary.
+    name: Option<String>,
+    /// Byte offset of the bearing call (for the finding message).
+    born_at: usize,
+    /// Unified delimiter depth at birth.
+    depth: usize,
+}
+
+/// Extracts the bound name from the statement text before a guard-
+/// bearing call: first `let`-pattern identifier that could bind (skips
+/// `mut`/`ref` and uppercase-initial path heads like `Ok`/`Some`).
+fn let_bound_name(stmt: &str) -> Option<String> {
+    let at = crate::parse::word_positions(stmt, "let")
+        .into_iter()
+        .next()?;
+    let rest = &stmt[at + 3..];
+    let rest = rest.split('=').next().unwrap_or(rest);
+    for word in rest.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_')) {
+        if word.is_empty() || word == "mut" || word == "ref" || word == "_" {
+            continue;
+        }
+        let head = word.chars().next()?;
+        if head.is_ascii_uppercase() || head.is_ascii_digit() {
+            continue; // pattern constructor (`Ok`, `Some`) or literal
+        }
+        return Some(word.to_string());
+    }
+    None
+}
+
+/// Is this call a guard birth? (argless `.lock()`/`.try_lock()`, or a
+/// call to an in-crate fn returning a `MutexGuard`.)
+fn is_guard_birth(model: &Model, id: FnId, call: &crate::parse::CallSite) -> bool {
+    if let Callee::Method(m) = &call.callee {
+        if (m == "lock" || m == "try_lock") && call.args.is_empty() {
+            return true;
+        }
+    }
+    let crate_name = &model.files[id.0].crate_name;
+    model
+        .graph
+        .resolve(&model.files, id, crate_name, call)
+        .into_iter()
+        .any(|(fi, gi)| {
+            let f = &model.files[fi];
+            f.fns[gi].returns_guard(&f.code)
+        })
+}
+
+/// Findings: blockable calls made while a std `Mutex` guard is live, in
+/// live (non-test) code of the scope crates.
+pub fn findings(model: &Model) -> Vec<Finding> {
+    let blocks = may_block(model);
+    let mut out = Vec::new();
+
+    for (fi, file) in model.files.iter().enumerate() {
+        if file.is_test_file {
+            continue;
+        }
+        for (gi, f) in file.fns.iter().enumerate() {
+            if f.cfg_test {
+                continue;
+            }
+            let Some(body) = f.body.clone() else { continue };
+            let id: FnId = (fi, gi);
+            let bytes = file.code.as_bytes();
+
+            // Call events by position within the body.
+            let mut calls: Vec<&crate::parse::CallSite> =
+                f.calls.iter().filter(|c| body.contains(&c.at)).collect();
+            calls.sort_by_key(|c| c.at);
+            let mut next_call = 0usize;
+
+            let mut guards: Vec<Guard> = Vec::new();
+            let mut depth = 0usize;
+            let mut stmt_start = body.start;
+            let mut i = body.start;
+            while i < body.end {
+                // Handle any call event at this offset first.
+                while next_call < calls.len() && calls[next_call].at == i {
+                    let c = calls[next_call];
+                    next_call += 1;
+
+                    // Explicit release.
+                    if matches!(&c.callee, Callee::Plain(n) if n == "drop") {
+                        guards.retain(|g| g.name.as_deref() != Some(c.args.as_str()));
+                        continue;
+                    }
+
+                    // Blocking check happens before the call's own guard
+                    // (if any) is born — a birth cannot flag itself.
+                    let why = direct_blocking(&c.callee, &c.args).or_else(|| {
+                        model
+                            .graph
+                            .resolve(&model.files, id, &file.crate_name, c)
+                            .into_iter()
+                            .filter(|&g| g != id)
+                            .find_map(|g| blocks.get(&g).copied())
+                    });
+                    if let Some(why) = why {
+                        let exempt: Vec<&str> = if WAIT_FAMILY.contains(&c.callee.name()) {
+                            c.args
+                                .split(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
+                                .filter(|s| !s.is_empty())
+                                .collect()
+                        } else {
+                            Vec::new()
+                        };
+                        if let Some(g) = guards
+                            .iter()
+                            .find(|g| !g.name.as_deref().is_some_and(|n| exempt.contains(&n)))
+                        {
+                            let held = match &g.name {
+                                Some(n) => format!("guard `{n}`"),
+                                None => "a temporary guard".to_string(),
+                            };
+                            let call_desc = if direct_blocking(&c.callee, &c.args).is_some() {
+                                format!("`{}` can block", c.callee.name())
+                            } else {
+                                format!("`{}` may block (reaches `{why}`)", c.callee.name())
+                            };
+                            out.push(Finding {
+                                file: file.path.clone(),
+                                line: file.line_of(c.at),
+                                analysis: "blocking-while-locked",
+                                message: format!(
+                                    "{call_desc} while {held} (born line {}) is held",
+                                    file.line_of(g.born_at)
+                                ),
+                            });
+                        }
+                    }
+
+                    // Guard birth.
+                    if is_guard_birth(model, id, c) {
+                        let stmt = file.code.get(stmt_start..c.at).unwrap_or("");
+                        let name = stmt.contains("let").then(|| let_bound_name(stmt)).flatten();
+                        // `let _ = m.lock()` binds nothing: dead at once.
+                        if !(stmt.contains("let") && name.is_none() && stmt.contains("_")) {
+                            guards.push(Guard {
+                                name,
+                                born_at: c.at,
+                                depth,
+                            });
+                        }
+                    }
+                }
+
+                match bytes[i] {
+                    b'{' | b'(' | b'[' => {
+                        depth += 1;
+                        // A block/group opener starts a fresh statement
+                        // context for `let`-name extraction.
+                        if bytes[i] == b'{' {
+                            stmt_start = i + 1;
+                        }
+                    }
+                    b'}' | b')' | b']' => {
+                        depth = depth.saturating_sub(1);
+                        guards.retain(|g| g.depth <= depth);
+                        if bytes[i] == b'}' {
+                            stmt_start = i + 1;
+                        }
+                    }
+                    b';' => {
+                        guards.retain(|g| !(g.name.is_none() && g.depth == depth));
+                        stmt_start = i + 1;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_of;
+
+    #[test]
+    fn recv_under_named_guard_flags() {
+        let m = model_of(
+            "crates/serve/src/x.rs",
+            "serve",
+            "fn f(&self) {\n    let g = self.state.lock();\n    let msg = self.rx.recv();\n    \
+             g.apply(msg);\n}\n",
+        );
+        let f = findings(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("recv"), "{}", f[0].message);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn guard_dropped_before_recv_is_clean() {
+        let m = model_of(
+            "crates/serve/src/x.rs",
+            "serve",
+            "fn f(&self) {\n    let g = self.state.lock();\n    drop(g);\n    \
+             let msg = self.rx.recv();\n}\n",
+        );
+        assert!(findings(&m).is_empty());
+    }
+
+    #[test]
+    fn scope_exit_releases_the_guard() {
+        let m = model_of(
+            "crates/serve/src/x.rs",
+            "serve",
+            "fn f(&self) {\n    {\n        let g = self.state.lock();\n        g.touch();\n    }\n    \
+             let msg = self.rx.recv();\n}\n",
+        );
+        assert!(findings(&m).is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_dies_at_semicolon() {
+        let m = model_of(
+            "crates/serve/src/x.rs",
+            "serve",
+            "fn f(&self) {\n    self.state.lock().bump();\n    let msg = self.rx.recv();\n}\n",
+        );
+        assert!(findings(&m).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_exempts_its_own_guard_only() {
+        let clean = model_of(
+            "crates/batch/src/x.rs",
+            "batch",
+            "fn f(&self) {\n    let mut g = self.q.lock();\n    g = self.cv.wait(g);\n    \
+             g.pop();\n}\n",
+        );
+        assert!(findings(&clean).is_empty(), "{:?}", findings(&clean));
+        let dirty = model_of(
+            "crates/batch/src/x.rs",
+            "batch",
+            "fn f(&self) {\n    let other = self.stats.lock();\n    let mut g = self.q.lock();\n    \
+             g = self.cv.wait(g);\n    other.bump();\n}\n",
+        );
+        let f = findings(&dirty);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("other"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn path_join_is_not_thread_join() {
+        let m = model_of(
+            "crates/serve/src/x.rs",
+            "serve",
+            "fn f(&self) {\n    let g = self.state.lock();\n    let p = self.root.join(name);\n    \
+             g.set(p);\n    self.handle.join();\n}\n",
+        );
+        // `root.join(name)` is fine; the argless `handle.join()` flags
+        // (the guard is still live — no drop, no scope exit).
+        let f = findings(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("join"), "{}", f[0].message);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn blocking_propagates_through_the_call_graph() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn pump(&self) { let d = self.sock.recv_from(buf); }\n\
+             fn f(&self) {\n    let g = self.state.lock();\n    self.pump();\n    g.apply();\n}\n",
+        );
+        let f = findings(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("reaches `recv_from`"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let m = model_of(
+            "crates/serve/tests/x.rs",
+            "serve",
+            "fn f(&self) {\n    let g = self.state.lock();\n    let msg = self.rx.recv();\n}\n",
+        );
+        assert!(findings(&m).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! The intra-crate call graph and name resolution.
+//!
+//! Resolution is deliberately over-approximate — every analysis built
+//! on it is a may-analysis, so losing an edge is the failure mode and
+//! spurious edges only cost precision:
+//!
+//! * `name(…)` resolves to every same-crate fn named `name`, free fns
+//!   preferred when any exist;
+//! * `.name(…)` resolves to every same-crate *method* (has a `self`
+//!   receiver) named `name` — no receiver types without a type system;
+//! * `Qual::name(…)` resolves to fns named `name` owned by `Qual`
+//!   (`Self` maps to the caller's owner); an unmatched *uppercase*
+//!   qualifier is a foreign type (leaf), an unmatched lowercase one is
+//!   a module path and falls back to name-only;
+//! * macros, `drop(…)`, and unresolved names are std/vendor leaves.
+//!
+//! Every candidate must match the call site's **arity** — an in-crate
+//! call always passes exactly the declared parameter count (a
+//! UFCS-style `Qual::method(recv, …)` counts the receiver). Arity is
+//! what keeps common names honest: the argless std `.lock()` cannot
+//! resolve to the one-argument DSM `Node::lock`, and a channel's
+//! `.send(env)` cannot resolve to the three-argument `Node::send`.
+
+use crate::parse::{CallSite, Callee, SourceFile};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A fn's position in the model: (file index, fn index).
+pub type FnId = (usize, usize);
+
+/// Name-resolution tables over a set of parsed files.
+pub struct CallGraph {
+    /// crate → name → fn ids.
+    by_name: HashMap<(String, String), Vec<FnId>>,
+    /// crate → (owner, name) → fn ids.
+    by_owner: HashMap<(String, String, String), Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Builds the tables over `files`.
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut by_name: HashMap<(String, String), Vec<FnId>> = HashMap::new();
+        let mut by_owner: HashMap<(String, String, String), Vec<FnId>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                let id = (fi, gi);
+                by_name
+                    .entry((file.crate_name.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+                if let Some(owner) = &f.owner {
+                    by_owner
+                        .entry((file.crate_name.clone(), owner.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        Self { by_name, by_owner }
+    }
+
+    /// Resolves a call site in `caller` (for `Self::` qualifiers) within
+    /// `crate_name`. Returns every arity-compatible candidate; empty
+    /// means a std/vendor leaf.
+    pub fn resolve(
+        &self,
+        files: &[SourceFile],
+        caller: FnId,
+        crate_name: &str,
+        call: &CallSite,
+    ) -> Vec<FnId> {
+        let key = |n: &str| (crate_name.to_string(), n.to_string());
+        // `qualified` admits the UFCS form (`Type::method(recv, args…)`).
+        let arity_ok = |&(fi, gi): &FnId, qualified: bool| {
+            let f = &files[fi].fns[gi];
+            f.params == call.args_n || (qualified && f.has_self && call.args_n == f.params + 1)
+        };
+        match &call.callee {
+            Callee::Macro(_) => Vec::new(),
+            Callee::Plain(n) if n == "drop" => Vec::new(), // std `mem::drop`
+            Callee::Method(n) => self
+                .by_name
+                .get(&key(n))
+                .into_iter()
+                .flatten()
+                .copied()
+                .filter(|&(fi, gi)| files[fi].fns[gi].has_self)
+                .filter(|id| arity_ok(id, false))
+                .collect(),
+            Callee::Plain(n) => {
+                let all: Vec<FnId> = self
+                    .by_name
+                    .get(&key(n))
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .filter(|id| arity_ok(id, false))
+                    .collect();
+                let free: Vec<FnId> = all
+                    .iter()
+                    .copied()
+                    .filter(|&(fi, gi)| files[fi].fns[gi].owner.is_none())
+                    .collect();
+                if free.is_empty() {
+                    all
+                } else {
+                    free
+                }
+            }
+            Callee::Qualified(q, n) => {
+                let owner = if q == "Self" {
+                    files[caller.0].fns[caller.1].owner.clone()
+                } else {
+                    Some(q.clone())
+                };
+                if let Some(owner) = owner {
+                    let owned: Vec<FnId> = self
+                        .by_owner
+                        .get(&(crate_name.to_string(), owner, n.clone()))
+                        .into_iter()
+                        .flatten()
+                        .copied()
+                        .filter(|id| arity_ok(id, true))
+                        .collect();
+                    if !owned.is_empty() {
+                        return owned;
+                    }
+                }
+                // An uppercase qualifier names a type; unmatched means a
+                // foreign (std/vendor) impl — do not guess by name.
+                if q.chars().next().is_some_and(char::is_uppercase) {
+                    return Vec::new();
+                }
+                // Module-qualified (`codec::decode_msg`): name-only.
+                self.by_name
+                    .get(&key(n))
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .filter(|id| arity_ok(id, true))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// BFS over the call graph from `entries`, following only fns that
+/// `admit` accepts. Returns each reached fn with its predecessor (for
+/// call-chain reconstruction); entries map to themselves.
+pub fn reachable(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    entries: &[FnId],
+    admit: impl Fn(FnId) -> bool,
+) -> HashMap<FnId, FnId> {
+    let mut pred: HashMap<FnId, FnId> = HashMap::new();
+    let mut queue: VecDeque<FnId> = VecDeque::new();
+    for &e in entries {
+        if admit(e) && !pred.contains_key(&e) {
+            pred.insert(e, e);
+            queue.push_back(e);
+        }
+    }
+    let mut seen: HashSet<FnId> = pred.keys().copied().collect();
+    while let Some(id) = queue.pop_front() {
+        let file = &files[id.0];
+        for call in &file.fns[id.1].calls {
+            for next in graph.resolve(files, id, &file.crate_name, call) {
+                if admit(next) && seen.insert(next) {
+                    pred.insert(next, id);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    pred
+}
+
+/// Renders the call chain from an entry to `target` using `pred`.
+pub fn chain(files: &[SourceFile], pred: &HashMap<FnId, FnId>, target: FnId) -> String {
+    let mut names = Vec::new();
+    let mut at = target;
+    for _ in 0..64 {
+        let f = &files[at.0].fns[at.1];
+        match &f.owner {
+            Some(o) => names.push(format!("{o}::{}", f.name)),
+            None => names.push(f.name.clone()),
+        }
+        let Some(&p) = pred.get(&at) else { break };
+        if p == at {
+            break;
+        }
+        at = p;
+    }
+    names.reverse();
+    names.join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use std::path::Path;
+
+    fn files(src: &str) -> Vec<SourceFile> {
+        vec![parse_file(
+            Path::new("a.rs").to_path_buf(),
+            "dsm",
+            false,
+            src,
+        )]
+    }
+
+    fn site(callee: Callee, args_n: usize) -> CallSite {
+        CallSite {
+            at: 0,
+            callee,
+            args: String::new(),
+            args_n,
+        }
+    }
+
+    #[test]
+    fn plain_prefers_free_fns() {
+        let fs = files("fn go() {}\nimpl T { fn go(&self) {} }\nfn f() { go(); }\n");
+        let g = CallGraph::build(&fs);
+        let caller = (0, 2);
+        let r = g.resolve(&fs, caller, "dsm", &site(Callee::Plain("go".into()), 0));
+        assert_eq!(r, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn method_resolves_to_all_same_name_methods() {
+        let fs = files("impl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\nfn go() {}\n");
+        let g = CallGraph::build(&fs);
+        let r = g.resolve(&fs, (0, 2), "dsm", &site(Callee::Method("go".into()), 0));
+        assert_eq!(r.len(), 2, "free fns are not method candidates: {r:?}");
+    }
+
+    #[test]
+    fn arity_filters_candidates() {
+        let fs = files(
+            "impl Node { fn lock(&self, id: u32) {} }\nimpl Chan { fn send(&self, a: u32, b: u32) {} }\nfn f() {}\n",
+        );
+        let g = CallGraph::build(&fs);
+        // Argless std `.lock()` must not resolve to the DSM `lock(id)`.
+        let r = g.resolve(&fs, (0, 2), "dsm", &site(Callee::Method("lock".into()), 0));
+        assert!(r.is_empty(), "{r:?}");
+        let r = g.resolve(&fs, (0, 2), "dsm", &site(Callee::Method("lock".into()), 1));
+        assert_eq!(r.len(), 1);
+        // 1-arg channel send must not resolve to the 2-arg method.
+        let r = g.resolve(&fs, (0, 2), "dsm", &site(Callee::Method("send".into()), 1));
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn qualified_narrows_to_owner_and_self_maps_to_caller_owner() {
+        let fs = files(
+            "impl A { fn go(&self) {} fn f(&self) { Self::go(self); } }\nimpl B { fn go(&self) {} }\n",
+        );
+        let g = CallGraph::build(&fs);
+        // UFCS form: the receiver counts as an argument.
+        let r = g.resolve(
+            &fs,
+            (0, 1),
+            "dsm",
+            &site(Callee::Qualified("Self".into(), "go".into()), 1),
+        );
+        assert_eq!(r, vec![(0, 0)]);
+        let r = g.resolve(
+            &fs,
+            (0, 1),
+            "dsm",
+            &site(Callee::Qualified("B".into(), "go".into()), 1),
+        );
+        assert_eq!(r, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn unmatched_uppercase_qualifier_is_a_foreign_leaf() {
+        let fs = files("fn new() {}\nimpl C { fn new(x: u32) -> Self { C } }\nfn f() {}\n");
+        let g = CallGraph::build(&fs);
+        let r = g.resolve(
+            &fs,
+            (0, 2),
+            "dsm",
+            &site(Callee::Qualified("VecDeque".into(), "new".into()), 0),
+        );
+        assert!(
+            r.is_empty(),
+            "foreign `VecDeque::new` must not hit in-crate `new`: {r:?}"
+        );
+    }
+
+    #[test]
+    fn plain_drop_is_std() {
+        let fs = files("impl T { fn drop(&mut self) {} }\nfn f() {}\n");
+        let g = CallGraph::build(&fs);
+        let r = g.resolve(&fs, (0, 1), "dsm", &site(Callee::Plain("drop".into()), 1));
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn reachability_and_chain() {
+        let fs = files("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn lonely() {}\n");
+        let g = CallGraph::build(&fs);
+        let pred = reachable(&fs, &g, &[(0, 0)], |_| true);
+        assert!(pred.contains_key(&(0, 2)));
+        assert!(!pred.contains_key(&(0, 3)));
+        assert_eq!(chain(&fs, &pred, (0, 2)), "a -> b -> c");
+    }
+}

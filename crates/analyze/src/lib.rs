@@ -1,0 +1,162 @@
+//! Structural whole-workspace static analysis for GenomeDSM.
+//!
+//! `genomedsm-lint` polices token-level hygiene; this crate goes one
+//! layer up: a brace-aware, item-aware parse ([`parse`]) of every
+//! protocol crate, an intra-crate call graph ([`callgraph`]), and four
+//! analyses that prove properties over *all* source — including paths
+//! no test schedule has visited:
+//!
+//! * [`lockorder`] — static may-hold-while-acquiring graph over every
+//!   DSM lock site, cycle detection, and the superset cross-check
+//!   against the runtime `dsm::lock_order` edge dump;
+//! * [`blocking`] — calls that can block (`recv`, `join`, `wait`, …)
+//!   reachable while a std `Mutex` guard is held;
+//! * [`wire`] — every `Msg`/`Reply`/`Request`/`Response` variant and
+//!   `TPT_*`/`REQ_*`/`RSP_*` tag must have an encode site, a decode
+//!   site, and a handler match arm (no silently-dead variants);
+//! * [`panics`] — indexing/`panic!`/`assert!`/`unwrap` reachable from
+//!   the protocol decode entry points, reported with the call chain.
+//!
+//! Run it with `cargo run -p genomedsm-analyze` (CI runs it in the
+//! `analyze` job). Like the linter there is **no allowlist**: the
+//! workspace must be clean, and seeded-bad fixtures under `fixtures/`
+//! prove each analysis actually fires.
+
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod callgraph;
+pub mod lockorder;
+pub mod panics;
+pub mod parse;
+pub mod wire;
+
+use parse::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates the analyses cover (`src/` and `tests/`).
+pub const SCOPE_CRATES: &[&str] = &["dsm", "strategies", "batch", "serve"];
+
+/// One analysis finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in (workspace-relative).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable analysis slug (`lock-order`, `blocking-while-locked`,
+    /// `wire-exhaustiveness`, `panic-surface`, `lock-order-crosscheck`).
+    pub analysis: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.analysis,
+            self.message
+        )
+    }
+}
+
+/// The parsed model of every in-scope source file.
+pub struct Model {
+    /// All parsed files, in deterministic (sorted-path) order.
+    pub files: Vec<SourceFile>,
+    /// The name-resolution tables over `files`.
+    pub graph: callgraph::CallGraph,
+}
+
+impl Model {
+    /// Parses `sources` (workspace-relative path, crate name, text)
+    /// into a model. Test context is inferred from the path.
+    pub fn from_sources(sources: Vec<(PathBuf, String, String)>) -> Self {
+        let mut files: Vec<SourceFile> = sources
+            .into_iter()
+            .map(|(path, crate_name, text)| {
+                let is_test = path
+                    .components()
+                    .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "benches");
+                parse::parse_file(path, &crate_name, is_test, &text)
+            })
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        let graph = callgraph::CallGraph::build(&files);
+        Self { files, graph }
+    }
+
+    /// Walks the workspace at `root` and parses every in-scope file:
+    /// `src/` and `tests/` of each [`SCOPE_CRATES`] member, plus
+    /// `crates/analyze/tests/` (its cross-check harness contains DSM
+    /// lock sites the runtime graph will witness).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from walking or reading the tree.
+    pub fn from_workspace(root: &Path) -> std::io::Result<Self> {
+        let mut sources = Vec::new();
+        let mut dirs: Vec<(PathBuf, String)> = Vec::new();
+        for name in SCOPE_CRATES {
+            let base = root.join("crates").join(name);
+            dirs.push((base.join("src"), (*name).to_string()));
+            dirs.push((base.join("tests"), (*name).to_string()));
+        }
+        dirs.push((root.join("crates/analyze/tests"), "analyze".to_string()));
+        for (dir, crate_name) in dirs {
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            rust_files(&dir, &mut files)?;
+            for file in files {
+                let text = std::fs::read_to_string(&file)?;
+                let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+                sources.push((rel, crate_name.clone(), text));
+            }
+        }
+        Ok(Self::from_sources(sources))
+    }
+
+    /// Runs every analysis and returns the sorted findings.
+    pub fn analyze(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        findings.extend(lockorder::findings(self));
+        findings.extend(blocking::findings(self));
+        findings.extend(wire::findings(self));
+        findings.extend(panics::findings(self));
+        findings.sort_by(|a, b| (&a.file, a.line, a.analysis).cmp(&(&b.file, b.line, b.analysis)));
+        findings
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for determinism).
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Convenience for fixture tests: parse one file as the `src/` of a
+/// pseudo-crate named `crate_name` and return the model.
+pub fn model_of(path: &str, crate_name: &str, text: &str) -> Model {
+    Model::from_sources(vec![(
+        PathBuf::from(path),
+        crate_name.to_string(),
+        text.to_string(),
+    )])
+}

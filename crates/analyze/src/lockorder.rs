@@ -1,0 +1,507 @@
+//! Static lock-order: the may-hold-while-acquiring graph.
+//!
+//! DSM lock acquisitions are syntactically unmistakable — the primitive
+//! takes the lock id as an argument (`node.lock(PAGE)`), while a std
+//! `Mutex` lock is argless — so every acquisition site can be extracted
+//! from the parse. Per fn, a linear scan tracks the held set through
+//! `lock`/`unlock` events (an over-approximation: branches merge, so a
+//! lock taken in either arm counts as held after both). Calls are
+//! recorded with the held snapshot, and a fixpoint propagates each
+//! callee's may-acquire set (identity + concrete site) up the call
+//! graph, producing edges whose *sites* match what the runtime graph's
+//! `#[track_caller]` records: held-lock acquisition site → acquired-lock
+//! acquisition site.
+//!
+//! Two consumers:
+//! * **cycle detection** — an SCC over lock identities; a cycle is
+//!   reported only when at least one of its edges is acquired in live
+//!   (non-test) code, because the dsm test suite deliberately seeds an
+//!   AB-BA inversion to regression-test the runtime detector;
+//! * **the superset cross-check** — every edge the runtime graph
+//!   witnessed during the test suite must exist statically at the same
+//!   `file:line` pair. A missing edge fails CI: it means the extractor
+//!   lost an acquisition site, which would silently blind the cycle
+//!   detection.
+//!
+//! Known approximation: a callee's *exit-held* set (locks it leaves
+//! acquired for the caller) is folded in one level deep — enough for
+//! lock-helper wrappers; deeper hold-across-return chains would be
+//! caught by the cross-check failing, which is the cue to deepen it.
+
+use crate::callgraph::FnId;
+use crate::parse::CallSite;
+use crate::{Finding, Model};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// One static acquisition edge: `from` may be held when `to` is
+/// acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StaticEdge {
+    /// Held lock's normalized identity (argument text).
+    pub from_identity: String,
+    /// Acquired lock's normalized identity.
+    pub to_identity: String,
+    /// Held lock's acquisition site: (file index, byte offset).
+    pub from: (usize, usize),
+    /// Acquired lock's acquisition site.
+    pub to: (usize, usize),
+    /// The acquisition happens in live code (src, non-`cfg(test)`).
+    pub to_live: bool,
+}
+
+/// A lock identity + its acquisition site.
+type Acq = (String, (usize, usize));
+
+/// Per-fn linear-scan facts.
+#[derive(Default, Clone)]
+struct FnFacts {
+    /// Edges from this fn's own lock nesting.
+    edges: Vec<(Acq, Acq)>,
+    /// This fn's own acquisitions.
+    acquires: Vec<Acq>,
+    /// Calls with the held set at the call.
+    calls: Vec<(CallSite, Vec<Acq>)>,
+    /// Locks still held at fn exit (own events only).
+    exit_held: Vec<Acq>,
+}
+
+/// Linear scan of one fn. `exit_of` supplies the one-level exit-held
+/// fold for callees (empty map on the prepass).
+fn scan_fn(model: &Model, id: FnId, exit_of: &HashMap<FnId, Vec<Acq>>) -> FnFacts {
+    let file = &model.files[id.0];
+    let f = &file.fns[id.1];
+    let mut facts = FnFacts::default();
+    // Merge lock events and calls by position. Lock events also appear
+    // as `.lock(…)`/`.unlock(…)` call sites; skip those as calls.
+    let lock_positions: HashSet<usize> = f.locks.iter().map(|l| l.at).collect();
+    let mut events: Vec<(usize, bool, usize)> = Vec::new(); // (pos, is_lock, idx)
+    for (i, l) in f.locks.iter().enumerate() {
+        events.push((l.at, true, i));
+    }
+    for (i, c) in f.calls.iter().enumerate() {
+        if !lock_positions.contains(&c.at) {
+            events.push((c.at, false, i));
+        }
+    }
+    events.sort();
+
+    let mut held: Vec<Acq> = Vec::new();
+    for (_, is_lock, i) in events {
+        if is_lock {
+            let l = &f.locks[i];
+            if l.acquire {
+                for h in &held {
+                    if h.0 != l.identity {
+                        facts
+                            .edges
+                            .push((h.clone(), (l.identity.clone(), (id.0, l.at))));
+                    }
+                }
+                let acq = (l.identity.clone(), (id.0, l.at));
+                facts.acquires.push(acq.clone());
+                held.push(acq);
+            } else if let Some(p) = held.iter().rposition(|h| h.0 == l.identity) {
+                held.remove(p);
+            }
+        } else {
+            let c = &f.calls[i];
+            facts.calls.push((c.clone(), held.clone()));
+            // One-level exit-held fold: a callee that returns holding
+            // locks leaves the caller holding them too.
+            for g in model.graph.resolve(&model.files, id, &file.crate_name, c) {
+                for acq in exit_of.get(&g).into_iter().flatten() {
+                    if !held.iter().any(|h| h.0 == acq.0) {
+                        held.push(acq.clone());
+                    }
+                }
+            }
+        }
+    }
+    facts.exit_held = held;
+    facts
+}
+
+/// Is the fn a live (non-test, non-`tests/`) one?
+fn is_live(model: &Model, id: FnId) -> bool {
+    let file = &model.files[id.0];
+    !file.is_test_file && !file.fns[id.1].cfg_test
+}
+
+/// Extracts the full static edge set over every in-scope file.
+pub fn edges(model: &Model) -> Vec<StaticEdge> {
+    let ids: Vec<FnId> = model
+        .files
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, f)| (0..f.fns.len()).map(move |gi| (fi, gi)))
+        .collect();
+
+    // Prepass: own facts, to seed exit-held.
+    let empty = HashMap::new();
+    let pre: HashMap<FnId, FnFacts> = ids
+        .iter()
+        .map(|&id| (id, scan_fn(model, id, &empty)))
+        .collect();
+    let exit_of: HashMap<FnId, Vec<Acq>> = pre
+        .iter()
+        .map(|(&id, f)| (id, f.exit_held.clone()))
+        .collect();
+    // Final pass with the one-level fold.
+    let facts: HashMap<FnId, FnFacts> = ids
+        .iter()
+        .map(|&id| (id, scan_fn(model, id, &exit_of)))
+        .collect();
+
+    // May-acquire fixpoint: acq(f) ⊇ own ∪ ⋃ acq(callees).
+    let mut acq: HashMap<FnId, BTreeSet<Acq>> = ids
+        .iter()
+        .map(|&id| (id, facts[&id].acquires.iter().cloned().collect()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for &id in &ids {
+            let mut add: BTreeSet<Acq> = BTreeSet::new();
+            for (call, _) in &facts[&id].calls {
+                for g in model
+                    .graph
+                    .resolve(&model.files, id, &model.files[id.0].crate_name, call)
+                {
+                    if let Some(s) = acq.get(&g) {
+                        add.extend(s.iter().cloned());
+                    }
+                }
+            }
+            let mine = acq.entry(id).or_default();
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge assembly: own edges + held × acq(callee) at each call.
+    let mut out: BTreeSet<StaticEdge> = BTreeSet::new();
+    for &id in &ids {
+        let live = is_live(model, id);
+        for (from, to) in &facts[&id].edges {
+            out.insert(StaticEdge {
+                from_identity: from.0.clone(),
+                to_identity: to.0.clone(),
+                from: from.1,
+                to: to.1,
+                to_live: live,
+            });
+        }
+        for (call, held) in &facts[&id].calls {
+            if held.is_empty() {
+                continue;
+            }
+            for g in model
+                .graph
+                .resolve(&model.files, id, &model.files[id.0].crate_name, call)
+            {
+                let g_live = is_live(model, g);
+                if let Some(acqs) = acq.get(&g) {
+                    for (to_id, to_site) in acqs {
+                        for (from_id, from_site) in held {
+                            if from_id != to_id {
+                                out.insert(StaticEdge {
+                                    from_identity: from_id.clone(),
+                                    to_identity: to_id.clone(),
+                                    from: *from_site,
+                                    to: *to_site,
+                                    to_live: g_live,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Strongly connected components over lock identities (Kosaraju).
+fn sccs(edges: &[StaticEdge]) -> Vec<Vec<String>> {
+    let mut fwd: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut rev: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        fwd.entry(&e.from_identity)
+            .or_default()
+            .insert(&e.to_identity);
+        rev.entry(&e.to_identity)
+            .or_default()
+            .insert(&e.from_identity);
+        nodes.insert(&e.from_identity);
+        nodes.insert(&e.to_identity);
+    }
+    // Pass 1: finish order (iterative DFS).
+    let mut order: Vec<&str> = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for &start in &nodes {
+        if seen.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, bool)> = vec![(start, false)];
+        while let Some((at, expanded)) = stack.pop() {
+            if expanded {
+                order.push(at);
+                continue;
+            }
+            if !seen.insert(at) {
+                continue;
+            }
+            stack.push((at, true));
+            for &next in fwd.get(at).into_iter().flatten() {
+                if !seen.contains(next) {
+                    stack.push((next, false));
+                }
+            }
+        }
+    }
+    // Pass 2: reverse-graph components in reverse finish order.
+    let mut comp: Vec<Vec<String>> = Vec::new();
+    let mut assigned: BTreeSet<&str> = BTreeSet::new();
+    for &start in order.iter().rev() {
+        if assigned.contains(start) {
+            continue;
+        }
+        let mut members = Vec::new();
+        let mut stack = vec![start];
+        assigned.insert(start);
+        while let Some(at) = stack.pop() {
+            members.push(at.to_string());
+            for &next in rev.get(at).into_iter().flatten() {
+                if assigned.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        comp.push(members);
+    }
+    comp
+}
+
+/// Cycle findings over the static graph.
+pub fn findings(model: &Model) -> Vec<Finding> {
+    let all = edges(model);
+    let mut out = Vec::new();
+    for scc in sccs(&all) {
+        if scc.len() < 2 {
+            continue; // same-identity self edges are skipped at insert
+        }
+        let members: BTreeSet<&str> = scc.iter().map(String::as_str).collect();
+        let internal: Vec<&StaticEdge> = all
+            .iter()
+            .filter(|e| {
+                members.contains(e.from_identity.as_str())
+                    && members.contains(e.to_identity.as_str())
+            })
+            .collect();
+        // The dsm test suite deliberately seeds an inversion; only a
+        // cycle touched by live code is a workspace defect.
+        let Some(live) = internal.iter().find(|e| e.to_live) else {
+            continue;
+        };
+        let file = &model.files[live.to.0];
+        let detail: Vec<String> = internal
+            .iter()
+            .map(|e| {
+                let ff = &model.files[e.from.0];
+                let tf = &model.files[e.to.0];
+                format!(
+                    "{}(held at {}:{}) -> {}(acquired at {}:{})",
+                    e.from_identity,
+                    ff.path.display(),
+                    ff.line_of(e.from.1),
+                    e.to_identity,
+                    tf.path.display(),
+                    tf.line_of(e.to.1)
+                )
+            })
+            .collect();
+        out.push(Finding {
+            file: file.path.clone(),
+            line: file.line_of(live.to.1),
+            analysis: "lock-order",
+            message: format!(
+                "static lock-order cycle over identities {:?}: {}",
+                scc,
+                detail.join("; ")
+            ),
+        });
+    }
+    out
+}
+
+/// Checks that every runtime-observed edge (lines in the
+/// `dsm::lock_order` dump format `from_file:from_line -> to_file:to_line`)
+/// exists in the static graph. A missing edge means the extractor lost
+/// an acquisition site.
+pub fn crosscheck(model: &Model, runtime_lines: &[String]) -> Vec<Finding> {
+    let all = edges(model);
+    let static_sites: Vec<((String, usize), (String, usize))> = all
+        .iter()
+        .map(|e| {
+            let ff = &model.files[e.from.0];
+            let tf = &model.files[e.to.0];
+            (
+                (ff.path.display().to_string(), ff.line_of(e.from.1)),
+                (tf.path.display().to_string(), tf.line_of(e.to.1)),
+            )
+        })
+        .collect();
+    let path_match = |a: &str, b: &str| a == b || a.ends_with(b) || b.ends_with(a);
+
+    let mut out = Vec::new();
+    for line in runtime_lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((from, to)) = line.split_once(" -> ") else {
+            out.push(Finding {
+                file: "lock-order-dump".into(),
+                line: 0,
+                analysis: "lock-order-crosscheck",
+                message: format!("malformed runtime edge line: {line}"),
+            });
+            continue;
+        };
+        let parse_site = |s: &str| -> Option<(String, usize)> {
+            let (file, lineno) = s.rsplit_once(':')?;
+            Some((file.to_string(), lineno.parse().ok()?))
+        };
+        let (Some(fs), Some(ts)) = (parse_site(from), parse_site(to)) else {
+            out.push(Finding {
+                file: "lock-order-dump".into(),
+                line: 0,
+                analysis: "lock-order-crosscheck",
+                message: format!("malformed runtime edge site: {line}"),
+            });
+            continue;
+        };
+        let covered = static_sites.iter().any(|(sf, st)| {
+            sf.1 == fs.1 && st.1 == ts.1 && path_match(&sf.0, &fs.0) && path_match(&st.0, &ts.0)
+        });
+        if !covered {
+            out.push(Finding {
+                file: fs.0.clone().into(),
+                line: ts.1,
+                analysis: "lock-order-crosscheck",
+                message: format!(
+                    "runtime lock-order edge has no static counterpart (extractor lost a \
+                     site): {line}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_of;
+
+    #[test]
+    fn nested_locks_produce_edges() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn f(node: &N) {\n    node.lock(A);\n    node.lock(B);\n    node.unlock(B);\n    \
+             node.unlock(A);\n}\n",
+        );
+        let es = edges(&m);
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].from_identity, "A");
+        assert_eq!(es[0].to_identity, "B");
+        assert!(es[0].to_live);
+    }
+
+    #[test]
+    fn consistent_order_has_no_cycle() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn f(n: &N) { n.lock(A); n.lock(B); n.unlock(B); n.unlock(A); }\n\
+             fn g(n: &N) { n.lock(A); n.lock(B); n.unlock(B); n.unlock(A); }\n",
+        );
+        assert!(findings(&m).is_empty());
+    }
+
+    #[test]
+    fn inverted_order_is_a_cycle_in_live_code() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn f(n: &N) { n.lock(A); n.lock(B); n.unlock(B); n.unlock(A); }\n\
+             fn g(n: &N) { n.lock(B); n.lock(A); n.unlock(A); n.unlock(B); }\n",
+        );
+        let f = findings(&m);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("cycle"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn test_only_inversion_is_not_reported_but_edges_exist() {
+        let m = model_of(
+            "crates/dsm/tests/x.rs",
+            "dsm",
+            "fn f(n: &N) { n.lock(A); n.lock(B); n.unlock(B); n.unlock(A); }\n\
+             fn g(n: &N) { n.lock(B); n.lock(A); n.unlock(A); n.unlock(B); }\n",
+        );
+        assert!(findings(&m).is_empty());
+        assert_eq!(edges(&m).len(), 2);
+    }
+
+    #[test]
+    fn interprocedural_edges_cross_the_call_graph() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn outer(n: &N) {\n    n.lock(A);\n    inner(n);\n    n.unlock(A);\n}\n\
+             fn inner(n: &N) {\n    n.lock(B);\n    n.unlock(B);\n}\n",
+        );
+        let es = edges(&m);
+        assert!(
+            es.iter()
+                .any(|e| e.from_identity == "A" && e.to_identity == "B"),
+            "{es:?}"
+        );
+    }
+
+    #[test]
+    fn exit_held_folds_one_level() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn take_a(n: &N) { n.lock(A); }\n\
+             fn f(n: &N) {\n    take_a(n);\n    n.lock(B);\n    n.unlock(B);\n    n.unlock(A);\n}\n",
+        );
+        let es = edges(&m);
+        assert!(
+            es.iter()
+                .any(|e| e.from_identity == "A" && e.to_identity == "B"),
+            "a lock held across a helper's return must still form edges: {es:?}"
+        );
+    }
+
+    #[test]
+    fn crosscheck_flags_missing_edges_only() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn f(n: &N) {\n    n.lock(A);\n    n.lock(B);\n    n.unlock(B);\n    n.unlock(A);\n}\n",
+        );
+        // The real static edge: A at line 2 -> B at line 3.
+        let ok = vec!["crates/dsm/src/x.rs:2 -> crates/dsm/src/x.rs:3".to_string()];
+        assert!(crosscheck(&m, &ok).is_empty());
+        let missing = vec!["crates/dsm/src/x.rs:2 -> crates/dsm/src/other.rs:9".to_string()];
+        assert_eq!(crosscheck(&m, &missing).len(), 1);
+    }
+}

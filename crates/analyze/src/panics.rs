@@ -1,0 +1,174 @@
+//! Panic-freedom surface: the wire-decode paths must not be able to
+//! panic on attacker-shaped bytes.
+//!
+//! A malformed datagram or client frame is the one input the system
+//! does not control, so everything reachable from a protocol entry
+//! point (`decode*`, `parse_datagram`, `handle_datagram`,
+//! `accept_in_order`, `recv_loop`, `from_hex_line`) must fail *typed*,
+//! never by unwinding: a panic in the UDP pump kills the transport
+//! thread and partitions the node.
+//!
+//! Banned in the reachable set (live fns of the protocol crates):
+//! syntactic indexing (`buf[i]` — use `get`), the panicking macros
+//! (`panic!`, `unreachable!`, `assert!*`, `todo!`, `unimplemented!`),
+//! and `.unwrap()`/`.expect()`. `debug_assert!*` is deliberately
+//! allowed — it vanishes in release builds and documents invariants.
+//! Each finding carries the call chain from the entry point so the
+//! report is actionable without re-deriving reachability.
+
+use crate::callgraph::{chain, reachable, FnId};
+use crate::parse::Callee;
+use crate::{Finding, Model};
+
+/// Fn names that receive bytes from the wire.
+const ENTRY_FNS: &[&str] = &[
+    "decode",
+    "decode_msg",
+    "decode_reply",
+    "parse_datagram",
+    "handle_datagram",
+    "accept_in_order",
+    "recv_loop",
+    "from_hex_line",
+];
+
+/// Macros that unwind.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "todo",
+    "unimplemented",
+];
+
+/// Findings: panic sources reachable from the decode surface.
+pub fn findings(model: &Model) -> Vec<Finding> {
+    let live = |id: FnId| {
+        let f = &model.files[id.0];
+        !f.is_test_file && !f.fns[id.1].cfg_test
+    };
+    let entries: Vec<FnId> = model
+        .files
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, f)| {
+            f.fns
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| ENTRY_FNS.contains(&g.name.as_str()))
+                .map(move |(gi, _)| (fi, gi))
+        })
+        .filter(|&id| live(id))
+        .collect();
+
+    let pred = reachable(&model.files, &model.graph, &entries, live);
+
+    let mut out = Vec::new();
+    let mut ids: Vec<FnId> = pred.keys().copied().collect();
+    ids.sort();
+    for id in ids {
+        let file = &model.files[id.0];
+        let f = &file.fns[id.1];
+        let via = chain(&model.files, &pred, id);
+        for &at in &f.indexing {
+            out.push(Finding {
+                file: file.path.clone(),
+                line: file.line_of(at),
+                analysis: "panic-surface",
+                message: format!(
+                    "indexing on the decode path can panic on malformed input — use `get` \
+                     (reached via {via})"
+                ),
+            });
+        }
+        for c in &f.calls {
+            match &c.callee {
+                Callee::Macro(m) if PANIC_MACROS.contains(&m.as_str()) => {
+                    out.push(Finding {
+                        file: file.path.clone(),
+                        line: file.line_of(c.at),
+                        analysis: "panic-surface",
+                        message: format!(
+                            "`{m}!` reachable from the decode surface (reached via {via})"
+                        ),
+                    });
+                }
+                Callee::Method(m) if m == "unwrap" || m == "expect" => {
+                    out.push(Finding {
+                        file: file.path.clone(),
+                        line: file.line_of(c.at),
+                        analysis: "panic-surface",
+                        message: format!(
+                            "`.{m}()` reachable from the decode surface (reached via {via})"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_of;
+
+    #[test]
+    fn indexing_in_a_decode_entry_is_flagged_with_chain() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn decode_msg(buf: &[u8]) -> u8 {\n    inner(buf)\n}\n\
+             fn inner(buf: &[u8]) -> u8 {\n    buf[0]\n}\n",
+        );
+        let f = findings(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("decode_msg -> inner"),
+            "{}",
+            f[0].message
+        );
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn panic_macro_reachable_is_flagged_but_debug_assert_is_not() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn parse_datagram(n: usize) {\n    debug_assert!(n < 10);\n    check(n);\n}\n\
+             fn check(n: usize) {\n    assert!(n < 10);\n}\n",
+        );
+        let f = findings(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`assert!`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn unreachable_code_and_test_code_are_out_of_scope() {
+        let m = model_of(
+            "crates/dsm/src/x.rs",
+            "dsm",
+            "fn decode_msg(buf: &[u8]) -> u8 { 0 }\n\
+             fn helper(buf: &[u8]) -> u8 { buf[0] }\n\
+             #[cfg(test)]\nmod tests {\n    fn t(buf: &[u8]) { decode_msg(buf); buf[0]; }\n}\n",
+        );
+        assert!(findings(&m).is_empty());
+    }
+
+    #[test]
+    fn unwrap_on_the_surface_is_flagged() {
+        let m = model_of(
+            "crates/serve/src/x.rs",
+            "serve",
+            "fn from_hex_line(s: &str) -> u8 {\n    s.bytes().next().unwrap()\n}\n",
+        );
+        let f = findings(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("unwrap"), "{}", f[0].message);
+    }
+}

@@ -1,0 +1,453 @@
+//! Wire exhaustiveness: no silently-dead protocol variants.
+//!
+//! Every wire-protocol enum variant and tag constant must be *complete*:
+//! it can be produced (an encode site), recovered (a decode site), and
+//! acted on (a handler match arm outside the codec). A variant missing
+//! any leg is dead weight at best — and at worst a peer that emits it
+//! talks into the void. Rust's `match` exhaustiveness only checks each
+//! match in isolation; it cannot say "this variant is never encoded" or
+//! "decoded but never handled", which is exactly the gap this analysis
+//! closes.
+//!
+//! Classification is structural:
+//! * an occurrence inside a fn whose name contains `encode` is an
+//!   encode site; `decode`/`parse` a decode site;
+//! * a *handler* is a match arm (`Enum::Variant … =>`, `|` alternation,
+//!   or a guarded arm) in live code, in a fn that is neither
+//!   codec-named nor owned by the enum itself (so `wire_size`-style
+//!   self-matches don't count as handling);
+//! * tag constants (`MSG_*`, `REPLY_*`, `TPT_*`, `REQ_*`, `RSP_*`)
+//!   need an encode-fn use and a live decode match arm.
+
+use crate::parse::SourceFile;
+use crate::{Finding, Model};
+use std::ops::Range;
+
+/// The workspace wire surface: (crate, enum) pairs.
+const WIRE_ENUMS: &[(&str, &str)] = &[
+    ("dsm", "Msg"),
+    ("dsm", "Reply"),
+    ("serve", "Request"),
+    ("serve", "Response"),
+];
+
+/// Tag-constant families: (crate, prefix).
+const TAG_FAMILIES: &[(&str, &str)] = &[
+    ("dsm", "MSG_"),
+    ("dsm", "REPLY_"),
+    ("dsm", "TPT_"),
+    ("serve", "REQ_"),
+    ("serve", "RSP_"),
+];
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn skip_balanced(bytes: &[u8], mut i: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == open {
+            depth += 1;
+        } else if bytes[i] == close {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Finds the `enum name { … }` item: (variant-list span, per-variant
+/// (name, offset)).
+fn enum_def(file: &SourceFile, name: &str) -> Option<Vec<(String, usize)>> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    for at in crate::parse::word_positions(code, "enum") {
+        let mut i = skip_ws(bytes, at + 4);
+        let start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        if &code[start..i] != name {
+            continue;
+        }
+        i = skip_ws(bytes, i);
+        if bytes.get(i) == Some(&b'<') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'<' => depth += 1,
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            i = skip_ws(bytes, i);
+        }
+        if bytes.get(i) != Some(&b'{') {
+            continue;
+        }
+        let body: Range<usize> = i..skip_balanced(bytes, i, b'{', b'}');
+        // Variants at depth 1.
+        let mut variants = Vec::new();
+        let mut j = body.start + 1;
+        while j < body.end.saturating_sub(1) {
+            j = skip_ws(bytes, j);
+            match bytes.get(j) {
+                Some(b'#') => {
+                    // Attribute: `#[…]`.
+                    let k = skip_ws(bytes, j + 1);
+                    if bytes.get(k) == Some(&b'[') {
+                        j = skip_balanced(bytes, k, b'[', b']');
+                    } else {
+                        j += 1;
+                    }
+                }
+                Some(&b) if is_ident(b) => {
+                    let vs = j;
+                    while j < body.end && is_ident(bytes[j]) {
+                        j += 1;
+                    }
+                    variants.push((code[vs..j].to_string(), vs));
+                    // Skip the payload / discriminant to the `,`.
+                    loop {
+                        j = skip_ws(bytes, j);
+                        match bytes.get(j) {
+                            Some(b'(') => j = skip_balanced(bytes, j, b'(', b')'),
+                            Some(b'{') => j = skip_balanced(bytes, j, b'{', b'}'),
+                            Some(b',') => {
+                                j += 1;
+                                break;
+                            }
+                            Some(b'}') | None => break,
+                            _ => j += 1,
+                        }
+                    }
+                }
+                _ => j += 1,
+            }
+        }
+        return Some(variants);
+    }
+    None
+}
+
+/// Does the text after an occurrence (variant name end, payload
+/// skipped) look like a match arm?
+fn is_match_arm(bytes: &[u8], mut i: usize) -> bool {
+    i = skip_ws(bytes, i);
+    // Optional payload pattern.
+    match bytes.get(i) {
+        Some(b'(') => i = skip_ws(bytes, skip_balanced(bytes, i, b'(', b')')),
+        Some(b'{') => i = skip_ws(bytes, skip_balanced(bytes, i, b'{', b'}')),
+        _ => {}
+    }
+    match bytes.get(i) {
+        Some(b'=') => bytes.get(i + 1) == Some(&b'>'),
+        // `A | B =>` alternation: being one alternative of a pattern.
+        Some(b'|') => bytes.get(i + 1) != Some(&b'|'),
+        // Guarded arm: `… if cond =>` — accept if `=>` lands before a
+        // statement boundary.
+        Some(&b'i')
+            if bytes.get(i + 1) == Some(&b'f') && !is_ident(*bytes.get(i + 2).unwrap_or(&b' ')) =>
+        {
+            let mut j = i + 2;
+            while j + 1 < bytes.len() && bytes[j] != b';' && bytes[j] != b'{' {
+                if bytes[j] == b'=' && bytes[j + 1] == b'>' {
+                    return true;
+                }
+                j += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// One classified occurrence of a variant or tag constant.
+struct Occurrence {
+    encode: bool,
+    decode: bool,
+    handler: bool,
+}
+
+/// Classifies every qualified occurrence (`Enum::Variant` / `Self::Variant`
+/// inside `impl Enum`) of `variant` across the crate's files.
+fn variant_occurrences(
+    model: &Model,
+    crate_name: &str,
+    enum_name: &str,
+    variant: &str,
+) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    for file in &model.files {
+        if file.crate_name != crate_name {
+            continue;
+        }
+        let bytes = file.code.as_bytes();
+        for at in crate::parse::word_positions(&file.code, variant) {
+            // Require a `Qual::` prefix.
+            let mut p = at;
+            while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+                p -= 1;
+            }
+            if p < 2 || bytes[p - 1] != b':' || bytes[p - 2] != b':' {
+                continue;
+            }
+            let mut q = p - 2;
+            while q > 0 && bytes[q - 1].is_ascii_whitespace() {
+                q -= 1;
+            }
+            let mut qs = q;
+            while qs > 0 && is_ident(bytes[qs - 1]) {
+                qs -= 1;
+            }
+            let qual = &file.code[qs..q];
+            let Some(fi) = file.fn_at(at) else { continue };
+            let f = &file.fns[fi];
+            let owner_is_enum = f.owner.as_deref() == Some(enum_name);
+            if !(qual == enum_name || (qual == "Self" && owner_is_enum)) {
+                continue;
+            }
+            let live = !file.is_test_file && !f.cfg_test;
+            let fname = f.name.as_str();
+            let codec_named =
+                fname.contains("encode") || fname.contains("decode") || fname.contains("parse");
+            let arm = is_match_arm(bytes, at + variant.len());
+            out.push(Occurrence {
+                encode: live && fname.contains("encode"),
+                decode: live && (fname.contains("decode") || fname.contains("parse")),
+                handler: live && arm && !codec_named && !owner_is_enum,
+            });
+        }
+    }
+    out
+}
+
+/// Checks one wire enum; public so fixture tests can drive it directly.
+pub fn check_enum(model: &Model, crate_name: &str, enum_name: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some((file, variants)) = model.files.iter().find_map(|f| {
+        (f.crate_name == crate_name && !f.is_test_file)
+            .then(|| enum_def(f, enum_name).map(|v| (f, v)))
+            .flatten()
+    }) else {
+        return out;
+    };
+    for (variant, at) in variants {
+        let occ = variant_occurrences(model, crate_name, enum_name, &variant);
+        let mut missing = Vec::new();
+        if !occ.iter().any(|o| o.encode) {
+            missing.push("an encode site");
+        }
+        if !occ.iter().any(|o| o.decode) {
+            missing.push("a decode site");
+        }
+        if !occ.iter().any(|o| o.handler) {
+            missing.push("a handler match arm");
+        }
+        if !missing.is_empty() {
+            out.push(Finding {
+                file: file.path.clone(),
+                line: file.line_of(at),
+                analysis: "wire-exhaustiveness",
+                message: format!(
+                    "`{enum_name}::{variant}` is missing {} — dead wire variant",
+                    missing.join(", ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Checks one tag-constant family; public for fixture tests.
+pub fn check_tag_family(model: &Model, crate_name: &str, prefix: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Collect definitions: `const PREFIX…` in live src.
+    let mut tags: Vec<(String, &SourceFile, usize)> = Vec::new();
+    for file in &model.files {
+        if file.crate_name != crate_name || file.is_test_file {
+            continue;
+        }
+        let bytes = file.code.as_bytes();
+        for at in crate::parse::word_positions(&file.code, "const") {
+            let i = skip_ws(bytes, at + 5);
+            let mut j = i;
+            while j < bytes.len() && is_ident(bytes[j]) {
+                j += 1;
+            }
+            let name = &file.code[i..j];
+            if name.starts_with(prefix) && name.len() > prefix.len() {
+                tags.push((name.to_string(), file, i));
+            }
+        }
+    }
+    for (tag, def_file, def_at) in tags {
+        let mut encode = false;
+        let mut arm = false;
+        for file in &model.files {
+            if file.crate_name != crate_name {
+                continue;
+            }
+            let bytes = file.code.as_bytes();
+            for at in crate::parse::word_positions(&file.code, &tag) {
+                // Skip the definition itself (preceded by `const`).
+                let p = at.saturating_sub(1);
+                let before = &file.code[..p.min(file.code.len())];
+                if before.trim_end().ends_with("const") {
+                    continue;
+                }
+                let Some(fi) = file.fn_at(at) else { continue };
+                let f = &file.fns[fi];
+                if file.is_test_file || f.cfg_test {
+                    continue;
+                }
+                if f.name.contains("encode") {
+                    encode = true;
+                }
+                if is_match_arm(bytes, at + tag.len()) {
+                    arm = true;
+                }
+            }
+        }
+        let mut missing = Vec::new();
+        if !encode {
+            missing.push("an encode-fn use");
+        }
+        if !arm {
+            missing.push("a decode match arm");
+        }
+        if !missing.is_empty() {
+            out.push(Finding {
+                file: def_file.path.clone(),
+                line: def_file.line_of(def_at),
+                analysis: "wire-exhaustiveness",
+                message: format!(
+                    "tag `{tag}` is missing {} — dead wire tag",
+                    missing.join(", ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Findings over the workspace wire surface.
+pub fn findings(model: &Model) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (crate_name, enum_name) in WIRE_ENUMS {
+        out.extend(check_enum(model, crate_name, enum_name));
+    }
+    for (crate_name, prefix) in TAG_FAMILIES {
+        out.extend(check_tag_family(model, crate_name, prefix));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_of;
+
+    const COMPLETE: &str = "enum Msg {\n    Ping(u32),\n    Pong { n: u32 },\n}\n\
+        fn encode_msg(m: &Msg) {\n    match m {\n        Msg::Ping(n) => {}\n        \
+        Msg::Pong { n } => {}\n    }\n}\n\
+        fn decode_msg(tag: u8) -> Msg {\n    match tag {\n        0 => Msg::Ping(0),\n        \
+        _ => Msg::Pong { n: 0 },\n    }\n}\n\
+        fn handle(m: Msg) {\n    match m {\n        Msg::Ping(n) => {}\n        \
+        Msg::Pong { .. } => {}\n    }\n}\n";
+
+    #[test]
+    fn complete_enum_is_clean() {
+        let m = model_of("crates/dsm/src/x.rs", "dsm", COMPLETE);
+        assert!(check_enum(&m, "dsm", "Msg").is_empty());
+    }
+
+    #[test]
+    fn variant_without_handler_is_flagged() {
+        let src = COMPLETE.replace("Msg::Pong { .. } => {}", "_ => {}");
+        let m = model_of("crates/dsm/src/x.rs", "dsm", &src);
+        let f = check_enum(&m, "dsm", "Msg");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Pong"), "{}", f[0].message);
+        assert!(f[0].message.contains("handler"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn variant_without_encode_site_is_flagged() {
+        let src = COMPLETE.replace("Msg::Pong { n } => {}", "_ => {}");
+        let m = model_of("crates/dsm/src/x.rs", "dsm", &src);
+        let f = check_enum(&m, "dsm", "Msg");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("encode site"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn self_matches_in_the_enums_own_impl_are_not_handlers() {
+        let src = format!(
+            "{COMPLETE}impl Msg {{\n    fn wire_size(&self) -> usize {{\n        match self {{\n            \
+             Msg::Ping(_) => 4,\n            Msg::Pong {{ .. }} => 4,\n        }}\n    }}\n}}\n"
+        );
+        let without_handler = src.replace(
+            "fn handle(m: Msg) {\n    match m {\n        Msg::Ping(n) => {}\n        \
+             Msg::Pong { .. } => {}\n    }\n}\n",
+            "",
+        );
+        let m = model_of("crates/dsm/src/x.rs", "dsm", &without_handler);
+        let f = check_enum(&m, "dsm", "Msg");
+        assert_eq!(
+            f.len(),
+            2,
+            "wire_size arms must not count as handlers: {f:?}"
+        );
+    }
+
+    #[test]
+    fn alternation_and_guards_count_as_arms() {
+        let src = COMPLETE.replace(
+            "Msg::Ping(n) => {}\n        Msg::Pong { .. } => {}",
+            "Msg::Ping(_) | Msg::Pong { .. } if true => {}",
+        );
+        let m = model_of("crates/dsm/src/x.rs", "dsm", &src);
+        assert!(check_enum(&m, "dsm", "Msg").is_empty());
+    }
+
+    #[test]
+    fn tag_family_checks_encode_use_and_arm() {
+        let src = "const TAG_A: u8 = 1;\nconst TAG_B: u8 = 2;\n\
+            fn encode_x(w: &mut W) { w.u8(TAG_A); w.u8(TAG_B); }\n\
+            fn decode_x(t: u8) {\n    match t {\n        TAG_A => {}\n        _ => {}\n    }\n}\n";
+        let m = model_of("crates/dsm/src/x.rs", "dsm", src);
+        let f = check_tag_family(&m, "dsm", "TAG_");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("TAG_B"), "{}", f[0].message);
+        assert!(f[0].message.contains("match arm"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn test_only_usage_does_not_satisfy_the_contract() {
+        let src = "const TAG_A: u8 = 1;\n\
+            #[cfg(test)]\nmod tests {\n    fn encode_t(w: &mut W) { w.u8(TAG_A); }\n    \
+            fn t(t: u8) { match t { TAG_A => {} _ => {} } }\n}\n";
+        let m = model_of("crates/dsm/src/x.rs", "dsm", src);
+        let f = check_tag_family(&m, "dsm", "TAG_");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -1,0 +1,75 @@
+//! The static/runtime superset gate, in-process.
+//!
+//! Runs a Record-mode DSM workload right here, takes the runtime
+//! lock-order edges its `#[track_caller]` sites produced, and verifies
+//! every one has a static counterpart — the acquisition sites below are
+//! in this very file, which the analyzer's workspace walk includes. A
+//! failure means the static extractor lost a lock site, which would
+//! silently blind the cycle detection.
+//!
+//! Debug-only: the runtime recorder is compiled in under
+//! `debug_assertions` (or dsm's `lock-order` feature, which this test
+//! crate does not forward).
+#![cfg(debug_assertions)]
+
+use genomedsm_analyze::{lockorder, Model};
+use genomedsm_dsm::{DsmConfig, DsmSystem, LockOrderMode};
+use std::path::PathBuf;
+
+const PAGE: u32 = 20;
+const LEASE: u32 = 21;
+const LEDGER: u32 = 22;
+
+#[test]
+fn static_graph_is_a_superset_of_runtime_edges() {
+    let run = DsmSystem::run(
+        DsmConfig::new(2).lock_order(LockOrderMode::Record),
+        |node| {
+            node.lock(PAGE);
+            node.lock(LEASE);
+            if node.id() == 0 {
+                node.lock(LEDGER);
+                node.unlock(LEDGER);
+            }
+            node.unlock(LEASE);
+            node.unlock(PAGE);
+            node.barrier();
+        },
+    );
+    assert!(run.lock_order_violations.is_empty());
+    assert!(
+        !run.lock_order_edges.is_empty(),
+        "the workload holds locks while acquiring; the runtime graph must see it"
+    );
+
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let model = Model::from_workspace(&root).expect("walk workspace");
+    let lines: Vec<String> = run
+        .lock_order_edges
+        .iter()
+        .map(genomedsm_dsm::LockOrderEdge::wire_format)
+        .collect();
+    let missing = lockorder::crosscheck(&model, &lines);
+    assert!(
+        missing.is_empty(),
+        "runtime edges without static counterparts:\n{}",
+        missing
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn crosscheck_rejects_a_fabricated_edge() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let model = Model::from_workspace(&root).expect("walk workspace");
+    let bogus = vec!["crates/dsm/src/node.rs:1 -> crates/dsm/src/daemon.rs:1".to_string()];
+    let missing = lockorder::crosscheck(&model, &bogus);
+    assert_eq!(
+        missing.len(),
+        1,
+        "a fabricated edge must be reported: {missing:?}"
+    );
+}

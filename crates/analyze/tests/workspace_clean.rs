@@ -1,0 +1,28 @@
+//! The workspace itself must be clean — zero findings, no allowlist.
+//!
+//! This is the same gate CI runs via the `analyze` binary; having it as
+//! a test means `cargo test` alone catches a regression.
+
+use genomedsm_analyze::Model;
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let model = Model::from_workspace(&root).expect("walk workspace");
+    assert!(
+        model.files.len() > 40,
+        "suspiciously few files parsed ({}) — walker broken?",
+        model.files.len()
+    );
+    let findings = model.analyze();
+    assert!(
+        findings.is_empty(),
+        "workspace must be clean (no allowlist):\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -137,14 +137,13 @@ impl<'a> FrameReader<'a> {
     /// # Errors
     /// [`DsmError::Truncated`] when fewer than `n` bytes remain.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], DsmError> {
-        if self.remaining() < n {
-            return Err(DsmError::Truncated {
-                need: n,
-                have: self.remaining(),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = DsmError::Truncated {
+            need: n,
+            have: self.remaining(),
+        };
+        let end = self.pos.checked_add(n).ok_or(truncated.clone())?;
+        let s = self.buf.get(self.pos..end).ok_or(truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -153,7 +152,8 @@ impl<'a> FrameReader<'a> {
     /// # Errors
     /// [`DsmError::Truncated`] at end of frame.
     pub fn u8(&mut self) -> Result<u8, DsmError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
     fn array<const N: usize>(&mut self) -> Result<[u8; N], DsmError> {
         let s = self.take(N)?;

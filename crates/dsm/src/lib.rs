@@ -73,7 +73,9 @@ pub mod vec;
 pub use codec::{FrameReader, FrameWriter};
 pub use config::{DsmConfig, SupervisionConfig};
 pub use error::DsmError;
-pub use lock_order::{LockOrderGraph, LockOrderMode, LockOrderViolation, LOCK_ORDER_ENABLED};
+pub use lock_order::{
+    LockOrderEdge, LockOrderGraph, LockOrderMode, LockOrderViolation, LOCK_ORDER_ENABLED,
+};
 pub use net::{
     FaultInjector, LinkMsg, NetworkModel, RetransmitPolicy, ScheduleOnly, TransmitFate,
     CHAN_DAEMON, CHAN_REPLY, CHAN_REQ,

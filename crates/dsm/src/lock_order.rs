@@ -51,6 +51,51 @@ struct EdgeInfo {
     to_site: &'static Location<'static>,
 }
 
+/// One recorded acquisition edge, exported for the static/runtime
+/// cross-check run by `genomedsm-analyze`: the runtime edge list must
+/// be a subset of the statically extracted may-hold-while-acquiring
+/// graph, or the static extractor has lost an acquisition site.
+#[derive(Debug, Clone, Copy)]
+pub struct LockOrderEdge {
+    /// Lock that was held.
+    pub from_lock: u32,
+    /// Lock that was acquired while `from_lock` was held.
+    pub to_lock: u32,
+    /// Where `from_lock` was acquired.
+    pub from_site: &'static Location<'static>,
+    /// Where `to_lock` was acquired.
+    pub to_site: &'static Location<'static>,
+}
+
+impl LockOrderEdge {
+    /// The stable dump format consumed by `genomedsm-analyze
+    /// --crosscheck`: `from_file:from_line -> to_file:to_line`.
+    /// Columns and lock ids are deliberately omitted — the static
+    /// analyzer resolves sites at file:line granularity.
+    pub fn wire_format(&self) -> String {
+        format!(
+            "{}:{} -> {}:{}",
+            self.from_site.file(),
+            self.from_site.line(),
+            self.to_site.file(),
+            self.to_site.line()
+        )
+    }
+
+    /// Deterministic sort key: sites first (what the cross-check
+    /// compares), lock ids as tie-breakers.
+    fn sort_key(&self) -> (&'static str, u32, &'static str, u32, u32, u32) {
+        (
+            self.from_site.file(),
+            self.from_site.line(),
+            self.to_site.file(),
+            self.to_site.line(),
+            self.from_lock,
+            self.to_lock,
+        )
+    }
+}
+
 /// A detected lock-order inversion.
 #[derive(Debug, Clone)]
 pub struct LockOrderViolation {
@@ -216,6 +261,30 @@ impl LockOrderGraph {
             .violations
             .clone()
     }
+
+    /// Every recorded acquisition edge, deterministically sorted (by
+    /// site, then lock ids) so repeated runs of the same workload dump
+    /// byte-identical artifacts for the static/runtime cross-check.
+    pub fn edges(&self) -> Vec<LockOrderEdge> {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out: Vec<LockOrderEdge> = inner
+            .edges
+            .iter()
+            .flat_map(|(&from_lock, tos)| {
+                tos.iter().map(move |(&to_lock, info)| LockOrderEdge {
+                    from_lock,
+                    to_lock,
+                    from_site: info.from_site,
+                    to_site: info.to_site,
+                })
+            })
+            .collect();
+        out.sort_by_key(LockOrderEdge::sort_key);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +343,31 @@ mod tests {
         let s = site();
         g.on_acquire(&[(7, s)], 9, s);
         g.on_acquire(&[(9, s)], 7, s);
+    }
+
+    #[test]
+    fn edges_export_is_sorted_and_deterministic() {
+        let build = || {
+            let g = LockOrderGraph::new(LockOrderMode::Record);
+            let s = site();
+            // Insert in a scrambled order; export must not depend on it.
+            g.on_acquire(&[(5, s)], 9, s);
+            g.on_acquire(&[(0, s)], 1, s);
+            g.on_acquire(&[(0, s), (1, s)], 2, s);
+            g.edges()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.len(), 4, "0->1, 0->2, 1->2, 5->9");
+        let fmt = |es: &[LockOrderEdge]| {
+            es.iter()
+                .map(|e| format!("{} [{}->{}]", e.wire_format(), e.from_lock, e.to_lock))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fmt(&a), fmt(&b));
+        let keys: Vec<_> = a.iter().map(|e| (e.from_lock, e.to_lock)).collect();
+        assert_eq!(keys, vec![(0, 1), (0, 2), (1, 2), (5, 9)]);
+        assert!(a[0].wire_format().contains("lock_order.rs"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::config::DsmConfig;
 use crate::daemon::Daemon;
-use crate::lock_order::{LockOrderGraph, LockOrderViolation, LOCK_ORDER_ENABLED};
+use crate::lock_order::{LockOrderEdge, LockOrderGraph, LockOrderViolation, LOCK_ORDER_ENABLED};
 use crate::msg::{Envelope, Msg, SYSTEM_SRC};
 use crate::node::Node;
 use crate::stats::NodeStats;
@@ -41,6 +41,12 @@ pub struct DsmRun<R> {
     /// [`crate::LockOrderMode::Record`]; in the default panic mode a
     /// violation aborts the run instead.
     pub lock_order_violations: Vec<LockOrderViolation>,
+    /// Every acquisition edge the runtime lock-order graph recorded,
+    /// deterministically sorted. Empty when tracking is inactive. The
+    /// `genomedsm-analyze` cross-check consumes these (via
+    /// [`crate::lock_order::LockOrderEdge::wire_format`]) to prove the
+    /// static lock-order graph is a superset of runtime behavior.
+    pub lock_order_edges: Vec<LockOrderEdge>,
 }
 
 impl<R> DsmRun<R> {
@@ -187,7 +193,11 @@ impl DsmSystem {
             results,
             stats,
             wall: t0.elapsed(),
-            lock_order_violations: lock_order.map(|g| g.violations()).unwrap_or_default(),
+            lock_order_violations: lock_order
+                .as_ref()
+                .map(|g| g.violations())
+                .unwrap_or_default(),
+            lock_order_edges: lock_order.map(|g| g.edges()).unwrap_or_default(),
         }
     }
 
@@ -327,7 +337,11 @@ impl DsmSystem {
             results,
             stats,
             wall: t0.elapsed(),
-            lock_order_violations: lock_order.map(|g| g.violations()).unwrap_or_default(),
+            lock_order_violations: lock_order
+                .as_ref()
+                .map(|g| g.violations())
+                .unwrap_or_default(),
+            lock_order_edges: lock_order.map(|g| g.edges()).unwrap_or_default(),
         }
     }
 }

@@ -119,7 +119,7 @@ impl ClusterManifest {
     /// over the bind and the peer map would alias them).
     fn finish(nodes: Vec<SocketAddr>) -> Result<Self, DsmError> {
         for (later, addr) in nodes.iter().enumerate() {
-            if let Some(first) = nodes[..later].iter().position(|a| a == addr) {
+            if let Some(first) = nodes.iter().take(later).position(|a| a == addr) {
                 return Err(bad(format!(
                     "duplicate address {addr} (ranks {first} and {later}): \
                      every rank needs its own socket"
@@ -230,7 +230,7 @@ fn strip_comment(line: &str) -> &str {
     for (i, c) in line.char_indices() {
         match c {
             '"' => in_str = !in_str,
-            '#' if !in_str => return &line[..i],
+            '#' if !in_str => return line.get(..i).unwrap_or(line),
             _ => {}
         }
     }

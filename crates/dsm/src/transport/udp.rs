@@ -235,13 +235,18 @@ impl Shared {
     }
 
     fn send_ack(&self, to: usize, chan: u8, seq: u64) {
+        // `to` comes from a wire-derived rank; an out-of-range value
+        // means a malformed datagram and the ack is silently dropped.
+        let Some(&addr) = self.peers.get(to) else {
+            return;
+        };
         let bytes = encode_ack(&AckFrame {
             session: self.session,
             from: self.rank,
             chan,
             seq,
         });
-        if self.socket.send_to(&bytes, self.peers[to]).is_ok() {
+        if self.socket.send_to(&bytes, addr).is_ok() {
             self.stats().acks_sent += 1;
         }
     }
@@ -842,9 +847,15 @@ fn recv_loop(
         match shared.socket.recv_from(&mut buf) {
             Ok((n, _src)) => {
                 last_activity = Instant::now();
+                // `n` is bounded by the buffer the kernel filled, but
+                // decode paths stay index-free: a too-large count drops
+                // the datagram instead of panicking.
+                let Some(datagram) = buf.get(..n) else {
+                    continue;
+                };
                 handle_datagram(
                     shared,
-                    &buf[..n],
+                    datagram,
                     &mut links,
                     daemon_inbox,
                     reply_local,

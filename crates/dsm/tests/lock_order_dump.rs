@@ -1,0 +1,101 @@
+//! Deterministic export of the runtime lock-order graph.
+//!
+//! Runs a disciplined nested-lock workload and dumps the recorded
+//! acquisition edges as the sorted `file:line -> file:line` list that
+//! `genomedsm-analyze --crosscheck` consumes. CI points
+//! `GENOMEDSM_LOCK_EDGES_OUT` at an artifact path; when the variable is
+//! unset the test still verifies determinism and the wire format.
+#![cfg(any(debug_assertions, feature = "lock-order"))]
+
+use genomedsm_dsm::{DsmConfig, DsmRun, DsmSystem, LockOrderMode};
+
+/// Lock ids named for the roles they play in the workload.
+const PAGE_LOCK: u32 = 0;
+const LEASE_TABLE: u32 = 1;
+const LEDGER: u32 = 2;
+
+/// A consistent-order workload touching three locks in nested pairs:
+/// page -> lease, page -> ledger (nested under page only), and
+/// page -> lease -> ledger on node 0.
+fn disciplined_run() -> DsmRun<()> {
+    DsmSystem::run(
+        DsmConfig::new(2).lock_order(LockOrderMode::Record),
+        |node| {
+            node.lock(PAGE_LOCK);
+            node.lock(LEASE_TABLE);
+            if node.id() == 0 {
+                node.lock(LEDGER);
+                node.unlock(LEDGER);
+            }
+            node.unlock(LEASE_TABLE);
+            node.unlock(PAGE_LOCK);
+            node.barrier();
+            node.lock(PAGE_LOCK);
+            node.lock(LEDGER);
+            node.unlock(LEDGER);
+            node.unlock(PAGE_LOCK);
+            node.barrier();
+        },
+    )
+}
+
+fn dump(run: &DsmRun<()>) -> Vec<String> {
+    run.lock_order_edges
+        .iter()
+        .map(genomedsm_dsm::LockOrderEdge::wire_format)
+        .collect()
+}
+
+#[test]
+fn edge_dump_is_deterministic_and_well_formed() {
+    let a = disciplined_run();
+    let b = disciplined_run();
+    assert!(a.lock_order_violations.is_empty());
+
+    let lines_a = dump(&a);
+    let lines_b = dump(&b);
+    assert_eq!(lines_a, lines_b, "same workload must dump identical edges");
+    assert!(
+        !lines_a.is_empty(),
+        "the workload holds locks while acquiring"
+    );
+
+    // Sorted, and every line is `file:line -> file:line` pointing here.
+    let mut sorted = lines_a.clone();
+    sorted.sort();
+    assert_eq!(lines_a, sorted);
+    for line in &lines_a {
+        let (from, to) = line.split_once(" -> ").expect("arrow separator");
+        for site in [from, to] {
+            let (file, lineno) = site.rsplit_once(':').expect("file:line");
+            assert!(file.ends_with("lock_order_dump.rs"), "{line}");
+            assert!(lineno.parse::<u32>().is_ok(), "{line}");
+        }
+    }
+
+    // The edge set matches the lock nesting above: page->lease,
+    // page->ledger, lease->ledger.
+    let pairs: std::collections::BTreeSet<(u32, u32)> = a
+        .lock_order_edges
+        .iter()
+        .map(|e| (e.from_lock, e.to_lock))
+        .collect();
+    let expect: std::collections::BTreeSet<(u32, u32)> = [
+        (PAGE_LOCK, LEASE_TABLE),
+        (PAGE_LOCK, LEDGER),
+        (LEASE_TABLE, LEDGER),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(pairs, expect);
+
+    // CI artifact for the static/runtime superset gate.
+    if let Ok(path) = std::env::var("GENOMEDSM_LOCK_EDGES_OUT") {
+        let mut text = lines_a.join("\n");
+        text.push('\n');
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create artifact dir");
+        }
+        std::fs::write(&path, text).expect("write lock-order edge artifact");
+    }
+}

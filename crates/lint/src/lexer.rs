@@ -39,6 +39,16 @@ fn is_ident(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
+/// Byte length of the UTF-8 sequence starting with leading byte `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
 /// Scans `src`, blanking comments and literal interiors.
 pub fn scan(src: &str) -> Scanned {
     let bytes = src.as_bytes();
@@ -186,6 +196,9 @@ pub fn scan(src: &str) -> Scanned {
             let next = bytes.get(i + 1).copied();
             let is_char = match next {
                 Some(b'\\') => true,
+                // Multi-byte scalar like 'é' or '→': the closing quote sits
+                // after the whole UTF-8 sequence, not at i + 2.
+                Some(c) if c >= 0x80 => bytes.get(i + 1 + utf8_len(c)).copied() == Some(b'\''),
                 Some(c) if is_ident(c) => bytes.get(i + 2).copied() == Some(b'\''),
                 Some(_) => bytes.get(i + 2).copied() == Some(b'\''),
                 None => false,
@@ -256,6 +269,30 @@ mod tests {
         let s = scan("let c = '\"'; let d: &'static str = \"x\"; let e = '\\n';");
         assert!(s.code.contains("&'static str"));
         assert!(s.code.contains("let e"));
+    }
+
+    #[test]
+    fn multibyte_char_literals_are_not_lifetimes() {
+        // 'é' is two UTF-8 bytes, '→' is three: the closing quote is not
+        // at i + 2, and mistaking the literal for a lifetime would leave
+        // the closing quote to poison the rest of the line.
+        let s = scan("let a = 'é'; let b = '→'; let c = '𝄞'; keep_me();");
+        assert!(s.code.contains("keep_me()"), "{}", s.code);
+        assert!(!s.code.contains('é'), "{}", s.code);
+        assert!(!s.code.contains('→'), "{}", s.code);
+    }
+
+    #[test]
+    fn byte_literals_are_blanked() {
+        let s = scan("let a = b'x'; let b = b\"unsafe bytes\"; let c = br#\"unsafe raw\"#; end();");
+        assert!(!s.code.contains("unsafe"), "{}", s.code);
+        assert!(s.code.contains("end()"), "{}", s.code);
+    }
+
+    #[test]
+    fn raw_identifiers_survive() {
+        let s = scan("let r#match = 1; r#match + 1;");
+        assert!(s.code.contains("r#match"), "{}", s.code);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! ([`lexer`]) distinguishes code from comments and literals, and the
 //! rule engine ([`rules`]) enforces the workspace policy on top of it —
 //! SAFETY comments on every `unsafe`, no `unwrap()`/`expect()`, no
-//! `Ordering::Relaxed`, and no `thread::sleep` in the protocol crates
+//! `Ordering::Relaxed`, no `thread::sleep`, and no
+//! `todo!`/`unimplemented!`/`dbg!` in the protocol crates
 //! (`genomedsm-dsm`, `genomedsm-strategies`, `genomedsm-batch`,
 //! `genomedsm-index`, `genomedsm-serve`), all outside test code.
 //!
@@ -23,7 +24,7 @@ pub use rules::{Finding, RuleScope};
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` is subject to the protocol rules (`no-unwrap`,
-/// `no-relaxed`, `no-sleep`) in addition to `safety-comment`.
+/// `no-relaxed`, `no-sleep`, `no-todo`) in addition to `safety-comment`.
 pub const PROTOCOL_CRATES: &[&str] = &["dsm", "strategies", "batch", "index", "serve"];
 
 /// Recursively collects `.rs` files under `dir` (sorted for determinism).

@@ -17,6 +17,10 @@
 //! * **no-sleep** (protocol crates only): `thread::sleep` in protocol
 //!   code hides lost-wakeup bugs behind timing; blocking must use the
 //!   channel/cv primitives.
+//! * **no-todo** (protocol crates only): `todo!`, `unimplemented!`, and
+//!   `dbg!` must not ship in protocol `src/` — a stubbed protocol path
+//!   is a runtime panic waiting for a schedule, and `dbg!` output
+//!   corrupts the line-oriented serve protocol on shared stderr.
 //!
 //! Test code is excluded structurally: files under `tests/` and
 //! `benches/` are never walked, and `#[cfg(test)]` items inside `src/`
@@ -61,7 +65,10 @@ pub struct RuleScope {
 }
 
 /// Byte ranges of `#[cfg(test)]`-gated items in masked code.
-fn test_spans(code: &str) -> Vec<Range<usize>> {
+///
+/// Public so structural consumers (`genomedsm-analyze`) share exactly
+/// the lint engine's notion of what counts as test code.
+pub fn test_spans(code: &str) -> Vec<Range<usize>> {
     let bytes = code.as_bytes();
     let mut spans = Vec::new();
     let mut i = 0usize;
@@ -288,6 +295,26 @@ pub fn lint_source(file: &std::path::Path, src: &str, scope: RuleScope) -> Vec<F
                     .into(),
             );
         }
+        for mac in ["todo", "unimplemented", "dbg"] {
+            for at in word_positions(&s.code, mac) {
+                if in_spans(&skip, at) {
+                    continue;
+                }
+                // Only the macro invocation `name!` is banned; the bare
+                // word (e.g. in an identifier path) is not.
+                if s.code.as_bytes().get(at + mac.len()).copied() != Some(b'!') {
+                    continue;
+                }
+                push(
+                    at,
+                    "no-todo",
+                    format!(
+                        "`{mac}!` in protocol code — stubs and debug prints must not \
+                         ship on protocol paths"
+                    ),
+                );
+            }
+        }
     }
     findings
 }
@@ -407,6 +434,29 @@ fn live() { y.unwrap(); }
     #[test]
     fn acquire_release_orderings_pass() {
         let src = "fn f() { a.store(1, Ordering::Release); b.load(Ordering::Acquire); }\n";
+        assert!(lint(src, PROTO).is_empty());
+    }
+
+    #[test]
+    fn todo_macros_flagged_only_in_protocol_scope() {
+        let src =
+            "fn f() { todo!(\"later\"); }\nfn g() { unimplemented!() }\nfn h() { dbg!(x); }\n";
+        assert!(lint(src, PLAIN).is_empty());
+        let f = lint(src, PROTO);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|f| f.rule == "no-todo"));
+        assert_eq!((f[0].line, f[1].line, f[2].line), (1, 2, 3));
+    }
+
+    #[test]
+    fn todo_word_without_bang_passes() {
+        let src = "fn f() { let todo = 1; mark_todo(todo); } // TODO: prose is fine\n";
+        assert!(lint(src, PROTO).is_empty());
+    }
+
+    #[test]
+    fn todo_in_cfg_test_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { todo!(); dbg!(1); } }\n";
         assert!(lint(src, PROTO).is_empty());
     }
 

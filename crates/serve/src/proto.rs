@@ -316,8 +316,10 @@ fn read_scoring(r: &mut FrameReader<'_>) -> Result<MatrixScoring, DsmError> {
         });
     }
     let mut scores = [[0i16; AA_N]; AA_N];
-    for (i, pair) in raw.chunks_exact(2).enumerate() {
-        scores[i / AA_N][i % AA_N] = i16::from_le_bytes([pair[0], pair[1]]);
+    for (cell, pair) in scores.iter_mut().flatten().zip(raw.chunks_exact(2)) {
+        if let &[a, b] = pair {
+            *cell = i16::from_le_bytes([a, b]);
+        }
     }
     let gap_open = r.u32()? as i32;
     let gap_extend = r.u32()? as i32;
@@ -506,21 +508,23 @@ impl Response {
                         })
                     })
                     .collect::<Result<_, DsmError>>()?;
+                let [epoch, records, depth, high_water, capacity, submitted, rejected, dispatched, cache_hits, cache_misses, cache_inserts, cache_evicted, cache_stale_purged, protocol_errors] =
+                    vals;
                 r.done(Response::StatsReply(ServiceStats {
-                    epoch: vals[0],
-                    records: vals[1],
-                    depth: vals[2],
-                    high_water: vals[3],
-                    capacity: vals[4],
-                    submitted: vals[5],
-                    rejected: vals[6],
-                    dispatched: vals[7],
-                    cache_hits: vals[8],
-                    cache_misses: vals[9],
-                    cache_inserts: vals[10],
-                    cache_evicted: vals[11],
-                    cache_stale_purged: vals[12],
-                    protocol_errors: vals[13],
+                    epoch,
+                    records,
+                    depth,
+                    high_water,
+                    capacity,
+                    submitted,
+                    rejected,
+                    dispatched,
+                    cache_hits,
+                    cache_misses,
+                    cache_inserts,
+                    cache_evicted,
+                    cache_stale_purged,
+                    protocol_errors,
                     clients,
                 }))
             }
@@ -561,11 +565,14 @@ pub fn from_hex_line(line: &str) -> Result<Vec<u8>, crate::ServeError> {
     let mut out = Vec::with_capacity(line.len() / 2);
     let bytes = line.as_bytes();
     for pair in bytes.chunks_exact(2) {
-        let hi = hex_val(pair[0]).ok_or_else(|| crate::ServeError::BadLine {
-            what: format!("non-hex byte {:#04x}", pair[0]),
+        let &[h, l] = pair else {
+            continue;
+        };
+        let hi = hex_val(h).ok_or_else(|| crate::ServeError::BadLine {
+            what: format!("non-hex byte {h:#04x}"),
         })?;
-        let lo = hex_val(pair[1]).ok_or_else(|| crate::ServeError::BadLine {
-            what: format!("non-hex byte {:#04x}", pair[1]),
+        let lo = hex_val(l).ok_or_else(|| crate::ServeError::BadLine {
+            what: format!("non-hex byte {l:#04x}"),
         })?;
         out.push((hi << 4) | lo);
     }
